@@ -1,0 +1,1 @@
+bench/loc_table.ml: Array Buffer Filename List Option Printf String Sys

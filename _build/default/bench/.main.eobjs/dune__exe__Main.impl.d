@@ -1,0 +1,1 @@
+bench/main.ml: Amm Analyze Array Bechamel Benchmark Bsd_malloc Cost Filename Hashtbl List Lmm Loc_table Malloc Measure Netbench Option Printf Staged Sys Test Time Toolkit Unix

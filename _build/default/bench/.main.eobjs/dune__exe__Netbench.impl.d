@@ -1,0 +1,1 @@
+bench/netbench.ml: Bsd_socket Bytes Clientos Cost Error Fdev Io_if Kclock Linux_inet Machine Oskit Posix Vm Wire

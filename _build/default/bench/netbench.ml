@@ -1,0 +1,259 @@
+(* The two-PC network experiment runner shared by the Table 1/2 and VM
+   benches: sets up each side of the testbed in any of the three system
+   configurations (they interoperate on the wire), runs a ttcp- or
+   rtcp-style workload in virtual time, and reports the paper's numbers. *)
+
+type config = Oskit | Freebsd | Linux
+
+let config_name = function Oskit -> "OSKit" | Freebsd -> "FreeBSD" | Linux -> "Linux"
+
+let ip = Oskit.ip_of_string
+let mask = ip "255.255.255.0"
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("netbench: " ^ Error.to_string e)
+
+(* A role-neutral socket bundle: blocking send/recv/close over whichever
+   stack the configuration dictates. *)
+type sock = {
+  send : bytes -> int -> int;
+  recv : bytes -> int -> int;
+  close : unit -> unit;
+}
+
+(* Prepare a host in [config]; returns (serve, connect):
+   [serve ~port k] spawns a server thread that accepts one connection and
+   passes its socket to [k]; [connect ~port k] spawns a client thread that
+   connects and passes its socket to [k]. *)
+let setup config host ~addr =
+  match config with
+  | Oskit ->
+      let env, _stack = Clientos.oskit_host host ~ip:addr ~mask in
+      let serve ~port k =
+        Clientos.spawn host ~name:"server" (fun () ->
+            let fd = ok (Posix.socket env Io_if.Sock_stream) in
+            ok (Posix.bind env fd { Io_if.sin_addr = addr; sin_port = port });
+            ok (Posix.listen env fd ~backlog:2);
+            let conn, _ = ok (Posix.accept env fd) in
+            k
+              { send = (fun b len -> ok (Posix.send env conn b ~pos:0 ~len));
+                recv = (fun b len -> ok (Posix.recv env conn b ~pos:0 ~len));
+                close = (fun () -> ignore (Posix.close env conn)) })
+      in
+      let connect ~dst ~port k =
+        Clientos.spawn host ~name:"client" (fun () ->
+            Kclock.sleep_ns 2_000_000;
+            let fd = ok (Posix.socket env Io_if.Sock_stream) in
+            ok (Posix.connect env fd { Io_if.sin_addr = dst; sin_port = port });
+            k
+              { send = (fun b len -> ok (Posix.send env fd b ~pos:0 ~len));
+                recv = (fun b len -> ok (Posix.recv env fd b ~pos:0 ~len));
+                close = (fun () -> ignore (Posix.shutdown env fd)) })
+      in
+      serve, connect
+  | Freebsd ->
+      let stack = Clientos.freebsd_host host ~ip:addr ~mask in
+      let of_tsock s =
+        { send = (fun b len -> ok (Bsd_socket.so_send s ~buf:b ~pos:0 ~len));
+          recv = (fun b len -> ok (Bsd_socket.so_recv s ~buf:b ~pos:0 ~len));
+          close = (fun () -> ignore (Bsd_socket.so_close s)) }
+      in
+      let serve ~port k =
+        Clientos.spawn host ~name:"server" (fun () ->
+            let ls = Bsd_socket.tcp_socket stack in
+            ok (Bsd_socket.so_bind ls ~port);
+            ok (Bsd_socket.so_listen ls ~backlog:2);
+            k (of_tsock (ok (Bsd_socket.so_accept ls))))
+      in
+      let connect ~dst ~port k =
+        Clientos.spawn host ~name:"client" (fun () ->
+            Kclock.sleep_ns 2_000_000;
+            let s = Bsd_socket.tcp_socket stack in
+            ok (Bsd_socket.so_connect s ~dst ~dport:port);
+            k (of_tsock s))
+      in
+      serve, connect
+  | Linux ->
+      let stack = Clientos.linux_host host ~ip:addr ~mask in
+      let of_sock s =
+        { send = (fun b len -> ok (Linux_inet.send stack s ~buf:b ~pos:0 ~len));
+          recv = (fun b len -> ok (Linux_inet.recv stack s ~buf:b ~pos:0 ~len));
+          close = (fun () -> Linux_inet.close stack s) }
+      in
+      let serve ~port k =
+        Clientos.spawn host ~name:"server" (fun () ->
+            let ls = Linux_inet.socket stack in
+            Linux_inet.bind stack ls ~port;
+            Linux_inet.listen stack ls ~backlog:2;
+            k (of_sock (ok (Linux_inet.accept stack ls))))
+      in
+      let connect ~dst ~port k =
+        Clientos.spawn host ~name:"client" (fun () ->
+            Kclock.sleep_ns 2_000_000;
+            let s = Linux_inet.socket stack in
+            ok (Linux_inet.connect stack s ~dst ~dport:port);
+            k (of_sock s))
+      in
+      serve, connect
+
+type transfer_result = {
+  mbit_sender : float; (* bandwidth from the sender's clock, ttcp-style *)
+  mbit_e2e : float;
+  copies_per_kpkt : int;
+  crossings_per_kpkt : int;
+  packets : int;
+}
+
+(* ttcp: [sender] pushes blocks x blocksize to [receiver]. *)
+let transfer ~sender ~receiver ~blocks ~blocksize =
+  Clientos.reset_globals ();
+  Fdev.clear_drivers ();
+  let tb = Clientos.make_testbed ~models:("3c905", "tulip") () in
+  let total = blocks * blocksize in
+  let serve, _ = setup receiver tb.Clientos.host_b ~addr:(ip "10.0.0.2") in
+  let _, connect = setup sender tb.Clientos.host_a ~addr:(ip "10.0.0.1") in
+  let send_ns = ref 0 and recv_done = ref 0 in
+  serve ~port:5001 (fun s ->
+      let buf = Bytes.create 16384 in
+      let rec loop () =
+        match s.recv buf 16384 with
+        | 0 ->
+            recv_done := Machine.now tb.Clientos.host_b.Clientos.machine;
+            s.close ()
+        | _ -> loop ()
+      in
+      loop ());
+  connect ~dst:(ip "10.0.0.2") ~port:5001 (fun s ->
+      let block = Bytes.make blocksize 'T' in
+      let t0 = Machine.now tb.Clientos.host_a.Clientos.machine in
+      for _ = 1 to blocks do
+        if s.send block blocksize <> blocksize then failwith "short send"
+      done;
+      send_ns := Machine.now tb.Clientos.host_a.Clientos.machine - t0;
+      s.close ());
+  Cost.reset_counters ();
+  Clientos.run tb ~until:(fun () -> !recv_done > 0);
+  let packets = Wire.frames_carried tb.Clientos.wire in
+  { mbit_sender = float_of_int total *. 8e3 /. float_of_int !send_ns;
+    mbit_e2e = float_of_int total *. 8e3 /. float_of_int !recv_done;
+    copies_per_kpkt = Cost.counters.Cost.copies * 1000 / max 1 packets;
+    crossings_per_kpkt = Cost.counters.Cost.glue_crossings * 1000 / max 1 packets;
+    packets }
+
+(* rtcp: 1-byte round trips, both sides in [config]. *)
+let rtt_us config ~trips =
+  Clientos.reset_globals ();
+  Fdev.clear_drivers ();
+  let tb = Clientos.make_testbed ~models:("3c905", "tulip") () in
+  let serve, _ = setup config tb.Clientos.host_b ~addr:(ip "10.0.0.2") in
+  let _, connect = setup config tb.Clientos.host_a ~addr:(ip "10.0.0.1") in
+  let result = ref 0.0 in
+  serve ~port:5002 (fun s ->
+      let buf = Bytes.create 1 in
+      let rec loop () =
+        match s.recv buf 1 with
+        | 0 -> s.close ()
+        | _ ->
+            ignore (s.send buf 1);
+            loop ()
+      in
+      loop ());
+  connect ~dst:(ip "10.0.0.2") ~port:5002 (fun s ->
+      let one = Bytes.make 1 'R' in
+      let buf = Bytes.create 1 in
+      ignore (s.send one 1);
+      ignore (s.recv buf 1);
+      let t0 = Machine.now tb.Clientos.host_a.Clientos.machine in
+      for _ = 1 to trips do
+        ignore (s.send one 1);
+        ignore (s.recv buf 1)
+      done;
+      result :=
+        float_of_int (Machine.now tb.Clientos.host_a.Clientos.machine - t0)
+        /. float_of_int trips /. 1e3;
+      s.close ());
+  Clientos.run tb ~until:(fun () -> !result > 0.0);
+  !result
+
+(* Section 6.2.6: throughput measured from inside the bytecode VM on the
+   OSKit configuration.  The VM program loops sys_recv (or sys_send); the
+   other side is a native FreeBSD peer. *)
+let vm_throughput ~direction ~bytes =
+  Clientos.reset_globals ();
+  Fdev.clear_drivers ();
+  let tb = Clientos.make_testbed ~models:("3c905", "tulip") () in
+  let vm_host = tb.Clientos.host_a and peer = tb.Clientos.host_b in
+  let env, _ = Clientos.oskit_host vm_host ~ip:(ip "10.0.0.1") ~mask in
+  let stack = Clientos.freebsd_host peer ~ip:(ip "10.0.0.2") ~mask in
+  let finished_ns = ref 0 in
+  let chunk = 8192 in
+  (* VM program: loop { n = sys(recv/send)(heap 8192, 8192); global1 += n;
+     if global1 >= global0 halt }.  global0 preloaded with the target. *)
+  let sys_no = if direction = `Receive then Vm.sys_recv else Vm.sys_send in
+  let program =
+    [| Vm.Push bytes; Vm.Store 0; Vm.Push 0; Vm.Store 1;
+       (* loop: *)
+       Vm.Push 8192; Vm.Push chunk; Vm.Sys sys_no;
+       Vm.Dup; Vm.Jz 20 (* eof -> halt *);
+       Vm.Load 1; Vm.Add; Vm.Store 1;
+       Vm.Load 1; Vm.Load 0; Vm.Lt; Vm.Jz 20 (* done -> halt *);
+       Vm.Jmp 4;
+       Vm.Halt; Vm.Halt; Vm.Halt;
+       (* 20: *)
+       Vm.Halt |]
+  in
+  (* Peer: FreeBSD-native source or sink. *)
+  Clientos.spawn peer ~name:"peer" (fun () ->
+      let ls = Bsd_socket.tcp_socket stack in
+      ok (Bsd_socket.so_bind ls ~port:5003);
+      ok (Bsd_socket.so_listen ls ~backlog:1);
+      let conn = ok (Bsd_socket.so_accept ls) in
+      let buf = Bytes.make chunk 'V' in
+      (match direction with
+      | `Receive ->
+          (* Peer sends [bytes] to the VM. *)
+          let rec push sent =
+            if sent < bytes then begin
+              let n = ok (Bsd_socket.so_send conn ~buf ~pos:0 ~len:(min chunk (bytes - sent))) in
+              push (sent + n)
+            end
+          in
+          push 0;
+          ignore (Bsd_socket.so_close conn)
+      | `Send ->
+          let rec sink () =
+            match ok (Bsd_socket.so_recv conn ~buf ~pos:0 ~len:chunk) with
+            | 0 -> ()
+            | _ -> sink ()
+          in
+          sink ()));
+  Clientos.spawn vm_host ~name:"vm" (fun () ->
+      Kclock.sleep_ns 2_000_000;
+      let fd = ok (Posix.socket env Io_if.Sock_stream) in
+      ok (Posix.connect env fd { Io_if.sin_addr = ip "10.0.0.2"; sin_port = 5003 });
+      let bindings =
+        { Vm.putc = (fun _ -> ());
+          send =
+            (fun b ~pos ~len ->
+              match Posix.send env fd b ~pos ~len with
+              | Ok n ->
+                  Cost.charge_copy n (* the VM-heap copy *);
+                  n
+              | Error _ -> 0);
+          recv =
+            (fun b ~pos ~len ->
+              match Posix.recv env fd b ~pos ~len with
+              | Ok n ->
+                  Cost.charge_copy n;
+                  n
+              | Error _ -> 0);
+          time_ns = (fun () -> Machine.now vm_host.Clientos.machine) }
+      in
+      let vm = Vm.create ~heap_size:(64 * 1024) ~bindings program in
+      let t0 = Machine.now vm_host.Clientos.machine in
+      ignore (Vm.run ~fuel:200_000_000 vm);
+      (match direction with `Send -> ignore (Posix.shutdown env fd) | `Receive -> ());
+      finished_ns := Machine.now vm_host.Clientos.machine - t0);
+  Clientos.run tb ~until:(fun () -> !finished_ns > 0);
+  float_of_int bytes *. 8e3 /. float_of_int !finished_ns

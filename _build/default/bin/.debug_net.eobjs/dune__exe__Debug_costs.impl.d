@@ -1,0 +1,1 @@
+bin/debug_costs.ml: Bsd_socket Bytes Clientos Cost Error Fdev Kclock Machine Oskit Printf Tcp

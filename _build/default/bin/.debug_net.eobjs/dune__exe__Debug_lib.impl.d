@@ -1,0 +1,1 @@
+bin/debug_lib.ml: Bsd_socket Bytes Clientos Error Fdev Io_if Kclock Linux_inet Oskit Posix Printf Tcp World

@@ -1,0 +1,1 @@
+bin/debug_loss.ml: Bsd_socket Buffer Bytes Char Error Kclock List Machine Native_if Nic Oskit Printexc Printf Sockbuf Tcp Thread Wire World

@@ -1,0 +1,1 @@
+bin/debug_net.ml: Array Debug_lib Sys

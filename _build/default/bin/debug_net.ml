@@ -1,0 +1,7 @@
+(* usage: debug_net (freebsd|oskit|linux) <bytes> *)
+let () =
+  match Sys.argv.(1) with
+  | "freebsd" -> Debug_lib.run_freebsd (int_of_string Sys.argv.(2))
+  | "oskit" -> Debug_lib.run_oskit (int_of_string Sys.argv.(2))
+  | "linux" -> Debug_lib.run_linux (int_of_string Sys.argv.(2))
+  | _ -> failwith "usage"

@@ -1,0 +1,1 @@
+examples/debug_session.ml: Buffer Bytes Char Gdb_proto Gdb_stub Kclock Kernel List Machine Physmem Printf Queue Serial String Thread Trap World

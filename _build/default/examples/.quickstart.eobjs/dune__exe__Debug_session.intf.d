@@ -1,0 +1,1 @@
+examples/debug_session.mli:

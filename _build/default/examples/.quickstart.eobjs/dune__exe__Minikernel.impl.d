@@ -1,0 +1,1 @@
+examples/minikernel.ml: Amm Bootmem Bootmod_fs Bytes Exec Io_if Kclock Kernel List Lmm Loader Machine Option Page_table Physmem Posix Printexc Printf Queue Sleep_record String Thread World

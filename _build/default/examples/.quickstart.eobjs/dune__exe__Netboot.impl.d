@@ -1,0 +1,1 @@
+examples/netboot.ml: Buffer Bytes Clientos Error Fdev Fs_glue Io_if Kclock Loader Machine Mem_blkio Multiboot Oskit Physmem Posix Printf String World

@@ -1,0 +1,1 @@
+examples/netboot.mli:

@@ -1,0 +1,1 @@
+examples/netcomputer.ml: Bootmod_fs Bytes Clientos Cost Error Fdev Io_if Kclock Kernel Loader Machine Oskit Posix Printf Trap Vm World

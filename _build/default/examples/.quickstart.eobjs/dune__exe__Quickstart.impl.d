@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bootmem Bootmod_fs Bytes Error Kernel Lmm Loader Machine Ministdio Multiboot Physmem Posix Printf World

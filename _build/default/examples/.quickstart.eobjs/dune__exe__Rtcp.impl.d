@@ -1,0 +1,1 @@
+examples/rtcp.ml: Array Bsd_socket Bytes Clientos Error Fdev Io_if Kclock Linux_inet Machine Oskit Posix Printf Sys

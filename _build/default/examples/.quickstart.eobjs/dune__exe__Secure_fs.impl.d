@@ -1,0 +1,1 @@
+examples/secure_fs.ml: Buffer Bytes Com Error Fs_glue Hashtbl Iid Io_if Lazy List Mem_blkio Option Posix Printf Result String

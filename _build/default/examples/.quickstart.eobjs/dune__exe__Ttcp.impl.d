@@ -1,0 +1,1 @@
+examples/ttcp.ml: Array Bsd_socket Bytes Clientos Cost Error Fdev Io_if Kclock Linux_inet Machine Oskit Posix Printf Sys

@@ -1,0 +1,128 @@
+(* debug_session — the source-level kernel debugging story of Section 3.5.
+
+   "The OSKit's kernel support library includes a serial-line stub for the
+   GNU debugger ... a small module that handles traps in the client OS
+   environment and communicates over a serial line with GDB running on
+   another machine."
+
+   Two simulated PCs are connected null-modem: the target runs a client
+   kernel whose trap handler enters the GDB stub; the "developer
+   workstation" drives the stub with real remote-serial-protocol packets —
+   reading registers, inspecting and patching target memory, setting a
+   breakpoint, and resuming the kernel. *)
+
+let () =
+  let world = World.create () in
+  let target = Machine.create ~name:"target-pc" world in
+  let devbox = Machine.create ~name:"dev-pc" world in
+  let tkernel = Kernel.create target in
+  let _dkernel = Kernel.create devbox in
+
+  (* Null-modem between the two machines. *)
+  let t_serial = Serial.create ~machine:target ~irq:3 () in
+  let d_serial = Serial.create ~machine:devbox ~irq:3 () in
+  Serial.connect t_serial d_serial;
+
+  (* Target side: the stub, fed from the serial IRQ; traps enter it. *)
+  let stub =
+    Gdb_stub.create ~ram:(Machine.ram target)
+      ~send:(fun s -> Machine.run_in target (fun () -> Serial.write_string t_serial s))
+  in
+  let resumed = ref false in
+  Machine.set_irq_handler target ~irq:3 (fun () ->
+      let b = Buffer.create 16 in
+      let rec drain () =
+        match Serial.read_byte t_serial with
+        | Some c ->
+            Buffer.add_char b (Char.chr c);
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      match Gdb_stub.feed stub (Buffer.contents b) with
+      | `Resume `Continue -> resumed := true
+      | `Resume `Step | `Killed | `Stopped -> ());
+  Machine.unmask_irq target ~irq:3;
+
+  (* Something recognisable in target memory. *)
+  Physmem.blit_from_bytes (Machine.ram target)
+    ~src:(Bytes.of_string "kernel panic: NULL at line 42") ~src_pos:0 ~dst_addr:0x5000
+    ~len:29;
+
+  (* The client kernel hits a breakpoint trap and enters the stub. *)
+  Kernel.spawn tkernel ~name:"client-os" (fun () ->
+      print_endline "[target] kernel running...";
+      let frame = Trap.make_frame ~eip:0x1234l Trap.T_breakpoint in
+      frame.Trap.eax <- 0xdeadbeefl;
+      frame.Trap.esp <- 0x9000l;
+      print_endline "[target] int3 — entering the GDB stub";
+      Gdb_stub.enter stub frame ~signal:5;
+      (* Kernel is now "stopped": wait for the remote to continue us. *)
+      while not !resumed do
+        Kclock.sleep_ns 1_000_000
+      done;
+      print_endline "[target] resumed by the debugger");
+
+  (* Developer side: a minimal GDB speaking the real protocol. *)
+  let d_parser = Gdb_proto.create_parser () in
+  let replies = Queue.create () in
+  Machine.set_irq_handler devbox ~irq:3 (fun () ->
+      let rec drain () =
+        match Serial.read_byte d_serial with
+        | Some c ->
+            (match Gdb_proto.feed d_parser (Char.chr c) with
+            | `Packet payload -> Queue.add payload replies
+            | `None | `Ack | `Nak | `Bad -> ());
+            drain ()
+        | None -> ()
+      in
+      drain ());
+  Machine.unmask_irq devbox ~irq:3;
+
+  let dsched = Thread.create_sched devbox in
+  Thread.install dsched;
+  let send_cmd cmd =
+    Machine.run_in devbox (fun () -> Serial.write_string d_serial (Gdb_proto.frame cmd))
+  in
+  let wait_reply () =
+    let rec w () =
+      match Queue.take_opt replies with
+      | Some r -> r
+      | None ->
+          Kclock.sleep_ns 500_000;
+          w ()
+    in
+    w ()
+  in
+  Thread.spawn dsched ~name:"gdb" (fun () ->
+      (* Wait for the stop reply announcing the trap. *)
+      let stop = wait_reply () in
+      Printf.printf "[gdb] target stopped: %s\n" stop;
+      send_cmd "g";
+      let regs = wait_reply () in
+      Printf.printf "[gdb] eax = 0x%s (little-endian wire: %s)\n"
+        (let le = String.sub regs 0 8 in
+         String.concat ""
+           (List.rev [ String.sub le 0 2; String.sub le 2 2; String.sub le 4 2; String.sub le 6 2 ]))
+        (String.sub regs 0 8);
+      send_cmd "m5000,1d";
+      let mem = wait_reply () in
+      Printf.printf "[gdb] x/s 0x5000: %S\n" (Gdb_proto.string_of_hex mem);
+      (* Patch the panic line number "42" (offset 0x1b) -> "13". *)
+      send_cmd ("M501b,2:" ^ Gdb_proto.hex_of_string "13");
+      Printf.printf "[gdb] patch reply: %s\n" (wait_reply ());
+      send_cmd "Z0,1234,1";
+      Printf.printf "[gdb] breakpoint set: %s\n" (wait_reply ());
+      send_cmd "c";
+      print_endline "[gdb] continue");
+  Machine.kick devbox;
+
+  World.run world ~until:(fun () -> !resumed);
+  (* Let the target print its resumption message. *)
+  World.run world ~until:(fun () -> World.pending world = 0);
+  let probe = Bytes.create 29 in
+  Physmem.blit_to_bytes (Machine.ram target) ~src_addr:0x5000 ~dst:probe ~dst_pos:0 ~len:29;
+  Printf.printf "[target] memory after patch: %S\n" (Bytes.to_string probe);
+  Printf.printf "[target] stub breakpoints: %s\n"
+    (String.concat ", "
+       (List.map (Printf.sprintf "%#lx") (Gdb_stub.breakpoints stub)))

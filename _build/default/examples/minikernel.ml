@@ -1,0 +1,147 @@
+(* minikernel — a Fluke-flavoured prototype kernel (Section 6.1.1).
+
+   "The OSKit has also enhanced and accelerated our OS research by allowing
+   us to quickly create several prototype kernels in order to explore ideas
+   before investing the effort necessary to incorporate these ideas into
+   the much larger primary development system."
+
+   This prototype explores an IPC design: synchronous ports with
+   capability-like handles, layered entirely on OSKit pieces — threads and
+   sleep records from the kernel library, address spaces from AMM + page
+   tables over LMM memory, program loading from exec + boot modules.  It
+   runs three "user tasks" that talk through ports. *)
+
+(* --- the experimental IPC layer (the "research" part) --- *)
+
+type message = { sender : string; payload : string }
+
+type port = {
+  port_name : string;
+  queue : message Queue.t;
+  mutable capacity : int;
+  recv_wait : Sleep_record.t;
+  send_wait : Sleep_record.t;
+}
+
+let make_port ?(capacity = 4) name =
+  { port_name = name; queue = Queue.create (); capacity;
+    recv_wait = Sleep_record.create ~name:(name ^ ".recv") ();
+    send_wait = Sleep_record.create ~name:(name ^ ".send") () }
+
+(* Synchronous bounded send: blocks while the queue is full. *)
+let port_send port msg =
+  while Queue.length port.queue >= port.capacity do
+    Sleep_record.sleep port.send_wait
+  done;
+  Queue.add msg port.queue;
+  Sleep_record.wakeup port.recv_wait
+
+let port_recv port =
+  let rec wait () =
+    match Queue.take_opt port.queue with
+    | Some msg ->
+        Sleep_record.wakeup port.send_wait;
+        msg
+    | None ->
+        Sleep_record.sleep port.recv_wait;
+        wait ()
+  in
+  wait ()
+
+(* --- task address spaces from OSKit memory components --- *)
+
+type task = { task_name : string; aspace : Amm.t; pt : Page_table.t }
+
+let () =
+  let world = World.create () in
+  let machine = Machine.create ~name:"fluke-proto" world in
+  let kernel = Kernel.create machine in
+  let ram = Machine.ram machine in
+
+  (* Boot with a user program as a boot module. *)
+  let user_prog =
+    Exec.pack
+      { Exec.entry = 0x400000l; load_va = 0x400000l;
+        text = String.make 8192 '\x90'; data = "initialised"; bss_size = 4096 }
+  in
+  let image = Loader.make_image ~payload:"minikernel" in
+  let loaded =
+    Loader.load machine ~image ~cmdline:"minikernel ipc-experiment"
+      ~modules:[ "servers/init", Bytes.to_string user_prog ]
+  in
+  let lmm = Lmm.create () in
+  Bootmem.populate lmm loaded ~ram_bytes:(Physmem.size ram);
+
+  let alloc_page () =
+    let a = Option.get (Lmm.alloc_page lmm ~flags:0) in
+    Physmem.fill ram ~addr:a ~len:4096 0;
+    a
+  in
+  let make_task name =
+    { task_name = name;
+      aspace = Amm.create ~lo:0x400000 ~hi:0x80000000 ~flags:Amm.free;
+      pt = Page_table.create ~ram ~alloc_page }
+  in
+
+  (* Load the init server from its boot module into a task. *)
+  let init_task = make_task "init" in
+  let bootfs = Bootmod_fs.make ram loaded.Loader.info in
+  let env = Posix.create_env () in
+  Posix.set_root env (Some bootfs);
+  Kernel.spawn kernel ~name:"loader" (fun () ->
+      match Posix.lookup env "/servers/init" with
+      | Ok (Io_if.Node_file f) ->
+          let st = match f.Io_if.f_getstat () with Ok st -> st | Error _ -> assert false in
+          let buf = Bytes.create st.Io_if.st_size in
+          (match f.Io_if.f_read ~buf ~pos:0 ~offset:0 ~amount:st.Io_if.st_size with
+          | Ok _ -> ()
+          | Error _ -> assert false);
+          (match Exec.parse buf with
+          | Ok img ->
+              (* Reserve the range in the task's address map, grab pages
+                 from the LMM, load, map. *)
+              let size = String.length img.Exec.text + String.length img.Exec.data + img.Exec.bss_size in
+              Amm.set init_task.aspace ~addr:0x400000 ~size ~flags:Amm.allocated;
+              let phys = Option.get (Lmm.alloc_aligned lmm ~size ~flags:0 ~align_bits:12 ~align_ofs:0) in
+              let l = Exec.load ram img ~at:phys in
+              Exec.map_into init_task.pt img l;
+              Printf.printf "[loader] %s: mapped %d pages at 0x400000 (entry %#lx)\n"
+                init_task.task_name
+                (Page_table.mapped_pages init_task.pt)
+                l.Exec.l_entry
+          | Error _ -> assert false)
+      | _ -> assert false);
+
+  (* --- three tasks exercising the IPC design --- *)
+  let name_service = make_port "name-service" in
+  let reply_port = make_port "reply" in
+  let log = ref [] in
+
+  Kernel.spawn kernel ~name:"nameserver" (fun () ->
+      (* Serve two requests, then exit. *)
+      for _ = 1 to 2 do
+        let req = port_recv name_service in
+        log := Printf.sprintf "nameserver <- %s: %s" req.sender req.payload :: !log;
+        port_send reply_port
+          { sender = "nameserver"; payload = "resolved:" ^ req.payload }
+      done);
+
+  Kernel.spawn kernel ~name:"client-a" (fun () ->
+      port_send name_service { sender = "client-a"; payload = "console" };
+      let r = port_recv reply_port in
+      log := Printf.sprintf "client-a <- %s" r.payload :: !log);
+
+  Kernel.spawn kernel ~name:"client-b" (fun () ->
+      Kclock.sleep_ns 1000;
+      port_send name_service { sender = "client-b"; payload = "disk0" };
+      let r = port_recv reply_port in
+      log := Printf.sprintf "client-b <- %s" r.payload :: !log);
+
+  World.run world;
+  List.iter print_endline (List.rev !log);
+  Printf.printf "address space of init: %d bytes allocated\n"
+    (Amm.bytes_matching init_task.aspace ~flags:Amm.allocated ~mask:max_int);
+  Printf.printf "free kernel memory: %d KB\n" (Lmm.avail lmm ~flags:0 / 1024);
+  match Thread.failures (Kernel.sched kernel) with
+  | [] -> print_endline "minikernel: all tasks completed"
+  | l -> List.iter (fun (n, e) -> Printf.printf "task %s died: %s\n" n (Printexc.to_string e)) l

@@ -1,0 +1,145 @@
+(* secure_fs — the highly secure file server of Section 3.8.
+
+   "The OSKit file system's exported COM interfaces ... are of sufficiently
+   fine granularity that we were able to leave untouched the internals of
+   the OSKit file system.  For example, the OSKit interface accepts only
+   single pathname components, allowing the security wrapping code to do
+   appropriate permission checking."
+
+   This example interposes a security wrapper between clients and the real
+   NetBSD-derived file system: every [lookup]/[create]/[unlink]/... goes
+   through a per-component mandatory access check against a label table.
+   Because names arrive one component at a time, the wrapper cannot be
+   bypassed with "../" tricks — the check happens at every step.  The
+   wrapped objects are ordinary COM [dir]/[file] interfaces, so the
+   unmodified POSIX layer runs on top of the wrapper. *)
+
+type principal = { name : string; clearance : int }
+
+let unclassified = 0
+let secret = 1
+
+(* The wrapper: a dir view that filters by label.  Labels attach to names
+   created with [set_label]; everything else is unclassified. *)
+let label_table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let label_of name = Option.value (Hashtbl.find_opt label_table name) ~default:unclassified
+
+let audit_log = Buffer.create 256
+
+let audit principal op name allowed =
+  Buffer.add_string audit_log
+    (Printf.sprintf "%-6s %-8s %-16s %s\n" principal.name op name
+       (if allowed then "PERMIT" else "DENY"))
+
+let rec wrap_dir principal (inner : Io_if.dir) : Io_if.dir =
+  let check op name =
+    let allowed = label_of name <= principal.clearance in
+    audit principal op name allowed;
+    allowed
+  in
+  let wrap_node = function
+    | Io_if.Node_dir d -> Io_if.Node_dir (wrap_dir principal d)
+    | Io_if.Node_file f -> Io_if.Node_file f
+  in
+  let rec view () =
+    { Io_if.d_unknown = unknown ();
+      d_getstat = inner.Io_if.d_getstat;
+      d_lookup =
+        (fun name ->
+          if check "lookup" name then Result.map wrap_node (inner.Io_if.d_lookup name)
+          else Result.Error Error.Acces);
+      d_create =
+        (fun name ->
+          if check "create" name then inner.Io_if.d_create name
+          else Result.Error Error.Acces);
+      d_mkdir =
+        (fun name ->
+          if check "mkdir" name then
+            Result.map (wrap_dir principal) (inner.Io_if.d_mkdir name)
+          else Result.Error Error.Acces);
+      d_unlink =
+        (fun name ->
+          if check "unlink" name then inner.Io_if.d_unlink name
+          else Result.Error Error.Acces);
+      d_rmdir =
+        (fun name ->
+          if check "rmdir" name then inner.Io_if.d_rmdir name else Result.Error Error.Acces);
+      d_rename =
+        (fun src dst_dir dst_name ->
+          if check "rename" src && check "rename" dst_name then
+            inner.Io_if.d_rename src dst_dir dst_name
+          else Result.Error Error.Acces);
+      d_readdir =
+        (fun () ->
+          (* Directory listings are filtered: names above clearance do not
+             exist as far as this principal can tell. *)
+          Result.map
+            (List.filter (fun name -> label_of name <= principal.clearance))
+            (inner.Io_if.d_readdir ()));
+      d_sync = inner.Io_if.d_sync }
+  and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.dir_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  view ()
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("secure_fs: " ^ Error.to_string e)
+
+let expect_denied label = function
+  | Error Error.Acces -> Printf.printf "  %-34s -> EACCES (as intended)\n" label
+  | Ok _ -> Printf.printf "  %-34s -> PERMITTED (security hole!)\n" label
+  | Error e -> Printf.printf "  %-34s -> %s\n" label (Error.to_string e)
+
+let () =
+  (* A real file system on a RAM disk, populated by an administrator. *)
+  let dev = Mem_blkio.make ~bytes:(2 * 1024 * 1024) () in
+  let real_root = ok (Fs_glue.newfs dev) in
+  let admin_env = Posix.create_env () in
+  Posix.set_root admin_env (Some real_root);
+  let write_file env path content =
+    let fd = ok (Posix.open_ env path (Posix.o_creat lor Posix.o_rdwr)) in
+    let b = Bytes.of_string content in
+    ignore (ok (Posix.write env fd b ~pos:0 ~len:(Bytes.length b)));
+    ok (Posix.close env fd)
+  in
+  ok (Posix.mkdir admin_env "/pub");
+  ok (Posix.mkdir admin_env "/vault");
+  write_file admin_env "/pub/readme" "public information";
+  write_file admin_env "/vault/launch-codes" "OSKIT-1997";
+  Hashtbl.replace label_table "vault" secret;
+  Hashtbl.replace label_table "launch-codes" secret;
+
+  (* Two principals get POSIX environments over *wrapped* roots.  The file
+     system internals are untouched; only the wrapper differs. *)
+  let alice = { name = "alice"; clearance = secret } in
+  let mallory = { name = "mallory"; clearance = unclassified } in
+  let env_of principal =
+    let env = Posix.create_env () in
+    Posix.set_root env (Some (wrap_dir principal real_root));
+    env
+  in
+  let env_alice = env_of alice and env_mallory = env_of mallory in
+
+  Printf.printf "mallory (unclassified):\n";
+  (match Posix.readdir env_mallory "/" with
+  | Ok names -> Printf.printf "  sees in /: %s\n" (String.concat ", " (List.sort compare names))
+  | Error e -> failwith (Error.to_string e));
+  expect_denied "open /vault/launch-codes" (Posix.open_ env_mallory "/vault/launch-codes" Posix.o_rdonly);
+  expect_denied "unlink /vault/launch-codes" (Posix.unlink env_mallory "/vault/launch-codes");
+  expect_denied "creating file in /vault" (Posix.open_ env_mallory "/vault/dropper" (Posix.o_creat lor Posix.o_rdwr));
+  (* The public file is fine. *)
+  let fd = ok (Posix.open_ env_mallory "/pub/readme" Posix.o_rdonly) in
+  let buf = Bytes.create 64 in
+  let n = ok (Posix.read env_mallory fd buf ~pos:0 ~len:64) in
+  Printf.printf "  reads /pub/readme: %S\n" (Bytes.sub_string buf 0 n);
+
+  Printf.printf "alice (secret clearance):\n";
+  (match Posix.readdir env_alice "/" with
+  | Ok names -> Printf.printf "  sees in /: %s\n" (String.concat ", " (List.sort compare names))
+  | Error e -> failwith (Error.to_string e));
+  let fd = ok (Posix.open_ env_alice "/vault/launch-codes" Posix.o_rdonly) in
+  let n = ok (Posix.read env_alice fd buf ~pos:0 ~len:64) in
+  Printf.printf "  reads /vault/launch-codes: %S\n" (Bytes.sub_string buf 0 n);
+
+  Printf.printf "\naudit log:\n%s" (Buffer.contents audit_log)

@@ -1,0 +1,102 @@
+type t = {
+  lo : int;
+  hi : int;
+  mutable spans : (int * int * int) list; (* (start, end_exclusive, flags), ascending, exhaustive *)
+}
+
+let free = 0
+let allocated = 1
+let reserved = 2
+
+let create ~lo ~hi ~flags =
+  if hi <= lo then invalid_arg "Amm.create: empty interval";
+  { lo; hi; spans = [ lo, hi, flags ] }
+
+let lo t = t.lo
+let hi t = t.hi
+
+let get t addr =
+  if addr < t.lo || addr >= t.hi then invalid_arg "Amm.get: out of range";
+  let _, _, flags = List.find (fun (s, e, _) -> addr >= s && addr < e) t.spans in
+  flags
+
+let coalesce spans =
+  let rec go = function
+    | (s1, e1, f1) :: (s2, e2, f2) :: rest when e1 = s2 && f1 = f2 ->
+        go ((s1, e2, f1) :: rest)
+    | x :: rest -> x :: go rest
+    | [] -> []
+  in
+  go spans
+
+let check_range t addr size =
+  if size < 0 || addr < t.lo || addr + size > t.hi then
+    invalid_arg "Amm: range outside the map"
+
+let modify t ~addr ~size f =
+  check_range t addr size;
+  if size > 0 then begin
+    let a = addr and b = addr + size in
+    let split (s, e, fl) =
+      (* Pieces of one span after cutting at a and b; the middle piece gets
+         its flags rewritten. *)
+      let pieces = ref [] in
+      let add s' e' fl' = if s' < e' then pieces := (s', e', fl') :: !pieces in
+      add s (min e a) fl;
+      add (max s a) (min e b) (f fl);
+      add (max s b) e fl;
+      List.rev !pieces
+    in
+    t.spans <- coalesce (List.concat_map split t.spans)
+  end
+
+let set t ~addr ~size ~flags = modify t ~addr ~size (fun _ -> flags)
+
+let find_gen t ~size ~flags ~mask ?(align_bits = 0) ?(lower_bound = min_int) () =
+  if size <= 0 then invalid_arg "Amm.find_gen: size";
+  let align = 1 lsl align_bits in
+  let align_up x = (x + align - 1) land lnot (align - 1) in
+  (* Scan maximal runs of satisfying spans. *)
+  let matches fl = fl land mask = flags in
+  let rec scan spans =
+    match spans with
+    | [] -> None
+    | (s, _, fl) :: _ when matches fl -> (
+        (* Extend the run. *)
+        let rec run_end = function
+          | (_, e1, f1) :: ((s2, _, f2) :: _ as rest) when matches f1 && e1 = s2 && matches f2
+            ->
+            run_end rest
+          | (_, e1, f1) :: _ when matches f1 -> e1
+          | _ -> assert false
+        in
+        let e = run_end spans in
+        let base = align_up (max s lower_bound) in
+        if base + size <= e then Some base
+        else
+          match spans with
+          | _ :: rest -> scan rest
+          | [] -> None)
+    | _ :: rest -> scan rest
+  in
+  scan t.spans
+
+let allocate t ~size ?(align_bits = 0) () =
+  match find_gen t ~size ~flags:free ~mask:max_int ~align_bits () with
+  | None -> None
+  | Some addr ->
+      set t ~addr ~size ~flags:allocated;
+      Some addr
+
+let deallocate t ~addr ~size = set t ~addr ~size ~flags:free
+
+let entries t = List.map (fun (s, e, f) -> s, e - s, f) t.spans
+let iter t f = List.iter (fun (addr, size, flags) -> f ~addr ~size ~flags) (entries t)
+
+let bytes_matching t ~flags ~mask =
+  List.fold_left (fun acc (s, e, f) -> if f land mask = flags then acc + (e - s) else acc) 0 t.spans
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>amm [%#x, %#x):" t.lo t.hi;
+  List.iter (fun (s, e, f) -> Format.fprintf fmt "@,  %#x..%#x flags=%#x" s e f) t.spans;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,57 @@
+(** The Address Map Manager (Section 3.3).
+
+    Manages address spaces that need not map to real memory at all:
+    process address spaces, paging partitions, free-block maps, IPC
+    namespaces.  An AMM covers a fixed interval [\[lo, hi)] with
+    non-overlapping, exhaustive entries, each carrying a client-defined
+    attribute word; adjacent entries with equal attributes coalesce.
+
+    Conventional attribute values {!free}, {!allocated} and {!reserved} are
+    provided but nothing in the implementation depends on them. *)
+
+type t
+
+val free : int
+val allocated : int
+val reserved : int
+
+(** [create ~lo ~hi ~flags] covers the whole interval with one entry. *)
+val create : lo:int -> hi:int -> flags:int -> t
+
+val lo : t -> int
+val hi : t -> int
+
+(** Attribute at one address.  Raises [Invalid_argument] outside
+    [\[lo, hi)]. *)
+val get : t -> int -> int
+
+(** [set t ~addr ~size ~flags] rewrites the attributes of a range
+    (splitting and merging entries as needed). *)
+val set : t -> addr:int -> size:int -> flags:int -> unit
+
+(** [modify t ~addr ~size f] maps each entry's attribute word through [f]
+    over the given range. *)
+val modify : t -> addr:int -> size:int -> (int -> int) -> unit
+
+(** [find_gen t ~size ~flags ~mask ?align_bits ?lower_bound ()] returns the
+    base of the first (lowest-addressed) aligned sub-range of at least
+    [size] whose entries all satisfy [attr land mask = flags]. *)
+val find_gen :
+  t -> size:int -> flags:int -> mask:int -> ?align_bits:int -> ?lower_bound:int -> unit -> int option
+
+(** [allocate t ~size] finds a {!free} range, marks it {!allocated}, and
+    returns its base. *)
+val allocate : t -> size:int -> ?align_bits:int -> unit -> int option
+
+(** [deallocate t ~addr ~size] marks the range {!free}. *)
+val deallocate : t -> addr:int -> size:int -> unit
+
+(** Entries in ascending order as [(addr, size, flags)]. *)
+val entries : t -> (int * int * int) list
+
+val iter : t -> (addr:int -> size:int -> flags:int -> unit) -> unit
+
+(** Total bytes whose attributes satisfy [attr land mask = flags]. *)
+val bytes_matching : t -> flags:int -> mask:int -> int
+
+val pp : Format.formatter -> t -> unit

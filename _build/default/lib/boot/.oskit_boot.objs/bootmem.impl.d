@@ -1,0 +1,1 @@
+lib/boot/bootmem.ml: Int List Lmm Loader Multiboot Physmem

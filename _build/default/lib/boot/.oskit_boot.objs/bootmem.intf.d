@@ -1,0 +1,1 @@
+lib/boot/bootmem.mli: Lmm Loader

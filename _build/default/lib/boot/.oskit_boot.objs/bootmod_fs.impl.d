@@ -1,0 +1,1 @@
+lib/boot/bootmod_fs.ml: Com Cost Error Hashtbl Iid Io_if Lazy List Multiboot Physmem Result String

@@ -1,0 +1,1 @@
+lib/boot/bootmod_fs.mli: Io_if Multiboot Physmem

@@ -1,0 +1,1 @@
+lib/boot/loader.ml: Bytes Int32 List Machine Multiboot Physmem Result String

@@ -1,0 +1,1 @@
+lib/boot/loader.mli: Machine Multiboot

@@ -1,0 +1,1 @@
+lib/boot/multiboot.ml: Buffer Bytes Char Int32 List Physmem String

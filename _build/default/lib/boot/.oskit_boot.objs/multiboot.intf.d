@@ -1,0 +1,1 @@
+lib/boot/multiboot.mli: Physmem

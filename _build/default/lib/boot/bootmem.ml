@@ -1,0 +1,42 @@
+let add_standard_regions lmm ~ram_bytes =
+  let low = Lmm.flag_low_1mb lor Lmm.flag_low_16mb in
+  Lmm.add_region lmm ~min:0 ~size:Physmem.low_limit ~flags:low ~pri:0;
+  if ram_bytes > Physmem.low_limit then
+    Lmm.add_region lmm ~min:Physmem.low_limit
+      ~size:(min ram_bytes Physmem.dma_limit - Physmem.low_limit)
+      ~flags:Lmm.flag_low_16mb ~pri:1;
+  if ram_bytes > Physmem.dma_limit then
+    Lmm.add_region lmm ~min:Physmem.dma_limit ~size:(ram_bytes - Physmem.dma_limit) ~flags:0
+      ~pri:2
+
+(* Subtract each reserved interval from [base, limit), donating what is
+   left. *)
+let rec donate lmm ~base ~limit reserved =
+  if base < limit then
+    match
+      List.filter (fun (lo, hi) -> lo < limit && hi > base) reserved
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    with
+    | [] -> Lmm.add_free lmm ~addr:base ~size:(limit - base)
+    | (lo, hi) :: _ ->
+        if base < lo then Lmm.add_free lmm ~addr:base ~size:(lo - base);
+        donate lmm ~base:(max base hi) ~limit reserved
+
+let page_up a = (a + 4095) land lnot 4095
+
+let populate lmm (loaded : Loader.loaded) ~ram_bytes =
+  add_standard_regions lmm ~ram_bytes;
+  let reserved =
+    (loaded.kernel_start, page_up loaded.kernel_end)
+    :: (loaded.info_addr, page_up (loaded.info_addr + 8192))
+    :: List.map
+         (fun (lo, hi) -> lo, page_up hi)
+         (Multiboot.reserved_ranges loaded.info)
+  in
+  List.iter
+    (fun e ->
+      if e.Multiboot.mm_available then
+        donate lmm ~base:e.Multiboot.mm_base
+          ~limit:(min ram_bytes (e.Multiboot.mm_base + e.Multiboot.mm_length))
+          reserved)
+    loaded.info.Multiboot.mmap

@@ -1,0 +1,16 @@
+(** Boot-time memory setup.
+
+    What the kernel support library does by default on entry (Section 3.2):
+    take the loader's memory map, feed the available ranges to the LMM with
+    the PC memory types declared, and reserve the kernel image, the info
+    structure, and every boot module "so that the application can easily
+    make use of them later on". *)
+
+(** Declares the standard x86 regions on [lmm]: <1 MB (low+DMA flags,
+    lowest priority), 1-16 MB (DMA flag), and >16 MB (highest priority). *)
+val add_standard_regions : Lmm.t -> ram_bytes:int -> unit
+
+(** [populate lmm loaded ~ram_bytes] = standard regions + all available
+    memory from the memory map, minus the kernel, info structure and
+    modules. *)
+val populate : Lmm.t -> Loader.loaded -> ram_bytes:int -> unit

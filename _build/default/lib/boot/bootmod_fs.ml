@@ -1,0 +1,91 @@
+(* A tiny immutable tree assembled from the module list, then wrapped in
+   COM dir/file interfaces on demand. *)
+
+type tree = Tfile of Multiboot.module_ | Tdir of (string * tree) list ref
+
+let insert root path m =
+  let rec go node = function
+    | [] -> ()
+    | [ leaf ] -> (
+        match node with
+        | Tdir entries -> entries := (leaf, Tfile m) :: List.remove_assoc leaf !entries
+        | Tfile _ -> ())
+    | comp :: rest -> (
+        match node with
+        | Tfile _ -> ()
+        | Tdir entries -> (
+            match List.assoc_opt comp !entries with
+            | Some child -> go child rest
+            | None ->
+                let child = Tdir (ref []) in
+                entries := (comp, child) :: !entries;
+                go child rest))
+  in
+  go root path
+
+let err_rofs _ = Result.Error Error.Rofs
+
+let rec file_of ram m ino : Io_if.file =
+  let size = m.Multiboot.mod_end - m.Multiboot.mod_start in
+  let rec view () =
+    { Io_if.f_unknown = unknown ();
+      f_read =
+        (fun ~buf ~pos ~offset ~amount ->
+          if offset < 0 then Result.Error Error.Inval
+          else begin
+            let n = max 0 (min amount (size - offset)) in
+            Physmem.blit_to_bytes ram ~src_addr:(m.Multiboot.mod_start + offset) ~dst:buf
+              ~dst_pos:pos ~len:n;
+            Cost.charge_copy n;
+            Ok n
+          end);
+      f_write = (fun ~buf:_ ~pos:_ ~offset:_ ~amount:_ -> Result.Error Error.Rofs);
+      f_getstat =
+        (fun () -> Ok { Io_if.st_ino = ino; st_size = size; st_kind = Io_if.Regular; st_nlink = 1 });
+      f_setsize = err_rofs;
+      f_sync = (fun () -> Ok ()) }
+  and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.file_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  view ()
+
+and dir_of ram entries ino : Io_if.dir =
+  let node_of name child =
+    match child with
+    | Tfile m -> Io_if.Node_file (file_of ram m (Hashtbl.hash name))
+    | Tdir sub -> Io_if.Node_dir (dir_of ram sub (Hashtbl.hash name))
+  in
+  let rec view () =
+    { Io_if.d_unknown = unknown ();
+      d_getstat =
+        (fun () ->
+          Ok
+            { Io_if.st_ino = ino;
+              st_size = List.length !entries;
+              st_kind = Io_if.Directory;
+              st_nlink = 1 });
+      d_lookup =
+        (fun name ->
+          match List.assoc_opt name !entries with
+          | Some child -> Ok (node_of name child)
+          | None -> Result.Error Error.Noent);
+      d_create = (fun _ -> Result.Error Error.Rofs);
+      d_mkdir = (fun _ -> Result.Error Error.Rofs);
+      d_unlink = err_rofs;
+      d_rmdir = err_rofs;
+      d_rename = (fun _ _ _ -> Result.Error Error.Rofs);
+      d_readdir = (fun () -> Ok (List.rev_map fst !entries));
+      d_sync = (fun () -> Ok ()) }
+  and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.dir_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  view ()
+
+let make ram info =
+  let root = Tdir (ref []) in
+  List.iter
+    (fun m ->
+      let path =
+        List.filter (fun c -> c <> "") (String.split_on_char '/' m.Multiboot.mod_string)
+      in
+      insert root path m)
+    info.Multiboot.modules;
+  match root with Tdir entries -> dir_of ram entries 2 | Tfile _ -> assert false

@@ -1,0 +1,12 @@
+(** The boot-module file system (Section 6.2.2).
+
+    "A simple RAM-disk file system accessible immediately upon bootstrap
+    through POSIX's standard open/close/read/write interfaces" — each boot
+    module appears as a read-only file named by its user-defined string,
+    backed directly by the physical memory the loader put it in (no copy).
+    Fluke used it as the root for its first server; ML/OS loaded its heap
+    image from it; Java/PC its class files. *)
+
+(** [make ram info] builds the root directory.  Module strings containing
+    ['/'] create intermediate directories. *)
+val make : Physmem.t -> Multiboot.info -> Io_if.dir

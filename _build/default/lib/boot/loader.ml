@@ -1,0 +1,102 @@
+let header_flags = 0x0
+
+(* The MultiBoot header must appear 4-aligned within the first 8192 bytes
+   of the image; we put it right at the front. *)
+let make_image ~payload =
+  let b = Bytes.create (12 + String.length payload) in
+  Bytes.set_int32_le b 0 Multiboot.header_magic;
+  Bytes.set_int32_le b 4 (Int32.of_int header_flags);
+  Bytes.set_int32_le b 8
+    (Int32.neg (Int32.add Multiboot.header_magic (Int32.of_int header_flags)));
+  Bytes.blit_string payload 0 b 12 (String.length payload);
+  b
+
+let validate_image img =
+  let limit = min (Bytes.length img - 12) 8192 in
+  let rec scan off =
+    if off > limit then Result.Error "no MultiBoot header in first 8KB"
+    else if Bytes.get_int32_le img off = Multiboot.header_magic then begin
+      let flags = Bytes.get_int32_le img (off + 4) in
+      let checksum = Bytes.get_int32_le img (off + 8) in
+      if Int32.add (Int32.add Multiboot.header_magic flags) checksum = 0l then Ok ()
+      else Result.Error "bad MultiBoot header checksum"
+    end
+    else scan (off + 4)
+  in
+  if Bytes.length img < 12 then Result.Error "image too small" else scan 0
+
+type loaded = {
+  info_addr : int;
+  info : Multiboot.info;
+  kernel_start : int;
+  kernel_end : int;
+}
+
+let page_up a = (a + 4095) land lnot 4095
+
+let load machine ~image ~cmdline ~modules =
+  (match validate_image image with
+  | Ok () -> ()
+  | Result.Error msg -> failwith ("boot loader: " ^ msg));
+  let ram = Machine.ram machine in
+  let total = Physmem.size ram in
+  let kernel_start = 0x100000 (* 1 MB, the conventional load address *) in
+  let kernel_end = kernel_start + Bytes.length image in
+  if kernel_end >= total then failwith "boot loader: kernel does not fit";
+  Physmem.blit_from_bytes ram ~src:image ~src_pos:0 ~dst_addr:kernel_start
+    ~len:(Bytes.length image);
+  (* Boot modules, page-aligned, above the kernel. *)
+  let cursor = ref (page_up kernel_end) in
+  let modules =
+    List.map
+      (fun (name, data) ->
+        let start = !cursor in
+        let len = String.length data in
+        if start + len >= total then failwith "boot loader: module does not fit";
+        Physmem.blit_from_bytes ram ~src:(Bytes.of_string data) ~src_pos:0 ~dst_addr:start
+          ~len;
+        cursor := page_up (start + len);
+        { Multiboot.mod_start = start; mod_end = start + len; mod_string = name })
+      modules
+  in
+  let info_addr = !cursor in
+  let info =
+    { Multiboot.mem_lower_kb = 640;
+      mem_upper_kb = (total - 0x100000) / 1024;
+      cmdline;
+      modules;
+      mmap =
+        [ { Multiboot.mm_base = 0; mm_length = 640 * 1024; mm_available = true };
+          { Multiboot.mm_base = 640 * 1024; mm_length = 0x100000 - (640 * 1024); mm_available = false };
+          { Multiboot.mm_base = 0x100000; mm_length = total - 0x100000; mm_available = true } ] }
+  in
+  let _end = Multiboot.encode ram info ~at:info_addr in
+  { info_addr; info; kernel_start; kernel_end }
+
+(* Container formats for the chain-load adaptors: a recognisable magic
+   prefix plus the payload length. *)
+
+let wrap tag img =
+  let b = Bytes.create (8 + Bytes.length img) in
+  Bytes.blit_string tag 0 b 0 4;
+  Bytes.set_int32_le b 4 (Int32.of_int (Bytes.length img));
+  Bytes.blit img 0 b 8 (Bytes.length img);
+  b
+
+let wrap_bsd = wrap "BSDb"
+let wrap_linux = wrap "LNXb"
+let wrap_dos = wrap "DOSb"
+
+let unwrap img =
+  if Bytes.length img < 8 then None
+  else
+    let tag = Bytes.sub_string img 0 4 in
+    if tag = "BSDb" || tag = "LNXb" || tag = "DOSb" then begin
+      let len = Int32.to_int (Bytes.get_int32_le img 4) in
+      if Bytes.length img >= 8 + len then Some (Bytes.sub img 8 len) else None
+    end
+    else None
+
+let load_wrapped machine ~image ~cmdline ~modules =
+  let image = match unwrap image with Some inner -> inner | None -> image in
+  load machine ~image ~cmdline ~modules

@@ -1,0 +1,42 @@
+(** Boot loaders.
+
+    [load] is a compliant MultiBoot loader for the simulated machine: it
+    places a kernel image and boot modules in extended memory, writes the
+    info structure, and reports where everything landed.  The [via_*]
+    adaptors reproduce the OSKit's tools for starting MultiBoot kernels
+    from older environments (BSD/Linux boot blocks, MS-DOS): each wraps the
+    image in that environment's format and then performs the same load. *)
+
+(** A MultiBoot kernel image: header + payload, as flat bytes.  The payload
+    stands in for the kernel text; the simulator never executes it, but the
+    loader checks the header exactly as a real one would. *)
+val make_image : payload:string -> bytes
+
+(** [validate_image img] checks magic and checksum within the first 8 KB,
+    per the specification. *)
+val validate_image : bytes -> (unit, string) result
+
+type loaded = {
+  info_addr : int;  (** where the info structure was written *)
+  info : Multiboot.info;
+  kernel_start : int;
+  kernel_end : int;
+}
+
+(** [load machine ~image ~cmdline ~modules] — modules are [(string, data)]
+    pairs, placed page-aligned above the kernel.  Raises [Failure] if the
+    image is not MultiBoot-compliant or memory is too small. *)
+val load : Machine.t -> image:bytes -> cmdline:string -> modules:(string * string) list -> loaded
+
+(** Chain-load adaptors (Section 3.1: "tools that allow these MultiBoot
+    kernels to be loaded from older BSD and Linux boot loaders, and from
+    MS-DOS").  Each wraps/unwraps its container format, then [load]s. *)
+
+val wrap_bsd : bytes -> bytes
+
+val wrap_linux : bytes -> bytes
+val wrap_dos : bytes -> bytes
+
+(** [load_wrapped] auto-detects the container, unwraps, and loads. *)
+val load_wrapped :
+  Machine.t -> image:bytes -> cmdline:string -> modules:(string * string) list -> loaded

@@ -1,0 +1,131 @@
+type module_ = { mod_start : int; mod_end : int; mod_string : string }
+type mmap_entry = { mm_base : int; mm_length : int; mm_available : bool }
+
+type info = {
+  mem_lower_kb : int;
+  mem_upper_kb : int;
+  cmdline : string;
+  modules : module_ list;
+  mmap : mmap_entry list;
+}
+
+let header_magic = 0x1BADB002l
+let boot_magic = 0x2BADB002l
+
+(* Info-structure flag bits, per the specification. *)
+let flag_mem = 0x1
+let flag_cmdline = 0x4
+let flag_mods = 0x8
+let flag_mmap = 0x40
+
+(* Field offsets within the fixed part, per the specification. *)
+let off_flags = 0
+let off_mem_lower = 4
+let off_mem_upper = 8
+let off_cmdline = 16
+let off_mods_count = 20
+let off_mods_addr = 24
+let off_mmap_length = 44
+let off_mmap_addr = 48
+let fixed_size = 52
+
+let put32 ram at v = Physmem.set32 ram at (Int32.of_int v)
+let get32 ram at = Int32.to_int (Physmem.get32 ram at) land 0xffffffff
+
+let put_cstring ram ~at s =
+  Physmem.blit_from_bytes ram ~src:(Bytes.of_string s) ~src_pos:0 ~dst_addr:at
+    ~len:(String.length s);
+  Physmem.set8 ram (at + String.length s) 0;
+  at + String.length s + 1
+
+let get_cstring ram ~at =
+  let b = Buffer.create 32 in
+  let rec go a =
+    let c = Physmem.get8 ram a in
+    if c <> 0 then begin
+      Buffer.add_char b (Char.chr c);
+      go (a + 1)
+    end
+  in
+  go at;
+  Buffer.contents b
+
+let encode ram info ~at =
+  let flags = flag_mem lor flag_cmdline lor flag_mods lor flag_mmap in
+  put32 ram (at + off_flags) flags;
+  put32 ram (at + off_mem_lower) info.mem_lower_kb;
+  put32 ram (at + off_mem_upper) info.mem_upper_kb;
+  let cursor = at + fixed_size in
+  (* Command line. *)
+  put32 ram (at + off_cmdline) cursor;
+  let cursor = put_cstring ram ~at:cursor info.cmdline in
+  (* Module strings, remembering where each landed. *)
+  let cursor, string_addrs =
+    List.fold_left
+      (fun (c, acc) m -> put_cstring ram ~at:c m.mod_string, c :: acc)
+      (cursor, []) info.modules
+  in
+  let string_addrs = List.rev string_addrs in
+  (* Module entry table, 16 bytes per entry, 4-aligned. *)
+  let cursor = (cursor + 3) land lnot 3 in
+  put32 ram (at + off_mods_count) (List.length info.modules);
+  put32 ram (at + off_mods_addr) cursor;
+  let cursor =
+    List.fold_left2
+      (fun c m saddr ->
+        put32 ram c m.mod_start;
+        put32 ram (c + 4) m.mod_end;
+        put32 ram (c + 8) saddr;
+        put32 ram (c + 12) 0;
+        c + 16)
+      cursor info.modules string_addrs
+  in
+  (* Memory map, 24 bytes per entry: size, base lo/hi, length lo/hi, type. *)
+  put32 ram (at + off_mmap_length) (24 * List.length info.mmap);
+  put32 ram (at + off_mmap_addr) cursor;
+  List.fold_left
+    (fun c e ->
+      put32 ram c 20;
+      put32 ram (c + 4) (e.mm_base land 0xffffffff);
+      put32 ram (c + 8) (e.mm_base lsr 32);
+      put32 ram (c + 12) (e.mm_length land 0xffffffff);
+      put32 ram (c + 16) (e.mm_length lsr 32);
+      put32 ram (c + 20) (if e.mm_available then 1 else 2);
+      c + 24)
+    cursor info.mmap
+
+let decode ram ~at =
+  let flags = get32 ram (at + off_flags) in
+  let mem_lower_kb = if flags land flag_mem <> 0 then get32 ram (at + off_mem_lower) else 0 in
+  let mem_upper_kb = if flags land flag_mem <> 0 then get32 ram (at + off_mem_upper) else 0 in
+  let cmdline =
+    if flags land flag_cmdline <> 0 then get_cstring ram ~at:(get32 ram (at + off_cmdline))
+    else ""
+  in
+  let modules =
+    if flags land flag_mods = 0 then []
+    else begin
+      let count = get32 ram (at + off_mods_count) in
+      let base = get32 ram (at + off_mods_addr) in
+      List.init count (fun i ->
+          let e = base + (16 * i) in
+          { mod_start = get32 ram e;
+            mod_end = get32 ram (e + 4);
+            mod_string = get_cstring ram ~at:(get32 ram (e + 8)) })
+    end
+  in
+  let mmap =
+    if flags land flag_mmap = 0 then []
+    else begin
+      let total = get32 ram (at + off_mmap_length) in
+      let base = get32 ram (at + off_mmap_addr) in
+      List.init (total / 24) (fun i ->
+          let e = base + (24 * i) in
+          { mm_base = get32 ram (e + 4) lor (get32 ram (e + 8) lsl 32);
+            mm_length = get32 ram (e + 12) lor (get32 ram (e + 16) lsl 32);
+            mm_available = get32 ram (e + 20) = 1 })
+    end
+  in
+  { mem_lower_kb; mem_upper_kb; cmdline; modules; mmap }
+
+let reserved_ranges info = List.map (fun m -> m.mod_start, m.mod_end) info.modules

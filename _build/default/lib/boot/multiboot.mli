@@ -1,0 +1,46 @@
+(** The MultiBoot standard (Section 3.1).
+
+    The interface between boot loaders and OS kernels the OSKit co-designed:
+    the loader places the kernel and any number of uninterpreted "boot
+    module" files in physical memory and hands the kernel one info
+    structure describing memory and the modules, each with an arbitrary
+    user-defined string.
+
+    The info structure has both an OCaml form and the on-RAM binary layout
+    (a compliant subset of the real one), so the loader/kernel handoff
+    crosses simulated memory exactly as it does on hardware. *)
+
+type module_ = {
+  mod_start : int;  (** first byte, physical *)
+  mod_end : int;  (** one past last byte *)
+  mod_string : string;  (** user-defined; conventionally a name or cmdline *)
+}
+
+type mmap_entry = { mm_base : int; mm_length : int; mm_available : bool }
+
+type info = {
+  mem_lower_kb : int;  (** conventional memory below 1 MB, KB *)
+  mem_upper_kb : int;  (** extended memory above 1 MB, KB *)
+  cmdline : string;
+  modules : module_ list;
+  mmap : mmap_entry list;
+}
+
+(** The header magic a MultiBoot kernel image carries. *)
+val header_magic : int32
+
+(** The register value a compliant loader passes to the kernel. *)
+val boot_magic : int32
+
+(** [encode ram info ~at] writes the binary info structure (and its string
+    and module tables) starting at physical [at]; returns one past the last
+    byte written. *)
+val encode : Physmem.t -> info -> at:int -> int
+
+(** [decode ram ~at] parses a structure previously written by a compliant
+    loader. *)
+val decode : Physmem.t -> at:int -> info
+
+(** Ranges a kernel must not allocate over: the info structure itself is
+    excluded by construction; this lists the modules' ranges. *)
+val reserved_ranges : info -> (int * int) list

@@ -1,0 +1,1 @@
+lib/com/com.ml: Error Fun Iid Result

@@ -1,0 +1,1 @@
+lib/com/com.mli: Error Iid

@@ -1,0 +1,1 @@
+lib/com/error.ml: Format List Printf Result String

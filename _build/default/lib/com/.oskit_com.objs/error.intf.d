@@ -1,0 +1,1 @@
+lib/com/error.mli: Format

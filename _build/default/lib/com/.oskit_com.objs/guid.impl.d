@@ -1,0 +1,1 @@
+lib/com/guid.ml: Bytes Char Format Hashtbl Int Int32 Int64 Printf String

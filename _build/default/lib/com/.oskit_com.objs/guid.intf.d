@@ -1,0 +1,1 @@
+lib/com/guid.mli: Format

@@ -1,0 +1,1 @@
+lib/com/iid.mli: Guid

@@ -1,0 +1,1 @@
+lib/com/io_if.ml: Bytes Com Error Guid Iid Lazy Result

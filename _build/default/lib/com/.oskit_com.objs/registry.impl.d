@@ -1,0 +1,1 @@
+lib/com/registry.ml: Com Guid Iid List

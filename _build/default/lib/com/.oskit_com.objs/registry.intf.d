@@ -1,0 +1,1 @@
+lib/com/registry.mli: Com Iid

@@ -1,0 +1,50 @@
+type unknown = {
+  query : 'a. 'a Iid.t -> ('a, Error.t) result;
+  addref : unit -> int;
+  release : unit -> int;
+}
+
+exception Use_after_free of string
+
+(* Hidden interface through which [refcount] reads the live count without
+   perturbing it; never handed to clients. *)
+let refcount_iid : (unit -> int) Iid.t = Iid.declare "oskit.internal.refcount"
+
+type state = { mutable count : int; mutable bindings : Iid.binding list }
+
+let create ?(on_last_release = fun () -> ()) bindings_of_self =
+  let st = { count = 1; bindings = [] } in
+  let check () = if st.count <= 0 then raise (Use_after_free "com object") in
+  let addref () =
+    check ();
+    st.count <- st.count + 1;
+    st.count
+  in
+  let release () =
+    check ();
+    st.count <- st.count - 1;
+    if st.count = 0 then on_last_release ();
+    st.count
+  in
+  let query (type a) (iid : a Iid.t) : (a, Error.t) result =
+    match Iid.same_witness iid refcount_iid with
+    | Some Iid.Eq -> Ok (fun () -> st.count)
+    | None -> (
+        check ();
+        match Iid.lookup iid st.bindings with
+        | Some view ->
+            ignore (addref ());
+            Ok view
+        | None -> Result.Error Error.No_interface)
+  in
+  let self = { query; addref; release } in
+  st.bindings <- bindings_of_self self;
+  self
+
+let query u iid = u.query iid
+
+let refcount u = match u.query refcount_iid with Ok f -> f () | Error _ -> -1
+
+let with_ref u f =
+  ignore (u.addref ());
+  Fun.protect ~finally:(fun () -> ignore (u.release ())) f

@@ -1,0 +1,40 @@
+(** The OSKit's object model: refcounted objects exporting COM interfaces.
+
+    An object can export any number of interfaces (Section 4.4.2); each
+    interface is one "view" with its own method table.  Given any interface,
+    [query] on the owning object finds the others.  Refcounting follows COM
+    rules: a successful [query] takes a reference which the caller must
+    [release]. *)
+
+(** A handle on an object's identity — the IUnknown view.  Every interface
+    record defined in this kit embeds the [unknown] of the object exporting
+    it, so clients can always navigate between views. *)
+type unknown = {
+  query : 'a. 'a Iid.t -> ('a, Error.t) result;
+      (** [query iid] returns the requested view and takes a reference, or
+          [Error No_interface]. *)
+  addref : unit -> int;  (** take a reference; returns the new count *)
+  release : unit -> int;  (** drop a reference; returns the new count *)
+}
+
+(** [create ?on_last_release bindings_of_self] builds an object with an
+    initial refcount of 1.  [bindings_of_self] receives the object's own
+    [unknown] so interface records can refer back to it; it is called once.
+    [on_last_release] runs when the count reaches zero (the destructor). *)
+val create : ?on_last_release:(unit -> unit) -> (unknown -> Iid.binding list) -> unknown
+
+(** [query u iid] is [u.query iid]. *)
+val query : unknown -> 'a Iid.t -> ('a, Error.t) result
+
+(** [refcount u] reads the current count without touching it (testing aid —
+    real COM deliberately hides this; we expose it per the kit's "open
+    implementation" stance, Section 4.6). *)
+val refcount : unknown -> int
+
+(** [with_ref u f] runs [f ()] with a reference held, releasing it on the
+    way out even on exception. *)
+val with_ref : unknown -> (unit -> 'b) -> 'b
+
+(** Raised by methods invoked after the refcount has reached zero; catching
+    use-after-free bugs deterministically is part of the debugging story. *)
+exception Use_after_free of string

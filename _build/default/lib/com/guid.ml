@@ -1,0 +1,53 @@
+type t = { d1 : int32; d2 : int; d3 : int; d4 : string }
+
+let make d1 d2 d3 d4 =
+  if String.length d4 <> 8 then invalid_arg "Guid.make: d4 must be 8 bytes";
+  if d2 < 0 || d2 > 0xffff || d3 < 0 || d3 > 0xffff then
+    invalid_arg "Guid.make: d2/d3 must be 16-bit";
+  { d1; d2; d3; d4 }
+
+(* FNV-1a, folded twice with different offsets, to derive 128 deterministic
+   bits from a name.  Uniqueness within this code base is all we need. *)
+let fnv1a ~offset s =
+  let prime = 0x100000001b3L in
+  let h = ref offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let of_name name =
+  let a = fnv1a ~offset:0xcbf29ce484222325L name in
+  let b = fnv1a ~offset:0x84222325cbf29ce4L (name ^ "#oskit") in
+  let d1 = Int64.to_int32 (Int64.shift_right_logical a 32) in
+  let d2 = Int64.to_int (Int64.logand (Int64.shift_right_logical a 16) 0xffffL) in
+  let d3 = Int64.to_int (Int64.logand a 0xffffL) in
+  let d4 = Bytes.create 8 in
+  for i = 0 to 7 do
+    let byte =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical b (8 * (7 - i))) 0xffL)
+    in
+    Bytes.set d4 i (Char.chr byte)
+  done;
+  { d1; d2; d3; d4 = Bytes.to_string d4 }
+
+let equal a b = a.d1 = b.d1 && a.d2 = b.d2 && a.d3 = b.d3 && String.equal a.d4 b.d4
+
+let compare a b =
+  match Int32.compare a.d1 b.d1 with
+  | 0 -> (
+      match Int.compare a.d2 b.d2 with
+      | 0 -> ( match Int.compare a.d3 b.d3 with 0 -> String.compare a.d4 b.d4 | c -> c)
+      | c -> c)
+  | c -> c
+
+let hash t = Hashtbl.hash (t.d1, t.d2, t.d3, t.d4)
+
+let to_string t =
+  let byte i = Char.code t.d4.[i] in
+  Printf.sprintf "%08lx-%04x-%04x-%02x%02x-%02x%02x%02x%02x%02x%02x" t.d1 t.d2 t.d3
+    (byte 0) (byte 1) (byte 2) (byte 3) (byte 4) (byte 5) (byte 6) (byte 7)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

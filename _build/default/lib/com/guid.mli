@@ -1,0 +1,28 @@
+(** Globally Unique Identifiers in the DCE/COM 128-bit format.
+
+    The OSKit identifies every COM interface by a GUID (Section 4.4.2 of the
+    paper); interfaces can be defined independently with essentially no chance
+    of collision.  This module provides the value type, well-known constant
+    construction (mirroring the paper's [GUID(0x4aa7dfe1, ...)] macros), and a
+    deterministic name-based generator used for interfaces defined inside this
+    reproduction. *)
+
+type t
+
+(** [make d1 d2 d3 d4] builds a GUID from its four groups; [d4] must be
+    exactly 8 bytes.  Raises [Invalid_argument] otherwise. *)
+val make : int32 -> int -> int -> string -> t
+
+(** [of_name s] deterministically derives a GUID from an interface name,
+    standing in for the paper's "algorithmically generated DCE UUIDs". *)
+val of_name : string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Renders in the conventional [xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx]
+    form. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

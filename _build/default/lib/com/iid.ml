@@ -1,0 +1,36 @@
+type (_, _) eq = Eq : ('a, 'a) eq
+
+type _ witness = ..
+
+module type Witness = sig
+  type a
+  type _ witness += W : a witness
+end
+
+type 'a t = { guid : Guid.t; name : string; witness : (module Witness with type a = 'a) }
+
+let make (type x) ~name guid : x t =
+  let module M = struct
+    type a = x
+    type _ witness += W : a witness
+  end in
+  { guid; name; witness = (module M) }
+
+let declare name = make ~name (Guid.of_name name)
+let guid t = t.guid
+let name t = t.name
+
+let same_witness (type a b) (x : a t) (y : b t) : (a, b) eq option =
+  let module X = (val x.witness) in
+  let module Y = (val y.witness) in
+  match X.W with Y.W -> Some Eq | _ -> None
+
+type binding = B : 'a t * (unit -> 'a) -> binding
+
+let rec lookup : type a. a t -> binding list -> a option =
+ fun iid -> function
+  | [] -> None
+  | B (iid', provide) :: rest -> (
+      match same_witness iid' iid with
+      | Some Eq -> Some (provide ())
+      | None -> lookup iid rest)

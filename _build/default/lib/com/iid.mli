@@ -1,0 +1,36 @@
+(** Typed interface identifiers.
+
+    An ['a Iid.t] names a COM interface whose OCaml representation is the
+    type ['a] (typically a record of closures — the direct analogue of the
+    paper's function-pointer "ops" tables, Figure 2).  The GUID is the
+    run-time identity used by [query]; the embedded type witness makes the
+    downcast ("narrowing", Section 4.4.2) statically safe. *)
+
+type 'a t
+
+(** [make ~name guid] registers a fresh interface identity.  Each call
+    creates a distinct witness: two [Iid.t] values are interchangeable only
+    if they are the same value. *)
+val make : name:string -> Guid.t -> 'a t
+
+(** [declare name] is [make ~name (Guid.of_name name)] — the common case for
+    interfaces native to this kit. *)
+val declare : string -> 'a t
+
+val guid : _ t -> Guid.t
+val name : _ t -> string
+
+(** [same_witness a b] is a type-equality proof when [a] and [b] are the same
+    interface. *)
+type (_, _) eq = Eq : ('a, 'a) eq
+
+val same_witness : 'a t -> 'b t -> ('a, 'b) eq option
+
+(** A packed (interface, provider) pair, used by objects to store the
+    interfaces they export.  The provider is a thunk so that an interface
+    record can capture the object that owns it (a necessarily cyclic
+    structure). *)
+type binding = B : 'a t * (unit -> 'a) -> binding
+
+(** [lookup iid bindings] finds and forces the provider for [iid]. *)
+val lookup : 'a t -> binding list -> 'a option

@@ -1,0 +1,194 @@
+(** The OSKit's common I/O interface definitions.
+
+    These are the behavioural contracts through which components are bound
+    together at run time (Sections 4.2.2, 4.4): block devices, packet
+    buffers, network send/receive, character streams, sockets, and
+    VFS-granularity files and directories.  Each interface is a record of
+    closures — the OCaml spelling of the paper's [ops] function-pointer
+    tables (Figure 2) — plus the [Com.unknown] of the exporting object so
+    clients can navigate between views.
+
+    Per Section 4.4.3 these contracts deliberately carry {e no} common
+    buffer-management implementation: packets cross component boundaries as
+    {!bufio} objects, and each component re-wraps them into its own internal
+    representation (skbuffs, mbufs, ...) behind its glue code. *)
+
+(** {1 Block I/O} — Figure 2 of the paper. *)
+
+type blkio = {
+  bio_unknown : Com.unknown;
+  getblocksize : unit -> int;
+  bio_read : buf:bytes -> pos:int -> offset:int -> amount:int -> (int, Error.t) result;
+      (** returns bytes actually read; short only at end of device *)
+  bio_write : buf:bytes -> pos:int -> offset:int -> amount:int -> (int, Error.t) result;
+  getsize : unit -> int;
+  setsize : int -> (unit, Error.t) result;
+}
+
+let blkio_iid : blkio Iid.t =
+  Iid.make ~name:"oskit.blkio"
+    (Guid.make 0x4aa7dfe1l 0x7c74 0x11cf "\xb5\x00\x08\x00\x09\x53\xad\xc2")
+
+(** {1 Buffer I/O}
+
+    The extension of [blkio] for data that may live in local memory
+    (Section 4.4.2): [map] grants direct access when the implementor stores
+    the requested range contiguously — this is what lets the receive path
+    avoid copies — and fails harmlessly otherwise, in which case the caller
+    falls back on [read]. *)
+
+type bufio = {
+  buf_unknown : Com.unknown;
+  buf_size : unit -> int;
+  buf_read : buf:bytes -> pos:int -> offset:int -> amount:int -> (int, Error.t) result;
+  buf_write : buf:bytes -> pos:int -> offset:int -> amount:int -> (int, Error.t) result;
+  buf_map : unit -> (bytes * int) option;
+      (** [Some (backing, start)]: the object's bytes live at
+          [backing[start .. start+size)] and may be read in place *)
+}
+
+let bufio_iid : bufio Iid.t = Iid.declare "oskit.bufio"
+
+(** {1 Network I/O}
+
+    Push-style packet exchange.  When the client opens a device it passes
+    the [netio] on which it wants received packets pushed and gets back the
+    [netio] on which to push packets for transmission (Section 5). *)
+
+type netio = {
+  nio_unknown : Com.unknown;
+  push : bufio -> (unit, Error.t) result;
+}
+
+let netio_iid : netio Iid.t = Iid.declare "oskit.netio"
+
+(** {1 Ethernet devices} *)
+
+type etherdev = {
+  ed_unknown : Com.unknown;
+  ed_ethaddr : unit -> string;  (** 6-byte MAC *)
+  ed_open : recv:netio -> (netio, Error.t) result;
+  ed_close : unit -> (unit, Error.t) result;
+}
+
+let etherdev_iid : etherdev Iid.t = Iid.declare "oskit.etherdev"
+
+(** {1 Character devices} *)
+
+type chario = {
+  cio_unknown : Com.unknown;
+  cio_read : buf:bytes -> pos:int -> amount:int -> (int, Error.t) result;
+      (** blocking; 0 only at end of stream *)
+  cio_write : buf:bytes -> pos:int -> amount:int -> (int, Error.t) result;
+}
+
+let chario_iid : chario Iid.t = Iid.declare "oskit.chario"
+
+(** {1 Sockets} — the BSD socket contract the minimal C library binds file
+    descriptors to. *)
+
+type sockaddr = { sin_addr : int32; sin_port : int }
+
+type sock_type = Sock_stream | Sock_dgram
+
+type socket = {
+  so_unknown : Com.unknown;
+  so_bind : sockaddr -> (unit, Error.t) result;
+  so_listen : backlog:int -> (unit, Error.t) result;
+  so_accept : unit -> (socket * sockaddr, Error.t) result;
+  so_connect : sockaddr -> (unit, Error.t) result;
+  so_send : buf:bytes -> pos:int -> len:int -> (int, Error.t) result;
+  so_recv : buf:bytes -> pos:int -> len:int -> (int, Error.t) result;
+  so_sendto : buf:bytes -> pos:int -> len:int -> dst:sockaddr -> (int, Error.t) result;
+  so_recvfrom : buf:bytes -> pos:int -> len:int -> (int * sockaddr, Error.t) result;
+  so_getsockname : unit -> (sockaddr, Error.t) result;
+  so_setsockopt : string -> int -> (unit, Error.t) result;
+  so_shutdown : unit -> (unit, Error.t) result;
+  so_close : unit -> (unit, Error.t) result;
+}
+
+let socket_iid : socket Iid.t = Iid.declare "oskit.socket"
+
+(** The "socket factory" returned by a protocol stack's init and registered
+    with the C library ([posix_set_socketcreator] in Section 5's listing). *)
+type socket_factory = {
+  sf_unknown : Com.unknown;
+  sf_create : sock_type -> (socket, Error.t) result;
+}
+
+let socket_factory_iid : socket_factory Iid.t = Iid.declare "oskit.socket_factory"
+
+(** {1 Files and directories}
+
+    Deliberately VFS-granularity: [lookup] takes a {e single} path
+    component, which is what let the secure file server of Section 3.8
+    interpose permission checks without touching the file system's
+    internals. *)
+
+type kind = Regular | Directory
+
+type stat = { st_ino : int; st_size : int; st_kind : kind; st_nlink : int }
+
+type file = {
+  f_unknown : Com.unknown;
+  f_read : buf:bytes -> pos:int -> offset:int -> amount:int -> (int, Error.t) result;
+  f_write : buf:bytes -> pos:int -> offset:int -> amount:int -> (int, Error.t) result;
+  f_getstat : unit -> (stat, Error.t) result;
+  f_setsize : int -> (unit, Error.t) result;
+  f_sync : unit -> (unit, Error.t) result;
+}
+
+let file_iid : file Iid.t = Iid.declare "oskit.file"
+
+type node = Node_file of file | Node_dir of dir
+
+and dir = {
+  d_unknown : Com.unknown;
+  d_getstat : unit -> (stat, Error.t) result;
+  d_lookup : string -> (node, Error.t) result;
+  d_create : string -> (file, Error.t) result;
+  d_mkdir : string -> (dir, Error.t) result;
+  d_unlink : string -> (unit, Error.t) result;
+  d_rmdir : string -> (unit, Error.t) result;
+  d_rename : string -> dir -> string -> (unit, Error.t) result;
+  d_readdir : unit -> (string list, Error.t) result;
+  d_sync : unit -> (unit, Error.t) result;
+}
+
+let dir_iid : dir Iid.t = Iid.declare "oskit.dir"
+
+(** {1 Helpers} *)
+
+(** [bufio_of_bytes b] wraps plain contiguous bytes — the trivial bufio
+    every component can produce.  [map] succeeds. *)
+let bufio_of_bytes b =
+  let rec view () =
+    { buf_unknown = unknown ();
+      buf_size = (fun () -> Bytes.length b);
+      buf_read =
+        (fun ~buf ~pos ~offset ~amount ->
+          let n = max 0 (min amount (Bytes.length b - offset)) in
+          Bytes.blit b offset buf pos n;
+          Ok n);
+      buf_write =
+        (fun ~buf ~pos ~offset ~amount ->
+          let n = max 0 (min amount (Bytes.length b - offset)) in
+          Bytes.blit buf pos b offset n;
+          Ok n);
+      buf_map = (fun () -> Some (b, 0)) }
+  and obj = lazy (Com.create (fun _self -> [ Iid.B (bufio_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  view ()
+
+(** [bufio_contents io] copies out the full contents (test/diagnostic aid;
+    charges nothing). *)
+let bufio_contents io =
+  let n = io.buf_size () in
+  match io.buf_map () with
+  | Some (backing, start) -> Bytes.sub backing start n
+  | None -> (
+      let buf = Bytes.create n in
+      match io.buf_read ~buf ~pos:0 ~offset:0 ~amount:n with
+      | Ok k when k = n -> buf
+      | Ok k -> Bytes.sub buf 0 k
+      | Result.Error _ -> Bytes.empty)

@@ -1,0 +1,35 @@
+type entry = { guid : Guid.t; obj : Com.unknown }
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let register t iid obj =
+  ignore (obj.Com.addref ());
+  t.entries <- { guid = Iid.guid iid; obj } :: t.entries
+
+let unregister t iid obj =
+  let guid = Iid.guid iid in
+  let rec remove = function
+    | [] -> []
+    | e :: rest ->
+        if Guid.equal e.guid guid && e.obj == obj then (
+          ignore (obj.Com.release ());
+          rest)
+        else e :: remove rest
+  in
+  t.entries <- remove t.entries
+
+let lookup t iid =
+  let guid = Iid.guid iid in
+  List.filter_map
+    (fun e ->
+      if Guid.equal e.guid guid then
+        match Com.query e.obj iid with Ok v -> Some v | Error _ -> None
+      else None)
+    t.entries
+
+let lookup_first t iid = match lookup t iid with [] -> None | v :: _ -> Some v
+
+let clear t =
+  List.iter (fun e -> ignore (e.obj.Com.release ())) t.entries;
+  t.entries <- []

@@ -1,0 +1,29 @@
+(** A simple services database.
+
+    The OSKit lets the client OS bind components together at run time
+    (Section 4.2.2); a registry of (interface, object) pairs is the usual
+    rendezvous.  [Fdev]'s device table is one instance; this generic one is
+    available for client OSes and examples. *)
+
+type t
+
+val create : unit -> t
+
+(** [register t iid obj] records that [obj] exports [iid].  Takes a
+    reference on [obj]; dropped by [unregister] or [clear]. *)
+val register : t -> _ Iid.t -> Com.unknown -> unit
+
+(** [unregister t iid obj] removes one matching entry (by physical identity
+    of [obj]); silently ignores absent entries. *)
+val unregister : t -> _ Iid.t -> Com.unknown -> unit
+
+(** [lookup t iid] returns all registered objects exporting [iid], most
+    recently registered first, each already narrowed.  No references are
+    transferred beyond those [query] takes. *)
+val lookup : t -> 'a Iid.t -> 'a list
+
+(** [lookup_first t iid] is the head of [lookup], if any. *)
+val lookup_first : t -> 'a Iid.t -> 'a option
+
+(** Drop every entry (releasing held references). *)
+val clear : t -> unit

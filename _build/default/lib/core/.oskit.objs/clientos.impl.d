@@ -1,0 +1,1 @@
+lib/core/clientos.ml: Bsd_socket Bus Bytes Cost Disk Error Fdev Freebsd_glue Io_if Kclock Kernel Linux_glue Linux_inet Machine Native_if Nic Osenv Posix Result Wire World

@@ -1,0 +1,1 @@
+lib/core/clientos.mli: Bsd_socket Disk Freebsd_glue Kernel Linux_inet Machine Nic Posix Wire World

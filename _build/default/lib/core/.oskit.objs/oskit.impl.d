@@ -1,0 +1,1 @@
+lib/core/oskit.ml: Int32 Printf String

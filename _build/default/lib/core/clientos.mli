@@ -1,0 +1,65 @@
+(** Client-OS assembly recipes (Section 4.5's "recipes" made executable).
+
+    These helpers wire components into the three network configurations the
+    paper's evaluation compares, on a simulated two-PC testbed:
+
+    - {!oskit_host}: the OSKit configuration of Section 5 — Linux drivers
+      under the FreeBSD protocol stack, every boundary crossed through COM
+      interfaces and glue code, POSIX sockets from the minimal C library.
+      The body of [oskit_host] is the paper's initialization listing,
+      line for line.
+    - {!freebsd_host}: monolithic FreeBSD — same encapsulated stack code,
+      bound natively to an mbuf-native driver, no COM, no glue.
+    - {!linux_host}: monolithic Linux — the Linux inet stack over the same
+      Linux drivers, skbuffs end to end.
+
+    All three run identical TCP wire formats, so any pair can
+    interoperate. *)
+
+(** One simulated PC plus its kernel environment. *)
+type host = {
+  machine : Machine.t;
+  kernel : Kernel.t;
+  nic : Nic.t;
+}
+
+type testbed = {
+  world : World.t;
+  wire : Wire.t;
+  host_a : host;
+  host_b : host;
+}
+
+(** Build two PCs on one 100 Mbps segment.  [models] picks the NIC chip
+    each "card" reports to probes (default ["3c905"], ["tulip"]). *)
+val make_testbed : ?models:string * string -> ?ram_bytes:int -> unit -> testbed
+
+(** Add a simulated disk to a host's bus; returns the raw disk for image
+    preparation. *)
+val add_disk : host -> ?model:string -> ?sectors:int -> unit -> Disk.t
+
+(** {2 Network configurations} *)
+
+(** The OSKit configuration (paper Section 5).  Returns the POSIX
+    environment with the socket factory registered, plus the underlying
+    stack for diagnostics. *)
+val oskit_host : host -> ip:int32 -> mask:int32 -> Posix.env * Freebsd_glue.stack
+
+(** Monolithic FreeBSD baseline: use [Bsd_socket] calls directly on the
+    returned stack. *)
+val freebsd_host : host -> ip:int32 -> mask:int32 -> Bsd_socket.stack
+
+(** Monolithic Linux baseline. *)
+val linux_host : host -> ip:int32 -> mask:int32 -> Linux_inet.stack
+
+(** [spawn host f] runs [f] as a process-level thread on the host. *)
+val spawn : host -> ?name:string -> (unit -> unit) -> unit
+
+(** Run the world until [until] is true (checked between events), with a
+    progress fuel bound. *)
+val run : testbed -> until:(unit -> bool) -> unit
+
+(** Reset cross-simulation global state (driver probe lists, cost
+    counters — but not the cost configuration, which experiments own).
+    Call between independent simulations in one process. *)
+val reset_globals : unit -> unit

@@ -1,0 +1,26 @@
+(** The OSKit umbrella.
+
+    The kit itself is just the set of libraries under [lib/]; this module
+    carries the version banner and the few cross-library conveniences, and
+    {!Clientos} packages the "recipes" of Section 4.5 — prebuilt
+    assemblies of components for common client-OS shapes. *)
+
+let version = "0.9.0"
+let banner = "Flux OSKit (OCaml reproduction) " ^ version
+
+(** Convert a dotted quad to the host-order int32 the stacks use. *)
+let ip_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let p x =
+        let v = int_of_string x in
+        if v < 0 || v > 255 then invalid_arg "ip_of_string";
+        v
+      in
+      Int32.of_int ((p a lsl 24) lor (p b lsl 16) lor (p c lsl 8) lor p d)
+  | _ -> invalid_arg "ip_of_string"
+
+let string_of_ip ip =
+  let v = Int32.to_int ip land 0xffffffff in
+  Printf.sprintf "%d.%d.%d.%d" (v lsr 24) ((v lsr 16) land 0xff) ((v lsr 8) land 0xff)
+    (v land 0xff)

@@ -1,0 +1,75 @@
+type partition = {
+  p_index : int;
+  p_type : int;
+  p_start : int;
+  p_sectors : int;
+  p_active : bool;
+}
+
+let sector = 512
+let table_off = 446
+let entry_size = 16
+
+let ( let* ) = Result.bind
+
+let read_sector0 dev =
+  let buf = Bytes.create sector in
+  let* n = dev.Io_if.bio_read ~buf ~pos:0 ~offset:0 ~amount:sector in
+  if n <> sector then Result.Error Error.Io else Ok buf
+
+let read_partitions dev =
+  let* mbr = read_sector0 dev in
+  if Bytes.get_uint16_le mbr 510 <> 0xAA55 then Result.Error Error.Inval
+  else begin
+    let entry i =
+      let o = table_off + (i * entry_size) in
+      let p_type = Char.code (Bytes.get mbr (o + 4)) in
+      if p_type = 0 then None
+      else
+        Some
+          { p_index = i;
+            p_type;
+            p_start = Int32.to_int (Bytes.get_int32_le mbr (o + 8)) land 0xffffffff;
+            p_sectors = Int32.to_int (Bytes.get_int32_le mbr (o + 12)) land 0xffffffff;
+            p_active = Char.code (Bytes.get mbr o) land 0x80 <> 0 }
+    in
+    Ok (List.filter_map entry [ 0; 1; 2; 3 ])
+  end
+
+let partition_blkio dev p =
+  let base = p.p_start * sector in
+  let size = p.p_sectors * sector in
+  let clamp offset amount = max 0 (min amount (size - offset)) in
+  let rec view () =
+    { Io_if.bio_unknown = unknown ();
+      getblocksize = dev.Io_if.getblocksize;
+      bio_read =
+        (fun ~buf ~pos ~offset ~amount ->
+          if offset < 0 then Result.Error Error.Inval
+          else dev.Io_if.bio_read ~buf ~pos ~offset:(base + offset) ~amount:(clamp offset amount));
+      bio_write =
+        (fun ~buf ~pos ~offset ~amount ->
+          if offset < 0 then Result.Error Error.Inval
+          else dev.Io_if.bio_write ~buf ~pos ~offset:(base + offset) ~amount:(clamp offset amount));
+      getsize = (fun () -> size);
+      setsize = (fun _ -> Result.Error Error.Notsup) }
+  and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.blkio_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  view ()
+
+let write_label dev parts =
+  if List.length parts > 4 then Result.Error Error.Inval
+  else begin
+    let mbr = Bytes.make sector '\000' in
+    Bytes.set_uint16_le mbr 510 0xAA55;
+    List.iteri
+      (fun i (p_type, start, sectors) ->
+        let o = table_off + (i * entry_size) in
+        Bytes.set mbr o (if i = 0 then '\x80' else '\x00');
+        Bytes.set mbr (o + 4) (Char.chr (p_type land 0xff));
+        Bytes.set_int32_le mbr (o + 8) (Int32.of_int start);
+        Bytes.set_int32_le mbr (o + 12) (Int32.of_int sectors))
+      parts;
+    let* n = dev.Io_if.bio_write ~buf:mbr ~pos:0 ~offset:0 ~amount:sector in
+    if n <> sector then Result.Error Error.Io else Ok ()
+  end

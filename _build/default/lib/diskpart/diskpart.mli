@@ -1,0 +1,27 @@
+(** Disk partition interpretation (the paper's [diskpart] library).
+
+    Reads PC MBR partition tables from any [blkio] and returns each
+    partition as a sub-[blkio] view, so a file system component can be
+    bound to a partition exactly as it would be to a whole disk — run-time
+    component binding again (Section 4.2.2). *)
+
+type partition = {
+  p_index : int;  (** 0-3, primary slot *)
+  p_type : int;  (** system id byte, e.g. 0xA5 FreeBSD, 0x83 Linux *)
+  p_start : int;  (** first sector, LBA *)
+  p_sectors : int;
+  p_active : bool;
+}
+
+(** [read_partitions dev] parses the MBR (sector 0).  Empty slots (type 0)
+    are omitted. *)
+val read_partitions : Io_if.blkio -> (partition list, Error.t) result
+
+(** [partition_blkio dev p] — a [blkio] restricted to the partition, with
+    offsets rebased. *)
+val partition_blkio : Io_if.blkio -> partition -> Io_if.blkio
+
+(** [write_label dev parts] writes an MBR describing [parts] (tests and
+    image builders); entries beyond four are rejected. *)
+val write_label : Io_if.blkio -> (int * int * int) list -> (unit, Error.t) result
+(** each entry: (type, start_sector, sectors) *)

@@ -1,0 +1,73 @@
+type image = {
+  entry : int32;
+  load_va : int32;
+  text : string;
+  data : string;
+  bss_size : int;
+}
+
+let magic = 0x4F584631l (* "OXF1" *)
+let header_size = 24
+
+let pack img =
+  let b = Bytes.create (header_size + String.length img.text + String.length img.data) in
+  Bytes.set_int32_le b 0 magic;
+  Bytes.set_int32_le b 4 img.entry;
+  Bytes.set_int32_le b 8 img.load_va;
+  Bytes.set_int32_le b 12 (Int32.of_int (String.length img.text));
+  Bytes.set_int32_le b 16 (Int32.of_int (String.length img.data));
+  Bytes.set_int32_le b 20 (Int32.of_int img.bss_size);
+  Bytes.blit_string img.text 0 b header_size (String.length img.text);
+  Bytes.blit_string img.data 0 b (header_size + String.length img.text)
+    (String.length img.data);
+  b
+
+let parse b =
+  if Bytes.length b < header_size then Result.Error Error.Inval
+  else if Bytes.get_int32_le b 0 <> magic then Result.Error Error.Inval
+  else begin
+    let text_len = Int32.to_int (Bytes.get_int32_le b 12) in
+    let data_len = Int32.to_int (Bytes.get_int32_le b 16) in
+    let bss_size = Int32.to_int (Bytes.get_int32_le b 20) in
+    if
+      text_len < 0 || data_len < 0 || bss_size < 0
+      || Bytes.length b < header_size + text_len + data_len
+    then Result.Error Error.Inval
+    else
+      Ok
+        { entry = Bytes.get_int32_le b 4;
+          load_va = Bytes.get_int32_le b 8;
+          text = Bytes.sub_string b header_size text_len;
+          data = Bytes.sub_string b (header_size + text_len) data_len;
+          bss_size }
+  end
+
+type loaded = { l_entry : int32; l_base : int; l_size : int }
+
+let load ram img ~at =
+  let text_len = String.length img.text and data_len = String.length img.data in
+  Physmem.blit_from_bytes ram ~src:(Bytes.of_string img.text) ~src_pos:0 ~dst_addr:at
+    ~len:text_len;
+  Physmem.blit_from_bytes ram ~src:(Bytes.of_string img.data) ~src_pos:0
+    ~dst_addr:(at + text_len) ~len:data_len;
+  Physmem.fill ram ~addr:(at + text_len + data_len) ~len:img.bss_size 0;
+  Cost.charge_copy (text_len + data_len);
+  { l_entry = img.entry; l_base = at; l_size = text_len + data_len + img.bss_size }
+
+let page = 4096
+let page_down v = v land lnot (page - 1)
+let page_up v = (v + page - 1) land lnot (page - 1)
+
+let map_into pt img loaded =
+  let va = Int32.to_int img.load_va land 0xffffffff in
+  if va land (page - 1) <> 0 || loaded.l_base land (page - 1) <> 0 then
+    invalid_arg "Exec.map_into: unaligned load";
+  let text_pages = page_up (String.length img.text) / page in
+  let total_pages = (page_up loaded.l_size / page) in
+  for i = 0 to total_pages - 1 do
+    let writable = i >= text_pages in
+    Page_table.map pt
+      ~va:(Int32.of_int (page_down va + (i * page)))
+      ~pa:(loaded.l_base + (i * page))
+      ~prot:{ Page_table.writable; user = true }
+  done

@@ -1,0 +1,30 @@
+(** Program loading (the paper's [exec] library).
+
+    A simple fixed executable format and a loader that places a program
+    image into (simulated) physical memory and, optionally, maps it into a
+    page table.  Fluke used this to load its first user-mode server from a
+    boot module. *)
+
+type image = {
+  entry : int32;  (** entry point, virtual *)
+  load_va : int32;  (** link/load address, virtual *)
+  text : string;
+  data : string;
+  bss_size : int;
+}
+
+(** [pack img] serialises to the on-disk/boot-module format. *)
+val pack : image -> bytes
+
+(** [parse b] validates magic/lengths. *)
+val parse : bytes -> (image, Error.t) result
+
+type loaded = { l_entry : int32; l_base : int; l_size : int }
+
+(** [load ram img ~at] copies text+data to physical [at], zeroes bss. *)
+val load : Physmem.t -> image -> at:int -> loaded
+
+(** [map pt loaded ~load_va] maps the loaded range at its virtual address:
+    text read-only would need per-page protection granularity — we map text
+    non-writable and data/bss writable, page-aligned. *)
+val map_into : Page_table.t -> image -> loaded -> unit

@@ -1,0 +1,1 @@
+lib/fdev/bus.ml: Disk Hashtbl Machine Nic Serial

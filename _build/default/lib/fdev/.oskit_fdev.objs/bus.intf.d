@@ -1,0 +1,1 @@
+lib/fdev/bus.mli: Disk Machine Nic Serial

@@ -1,0 +1,1 @@
+lib/fdev/fdev.ml: Com Iid Io_if List Osenv Registry Result

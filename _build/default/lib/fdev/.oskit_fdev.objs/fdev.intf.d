@@ -1,0 +1,1 @@
+lib/fdev/fdev.mli: Com Iid Osenv

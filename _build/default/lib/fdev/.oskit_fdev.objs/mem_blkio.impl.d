@@ -1,0 +1,1 @@
+lib/fdev/mem_blkio.ml: Bytes Com Cost Error Iid Io_if Lazy Result

@@ -1,0 +1,1 @@
+lib/fdev/osenv.ml: Bootmem Buffer Cost Error List Lmm Machine Physmem Registry Result World

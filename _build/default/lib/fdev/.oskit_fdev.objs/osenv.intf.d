@@ -1,0 +1,1 @@
+lib/fdev/osenv.mli: Error Lmm Machine Registry World

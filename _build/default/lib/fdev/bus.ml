@@ -1,0 +1,22 @@
+type hw =
+  | Hw_nic of { model : string; nic : Nic.t }
+  | Hw_disk of { model : string; disk : Disk.t }
+  | Hw_serial of { model : string; serial : Serial.t }
+
+let table : (string, hw list ref) Hashtbl.t = Hashtbl.create 8
+
+let slot machine =
+  let key = Machine.name machine in
+  match Hashtbl.find_opt table key with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace table key r;
+      r
+
+let register_hw machine hw =
+  let r = slot machine in
+  r := !r @ [ hw ]
+
+let hardware machine = !(slot machine)
+let clear machine = Hashtbl.remove table (Machine.name machine)

@@ -1,0 +1,45 @@
+type driver = {
+  drv_name : string;
+  drv_origin : string;
+  drv_probe : Osenv.t -> Com.unknown list;
+}
+
+let drivers : driver list ref = ref []
+
+let register_driver d =
+  if not (List.exists (fun x -> x.drv_name = d.drv_name) !drivers) then
+    drivers := !drivers @ [ d ]
+
+let registered_drivers () = !drivers
+let clear_drivers () = drivers := []
+
+(* Any interface a probed device might export; [Registry.register] is keyed
+   by GUID, so we register the object under each interface it answers to. *)
+let known_iids () =
+  [ Iid.B (Io_if.etherdev_iid, fun () -> assert false);
+    Iid.B (Io_if.blkio_iid, fun () -> assert false);
+    Iid.B (Io_if.chario_iid, fun () -> assert false) ]
+
+let probe osenv =
+  let registry = Osenv.devices osenv in
+  let count = ref 0 in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun obj ->
+          incr count;
+          List.iter
+            (fun (Iid.B (iid, _)) ->
+              match Com.query obj iid with
+              | Ok _ ->
+                  (* Drop the reference [query] took; the registry holds
+                     its own. *)
+                  ignore (obj.Com.release ());
+                  Registry.register registry iid obj
+              | Result.Error _ -> ())
+            (known_iids ()))
+        (d.drv_probe osenv))
+    !drivers;
+  !count
+
+let lookup osenv iid = Registry.lookup (Osenv.devices osenv) iid

@@ -1,0 +1,31 @@
+(** The device-driver framework (Sections 3.6, 5).
+
+    Drivers are component libraries: each is represented by "a single
+    function entrypoint which is used to initialize and register the entire
+    driver".  Initialization functions (e.g.
+    [Linux_eth.init_ethernet ()]) register {e drivers}; [probe] then runs
+    every registered driver against a machine's hardware inventory and
+    fills the environment's device table with COM objects; [lookup] is the
+    paper's [fdev_device_lookup]. *)
+
+type driver = {
+  drv_name : string;
+  drv_origin : string;  (** which donor OS the encapsulated code came from *)
+  drv_probe : Osenv.t -> Com.unknown list;
+      (** detect supported hardware; return one device object per unit *)
+}
+
+(** Link a driver in (idempotent per [drv_name]). *)
+val register_driver : driver -> unit
+
+val registered_drivers : unit -> driver list
+
+(** Unlink everything (tests). *)
+val clear_drivers : unit -> unit
+
+(** [probe osenv] runs every registered driver's probe and populates
+    [Osenv.devices osenv]; returns the number of devices found. *)
+val probe : Osenv.t -> int
+
+(** [lookup osenv iid] — all probed devices exporting [iid]. *)
+val lookup : Osenv.t -> 'a Iid.t -> 'a list

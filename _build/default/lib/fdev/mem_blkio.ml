@@ -1,0 +1,33 @@
+(* A blkio over plain memory — the RAM-disk every kit needs for tests and
+   for clients that want a file system without a disk driver.  Charges
+   copies like any other block device, but has no mechanical latency. *)
+
+let make ?(block_size = 512) ~bytes () : Io_if.blkio =
+  let store = Bytes.make bytes '\000' in
+  let clamp offset amount = max 0 (min amount (bytes - offset)) in
+  let rec view () =
+    { Io_if.bio_unknown = unknown ();
+      getblocksize = (fun () -> block_size);
+      bio_read =
+        (fun ~buf ~pos ~offset ~amount ->
+          if offset < 0 then Result.Error Error.Inval
+          else begin
+            let n = clamp offset amount in
+            Cost.charge_copy n;
+            Bytes.blit store offset buf pos n;
+            Ok n
+          end);
+      bio_write =
+        (fun ~buf ~pos ~offset ~amount ->
+          if offset < 0 then Result.Error Error.Inval
+          else begin
+            let n = clamp offset amount in
+            Cost.charge_copy n;
+            Bytes.blit buf pos store offset n;
+            Ok n
+          end);
+      getsize = (fun () -> bytes);
+      setsize = (fun _ -> Result.Error Error.Notsup) }
+  and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.blkio_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  view ()

@@ -1,0 +1,61 @@
+type t = {
+  machine : Machine.t;
+  devices : Registry.t;
+  mutable alloc : size:int -> flags:int -> align_bits:int -> int option;
+  mutable free : addr:int -> size:int -> unit;
+  mutable irqs_taken : int list;
+  mutable log_fn : string -> unit;
+  log_buf : Buffer.t;
+}
+
+let create ?lmm machine =
+  let lmm =
+    match lmm with
+    | Some l -> l
+    | None ->
+        let l = Lmm.create () in
+        let ram = Physmem.size (Machine.ram machine) in
+        Bootmem.add_standard_regions l ~ram_bytes:ram;
+        (* Leave the low 2 MB for the kernel and boot data. *)
+        Lmm.add_free l ~addr:0x200000 ~size:(ram - 0x200000);
+        l
+  in
+  let log_buf = Buffer.create 128 in
+  { machine;
+    devices = Registry.create ();
+    alloc =
+      (fun ~size ~flags ~align_bits ->
+        Cost.charge_alloc ();
+        Lmm.alloc_aligned lmm ~size ~flags ~align_bits ~align_ofs:0);
+    free = (fun ~addr ~size -> Lmm.free lmm ~addr ~size);
+    irqs_taken = [];
+    log_fn = (fun s -> Buffer.add_string log_buf (s ^ "\n"));
+    log_buf }
+
+let machine t = t.machine
+let devices t = t.devices
+let mem_alloc t ~size ~flags ~align_bits = t.alloc ~size ~flags ~align_bits
+let mem_free t ~addr ~size = t.free ~addr ~size
+
+let set_mem_hooks t ~alloc ~free =
+  t.alloc <- alloc;
+  t.free <- free
+
+let irq_request t ~irq ~handler =
+  if List.mem irq t.irqs_taken then Result.Error Error.Busy
+  else begin
+    Machine.set_irq_handler t.machine ~irq handler;
+    Machine.unmask_irq t.machine ~irq;
+    t.irqs_taken <- irq :: t.irqs_taken;
+    Ok ()
+  end
+
+let irq_free t ~irq =
+  Machine.mask_irq t.machine ~irq;
+  t.irqs_taken <- List.filter (fun i -> i <> irq) t.irqs_taken
+
+let timeout t ~ns f = Machine.after t.machine ns f
+let untimeout = World.cancel
+let log t s = t.log_fn s
+let set_log t f = t.log_fn <- f
+let log_output t = Buffer.contents t.log_buf

@@ -1,0 +1,51 @@
+(** The driver-support environment ("osenv").
+
+    Everything an encapsulated device driver needs from its surroundings,
+    gathered behind overridable functions (Section 4.2.1): physical memory
+    allocation (the paper's [fdev_mem_alloc], with DMA/alignment
+    constraints), interrupt registration, timeouts, sleep records, and
+    logging.  Defaults that "just work" are installed at creation — memory
+    from an LMM primed over the machine's RAM — and any entry can be
+    replaced by the client OS to take control. *)
+
+type t
+
+(** [create machine] builds an environment with default services.  If
+    [lmm] is omitted, a private LMM is primed with the machine's RAM above
+    2 MB (so defaults never collide with kernel/boot placement). *)
+val create : ?lmm:Lmm.t -> Machine.t -> t
+
+val machine : t -> Machine.t
+
+(** The per-environment device table filled in by [Fdev.probe]. *)
+val devices : t -> Registry.t
+
+(** {2 Overridable services} *)
+
+(** [mem_alloc t ~size ~flags ~align_bits] — physical memory for DMA
+    buffers and descriptor rings.  [flags] are LMM flags (e.g.
+    [Lmm.flag_low_16mb] for ISA DMA). *)
+val mem_alloc : t -> size:int -> flags:int -> align_bits:int -> int option
+
+val mem_free : t -> addr:int -> size:int -> unit
+val set_mem_hooks :
+  t ->
+  alloc:(size:int -> flags:int -> align_bits:int -> int option) ->
+  free:(addr:int -> size:int -> unit) ->
+  unit
+
+(** [irq_request t ~irq ~handler] — attach a hardware interrupt handler. *)
+val irq_request : t -> irq:int -> handler:(unit -> unit) -> (unit, Error.t) result
+
+val irq_free : t -> irq:int -> unit
+
+(** One-shot callout, interrupt level. *)
+val timeout : t -> ns:int -> (unit -> unit) -> World.event
+
+val untimeout : World.event -> unit
+
+(** Diagnostic log; default appends to an internal buffer. *)
+val log : t -> string -> unit
+
+val set_log : t -> (string -> unit) -> unit
+val log_output : t -> string

@@ -1,0 +1,1 @@
+lib/freebsd_dev/freebsd_char_drv.ml: Bus Bytes Char Cost List Osenv Queue Serial Sleep_record

@@ -1,0 +1,1 @@
+lib/freebsd_dev/freebsd_dev_glue.ml: Com Cost Fdev Freebsd_char_drv Iid Io_if Lazy List

@@ -1,0 +1,1 @@
+lib/freebsd_net/arp.ml: Bytes Char Hashtbl Int32 List Mbuf Netif

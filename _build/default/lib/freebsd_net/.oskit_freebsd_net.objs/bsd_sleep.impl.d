@@ -1,0 +1,1 @@
+lib/freebsd_net/bsd_sleep.ml: Array List Sleep_record

@@ -1,0 +1,1 @@
+lib/freebsd_net/bsd_socket.ml: Arp Bsd_sleep Cost Error Icmp Ip Machine Netif Option Queue Result Sleep_record Tcp Udp

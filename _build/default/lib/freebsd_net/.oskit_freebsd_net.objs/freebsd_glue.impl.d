@@ -1,0 +1,1 @@
+lib/freebsd_net/freebsd_glue.ml: Bsd_socket Bytes Com Cost Error Iid Io_if Lazy Mbuf Netif Result Sockbuf Tcp Udp

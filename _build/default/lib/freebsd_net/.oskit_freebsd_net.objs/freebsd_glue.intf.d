@@ -1,0 +1,1 @@
+lib/freebsd_net/freebsd_glue.mli: Bsd_socket Error Io_if Machine Mbuf

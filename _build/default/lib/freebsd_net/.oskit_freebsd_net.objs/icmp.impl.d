@@ -1,0 +1,1 @@
+lib/freebsd_net/icmp.ml: Bytes Char In_cksum Ip Mbuf Netif

@@ -1,0 +1,1 @@
+lib/freebsd_net/in_cksum.ml: Bytes Char Cost Int32 Mbuf

@@ -1,0 +1,1 @@
+lib/freebsd_net/ip.ml: Arp Bytes Char Error In_cksum Int Int32 List Machine Mbuf Netif

@@ -1,0 +1,1 @@
+lib/freebsd_net/mbuf.ml: Bytes Cost List

@@ -1,0 +1,1 @@
+lib/freebsd_net/native_if.ml: Bsd_socket Bytes Cost Machine Mbuf Netif Nic

@@ -1,0 +1,1 @@
+lib/freebsd_net/netif.ml: Bytes Char Int32 List Mbuf String

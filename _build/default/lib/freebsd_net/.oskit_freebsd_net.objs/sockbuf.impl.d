@@ -1,0 +1,1 @@
+lib/freebsd_net/sockbuf.ml: Mbuf

@@ -1,0 +1,1 @@
+lib/freebsd_net/tcp.ml: Bytes Char Cost Error In_cksum Int32 Ip List Machine Mbuf Netif Queue Result Sockbuf

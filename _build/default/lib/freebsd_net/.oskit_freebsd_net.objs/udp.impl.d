@@ -1,0 +1,1 @@
+lib/freebsd_net/udp.ml: Bytes Error In_cksum Int32 Ip List Mbuf Netif Queue Result

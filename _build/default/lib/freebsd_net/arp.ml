@@ -1,0 +1,93 @@
+(* ENCAPSULATED LEGACY CODE — if_ether.c: ARP.
+ *
+ * Resolution table keyed by IP; unresolved destinations hold a short queue
+ * of waiting packets (the donor holds one; we keep a few) that is flushed
+ * when the reply arrives.
+ *)
+
+type entry =
+  | Resolved of string
+  | Pending of (string -> unit) list ref (* continuations awaiting the MAC *)
+
+type t = {
+  ifp : Netif.ifnet;
+  table : (int32, entry) Hashtbl.t;
+  mutable requests_sent : int;
+  mutable replies_sent : int;
+}
+
+let op_request = 1
+let op_reply = 2
+let arp_len = 28
+
+let put32 d o (v : int32) =
+  Bytes.set d o (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff));
+  Bytes.set d (o + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
+  Bytes.set d (o + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
+  Bytes.set d (o + 3) (Char.chr (Int32.to_int v land 0xff))
+
+let get32 d o =
+  let b i = Int32.of_int (Char.code (Bytes.get d (o + i))) in
+  Int32.logor
+    (Int32.shift_left (b 0) 24)
+    (Int32.logor (Int32.shift_left (b 1) 16) (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+
+(* Build ether/IP ARP message: hrd=1, pro=0x800, hln=6, pln=4. *)
+let send_arp t ~op ~target_mac ~target_ip ~dst_mac =
+  let m = Mbuf.m_gethdr () in
+  let off = Mbuf.m_put m arp_len in
+  let d = m.Mbuf.m_data in
+  Bytes.set_uint16_be d off 1;
+  Bytes.set_uint16_be d (off + 2) Netif.ethertype_ip;
+  Bytes.set d (off + 4) '\006';
+  Bytes.set d (off + 5) '\004';
+  Bytes.set_uint16_be d (off + 6) op;
+  Bytes.blit_string t.ifp.Netif.if_hwaddr 0 d (off + 8) 6;
+  put32 d (off + 14) t.ifp.Netif.if_addr;
+  Bytes.blit_string target_mac 0 d (off + 18) 6;
+  put32 d (off + 24) target_ip;
+  Netif.ether_output t.ifp m ~dst_mac ~ethertype:Netif.ethertype_arp
+
+let arp_request t ip =
+  t.requests_sent <- t.requests_sent + 1;
+  send_arp t ~op:op_request ~target_mac:"\000\000\000\000\000\000" ~target_ip:ip
+    ~dst_mac:Netif.ether_broadcast
+
+let arp_input t m =
+  if Mbuf.m_length m >= arp_len then begin
+    let m = Mbuf.m_pullup m arp_len in
+    let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
+    let op = Bytes.get_uint16_be d (o + 6) in
+    let sender_mac = Bytes.sub_string d (o + 8) 6 in
+    let sender_ip = get32 d (o + 14) in
+    let target_ip = get32 d (o + 24) in
+    (* Learn the sender either way (donor behaviour). *)
+    (match Hashtbl.find_opt t.table sender_ip with
+    | Some (Pending conts) ->
+        Hashtbl.replace t.table sender_ip (Resolved sender_mac);
+        List.iter (fun k -> k sender_mac) (List.rev !conts)
+    | Some (Resolved _) | None -> Hashtbl.replace t.table sender_ip (Resolved sender_mac));
+    if op = op_request && Int32.equal target_ip t.ifp.Netif.if_addr then begin
+      t.replies_sent <- t.replies_sent + 1;
+      send_arp t ~op:op_reply ~target_mac:sender_mac ~target_ip:sender_ip ~dst_mac:sender_mac
+    end
+  end
+
+let attach ifp =
+  let t = { ifp; table = Hashtbl.create 16; requests_sent = 0; replies_sent = 0 } in
+  Netif.set_proto_input ifp ~ethertype:Netif.ethertype_arp (fun m -> arp_input t m);
+  t
+
+(* resolve: call [k mac] now if cached, else queue and broadcast. *)
+let resolve t ip k =
+  match Hashtbl.find_opt t.table ip with
+  | Some (Resolved mac) -> k mac
+  | Some (Pending conts) -> conts := k :: !conts
+  | None ->
+      Hashtbl.replace t.table ip (Pending (ref [ k ]));
+      arp_request t ip
+
+(* Static entry (tests / point-to-point setups). *)
+let add_static t ip mac = Hashtbl.replace t.table ip (Resolved mac)
+let lookup t ip =
+  match Hashtbl.find_opt t.table ip with Some (Resolved mac) -> Some mac | _ -> None

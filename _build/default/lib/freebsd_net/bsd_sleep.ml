@@ -1,0 +1,47 @@
+(* GLUE — the BSD sleep/wakeup emulation of Section 4.7.6.
+ *
+ * "The BSD sleep/wakeup mechanism uses a global hash table of 'events',
+ * where an event is just an arbitrary 32-bit value; when wakeup is called
+ * on a particular event, all processes waiting on that particular value
+ * are woken.  In the encapsulated BSD-based OSKit components, we retain
+ * BSD's original event hash table management code; however, the hash table
+ * is now only used within that particular component, and instead of all
+ * the scheduling-related fields in the emulated proc structure there is
+ * now only a sleep record."
+ *
+ * One instance of this table lives inside each encapsulated BSD component;
+ * the only client-OS service consumed is the sleep record. *)
+
+let hash_buckets = 64
+
+type waiter = { channel : int; record : Sleep_record.t }
+
+type t = { table : waiter list array; mutable sleeps : int; mutable wakeups : int }
+
+let create () = { table = Array.make hash_buckets []; sleeps = 0; wakeups = 0 }
+
+let bucket chan = (chan lxor (chan lsr 8)) land (hash_buckets - 1)
+
+(* tsleep(chan): block the current "process" until wakeup(chan). *)
+let tsleep t ~channel =
+  t.sleeps <- t.sleeps + 1;
+  let w = { channel; record = Sleep_record.create ~name:"bsd.tsleep" () } in
+  let b = bucket channel in
+  t.table.(b) <- w :: t.table.(b);
+  Sleep_record.sleep w.record;
+  (* Our entry was removed by wakeup before the record fired; defensive
+     sweep in case of a latched wake. *)
+  t.table.(b) <- List.filter (fun x -> x != w) t.table.(b)
+
+(* wakeup(chan): wake EVERY process sleeping on the channel. *)
+let wakeup t ~channel =
+  t.wakeups <- t.wakeups + 1;
+  let b = bucket channel in
+  let mine, others = List.partition (fun w -> w.channel = channel) t.table.(b) in
+  t.table.(b) <- others;
+  List.iter (fun w -> Sleep_record.wakeup w.record) (List.rev mine)
+
+let waiters t ~channel =
+  List.length (List.filter (fun w -> w.channel = channel) t.table.(bucket channel))
+
+let stats t = t.sleeps, t.wakeups

@@ -1,0 +1,180 @@
+(* ENCAPSULATED LEGACY CODE — uipc_socket.c: the blocking socket layer.
+ *
+ * sosend/soreceive/soconnect/soaccept over the TCP and UDP protocol
+ * blocks.  Blocking (sbwait) and wakeup (sowakeup) go through the donor's
+ * event-hash sleep/wakeup retained inside this component (Bsd_sleep,
+ * Section 4.7.6); the only client-OS service underneath is the sleep
+ * record.  Wait channels are the addresses of the socket buffers in the
+ * donor; here, small unique integers per socket.
+ *)
+
+type stack = {
+  machine : Machine.t;
+  ifp : Netif.ifnet;
+  arp : Arp.t;
+  ip : Ip.t;
+  icmp : Icmp.t;
+  udp : Udp.t;
+  tcp : Tcp.t;
+  sleepq : Bsd_sleep.t; (* the component's event hash *)
+  mutable next_chan : int;
+}
+
+let create_stack machine ~hwaddr ~name =
+  let ifp = Netif.create ~name ~hwaddr in
+  let arp = Arp.attach ifp in
+  let ip = Ip.attach ifp arp machine in
+  let icmp = Icmp.attach ip in
+  let udp = Udp.attach ip in
+  let tcp = Tcp.attach ip machine in
+  { machine; ifp; arp; ip; icmp; udp; tcp; sleepq = Bsd_sleep.create (); next_chan = 0 }
+
+let alloc_chan st =
+  st.next_chan <- st.next_chan + 3;
+  st.next_chan
+
+let ifconfig stack ~addr ~mask = Netif.ifconfig stack.ifp ~addr ~mask
+
+(* ---- TCP stream sockets ---- *)
+
+type tsock = {
+  st : stack;
+  pcb : Tcp.tcpcb;
+  chan : int; (* rd = chan, wr = chan+1, cn = chan+2 *)
+}
+
+(* The donor idiom: sbwait sleeps on the buffer's channel; sowakeup wakes
+   every sleeper on it.  Wakeups on an empty channel are naturally lost
+   here (as in BSD), so every sleep below sits in a re-checking loop. *)
+let sbwait s which = Bsd_sleep.tsleep s.st.sleepq ~channel:(s.chan + which)
+let sowakeup st chan which = Bsd_sleep.wakeup st.sleepq ~channel:(chan + which)
+
+let wrap_pcb st pcb =
+  let s = { st; pcb; chan = alloc_chan st } in
+  pcb.Tcp.on_readable <- (fun () -> sowakeup st s.chan 0);
+  pcb.Tcp.on_writable <- (fun () -> sowakeup st s.chan 1);
+  pcb.Tcp.on_state <-
+    (fun () ->
+      sowakeup st s.chan 2;
+      sowakeup st s.chan 0;
+      sowakeup st s.chan 1);
+  s
+
+let tcp_socket st = wrap_pcb st (Tcp.create_pcb st.tcp)
+
+let so_bind s ~port = Tcp.usr_bind s.st.tcp s.pcb ~port
+let so_listen s ~backlog = Tcp.usr_listen s.st.tcp s.pcb ~backlog
+
+let so_accept s =
+  if s.pcb.Tcp.t_state <> Tcp.Listen then Result.Error Error.Inval
+  else begin
+    let rec wait () =
+      match Queue.take_opt s.pcb.Tcp.accept_q with
+      | Some conn -> Ok (wrap_pcb s.st conn)
+      | None ->
+          if s.pcb.Tcp.t_state <> Tcp.Listen then Result.Error Error.Badf
+          else begin
+            sbwait s 0;
+            wait ()
+          end
+    in
+    wait ()
+  end
+
+let so_connect s ~dst ~dport =
+  match Tcp.usr_connect s.st.tcp s.pcb ~dst ~dport with
+  | Result.Error _ as e -> e
+  | Ok () ->
+      let rec wait () =
+        match s.pcb.Tcp.t_state with
+        | Tcp.Established -> Ok ()
+        | Tcp.Syn_sent | Tcp.Syn_received ->
+            sbwait s 2;
+            wait ()
+        | _ -> Result.Error (Option.value s.pcb.Tcp.so_error ~default:Error.Connrefused)
+      in
+      wait ()
+
+(* sosend: block until all bytes are accepted into the send buffer. *)
+let so_send s ~buf ~pos ~len =
+  let rec push sent =
+    if sent >= len then Ok len
+    else
+      match Tcp.usr_send s.st.tcp s.pcb ~src:buf ~src_pos:(pos + sent) ~len:(len - sent) with
+      | Result.Error e -> if sent > 0 then Ok sent else Result.Error e
+      | Ok 0 -> (
+          match s.pcb.Tcp.t_state with
+          | Tcp.Closed -> Result.Error (Option.value s.pcb.Tcp.so_error ~default:Error.Pipe)
+          | _ ->
+              sbwait s 1;
+              push sent)
+      | Ok n -> push (sent + n)
+  in
+  push 0
+
+(* soreceive: block until at least one byte (or EOF). *)
+let so_recv s ~buf ~pos ~len =
+  let rec wait () =
+    let n = Tcp.usr_recv s.st.tcp s.pcb ~dst:buf ~dst_pos:pos ~len in
+    if n > 0 then Ok n
+    else if s.pcb.Tcp.rcv_fin then Ok 0
+    else
+      match s.pcb.Tcp.t_state with
+      | Tcp.Closed -> (
+          match s.pcb.Tcp.so_error with Some e -> Result.Error e | None -> Ok 0)
+      | _ ->
+          sbwait s 0;
+          wait ()
+  in
+  if len = 0 then Ok 0 else wait ()
+
+let so_close s =
+  Tcp.usr_close s.st.tcp s.pcb;
+  Ok ()
+
+let so_shutdown s =
+  Tcp.usr_close s.st.tcp s.pcb;
+  Ok ()
+
+let so_abort s =
+  Tcp.usr_abort s.st.tcp s.pcb;
+  Ok ()
+
+let so_sockname s =
+  Ok (s.st.ifp.Netif.if_addr, s.pcb.Tcp.lport)
+
+(* ---- UDP datagram sockets ---- *)
+
+type usock = { ust : stack; upcb : Udp.pcb; urd : Sleep_record.t }
+
+let udp_socket st =
+  let upcb = Udp.create_pcb st.udp in
+  let s = { ust = st; upcb; urd = Sleep_record.create ~name:"udp_rcv" () } in
+  upcb.Udp.on_readable <- (fun () -> Sleep_record.wakeup s.urd);
+  s
+
+let uso_bind s ~port = Udp.bind s.ust.udp s.upcb ~port
+
+let uso_sendto s ~buf ~pos ~len ~dst ~dport =
+  Cost.charge_cycles Cost.config.socket_op_cycles;
+  match
+    Error.to_result (fun () ->
+        Udp.output s.ust.udp s.upcb ~dst ~dport ~src:buf ~src_pos:pos ~len)
+  with
+  | Ok () -> Ok len
+  | Result.Error _ as e -> e
+
+let uso_recvfrom s =
+  Cost.charge_cycles Cost.config.socket_op_cycles;
+  let rec wait () =
+    match Udp.recv s.upcb with
+    | Some dgram -> dgram
+    | None ->
+        Sleep_record.sleep s.urd;
+        wait ()
+  in
+  wait ()
+
+let uso_close s =
+  Udp.detach s.ust.udp s.upcb;
+  Ok ()

@@ -1,0 +1,215 @@
+type stack = Bsd_socket.stack
+
+(* Private recognition interface, mirroring the Linux glue's. *)
+let mbuf_iid : Mbuf.mbuf Iid.t = Iid.declare "oskit.freebsd.mbuf"
+
+let init machine =
+  Bsd_socket.create_stack machine ~hwaddr:"\x00\x00\x00\x00\x00\x00" ~name:"fbsd0"
+
+let ifconfig stack ~addr ~mask = Bsd_socket.ifconfig stack ~addr ~mask
+
+(* ---- mbuf <-> bufio ---- *)
+
+let bufio_of_mbuf m =
+  let size () = Mbuf.m_length m in
+  let rec view () =
+    { Io_if.buf_unknown = unknown ();
+      buf_size = size;
+      buf_read =
+        (fun ~buf ~pos ~offset ~amount ->
+          let n = max 0 (min amount (size () - offset)) in
+          if n > 0 then Mbuf.m_copy_into m ~off:offset ~len:n ~dst:buf ~dst_pos:pos;
+          Ok n);
+      buf_write =
+        (fun ~buf ~pos ~offset ~amount ->
+          let n = max 0 (min amount (size () - offset)) in
+          if n > 0 then Mbuf.m_write m ~off:offset ~src:buf ~src_pos:pos ~len:n;
+          Ok n);
+      buf_map =
+        (fun () ->
+          (* Contiguous only when the chain is a single mbuf. *)
+          match m.Mbuf.m_next with
+          | None -> Some (m.Mbuf.m_data, m.Mbuf.m_off)
+          | Some _ -> None) }
+  and obj =
+    lazy
+      (Com.create (fun _ ->
+           [ Iid.B (Io_if.bufio_iid, fun () -> view ());
+             Iid.B (mbuf_iid, fun () -> m) ]))
+  and unknown () = Lazy.force obj in
+  view ()
+
+let mbuf_of_bufio (io : Io_if.bufio) =
+  match Com.query io.Io_if.buf_unknown mbuf_iid with
+  | Ok m ->
+      ignore (io.Io_if.buf_unknown.Com.release ());
+      m, false
+  | Result.Error _ -> (
+      let n = io.Io_if.buf_size () in
+      match io.Io_if.buf_map () with
+      | Some (backing, start) ->
+          (* Contiguous foreign data (e.g. an sk_buff): loan it as external
+             mbuf storage — the zero-copy receive path. *)
+          Mbuf.m_ext_wrap backing ~off:start ~len:n, false
+      | None -> (
+          let m = Mbuf.m_getclust () in
+          if n > Mbuf.mclbytes then Error.fail Error.Msgsize;
+          match io.Io_if.buf_read ~buf:m.Mbuf.m_data ~pos:0 ~offset:0 ~amount:n with
+          | Ok k ->
+              m.Mbuf.m_len <- k;
+              m.Mbuf.m_pkthdr_len <- k;
+              Cost.charge_copy k;
+              m, true
+          | Result.Error e -> Error.fail e))
+
+(* ---- binding the stack to a COM etherdev ---- *)
+
+let open_ether_if stack (ed : Io_if.etherdev) =
+  let ifp = stack.Bsd_socket.ifp in
+  (* The stack learns the device's station address. *)
+  ifp.Netif.if_hwaddr <- ed.Io_if.ed_ethaddr ();
+  let recv_netio =
+    let rec view () =
+      { Io_if.nio_unknown = unknown ();
+        push =
+          (fun io ->
+            Cost.charge_glue_crossing ();
+            let m, _copied = mbuf_of_bufio io in
+            Netif.ether_input ifp m;
+            Ok ()) }
+    and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.netio_iid, fun () -> view ()) ]))
+    and unknown () = Lazy.force obj in
+    view ()
+  in
+  match ed.Io_if.ed_open ~recv:recv_netio with
+  | Result.Error _ as e -> e
+  | Ok xmit ->
+      ifp.Netif.if_xmit <-
+        (* The crossing is charged by the driver's xmit netio. *)
+        (fun m -> ignore (xmit.Io_if.push (bufio_of_mbuf m)));
+      Ok ()
+
+(* ---- COM socket export ---- *)
+
+let sockaddr_of (ip, port) = { Io_if.sin_addr = ip; sin_port = port }
+
+let rec socket_com stack (s : Bsd_socket.tsock) : Io_if.socket =
+  let enter f =
+    (* Every socket call is an entry into the FreeBSD component. *)
+    Cost.charge_glue_crossing ();
+    f ()
+  in
+  let rec view () =
+    { Io_if.so_unknown = unknown ();
+      so_bind = (fun a -> enter (fun () -> Bsd_socket.so_bind s ~port:a.Io_if.sin_port));
+      so_listen = (fun ~backlog -> enter (fun () -> Bsd_socket.so_listen s ~backlog));
+      so_accept =
+        (fun () ->
+          enter (fun () ->
+              match Bsd_socket.so_accept s with
+              | Ok conn ->
+                  let peer =
+                    { Io_if.sin_addr = conn.Bsd_socket.pcb.Tcp.raddr;
+                      sin_port = conn.Bsd_socket.pcb.Tcp.rport }
+                  in
+                  Ok (socket_com stack conn, peer)
+              | Result.Error _ as e -> (e :> (Io_if.socket * Io_if.sockaddr, Error.t) result)));
+      so_connect =
+        (fun a ->
+          enter (fun () -> Bsd_socket.so_connect s ~dst:a.Io_if.sin_addr ~dport:a.Io_if.sin_port));
+      so_send = (fun ~buf ~pos ~len -> enter (fun () -> Bsd_socket.so_send s ~buf ~pos ~len));
+      so_recv = (fun ~buf ~pos ~len -> enter (fun () -> Bsd_socket.so_recv s ~buf ~pos ~len));
+      so_sendto = (fun ~buf:_ ~pos:_ ~len:_ ~dst:_ -> Result.Error Error.Notsup);
+      so_recvfrom = (fun ~buf:_ ~pos:_ ~len:_ -> Result.Error Error.Notsup);
+      so_getsockname =
+        (fun () ->
+          enter (fun () ->
+              match Bsd_socket.so_sockname s with
+              | Ok pair -> Ok (sockaddr_of pair)
+              | Result.Error _ as e -> (e :> (Io_if.sockaddr, Error.t) result)));
+      so_setsockopt =
+        (fun name value ->
+          enter (fun () ->
+              match name with
+              | "sndbuf" ->
+                  Tcp.set_buffer_sizes s.Bsd_socket.pcb ~snd:value
+                    ~rcv:s.Bsd_socket.pcb.Tcp.rcv_buf.Sockbuf.sb_hiwat;
+                  Ok ()
+              | "rcvbuf" ->
+                  Tcp.set_buffer_sizes s.Bsd_socket.pcb
+                    ~snd:s.Bsd_socket.pcb.Tcp.snd_buf.Sockbuf.sb_hiwat ~rcv:value;
+                  Ok ()
+              | _ -> Result.Error Error.Notsup));
+      so_shutdown = (fun () -> enter (fun () -> Bsd_socket.so_shutdown s));
+      so_close = (fun () -> enter (fun () -> Bsd_socket.so_close s)) }
+  and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.socket_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  view ()
+
+let udp_socket_com (s : Bsd_socket.usock) : Io_if.socket =
+  let enter f =
+    Cost.charge_glue_crossing ();
+    f ()
+  in
+  let mutable_peer = ref None in
+  let rec view () =
+    { Io_if.so_unknown = unknown ();
+      so_bind = (fun a -> enter (fun () -> Bsd_socket.uso_bind s ~port:a.Io_if.sin_port));
+      so_listen = (fun ~backlog:_ -> Result.Error Error.Notsup);
+      so_accept = (fun () -> Result.Error Error.Notsup);
+      so_connect =
+        (fun a ->
+          mutable_peer := Some a;
+          Ok ());
+      so_send =
+        (fun ~buf ~pos ~len ->
+          match !mutable_peer with
+          | Some a ->
+              enter (fun () ->
+                  Bsd_socket.uso_sendto s ~buf ~pos ~len ~dst:a.Io_if.sin_addr
+                    ~dport:a.Io_if.sin_port)
+          | None -> Result.Error Error.Notconn);
+      so_recv =
+        (fun ~buf ~pos ~len ->
+          enter (fun () ->
+              let _, _, payload = Bsd_socket.uso_recvfrom s in
+              let n = min len (Bytes.length payload) in
+              Cost.charge_copy n;
+              Bytes.blit payload 0 buf pos n;
+              Ok n));
+      so_sendto =
+        (fun ~buf ~pos ~len ~dst ->
+          enter (fun () ->
+              Bsd_socket.uso_sendto s ~buf ~pos ~len ~dst:dst.Io_if.sin_addr
+                ~dport:dst.Io_if.sin_port));
+      so_recvfrom =
+        (fun ~buf ~pos ~len ->
+          enter (fun () ->
+              let src, sport, payload = Bsd_socket.uso_recvfrom s in
+              let n = min len (Bytes.length payload) in
+              Cost.charge_copy n;
+              Bytes.blit payload 0 buf pos n;
+              Ok (n, { Io_if.sin_addr = src; sin_port = sport })));
+      so_getsockname =
+        (fun () ->
+          Ok { Io_if.sin_addr = s.Bsd_socket.upcb.Udp.laddr; sin_port = s.Bsd_socket.upcb.Udp.lport });
+      so_setsockopt = (fun _ _ -> Result.Error Error.Notsup);
+      so_shutdown = (fun () -> Ok ());
+      so_close = (fun () -> enter (fun () -> Bsd_socket.uso_close s)) }
+  and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.socket_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  view ()
+
+let socket_factory stack : Io_if.socket_factory =
+  let rec view () =
+    { Io_if.sf_unknown = unknown ();
+      sf_create =
+        (fun typ ->
+          Cost.charge_glue_crossing ();
+          match typ with
+          | Io_if.Sock_stream -> Ok (socket_com stack (Bsd_socket.tcp_socket stack))
+          | Io_if.Sock_dgram -> Ok (udp_socket_com (Bsd_socket.udp_socket stack))) }
+  and obj =
+    lazy (Com.create (fun _ -> [ Iid.B (Io_if.socket_factory_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  view ()

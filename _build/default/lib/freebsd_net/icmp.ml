@@ -1,0 +1,63 @@
+(* ENCAPSULATED LEGACY CODE — ip_icmp.c: echo request/reply plus a hook for
+ * receiving replies (what ping-style diagnostics use).
+ *)
+
+let type_echo_reply = 0
+let type_echo = 8
+
+type t = {
+  ip : Ip.t;
+  mutable echoes_answered : int;
+  mutable on_echo_reply : ident:int -> seq:int -> payload:bytes -> unit;
+}
+
+let build ~typ ~code ~ident ~seq ~payload =
+  let m = Mbuf.m_gethdr () in
+  let off = Mbuf.m_put m 8 in
+  let d = m.Mbuf.m_data in
+  Bytes.set d off (Char.chr typ);
+  Bytes.set d (off + 1) (Char.chr code);
+  Bytes.set_uint16_be d (off + 2) 0;
+  Bytes.set_uint16_be d (off + 4) ident;
+  Bytes.set_uint16_be d (off + 6) seq;
+  if Bytes.length payload > 0 then
+    Mbuf.m_append m ~src:payload ~src_pos:0 ~len:(Bytes.length payload);
+  let sum = In_cksum.cksum_chain m ~off:0 ~len:(Mbuf.m_length m) in
+  Bytes.set_uint16_be d (off + 2) sum;
+  m
+
+let send_echo t ~dst ~ident ~seq ~payload =
+  let m = build ~typ:type_echo ~code:0 ~ident ~seq ~payload in
+  Ip.output t.ip ~proto:Ip.proto_icmp ~src:t.ip.Ip.ifp.Netif.if_addr ~dst m
+
+let input t ~src ~dst:_ m =
+  if Mbuf.m_length m >= 8 then begin
+    if In_cksum.cksum_chain m ~off:0 ~len:(Mbuf.m_length m) <> 0 then ()
+    else begin
+      let m = Mbuf.m_pullup m 8 in
+      let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
+      let typ = Char.code (Bytes.get d o) in
+      let ident = Bytes.get_uint16_be d (o + 4) in
+      let seq = Bytes.get_uint16_be d (o + 6) in
+      let payload_len = Mbuf.m_length m - 8 in
+      if typ = type_echo then begin
+        t.echoes_answered <- t.echoes_answered + 1;
+        let payload =
+          if payload_len > 0 then Mbuf.m_copydata m ~off:8 ~len:payload_len else Bytes.empty
+        in
+        let reply = build ~typ:type_echo_reply ~code:0 ~ident ~seq ~payload in
+        Ip.output t.ip ~proto:Ip.proto_icmp ~src:t.ip.Ip.ifp.Netif.if_addr ~dst:src reply
+      end
+      else if typ = type_echo_reply then begin
+        let payload =
+          if payload_len > 0 then Mbuf.m_copydata m ~off:8 ~len:payload_len else Bytes.empty
+        in
+        t.on_echo_reply ~ident ~seq ~payload
+      end
+    end
+  end
+
+let attach ip =
+  let t = { ip; echoes_answered = 0; on_echo_reply = (fun ~ident:_ ~seq:_ ~payload:_ -> ()) } in
+  Ip.set_proto ip ~proto:Ip.proto_icmp (fun ~src ~dst m -> input t ~src ~dst m);
+  t

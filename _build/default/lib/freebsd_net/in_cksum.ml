@@ -1,0 +1,64 @@
+(* ENCAPSULATED LEGACY CODE — the Internet checksum (in_cksum.c).
+ *
+ * 16-bit one's-complement sum over an mbuf chain, handling the odd-byte
+ * boundary between mbufs exactly as the donor does.  Charged per byte: on
+ * the testbed CPU this pass over the data was a visible part of per-packet
+ * cost.
+ *)
+
+(* Add bytes [off, off+len) of [data] into the running 32-bit sum; [swapped]
+   tracks an odd starting alignment across mbuf boundaries. *)
+let sum_bytes data off len (sum, swapped) =
+  let s = ref sum in
+  let i = ref off in
+  let remaining = ref len in
+  let swapped = ref swapped in
+  while !remaining > 0 do
+    let byte = Char.code (Bytes.get data !i) in
+    (* Even position contributes the high byte of a word. *)
+    if !swapped then s := !s + byte else s := !s + (byte lsl 8);
+    swapped := not !swapped;
+    incr i;
+    decr remaining
+  done;
+  !s, !swapped
+
+let fold sum =
+  let rec go s = if s > 0xffff then go ((s land 0xffff) + (s lsr 16)) else s in
+  go sum
+
+let finish sum = lnot (fold sum) land 0xffff
+
+let cksum_bytes ?(init = 0) data ~off ~len =
+  Cost.charge_checksum len;
+  let sum, _ = sum_bytes data off len (init, false) in
+  finish sum
+
+(* Checksum over a whole mbuf chain starting [off] bytes in, for [len]
+   bytes, folded with an initial partial sum (the pseudo-header). *)
+let cksum_chain ?(init = 0) m ~off ~len =
+  Cost.charge_checksum len;
+  let rec go m off len acc =
+    if len = 0 then acc
+    else if off >= m.Mbuf.m_len then
+      match m.Mbuf.m_next with
+      | Some nx -> go nx (off - m.Mbuf.m_len) len acc
+      | None -> invalid_arg "in_cksum: chain too short"
+    else begin
+      let n = min len (m.Mbuf.m_len - off) in
+      let acc = sum_bytes m.Mbuf.m_data (m.Mbuf.m_off + off) n acc in
+      if len = n then acc
+      else
+        match m.Mbuf.m_next with
+        | Some nx -> go nx 0 (len - n) acc
+        | None -> invalid_arg "in_cksum: chain too short"
+    end
+  in
+  let sum, _ = go m off len (init, false) in
+  finish sum
+
+(* Partial sum of the TCP/UDP pseudo header (not folded, not negated). *)
+let pseudo_header ~src ~dst ~proto ~len =
+  let hi32 v = Int32.to_int (Int32.shift_right_logical v 16) land 0xffff in
+  let lo32 v = Int32.to_int v land 0xffff in
+  hi32 src + lo32 src + hi32 dst + lo32 dst + proto + len

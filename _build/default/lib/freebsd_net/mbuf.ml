@@ -1,0 +1,279 @@
+(* ENCAPSULATED LEGACY CODE — 4.4BSD/FreeBSD 2.1.5-style mbufs.
+ *
+ * The BSD network stack's packet buffer: small fixed-size mbufs chained
+ * through m_next, with large payloads held in shared "clusters" (external
+ * storage).  Packets are therefore frequently DIScontiguous — the property
+ * whose mismatch with Linux's contiguous sk_buffs produces the extra copy
+ * on the OSKit send path (Section 5).
+ *
+ * External storage is reference-shared by m_copym, as in the donor: a
+ * retransmitted TCP segment aliases the socket buffer's clusters rather
+ * than copying them.
+ *)
+
+let msize = 128 (* donor MSIZE *)
+let mlen = msize - 20 (* data bytes in an ordinary mbuf *)
+let mhlen = msize - 28 (* data bytes in a packet-header mbuf *)
+let mclbytes = 2048 (* cluster size *)
+
+type mbuf = {
+  mutable m_next : mbuf option;
+  mutable m_data : bytes; (* backing storage *)
+  mutable m_off : int; (* start of valid data *)
+  mutable m_len : int;
+  mutable m_ext : bool; (* external (cluster or loaned) storage: shared, never written *)
+  mutable m_pkthdr_len : int; (* total packet length; head mbuf only *)
+}
+
+let stats_allocated = ref 0
+
+let m_get () =
+  Cost.charge_alloc ();
+  incr stats_allocated;
+  { m_next = None; m_data = Bytes.create msize; m_off = msize - mlen; m_len = 0;
+    m_ext = false; m_pkthdr_len = 0 }
+
+let m_gethdr () =
+  let m = m_get () in
+  m.m_off <- msize - mhlen;
+  m
+
+let m_getclust () =
+  Cost.charge_alloc ();
+  Cost.charge_alloc ();
+  incr stats_allocated;
+  { m_next = None; m_data = Bytes.create mclbytes; m_off = 0; m_len = 0; m_ext = true;
+    m_pkthdr_len = 0 }
+
+(* MEXTADD: loan foreign storage to the chain with no copy — how received
+   frames that arrive contiguous are mapped straight into the stack. *)
+let m_ext_wrap buf ~off ~len =
+  Cost.charge_alloc ();
+  incr stats_allocated;
+  { m_next = None; m_data = buf; m_off = off; m_len = len; m_ext = true; m_pkthdr_len = len }
+
+let m_length m =
+  let rec go acc = function None -> acc | Some x -> go (acc + x.m_len) x.m_next in
+  go m.m_len m.m_next
+
+let rec m_last m = match m.m_next with None -> m | Some n -> m_last n
+
+let m_cat a b =
+  (m_last a).m_next <- Some b;
+  a.m_pkthdr_len <- m_length a
+
+(* Headroom available for prepending in the first mbuf. *)
+let m_leadingspace m = if m.m_ext then 0 else m.m_off
+
+let m_tailspace m =
+  (* Never write into external storage: it may be shared or loaned. *)
+  if m.m_ext then 0 else Bytes.length m.m_data - m.m_off - m.m_len
+
+(* Reserve [n] bytes at the tail of (the first mbuf of) a chain under
+   construction, returning their offset within m_data. *)
+let m_put m n =
+  if m_tailspace m < n then invalid_arg "m_put: no space";
+  let at = m.m_off + m.m_len in
+  m.m_len <- m.m_len + n;
+  m.m_pkthdr_len <- m.m_pkthdr_len + n;
+  at
+
+(* M_PREPEND: make room for [n] bytes of header in front. *)
+let m_prepend m n =
+  if m_leadingspace m >= n then begin
+    m.m_off <- m.m_off - n;
+    m.m_len <- m.m_len + n;
+    m.m_pkthdr_len <- m.m_pkthdr_len + n;
+    m
+  end
+  else begin
+    let hdr = m_gethdr () in
+    if n > mhlen then invalid_arg "m_prepend: header larger than MHLEN";
+    hdr.m_len <- n;
+    hdr.m_next <- Some m;
+    hdr.m_pkthdr_len <- n + m_length m;
+    hdr
+  end
+
+(* m_adj: trim [n] bytes from the front (n > 0) or back (n < 0). *)
+let m_adj m n =
+  if n >= 0 then begin
+    let rec front m n =
+      if n > 0 then
+        if m.m_len >= n then begin
+          m.m_off <- m.m_off + n;
+          m.m_len <- m.m_len - n
+        end
+        else begin
+          let eat = m.m_len in
+          m.m_off <- m.m_off + eat;
+          m.m_len <- 0;
+          match m.m_next with Some nx -> front nx (n - eat) | None -> ()
+        end
+    in
+    front m n;
+    m.m_pkthdr_len <- max 0 (m.m_pkthdr_len - n)
+  end
+  else begin
+    let want = m_length m + n in
+    let rec back m remaining =
+      let keep = min m.m_len remaining in
+      m.m_len <- keep;
+      let remaining = remaining - keep in
+      if remaining = 0 then m.m_next <- None
+      else match m.m_next with Some nx -> back nx remaining | None -> ()
+    in
+    back m (max 0 want);
+    m.m_pkthdr_len <- max 0 want
+  end
+
+(* m_copydata: copy a byte range out of a chain (a real copy, charged). *)
+let m_copy_into m ~off ~len ~dst ~dst_pos =
+  if len > 0 then Cost.charge_copy len;
+  let rec go m off len dst_pos =
+    if len > 0 then
+      if off >= m.m_len then
+        match m.m_next with
+        | Some nx -> go nx (off - m.m_len) len dst_pos
+        | None -> invalid_arg "m_copydata: chain too short"
+      else begin
+        let n = min len (m.m_len - off) in
+        Bytes.blit m.m_data (m.m_off + off) dst dst_pos n;
+        match m.m_next with
+        | Some nx -> go nx 0 (len - n) (dst_pos + n)
+        | None -> if len - n > 0 then invalid_arg "m_copydata: chain too short"
+      end
+  in
+  go m off len dst_pos
+
+let m_copydata m ~off ~len =
+  let dst = Bytes.create len in
+  m_copy_into m ~off ~len ~dst ~dst_pos:0;
+  dst
+
+(* m_copyback-style write into a chain (must fit). *)
+let m_write m ~off ~src ~src_pos ~len =
+  if len > 0 then Cost.charge_copy len;
+  let rec go m off len src_pos =
+    if len > 0 then
+      if off >= m.m_len then
+        match m.m_next with
+        | Some nx -> go nx (off - m.m_len) len src_pos
+        | None -> invalid_arg "m_write: chain too short"
+      else begin
+        let n = min len (m.m_len - off) in
+        Bytes.blit src src_pos m.m_data (m.m_off + off) n;
+        match m.m_next with
+        | Some nx -> go nx 0 (len - n) (src_pos + n)
+        | None -> if len - n > 0 then invalid_arg "m_write: chain too short"
+      end
+  in
+  go m off len src_pos
+
+(* m_copym: a new chain covering [off, off+len) of the original.  External
+   storage is shared (no data copy); interior small-mbuf data is copied. *)
+let m_copym m ~off ~len =
+  if len <= 0 then invalid_arg "m_copym: empty range";
+  (* Gather the (source mbuf, offset, length) segments covering the range,
+     then share or copy each. *)
+  let rec segments m off len acc =
+    if len = 0 then List.rev acc
+    else if off >= m.m_len then
+      match m.m_next with
+      | Some nx -> segments nx (off - m.m_len) len acc
+      | None -> invalid_arg "m_copym: chain too short"
+    else begin
+      let n = min len (m.m_len - off) in
+      let acc = (m, off, n) :: acc in
+      if len = n then List.rev acc
+      else
+        match m.m_next with
+        | Some nx -> segments nx 0 (len - n) acc
+        | None -> invalid_arg "m_copym: chain too short"
+    end
+  in
+  let piece_of (src, off, n) =
+    if src.m_ext then begin
+      (* Share the external storage: no data copy. *)
+      Cost.charge_alloc ();
+      incr stats_allocated;
+      { m_next = None; m_data = src.m_data; m_off = src.m_off + off; m_len = n;
+        m_ext = true; m_pkthdr_len = 0 }
+    end
+    else begin
+      let c = m_get () in
+      Cost.charge_copy n;
+      Bytes.blit src.m_data (src.m_off + off) c.m_data c.m_off n;
+      c.m_len <- n;
+      c
+    end
+  in
+  let pieces = List.map piece_of (segments m off len []) in
+  let rec link = function
+    | [] -> assert false
+    | [ last ] -> last
+    | first :: rest ->
+        first.m_next <- Some (link rest);
+        first
+  in
+  let head = link pieces in
+  head.m_pkthdr_len <- len;
+  head
+
+(* m_pullup: make the first [n] bytes contiguous in the head mbuf. *)
+let m_pullup m n =
+  if m.m_len >= n then m
+  else begin
+    if n > mclbytes then invalid_arg "m_pullup: request too large";
+    let head = if n <= mhlen then m_gethdr () else m_getclust () in
+    let data = m_copydata m ~off:0 ~len:n in
+    Bytes.blit data 0 head.m_data head.m_off n;
+    head.m_len <- n;
+    head.m_pkthdr_len <- m_length m;
+    (* Skip the pulled-up bytes in the old chain. *)
+    m_adj m n;
+    head.m_next <- (if m_length m > 0 then Some m else None);
+    head
+  end
+
+(* Append payload, filling tailspace then adding clusters. *)
+let m_append m ~src ~src_pos ~len =
+  Cost.charge_copy len;
+  let rec go tail src_pos len =
+    if len > 0 then begin
+      let space = m_tailspace tail in
+      if space > 0 && not tail.m_ext then begin
+        let n = min space len in
+        Bytes.blit src src_pos tail.m_data (tail.m_off + tail.m_len) n;
+        tail.m_len <- tail.m_len + n;
+        go tail (src_pos + n) (len - n)
+      end
+      else begin
+        let c = m_getclust () in
+        let n = min mclbytes len in
+        Bytes.blit src src_pos c.m_data 0 n;
+        c.m_len <- n;
+        tail.m_next <- Some c;
+        go c (src_pos + n) (len - n)
+      end
+    end
+  in
+  go (m_last m) src_pos len;
+  m.m_pkthdr_len <- m_length m
+
+(* Number of mbufs in the chain (diagnostics; drives the contiguity check
+   in the glue). *)
+let m_count m =
+  let rec go acc = function None -> acc | Some x -> go (acc + 1) x.m_next in
+  go 1 m.m_next
+
+(* Flatten a chain to plain bytes WITHOUT charging (diagnostic use only). *)
+let m_to_bytes_uncharged m =
+  let len = m_length m in
+  let dst = Bytes.create len in
+  let rec go m dst_pos =
+    Bytes.blit m.m_data m.m_off dst dst_pos m.m_len;
+    match m.m_next with Some nx -> go nx (dst_pos + m.m_len) | None -> ()
+  in
+  go m 0;
+  dst

@@ -1,0 +1,34 @@
+(* The FreeBSD kernel's own mbuf-native Ethernet attachment — the Table 1/2
+ * "FreeBSD" baseline.  An fxp-class busmaster with scatter-gather DMA:
+ * outbound mbuf chains are handed to the card fragment by fragment (no CPU
+ * flattening copy), inbound frames are loaned to the stack as external
+ * mbuf storage (no copy).  There is deliberately NO glue here: this is the
+ * monolithic configuration the OSKit numbers are compared against.
+ *)
+
+let attach stack nic =
+  let machine = stack.Bsd_socket.machine in
+  let ifp = stack.Bsd_socket.ifp in
+  ifp.Netif.if_hwaddr <- Nic.mac nic;
+  ifp.Netif.if_xmit <-
+    (fun m ->
+      Cost.charge_cycles Cost.config.linux_driver_pkt_cycles;
+      (* Gather DMA: the controller reads each fragment in place; the blit
+         below is bookkeeping for the simulated medium, costed inside
+         [Nic.transmit] at DMA rate. *)
+      let frame = Mbuf.m_to_bytes_uncharged m in
+      Nic.transmit nic frame);
+  let rx_handler () =
+    let rec drain () =
+      match Nic.pop_rx nic with
+      | None -> ()
+      | Some frame ->
+          Cost.charge_cycles Cost.config.linux_driver_pkt_cycles;
+          let m = Mbuf.m_ext_wrap frame ~off:0 ~len:(Bytes.length frame) in
+          Netif.ether_input ifp m;
+          drain ()
+    in
+    drain ()
+  in
+  Machine.set_irq_handler machine ~irq:(Nic.irq nic) rx_handler;
+  Machine.unmask_irq machine ~irq:(Nic.irq nic)

@@ -1,0 +1,62 @@
+(* ENCAPSULATED LEGACY CODE — if_ethersubr.c: the BSD network-interface
+ * layer.  An ifnet carries the interface addresses and the link to the
+ * driver below; ether_output prepends the 14-byte header and hands the
+ * frame down, ether_input strips it and dispatches on ethertype to the
+ * protocols that registered above (ARP, IP).
+ *)
+
+let eth_hlen = 14
+let ethertype_ip = 0x0800
+let ethertype_arp = 0x0806
+let ether_broadcast = "\xff\xff\xff\xff\xff\xff"
+
+type ifnet = {
+  if_name : string;
+  mutable if_hwaddr : string; (* learned from the bound device *)
+  mutable if_addr : int32; (* IP, host order *)
+  mutable if_mask : int32;
+  mutable if_mtu : int; (* payload above the ether header *)
+  mutable if_xmit : Mbuf.mbuf -> unit; (* full frame to the driver *)
+  mutable if_protos : (int * (Mbuf.mbuf -> unit)) list; (* ethertype -> input *)
+  mutable if_ipackets : int;
+  mutable if_opackets : int;
+}
+
+let create ~name ~hwaddr =
+  if String.length hwaddr <> 6 then invalid_arg "Netif.create: hwaddr";
+  { if_name = name; if_hwaddr = hwaddr; if_addr = 0l; if_mask = 0l; if_mtu = 1500;
+    if_xmit = (fun _ -> ()); if_protos = []; if_ipackets = 0; if_opackets = 0 }
+
+let set_proto_input ifp ~ethertype handler =
+  ifp.if_protos <- (ethertype, handler) :: List.remove_assoc ethertype ifp.if_protos
+
+let ifconfig ifp ~addr ~mask =
+  ifp.if_addr <- addr;
+  ifp.if_mask <- mask
+
+let same_subnet ifp other =
+  Int32.logand other ifp.if_mask = Int32.logand ifp.if_addr ifp.if_mask
+
+(* ether_output: m is the payload (IP datagram / ARP message). *)
+let ether_output ifp m ~dst_mac ~ethertype =
+  let m = Mbuf.m_prepend m eth_hlen in
+  let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
+  Bytes.blit_string dst_mac 0 d o 6;
+  Bytes.blit_string ifp.if_hwaddr 0 d (o + 6) 6;
+  Bytes.set d (o + 12) (Char.chr (ethertype lsr 8));
+  Bytes.set d (o + 13) (Char.chr (ethertype land 0xff));
+  ifp.if_opackets <- ifp.if_opackets + 1;
+  ifp.if_xmit m
+
+(* ether_input: m is the full frame. *)
+let ether_input ifp m =
+  if Mbuf.m_length m >= eth_hlen then begin
+    ifp.if_ipackets <- ifp.if_ipackets + 1;
+    let m = Mbuf.m_pullup m eth_hlen in
+    let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
+    let ethertype = (Char.code (Bytes.get d (o + 12)) lsl 8) lor Char.code (Bytes.get d (o + 13)) in
+    Mbuf.m_adj m eth_hlen;
+    match List.assoc_opt ethertype ifp.if_protos with
+    | Some input -> input m
+    | None -> () (* unknown protocol: dropped, as in the donor *)
+  end

@@ -1,0 +1,928 @@
+(* ENCAPSULATED LEGACY CODE — tcp_input.c / tcp_output.c / tcp_timer.c /
+ * tcp_subr.c, in the 4.4BSD shape: 32-bit modular sequence space, the
+ * two-rate timer wheel (fast = delayed ACKs at 200 ms, slow = everything
+ * else at 500 ms), Jacobson RTT estimation in BSD fixed point, slow start
+ * and congestion avoidance, fast retransmit on three duplicate ACKs, a
+ * per-connection reassembly queue, and send/receive socket buffers.
+ *
+ * Simplifications vs. the donor, documented per Section 4.5: no header
+ * prediction fast path, no keepalive probing, no TCP options beyond MSS,
+ * no urgent data.  None of these affect the paper's measurements (bulk
+ * transfer and 1-byte latency on a LAN).
+ *)
+
+let tcp_hlen = 20
+let default_mss = 1460
+let max_win = 65535
+let slow_interval_ns = 500_000_000 (* PR_SLOWHZ = 2 *)
+let fast_interval_ns = 200_000_000 (* delayed-ACK timer *)
+let msl_ticks = 4 (* 2 s in slow ticks — MSL scaled for a LAN *)
+let max_rxtshift = 12
+
+(* --- 32-bit modular sequence arithmetic (the SEQ_LT macro family) --- *)
+
+let m32 x = x land 0xffffffff
+
+let seq_diff a b =
+  let d = m32 (a - b) in
+  if d >= 0x80000000 then d - 0x100000000 else d
+
+let seq_lt a b = seq_diff a b < 0
+let seq_leq a b = seq_diff a b <= 0
+let seq_gt a b = seq_diff a b > 0
+let seq_geq a b = seq_diff a b >= 0
+
+(* --- header flags --- *)
+
+let th_fin = 0x01
+let th_syn = 0x02
+let th_rst = 0x04
+let th_push = 0x08
+let th_ack = 0x10
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+let state_name = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_received -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+
+type stats = {
+  mutable sndpack : int;
+  mutable sndrexmitpack : int;
+  mutable rcvpack : int;
+  mutable rcvdup : int;
+  mutable rcvoo : int;
+  mutable rcvbadsum : int;
+  mutable delack : int;
+  mutable fastrexmit : int;
+  mutable drops : int;
+  mutable accepts : int;
+  mutable connects : int;
+}
+
+type tcpcb = {
+  t_stack : t;
+  mutable t_state : state;
+  mutable laddr : int32;
+  mutable lport : int;
+  mutable raddr : int32;
+  mutable rport : int;
+  mutable t_maxseg : int;
+  (* send sequence space *)
+  mutable iss : int;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_max : int;
+  mutable snd_wnd : int;
+  mutable snd_wl1 : int;
+  mutable snd_wl2 : int;
+  mutable snd_cwnd : int;
+  mutable snd_ssthresh : int;
+  snd_buf : Sockbuf.t;
+  mutable snd_fin_pending : bool;
+  mutable fin_sent : bool;
+  (* receive sequence space *)
+  mutable irs : int;
+  mutable rcv_nxt : int;
+  mutable rcv_adv : int;
+  rcv_buf : Sockbuf.t;
+  mutable rcv_fin : bool;
+  mutable reass : (int * Mbuf.mbuf) list;
+  (* timers, slow ticks; 0 = disarmed *)
+  mutable tm_rexmt : int;
+  mutable tm_persist : int;
+  mutable tm_2msl : int;
+  (* RTT machinery, BSD fixed point *)
+  mutable t_rtt : int;
+  mutable t_rtseq : int;
+  mutable t_srtt : int; (* << 3 *)
+  mutable t_rttvar : int; (* << 2 *)
+  mutable t_rxtcur : int;
+  mutable t_rxtshift : int;
+  (* ACK strategy *)
+  mutable ack_now : bool;
+  mutable delack_pending : bool;
+  mutable t_dupacks : int;
+  (* listen side *)
+  accept_q : tcpcb Queue.t;
+  mutable backlog : int;
+  mutable listen_parent : tcpcb option;
+  (* socket-layer callbacks *)
+  mutable on_readable : unit -> unit;
+  mutable on_writable : unit -> unit;
+  mutable on_state : unit -> unit;
+  mutable so_error : Error.t option;
+}
+
+and t = {
+  ip : Ip.t;
+  machine : Machine.t;
+  mutable pcbs : tcpcb list;
+  mutable next_ephemeral : int;
+  mutable iss_source : int;
+  mutable ticking : bool;
+  stats : stats;
+}
+
+let default_sb_size = 48 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* pcb management                                                      *)
+
+let create_pcb t =
+  { t_stack = t; t_state = Closed; laddr = 0l; lport = 0; raddr = 0l; rport = 0;
+    t_maxseg = default_mss; iss = 0; snd_una = 0; snd_nxt = 0; snd_max = 0; snd_wnd = 0;
+    snd_wl1 = 0; snd_wl2 = 0; snd_cwnd = default_mss; snd_ssthresh = max_win;
+    snd_buf = Sockbuf.create ~hiwat:default_sb_size; snd_fin_pending = false;
+    fin_sent = false; irs = 0; rcv_nxt = 0; rcv_adv = 0;
+    rcv_buf = Sockbuf.create ~hiwat:default_sb_size; rcv_fin = false; reass = [];
+    tm_rexmt = 0; tm_persist = 0; tm_2msl = 0; t_rtt = 0; t_rtseq = 0; t_srtt = 0;
+    t_rttvar = 24; t_rxtcur = 2; t_rxtshift = 0; ack_now = false; delack_pending = false;
+    t_dupacks = 0; accept_q = Queue.create (); backlog = 0; listen_parent = None;
+    on_readable = (fun () -> ()); on_writable = (fun () -> ());
+    on_state = (fun () -> ()); so_error = None }
+
+let rcv_window pcb = min (Sockbuf.space pcb.rcv_buf) max_win
+
+let register t pcb = if not (List.memq pcb t.pcbs) then t.pcbs <- pcb :: t.pcbs
+let detach t pcb = t.pcbs <- List.filter (fun x -> x != pcb) t.pcbs
+
+let next_iss t =
+  t.iss_source <- m32 (t.iss_source + 64000);
+  t.iss_source
+
+let alloc_port t =
+  let used p = List.exists (fun x -> x.lport = p) t.pcbs in
+  let rec pick p = if used p then pick (p + 1) else p in
+  let p = pick t.next_ephemeral in
+  t.next_ephemeral <- p + 1;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* timers: armed while any pcb exists, quiesce when none               *)
+
+let rec ensure_timers t =
+  if not t.ticking then begin
+    t.ticking <- true;
+    let rec slow () =
+      ignore
+        (Machine.after t.machine slow_interval_ns (fun () ->
+             if t.pcbs = [] then t.ticking <- false
+             else begin
+               slow_tick t;
+               slow ()
+             end))
+    in
+    let rec fast () =
+      ignore
+        (Machine.after t.machine fast_interval_ns (fun () ->
+             if t.pcbs <> [] then begin
+               fast_tick t;
+               fast ()
+             end))
+    in
+    slow ();
+    fast ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* segment emission                                                    *)
+
+and emit_segment t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt =
+  let opt_len = if mss_opt then 4 else 0 in
+  let hlen = tcp_hlen + opt_len in
+  let m =
+    match payload with
+    | Some data -> Mbuf.m_prepend data hlen
+    | None ->
+        let m = Mbuf.m_gethdr () in
+        ignore (Mbuf.m_put m hlen);
+        m
+  in
+  let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
+  Bytes.set_uint16_be d o pcb.lport;
+  Bytes.set_uint16_be d (o + 2) pcb.rport;
+  Bytes.set_int32_be d (o + 4) (Int32.of_int (m32 seq));
+  Bytes.set_int32_be d (o + 8) (Int32.of_int (m32 ack));
+  Bytes.set d (o + 12) (Char.chr ((hlen / 4) lsl 4));
+  Bytes.set d (o + 13) (Char.chr flags);
+  Bytes.set_uint16_be d (o + 14) (min win max_win);
+  Bytes.set_uint16_be d (o + 16) 0;
+  Bytes.set_uint16_be d (o + 18) 0;
+  if mss_opt then begin
+    Bytes.set d (o + 20) '\002';
+    Bytes.set d (o + 21) '\004';
+    Bytes.set_uint16_be d (o + 22) pcb.t_maxseg
+  end;
+  let total = Mbuf.m_length m in
+  let sum =
+    In_cksum.cksum_chain m ~off:0 ~len:total
+      ~init:
+        (In_cksum.pseudo_header ~src:pcb.laddr ~dst:pcb.raddr ~proto:Ip.proto_tcp ~len:total)
+  in
+  Bytes.set_uint16_be d (o + 16) (if sum = 0 then 0xffff else sum);
+  Cost.charge_cycles Cost.config.bsd_tcp_pkt_cycles;
+  t.stats.sndpack <- t.stats.sndpack + 1;
+  Ip.output t.ip ~proto:Ip.proto_tcp ~src:pcb.laddr ~dst:pcb.raddr m
+
+and send_rst t ~src ~dst ~sport ~dport ~seq ~ack ~had_ack =
+  let m = Mbuf.m_gethdr () in
+  ignore (Mbuf.m_put m tcp_hlen);
+  let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
+  let flags, rseq, rack = if had_ack then th_rst, ack, 0 else th_rst lor th_ack, 0, seq in
+  Bytes.set_uint16_be d o dport;
+  Bytes.set_uint16_be d (o + 2) sport;
+  Bytes.set_int32_be d (o + 4) (Int32.of_int (m32 rseq));
+  Bytes.set_int32_be d (o + 8) (Int32.of_int (m32 rack));
+  Bytes.set d (o + 12) (Char.chr ((tcp_hlen / 4) lsl 4));
+  Bytes.set d (o + 13) (Char.chr flags);
+  Bytes.set_uint16_be d (o + 14) 0;
+  Bytes.set_uint16_be d (o + 16) 0;
+  Bytes.set_uint16_be d (o + 18) 0;
+  let sum =
+    In_cksum.cksum_chain m ~off:0 ~len:tcp_hlen
+      ~init:(In_cksum.pseudo_header ~src:dst ~dst:src ~proto:Ip.proto_tcp ~len:tcp_hlen)
+  in
+  Bytes.set_uint16_be d (o + 16) (if sum = 0 then 0xffff else sum);
+  Ip.output t.ip ~proto:Ip.proto_tcp ~src:dst ~dst:src m
+
+(* ------------------------------------------------------------------ *)
+(* tcp_output                                                          *)
+
+and tcp_output t pcb =
+  let sendable_state =
+    match pcb.t_state with
+    | Established | Close_wait | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait ->
+        true
+    | Syn_sent | Syn_received | Listen | Closed -> false
+  in
+  let off = seq_diff pcb.snd_nxt pcb.snd_una in
+  let win = max (min pcb.snd_wnd pcb.snd_cwnd) 0 in
+  let pending = pcb.snd_buf.Sockbuf.sb_cc - off in
+  let len = if sendable_state && off >= 0 then max 0 (min pending (win - off)) else 0 in
+  let len = min len pcb.t_maxseg in
+  let all_data_sent = off + len >= pcb.snd_buf.Sockbuf.sb_cc in
+  let send_fin =
+    sendable_state && pcb.snd_fin_pending && all_data_sent
+    && ((not pcb.fin_sent) || seq_lt pcb.snd_nxt pcb.snd_max)
+  in
+  let window_update =
+    sendable_state
+    && rcv_window pcb >= 2 * pcb.t_maxseg
+    && seq_geq (m32 (pcb.rcv_nxt + rcv_window pcb)) (m32 (pcb.rcv_adv + (2 * pcb.t_maxseg)))
+  in
+  if (len > 0 && win > off) || send_fin || pcb.ack_now || window_update then begin
+    let flags =
+      (if sendable_state then th_ack else 0)
+      lor (if send_fin then th_fin else 0)
+      lor if len > 0 && all_data_sent then th_push else 0
+    in
+    let payload = if len > 0 then Some (Sockbuf.copy_range pcb.snd_buf ~off ~len) else None in
+    let wnd = rcv_window pcb in
+    emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags ~win:wnd ~payload
+      ~mss_opt:false;
+    if seq_gt (m32 (pcb.rcv_nxt + wnd)) pcb.rcv_adv then pcb.rcv_adv <- m32 (pcb.rcv_nxt + wnd);
+    pcb.ack_now <- false;
+    pcb.delack_pending <- false;
+    if len > 0 || send_fin then begin
+      if pcb.t_rtt = 0 && len > 0 then begin
+        pcb.t_rtt <- 1;
+        pcb.t_rtseq <- pcb.snd_nxt
+      end;
+      pcb.snd_nxt <- m32 (pcb.snd_nxt + len + if send_fin then 1 else 0);
+      if send_fin then pcb.fin_sent <- true;
+      if seq_gt pcb.snd_nxt pcb.snd_max then pcb.snd_max <- pcb.snd_nxt;
+      if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur
+    end;
+    if len > 0 && not all_data_sent then tcp_output t pcb
+  end
+  else if
+    sendable_state && pending > 0 && win <= off && pcb.tm_persist = 0 && pcb.tm_rexmt = 0
+  then pcb.tm_persist <- max 2 pcb.t_rxtcur
+
+and send_syn t pcb ~with_ack =
+  let flags = th_syn lor if with_ack then th_ack else 0 in
+  emit_segment t pcb ~seq:pcb.iss ~ack:(if with_ack then pcb.rcv_nxt else 0) ~flags
+    ~win:(rcv_window pcb) ~payload:None ~mss_opt:true;
+  pcb.snd_nxt <- m32 (pcb.iss + 1);
+  if seq_gt pcb.snd_nxt pcb.snd_max then pcb.snd_max <- pcb.snd_nxt;
+  if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur
+
+(* ------------------------------------------------------------------ *)
+(* timers                                                              *)
+
+and drop_connection t pcb err =
+  pcb.t_state <- Closed;
+  pcb.so_error <- Some err;
+  t.stats.drops <- t.stats.drops + 1;
+  detach t pcb;
+  pcb.on_state ();
+  pcb.on_readable ();
+  pcb.on_writable ()
+
+and rexmt_timeout t pcb =
+  pcb.t_rxtshift <- pcb.t_rxtshift + 1;
+  if pcb.t_rxtshift > max_rxtshift then drop_connection t pcb Error.Timedout
+  else begin
+    t.stats.sndrexmitpack <- t.stats.sndrexmitpack + 1;
+    pcb.t_rxtcur <- min 128 (max 1 pcb.t_rxtcur * 2);
+    let w = max (min pcb.snd_wnd pcb.snd_cwnd / 2) (2 * pcb.t_maxseg) in
+    pcb.snd_ssthresh <- w;
+    pcb.snd_cwnd <- pcb.t_maxseg;
+    pcb.t_rtt <- 0;
+    (match pcb.t_state with
+    | Syn_sent ->
+        pcb.snd_nxt <- pcb.iss;
+        send_syn t pcb ~with_ack:false
+    | Syn_received ->
+        pcb.snd_nxt <- pcb.iss;
+        send_syn t pcb ~with_ack:true
+    | _ ->
+        pcb.snd_nxt <- pcb.snd_una;
+        if pcb.fin_sent then pcb.fin_sent <- false;
+        pcb.ack_now <- true;
+        tcp_output t pcb);
+    if pcb.t_state <> Closed && pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur
+  end
+
+and persist_timeout t pcb =
+  let off = seq_diff pcb.snd_nxt pcb.snd_una in
+  if pcb.snd_buf.Sockbuf.sb_cc > off then begin
+    let payload = Sockbuf.copy_range pcb.snd_buf ~off ~len:1 in
+    emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:th_ack ~win:(rcv_window pcb)
+      ~payload:(Some payload) ~mss_opt:false
+  end;
+  pcb.tm_persist <- min 128 (max 2 (pcb.t_rxtcur * 2))
+
+and slow_tick t =
+  let pcbs = List.filter (fun p -> p.t_state <> Listen) t.pcbs in
+  List.iter
+    (fun pcb ->
+      if pcb.t_rtt > 0 then pcb.t_rtt <- pcb.t_rtt + 1;
+      let fire_rexmt = pcb.tm_rexmt = 1 in
+      let fire_persist = pcb.tm_persist = 1 in
+      let fire_2msl = pcb.tm_2msl = 1 in
+      if pcb.tm_rexmt > 0 then pcb.tm_rexmt <- pcb.tm_rexmt - 1;
+      if pcb.tm_persist > 0 then pcb.tm_persist <- pcb.tm_persist - 1;
+      if pcb.tm_2msl > 0 then pcb.tm_2msl <- pcb.tm_2msl - 1;
+      if fire_rexmt then rexmt_timeout t pcb;
+      if fire_persist && pcb.t_state <> Closed then persist_timeout t pcb;
+      if fire_2msl && pcb.t_state = Time_wait then begin
+        pcb.t_state <- Closed;
+        detach t pcb;
+        pcb.on_state ()
+      end)
+    pcbs
+
+and fast_tick t =
+  List.iter
+    (fun pcb ->
+      if pcb.delack_pending then begin
+        pcb.delack_pending <- false;
+        pcb.ack_now <- true;
+        t.stats.delack <- t.stats.delack + 1;
+        tcp_output t pcb
+      end)
+    t.pcbs
+
+(* ------------------------------------------------------------------ *)
+(* RTT estimation (Jacobson, BSD fixed point)                          *)
+
+let update_rtt pcb rtt =
+  if pcb.t_srtt <> 0 then begin
+    let delta = rtt - 1 - (pcb.t_srtt lsr 3) in
+    pcb.t_srtt <- max 1 (pcb.t_srtt + delta);
+    let delta = abs delta - (pcb.t_rttvar lsr 2) in
+    pcb.t_rttvar <- max 1 (pcb.t_rttvar + delta)
+  end
+  else begin
+    pcb.t_srtt <- rtt lsl 3;
+    pcb.t_rttvar <- rtt lsl 1
+  end;
+  pcb.t_rtt <- 0;
+  pcb.t_rxtshift <- 0;
+  pcb.t_rxtcur <- max 1 (min 128 ((pcb.t_srtt lsr 3) + pcb.t_rttvar))
+
+(* ------------------------------------------------------------------ *)
+(* reassembly                                                          *)
+
+let rec reass_deliver pcb =
+  (* Entries the stream has advanced past are dead; shed them or they
+     block FIN processing forever. *)
+  pcb.reass <-
+    List.filter (fun (seq, m) -> seq_gt (m32 (seq + Mbuf.m_length m)) pcb.rcv_nxt) pcb.reass;
+  match
+    List.find_opt
+      (fun (seq, m) ->
+        seq_leq seq pcb.rcv_nxt && seq_gt (m32 (seq + Mbuf.m_length m)) pcb.rcv_nxt)
+      pcb.reass
+  with
+  | None -> ()
+  | Some ((seq, m) as entry) ->
+      pcb.reass <- List.filter (fun e -> e != entry) pcb.reass;
+      let skip = seq_diff pcb.rcv_nxt seq in
+      if skip > 0 then Mbuf.m_adj m skip;
+      let len = Mbuf.m_length m in
+      if len > 0 then begin
+        Sockbuf.sbappend_chain pcb.rcv_buf m;
+        pcb.rcv_nxt <- m32 (pcb.rcv_nxt + len)
+      end;
+      reass_deliver pcb
+
+(* ------------------------------------------------------------------ *)
+(* tcp_input                                                           *)
+
+let find_pcb t ~src ~sport ~dport =
+  match
+    List.find_opt
+      (fun p ->
+        p.lport = dport && p.rport = sport && Int32.equal p.raddr src && p.t_state <> Listen)
+      t.pcbs
+  with
+  | Some _ as r -> r
+  | None -> List.find_opt (fun p -> p.lport = dport && p.t_state = Listen) t.pcbs
+
+let enter_established t pcb =
+  pcb.t_state <- Established;
+  pcb.snd_cwnd <- 2 * pcb.t_maxseg;
+  (match pcb.listen_parent with
+  | Some parent when parent.t_state = Listen ->
+      t.stats.accepts <- t.stats.accepts + 1;
+      Queue.add pcb parent.accept_q;
+      parent.on_readable ()
+  | Some _ | None -> t.stats.connects <- t.stats.connects + 1);
+  pcb.on_state ();
+  pcb.on_writable ()
+
+(* Returns true if our FIN was acknowledged by [ack]. *)
+let process_ack pcb ack =
+  let acked = seq_diff ack pcb.snd_una in
+  if acked <= 0 then false
+  else begin
+    pcb.t_dupacks <- 0;
+    if pcb.t_rtt > 0 && seq_gt ack pcb.t_rtseq then update_rtt pcb pcb.t_rtt;
+    if pcb.snd_cwnd < pcb.snd_ssthresh then pcb.snd_cwnd <- pcb.snd_cwnd + pcb.t_maxseg
+    else
+      pcb.snd_cwnd <-
+        min (max_win * 4) (pcb.snd_cwnd + max 1 (pcb.t_maxseg * pcb.t_maxseg / pcb.snd_cwnd));
+    let data_acked = min acked pcb.snd_buf.Sockbuf.sb_cc in
+    let fin_acked = pcb.fin_sent && acked > data_acked in
+    if data_acked > 0 then Sockbuf.sbdrop pcb.snd_buf data_acked;
+    pcb.snd_una <- ack;
+    if seq_lt pcb.snd_nxt pcb.snd_una then pcb.snd_nxt <- pcb.snd_una;
+    pcb.tm_rexmt <- (if seq_geq pcb.snd_una pcb.snd_max then 0 else pcb.t_rxtcur);
+    pcb.on_writable ();
+    fin_acked
+  end
+
+let fast_retransmit t pcb =
+  t.stats.fastrexmit <- t.stats.fastrexmit + 1;
+  let w = max (min pcb.snd_wnd pcb.snd_cwnd / 2) (2 * pcb.t_maxseg) in
+  pcb.snd_ssthresh <- w;
+  pcb.tm_rexmt <- 0;
+  pcb.t_rtt <- 0;
+  let onxt = pcb.snd_nxt in
+  pcb.snd_nxt <- pcb.snd_una;
+  pcb.snd_cwnd <- pcb.t_maxseg;
+  tcp_output t pcb;
+  pcb.snd_cwnd <- w + (3 * pcb.t_maxseg);
+  if seq_gt onxt pcb.snd_nxt then pcb.snd_nxt <- onxt
+
+let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~data =
+  let dlen = Mbuf.m_length data in
+  match pcb.t_state with
+  | Closed -> ()
+  | Listen ->
+      if flags land th_rst <> 0 then ()
+      else if flags land th_ack <> 0 then
+        send_rst t ~src ~dst:pcb.laddr ~sport ~dport:pcb.lport ~seq ~ack ~had_ack:true
+      else if flags land th_syn <> 0 then begin
+        if Queue.length pcb.accept_q >= max 1 pcb.backlog then () (* queue overflow: drop *)
+        else begin
+          let conn = create_pcb t in
+          conn.laddr <- pcb.laddr;
+          conn.lport <- pcb.lport;
+          conn.raddr <- src;
+          conn.rport <- sport;
+          conn.listen_parent <- Some pcb;
+          (match mss with Some v -> conn.t_maxseg <- min default_mss v | None -> ());
+          conn.irs <- seq;
+          conn.rcv_nxt <- m32 (seq + 1);
+          conn.rcv_adv <- m32 (conn.rcv_nxt + rcv_window conn);
+          conn.iss <- next_iss t;
+          conn.snd_una <- conn.iss;
+          conn.snd_nxt <- conn.iss;
+          conn.snd_max <- conn.iss;
+          conn.snd_wnd <- win;
+          conn.t_state <- Syn_received;
+          register t conn;
+          ensure_timers t;
+          send_syn t conn ~with_ack:true
+        end
+      end
+  | Syn_sent ->
+      let ack_ok =
+        flags land th_ack <> 0 && seq_gt ack pcb.iss && seq_leq ack pcb.snd_max
+      in
+      if flags land th_ack <> 0 && not ack_ok then begin
+        if flags land th_rst = 0 then
+          send_rst t ~src ~dst:pcb.laddr ~sport ~dport:pcb.lport ~seq ~ack ~had_ack:true
+      end
+      else if flags land th_rst <> 0 then begin
+        if ack_ok then drop_connection t pcb Error.Connrefused
+      end
+      else if flags land th_syn <> 0 then begin
+        (match mss with Some v -> pcb.t_maxseg <- min default_mss v | None -> ());
+        pcb.irs <- seq;
+        pcb.rcv_nxt <- m32 (seq + 1);
+        pcb.rcv_adv <- m32 (pcb.rcv_nxt + rcv_window pcb);
+        pcb.snd_wnd <- win;
+        pcb.snd_wl1 <- seq;
+        pcb.snd_wl2 <- ack;
+        if ack_ok then begin
+          pcb.snd_una <- ack;
+          pcb.tm_rexmt <- 0;
+          pcb.t_rxtshift <- 0;
+          enter_established t pcb;
+          pcb.ack_now <- true;
+          tcp_output t pcb
+        end
+        else begin
+          (* Simultaneous open. *)
+          pcb.t_state <- Syn_received;
+          pcb.snd_nxt <- pcb.iss;
+          send_syn t pcb ~with_ack:true
+        end
+      end
+  | Syn_received | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
+  | Time_wait ->
+      common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen
+
+and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
+  ignore src;
+  ignore sport;
+  if flags land th_rst <> 0 then begin
+    if seq_geq seq pcb.rcv_nxt && seq_lt seq (m32 (pcb.rcv_nxt + max 1 (rcv_window pcb)))
+    then drop_connection t pcb Error.Connreset
+  end
+  else begin
+    (* Trim to the receive window. *)
+    let seq = ref seq and dlen = ref dlen and fin = ref (flags land th_fin <> 0) in
+    let dup = ref false in
+    let todrop = seq_diff pcb.rcv_nxt !seq in
+    if todrop > 0 then begin
+      if todrop >= !dlen then begin
+        (* Entirely duplicate data (or a pure old segment). *)
+        if !dlen > 0 then begin
+          t.stats.rcvdup <- t.stats.rcvdup + 1;
+          dup := true;
+          pcb.ack_now <- true
+        end;
+        (* A retransmitted FIN we already consumed. *)
+        if !fin && todrop > !dlen then fin := false;
+        Mbuf.m_adj data !dlen;
+        seq := m32 (!seq + !dlen);
+        dlen := 0
+      end
+      else begin
+        Mbuf.m_adj data todrop;
+        seq := m32 (!seq + todrop);
+        dlen := !dlen - todrop
+      end
+    end;
+    let wnd = rcv_window pcb in
+    let past = seq_diff (m32 (!seq + !dlen)) (m32 (pcb.rcv_nxt + wnd)) in
+    if past > 0 && !dlen > 0 then begin
+      if past >= !dlen then begin
+        (* Entirely beyond the window. *)
+        pcb.ack_now <- true;
+        Mbuf.m_adj data !dlen;
+        dlen := 0;
+        fin := false
+      end
+      else begin
+        Mbuf.m_adj data (- past);
+        dlen := !dlen - past;
+        fin := false
+      end
+    end;
+    (* ACK processing. *)
+    let proceed = ref true in
+    if flags land th_ack = 0 then proceed := false
+    else begin
+      (match pcb.t_state with
+      | Syn_received ->
+          if seq_gt ack pcb.snd_una && seq_leq ack pcb.snd_max then begin
+            pcb.snd_una <- ack;
+            pcb.tm_rexmt <- 0;
+            pcb.t_rxtshift <- 0;
+            pcb.snd_wnd <- win;
+            pcb.snd_wl1 <- !seq;
+            pcb.snd_wl2 <- ack;
+            enter_established t pcb
+          end
+          else begin
+            send_rst t ~src ~dst:pcb.laddr ~sport ~dport:pcb.lport ~seq:!seq ~ack
+              ~had_ack:true;
+            proceed := false
+          end
+      | _ -> ());
+      if !proceed && pcb.t_state <> Syn_received then begin
+        if seq_leq ack pcb.snd_una then begin
+          (* Old or duplicate ACK. *)
+          if
+            !dlen = 0 && win = pcb.snd_wnd
+            && seq_lt pcb.snd_una pcb.snd_max
+          then begin
+            pcb.t_dupacks <- pcb.t_dupacks + 1;
+            if pcb.t_dupacks = 3 then fast_retransmit t pcb
+            else if pcb.t_dupacks > 3 then begin
+              pcb.snd_cwnd <- pcb.snd_cwnd + pcb.t_maxseg;
+              tcp_output t pcb
+            end
+          end
+          else if !dlen = 0 then pcb.t_dupacks <- 0
+        end
+        else if seq_gt ack pcb.snd_max then pcb.ack_now <- true
+        else begin
+          (* Leaving fast recovery: deflate the window. *)
+          if pcb.t_dupacks >= 3 then pcb.snd_cwnd <- min pcb.snd_cwnd pcb.snd_ssthresh;
+          let fin_acked = process_ack pcb ack in
+          match pcb.t_state with
+          | Fin_wait_1 ->
+              if fin_acked then begin
+                pcb.t_state <- Fin_wait_2;
+                pcb.on_state ()
+              end
+          | Closing ->
+              if fin_acked then begin
+                pcb.t_state <- Time_wait;
+                pcb.tm_2msl <- 2 * msl_ticks;
+                pcb.on_state ()
+              end
+          | Last_ack ->
+              if fin_acked then begin
+                pcb.t_state <- Closed;
+                detach t pcb;
+                pcb.on_state ()
+              end
+          | _ -> ()
+        end
+      end
+    end;
+    if !proceed && pcb.t_state <> Closed then begin
+      (* Window update (donor's wl1/wl2 rules). *)
+      if
+        flags land th_ack <> 0
+        && (seq_lt pcb.snd_wl1 !seq
+           || (pcb.snd_wl1 = !seq && (seq_lt pcb.snd_wl2 ack || (pcb.snd_wl2 = ack && win > pcb.snd_wnd))))
+      then begin
+        pcb.snd_wnd <- win;
+        pcb.snd_wl1 <- !seq;
+        pcb.snd_wl2 <- ack;
+        if win > 0 then pcb.tm_persist <- 0;
+        pcb.on_writable ()
+      end;
+      (* Data. *)
+      if !dlen > 0 then begin
+        if !seq = pcb.rcv_nxt && pcb.reass = [] then begin
+          (* In order: append the arriving chain, zero-copy. *)
+          Sockbuf.sbappend_chain pcb.rcv_buf data;
+          pcb.rcv_nxt <- m32 (pcb.rcv_nxt + !dlen);
+          (* Every-other-segment ACK: delay the first, force on the
+             second. *)
+          if pcb.delack_pending then begin
+            pcb.delack_pending <- false;
+            pcb.ack_now <- true
+          end
+          else pcb.delack_pending <- true;
+          pcb.on_readable ()
+        end
+        else begin
+          t.stats.rcvoo <- t.stats.rcvoo + 1;
+          pcb.reass <- (!seq, data) :: pcb.reass;
+          let before = pcb.rcv_buf.Sockbuf.sb_cc in
+          reass_deliver pcb;
+          (* Wake the reader if the splice made bytes available, even when
+             later out-of-order segments are still queued. *)
+          if pcb.rcv_buf.Sockbuf.sb_cc > before then pcb.on_readable ();
+          pcb.ack_now <- true
+        end
+      end
+      else if !dup then pcb.ack_now <- true;
+      (* FIN. *)
+      if !fin && m32 (!seq + !dlen) = pcb.rcv_nxt && pcb.reass = [] then begin
+        if not pcb.rcv_fin then begin
+          pcb.rcv_fin <- true;
+          pcb.rcv_nxt <- m32 (pcb.rcv_nxt + 1);
+          pcb.ack_now <- true;
+          pcb.on_readable ();
+          match pcb.t_state with
+          | Syn_received | Established ->
+              pcb.t_state <- Close_wait;
+              pcb.on_state ()
+          | Fin_wait_1 ->
+              (* Our FIN not yet acked: simultaneous close. *)
+              pcb.t_state <- Closing;
+              pcb.on_state ()
+          | Fin_wait_2 ->
+              pcb.t_state <- Time_wait;
+              pcb.tm_2msl <- 2 * msl_ticks;
+              pcb.on_state ()
+          | Time_wait -> pcb.tm_2msl <- 2 * msl_ticks
+          | Close_wait | Closing | Last_ack | Closed | Listen | Syn_sent -> ()
+        end
+        else pcb.ack_now <- true
+      end;
+      if pcb.ack_now || pcb.t_state <> Closed then tcp_output t pcb
+    end
+  end
+
+
+let input t ~src ~dst m =
+  Cost.charge_cycles Cost.config.bsd_tcp_pkt_cycles;
+  t.stats.rcvpack <- t.stats.rcvpack + 1;
+  let total = Mbuf.m_length m in
+  if total < tcp_hlen then ()
+  else begin
+    let sum =
+      In_cksum.cksum_chain m ~off:0 ~len:total
+        ~init:(In_cksum.pseudo_header ~src ~dst ~proto:Ip.proto_tcp ~len:total)
+    in
+    if sum <> 0 then t.stats.rcvbadsum <- t.stats.rcvbadsum + 1
+    else begin
+      let m = Mbuf.m_pullup m (min total 64) in
+      let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
+      let sport = Bytes.get_uint16_be d o in
+      let dport = Bytes.get_uint16_be d (o + 2) in
+      let seq = Int32.to_int (Bytes.get_int32_be d (o + 4)) land 0xffffffff in
+      let ack = Int32.to_int (Bytes.get_int32_be d (o + 8)) land 0xffffffff in
+      let hlen = (Char.code (Bytes.get d (o + 12)) lsr 4) * 4 in
+      let flags = Char.code (Bytes.get d (o + 13)) in
+      let win = Bytes.get_uint16_be d (o + 14) in
+      let mss_opt = ref None in
+      let rec scan_opts p =
+        if p < hlen then begin
+          let kind = Char.code (Bytes.get d (o + p)) in
+          if kind = 0 then ()
+          else if kind = 1 then scan_opts (p + 1)
+          else begin
+            let olen = if p + 1 < hlen then Char.code (Bytes.get d (o + p + 1)) else 2 in
+            if kind = 2 && olen = 4 then mss_opt := Some (Bytes.get_uint16_be d (o + p + 2));
+            scan_opts (p + max 2 olen)
+          end
+        end
+      in
+      scan_opts tcp_hlen;
+      Mbuf.m_adj m hlen;
+      match find_pcb t ~src ~sport ~dport with
+      | None ->
+          if flags land th_rst = 0 then begin
+            (* SYN and FIN occupy sequence space: the RST must acknowledge
+               them or the peer will ignore it. *)
+            let seg_len =
+              Mbuf.m_length m
+              + (if flags land th_syn <> 0 then 1 else 0)
+              + if flags land th_fin <> 0 then 1 else 0
+            in
+            send_rst t ~src ~dst ~sport ~dport ~seq:(m32 (seq + seg_len)) ~ack
+              ~had_ack:(flags land th_ack <> 0)
+          end
+      | Some pcb ->
+          segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss:!mss_opt ~data:m
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* user requests (what the socket layer calls)                         *)
+
+let attach ip machine =
+  let t =
+    { ip; machine; pcbs = []; next_ephemeral = 1024; iss_source = 1;
+      ticking = false;
+      stats =
+        { sndpack = 0; sndrexmitpack = 0; rcvpack = 0; rcvdup = 0; rcvoo = 0;
+          rcvbadsum = 0; delack = 0; fastrexmit = 0; drops = 0; accepts = 0;
+          connects = 0 } }
+  in
+  Ip.set_proto ip ~proto:Ip.proto_tcp (fun ~src ~dst m -> input t ~src ~dst m);
+  t
+
+let usr_bind t pcb ~port =
+  if List.exists (fun x -> x != pcb && x.lport = port && x.t_state = Listen) t.pcbs then
+    Result.Error Error.Addrinuse
+  else begin
+    pcb.lport <- port;
+    pcb.laddr <- t.ip.Ip.ifp.Netif.if_addr;
+    Ok ()
+  end
+
+let usr_listen t pcb ~backlog =
+  if pcb.lport = 0 then pcb.lport <- alloc_port t;
+  if Int32.equal pcb.laddr 0l then pcb.laddr <- t.ip.Ip.ifp.Netif.if_addr;
+  pcb.backlog <- max 1 backlog;
+  pcb.t_state <- Listen;
+  register t pcb;
+  ensure_timers t;
+  Ok ()
+
+let usr_connect t pcb ~dst ~dport =
+  if pcb.t_state <> Closed then Result.Error Error.Isconn
+  else begin
+    pcb.laddr <- t.ip.Ip.ifp.Netif.if_addr;
+    if pcb.lport = 0 then pcb.lport <- alloc_port t;
+    pcb.raddr <- dst;
+    pcb.rport <- dport;
+    pcb.iss <- next_iss t;
+    pcb.snd_una <- pcb.iss;
+    pcb.snd_nxt <- pcb.iss;
+    pcb.snd_max <- pcb.iss;
+    pcb.t_state <- Syn_sent;
+    register t pcb;
+    ensure_timers t;
+    send_syn t pcb ~with_ack:false;
+    Ok ()
+  end
+
+(* Append to the send buffer (as much as fits) and push; returns bytes
+   accepted. *)
+let usr_send t pcb ~src ~src_pos ~len =
+  Cost.charge_cycles Cost.config.socket_op_cycles;
+  match pcb.t_state with
+  | Established | Close_wait ->
+      let n = min len (Sockbuf.space pcb.snd_buf) in
+      if n > 0 then begin
+        Sockbuf.sbappend_bytes pcb.snd_buf ~src ~src_pos ~len:n;
+        tcp_output t pcb
+      end;
+      Ok n
+  | Closed | Listen -> Result.Error Error.Notconn
+  | Syn_sent | Syn_received -> Ok 0 (* not yet connected: caller blocks *)
+  | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait -> Result.Error Error.Pipe
+
+(* Copy out of the receive buffer; 0 = nothing available (caller blocks
+   unless the peer has FINed). *)
+let usr_recv t pcb ~dst ~dst_pos ~len =
+  Cost.charge_cycles Cost.config.socket_op_cycles;
+  let avail = pcb.rcv_buf.Sockbuf.sb_cc in
+  let n = min len avail in
+  if n > 0 then begin
+    Sockbuf.copy_out pcb.rcv_buf ~off:0 ~len:n ~dst ~dst_pos;
+    Sockbuf.sbdrop pcb.rcv_buf n;
+    (* The window just opened: maybe send an update. *)
+    tcp_output t pcb
+  end;
+  n
+
+let usr_close t pcb =
+  match pcb.t_state with
+  | Closed -> ()
+  | Listen | Syn_sent ->
+      pcb.t_state <- Closed;
+      detach t pcb;
+      pcb.on_state ()
+  | Syn_received | Established ->
+      pcb.snd_fin_pending <- true;
+      pcb.t_state <- Fin_wait_1;
+      pcb.on_state ();
+      tcp_output t pcb
+  | Close_wait ->
+      pcb.snd_fin_pending <- true;
+      pcb.t_state <- Last_ack;
+      pcb.on_state ();
+      tcp_output t pcb
+  | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait -> ()
+
+let usr_abort t pcb =
+  (match pcb.t_state with
+  | Established | Syn_received | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack ->
+      emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:(th_rst lor th_ack)
+        ~win:0 ~payload:None ~mss_opt:false
+  | Closed | Listen | Syn_sent | Time_wait -> ());
+  pcb.t_state <- Closed;
+  detach t pcb;
+  pcb.on_state ()
+
+let set_buffer_sizes pcb ~snd ~rcv =
+  pcb.snd_buf.Sockbuf.sb_hiwat <- snd;
+  pcb.rcv_buf.Sockbuf.sb_hiwat <- rcv

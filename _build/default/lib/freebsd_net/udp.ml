@@ -1,0 +1,113 @@
+(* ENCAPSULATED LEGACY CODE — udp_usrreq.c. *)
+
+let udp_hlen = 8
+
+type pcb = {
+  mutable lport : int;
+  mutable laddr : int32;
+  mutable rport : int;
+  mutable raddr : int32;
+  rcv_q : (int32 * int * bytes) Queue.t; (* src ip, src port, payload *)
+  mutable rcv_hiwat : int;
+  mutable rcv_cc : int;
+  mutable on_readable : unit -> unit;
+  mutable dropped : int;
+}
+
+type t = { ip : Ip.t; mutable pcbs : pcb list; mutable next_ephemeral : int }
+
+let attach ip =
+  let t = { ip; pcbs = []; next_ephemeral = 49152 } in
+  let input ~src ~dst:_ m =
+    if Mbuf.m_length m >= udp_hlen then begin
+      let m = Mbuf.m_pullup m udp_hlen in
+      let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
+      let sport = Bytes.get_uint16_be d o in
+      let dport = Bytes.get_uint16_be d (o + 2) in
+      let ulen = Bytes.get_uint16_be d (o + 4) in
+      let csum = Bytes.get_uint16_be d (o + 6) in
+      if ulen <= Mbuf.m_length m then begin
+        let sum_ok =
+          csum = 0
+          || In_cksum.cksum_chain m ~off:0 ~len:ulen
+               ~init:(In_cksum.pseudo_header ~src ~dst:t.ip.Ip.ifp.Netif.if_addr
+                        ~proto:Ip.proto_udp ~len:ulen)
+             = 0
+        in
+        if sum_ok then begin
+          match
+            List.find_opt
+              (fun p ->
+                p.lport = dport
+                && (p.rport = 0 || (p.rport = sport && Int32.equal p.raddr src)))
+              t.pcbs
+          with
+          | None -> () (* no listener: the donor would send ICMP unreachable *)
+          | Some p ->
+              let len = ulen - udp_hlen in
+              if p.rcv_cc + len > p.rcv_hiwat then p.dropped <- p.dropped + 1
+              else begin
+                let payload = Mbuf.m_copydata m ~off:udp_hlen ~len in
+                Queue.add (src, sport, payload) p.rcv_q;
+                p.rcv_cc <- p.rcv_cc + len;
+                p.on_readable ()
+              end
+        end
+      end
+    end
+  in
+  Ip.set_proto ip ~proto:Ip.proto_udp (fun ~src ~dst m -> input ~src ~dst m);
+  t
+
+let alloc_port t =
+  let used p = List.exists (fun x -> x.lport = p) t.pcbs in
+  let rec pick p = if used p then pick (p + 1) else p in
+  let p = pick t.next_ephemeral in
+  t.next_ephemeral <- p + 1;
+  p
+
+let create_pcb t =
+  let p =
+    { lport = 0; laddr = 0l; rport = 0; raddr = 0l; rcv_q = Queue.create ();
+      rcv_hiwat = 64 * 1024; rcv_cc = 0; on_readable = (fun () -> ()); dropped = 0 }
+  in
+  t.pcbs <- p :: t.pcbs;
+  p
+
+let bind t pcb ~port =
+  if List.exists (fun x -> x != pcb && x.lport = port) t.pcbs then
+    Result.Error Error.Addrinuse
+  else begin
+    pcb.lport <- port;
+    pcb.laddr <- t.ip.Ip.ifp.Netif.if_addr;
+    Ok ()
+  end
+
+let detach t pcb = t.pcbs <- List.filter (fun x -> x != pcb) t.pcbs
+
+let output t pcb ~dst ~dport ~src ~src_pos ~len =
+  if pcb.lport = 0 then pcb.lport <- alloc_port t;
+  let m = Mbuf.m_gethdr () in
+  let off = Mbuf.m_put m udp_hlen in
+  let d = m.Mbuf.m_data in
+  let ulen = udp_hlen + len in
+  Bytes.set_uint16_be d off pcb.lport;
+  Bytes.set_uint16_be d (off + 2) dport;
+  Bytes.set_uint16_be d (off + 4) ulen;
+  Bytes.set_uint16_be d (off + 6) 0;
+  if len > 0 then Mbuf.m_append m ~src ~src_pos ~len;
+  let laddr = t.ip.Ip.ifp.Netif.if_addr in
+  let sum =
+    In_cksum.cksum_chain m ~off:0 ~len:ulen
+      ~init:(In_cksum.pseudo_header ~src:laddr ~dst ~proto:Ip.proto_udp ~len:ulen)
+  in
+  Bytes.set_uint16_be d (off + 6) (if sum = 0 then 0xffff else sum);
+  Ip.output t.ip ~proto:Ip.proto_udp ~src:laddr ~dst m
+
+(* Take one datagram off the receive queue. *)
+let recv pcb =
+  match Queue.take_opt pcb.rcv_q with
+  | None -> None
+  | Some ((_, _, payload) as dgram) ->
+      pcb.rcv_cc <- pcb.rcv_cc - Bytes.length payload;
+      Some dgram

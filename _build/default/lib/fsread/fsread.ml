@@ -1,0 +1,133 @@
+(* Deliberately self-contained: this module re-interprets the on-disk
+   format from first principles (as the OSKit's fsread re-implemented FFS
+   reading) rather than linking the full file system component. *)
+
+let bsize = 4096
+let magic = 0x4F465331
+let inode_size = 128
+let ndirect = 12
+let nindirect = bsize / 4
+let dirent_size = 32
+let root_ino = 2
+
+let ( let* ) = Result.bind
+
+let read_block dev blk =
+  let buf = Bytes.create bsize in
+  let* n = dev.Io_if.bio_read ~buf ~pos:0 ~offset:(blk * bsize) ~amount:bsize in
+  if n <> bsize then Result.Error Error.Io else Ok buf
+
+type sb = { itab_start : int }
+
+let read_sb dev =
+  let* b = read_block dev 0 in
+  let r i = Int32.to_int (Bytes.get_int32_le b (4 * i)) in
+  if r 0 <> magic then Result.Error Error.Inval else Ok { itab_start = r 7 }
+
+type inode = { kind : int; size : int; direct : int array; sind : int; dind : int }
+
+let read_inode dev sb ino =
+  let ipb = bsize / inode_size in
+  let* b = read_block dev (sb.itab_start + (ino / ipb)) in
+  let off = ino mod ipb * inode_size in
+  let r i = Int32.to_int (Bytes.get_int32_le b (off + (4 * i))) in
+  Ok
+    { kind = Bytes.get_uint16_le b off;
+      size = r 1;
+      direct = Array.init ndirect (fun i -> r (2 + i));
+      sind = r (2 + ndirect);
+      dind = r (3 + ndirect) }
+
+let bmap dev node fblk =
+  if fblk < ndirect then Ok node.direct.(fblk)
+  else if fblk < ndirect + nindirect then begin
+    if node.sind = 0 then Ok 0
+    else
+      let* ib = read_block dev node.sind in
+      Ok (Int32.to_int (Bytes.get_int32_le ib (4 * (fblk - ndirect))))
+  end
+  else begin
+    let idx = fblk - ndirect - nindirect in
+    if node.dind = 0 then Ok 0
+    else
+      let* l1 = read_block dev node.dind in
+      let mid = Int32.to_int (Bytes.get_int32_le l1 (4 * (idx / nindirect))) in
+      if mid = 0 then Ok 0
+      else
+        let* l2 = read_block dev mid in
+        Ok (Int32.to_int (Bytes.get_int32_le l2 (4 * (idx mod nindirect))))
+  end
+
+let read_contents dev node =
+  let out = Bytes.make node.size '\000' in
+  let nblocks = (node.size + bsize - 1) / bsize in
+  let rec go fblk =
+    if fblk >= nblocks then Ok out
+    else
+      let* blk = bmap dev node fblk in
+      let n = min bsize (node.size - (fblk * bsize)) in
+      if blk = 0 then go (fblk + 1) (* hole *)
+      else
+        let* b = read_block dev blk in
+        Bytes.blit b 0 out (fblk * bsize) n;
+        go (fblk + 1)
+  in
+  go 0
+
+let dir_find dev node name =
+  let* contents = read_contents dev node in
+  let count = node.size / dirent_size in
+  let rec go i =
+    if i >= count then Result.Error Error.Noent
+    else begin
+      let o = i * dirent_size in
+      let ino = Int32.to_int (Bytes.get_int32_le contents o) in
+      let namelen = Char.code (Bytes.get contents (o + 4)) in
+      if ino <> 0 && Bytes.sub_string contents (o + 5) namelen = name then Ok ino
+      else go (i + 1)
+    end
+  in
+  go 0
+
+let resolve dev path =
+  let* sb = read_sb dev in
+  let comps = List.filter (fun c -> c <> "") (String.split_on_char '/' path) in
+  let rec walk ino = function
+    | [] -> Ok ino
+    | comp :: rest ->
+        let* node = read_inode dev sb ino in
+        if node.kind <> 2 then Result.Error Error.Notdir
+        else
+          let* next = dir_find dev node comp in
+          walk next rest
+  in
+  let* ino = walk root_ino comps in
+  let* node = read_inode dev sb ino in
+  Ok node
+
+let read_file dev path =
+  let* node = resolve dev path in
+  if node.kind <> 1 then Result.Error Error.Isdir else read_contents dev node
+
+let file_size dev path =
+  let* node = resolve dev path in
+  Ok node.size
+
+let list_dir dev path =
+  let* node = resolve dev path in
+  if node.kind <> 2 then Result.Error Error.Notdir
+  else
+    let* contents = read_contents dev node in
+    let count = node.size / dirent_size in
+    let rec go i acc =
+      if i >= count then Ok (List.rev acc)
+      else begin
+        let o = i * dirent_size in
+        let ino = Int32.to_int (Bytes.get_int32_le contents o) in
+        let namelen = Char.code (Bytes.get contents (o + 4)) in
+        let name = Bytes.sub_string contents (o + 5) namelen in
+        if ino <> 0 && name <> "." && name <> ".." then go (i + 1) (name :: acc)
+        else go (i + 1) acc
+      end
+    in
+    go 0 []

@@ -1,0 +1,17 @@
+(** Minimal read-only file system interpretation (the paper's [fsread]).
+
+    Boot loaders need to pull a kernel off a file system without dragging
+    in the whole file system component; [fsread] walks the on-disk format
+    directly — no buffer cache, no write paths, no COM objects — and hands
+    back file contents.  Independent of [oskit_netbsd_fs] by design, but
+    reads the same on-disk format. *)
+
+(** [read_file dev path] resolves [path] ('/'-separated) from the root and
+    returns the whole file. *)
+val read_file : Io_if.blkio -> string -> (bytes, Error.t) result
+
+(** [file_size dev path] *)
+val file_size : Io_if.blkio -> string -> (int, Error.t) result
+
+(** [list_dir dev path] *)
+val list_dir : Io_if.blkio -> string -> (string list, Error.t) result

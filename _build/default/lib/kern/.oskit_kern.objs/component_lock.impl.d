@@ -1,0 +1,1 @@
+lib/kern/component_lock.ml: Fun Queue Thread

@@ -1,0 +1,1 @@
+lib/kern/gdb_proto.ml: Buffer Bytes Char Printf String

@@ -1,0 +1,1 @@
+lib/kern/gdb_stub.ml: Bytes Gdb_proto Int32 List Physmem Printf String Trap

@@ -1,0 +1,1 @@
+lib/kern/kclock.ml: Machine Thread World

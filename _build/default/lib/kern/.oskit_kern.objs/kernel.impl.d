@@ -1,0 +1,1 @@
+lib/kern/kernel.ml: Char Machine Serial Thread Timer_dev Trap

@@ -1,0 +1,1 @@
+lib/kern/kernel.mli: Machine Serial Thread Timer_dev Trap

@@ -1,0 +1,1 @@
+lib/kern/page_table.ml: Int32 Physmem Result

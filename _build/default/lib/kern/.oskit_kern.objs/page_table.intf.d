@@ -1,0 +1,1 @@
+lib/kern/page_table.mli: Physmem

@@ -1,0 +1,1 @@
+lib/kern/sleep_record.ml: Thread

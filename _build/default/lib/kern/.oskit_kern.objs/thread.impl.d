@@ -1,0 +1,1 @@
+lib/kern/thread.ml: Effect Fun Hashtbl Machine Option Queue

@@ -1,0 +1,1 @@
+lib/kern/thread.mli: Machine

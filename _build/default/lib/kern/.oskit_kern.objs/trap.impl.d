@@ -1,0 +1,1 @@
+lib/kern/trap.ml: Array Cost Hashtbl Int32 List Machine

@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  mutable held : bool;
+  waiters : Thread.waker Queue.t;
+  mutable contentions : int;
+}
+
+let create ?(name = "lock") () =
+  { name; held = false; waiters = Queue.create (); contentions = 0 }
+
+let acquire t =
+  if not t.held then t.held <- true
+  else begin
+    t.contentions <- t.contentions + 1;
+    Thread.suspend (fun waker -> Queue.add waker t.waiters)
+    (* Ownership is handed to us by [release] before the waker fires, so on
+       resumption the lock is already ours. *)
+  end
+
+let release t =
+  if not t.held then invalid_arg ("Component_lock.release: not held: " ^ t.name);
+  match Queue.take_opt t.waiters with
+  | Some waker -> waker () (* lock stays held; ownership transfers *)
+  | None -> t.held <- false
+
+let locked t = t.held
+
+let with_lock t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f
+
+let with_lock_dropped t f =
+  release t;
+  Fun.protect ~finally:(fun () -> acquire t) f
+
+let contentions t = t.contentions

@@ -1,0 +1,29 @@
+(** Component-wide locks (Section 4.7.4).
+
+    The encapsulated components are not thread-safe; a multithreaded client
+    OS uses them by taking a lock around every entry into a component and
+    releasing it whenever the component blocks back into the client.  This
+    module supplies that lock, with the release-across-blocking behaviour
+    packaged as {!with_lock_dropped}. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+(** Blocking acquire (FIFO).  Reentrant acquisition by the same component
+    entry is a client bug and deadlocks, exactly as with the C original. *)
+val acquire : t -> unit
+
+val release : t -> unit
+val locked : t -> bool
+
+(** [with_lock t f] brackets [f] with acquire/release. *)
+val with_lock : t -> (unit -> 'a) -> 'a
+
+(** [with_lock_dropped t f] — for use *inside* a locked region, around a
+    blocking call back into the client OS: releases, runs [f], reacquires. *)
+val with_lock_dropped : t -> (unit -> 'a) -> 'a
+
+(** Times the lock was contended (a thread had to wait); for the
+    concurrency benches. *)
+val contentions : t -> int

@@ -1,0 +1,68 @@
+let checksum payload =
+  let sum = ref 0 in
+  String.iter (fun c -> sum := (!sum + Char.code c) land 0xff) payload;
+  !sum
+
+let frame payload = Printf.sprintf "$%s#%02x" payload (checksum payload)
+
+type state = Idle | Payload | Check1 | Check2
+type parser_ = { buf : Buffer.t; mutable state : state; mutable c1 : char }
+
+let create_parser () = { buf = Buffer.create 64; state = Idle; c1 = '0' }
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Gdb_proto: bad hex digit"
+
+let feed p c =
+  match p.state with
+  | Idle -> (
+      match c with
+      | '$' ->
+          Buffer.clear p.buf;
+          p.state <- Payload;
+          `None
+      | '+' -> `Ack
+      | '-' -> `Nak
+      | _ -> `None)
+  | Payload ->
+      if c = '#' then begin
+        p.state <- Check1;
+        `None
+      end
+      else begin
+        Buffer.add_char p.buf c;
+        `None
+      end
+  | Check1 ->
+      p.c1 <- c;
+      p.state <- Check2;
+      `None
+  | Check2 ->
+      p.state <- Idle;
+      let payload = Buffer.contents p.buf in
+      let declared = (16 * hex_digit p.c1) + hex_digit c in
+      if declared = checksum payload then `Packet payload else `Bad
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  if String.length h mod 2 <> 0 then invalid_arg "Gdb_proto.string_of_hex";
+  String.init (String.length h / 2) (fun i ->
+      Char.chr ((16 * hex_digit h.[2 * i]) + hex_digit h.[(2 * i) + 1]))
+
+let hex32_le v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 v;
+  hex_of_string (Bytes.to_string b)
+
+let parse_hex32_le h =
+  let s = string_of_hex h in
+  if String.length s <> 4 then invalid_arg "Gdb_proto.parse_hex32_le";
+  Bytes.get_int32_le (Bytes.of_string s) 0

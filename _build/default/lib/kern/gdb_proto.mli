@@ -1,0 +1,27 @@
+(** GDB remote serial protocol framing (shared by stub and test client).
+
+    Packets travel as ["$" ^ payload ^ "#" ^ 2-hex-digit checksum]; the
+    receiver acknowledges with ["+"] (or ["-"] to request retransmission). *)
+
+val checksum : string -> int
+
+(** [frame payload] renders a full packet. *)
+val frame : string -> string
+
+(** Incremental de-framer. *)
+type parser_
+
+val create_parser : unit -> parser_
+
+(** [feed p byte] consumes one byte; returns a decoded payload when a packet
+    completes (checksum already verified — bad checksums yield [`Bad]). *)
+val feed : parser_ -> char -> [ `None | `Packet of string | `Ack | `Nak | `Bad ]
+
+val hex_of_string : string -> string
+val string_of_hex : string -> string
+
+(** 32-bit value to little-endian 8-digit hex, as GDB's i386 register
+    packets want. *)
+val hex32_le : int32 -> string
+
+val parse_hex32_le : string -> int32

@@ -1,0 +1,150 @@
+type t = {
+  ram : Physmem.t;
+  send : string -> unit;
+  parser_ : Gdb_proto.parser_;
+  mutable frame : Trap.frame;
+  mutable signal : int;
+  mutable bps : int32 list;
+}
+
+let create ~ram ~send =
+  { ram; send; parser_ = Gdb_proto.create_parser (); frame = Trap.make_frame Trap.T_breakpoint;
+    signal = 5; bps = [] }
+
+let regs t = t.frame
+
+let reply t payload =
+  t.send "+";
+  t.send (Gdb_proto.frame payload)
+
+let enter t frame ~signal =
+  t.frame <- frame;
+  t.signal <- signal;
+  t.send (Gdb_proto.frame (Printf.sprintf "S%02x" signal))
+
+(* i386 register order used by GDB: eax ecx edx ebx esp ebp esi edi eip
+   eflags cs ss ds es fs gs. Segments are fixed flat-model selectors. *)
+let reg_dump f =
+  let open Trap in
+  let segs = [ 0x10l; 0x18l; 0x18l; 0x18l; 0x18l; 0x18l ] in
+  String.concat ""
+    (List.map Gdb_proto.hex32_le
+       ([ f.eax; f.ecx; f.edx; f.ebx; f.esp; f.ebp; f.esi; f.edi; f.eip; f.eflags ] @ segs))
+
+let reg_load f hex =
+  let open Trap in
+  let word i = Gdb_proto.parse_hex32_le (String.sub hex (8 * i) 8) in
+  f.eax <- word 0;
+  f.ecx <- word 1;
+  f.edx <- word 2;
+  f.ebx <- word 3;
+  f.esp <- word 4;
+  f.ebp <- word 5;
+  f.esi <- word 6;
+  f.edi <- word 7;
+  f.eip <- word 8;
+  f.eflags <- word 9
+
+let parse_addr_len spec =
+  match String.split_on_char ',' spec with
+  | [ a; l ] -> int_of_string ("0x" ^ a), int_of_string ("0x" ^ l)
+  | _ -> invalid_arg "gdb: bad addr,len"
+
+let read_mem t addr len =
+  let buf = Bytes.create len in
+  Physmem.blit_to_bytes t.ram ~src_addr:addr ~dst:buf ~dst_pos:0 ~len;
+  Gdb_proto.hex_of_string (Bytes.to_string buf)
+
+let write_mem t addr data =
+  Physmem.blit_from_bytes t.ram ~src:(Bytes.of_string data) ~src_pos:0 ~dst_addr:addr
+    ~len:(String.length data)
+
+let handle t payload =
+  let ok () = reply t "OK" in
+  let err n = reply t (Printf.sprintf "E%02x" n) in
+  if payload = "" then begin
+    reply t "";
+    `Stopped
+  end
+  else
+    match payload.[0] with
+    | '?' ->
+        reply t (Printf.sprintf "S%02x" t.signal);
+        `Stopped
+    | 'g' ->
+        reply t (reg_dump t.frame);
+        `Stopped
+    | 'G' ->
+        (try
+           reg_load t.frame (String.sub payload 1 (String.length payload - 1));
+           ok ()
+         with _ -> err 1);
+        `Stopped
+    | 'm' ->
+        (try
+           let addr, len = parse_addr_len (String.sub payload 1 (String.length payload - 1)) in
+           reply t (read_mem t addr len)
+         with _ -> err 1);
+        `Stopped
+    | 'M' ->
+        (try
+           match String.index_opt payload ':' with
+           | None -> err 1
+           | Some colon ->
+               let addr, len = parse_addr_len (String.sub payload 1 (colon - 1)) in
+               let data =
+                 Gdb_proto.string_of_hex
+                   (String.sub payload (colon + 1) (String.length payload - colon - 1))
+               in
+               if String.length data <> len then err 1
+               else begin
+                 write_mem t addr data;
+                 ok ()
+               end
+         with _ -> err 1);
+        `Stopped
+    | 'Z' when String.length payload > 2 && payload.[1] = '0' ->
+        (try
+           let addr, _ = parse_addr_len (String.sub payload 3 (String.length payload - 3)) in
+           let addr = Int32.of_int addr in
+           if not (List.mem addr t.bps) then t.bps <- addr :: t.bps;
+           ok ()
+         with _ -> err 1);
+        `Stopped
+    | 'z' when String.length payload > 2 && payload.[1] = '0' ->
+        (try
+           let addr, _ = parse_addr_len (String.sub payload 3 (String.length payload - 3)) in
+           let addr = Int32.of_int addr in
+           t.bps <- List.filter (fun a -> not (Int32.equal a addr)) t.bps;
+           ok ()
+         with _ -> err 1);
+        `Stopped
+    | 'c' ->
+        t.send "+";
+        `Resume `Continue
+    | 's' ->
+        t.send "+";
+        `Resume `Step
+    | 'k' ->
+        t.send "+";
+        `Killed
+    | _ ->
+        (* Unsupported command: empty response, per the protocol. *)
+        reply t "";
+        `Stopped
+
+let feed t bytes =
+  let result = ref `Stopped in
+  String.iter
+    (fun c ->
+      match Gdb_proto.feed t.parser_ c with
+      | `Packet payload -> (
+          match handle t payload with
+          | `Stopped -> ()
+          | (`Resume _ | `Killed) as r -> result := r)
+      | `Bad -> t.send "-"
+      | `None | `Ack | `Nak -> ())
+    bytes;
+  !result
+
+let breakpoints t = List.sort Int32.compare t.bps

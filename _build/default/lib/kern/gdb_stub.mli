@@ -1,0 +1,30 @@
+(** The serial-line GDB stub (Section 3.5).
+
+    "A small module that handles traps in the client OS environment and
+    communicates over a serial line with GDB running on another machine,
+    using GDB's standard remote debugging protocol."  The stub exposes the
+    machine's registers (a {!Trap.frame}) and physical memory to a remote
+    debugger; it can be used even if the client OS performs its own trap
+    handling, by delivering frames to {!enter} explicitly.
+
+    Commands implemented: [?] halt reason, [g]/[G] register file, [m]/[M]
+    memory, [c]/[s] resume, [Z0]/[z0] software breakpoints, [k] kill. *)
+
+type t
+
+val create : ram:Physmem.t -> send:(string -> unit) -> t
+
+(** The frame the remote debugger sees and edits.  [enter] replaces it. *)
+val regs : t -> Trap.frame
+
+(** [enter t frame ~signal] records the stopped state and sends the stop
+    reply (e.g. signal 5 = TRAP, 11 = SEGV). *)
+val enter : t -> Trap.frame -> signal:int -> unit
+
+(** [feed t bytes] processes input from the serial line; replies go through
+    [send].  Returns [`Resume `Continue]/[`Resume `Step] when the debugger
+    resumes the target, [`Killed] on [k], else [`Stopped]. *)
+val feed : t -> string -> [ `Stopped | `Resume of [ `Continue | `Step ] | `Killed ]
+
+(** Addresses with a software breakpoint set, ascending. *)
+val breakpoints : t -> int32 list

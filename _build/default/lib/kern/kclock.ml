@@ -1,0 +1,15 @@
+let the_machine () =
+  match Machine.current () with
+  | Some m -> m
+  | None -> invalid_arg "Kclock: no machine is executing"
+
+let now_ns () = Machine.now (the_machine ())
+
+let sleep_ns ns =
+  let m = the_machine () in
+  Thread.suspend (fun waker -> ignore (Machine.after m ns (fun () -> waker ())))
+
+type callout = World.event
+
+let callout_after ~ns f = Machine.after (the_machine ()) ns f
+let callout_cancel = World.cancel

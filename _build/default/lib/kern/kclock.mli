@@ -1,0 +1,19 @@
+(** Kernel clock services.
+
+    Thin process-level veneer over the machine's time: sleeping threads,
+    one-shot callouts (the BSD [timeout]/[untimeout] the network stack's
+    glue emulates), and a monotonic nanosecond clock. *)
+
+(** Nanoseconds since boot on the current machine.  Must be called from
+    machine context. *)
+val now_ns : unit -> int
+
+(** Block the calling thread for [ns] of virtual time. *)
+val sleep_ns : int -> unit
+
+type callout
+
+(** [callout_after ~ns f] runs [f] at interrupt level after [ns]. *)
+val callout_after : ns:int -> (unit -> unit) -> callout
+
+val callout_cancel : callout -> unit

@@ -1,0 +1,36 @@
+(** Base kernel environment on one machine (Section 3.2).
+
+    [create] does for the simulated PC what the kernel support library does
+    on the real one: set up a convenient execution environment — trap table
+    with default handlers, a process-level scheduler installed as the
+    machine's run hook, a console UART, and the interval timer — so that a
+    client "main" is as easy to run as a hello-world C program.  Everything
+    installed here can be overridden afterwards. *)
+
+type t
+
+val create : ?console_irq:int -> ?timer_irq:int -> Machine.t -> t
+
+val machine : t -> Machine.t
+val sched : t -> Thread.sched
+val traps : t -> Trap.table
+val console : t -> Serial.t
+val timer : t -> Timer_dev.t
+
+(** [spawn t f] starts a process-level thread and kicks the machine so the
+    world will run it. *)
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+
+(** Write to the console UART (the default [putchar] of the minimal C
+    library is pointed here by the umbrella library). *)
+val console_putc : t -> char -> unit
+
+(** Console output captured so far (the UART is unconnected by default). *)
+val console_output : t -> string
+
+(** Start a periodic clock interrupt, e.g. for preemption accounting;
+    [hz] default 100. *)
+val start_clock : ?hz:int -> t -> unit
+
+(** Clock ticks since [start_clock]. *)
+val clock_ticks : t -> int

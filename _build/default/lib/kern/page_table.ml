@@ -1,0 +1,101 @@
+type t = { ram : Physmem.t; alloc_page : unit -> int; pdir : int }
+
+type prot = { writable : bool; user : bool }
+type translation = { pa : int; prot : prot }
+
+let page_size = 4096
+let pte_present = 0x1
+let pte_write = 0x2
+let pte_user = 0x4
+
+let create ~ram ~alloc_page =
+  let pdir = alloc_page () in
+  if pdir land (page_size - 1) <> 0 then invalid_arg "Page_table: unaligned directory page";
+  { ram; alloc_page; pdir }
+
+let pdir_pa t = t.pdir
+let va_to_int va = Int32.to_int va land 0xffffffff
+let pdi va = va_to_int va lsr 22
+let pti va = va_to_int va lsr 12 land 0x3ff
+
+let check_aligned name a = if a land (page_size - 1) <> 0 then invalid_arg (name ^ ": unaligned")
+
+let pde_addr t va = t.pdir + (4 * pdi va)
+
+(* Read a 32-bit entry as a non-negative int. *)
+let get_entry t addr = Int32.to_int (Physmem.get32 t.ram addr) land 0xffffffff
+
+let table_of t va ~create_missing =
+  let pde = get_entry t (pde_addr t va) in
+  if pde land pte_present <> 0 then Some (pde land lnot (page_size - 1))
+  else if not create_missing then None
+  else begin
+    let table = t.alloc_page () in
+    check_aligned "Page_table.alloc_page" table;
+    Physmem.set32 t.ram (pde_addr t va)
+      (Int32.of_int (table lor pte_present lor pte_write lor pte_user));
+    Some table
+  end
+
+let map t ~va ~pa ~prot =
+  check_aligned "Page_table.map va" (va_to_int va);
+  check_aligned "Page_table.map pa" pa;
+  match table_of t va ~create_missing:true with
+  | None -> assert false
+  | Some table ->
+      let bits =
+        pte_present
+        lor (if prot.writable then pte_write else 0)
+        lor if prot.user then pte_user else 0
+      in
+      Physmem.set32 t.ram (table + (4 * pti va)) (Int32.of_int (pa lor bits))
+
+let unmap t ~va =
+  check_aligned "Page_table.unmap va" (va_to_int va);
+  match table_of t va ~create_missing:false with
+  | None -> ()
+  | Some table -> Physmem.set32 t.ram (table + (4 * pti va)) 0l
+
+let translate t va =
+  match table_of t va ~create_missing:false with
+  | None -> None
+  | Some table ->
+      let pte = get_entry t (table + (4 * pti va)) in
+      if pte land pte_present = 0 then None
+      else
+        Some
+          { pa = (pte land lnot (page_size - 1)) lor (va_to_int va land (page_size - 1));
+            prot = { writable = pte land pte_write <> 0; user = pte land pte_user <> 0 } }
+
+let fault_code ~present ~write ~user =
+  Int32.of_int ((if present then 1 else 0) lor (if write then 2 else 0) lor if user then 4 else 0)
+
+let access t ~va ~write ~user =
+  match translate t va with
+  | None -> Result.Error (fault_code ~present:false ~write ~user)
+  | Some { pa; prot } ->
+      if write && not prot.writable then Result.Error (fault_code ~present:true ~write ~user)
+      else if user && not prot.user then Result.Error (fault_code ~present:true ~write ~user)
+      else Ok pa
+
+let map_range t ~va ~pa ~len ~prot =
+  let pages = (len + page_size - 1) / page_size in
+  for i = 0 to pages - 1 do
+    map t
+      ~va:(Int32.add va (Int32.of_int (i * page_size)))
+      ~pa:(pa + (i * page_size))
+      ~prot
+  done
+
+let mapped_pages t =
+  let count = ref 0 in
+  for d = 0 to 1023 do
+    let pde = get_entry t (t.pdir + (4 * d)) in
+    if pde land pte_present <> 0 then begin
+      let table = pde land lnot (page_size - 1) in
+      for i = 0 to 1023 do
+        if get_entry t (table + (4 * i)) land pte_present <> 0 then incr count
+      done
+    end
+  done;
+  !count

@@ -1,0 +1,42 @@
+(** x86 two-level page tables, stored in simulated physical memory.
+
+    The kernel support library "includes functions to create and manipulate
+    x86 page tables" (Section 3.2) without hiding the machine-specific
+    layout — this is the open-implementation point: the directory and table
+    entries are real 32-bit words in RAM that the client OS may inspect or
+    edit directly. *)
+
+type t
+
+(** [create ~ram ~alloc_page] ; [alloc_page] must return the physical
+    address of a zeroed, page-aligned 4 KB page (typically LMM-backed). *)
+val create : ram:Physmem.t -> alloc_page:(unit -> int) -> t
+
+(** Physical address of the page directory (what you would load into CR3). *)
+val pdir_pa : t -> int
+
+type prot = { writable : bool; user : bool }
+
+(** [map t ~va ~pa ~prot] maps one 4 KB page.  Addresses must be
+    page-aligned. *)
+val map : t -> va:int32 -> pa:int -> prot:prot -> unit
+
+val unmap : t -> va:int32 -> unit
+
+type translation = { pa : int; prot : prot }
+
+(** [translate t va] walks the tables as the MMU would. *)
+val translate : t -> int32 -> translation option
+
+(** [access t ~va ~write ~user] is the full MMU check; on failure returns
+    the page-fault error code (bit 0: present, bit 1: write, bit 2: user)
+    suitable for a [T_page_fault] frame. *)
+val access : t -> va:int32 -> write:bool -> user:bool -> (int, int32) result
+
+(** Map a contiguous range (both addresses page-aligned, len any). *)
+val map_range : t -> va:int32 -> pa:int -> len:int -> prot:prot -> unit
+
+(** Number of 4 KB mappings present. *)
+val mapped_pages : t -> int
+
+val page_size : int

@@ -1,0 +1,31 @@
+type state = Idle | Latched | Waiting of Thread.waker
+
+type t = { name : string; mutable state : state }
+
+let create ?(name = "sleep") () = { name; state = Idle }
+let name t = t.name
+
+let sleep t =
+  match t.state with
+  | Latched -> t.state <- Idle
+  | Waiting _ -> invalid_arg ("Sleep_record.sleep: already has a waiter: " ^ t.name)
+  | Idle ->
+      Thread.suspend (fun waker ->
+          (* A wakeup may have raced in from interrupt level while we were
+             suspending; consume it rather than blocking forever. *)
+          match t.state with
+          | Latched ->
+              t.state <- Idle;
+              waker ()
+          | Idle -> t.state <- Waiting waker
+          | Waiting _ -> assert false)
+
+let wakeup t =
+  match t.state with
+  | Waiting waker ->
+      t.state <- Idle;
+      waker ()
+  | Idle -> t.state <- Latched
+  | Latched -> ()
+
+let has_waiter t = match t.state with Waiting _ -> true | Idle | Latched -> false

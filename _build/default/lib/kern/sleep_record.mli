@@ -1,0 +1,30 @@
+(** Sleep records — the OSKit's minimal blocking primitive (Section 4.7.6).
+
+    "Like a condition variable except that only one thread of control can
+    wait on it at a time."  The glue code in every encapsulated component
+    emulates the donor OS's sleep/wakeup mechanism on top of this one
+    abstraction, so it is the only synchronization service a client OS must
+    supply.  Here the default implementation plugs into the kit's
+    cooperative threads; a client OS can substitute its own via
+    {!Osenv_sleep}-style overriding in [lib/fdev].
+
+    A wakeup with no waiter is latched and consumed by the next sleep, which
+    makes the usual legacy pattern (set condition at interrupt level, then
+    wakeup; sleeper re-checks condition in a loop) race-free under the
+    process/interrupt model. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+(** [sleep t] blocks the calling thread until [wakeup].  Raises
+    [Invalid_argument] if another thread is already waiting. *)
+val sleep : t -> unit
+
+(** [wakeup t] unblocks the waiter, or latches if there is none.  Safe to
+    call at interrupt level. *)
+val wakeup : t -> unit
+
+(** True if a thread is currently blocked on [t]. *)
+val has_waiter : t -> bool

@@ -1,0 +1,98 @@
+type waker = unit -> unit
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Suspend : (waker -> unit) -> unit Effect.t
+
+type sched = {
+  machine : Machine.t;
+  runq : (unit -> unit) Queue.t;
+  mutable live : int;
+  mutable running : bool;
+  mutable current_name : string option;
+  mutable failures : (string * exn) list;
+}
+
+(* One scheduler per machine, found again through the current-machine
+   context so [yield]/[suspend] need no explicit handle. *)
+let scheds : (string, sched) Hashtbl.t = Hashtbl.create 8
+
+let create_sched machine =
+  let s =
+    { machine; runq = Queue.create (); live = 0; running = false;
+      current_name = None; failures = [] }
+  in
+  Hashtbl.replace scheds (Machine.name machine) s;
+  s
+
+let self_sched () =
+  match Machine.current () with
+  | None -> None
+  | Some m -> Hashtbl.find_opt scheds (Machine.name m)
+
+let self_name () = Option.bind (self_sched ()) (fun s -> s.current_name)
+
+let enqueue s thunk = Queue.add thunk s.runq
+
+let rec run s =
+  if not s.running then begin
+    s.running <- true;
+    let rec loop () =
+      match Queue.take_opt s.runq with
+      | None -> ()
+      | Some thunk ->
+          thunk ();
+          loop ()
+    in
+    Fun.protect ~finally:(fun () -> s.running <- false) loop;
+    (* Wakers that fired during the last thunk may have refilled the queue. *)
+    if not (Queue.is_empty s.runq) then run s
+  end
+
+let install s = Machine.set_run_hook s.machine (fun () -> run s)
+
+let handler s name =
+  let open Effect.Deep in
+  { retc = (fun () -> s.live <- s.live - 1);
+    exnc =
+      (fun e ->
+        s.live <- s.live - 1;
+        s.failures <- s.failures @ [ name, e ]);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                enqueue s (fun () ->
+                    s.current_name <- Some name;
+                    continue k ()))
+        | Suspend f ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let fired = ref false in
+                let waker () =
+                  if not !fired then begin
+                    fired := true;
+                    enqueue s (fun () ->
+                        s.current_name <- Some name;
+                        continue k ());
+                    (* If the wake came from outside the machine's
+                       execution (a bare world event), get the scheduler
+                       re-entered. *)
+                    if not s.running then Machine.kick s.machine
+                  end
+                in
+                f waker)
+        | _ -> None) }
+
+let spawn s ?(name = "thread") f =
+  s.live <- s.live + 1;
+  enqueue s (fun () ->
+      s.current_name <- Some name;
+      Effect.Deep.match_with f () (handler s name))
+
+let yield () = Effect.perform Yield
+let suspend f = Effect.perform (Suspend f)
+let live s = s.live
+let failures s = s.failures

@@ -1,0 +1,81 @@
+(** Trap handling (Section 3.2, 6.2.4).
+
+    The kernel support library installs a trap vector with default handlers;
+    the client OS can override any entry, and overriders can fall back to
+    the default ("install its own custom trap handlers written in ordinary C,
+    which can still fall back to the default handler").  The trap frame
+    layout is documented and shared with hardware interrupts — the fix the
+    paper describes in Section 6.2.10.
+
+    We also model the x86 debug registers: four breakpoint slots that fire
+    [T_debug] when a matching address is touched via {!check_access} — the
+    mechanism Java/PC used to catch null-pointer accesses cheaply. *)
+
+type trapno =
+  | T_divide
+  | T_debug
+  | T_breakpoint
+  | T_overflow
+  | T_bounds
+  | T_invalid_opcode
+  | T_no_device
+  | T_double_fault
+  | T_gpf
+  | T_page_fault
+  | T_alignment
+
+val trapno_to_int : trapno -> int
+val trapno_of_int : int -> trapno option
+
+(** The documented trap frame: general registers, faulting address, error
+    code, and program counter.  Same layout for traps and hardware
+    interrupts. *)
+type frame = {
+  mutable eax : int32;
+  mutable ebx : int32;
+  mutable ecx : int32;
+  mutable edx : int32;
+  mutable esi : int32;
+  mutable edi : int32;
+  mutable ebp : int32;
+  mutable esp : int32;
+  mutable eip : int32;
+  mutable eflags : int32;
+  mutable cr2 : int32;  (** faulting linear address, page faults only *)
+  mutable err : int32;
+  trapno : trapno;
+}
+
+val make_frame : ?eip:int32 -> ?cr2:int32 -> ?err:int32 -> trapno -> frame
+
+(** Per-machine trap table. *)
+type table
+
+val create : Machine.t -> table
+
+(** Handlers return [`Handled] to resume or [`Unhandled] to fall through to
+    the default handler (which records the trap as a panic). *)
+val set_handler : table -> trapno -> (frame -> [ `Handled | `Unhandled ]) -> unit
+
+(** Restore the default handler for [trapno]. *)
+val clear_handler : table -> trapno -> unit
+
+(** [deliver t frame] dispatches a trap.  Returns [`Handled] if some handler
+    resumed it; otherwise records a panic and returns [`Panic]. *)
+val deliver : table -> frame -> [ `Handled | `Panic ]
+
+(** Unhandled-trap log, oldest first (the default handler's output). *)
+val panics : table -> frame list
+
+(** {2 Debug registers} *)
+
+(** [set_breakpoint t ~slot ~addr ~len] arms DR[slot] (0-3) over
+    [addr, addr+len). *)
+val set_breakpoint : table -> slot:int -> addr:int32 -> len:int -> unit
+
+val clear_breakpoint : table -> slot:int -> unit
+
+(** [check_access t addr] delivers [T_debug] if a breakpoint covers [addr];
+    returns whether execution may continue.  Called by memory-touching
+    simulation layers (e.g. the bytecode VM). *)
+val check_access : table -> int32 -> [ `Ok | `Trapped of [ `Handled | `Panic ] ]

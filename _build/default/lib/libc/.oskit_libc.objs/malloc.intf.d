@@ -1,0 +1,1 @@
+lib/libc/malloc.mli:

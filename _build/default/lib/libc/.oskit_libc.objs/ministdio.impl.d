@@ -1,0 +1,1 @@
+lib/libc/ministdio.ml: Buffer Char Minctype String

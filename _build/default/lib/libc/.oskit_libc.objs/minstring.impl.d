@@ -1,0 +1,1 @@
+lib/libc/minstring.ml: Bytes Char Minctype Option String

@@ -1,0 +1,1 @@
+lib/libc/posix.ml: Error Hashtbl Io_if List Result String

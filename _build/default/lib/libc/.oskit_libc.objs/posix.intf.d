@@ -1,0 +1,1 @@
+lib/libc/posix.mli: Error Io_if

@@ -1,0 +1,53 @@
+type stats = { mutable allocs : int; mutable frees : int; mutable bytes_allocated : int }
+
+let stats = { allocs = 0; frees = 0; bytes_allocated = 0 }
+
+let reset_stats () =
+  stats.allocs <- 0;
+  stats.frees <- 0;
+  stats.bytes_allocated <- 0
+
+let poison = '\xa5'
+
+let default_alloc n =
+  stats.allocs <- stats.allocs + 1;
+  stats.bytes_allocated <- stats.bytes_allocated + n;
+  Bytes.make n poison
+
+let default_free _ = stats.frees <- stats.frees + 1
+
+let default_realloc b n =
+  let nb = default_alloc n in
+  Bytes.blit b 0 nb 0 (min (Bytes.length b) n);
+  default_free b;
+  nb
+
+type hooks = {
+  mutable alloc : int -> bytes;
+  mutable free : bytes -> unit;
+  mutable realloc : bytes -> int -> bytes;
+}
+
+let hooks = { alloc = default_alloc; free = default_free; realloc = default_realloc }
+
+let set_hooks ~alloc ~free ~realloc =
+  hooks.alloc <- alloc;
+  hooks.free <- free;
+  hooks.realloc <- realloc
+
+let reset_hooks () =
+  hooks.alloc <- default_alloc;
+  hooks.free <- default_free;
+  hooks.realloc <- default_realloc
+
+let malloc n =
+  if n < 0 then invalid_arg "malloc: negative size";
+  hooks.alloc n
+
+let calloc n =
+  let b = malloc n in
+  Bytes.fill b 0 (Bytes.length b) '\000';
+  b
+
+let free b = hooks.free b
+let realloc b n = hooks.realloc b n

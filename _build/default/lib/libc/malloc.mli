@@ -1,0 +1,34 @@
+(** The minimal C library's memory allocation entry points.
+
+    Like everything in this library, designed for replacement: the four
+    operations are hooks with working defaults.  The defaults lean on the
+    host's collector and only keep statistics; the [memdebug] library
+    (Section 3.5) swaps in a checking allocator, and a client OS can point
+    these at its own memory manager, exactly as Fluke and the language
+    kernels did. *)
+
+type stats = { mutable allocs : int; mutable frees : int; mutable bytes_allocated : int }
+
+val stats : stats
+val reset_stats : unit -> unit
+
+(** New blocks are filled with this poison byte (default [0xA5]) so code
+    that assumes zeroed memory fails fast; [calloc] zeroes. *)
+val poison : char
+
+val set_hooks :
+  alloc:(int -> bytes) -> free:(bytes -> unit) -> realloc:(bytes -> int -> bytes) -> unit
+
+val reset_hooks : unit -> unit
+
+(** [malloc n] — a fresh block of [n] bytes (poisoned, not zeroed). *)
+val malloc : int -> bytes
+
+(** [calloc n] — zero-filled. *)
+val calloc : int -> bytes
+
+(** [free b] — with default hooks, statistics only. *)
+val free : bytes -> unit
+
+(** [realloc b n] — contents preserved up to [min (length b) n]. *)
+val realloc : bytes -> int -> bytes

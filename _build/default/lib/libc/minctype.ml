@@ -1,0 +1,22 @@
+(** Character classification (the <ctype.h> subset the kit's components
+    need).  Locale-free by design — the minimal C library does not support
+    locales (Section 3.4). *)
+
+let isdigit c = c >= '0' && c <= '9'
+let isupper c = c >= 'A' && c <= 'Z'
+let islower c = c >= 'a' && c <= 'z'
+let isalpha c = isupper c || islower c
+let isalnum c = isalpha c || isdigit c
+let isspace c = c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '\012' || c = '\011'
+let isxdigit c = isdigit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let isprint c = c >= ' ' && c <= '~'
+let ispunct c = isprint c && (not (isalnum c)) && c <> ' '
+let toupper c = if islower c then Char.chr (Char.code c - 32) else c
+let tolower c = if isupper c then Char.chr (Char.code c + 32) else c
+
+(** Numeric value of a digit in bases up to 36, or [None]. *)
+let digit_value c =
+  if isdigit c then Some (Char.code c - Char.code '0')
+  else if islower c then Some (Char.code c - Char.code 'a' + 10)
+  else if isupper c then Some (Char.code c - Char.code 'A' + 10)
+  else None

@@ -1,0 +1,204 @@
+type arg = Int of int | Str of string | Chr of char | Ptr of int
+
+let capture = Buffer.create 256
+let default_putchar c = Buffer.add_char capture c
+let putchar_hook = ref default_putchar
+let puts_raw_hook : (string -> unit) option ref = ref None
+
+let set_putchar f = putchar_hook := f
+let set_puts_raw f = puts_raw_hook := Some f
+
+let reset () =
+  putchar_hook := default_putchar;
+  puts_raw_hook := None;
+  Buffer.clear capture
+
+let putchar c = !putchar_hook c
+
+let puts_raw s =
+  match !puts_raw_hook with Some f -> f s | None -> String.iter putchar s
+
+let puts s =
+  puts_raw s;
+  putchar '\n'
+
+let captured () = Buffer.contents capture
+let clear_captured () = Buffer.clear capture
+
+(* ---- the formatter ---- *)
+
+type spec = {
+  minus : bool;
+  plus : bool;
+  space : bool;
+  zero : bool;
+  hash : bool;
+  width : int;
+  precision : int option;
+}
+
+let u32 v = v land 0xffffffff
+
+let digits_of value base upper =
+  if value = 0 then "0"
+  else begin
+    let sym = if upper then "0123456789ABCDEF" else "0123456789abcdef" in
+    let b = Buffer.create 16 in
+    let rec go v = if v > 0 then begin go (v / base); Buffer.add_char b sym.[v mod base] end in
+    go value;
+    Buffer.contents b
+  end
+
+(* Assemble sign/prefix + zero-or-space padding + digits under C rules. *)
+let pad_number spec ~sign ~prefix ~digits =
+  let digits =
+    match spec.precision with
+    | Some p when String.length digits < p ->
+        String.make (p - String.length digits) '0' ^ digits
+    | _ -> digits
+  in
+  let body = sign ^ prefix ^ digits in
+  let padding = max 0 (spec.width - String.length body) in
+  if spec.minus then body ^ String.make padding ' '
+  else if spec.zero && spec.precision = None then
+    sign ^ prefix ^ String.make padding '0' ^ digits
+  else String.make padding ' ' ^ body
+
+let pad_string spec s =
+  let s = match spec.precision with Some p -> String.sub s 0 (min p (String.length s)) | None -> s in
+  let padding = max 0 (spec.width - String.length s) in
+  if spec.minus then s ^ String.make padding ' ' else String.make padding ' ' ^ s
+
+let format_signed spec v =
+  let sign = if v < 0 then "-" else if spec.plus then "+" else if spec.space then " " else "" in
+  pad_number spec ~sign ~prefix:"" ~digits:(digits_of (abs v) 10 false)
+
+let format_unsigned spec v ~base ~upper =
+  let v = u32 v in
+  let prefix =
+    if spec.hash && v <> 0 then
+      match base with 16 -> if upper then "0X" else "0x" | 8 -> "0" | _ -> ""
+    else ""
+  in
+  pad_number spec ~sign:"" ~prefix ~digits:(digits_of v base upper)
+
+exception Out_of_args
+
+let sprintf fmt args =
+  let out = Buffer.create (String.length fmt + 32) in
+  let args = ref args in
+  let next_arg () =
+    match !args with
+    | [] -> raise Out_of_args
+    | a :: rest ->
+        args := rest;
+        a
+  in
+  let next_int () =
+    match next_arg () with
+    | Int v -> v
+    | Chr c -> Char.code c
+    | Ptr v -> v
+    | Str _ -> invalid_arg "printf: %d on a string argument"
+  in
+  let len = String.length fmt in
+  let rec plain i =
+    if i < len then
+      if fmt.[i] = '%' then directive (i + 1)
+      else begin
+        Buffer.add_char out fmt.[i];
+        plain (i + 1)
+      end
+  and directive i =
+    let spec =
+      ref { minus = false; plus = false; space = false; zero = false; hash = false;
+            width = 0; precision = None }
+    in
+    let rec flags i =
+      if i >= len then i
+      else
+        match fmt.[i] with
+        | '-' -> spec := { !spec with minus = true }; flags (i + 1)
+        | '+' -> spec := { !spec with plus = true }; flags (i + 1)
+        | ' ' -> spec := { !spec with space = true }; flags (i + 1)
+        | '0' -> spec := { !spec with zero = true }; flags (i + 1)
+        | '#' -> spec := { !spec with hash = true }; flags (i + 1)
+        | _ -> i
+    in
+    let rec number acc i =
+      if i < len && Minctype.isdigit fmt.[i] then
+        number ((acc * 10) + Char.code fmt.[i] - Char.code '0') (i + 1)
+      else acc, i
+    in
+    let i = flags i in
+    let i =
+      if i < len && fmt.[i] = '*' then begin
+        let w = next_int () in
+        if w < 0 then spec := { !spec with minus = true; width = -w }
+        else spec := { !spec with width = w };
+        i + 1
+      end
+      else begin
+        let w, i' = number 0 i in
+        spec := { !spec with width = w };
+        i'
+      end
+    in
+    let i =
+      if i < len && fmt.[i] = '.' then
+        if i + 1 < len && fmt.[i + 1] = '*' then begin
+          spec := { !spec with precision = Some (max 0 (next_int ())) };
+          i + 2
+        end
+        else begin
+          let p, i' = number 0 (i + 1) in
+          spec := { !spec with precision = Some p };
+          i'
+        end
+      else i
+    in
+    let rec skip_length i =
+      if i < len && (fmt.[i] = 'l' || fmt.[i] = 'h' || fmt.[i] = 'z') then skip_length (i + 1)
+      else i
+    in
+    let i = skip_length i in
+    if i >= len then Buffer.add_char out '%'
+    else begin
+      let spec = !spec in
+      (match fmt.[i] with
+      | 'd' | 'i' -> Buffer.add_string out (format_signed spec (next_int ()))
+      | 'u' -> Buffer.add_string out (format_unsigned spec (next_int ()) ~base:10 ~upper:false)
+      | 'x' -> Buffer.add_string out (format_unsigned spec (next_int ()) ~base:16 ~upper:false)
+      | 'X' -> Buffer.add_string out (format_unsigned spec (next_int ()) ~base:16 ~upper:true)
+      | 'o' -> Buffer.add_string out (format_unsigned spec (next_int ()) ~base:8 ~upper:false)
+      | 'c' -> (
+          match next_arg () with
+          | Chr c -> Buffer.add_string out (pad_string spec (String.make 1 c))
+          | Int v -> Buffer.add_string out (pad_string spec (String.make 1 (Char.chr (v land 0xff))))
+          | Str _ | Ptr _ -> invalid_arg "printf: %c argument")
+      | 's' -> (
+          match next_arg () with
+          | Str s -> Buffer.add_string out (pad_string spec s)
+          | Int _ | Chr _ | Ptr _ -> invalid_arg "printf: %s argument")
+      | 'p' ->
+          let v = match next_arg () with Ptr v | Int v -> v | _ -> invalid_arg "printf: %p" in
+          Buffer.add_string out
+            (pad_string spec (format_unsigned { spec with hash = true; width = 0 } v ~base:16 ~upper:false))
+      | '%' -> Buffer.add_char out '%'
+      | other ->
+          Buffer.add_char out '%';
+          Buffer.add_char out other);
+      plain (i + 1)
+    end
+  in
+  plain 0;
+  Buffer.contents out
+
+let printf fmt args = puts_raw (sprintf fmt args)
+
+let snprintf ~size fmt args =
+  let full = sprintf fmt args in
+  let n = String.length full in
+  if size <= 0 then "", n
+  else if n < size then full, n
+  else String.sub full 0 (size - 1), n

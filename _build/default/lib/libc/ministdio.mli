@@ -1,0 +1,59 @@
+(** Minimal standard I/O (Section 3.4, 4.3.1).
+
+    Designed around minimizing dependencies rather than maximizing
+    functionality: no buffering, no locales, no floating point.  The
+    documented dependency chain is the paper's example of separability
+    through overridable functions:
+
+    - [printf] is implemented in terms of [puts_raw] and [putchar];
+    - the default [puts_raw] is implemented only in terms of [putchar];
+
+    so a client OS obtains formatted console output by providing nothing
+    but a [putchar].  (In a standard C library this structure would be a
+    bug; here it is the point.) *)
+
+(** Arguments to the formatter (a C vararg stand-in). *)
+type arg = Int of int | Str of string | Chr of char | Ptr of int
+
+(** {2 The override chain} *)
+
+(** Replace the bottom-level character output.  Default: append to the
+    capture buffer (see {!captured}). *)
+val set_putchar : (char -> unit) -> unit
+
+(** Replace [puts_raw] wholesale (otherwise it loops over [putchar]). *)
+val set_puts_raw : (string -> unit) -> unit
+
+(** Restore both defaults and clear the capture buffer. *)
+val reset : unit -> unit
+
+val putchar : char -> unit
+
+(** Unterminated string output (what [printf] emits through). *)
+val puts_raw : string -> unit
+
+(** C [puts]: the string, then a newline. *)
+val puts : string -> unit
+
+(** Everything the default [putchar] has captured. *)
+val captured : unit -> string
+
+val clear_captured : unit -> unit
+
+(** {2 Formatting}
+
+    Supported directives: [%d %i %u %x %X %o %c %s %p %%] with flags
+    [- + 0 #] and space, numeric or [*] width, and [.precision].  Length
+    modifiers [l]/[h] are accepted and ignored.  Unsigned and hex
+    conversions use 32-bit wrap-around semantics, as the legacy code
+    expects.  Unknown directives are printed literally, as most C libraries
+    do. *)
+
+val sprintf : string -> arg list -> string
+
+(** [printf fmt args] formats and writes via [puts_raw]/[putchar]. *)
+val printf : string -> arg list -> unit
+
+(** [snprintf ~size fmt args] truncates to [size - 1] and reports the length
+    that would have been written, like C99. *)
+val snprintf : size:int -> string -> arg list -> string * int

@@ -1,0 +1,122 @@
+let strlen b ~pos =
+  match Bytes.index_from_opt b pos '\000' with
+  | Some i -> i - pos
+  | None -> raise Not_found
+
+let cstr s =
+  let b = Bytes.create (String.length s + 1) in
+  Bytes.blit_string s 0 b 0 (String.length s);
+  Bytes.set b (String.length s) '\000';
+  b
+
+let of_cstr b ~pos = Bytes.sub_string b pos (strlen b ~pos)
+
+let strcpy ~dst ~dst_pos ~src ~src_pos =
+  let n = strlen src ~pos:src_pos in
+  Bytes.blit src src_pos dst dst_pos (n + 1)
+
+let strncpy ~dst ~dst_pos ~src ~src_pos ~n =
+  let len = min n (try strlen src ~pos:src_pos with Not_found -> n) in
+  Bytes.blit src src_pos dst dst_pos len;
+  Bytes.fill dst (dst_pos + len) (n - len) '\000'
+
+let strcat ~dst ~dst_pos ~src ~src_pos =
+  let at = dst_pos + strlen dst ~pos:dst_pos in
+  strcpy ~dst ~dst_pos:at ~src ~src_pos
+
+let rec strcmp_from b1 p1 b2 p2 =
+  let c1 = Char.code (Bytes.get b1 p1) and c2 = Char.code (Bytes.get b2 p2) in
+  if c1 <> c2 then compare c1 c2
+  else if c1 = 0 then 0
+  else strcmp_from b1 (p1 + 1) b2 (p2 + 1)
+
+let strcmp b1 ~pos1 b2 ~pos2 = strcmp_from b1 pos1 b2 pos2
+
+let strncmp b1 ~pos1 b2 ~pos2 ~n =
+  let rec go i =
+    if i >= n then 0
+    else
+      let c1 = Char.code (Bytes.get b1 (pos1 + i))
+      and c2 = Char.code (Bytes.get b2 (pos2 + i)) in
+      if c1 <> c2 then compare c1 c2 else if c1 = 0 then 0 else go (i + 1)
+  in
+  go 0
+
+let strchr b ~pos c =
+  let limit = pos + strlen b ~pos in
+  match Bytes.index_from_opt b pos c with Some i when i <= limit -> Some i | _ -> None
+
+let strrchr b ~pos c =
+  let limit = pos + strlen b ~pos in
+  let rec go best i =
+    if i > limit then best
+    else go (if Bytes.get b i = c && i <= limit then Some i else best) (i + 1)
+  in
+  go None pos
+
+let strstr hay ~pos needle =
+  let hay_len = strlen hay ~pos in
+  let n = String.length needle in
+  if n = 0 then Some pos
+  else begin
+    let rec go i =
+      if i + n > pos + hay_len then None
+      else if Bytes.sub_string hay i n = needle then Some i
+      else go (i + 1)
+    in
+    go pos
+  end
+
+let memcmp b1 p1 b2 p2 n =
+  let rec go i =
+    if i >= n then 0
+    else
+      let c = compare (Bytes.get b1 (p1 + i)) (Bytes.get b2 (p2 + i)) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let memset b ~pos ~len v = Bytes.fill b pos len (Char.chr (v land 0xff))
+
+let memchr b ~pos ~len c =
+  match Bytes.index_from_opt b pos c with
+  | Some i when i < pos + len -> Some i
+  | _ -> None
+
+let strtol s ~pos ~base =
+  let len = String.length s in
+  let i = ref pos in
+  while !i < len && Minctype.isspace s.[!i] do incr i done;
+  let negative =
+    if !i < len && (s.[!i] = '-' || s.[!i] = '+') then begin
+      let neg = s.[!i] = '-' in
+      incr i;
+      neg
+    end
+    else false
+  in
+  let base =
+    if base <> 0 then base
+    else if !i + 1 < len && s.[!i] = '0' && (s.[!i + 1] = 'x' || s.[!i + 1] = 'X') then 16
+    else if !i < len && s.[!i] = '0' then 8
+    else 10
+  in
+  if
+    base = 16 && !i + 1 < len && s.[!i] = '0'
+    && (s.[!i + 1] = 'x' || s.[!i + 1] = 'X')
+    && !i + 2 < len
+    && Option.fold ~none:false ~some:(fun v -> v < 16) (Minctype.digit_value s.[!i + 2])
+  then i := !i + 2;
+  let value = ref 0 in
+  let digits = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !i < len do
+    match Minctype.digit_value s.[!i] with
+    | Some v when v < base ->
+        value := (!value * base) + v;
+        incr digits;
+        incr i
+    | Some _ | None -> continue_ := false
+  done;
+  let v = if negative then - !value else !value in
+  if !digits = 0 then 0, pos else v, !i

@@ -1,0 +1,45 @@
+(** C string and memory operations over NUL-terminated byte buffers.
+
+    The encapsulated legacy components and the example kernels traffic in
+    C-style strings (fixed buffers, NUL terminators); these are the
+    <string.h> semantics they expect, including the sharp edges (strncpy's
+    padding, strcat's appended terminator). *)
+
+(** [strlen b ~pos] — bytes before the first NUL at/after [pos].  Raises
+    [Not_found] if there is no NUL. *)
+val strlen : bytes -> pos:int -> int
+
+(** [cstr s] makes a fresh NUL-terminated buffer from an OCaml string. *)
+val cstr : string -> bytes
+
+(** [of_cstr b ~pos] reads the NUL-terminated string at [pos]. *)
+val of_cstr : bytes -> pos:int -> string
+
+val strcpy : dst:bytes -> dst_pos:int -> src:bytes -> src_pos:int -> unit
+
+(** [strncpy] copies at most [n] bytes and, like the C original, pads with
+    NULs but does not guarantee termination. *)
+val strncpy : dst:bytes -> dst_pos:int -> src:bytes -> src_pos:int -> n:int -> unit
+
+val strcat : dst:bytes -> dst_pos:int -> src:bytes -> src_pos:int -> unit
+val strcmp : bytes -> pos1:int -> bytes -> pos2:int -> int
+val strncmp : bytes -> pos1:int -> bytes -> pos2:int -> n:int -> int
+
+(** Index (relative to buffer start) of the first/last occurrence. *)
+val strchr : bytes -> pos:int -> char -> int option
+
+val strrchr : bytes -> pos:int -> char -> int option
+
+(** [strstr hay ~pos needle] — index of first occurrence of [needle]. *)
+val strstr : bytes -> pos:int -> string -> int option
+
+val memcmp : bytes -> int -> bytes -> int -> int -> int
+val memset : bytes -> pos:int -> len:int -> int -> unit
+
+(** [memchr b ~pos ~len c] *)
+val memchr : bytes -> pos:int -> len:int -> char -> int option
+
+(** [strtol s ~pos ~base] parses leading whitespace, sign, optional 0x/0
+    prefix when [base = 0]; returns the value and the index just past the
+    digits (C's [endptr]). *)
+val strtol : string -> pos:int -> base:int -> int * int

@@ -1,0 +1,273 @@
+type fdesc =
+  | Dfile of { file : Io_if.file; mutable off : int; append : bool }
+  | Ddir of Io_if.dir
+  | Dsock of Io_if.socket
+  | Dchar of Io_if.chario
+
+type env = {
+  mutable root_dir : Io_if.dir option;
+  mutable factory : Io_if.socket_factory option;
+  fds : (int, fdesc) Hashtbl.t;
+  mutable next_fd : int;
+  (* Overridable services, Section 4.2.1 style: trivial defaults, replaced
+     by the client OS when it has better answers. *)
+  mutable time_source : unit -> int;
+  mutable sleeper : int -> unit;
+  signal_handlers : (int, int -> unit) Hashtbl.t;
+  mutable signals_delivered : int;
+}
+
+let fd_limit = 256
+
+let create_env () =
+  { root_dir = None; factory = None; fds = Hashtbl.create 16; next_fd = 3;
+    time_source = (fun () -> 0); sleeper = (fun _ -> ());
+    signal_handlers = Hashtbl.create 4; signals_delivered = 0 }
+let set_root env d = env.root_dir <- d
+let root env = env.root_dir
+let set_socket_factory env f = env.factory <- f
+
+let o_rdonly = 0x0
+let o_wronly = 0x1
+let o_rdwr = 0x2
+let o_creat = 0x40
+let o_trunc = 0x200
+let o_append = 0x400
+
+let ( let* ) = Result.bind
+
+let split_path path = List.filter (fun c -> c <> "") (String.split_on_char '/' path)
+
+let lookup env path =
+  match env.root_dir with
+  | None -> Result.Error Error.Noent
+  | Some root ->
+      let rec walk node = function
+        | [] -> Ok node
+        | comp :: rest -> (
+            match node with
+            | Io_if.Node_file _ -> Result.Error Error.Notdir
+            | Io_if.Node_dir d ->
+                let* next = d.Io_if.d_lookup comp in
+                walk next rest)
+      in
+      walk (Io_if.Node_dir root) (split_path path)
+
+(* Resolve all but the last component, returning (dir, basename). *)
+let lookup_parent env path =
+  match split_path path with
+  | [] -> Result.Error Error.Inval
+  | comps -> (
+      let rec split_last acc = function
+        | [ last ] -> List.rev acc, last
+        | x :: rest -> split_last (x :: acc) rest
+        | [] -> assert false
+      in
+      let dirs, base = split_last [] comps in
+      let* node = lookup env (String.concat "/" dirs) in
+      match node with
+      | Io_if.Node_dir d -> Ok (d, base)
+      | Io_if.Node_file _ -> Result.Error Error.Notdir)
+
+let alloc_fd env desc =
+  if Hashtbl.length env.fds >= fd_limit then Result.Error Error.Mfile
+  else begin
+    let fd = env.next_fd in
+    env.next_fd <- env.next_fd + 1;
+    Hashtbl.replace env.fds fd desc;
+    Ok fd
+  end
+
+let find_fd env fd =
+  match Hashtbl.find_opt env.fds fd with Some d -> Ok d | None -> Result.Error Error.Badf
+
+let open_ env path flags =
+  let want_create = flags land o_creat <> 0 in
+  let* node =
+    match lookup env path with
+    | Ok node -> Ok node
+    | Result.Error Error.Noent when want_create ->
+        let* parent, base = lookup_parent env path in
+        let* file = parent.Io_if.d_create base in
+        Ok (Io_if.Node_file file)
+    | Result.Error _ as e -> e
+  in
+  match node with
+  | Io_if.Node_dir d -> alloc_fd env (Ddir d)
+  | Io_if.Node_file file ->
+      let* () =
+        if flags land o_trunc <> 0 then file.Io_if.f_setsize 0 else Ok ()
+      in
+      alloc_fd env (Dfile { file; off = 0; append = flags land o_append <> 0 })
+
+let close env fd =
+  let* desc = find_fd env fd in
+  Hashtbl.remove env.fds fd;
+  match desc with Dsock s -> s.Io_if.so_close () | Dfile _ | Ddir _ | Dchar _ -> Ok ()
+
+let read env fd buf ~pos ~len =
+  let* desc = find_fd env fd in
+  match desc with
+  | Dfile f ->
+      let* n = f.file.Io_if.f_read ~buf ~pos ~offset:f.off ~amount:len in
+      f.off <- f.off + n;
+      Ok n
+  | Dsock s -> s.Io_if.so_recv ~buf ~pos ~len
+  | Dchar c -> c.Io_if.cio_read ~buf ~pos ~amount:len
+  | Ddir _ -> Result.Error Error.Isdir
+
+let write env fd buf ~pos ~len =
+  let* desc = find_fd env fd in
+  match desc with
+  | Dfile f ->
+      let* off =
+        if not f.append then Ok f.off
+        else
+          let* st = f.file.Io_if.f_getstat () in
+          Ok st.Io_if.st_size
+      in
+      let* n = f.file.Io_if.f_write ~buf ~pos ~offset:off ~amount:len in
+      f.off <- off + n;
+      Ok n
+  | Dsock s -> s.Io_if.so_send ~buf ~pos ~len
+  | Dchar c -> c.Io_if.cio_write ~buf ~pos ~amount:len
+  | Ddir _ -> Result.Error Error.Isdir
+
+let lseek env fd ~offset whence =
+  let* desc = find_fd env fd in
+  match desc with
+  | Dfile f ->
+      let* base =
+        match whence with
+        | `Set -> Ok 0
+        | `Cur -> Ok f.off
+        | `End ->
+            let* st = f.file.Io_if.f_getstat () in
+            Ok st.Io_if.st_size
+      in
+      let target = base + offset in
+      if target < 0 then Result.Error Error.Inval
+      else begin
+        f.off <- target;
+        Ok target
+      end
+  | Dsock _ | Dchar _ | Ddir _ -> Result.Error Error.Inval
+
+let fstat env fd =
+  let* desc = find_fd env fd in
+  match desc with
+  | Dfile f -> f.file.Io_if.f_getstat ()
+  | Ddir d -> d.Io_if.d_getstat ()
+  | Dsock _ | Dchar _ -> Result.Error Error.Inval
+
+let stat env path =
+  let* node = lookup env path in
+  match node with
+  | Io_if.Node_file f -> f.Io_if.f_getstat ()
+  | Io_if.Node_dir d -> d.Io_if.d_getstat ()
+
+let unlink env path =
+  let* parent, base = lookup_parent env path in
+  parent.Io_if.d_unlink base
+
+let mkdir env path =
+  let* parent, base = lookup_parent env path in
+  let* _dir = parent.Io_if.d_mkdir base in
+  Ok ()
+
+let rmdir env path =
+  let* parent, base = lookup_parent env path in
+  parent.Io_if.d_rmdir base
+
+let readdir env path =
+  let* node = lookup env path in
+  match node with
+  | Io_if.Node_dir d -> d.Io_if.d_readdir ()
+  | Io_if.Node_file _ -> Result.Error Error.Notdir
+
+let socket env typ =
+  match env.factory with
+  | None -> Result.Error Error.Notsup
+  | Some f ->
+      let* sock = f.Io_if.sf_create typ in
+      alloc_fd env (Dsock sock)
+
+let socket_of_fd env fd =
+  let* desc = find_fd env fd in
+  match desc with
+  | Dsock s -> Ok s
+  | Dfile _ | Ddir _ | Dchar _ -> Result.Error Error.Notsup
+
+let bind env fd addr =
+  let* s = socket_of_fd env fd in
+  s.Io_if.so_bind addr
+
+let listen env fd ~backlog =
+  let* s = socket_of_fd env fd in
+  s.Io_if.so_listen ~backlog
+
+let accept env fd =
+  let* s = socket_of_fd env fd in
+  let* conn, peer = s.Io_if.so_accept () in
+  let* nfd = alloc_fd env (Dsock conn) in
+  Ok (nfd, peer)
+
+let connect env fd addr =
+  let* s = socket_of_fd env fd in
+  s.Io_if.so_connect addr
+
+let send env fd buf ~pos ~len =
+  let* s = socket_of_fd env fd in
+  s.Io_if.so_send ~buf ~pos ~len
+
+let recv env fd buf ~pos ~len =
+  let* s = socket_of_fd env fd in
+  s.Io_if.so_recv ~buf ~pos ~len
+
+let setsockopt env fd name value =
+  let* s = socket_of_fd env fd in
+  s.Io_if.so_setsockopt name value
+
+let shutdown env fd =
+  let* s = socket_of_fd env fd in
+  s.Io_if.so_shutdown ()
+
+let install_chario env c =
+  match alloc_fd env (Dchar c) with
+  | Ok fd -> fd
+  | Result.Error _ -> invalid_arg "Posix.install_chario: descriptor table full"
+
+let live_fds env = Hashtbl.length env.fds
+
+(* ---- Section 5 odds and ends ---- *)
+
+let set_time_source env f = env.time_source <- f
+let set_sleeper env f = env.sleeper <- f
+
+type rusage = { ru_time_ns : int }
+
+let getrusage env = { ru_time_ns = env.time_source () }
+
+let signal env signo handler =
+  match handler with
+  | Some f -> Hashtbl.replace env.signal_handlers signo f
+  | None -> Hashtbl.remove env.signal_handlers signo
+
+let raise_signal env signo =
+  match Hashtbl.find_opt env.signal_handlers signo with
+  | Some f ->
+      env.signals_delivered <- env.signals_delivered + 1;
+      f signo
+  | None -> ()
+
+let signals_handled env = env.signals_delivered
+
+let select env ~read_fds ~timeout_ns =
+  (* Degenerate, per the paper: validate the descriptors, honour the
+     timeout, report everything ready. *)
+  let bad = List.filter (fun fd -> not (Hashtbl.mem env.fds fd)) read_fds in
+  if bad <> [] then Result.Error Error.Badf
+  else begin
+    (match timeout_ns with Some ns when ns > 0 -> env.sleeper ns | Some _ | None -> ());
+    Ok read_fds
+  end

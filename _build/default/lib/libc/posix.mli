@@ -1,0 +1,111 @@
+(** The minimal POSIX environment (Sections 3.4, 6.2.1).
+
+    Maps POSIX calls onto COM interfaces by associating file descriptors
+    with references to COM objects; [socket] goes through a client-provided
+    socket factory ([set_socket_factory] is the paper's
+    [posix_set_socketcreator]).  "This C library code can be used with any
+    protocol stack that provides these socket and socket factory
+    interfaces."
+
+    An environment is explicit (no hidden globals) because several client
+    OSes — one per simulated machine — coexist in one simulation. *)
+
+type env
+
+val create_env : unit -> env
+
+(** Install the root directory [open_] resolves against (e.g. the boot
+    module file system, or a mounted NetBSD file system). *)
+val set_root : env -> Io_if.dir option -> unit
+
+val root : env -> Io_if.dir option
+
+(** The paper's [posix_set_socketcreator]. *)
+val set_socket_factory : env -> Io_if.socket_factory option -> unit
+
+(** {2 Flags} *)
+
+val o_rdonly : int
+val o_wronly : int
+val o_rdwr : int
+val o_creat : int
+val o_trunc : int
+val o_append : int
+
+(** {2 Path resolution}
+
+    Paths are resolved one component at a time against the VFS-granularity
+    [dir] interface; ["."] and [".."] are not interpreted by the library
+    (the file system may expose them as entries). *)
+
+val lookup : env -> string -> (Io_if.node, Error.t) result
+
+(** {2 Descriptor calls} *)
+
+val open_ : env -> string -> int -> (int, Error.t) result
+val close : env -> int -> (unit, Error.t) result
+val read : env -> int -> bytes -> pos:int -> len:int -> (int, Error.t) result
+val write : env -> int -> bytes -> pos:int -> len:int -> (int, Error.t) result
+
+val lseek : env -> int -> offset:int -> [ `Set | `Cur | `End ] -> (int, Error.t) result
+val fstat : env -> int -> (Io_if.stat, Error.t) result
+val stat : env -> string -> (Io_if.stat, Error.t) result
+val unlink : env -> string -> (unit, Error.t) result
+val mkdir : env -> string -> (unit, Error.t) result
+val rmdir : env -> string -> (unit, Error.t) result
+val readdir : env -> string -> (string list, Error.t) result
+
+(** {2 Sockets} *)
+
+val socket : env -> Io_if.sock_type -> (int, Error.t) result
+val bind : env -> int -> Io_if.sockaddr -> (unit, Error.t) result
+val listen : env -> int -> backlog:int -> (unit, Error.t) result
+
+(** Returns the new connection's descriptor and peer address. *)
+val accept : env -> int -> (int * Io_if.sockaddr, Error.t) result
+
+val connect : env -> int -> Io_if.sockaddr -> (unit, Error.t) result
+val send : env -> int -> bytes -> pos:int -> len:int -> (int, Error.t) result
+val recv : env -> int -> bytes -> pos:int -> len:int -> (int, Error.t) result
+val setsockopt : env -> int -> string -> int -> (unit, Error.t) result
+val shutdown : env -> int -> (unit, Error.t) result
+
+(** [with_socket env fd f] — narrow a descriptor back to its socket. *)
+val socket_of_fd : env -> int -> (Io_if.socket, Error.t) result
+
+(** Attach an externally-created object (e.g. a console chario as fds
+    0-2). *)
+val install_chario : env -> Io_if.chario -> int
+
+(** Number of open descriptors. *)
+val live_fds : env -> int
+
+(** {2 The odds and ends ttcp needed} (Section 5)
+
+    [getrusage] is "a simple getrusage based on the timers kept by" the
+    simulation — virtual CPU time of the calling machine.  [signal] and
+    [select] are the paper's deliberately degenerate implementations:
+    "they are only used to handle exceptional conditions and can be
+    implemented as null functions without affecting the results" —
+    [select] reports every polled descriptor ready after sleeping any
+    timeout; [signal] keeps a handler table that only [raise_signal]
+    consults. *)
+
+(** Install the clock [getrusage] reads (default: constant 0). *)
+val set_time_source : env -> (unit -> int) -> unit
+
+(** Install the blocking sleep [select]'s timeout uses (default: no-op). *)
+val set_sleeper : env -> (int -> unit) -> unit
+
+type rusage = { ru_time_ns : int }
+
+val getrusage : env -> rusage
+
+val signal : env -> int -> (int -> unit) option -> unit
+val raise_signal : env -> int -> unit
+
+(** Number of signals delivered to a handler so far. *)
+val signals_handled : env -> int
+
+val select :
+  env -> read_fds:int list -> timeout_ns:int option -> (int list, Error.t) result

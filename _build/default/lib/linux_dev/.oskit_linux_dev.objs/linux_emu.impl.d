@@ -1,0 +1,1 @@
+lib/linux_dev/linux_emu.ml: Fun List Lmm Machine Option Osenv Sleep_record Thread

@@ -1,0 +1,1 @@
+lib/linux_dev/linux_eth_drv.ml: Bus Bytes Char Cost Error List Nic Osenv Result Skbuff

@@ -1,0 +1,1 @@
+lib/linux_dev/linux_glue.ml: Bytes Com Cost Disk Error Fdev Iid Io_if Lazy Linux_emu Linux_eth_drv Linux_ide_drv List Result Skbuff

@@ -1,0 +1,1 @@
+lib/linux_dev/linux_glue.mli: Error Io_if Linux_eth_drv Osenv Skbuff

@@ -1,0 +1,1 @@
+lib/linux_dev/linux_ide_drv.ml: Bus Bytes Char Cost Disk Error Linux_emu List Osenv Queue Result String

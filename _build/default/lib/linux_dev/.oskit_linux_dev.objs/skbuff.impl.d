@@ -1,0 +1,1 @@
+lib/linux_dev/skbuff.ml: Bytes Cost

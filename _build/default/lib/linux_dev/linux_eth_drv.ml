@@ -1,0 +1,123 @@
+(* ENCAPSULATED LEGACY CODE — Linux 2.0.29-style Ethernet drivers.
+ *
+ * One driver core with the per-chip "personalities" of the donor tree's
+ * fifty-odd drivers.  The code keeps Linux's structure: a `struct device'
+ * with open/stop/hard_start_xmit entry points, an interrupt handler that
+ * pulls frames off the card and feeds netif_rx, and eth_type_trans for
+ * protocol demux.  Everything traffics in sk_buffs.
+ *)
+
+let eth_hlen = 14
+let eth_p_ip = 0x0800
+let eth_p_arp = 0x0806
+
+type device = {
+  name : string; (* eth0, eth1, ... *)
+  model : string;
+  hw : Nic.t;
+  dev_addr : string; (* station MAC *)
+  mutable opened : bool;
+  mutable netif_rx : Skbuff.sk_buff -> unit; (* upcall into the stack *)
+  mutable tx_packets : int;
+  mutable rx_packets : int;
+  mutable irq_requested : bool;
+}
+
+(* The chips this donor tree has drivers for; a probe matches the model
+   string the "card" reports, as the ISA/PCI probe would. *)
+let supported_models =
+  [ "NE2000"; "3c509"; "3c59x"; "3c905"; "tulip"; "eepro100"; "lance"; "rtl8139";
+    "smc-ultra"; "de4x5" ]
+
+let nothing_rx (_ : Skbuff.sk_buff) = ()
+
+let found : device list ref = ref []
+
+(* eth_type_trans: strip the link header, note the protocol. *)
+let eth_type_trans skb =
+  let off = skb.Skbuff.head in
+  let proto =
+    (Char.code (Bytes.get skb.Skbuff.skb_data (off + 12)) lsl 8)
+    lor Char.code (Bytes.get skb.Skbuff.skb_data (off + 13))
+  in
+  skb.Skbuff.protocol <- proto;
+  proto
+
+(* The receive interrupt: drain the ring, wrapping each DMA buffer in an
+   sk_buff (the card DMAed it; no CPU copy). *)
+let device_interrupt dev () =
+  let rec drain () =
+    match Nic.pop_rx dev.hw with
+    | None -> ()
+    | Some frame ->
+        Cost.charge_cycles Cost.config.linux_driver_pkt_cycles;
+        let skb = Skbuff.skb_wrap frame in
+        skb.Skbuff.dev_name <- dev.name;
+        ignore (eth_type_trans skb);
+        dev.rx_packets <- dev.rx_packets + 1;
+        dev.netif_rx skb;
+        drain ()
+  in
+  drain ()
+
+let probe_devices osenv =
+  let machine = Osenv.machine osenv in
+  let devices =
+    List.filter_map
+      (fun hw ->
+        match hw with
+        | Bus.Hw_nic { model; nic } when List.mem model supported_models ->
+            Some
+              { name = "eth" ^ string_of_int (List.length !found);
+                model;
+                hw = nic;
+                dev_addr = Nic.mac nic;
+                opened = false;
+                netif_rx = nothing_rx;
+                tx_packets = 0;
+                rx_packets = 0;
+                irq_requested = false }
+        | Bus.Hw_nic _ | Bus.Hw_disk _ | Bus.Hw_serial _ -> None)
+      (Bus.hardware machine)
+  in
+  found := !found @ devices;
+  devices
+
+let dev_open osenv dev ~rx =
+  if dev.opened then Result.Error Error.Busy
+  else begin
+    dev.netif_rx <- rx;
+    match Osenv.irq_request osenv ~irq:(Nic.irq dev.hw) ~handler:(device_interrupt dev) with
+    | Ok () ->
+        dev.irq_requested <- true;
+        dev.opened <- true;
+        Ok ()
+    | Result.Error _ as e -> e
+  end
+
+let dev_stop osenv dev =
+  if dev.opened then begin
+    Osenv.irq_free osenv ~irq:(Nic.irq dev.hw);
+    dev.opened <- false;
+    dev.netif_rx <- nothing_rx
+  end
+
+(* hard_start_xmit: hand a fully-formed frame to the card. *)
+let hard_start_xmit dev skb =
+  if not dev.opened then Error.fail Error.Nodev;
+  Cost.charge_cycles Cost.config.linux_driver_pkt_cycles;
+  dev.tx_packets <- dev.tx_packets + 1;
+  (* The card DMAs straight out of the sk_buff's contiguous data. *)
+  let frame = Bytes.sub skb.Skbuff.skb_data skb.Skbuff.head skb.Skbuff.len in
+  Nic.transmit dev.hw frame
+
+(* Build the 14-byte header in the skb's headroom (eth_header). *)
+let eth_header skb ~src ~dst ~proto =
+  let off = Skbuff.skb_push skb eth_hlen in
+  Bytes.blit_string dst 0 skb.Skbuff.skb_data off 6;
+  Bytes.blit_string src 0 skb.Skbuff.skb_data (off + 6) 6;
+  Bytes.set skb.Skbuff.skb_data (off + 12) (Char.chr (proto lsr 8));
+  Bytes.set skb.Skbuff.skb_data (off + 13) (Char.chr (proto land 0xff))
+
+(* Forget past probes (simulation restart). *)
+let reset () = found := []

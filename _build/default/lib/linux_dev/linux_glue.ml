@@ -1,0 +1,178 @@
+(* The private interface by which this glue recognises its own buffers:
+   querying it succeeds only on bufio objects this module exported. *)
+let skbuff_iid : Skbuff.sk_buff Iid.t = Iid.declare "oskit.linux.skbuff"
+
+let bufio_of_skb skb =
+  let size () = skb.Skbuff.len in
+  let rec view () =
+    { Io_if.buf_unknown = unknown ();
+      buf_size = size;
+      buf_read =
+        (fun ~buf ~pos ~offset ~amount ->
+          let n = max 0 (min amount (size () - offset)) in
+          Cost.charge_copy n;
+          Bytes.blit skb.Skbuff.skb_data (skb.Skbuff.head + offset) buf pos n;
+          Ok n);
+      buf_write =
+        (fun ~buf ~pos ~offset ~amount ->
+          let n = max 0 (min amount (size () - offset)) in
+          Cost.charge_copy n;
+          Bytes.blit buf pos skb.Skbuff.skb_data (skb.Skbuff.head + offset) n;
+          Ok n);
+      buf_map = (fun () -> Some (skb.Skbuff.skb_data, skb.Skbuff.head)) }
+  and obj =
+    lazy
+      (Com.create (fun _ ->
+           [ Iid.B (Io_if.bufio_iid, fun () -> view ());
+             Iid.B (skbuff_iid, fun () -> skb) ]))
+  and unknown () = Lazy.force obj in
+  view ()
+
+let skb_of_bufio (io : Io_if.bufio) =
+  match Com.query io.Io_if.buf_unknown skbuff_iid with
+  | Ok skb ->
+      (* One of ours: unwrap, no copy.  Drop the query's reference. *)
+      ignore (io.Io_if.buf_unknown.Com.release ());
+      skb, false
+  | Result.Error _ -> (
+      let n = io.Io_if.buf_size () in
+      match io.Io_if.buf_map () with
+      | Some (backing, start) ->
+          (* Contiguous foreign data: fake sk_buff aliasing it. *)
+          ( { Skbuff.skb_data = backing; head = start; len = n; protocol = 0; dev_name = "" },
+            false )
+      | None -> (
+          (* Discontiguous (e.g. an mbuf chain): allocate and copy. *)
+          let skb = Skbuff.alloc_skb n in
+          ignore (Skbuff.skb_put skb n);
+          match io.Io_if.buf_read ~buf:skb.Skbuff.skb_data ~pos:0 ~offset:0 ~amount:n with
+          | Ok _ -> skb, true
+          | Result.Error e -> Error.fail e))
+
+(* ---- etherdev COM objects ---- *)
+
+let etherdev_of osenv (dev : Linux_eth_drv.device) : Com.unknown =
+  let make_xmit_netio () =
+    let rec view () =
+      { Io_if.nio_unknown = unknown ();
+        push =
+          (fun io ->
+            Cost.charge_glue_crossing ();
+            let skb, _copied = skb_of_bufio io in
+            match Linux_eth_drv.hard_start_xmit dev skb with
+            | () -> Ok ()
+            | exception Error.Error e -> Result.Error e) }
+    and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.netio_iid, fun () -> view ()) ]))
+    and unknown () = Lazy.force obj in
+    view ()
+  in
+  let ed_open ~(recv : Io_if.netio) =
+    let rx skb =
+      (* Driver -> client: wrap the sk_buff and push upward.  The crossing
+         itself is charged by the receiving component's netio. *)
+      Linux_emu.with_current (fun () -> ignore (recv.Io_if.push (bufio_of_skb skb)))
+    in
+    match Linux_eth_drv.dev_open osenv dev ~rx with
+    | Ok () -> Ok (make_xmit_netio ())
+    | Result.Error _ as e -> e
+  in
+  let rec view () =
+    { Io_if.ed_unknown = unknown ();
+      ed_ethaddr = (fun () -> dev.Linux_eth_drv.dev_addr);
+      ed_open =
+        (fun ~recv ->
+          Cost.charge_glue_crossing ();
+          Linux_emu.with_current (fun () -> ed_open ~recv));
+      ed_close =
+        (fun () ->
+          Cost.charge_glue_crossing ();
+          Linux_emu.with_current (fun () ->
+              Linux_eth_drv.dev_stop osenv dev;
+              Ok ())) }
+  and obj =
+    lazy (Com.create (fun _ -> [ Iid.B (Io_if.etherdev_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  unknown ()
+
+(* ---- blkio COM objects over the IDE driver ---- *)
+
+let blkio_of osenv (drive : Linux_ide_drv.drive) : Com.unknown =
+  Linux_ide_drv.attach osenv drive;
+  let ssize = Disk.sector_size drive.Linux_ide_drv.hw in
+  let dev_bytes = Disk.sectors drive.Linux_ide_drv.hw * ssize in
+  (* Byte-granularity access over the sector driver: whole-sector I/O with
+     read-modify-write for unaligned writes, as buffer-cache-less clients
+     expect from the raw blkio (Section 4.4.2: "raw, unbuffered"). *)
+  let do_read ~buf ~pos ~offset ~amount =
+    let amount = max 0 (min amount (dev_bytes - offset)) in
+    if amount = 0 then Ok 0
+    else begin
+      let first = offset / ssize in
+      let last = (offset + amount - 1) / ssize in
+      let tmp = Bytes.create ((last - first + 1) * ssize) in
+      Linux_ide_drv.ide_rw drive `Read ~sector:first ~nr_sectors:(last - first + 1)
+        ~buffer:tmp;
+      Cost.charge_copy amount;
+      Bytes.blit tmp (offset - (first * ssize)) buf pos amount;
+      Ok amount
+    end
+  in
+  let do_write ~buf ~pos ~offset ~amount =
+    let amount = max 0 (min amount (dev_bytes - offset)) in
+    if amount = 0 then Ok 0
+    else begin
+      let first = offset / ssize in
+      let last = (offset + amount - 1) / ssize in
+      let tmp = Bytes.create ((last - first + 1) * ssize) in
+      let aligned = offset mod ssize = 0 && (offset + amount) mod ssize = 0 in
+      if not aligned then
+        Linux_ide_drv.ide_rw drive `Read ~sector:first ~nr_sectors:(last - first + 1)
+          ~buffer:tmp;
+      Cost.charge_copy amount;
+      Bytes.blit buf pos tmp (offset - (first * ssize)) amount;
+      Linux_ide_drv.ide_rw drive `Write ~sector:first ~nr_sectors:(last - first + 1)
+        ~buffer:tmp;
+      Ok amount
+    end
+  in
+  let rec view () =
+    { Io_if.bio_unknown = unknown ();
+      getblocksize = (fun () -> ssize);
+      bio_read =
+        (fun ~buf ~pos ~offset ~amount ->
+          Cost.charge_glue_crossing ();
+          Linux_emu.with_current (fun () ->
+              Error.to_result (fun () -> do_read ~buf ~pos ~offset ~amount) |> Result.join));
+      bio_write =
+        (fun ~buf ~pos ~offset ~amount ->
+          Cost.charge_glue_crossing ();
+          Linux_emu.with_current (fun () ->
+              Error.to_result (fun () -> do_write ~buf ~pos ~offset ~amount) |> Result.join));
+      getsize = (fun () -> dev_bytes);
+      setsize = (fun _ -> Result.Error Error.Notsup) }
+  and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.blkio_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  unknown ()
+
+(* ---- fdev driver registration ---- *)
+
+let init_ethernet () =
+  Fdev.register_driver
+    { Fdev.drv_name = "linux-ethernet";
+      drv_origin = "linux-2.0.29";
+      drv_probe =
+        (fun osenv -> List.map (etherdev_of osenv) (Linux_eth_drv.probe_devices osenv)) }
+
+let init_ide () =
+  Fdev.register_driver
+    { Fdev.drv_name = "linux-ide";
+      drv_origin = "linux-2.0.29";
+      drv_probe =
+        (fun osenv -> List.map (blkio_of osenv) (Linux_ide_drv.probe_drives osenv)) }
+
+let native_devices osenv = Linux_eth_drv.probe_devices osenv
+let native_open osenv dev ~rx = Linux_eth_drv.dev_open osenv dev ~rx
+
+let reset () =
+  Linux_eth_drv.reset ();
+  Linux_ide_drv.reset ()

@@ -1,0 +1,76 @@
+(* ENCAPSULATED LEGACY CODE — Linux 2.0.29 style (Section 4.7).
+ *
+ * This module reproduces Linux's internal network packet buffer, the
+ * sk_buff, whose "implementation details are thoroughly known throughout"
+ * the driver code (Section 4.7.3): a single contiguous data area with
+ * headroom and tailroom, adjusted with reserve/put/push/pull.  It is used
+ * by the encapsulated drivers in this library and by the Linux inet stack
+ * baseline; nothing outside those components and their glue may see it.
+ * The glue code translates between sk_buffs and the OSKit's bufio
+ * interface without copying whenever the layout allows.
+ *
+ * (In the C OSKit this file would live under linux/src/, byte-identical to
+ * the donor tree; here "unmodified" means we preserve the donor's
+ * abstractions and API shape.)
+ *)
+
+type sk_buff = {
+  skb_data : bytes; (* the contiguous allocation *)
+  mutable head : int; (* start of valid data within skb_data *)
+  mutable len : int; (* bytes of valid data *)
+  mutable protocol : int; (* ethertype, set by eth_type_trans *)
+  mutable dev_name : string;
+}
+
+exception Skb_over_panic
+(* Linux calls panic(); an exception is our machine check. *)
+
+let alloc_skb size =
+  Cost.charge_alloc ();
+  { skb_data = Bytes.create size; head = 0; len = 0; protocol = 0; dev_name = "" }
+
+(* Wrap an existing buffer without copying (used by the glue's "fake
+   skbuff" trick, Section 4.7.3, and by DMA completion). *)
+let skb_wrap data =
+  { skb_data = data; head = 0; len = Bytes.length data; protocol = 0; dev_name = "" }
+
+let skb_headroom skb = skb.head
+let skb_tailroom skb = Bytes.length skb.skb_data - skb.head - skb.len
+
+let skb_reserve skb n =
+  if skb.len <> 0 || n > skb_tailroom skb then raise Skb_over_panic;
+  skb.head <- skb.head + n
+
+(* Append n bytes; returns the offset (within skb_data) of the new area. *)
+let skb_put skb n =
+  if n > skb_tailroom skb then raise Skb_over_panic;
+  let at = skb.head + skb.len in
+  skb.len <- skb.len + n;
+  at
+
+(* Prepend n bytes; returns the new start offset. *)
+let skb_push skb n =
+  if n > skb.head then raise Skb_over_panic;
+  skb.head <- skb.head - n;
+  skb.len <- skb.len + n;
+  skb.head
+
+(* Drop n bytes from the front; returns the new start offset. *)
+let skb_pull skb n =
+  if n > skb.len then raise Skb_over_panic;
+  skb.head <- skb.head + n;
+  skb.len <- skb.len - n;
+  skb.head
+
+let skb_trim skb n = if n < skb.len then skb.len <- n
+
+(* Copy out the valid data (costed: this is a real memcpy). *)
+let skb_copy_out skb =
+  Cost.charge_copy skb.len;
+  Bytes.sub skb.skb_data skb.head skb.len
+
+(* Copy user/foreign data into the tail (memcpy_fromfs in the donor). *)
+let skb_copy_in skb src src_pos n =
+  let at = skb_put skb n in
+  Cost.charge_copy n;
+  Bytes.blit src src_pos skb.skb_data at n

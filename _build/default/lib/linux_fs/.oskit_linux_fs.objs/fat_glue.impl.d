@@ -1,0 +1,1 @@
+lib/linux_fs/fat_glue.ml: Bytes Com Cost Error Iid Io_if Lazy Linux_fatfs List Result

@@ -1,0 +1,1 @@
+lib/linux_fs/fat_glue.mli: Error Io_if

@@ -1,0 +1,1 @@
+lib/linux_fs/linux_fatfs.ml: Bytes Char Cost Error Int32 Io_if List Option String

@@ -1,0 +1,11 @@
+(** GLUE — exports the encapsulated Linux FAT16 driver through the same
+    OSKit COM [dir]/[file] interfaces as the NetBSD file system, making the
+    two interchangeable behind any client (the POSIX layer, the secure file
+    server wrapper...).  This is the paper's "pick the best components from
+    different sources" point applied to file systems (Sections 3.7–3.8). *)
+
+(** [mkfs blkio] formats a FAT16 volume and returns its mounted root. *)
+val mkfs : Io_if.blkio -> (Io_if.dir, Error.t) result
+
+(** [mount blkio] mounts an existing FAT16 volume (boot-sector validated). *)
+val mount : Io_if.blkio -> (Io_if.dir, Error.t) result

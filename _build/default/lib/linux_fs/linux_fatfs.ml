@@ -1,0 +1,398 @@
+(* ENCAPSULATED LEGACY CODE — the Linux fs/msdos driver, abridged: a real
+ * FAT16 on-disk format ("to support many diverse file system formats, such
+ * as those of Windows 95, OS/2, and System V", Section 3.8).  Boot sector,
+ * two FAT copies, a fixed root directory, 8.3 names, cluster chains.
+ * Everything reaches the device through the blkio handed to mount — the
+ * same run-time binding as the NetBSD component, so the two file systems
+ * are interchangeable behind the COM dir/file interfaces.
+ *)
+
+let sector_size = 512
+let dirent_size = 32
+let attr_directory = 0x10
+let fat_free = 0x0000
+let fat_eoc = 0xfff8
+let deleted_mark = '\xe5'
+
+exception Fat_error of Error.t
+
+let fail e = raise (Fat_error e)
+
+type t = {
+  dev : Io_if.blkio;
+  sectors_per_cluster : int;
+  reserved_sectors : int;
+  nfats : int;
+  sectors_per_fat : int;
+  root_entries : int;
+  total_sectors : int;
+  mutable next_free_hint : int;
+}
+
+let cluster_bytes t = t.sectors_per_cluster * sector_size
+let fat_start t = t.reserved_sectors
+let root_start t = fat_start t + (t.nfats * t.sectors_per_fat)
+let root_sectors t = t.root_entries * dirent_size / sector_size
+let data_start t = root_start t + root_sectors t
+let nclusters t = ((t.total_sectors - data_start t) / t.sectors_per_cluster) + 2
+
+let read_sectors t ~start ~count =
+  let buf = Bytes.create (count * sector_size) in
+  match
+    t.dev.Io_if.bio_read ~buf ~pos:0 ~offset:(start * sector_size)
+      ~amount:(count * sector_size)
+  with
+  | Ok n when n = count * sector_size -> buf
+  | Ok _ | Error _ -> fail Error.Io
+
+let write_sectors t ~start buf =
+  match
+    t.dev.Io_if.bio_write ~buf ~pos:0 ~offset:(start * sector_size) ~amount:(Bytes.length buf)
+  with
+  | Ok n when n = Bytes.length buf -> ()
+  | Ok _ | Error _ -> fail Error.Io
+
+(* ---- FAT access (both copies kept in step, as the donor does) ---- *)
+
+let fat_get t cluster =
+  let off = cluster * 2 in
+  let sector = fat_start t + (off / sector_size) in
+  let b = read_sectors t ~start:sector ~count:1 in
+  Bytes.get_uint16_le b (off mod sector_size)
+
+let fat_set t cluster value =
+  let off = cluster * 2 in
+  for copy = 0 to t.nfats - 1 do
+    let sector = fat_start t + (copy * t.sectors_per_fat) + (off / sector_size) in
+    let b = read_sectors t ~start:sector ~count:1 in
+    Bytes.set_uint16_le b (off mod sector_size) value;
+    write_sectors t ~start:sector b
+  done
+
+let cluster_alloc t =
+  let n = nclusters t in
+  let rec scan tried c =
+    if tried >= n - 2 then fail Error.Nospc
+    else begin
+      let c = if c >= n then 2 else c in
+      if fat_get t c = fat_free then begin
+        fat_set t c fat_eoc;
+        t.next_free_hint <- c + 1;
+        c
+      end
+      else scan (tried + 1) (c + 1)
+    end
+  in
+  scan 0 (max 2 t.next_free_hint)
+
+let cluster_sector t cluster = data_start t + ((cluster - 2) * t.sectors_per_cluster)
+
+let read_cluster t cluster = read_sectors t ~start:(cluster_sector t cluster) ~count:t.sectors_per_cluster
+let write_cluster t cluster buf = write_sectors t ~start:(cluster_sector t cluster) buf
+
+(* Walk a chain to its [idx]th cluster, optionally growing it. *)
+let rec chain_nth t ~head ~idx ~grow =
+  if idx = 0 then head
+  else begin
+    let next = fat_get t head in
+    if next >= fat_eoc || next = fat_free then
+      if not grow then fail Error.Io
+      else begin
+        let fresh = cluster_alloc t in
+        fat_set t head fresh;
+        Bytes.make (cluster_bytes t) '\000' |> write_cluster t fresh;
+        chain_nth t ~head:fresh ~idx:(idx - 1) ~grow
+      end
+    else chain_nth t ~head:next ~idx:(idx - 1) ~grow
+  end
+
+let chain_free t head =
+  let rec go c =
+    if c >= 2 && c < fat_eoc && c <> fat_free then begin
+      let next = fat_get t c in
+      fat_set t c fat_free;
+      if next < fat_eoc then go next
+    end
+  in
+  if head <> 0 then go head
+
+(* ---- 8.3 names ---- *)
+
+let to_83 name =
+  if name = "" || String.length name > 12 then fail Error.Nametoolong;
+  let base, ext =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name, ""
+  in
+  if String.length base > 8 || String.length ext > 3 || base = "" then fail Error.Nametoolong;
+  let pad s n = String.uppercase_ascii s ^ String.make (n - String.length s) ' ' in
+  pad base 8 ^ pad ext 3
+
+let of_83 raw =
+  let base = String.trim (String.sub raw 0 8) in
+  let ext = String.trim (String.sub raw 8 3) in
+  if ext = "" then base else base ^ "." ^ ext
+
+(* ---- directories ----
+   A directory is either the fixed root area (cluster = 0 in our handle)
+   or a cluster chain of dirents. *)
+
+type dirent = {
+  de_name : string; (* as displayed *)
+  de_attr : int;
+  de_cluster : int;
+  de_size : int;
+  de_slot : int; (* index within the directory *)
+}
+
+type dirh = Root | Chain of int (* head cluster *)
+
+let dir_read_slot t dirh slot =
+  if dirh = Root then begin
+    if slot >= t.root_entries then None
+    else begin
+      let sector = root_start t + (slot * dirent_size / sector_size) in
+      let b = read_sectors t ~start:sector ~count:1 in
+      Some (Bytes.sub b (slot * dirent_size mod sector_size) dirent_size)
+    end
+  end
+  else begin
+    match dirh with
+    | Chain head ->
+        let per_cluster = cluster_bytes t / dirent_size in
+        let cidx = slot / per_cluster in
+        (* Count chain length first to avoid growing on read. *)
+        let rec reachable c n = if n = 0 then true else begin
+            let next = fat_get t c in
+            if next >= fat_eoc || next = fat_free then false else reachable next (n - 1)
+          end
+        in
+        if cidx > 0 && not (reachable head cidx) then None
+        else begin
+          let c = chain_nth t ~head ~idx:cidx ~grow:false in
+          let b = read_cluster t c in
+          Some (Bytes.sub b (slot mod per_cluster * dirent_size) dirent_size)
+        end
+    | Root -> assert false
+  end
+
+let dir_write_slot t dirh slot raw =
+  if dirh = Root then begin
+    if slot >= t.root_entries then fail Error.Nospc;
+    let sector = root_start t + (slot * dirent_size / sector_size) in
+    let b = read_sectors t ~start:sector ~count:1 in
+    Bytes.blit raw 0 b (slot * dirent_size mod sector_size) dirent_size;
+    write_sectors t ~start:sector b
+  end
+  else begin
+    match dirh with
+    | Chain head ->
+        let per_cluster = cluster_bytes t / dirent_size in
+        let c = chain_nth t ~head ~idx:(slot / per_cluster) ~grow:true in
+        let b = read_cluster t c in
+        Bytes.blit raw 0 b (slot mod per_cluster * dirent_size) dirent_size;
+        write_cluster t c b
+    | Root -> assert false
+  end
+
+let parse_dirent slot raw =
+  let first = Bytes.get raw 0 in
+  if first = '\000' then `End
+  else if first = deleted_mark then `Deleted
+  else
+    `Entry
+      { de_name = of_83 (Bytes.sub_string raw 0 11);
+        de_attr = Char.code (Bytes.get raw 11);
+        de_cluster = Bytes.get_uint16_le raw 26;
+        de_size = Int32.to_int (Bytes.get_int32_le raw 28);
+        de_slot = slot }
+
+let render_dirent ~name83 ~attr ~cluster ~size =
+  let raw = Bytes.make dirent_size '\000' in
+  Bytes.blit_string name83 0 raw 0 11;
+  Bytes.set raw 11 (Char.chr attr);
+  Bytes.set_uint16_le raw 26 cluster;
+  Bytes.set_int32_le raw 28 (Int32.of_int size);
+  raw
+
+let dir_iter t dirh f =
+  let rec go slot =
+    match dir_read_slot t dirh slot with
+    | None -> ()
+    | Some raw -> (
+        match parse_dirent slot raw with
+        | `End -> ()
+        | `Deleted -> go (slot + 1)
+        | `Entry e ->
+            f e;
+            go (slot + 1))
+  in
+  go 0
+
+let dir_find t dirh name =
+  let target = to_83 name in
+  let result = ref None in
+  (try
+     dir_iter t dirh (fun e ->
+         if to_83 e.de_name = target then begin
+           result := Some e;
+           raise Exit
+         end)
+   with Exit -> ());
+  !result
+
+let dir_free_slot t dirh =
+  let rec go slot =
+    match dir_read_slot t dirh slot with
+    | None -> (
+        (* Off the end: the fixed root is full; a chain directory grows on
+           the write. *)
+        match dirh with Root -> fail Error.Nospc | Chain _ -> slot)
+    | Some raw -> (
+        match parse_dirent slot raw with `End | `Deleted -> slot | `Entry _ -> go (slot + 1))
+  in
+  go 0
+
+let dir_entries t dirh =
+  let acc = ref [] in
+  dir_iter t dirh (fun e -> if e.de_name <> "." && e.de_name <> ".." then acc := e :: !acc);
+  List.rev !acc
+
+(* ---- files ---- *)
+
+let file_read t ~head ~size ~off ~len ~dst ~dst_pos =
+  let len = max 0 (min len (size - off)) in
+  let cb = cluster_bytes t in
+  let rec go off len dst_pos copied =
+    if len = 0 then copied
+    else begin
+      let c = chain_nth t ~head ~idx:(off / cb) ~grow:false in
+      let b = read_cluster t c in
+      let boff = off mod cb in
+      let n = min len (cb - boff) in
+      Cost.charge_copy n;
+      Bytes.blit b boff dst dst_pos n;
+      go (off + n) (len - n) (dst_pos + n) (copied + n)
+    end
+  in
+  if head = 0 || len = 0 then 0 else go off len dst_pos 0
+
+(* Returns the (possibly new) head cluster. *)
+let file_write t ~head ~off ~len ~src ~src_pos =
+  let cb = cluster_bytes t in
+  let head = if head = 0 then begin
+      let c = cluster_alloc t in
+      write_cluster t c (Bytes.make cb '\000');
+      c
+    end
+    else head
+  in
+  let rec go off len src_pos =
+    if len > 0 then begin
+      let c = chain_nth t ~head ~idx:(off / cb) ~grow:true in
+      let b = read_cluster t c in
+      let boff = off mod cb in
+      let n = min len (cb - boff) in
+      Cost.charge_copy n;
+      Bytes.blit src src_pos b boff n;
+      write_cluster t c b;
+      go (off + n) (len - n) (src_pos + n)
+    end
+  in
+  go off len src_pos;
+  head
+
+(* ---- mkfs / mount ---- *)
+
+let mkfs dev =
+  let bytes = dev.Io_if.getsize () in
+  let total_sectors = min 65535 (bytes / sector_size) in
+  if total_sectors < 64 then fail Error.Nospc;
+  let sectors_per_cluster = 4 in
+  let reserved_sectors = 1 in
+  let nfats = 2 in
+  let root_entries = 512 in
+  (* Enough FAT sectors to cover the data area. *)
+  let sectors_per_fat = ((total_sectors / sectors_per_cluster) + 2) * 2 / sector_size + 1 in
+  let boot = Bytes.make sector_size '\000' in
+  Bytes.blit_string "\xeb\x3c\x90OSKITFAT" 0 boot 0 11;
+  Bytes.set_uint16_le boot 11 sector_size;
+  Bytes.set boot 13 (Char.chr sectors_per_cluster);
+  Bytes.set_uint16_le boot 14 reserved_sectors;
+  Bytes.set boot 16 (Char.chr nfats);
+  Bytes.set_uint16_le boot 17 root_entries;
+  Bytes.set_uint16_le boot 19 total_sectors;
+  Bytes.set boot 21 '\xf8';
+  Bytes.set_uint16_le boot 22 sectors_per_fat;
+  Bytes.set_uint16_le boot 510 0xaa55;
+  let t =
+    { dev; sectors_per_cluster; reserved_sectors; nfats; sectors_per_fat; root_entries;
+      total_sectors; next_free_hint = 2 }
+  in
+  write_sectors t ~start:0 boot;
+  (* Zero FATs and root. *)
+  let zero = Bytes.make sector_size '\000' in
+  for s = fat_start t to data_start t - 1 do
+    write_sectors t ~start:s zero
+  done;
+  (* Media/EOC markers in FAT[0..1]. *)
+  fat_set t 0 0xfff8;
+  fat_set t 1 0xffff;
+  t
+
+let mount dev =
+  let boot = Bytes.create sector_size in
+  (match dev.Io_if.bio_read ~buf:boot ~pos:0 ~offset:0 ~amount:sector_size with
+  | Ok n when n = sector_size -> ()
+  | Ok _ | Error _ -> fail Error.Io);
+  if Bytes.get_uint16_le boot 510 <> 0xaa55 then fail Error.Inval;
+  let t =
+    { dev;
+      sectors_per_cluster = Char.code (Bytes.get boot 13);
+      reserved_sectors = Bytes.get_uint16_le boot 14;
+      nfats = Char.code (Bytes.get boot 16);
+      sectors_per_fat = Bytes.get_uint16_le boot 22;
+      root_entries = Bytes.get_uint16_le boot 17;
+      total_sectors = Bytes.get_uint16_le boot 19;
+      next_free_hint = 2 }
+  in
+  if t.sectors_per_cluster = 0 || t.nfats = 0 then fail Error.Inval;
+  t
+
+(* ---- name-space operations used by the glue ---- *)
+
+let create_file t dirh name =
+  if dir_find t dirh name <> None then fail Error.Exist;
+  let slot = dir_free_slot t dirh in
+  dir_write_slot t dirh slot (render_dirent ~name83:(to_83 name) ~attr:0 ~cluster:0 ~size:0);
+  Option.get (dir_find t dirh name)
+
+let update_entry t dirh (e : dirent) ~cluster ~size =
+  dir_write_slot t dirh e.de_slot
+    (render_dirent ~name83:(to_83 e.de_name) ~attr:e.de_attr ~cluster ~size)
+
+let make_dir t dirh name =
+  if dir_find t dirh name <> None then fail Error.Exist;
+  let c = cluster_alloc t in
+  write_cluster t c (Bytes.make (cluster_bytes t) '\000');
+  let slot = dir_free_slot t dirh in
+  dir_write_slot t dirh slot
+    (render_dirent ~name83:(to_83 name) ~attr:attr_directory ~cluster:c ~size:0);
+  Option.get (dir_find t dirh name)
+
+let remove t dirh name ~want_dir =
+  match dir_find t dirh name with
+  | None -> fail Error.Noent
+  | Some e ->
+      let is_dir = e.de_attr land attr_directory <> 0 in
+      if want_dir && not is_dir then fail Error.Notdir;
+      if (not want_dir) && is_dir then fail Error.Isdir;
+      if is_dir && dir_entries t (Chain e.de_cluster) <> [] then fail Error.Notempty;
+      chain_free t e.de_cluster;
+      (* Mark the slot deleted, donor-style. *)
+      (match dir_read_slot t dirh e.de_slot with
+      | Some raw ->
+          Bytes.set raw 0 deleted_mark;
+          dir_write_slot t dirh e.de_slot raw
+      | None -> ())

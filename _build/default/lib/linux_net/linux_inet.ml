@@ -1,0 +1,613 @@
+(* ENCAPSULATED LEGACY CODE — the Linux 2.0.29 inet stack, abridged: arp.c,
+ * ip.c (no fragmentation — TCP at MSS 1460 never fragments on a local
+ * Ethernet), tcp.c and the socket glue.  Everything traffics in contiguous
+ * sk_buffs end to end — the property that makes the monolithic Linux rows
+ * of Tables 1 and 2 behave differently from BSD.
+ *
+ * The TCP keeps Linux 2.0's observable behaviour on a LAN: one copy
+ * user->skb on send, MSS-sized segments, an ACK for every data segment
+ * (2.0 had no effective delayed-ACK coalescing), slow start with a coarse
+ * retransmit timer, and no out-of-order queue to speak of.  It speaks
+ * standard TCP on the wire and interoperates with the BSD stack.
+ *)
+
+let eth_hlen = 14
+let ip_hlen = 20
+let tcp_hlen = 20
+let mss = 1460
+let default_window = 32 * 1024
+let rexmt_ns = 300_000_000
+let time_wait_ns = 2_000_000_000
+
+let th_fin = 0x01
+let th_syn = 0x02
+let th_rst = 0x04
+let th_ack = 0x10
+
+let m32 x = x land 0xffffffff
+
+let seq_diff a b =
+  let d = m32 (a - b) in
+  if d >= 0x80000000 then d - 0x100000000 else d
+
+let seq_lt a b = seq_diff a b < 0
+let seq_gt a b = seq_diff a b > 0
+
+type tcp_state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_recv
+  | Established
+  | Fin_wait1
+  | Fin_wait2
+  | Close_wait
+  | Last_ack
+  | Time_wait
+
+type rexmt_entry = { rx_seq : int; rx_end : int; rx_frame : Skbuff.sk_buff }
+
+type sock = {
+  stack : stack;
+  mutable state : tcp_state;
+  mutable lport : int;
+  mutable rport : int;
+  mutable raddr : int32;
+  mutable iss : int;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_wnd : int;
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable fin_queued : bool;
+  mutable rexmt_q : rexmt_entry list; (* oldest first *)
+  (* receive side *)
+  mutable rcv_nxt : int;
+  rcv_q : Skbuff.sk_buff Queue.t; (* in-order payload skbs (data at head) *)
+  mutable rcv_q_bytes : int;
+  mutable head_consumed : int;
+  mutable peer_fin : bool;
+  (* listen side *)
+  backlog_q : sock Queue.t;
+  mutable backlog : int;
+  mutable parent : sock option;
+  mutable err : Error.t option;
+  sleep : Sleep_record.t;
+  mutable rexmt_armed : bool;
+}
+
+and stack = {
+  machine : Machine.t;
+  mutable dev : Linux_eth_drv.device option;
+  mutable my_ip : int32;
+  mutable my_mask : int32;
+  arp_cache : (int32, string) Hashtbl.t;
+  arp_pending : (int32, (string -> unit) list ref) Hashtbl.t;
+  mutable socks : sock list;
+  mutable next_port : int;
+  mutable next_iss : int;
+  mutable ip_id : int;
+  mutable segs_out : int;
+  mutable segs_in : int;
+  mutable rexmits : int;
+}
+
+let create machine =
+  { machine; dev = None; my_ip = 0l; my_mask = 0l; arp_cache = Hashtbl.create 16;
+    arp_pending = Hashtbl.create 4; socks = []; next_port = 1024; next_iss = 99000;
+    ip_id = 1; segs_out = 0; segs_in = 0; rexmits = 0 }
+
+let ifconfig t ~addr ~mask =
+  t.my_ip <- addr;
+  t.my_mask <- mask
+
+let dev_of t = match t.dev with Some d -> d | None -> Error.fail Error.Nodev
+
+(* ---- byte helpers ---- *)
+
+let put32be d o v =
+  Bytes.set d o (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff));
+  Bytes.set d (o + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
+  Bytes.set d (o + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
+  Bytes.set d (o + 3) (Char.chr (Int32.to_int v land 0xff))
+
+let get32be d o =
+  let b i = Int32.of_int (Char.code (Bytes.get d (o + i))) in
+  Int32.logor
+    (Int32.shift_left (b 0) 24)
+    (Int32.logor (Int32.shift_left (b 1) 16) (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+
+let cksum ?(init = 0) d ~off ~len =
+  Cost.charge_checksum len;
+  let sum = ref init in
+  for i = 0 to len - 1 do
+    let byte = Char.code (Bytes.get d (off + i)) in
+    if i land 1 = 0 then sum := !sum + (byte lsl 8) else sum := !sum + byte
+  done;
+  let rec fold s = if s > 0xffff then fold ((s land 0xffff) + (s lsr 16)) else s in
+  lnot (fold !sum) land 0xffff
+
+let pseudo ~src ~dst ~proto ~len =
+  let hi v = Int32.to_int (Int32.shift_right_logical v 16) land 0xffff in
+  let lo v = Int32.to_int v land 0xffff in
+  hi src + lo src + hi dst + lo dst + proto + len
+
+(* ---- ARP ---- *)
+
+let arp_output t ~op ~dst_mac ~target_mac ~target_ip =
+  let dev = dev_of t in
+  let skb = Skbuff.alloc_skb (eth_hlen + 28 + 16) in
+  Skbuff.skb_reserve skb eth_hlen;
+  let off = Skbuff.skb_put skb 28 in
+  let d = skb.Skbuff.skb_data in
+  Bytes.set_uint16_be d off 1;
+  Bytes.set_uint16_be d (off + 2) 0x0800;
+  Bytes.set d (off + 4) '\006';
+  Bytes.set d (off + 5) '\004';
+  Bytes.set_uint16_be d (off + 6) op;
+  Bytes.blit_string dev.Linux_eth_drv.dev_addr 0 d (off + 8) 6;
+  put32be d (off + 14) t.my_ip;
+  Bytes.blit_string target_mac 0 d (off + 18) 6;
+  put32be d (off + 24) target_ip;
+  Linux_eth_drv.eth_header skb ~src:dev.Linux_eth_drv.dev_addr ~dst:dst_mac ~proto:0x0806;
+  Linux_eth_drv.hard_start_xmit dev skb
+
+let arp_resolve t ip k =
+  match Hashtbl.find_opt t.arp_cache ip with
+  | Some mac -> k mac
+  | None -> (
+      match Hashtbl.find_opt t.arp_pending ip with
+      | Some waiters -> waiters := k :: !waiters
+      | None ->
+          Hashtbl.replace t.arp_pending ip (ref [ k ]);
+          arp_output t ~op:1 ~dst_mac:"\xff\xff\xff\xff\xff\xff"
+            ~target_mac:"\000\000\000\000\000\000" ~target_ip:ip)
+
+let arp_rcv t skb =
+  let d = skb.Skbuff.skb_data and o = skb.Skbuff.head in
+  if skb.Skbuff.len >= 28 then begin
+    let op = Bytes.get_uint16_be d (o + 6) in
+    let sender_mac = Bytes.sub_string d (o + 8) 6 in
+    let sender_ip = get32be d (o + 14) in
+    let target_ip = get32be d (o + 24) in
+    Hashtbl.replace t.arp_cache sender_ip sender_mac;
+    (match Hashtbl.find_opt t.arp_pending sender_ip with
+    | Some waiters ->
+        Hashtbl.remove t.arp_pending sender_ip;
+        List.iter (fun k -> k sender_mac) (List.rev !waiters)
+    | None -> ());
+    if op = 1 && Int32.equal target_ip t.my_ip then
+      arp_output t ~op:2 ~dst_mac:sender_mac ~target_mac:sender_mac ~target_ip:sender_ip
+  end
+
+(* ---- IP ---- *)
+
+(* [skb] carries the transport payload; push the IP header and transmit. *)
+let ip_output t ~proto ~dst skb =
+  let off = Skbuff.skb_push skb ip_hlen in
+  let d = skb.Skbuff.skb_data in
+  Bytes.set d off '\x45';
+  Bytes.set d (off + 1) '\000';
+  Bytes.set_uint16_be d (off + 2) skb.Skbuff.len;
+  Bytes.set_uint16_be d (off + 4) t.ip_id;
+  t.ip_id <- (t.ip_id + 1) land 0xffff;
+  Bytes.set_uint16_be d (off + 6) 0;
+  Bytes.set d (off + 8) '\064';
+  Bytes.set d (off + 9) (Char.chr proto);
+  Bytes.set_uint16_be d (off + 10) 0;
+  put32be d (off + 12) t.my_ip;
+  put32be d (off + 16) dst;
+  Bytes.set_uint16_be d (off + 10) (cksum d ~off ~len:ip_hlen);
+  let dev = dev_of t in
+  arp_resolve t dst (fun mac ->
+      Linux_eth_drv.eth_header skb ~src:dev.Linux_eth_drv.dev_addr ~dst:mac ~proto:0x0800;
+      Linux_eth_drv.hard_start_xmit dev skb)
+
+(* ---- TCP ---- *)
+
+let next_iss t =
+  t.next_iss <- m32 (t.next_iss + 64000);
+  t.next_iss
+
+let alloc_port t =
+  let used p = List.exists (fun s -> s.lport = p) t.socks in
+  let rec pick p = if used p then pick (p + 1) else p in
+  let p = pick t.next_port in
+  t.next_port <- p + 1;
+  p
+
+let inflight s = seq_diff s.snd_nxt s.snd_una
+
+let rcv_window s = max 0 (default_window - s.rcv_q_bytes)
+
+(* Build one segment in a fresh contiguous skb.  [payload] is copied in
+   (the send-path copy); the finished frame is kept for retransmission when
+   [queue] is set. *)
+let rec tcp_xmit t s ~seq ~flags ~payload ~queue =
+  Cost.charge_cycles Cost.config.linux_tcp_pkt_cycles;
+  t.segs_out <- t.segs_out + 1;
+  let plen = match payload with Some (_, _, len) -> len | None -> 0 in
+  let skb = Skbuff.alloc_skb (eth_hlen + ip_hlen + tcp_hlen + plen + 16) in
+  Skbuff.skb_reserve skb (eth_hlen + ip_hlen);
+  let off = Skbuff.skb_put skb (tcp_hlen + plen) in
+  let d = skb.Skbuff.skb_data in
+  Bytes.set_uint16_be d off s.lport;
+  Bytes.set_uint16_be d (off + 2) s.rport;
+  Bytes.set_int32_be d (off + 4) (Int32.of_int (m32 seq));
+  Bytes.set_int32_be d (off + 8)
+    (Int32.of_int (if flags land th_ack <> 0 then m32 s.rcv_nxt else 0));
+  Bytes.set d (off + 12) (Char.chr ((tcp_hlen / 4) lsl 4));
+  Bytes.set d (off + 13) (Char.chr flags);
+  Bytes.set_uint16_be d (off + 14) (min 0xffff (rcv_window s));
+  Bytes.set_uint16_be d (off + 16) 0;
+  Bytes.set_uint16_be d (off + 18) 0;
+  (match payload with
+  | Some (src, pos, len) ->
+      Cost.charge_copy len;
+      Bytes.blit src pos d (off + tcp_hlen) len
+  | None -> ());
+  let total = tcp_hlen + plen in
+  Bytes.set_uint16_be d (off + 16)
+    (cksum d ~off ~len:total
+       ~init:(pseudo ~src:t.my_ip ~dst:s.raddr ~proto:6 ~len:total));
+  let seg_bytes =
+    (if flags land th_syn <> 0 then 1 else 0)
+    + (if flags land th_fin <> 0 then 1 else 0)
+    + plen
+  in
+  if queue && seg_bytes > 0 then
+    s.rexmt_q <- s.rexmt_q @ [ { rx_seq = seq; rx_end = m32 (seq + seg_bytes); rx_frame = skb } ];
+  ip_output t ~proto:6 ~dst:s.raddr skb;
+  arm_rexmt t s
+
+(* Retransmission: resend the oldest unacked frame as-is. *)
+and arm_rexmt t s =
+  if (not s.rexmt_armed) && s.rexmt_q <> [] then begin
+    s.rexmt_armed <- true;
+    ignore
+      (Machine.after t.machine rexmt_ns (fun () ->
+           s.rexmt_armed <- false;
+           match s.rexmt_q with
+           | [] -> ()
+           | entry :: _ ->
+               t.rexmits <- t.rexmits + 1;
+               s.ssthresh <- max (2 * mss) (min s.cwnd s.snd_wnd / 2);
+               s.cwnd <- mss;
+               (* The queued frame already carries IP+ether headers from its
+                  first transmission; hand it straight back to the device. *)
+               Linux_eth_drv.hard_start_xmit (dev_of t) entry.rx_frame;
+               arm_rexmt t s))
+  end
+
+let send_ack t s = tcp_xmit t s ~seq:s.snd_nxt ~flags:th_ack ~payload:None ~queue:false
+
+let send_rst_for t ~src ~sport ~dport ~ack =
+  (* A minimal unsocketed RST. *)
+  let fake =
+    { stack = t; state = Closed; lport = dport; rport = sport; raddr = src; iss = 0;
+      snd_una = ack; snd_nxt = ack; snd_wnd = 0; cwnd = mss; ssthresh = 0;
+      fin_queued = false; rexmt_q = []; rcv_nxt = 0; rcv_q = Queue.create ();
+      rcv_q_bytes = 0; head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
+      backlog = 0; parent = None; err = None; sleep = Sleep_record.create (); rexmt_armed = true }
+  in
+  tcp_xmit t fake ~seq:ack ~flags:th_rst ~payload:None ~queue:false
+
+let wake s = Sleep_record.wakeup s.sleep
+
+let new_sock t =
+  let s =
+    { stack = t; state = Closed; lport = 0; rport = 0; raddr = 0l; iss = 0; snd_una = 0;
+      snd_nxt = 0; snd_wnd = default_window; cwnd = mss; ssthresh = 64 * 1024;
+      fin_queued = false; rexmt_q = []; rcv_nxt = 0; rcv_q = Queue.create ();
+      rcv_q_bytes = 0; head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
+      backlog = 0; parent = None; err = None; sleep = Sleep_record.create ~name:"lx_sock" ();
+      rexmt_armed = false }
+  in
+  t.socks <- s :: t.socks;
+  s
+
+let detach t s = t.socks <- List.filter (fun x -> x != s) t.socks
+
+let find_sock t ~src ~sport ~dport =
+  match
+    List.find_opt
+      (fun s ->
+        s.lport = dport && s.rport = sport && Int32.equal s.raddr src && s.state <> Listen)
+      t.socks
+  with
+  | Some _ as r -> r
+  | None -> List.find_opt (fun s -> s.lport = dport && s.state = Listen) t.socks
+
+(* Drop acknowledged segments from the retransmission queue. *)
+let ack_advance t s ack =
+  if seq_gt ack s.snd_una then begin
+    s.snd_una <- ack;
+    s.rexmt_q <- List.filter (fun e -> seq_gt e.rx_end ack) s.rexmt_q;
+    if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd + mss
+    else s.cwnd <- s.cwnd + max 1 (mss * mss / s.cwnd);
+    ignore t;
+    wake s
+  end
+
+let tcp_rcv t skb ~src =
+  Cost.charge_cycles Cost.config.linux_tcp_pkt_cycles;
+  t.segs_in <- t.segs_in + 1;
+  let d = skb.Skbuff.skb_data and o = skb.Skbuff.head in
+  if skb.Skbuff.len < tcp_hlen then ()
+  else begin
+    let total = skb.Skbuff.len in
+    if
+      cksum d ~off:o ~len:total ~init:(pseudo ~src ~dst:t.my_ip ~proto:6 ~len:total) <> 0
+    then ()
+    else begin
+      let sport = Bytes.get_uint16_be d o in
+      let dport = Bytes.get_uint16_be d (o + 2) in
+      let seq = Int32.to_int (Bytes.get_int32_be d (o + 4)) land 0xffffffff in
+      let ack = Int32.to_int (Bytes.get_int32_be d (o + 8)) land 0xffffffff in
+      let hlen = (Char.code (Bytes.get d (o + 12)) lsr 4) * 4 in
+      let flags = Char.code (Bytes.get d (o + 13)) in
+      let win = Bytes.get_uint16_be d (o + 14) in
+      ignore (Skbuff.skb_pull skb hlen);
+      let dlen = skb.Skbuff.len in
+      match find_sock t ~src ~sport ~dport with
+      | None -> if flags land th_rst = 0 then send_rst_for t ~src ~sport ~dport ~ack
+      | Some s -> (
+          if flags land th_rst <> 0 then begin
+            if s.state <> Listen then begin
+              s.err <- Some Error.Connreset;
+              s.state <- Closed;
+              detach t s;
+              wake s
+            end
+          end
+          else
+            match s.state with
+            | Listen ->
+                if flags land th_syn <> 0 && Queue.length s.backlog_q < max 1 s.backlog
+                then begin
+                  let c = new_sock t in
+                  c.state <- Syn_recv;
+                  c.lport <- s.lport;
+                  c.rport <- sport;
+                  c.raddr <- src;
+                  c.parent <- Some s;
+                  c.rcv_nxt <- m32 (seq + 1);
+                  c.iss <- next_iss t;
+                  c.snd_una <- c.iss;
+                  c.snd_nxt <- m32 (c.iss + 1);
+                  c.snd_wnd <- win;
+                  tcp_xmit t c ~seq:c.iss ~flags:(th_syn lor th_ack) ~payload:None
+                    ~queue:true
+                end
+            | Syn_sent ->
+                if flags land th_syn <> 0 && flags land th_ack <> 0 && ack = s.snd_nxt
+                then begin
+                  s.rcv_nxt <- m32 (seq + 1);
+                  s.snd_wnd <- win;
+                  ack_advance t s ack;
+                  s.state <- Established;
+                  s.cwnd <- 2 * mss;
+                  send_ack t s;
+                  wake s
+                end
+            | Syn_recv ->
+                if flags land th_ack <> 0 && ack = s.snd_nxt then begin
+                  s.state <- Established;
+                  s.cwnd <- 2 * mss;
+                  s.snd_wnd <- win;
+                  ack_advance t s ack;
+                  (match s.parent with
+                  | Some p ->
+                      Queue.add s p.backlog_q;
+                      wake p
+                  | None -> ());
+                  wake s
+                end
+            | Established | Fin_wait1 | Fin_wait2 | Close_wait | Last_ack | Time_wait -> (
+                if flags land th_ack <> 0 then begin
+                  s.snd_wnd <- win;
+                  ack_advance t s ack;
+                  (* Our FIN acked? *)
+                  if s.fin_queued && s.rexmt_q = [] && ack = s.snd_nxt then
+                    match s.state with
+                    | Fin_wait1 ->
+                        s.state <- Fin_wait2;
+                        wake s
+                    | Last_ack ->
+                        s.state <- Closed;
+                        detach t s;
+                        wake s
+                    | _ -> ()
+                end;
+                (* Data. *)
+                if dlen > 0 then begin
+                  if seq = s.rcv_nxt && s.rcv_q_bytes + dlen <= default_window then begin
+                    Queue.add skb s.rcv_q;
+                    s.rcv_q_bytes <- s.rcv_q_bytes + dlen;
+                    s.rcv_nxt <- m32 (s.rcv_nxt + dlen);
+                    send_ack t s;
+                    wake s
+                  end
+                  else
+                    (* Out of order or no room: dup-ACK and drop. *)
+                    send_ack t s
+                end;
+                (* FIN. *)
+                if flags land th_fin <> 0 && m32 (seq + dlen) = s.rcv_nxt then begin
+                  if not s.peer_fin then begin
+                    s.peer_fin <- true;
+                    s.rcv_nxt <- m32 (s.rcv_nxt + 1);
+                    send_ack t s;
+                    (match s.state with
+                    | Established -> s.state <- Close_wait
+                    | Fin_wait1 | Fin_wait2 ->
+                        s.state <- Time_wait;
+                        ignore
+                          (Machine.after t.machine time_wait_ns (fun () ->
+                               if s.state = Time_wait then begin
+                                 s.state <- Closed;
+                                 detach t s
+                               end))
+                    | _ -> ());
+                    wake s
+                  end
+                  else send_ack t s
+                end)
+            | Closed -> ())
+    end
+  end
+
+(* ---- input demux from the driver ---- *)
+
+let ip_rcv t skb =
+  let d = skb.Skbuff.skb_data and o = skb.Skbuff.head in
+  if skb.Skbuff.len >= ip_hlen then begin
+    let ihl = (Char.code (Bytes.get d o) land 0xf) * 4 in
+    let total = Bytes.get_uint16_be d (o + 2) in
+    let proto = Char.code (Bytes.get d (o + 9)) in
+    let src = get32be d (o + 12) and dst = get32be d (o + 16) in
+    if cksum d ~off:o ~len:ihl <> 0 then ()
+    else if not (Int32.equal dst t.my_ip) then ()
+    else begin
+      (* Trim link padding, strip the header. *)
+      Skbuff.skb_trim skb total;
+      ignore (Skbuff.skb_pull skb ihl);
+      if proto = 6 then tcp_rcv t skb ~src
+    end
+  end
+
+let netif_rx t skb =
+  ignore (Skbuff.skb_pull skb eth_hlen);
+  match skb.Skbuff.protocol with
+  | 0x0800 -> ip_rcv t skb
+  | 0x0806 -> arp_rcv t skb
+  | _ -> ()
+
+let attach_dev t osenv dev =
+  t.dev <- Some dev;
+  match Linux_eth_drv.dev_open osenv dev ~rx:(fun skb -> netif_rx t skb) with
+  | Ok () -> ()
+  | Result.Error e -> Error.fail e
+
+(* ---- blocking socket calls ---- *)
+
+let socket t = new_sock t
+let bind _t s ~port = s.lport <- port
+
+let listen t s ~backlog =
+  if s.lport = 0 then s.lport <- alloc_port t;
+  s.backlog <- backlog;
+  s.state <- Listen
+
+let accept _t s =
+  let rec wait () =
+    match Queue.take_opt s.backlog_q with
+    | Some c -> Ok c
+    | None ->
+        if s.state <> Listen then Result.Error Error.Badf
+        else begin
+          Sleep_record.sleep s.sleep;
+          wait ()
+        end
+  in
+  wait ()
+
+let connect t s ~dst ~dport =
+  if s.lport = 0 then s.lport <- alloc_port t;
+  s.raddr <- dst;
+  s.rport <- dport;
+  s.iss <- next_iss t;
+  s.snd_una <- s.iss;
+  s.snd_nxt <- m32 (s.iss + 1);
+  s.state <- Syn_sent;
+  tcp_xmit t s ~seq:s.iss ~flags:th_syn ~payload:None ~queue:true;
+  let rec wait () =
+    match s.state with
+    | Established -> Ok ()
+    | Syn_sent ->
+        Sleep_record.sleep s.sleep;
+        wait ()
+    | _ -> Result.Error (Option.value s.err ~default:Error.Connrefused)
+  in
+  wait ()
+
+(* Blocking send of the whole buffer, MSS segment at a time. *)
+let send t s ~buf ~pos ~len =
+  let rec push sent =
+    if sent >= len then Ok len
+    else
+      match s.state with
+      | Established | Close_wait ->
+          let window = min s.cwnd s.snd_wnd in
+          if inflight s >= window || List.length s.rexmt_q > 64 then begin
+            Sleep_record.sleep s.sleep;
+            push sent
+          end
+          else begin
+            let n = min mss (min (len - sent) (max 0 (window - inflight s))) in
+            if n = 0 then begin
+              Sleep_record.sleep s.sleep;
+              push sent
+            end
+            else begin
+              tcp_xmit t s ~seq:s.snd_nxt ~flags:th_ack
+                ~payload:(Some (buf, pos + sent, n))
+                ~queue:true;
+              s.snd_nxt <- m32 (s.snd_nxt + n);
+              push (sent + n)
+            end
+          end
+      | Closed -> Result.Error (Option.value s.err ~default:Error.Pipe)
+      | _ -> Result.Error Error.Pipe
+  in
+  push 0
+
+(* Blocking receive of at least one byte (0 = EOF). *)
+let recv _t s ~buf ~pos ~len =
+  let rec take taken =
+    if taken >= len then taken
+    else
+      match Queue.peek_opt s.rcv_q with
+      | None -> taken
+      | Some skb ->
+          let avail = skb.Skbuff.len - s.head_consumed in
+          let n = min avail (len - taken) in
+          Cost.charge_copy n;
+          Bytes.blit skb.Skbuff.skb_data (skb.Skbuff.head + s.head_consumed) buf (pos + taken) n;
+          s.head_consumed <- s.head_consumed + n;
+          s.rcv_q_bytes <- s.rcv_q_bytes - n;
+          if s.head_consumed >= skb.Skbuff.len then begin
+            ignore (Queue.take s.rcv_q);
+            s.head_consumed <- 0
+          end;
+          take (taken + n)
+  in
+  let rec wait () =
+    let n = take 0 in
+    if n > 0 then Ok n
+    else if s.peer_fin then Ok 0
+    else
+      match s.state with
+      | Closed -> ( match s.err with Some e -> Result.Error e | None -> Ok 0)
+      | _ ->
+          Sleep_record.sleep s.sleep;
+          wait ()
+  in
+  if len = 0 then Ok 0 else wait ()
+
+let close t s =
+  match s.state with
+  | Established | Syn_recv ->
+      s.state <- Fin_wait1;
+      s.fin_queued <- true;
+      tcp_xmit t s ~seq:s.snd_nxt ~flags:(th_fin lor th_ack) ~payload:None ~queue:true;
+      s.snd_nxt <- m32 (s.snd_nxt + 1)
+  | Close_wait ->
+      s.state <- Last_ack;
+      s.fin_queued <- true;
+      tcp_xmit t s ~seq:s.snd_nxt ~flags:(th_fin lor th_ack) ~payload:None ~queue:true;
+      s.snd_nxt <- m32 (s.snd_nxt + 1)
+  | Listen | Syn_sent ->
+      s.state <- Closed;
+      detach t s
+  | _ -> ()

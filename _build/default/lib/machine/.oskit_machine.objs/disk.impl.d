@@ -1,0 +1,1 @@
+lib/machine/disk.ml: Bytes Error Machine Queue

@@ -1,0 +1,1 @@
+lib/machine/disk.mli: Error Machine

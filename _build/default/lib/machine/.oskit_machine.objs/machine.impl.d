@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Cost Fun Physmem World

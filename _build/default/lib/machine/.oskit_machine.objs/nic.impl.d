@@ -1,0 +1,1 @@
+lib/machine/nic.ml: Bytes Cost Machine Queue String Wire

@@ -1,0 +1,1 @@
+lib/machine/nic.mli: Machine Wire

@@ -1,0 +1,1 @@
+lib/machine/serial.ml: Buffer Char Cost Machine Queue String World

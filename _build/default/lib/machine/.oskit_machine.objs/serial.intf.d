@@ -1,0 +1,1 @@
+lib/machine/serial.mli: Machine

@@ -1,0 +1,1 @@
+lib/machine/timer_dev.ml: Machine

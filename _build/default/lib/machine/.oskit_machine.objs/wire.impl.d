@@ -1,0 +1,1 @@
+lib/machine/wire.ml: Bytes List World

@@ -1,0 +1,1 @@
+lib/machine/world.ml: Int Map

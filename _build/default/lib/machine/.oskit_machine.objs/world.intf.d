@@ -1,0 +1,1 @@
+lib/machine/world.mli:

@@ -1,0 +1,84 @@
+type config = {
+  mutable cpu_hz : int;
+  mutable copy_cycles_per_byte : int;
+  mutable checksum_cycles_per_byte : int;
+  mutable com_call_cycles : int;
+  mutable glue_crossing_cycles : int;
+  mutable irq_entry_cycles : int;
+  mutable alloc_cycles : int;
+  mutable linux_driver_pkt_cycles : int;
+  mutable bsd_tcp_pkt_cycles : int;
+  mutable linux_tcp_pkt_cycles : int;
+  mutable socket_op_cycles : int;
+}
+
+let defaults () =
+  { cpu_hz = 200_000_000;
+    copy_cycles_per_byte = 4;
+    checksum_cycles_per_byte = 2;
+    com_call_cycles = 40;
+    glue_crossing_cycles = 1500;
+    irq_entry_cycles = 400;
+    alloc_cycles = 150;
+    linux_driver_pkt_cycles = 2500;
+    bsd_tcp_pkt_cycles = 4000;
+    linux_tcp_pkt_cycles = 6000;
+    socket_op_cycles = 500 }
+
+let config = defaults ()
+
+let reset_config () =
+  let d = defaults () in
+  config.cpu_hz <- d.cpu_hz;
+  config.copy_cycles_per_byte <- d.copy_cycles_per_byte;
+  config.checksum_cycles_per_byte <- d.checksum_cycles_per_byte;
+  config.com_call_cycles <- d.com_call_cycles;
+  config.glue_crossing_cycles <- d.glue_crossing_cycles;
+  config.irq_entry_cycles <- d.irq_entry_cycles;
+  config.alloc_cycles <- d.alloc_cycles;
+  config.linux_driver_pkt_cycles <- d.linux_driver_pkt_cycles;
+  config.bsd_tcp_pkt_cycles <- d.bsd_tcp_pkt_cycles;
+  config.linux_tcp_pkt_cycles <- d.linux_tcp_pkt_cycles;
+  config.socket_op_cycles <- d.socket_op_cycles
+
+type counters = {
+  mutable copies : int;
+  mutable copied_bytes : int;
+  mutable glue_crossings : int;
+  mutable com_calls : int;
+}
+
+let counters = { copies = 0; copied_bytes = 0; glue_crossings = 0; com_calls = 0 }
+
+let reset_counters () =
+  counters.copies <- 0;
+  counters.copied_bytes <- 0;
+  counters.glue_crossings <- 0;
+  counters.com_calls <- 0
+
+let sink : (int -> unit) option ref = ref None
+let set_sink f = sink := f
+let has_sink () = Option.is_some !sink
+
+let charge_ns ns = match !sink with Some f -> f ns | None -> ()
+
+(* 200 MHz = 5 ns per cycle; compute exactly to stay calibratable. *)
+let cycles_to_ns c = c * 1_000_000_000 / config.cpu_hz
+let charge_cycles c = charge_ns (cycles_to_ns c)
+
+let charge_copy n =
+  counters.copies <- counters.copies + 1;
+  counters.copied_bytes <- counters.copied_bytes + n;
+  charge_cycles (n * config.copy_cycles_per_byte)
+
+let charge_checksum n = charge_cycles (n * config.checksum_cycles_per_byte)
+
+let charge_com_call () =
+  counters.com_calls <- counters.com_calls + 1;
+  charge_cycles config.com_call_cycles
+
+let charge_glue_crossing () =
+  counters.glue_crossings <- counters.glue_crossings + 1;
+  charge_cycles config.glue_crossing_cycles
+
+let charge_alloc () = charge_cycles config.alloc_cycles

@@ -1,0 +1,82 @@
+(** The CPU cost model for the simulated testbed.
+
+    The paper's evaluation ran on two Pentium Pro 200 MHz PCs connected by
+    100 Mbps Ethernet.  We reproduce the *shape* of its results by charging
+    virtual cycles for the operations that dominated on that hardware:
+    memory copies, checksums, per-packet protocol and driver work, interrupt
+    entry, and — the quantity the paper isolates — the glue-code overhead at
+    each component boundary (Section 5: "the price we pay for modularity and
+    separability").
+
+    All charges accrue to the machine currently executing (see
+    {!Machine.run_in}).  Outside any machine context charges are dropped:
+    the same component code runs unchanged in "user mode" (Section 3.2
+    notes most libraries are useful there too), where virtual time has no
+    meaning. *)
+
+type config = {
+  mutable cpu_hz : int;  (** CPU frequency; default 200 MHz *)
+  mutable copy_cycles_per_byte : int;  (** memcpy, cache-cold; default 4 *)
+  mutable checksum_cycles_per_byte : int;  (** IP/TCP checksum; default 2 *)
+  mutable com_call_cycles : int;
+      (** one COM method dispatch (vtable indirection); default 40 *)
+  mutable glue_crossing_cycles : int;
+      (** one crossing of an encapsulation boundary: argument conversion,
+          curproc manufacture, buffer re-wrapping; default 1500 *)
+  mutable irq_entry_cycles : int;  (** interrupt entry+exit; default 400 *)
+  mutable alloc_cycles : int;  (** one allocator round trip; default 150 *)
+  mutable linux_driver_pkt_cycles : int;
+      (** Linux driver per-packet work (ring handling, device programming);
+          default 2500 *)
+  mutable bsd_tcp_pkt_cycles : int;
+      (** FreeBSD TCP/IP per-segment protocol work; default 4000 *)
+  mutable linux_tcp_pkt_cycles : int;
+      (** Linux inet per-segment protocol work; default 6000 *)
+  mutable socket_op_cycles : int;
+      (** socket-layer entry (sosend/soreceive bookkeeping); default 500 *)
+}
+
+(** The live configuration; benches mutate it for ablations. *)
+val config : config
+
+(** Restore every field to its documented default. *)
+val reset_config : unit -> unit
+
+(** {2 Charging}
+
+    Each function advances the current machine's clock. *)
+
+val charge_cycles : int -> unit
+val charge_ns : int -> unit
+
+(** [charge_copy n] charges copying [n] bytes. *)
+val charge_copy : int -> unit
+
+(** [charge_checksum n] charges checksumming [n] bytes. *)
+val charge_checksum : int -> unit
+
+val charge_com_call : unit -> unit
+val charge_glue_crossing : unit -> unit
+val charge_alloc : unit -> unit
+
+val cycles_to_ns : int -> int
+
+(** {2 Accounting}
+
+    Benches also count events, to report e.g. copies-per-packet
+    (Ablation B). *)
+
+type counters = { mutable copies : int; mutable copied_bytes : int; mutable glue_crossings : int; mutable com_calls : int }
+
+val counters : counters
+val reset_counters : unit -> unit
+
+(** {2 Context plumbing} *)
+
+(** [set_sink f] installs the receiver of charged nanoseconds ([None] =
+    no machine running).  Installed by {!Machine.run_in}; not for client
+    use. *)
+val set_sink : (int -> unit) option -> unit
+
+(** Whether a machine context is installed. *)
+val has_sink : unit -> bool

@@ -1,0 +1,137 @@
+let irq_lines = 16
+
+type t = {
+  name : string;
+  world : World.t;
+  ram : Physmem.t;
+  mutable now : int;
+  handlers : (unit -> unit) option array;
+  mutable masked : int; (* bitmask: 1 = masked *)
+  mutable pending : int;
+  mutable enabled : bool;
+  mutable in_dispatch : bool;
+  mutable run_hook : unit -> unit;
+  mutable kick_queued : bool;
+}
+
+let current_machine : t option ref = ref None
+
+let () =
+  (* All cost charges land on whichever machine is executing. *)
+  Cost.set_sink
+    (Some
+       (fun ns ->
+         match !current_machine with
+         | Some m -> m.now <- m.now + ns
+         | None -> ()))
+
+let create ?(name = "pc") ?(ram_bytes = 8 * 1024 * 1024) world =
+  { name;
+    world;
+    ram = Physmem.create ~bytes:ram_bytes;
+    now = 0;
+    handlers = Array.make irq_lines None;
+    masked = 0;
+    pending = 0;
+    enabled = true;
+    in_dispatch = false;
+    run_hook = (fun () -> ());
+    kick_queued = false }
+
+let name t = t.name
+let world t = t.world
+let ram t = t.ram
+let now t = t.now
+
+let run_in t f =
+  let prev = !current_machine in
+  current_machine := Some t;
+  Fun.protect ~finally:(fun () -> current_machine := prev) f
+
+let current () = !current_machine
+
+let set_irq_handler t ~irq f =
+  if irq < 0 || irq >= irq_lines then invalid_arg "set_irq_handler: bad irq";
+  t.handlers.(irq) <- Some f
+
+let bit irq = 1 lsl irq
+
+(* Deliver every pending, unmasked line while interrupts are enabled.  Runs
+   with [current_machine = t]; handlers execute to completion, one at a
+   time, lowest line first — PIC priority order. *)
+let rec dispatch_pending t =
+  if t.enabled && (not t.in_dispatch) && t.pending land lnot t.masked <> 0 then begin
+    t.in_dispatch <- true;
+    let rec find irq =
+      if irq >= irq_lines then None
+      else if t.pending land bit irq <> 0 && t.masked land bit irq = 0 then Some irq
+      else find (irq + 1)
+    in
+    (match find 0 with
+    | None -> ()
+    | Some irq -> (
+        t.pending <- t.pending land lnot (bit irq);
+        Cost.charge_cycles Cost.config.irq_entry_cycles;
+        match t.handlers.(irq) with Some f -> f () | None -> ()));
+    t.in_dispatch <- false;
+    dispatch_pending t
+  end
+
+let run_hook_and_drain t =
+  dispatch_pending t;
+  t.run_hook ();
+  dispatch_pending t
+
+let mask_irq t ~irq = t.masked <- t.masked lor bit irq
+
+let is_current t = match !current_machine with Some m -> m == t | None -> false
+
+let unmask_irq t ~irq =
+  t.masked <- t.masked land lnot (bit irq);
+  if is_current t then dispatch_pending t
+
+let interrupts_enabled t = t.enabled
+
+let enable_interrupts t =
+  t.enabled <- true;
+  if is_current t then dispatch_pending t
+
+let disable_interrupts t = t.enabled <- false
+
+let with_interrupts_disabled t f =
+  let was = t.enabled in
+  t.enabled <- false;
+  Fun.protect ~finally:(fun () -> if was then enable_interrupts t) f
+
+let raise_irq t ~irq =
+  if irq < 0 || irq >= irq_lines then invalid_arg "raise_irq: bad irq";
+  t.pending <- t.pending lor bit irq;
+  if is_current t then dispatch_pending t
+  else begin
+    (* Raised from outside the machine (a world event): synchronise the
+       local clock with the world and service the interrupt, then let the
+       kernel's process level run. *)
+    t.now <- max t.now (World.now t.world);
+    run_in t (fun () -> run_hook_and_drain t)
+  end
+
+let set_run_hook t f = t.run_hook <- f
+
+let kick t =
+  if not t.kick_queued then begin
+    t.kick_queued <- true;
+    ignore
+      (World.at t.world t.now (fun () ->
+           t.kick_queued <- false;
+           t.now <- max t.now (World.now t.world);
+           run_in t (fun () -> run_hook_and_drain t)))
+  end
+
+let at t time f =
+  World.at t.world time (fun () ->
+      t.now <- max t.now (World.now t.world);
+      run_in t (fun () ->
+          f ();
+          run_hook_and_drain t))
+
+let after t dt f = at t (t.now + dt) f

@@ -1,0 +1,74 @@
+(** One simulated PC.
+
+    A machine owns a local CPU clock, physical memory, and a 16-line
+    interrupt controller.  OS code "runs on" a machine via {!run_in}, which
+    routes {!Cost} charges to the machine's clock.  Devices raise interrupts
+    through {!raise_irq}; handlers run at interrupt level, to completion,
+    exactly the execution model the OSKit's encapsulated components assume
+    (Section 4.7.4). *)
+
+type t
+
+val create : ?name:string -> ?ram_bytes:int -> World.t -> t
+
+val name : t -> string
+val world : t -> World.t
+val ram : t -> Physmem.t
+
+(** Local CPU time, ns.  Always >= the world time of the last event this
+    machine saw; may run ahead of the world while the machine computes. *)
+val now : t -> int
+
+(** [run_in t f] executes [f] in this machine's context: cost charges
+    advance [now t].  Nestable; reentrant across machines. *)
+val run_in : t -> (unit -> 'a) -> 'a
+
+(** The machine currently executing, if any. *)
+val current : unit -> t option
+
+(** {2 Interrupts} *)
+
+val irq_lines : int (* 16, like the PC's cascaded 8259s *)
+
+(** [set_irq_handler t ~irq f] installs the handler (replacing any).  The
+    handler runs in machine context at interrupt level. *)
+val set_irq_handler : t -> irq:int -> (unit -> unit) -> unit
+
+(** [mask_irq] / [unmask_irq]: per-line enable, as on the PIC. *)
+val mask_irq : t -> irq:int -> unit
+
+val unmask_irq : t -> irq:int -> unit
+
+(** Global interrupt flag (cli/sti).  Interrupts raised while disabled or
+    masked are latched and delivered on enable/unmask. *)
+val interrupts_enabled : t -> bool
+
+val enable_interrupts : t -> unit
+val disable_interrupts : t -> unit
+
+(** [with_interrupts_disabled t f] — the critical-section idiom. *)
+val with_interrupts_disabled : t -> (unit -> 'a) -> 'a
+
+(** [raise_irq t ~irq] asserts the line.  Called by device models (from
+    world events) or by software for testing.  Charges interrupt entry cost
+    when dispatching. *)
+val raise_irq : t -> irq:int -> unit
+
+(** {2 Hooks} *)
+
+(** [set_run_hook t f]: [f] is the client kernel's "run runnable process-
+    level work" entry; the machine invokes it after interrupt dispatch and
+    when {!kick}ed.  Default: nothing. *)
+val set_run_hook : t -> (unit -> unit) -> unit
+
+(** Schedule the run hook to execute (via a world event) at the machine's
+    current local time. *)
+val kick : t -> unit
+
+(** {2 Time services} *)
+
+(** [at t time f] runs [f] at interrupt level at local/world time [time]. *)
+val at : t -> int -> (unit -> unit) -> World.event
+
+(** [after t dt f] is [at t (now t + dt) f]. *)
+val after : t -> int -> (unit -> unit) -> World.event

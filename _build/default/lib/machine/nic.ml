@@ -1,0 +1,67 @@
+type mac = string
+
+let broadcast = "\xff\xff\xff\xff\xff\xff"
+
+type t = {
+  machine : Machine.t;
+  wire : Wire.t;
+  mac : mac;
+  irq : int;
+  rx_ring : int;
+  rx_q : bytes Queue.t;
+  mutable port : Wire.port option;
+  mutable promisc : bool;
+  mutable dropped : int;
+  mutable tx : int;
+  mutable rx : int;
+}
+
+let dst_of frame = if Bytes.length frame >= 6 then Bytes.sub_string frame 0 6 else ""
+
+let create ~machine ~wire ~mac ~irq ?(rx_ring = 32) () =
+  if String.length mac <> 6 then invalid_arg "Nic.create: mac must be 6 bytes";
+  let t =
+    { machine; wire; mac; irq; rx_ring; rx_q = Queue.create (); port = None;
+      promisc = false; dropped = 0; tx = 0; rx = 0 }
+  in
+  let rx frame =
+    let dst = dst_of frame in
+    if t.promisc || String.equal dst t.mac || String.equal dst broadcast then
+      if Queue.length t.rx_q >= t.rx_ring then t.dropped <- t.dropped + 1
+      else begin
+        Queue.add frame t.rx_q;
+        t.rx <- t.rx + 1;
+        Machine.raise_irq t.machine ~irq:t.irq
+      end
+  in
+  t.port <- Some (Wire.attach wire ~rx);
+  t
+
+let mac t = t.mac
+let irq t = t.irq
+
+let min_frame = 60
+
+let transmit t frame =
+  let frame =
+    if Bytes.length frame >= min_frame then frame
+    else begin
+      let padded = Bytes.make min_frame '\000' in
+      Bytes.blit frame 0 padded 0 (Bytes.length frame);
+      padded
+    end
+  in
+  (* Bus-master DMA out of driver memory: cheaper than a CPU copy. *)
+  Cost.charge_cycles (Bytes.length frame);
+  t.tx <- t.tx + 1;
+  let at = Machine.now t.machine in
+  match t.port with
+  | Some port -> ignore (Wire.send t.wire port frame ~at)
+  | None -> assert false
+
+let pop_rx t = Queue.take_opt t.rx_q
+let rx_pending t = Queue.length t.rx_q
+let set_promiscuous t v = t.promisc <- v
+let rx_dropped t = t.dropped
+let tx_count t = t.tx
+let rx_count t = t.rx

@@ -1,0 +1,41 @@
+(** A simulated Ethernet controller.
+
+    Hardware-level model of the cards the paper's Linux drivers drove:
+    a receive ring of bounded depth (overflow drops frames, as real NICs
+    do), MAC/broadcast filtering with an optional promiscuous mode, and an
+    interrupt per received frame.  The driver components in
+    [lib/linux_dev] program against this. *)
+
+type t
+
+type mac = string
+(** 6 bytes. *)
+
+val broadcast : mac
+
+(** [create ~machine ~wire ~mac ~irq ()] attaches a card to the segment. *)
+val create :
+  machine:Machine.t -> wire:Wire.t -> mac:mac -> irq:int -> ?rx_ring:int -> unit -> t
+
+val mac : t -> mac
+val irq : t -> int
+
+(** [transmit t frame] hands a fully-formed Ethernet frame to the card;
+    DMA from driver memory is charged per byte at a fraction of memcpy
+    cost.  Frames shorter than 60 bytes are padded, as the hardware does. *)
+val transmit : t -> bytes -> unit
+
+(** [pop_rx t] takes the oldest received frame off the ring, if any.  Used
+    by the driver's interrupt handler. *)
+val pop_rx : t -> bytes option
+
+val rx_pending : t -> int
+val set_promiscuous : t -> bool -> unit
+
+(** Frames dropped to ring overflow. *)
+val rx_dropped : t -> int
+
+(** Counters for tests/benches. *)
+val tx_count : t -> int
+
+val rx_count : t -> int

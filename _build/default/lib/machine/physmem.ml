@@ -1,0 +1,48 @@
+type t = { mem : bytes }
+
+exception Fault of int
+
+let page = 4096
+let create ~bytes = { mem = Bytes.make ((bytes + page - 1) / page * page) '\000' }
+let size t = Bytes.length t.mem
+let low_limit = 0x100000
+let dma_limit = 0x1000000
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > size t then raise (Fault addr)
+
+let get8 t addr =
+  check t addr 1;
+  Char.code (Bytes.get t.mem addr)
+
+let set8 t addr v =
+  check t addr 1;
+  Bytes.set t.mem addr (Char.chr (v land 0xff))
+
+let get16 t addr =
+  check t addr 2;
+  Bytes.get_uint16_le t.mem addr
+
+let set16 t addr v =
+  check t addr 2;
+  Bytes.set_uint16_le t.mem addr (v land 0xffff)
+
+let get32 t addr =
+  check t addr 4;
+  Bytes.get_int32_le t.mem addr
+
+let set32 t addr v =
+  check t addr 4;
+  Bytes.set_int32_le t.mem addr v
+
+let blit_from_bytes t ~src ~src_pos ~dst_addr ~len =
+  check t dst_addr len;
+  Bytes.blit src src_pos t.mem dst_addr len
+
+let blit_to_bytes t ~src_addr ~dst ~dst_pos ~len =
+  check t src_addr len;
+  Bytes.blit t.mem src_addr dst dst_pos len
+
+let fill t ~addr ~len byte =
+  check t addr len;
+  Bytes.fill t.mem addr len (Char.chr (byte land 0xff))

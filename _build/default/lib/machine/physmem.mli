@@ -1,0 +1,37 @@
+(** Simulated physical memory.
+
+    A flat byte array standing in for the PC's RAM.  The kernel-support and
+    memory-manager components operate on *addresses into this array*, so page
+    tables, boot-module placement, DMA windows and the LMM's physical-memory
+    pools behave as they do on the real machine, including the PC quirks the
+    paper calls out (the 16 MB ISA DMA limit, the sub-1 MB "low" region). *)
+
+type t
+
+(** [create ~bytes] makes a RAM of that many bytes (rounded up to 4 KB). *)
+val create : bytes:int -> t
+
+val size : t -> int
+
+(** PC memory-type boundaries (Section 3.3). *)
+
+val low_limit : int (* 1 MB: real-mode/BIOS reachable *)
+val dma_limit : int (* 16 MB: ISA DMA reachable *)
+
+val get8 : t -> int -> int
+val set8 : t -> int -> int -> unit
+val get16 : t -> int -> int
+val set16 : t -> int -> int -> unit
+val get32 : t -> int -> int32
+val set32 : t -> int -> int32 -> unit
+
+(** [blit_from_bytes t ~src ~dst_addr ~len] copies OCaml bytes into RAM. *)
+val blit_from_bytes : t -> src:bytes -> src_pos:int -> dst_addr:int -> len:int -> unit
+
+val blit_to_bytes : t -> src_addr:int -> dst:bytes -> dst_pos:int -> len:int -> unit
+
+(** [fill t ~addr ~len byte] *)
+val fill : t -> addr:int -> len:int -> int -> unit
+
+(** Raised on any access outside [0, size). *)
+exception Fault of int

@@ -1,0 +1,34 @@
+(** A 16550-style serial port.
+
+    Used for two things in the OSKit: the console, and the remote debugging
+    line that carries GDB's remote serial protocol (Section 3.5).  A port
+    can be connected to another port (null-modem, for the GDB stub tests) or
+    left with its output accumulating in a capture buffer (console). *)
+
+type t
+
+val create : machine:Machine.t -> irq:int -> ?baud:int -> unit -> t
+
+(** Cross-connect two ports; each byte written to one arrives at the other
+    after its serialization time and raises the receiving side's IRQ. *)
+val connect : t -> t -> unit
+
+(** [write_byte t b] transmits a byte (blocking model: charges the UART
+    programming cost; serialization happens in the background). *)
+val write_byte : t -> int -> unit
+
+val write_string : t -> string -> unit
+
+(** [read_byte t] takes a byte from the receive FIFO, if any. *)
+val read_byte : t -> int option
+
+val input_pending : t -> int
+
+(** [inject t s] pushes bytes into the receive FIFO from "outside" (e.g. a
+    test pretending to be a human or a remote GDB), raising the IRQ. *)
+val inject : t -> string -> unit
+
+(** Everything ever written to an unconnected port, e.g. console output. *)
+val captured_output : t -> string
+
+val clear_captured : t -> unit

@@ -1,0 +1,40 @@
+type mode = Off | Oneshot | Periodic of int
+
+type t = {
+  machine : Machine.t;
+  irq : int;
+  mutable mode : mode;
+  mutable generation : int;
+  mutable ticks : int;
+}
+
+let create ~machine ~irq = { machine; irq; mode = Off; generation = 0; ticks = 0 }
+
+let rec arm t ~delay_ns ~generation =
+  ignore
+    (Machine.after t.machine delay_ns (fun () ->
+         if t.generation = generation then begin
+           t.ticks <- t.ticks + 1;
+           Machine.raise_irq t.machine ~irq:t.irq;
+           match t.mode with
+           | Periodic interval -> arm t ~delay_ns:interval ~generation
+           | Oneshot | Off -> t.mode <- Off
+         end))
+
+let set_periodic t ~interval_ns =
+  if interval_ns <= 0 then invalid_arg "Timer_dev.set_periodic";
+  t.generation <- t.generation + 1;
+  t.mode <- Periodic interval_ns;
+  arm t ~delay_ns:interval_ns ~generation:t.generation
+
+let set_oneshot t ~delay_ns =
+  if delay_ns < 0 then invalid_arg "Timer_dev.set_oneshot";
+  t.generation <- t.generation + 1;
+  t.mode <- Oneshot;
+  arm t ~delay_ns ~generation:t.generation
+
+let stop t =
+  t.generation <- t.generation + 1;
+  t.mode <- Off
+
+let ticks t = t.ticks

@@ -1,0 +1,21 @@
+(** The programmable interval timer (i8254-style).
+
+    One-shot or periodic interrupts at a programmed interval.  The kernel
+    support library's clock services and the preemptive thread examples
+    build on this. *)
+
+type t
+
+val create : machine:Machine.t -> irq:int -> t
+
+(** [set_periodic t ~interval_ns] starts (or re-programs) periodic
+    interrupts. *)
+val set_periodic : t -> interval_ns:int -> unit
+
+(** [set_oneshot t ~delay_ns] arms a single interrupt. *)
+val set_oneshot : t -> delay_ns:int -> unit
+
+val stop : t -> unit
+
+(** Ticks delivered so far. *)
+val ticks : t -> int

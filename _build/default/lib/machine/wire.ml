@@ -1,0 +1,54 @@
+type port = { id : int; rx : bytes -> unit }
+
+type t = {
+  world : World.t;
+  bandwidth_bps : int;
+  latency_ns : int;
+  mutable ports : port list;
+  mutable next_id : int;
+  mutable busy_until : int;
+  mutable frames : int;
+  mutable bytes : int;
+  mutable fault : (bytes -> bool) option;
+  mutable dropped : int;
+}
+
+(* 100BASE-T framing overhead per frame: 8 B preamble + 4 B FCS + 12 B
+   inter-frame gap. *)
+let framing_bytes = 24
+
+let create ?(bandwidth_bps = 100_000_000) ?(latency_ns = 1_000) world =
+  { world; bandwidth_bps; latency_ns; ports = []; next_id = 0; busy_until = 0;
+    frames = 0; bytes = 0; fault = None; dropped = 0 }
+
+let attach t ~rx =
+  let p = { id = t.next_id; rx } in
+  t.next_id <- t.next_id + 1;
+  t.ports <- p :: t.ports;
+  p
+
+let serialization_ns t len =
+  (len + framing_bytes) * 8 * 1_000_000_000 / t.bandwidth_bps
+
+let send t port frame ~at =
+  let start = max at t.busy_until in
+  let finish = start + serialization_ns t (Bytes.length frame) in
+  t.busy_until <- finish;
+  t.frames <- t.frames + 1;
+  t.bytes <- t.bytes + Bytes.length frame;
+  let arrival = finish + t.latency_ns in
+  let lost = match t.fault with Some f -> f frame | None -> false in
+  if lost then t.dropped <- t.dropped + 1
+  else begin
+    let deliver () =
+      let copy_for p = p.rx (Bytes.copy frame) in
+      List.iter (fun p -> if p.id <> port.id then copy_for p) t.ports
+    in
+    ignore (World.at t.world arrival deliver)
+  end;
+  arrival
+
+let set_fault_injector t f = t.fault <- f
+let frames_dropped t = t.dropped
+let frames_carried t = t.frames
+let bytes_carried t = t.bytes

@@ -1,0 +1,37 @@
+(** A shared Ethernet segment.
+
+    Models the testbed's 100 Mbps link: frames occupy the medium for their
+    serialization time (plus preamble and inter-frame gap, as on real
+    Ethernet) and arrive at every other attached station after a propagation
+    delay.  Contention is resolved by queueing: a frame offered while the
+    medium is busy waits — bandwidth, not collisions, is what shaped the
+    paper's numbers. *)
+
+type t
+type port
+
+val create : ?bandwidth_bps:int -> ?latency_ns:int -> World.t -> t
+
+(** [attach t ~rx] adds a station; [rx] is invoked (in no particular machine
+    context) when a frame arrives.  Stations receive every frame except
+    their own transmissions — address filtering is the NIC's job, as on a
+    real hub. *)
+val attach : t -> rx:(bytes -> unit) -> port
+
+(** [send t port frame ~at] offers [frame] for transmission at sender-local
+    time [at].  Returns the time the frame will finish arriving. *)
+val send : t -> port -> bytes -> at:int -> int
+
+(** [set_fault_injector t f] — [f frame] returning true silently drops the
+    frame in transit (test hook: lossy-segment experiments).  [None]
+    restores perfect delivery. *)
+val set_fault_injector : t -> (bytes -> bool) option -> unit
+
+(** Frames dropped by the injector. *)
+val frames_dropped : t -> int
+
+(** Total frames ever carried. *)
+val frames_carried : t -> int
+
+(** Total payload bytes ever carried. *)
+val bytes_carried : t -> int

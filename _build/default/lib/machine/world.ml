@@ -1,0 +1,50 @@
+type event = { time : int; seq : int; action : unit -> unit; mutable cancelled : bool }
+
+module Key = struct
+  type t = int * int (* time, seq *)
+
+  let compare (t1, s1) (t2, s2) =
+    match Int.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+end
+
+module Queue = Map.Make (Key)
+
+type t = {
+  mutable now : int;
+  mutable queue : event Queue.t;
+  mutable next_seq : int;
+  mutable fuel : int;
+}
+
+exception Out_of_fuel
+
+let create () = { now = 0; queue = Queue.empty; next_seq = 0; fuel = 200_000_000 }
+let now t = t.now
+let set_fuel t fuel = t.fuel <- fuel
+
+let at t time action =
+  let time = max time t.now in
+  let ev = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.queue <- Queue.add (time, ev.seq) ev t.queue;
+  ev
+
+let after t dt action = at t (t.now + dt) action
+let cancel ev = ev.cancelled <- true
+let pending t = Queue.cardinal t.queue
+
+let step t =
+  match Queue.min_binding_opt t.queue with
+  | None -> false
+  | Some (key, ev) ->
+      t.queue <- Queue.remove key t.queue;
+      t.now <- max t.now ev.time;
+      if not ev.cancelled then ev.action ();
+      true
+
+let run ?(until = fun () -> false) t =
+  let rec go fuel =
+    if fuel = 0 then raise Out_of_fuel;
+    if (not (until ())) && step t then go (fuel - 1)
+  in
+  go t.fuel

@@ -1,0 +1,128 @@
+let guard_size = 16
+let fence_byte = 0xfd
+let alloc_poison = 0xa5
+let free_poison = 0xdd
+
+type block = { base : int; size : int; tag : string; seq : int }
+
+type t = {
+  ram : Physmem.t;
+  under_alloc : int -> int option;
+  under_free : addr:int -> size:int -> unit;
+  blocks : (int, block) Hashtbl.t; (* keyed by usable address *)
+  mutable next_seq : int;
+}
+
+type fault =
+  | Underrun of { addr : int; tag : string }
+  | Overrun of { addr : int; tag : string }
+  | Double_free of { addr : int }
+  | Wild_free of { addr : int }
+
+exception Fault of fault
+
+let describe_fault = function
+  | Underrun { addr; tag } -> Printf.sprintf "guard underrun before %#x (%s)" addr tag
+  | Overrun { addr; tag } -> Printf.sprintf "guard overrun after %#x (%s)" addr tag
+  | Double_free { addr } -> Printf.sprintf "double free of %#x" addr
+  | Wild_free { addr } -> Printf.sprintf "free of never-allocated %#x" addr
+
+let create ~ram ~alloc ~free =
+  { ram; under_alloc = alloc; under_free = free; blocks = Hashtbl.create 64; next_seq = 0 }
+
+let alloc t ~size ~tag =
+  if size < 0 then invalid_arg "Memdebug.alloc: size";
+  match t.under_alloc (size + (2 * guard_size)) with
+  | None -> None
+  | Some base ->
+      let addr = base + guard_size in
+      Physmem.fill t.ram ~addr:base ~len:guard_size fence_byte;
+      Physmem.fill t.ram ~addr ~len:size alloc_poison;
+      Physmem.fill t.ram ~addr:(addr + size) ~len:guard_size fence_byte;
+      Hashtbl.replace t.blocks addr { base; size; tag; seq = t.next_seq };
+      t.next_seq <- t.next_seq + 1;
+      Some addr
+
+let guard_intact t ~addr ~len =
+  let rec go i = i >= len || (Physmem.get8 t.ram (addr + i) = fence_byte && go (i + 1)) in
+  go 0
+
+let check_block t b =
+  let addr = b.base + guard_size in
+  let faults = ref [] in
+  if not (guard_intact t ~addr:b.base ~len:guard_size) then
+    faults := Underrun { addr; tag = b.tag } :: !faults;
+  if not (guard_intact t ~addr:(addr + b.size) ~len:guard_size) then
+    faults := Overrun { addr; tag = b.tag } :: !faults;
+  !faults
+
+let free t addr =
+  match Hashtbl.find_opt t.blocks addr with
+  | None ->
+      (* Distinguish a double free (we freed it and poisoned the body) from
+         a wild pointer: the old guard may still be intact. *)
+      let looks_freed =
+        addr >= guard_size
+        && (try Physmem.get8 t.ram addr = free_poison with Physmem.Fault _ -> false)
+      in
+      raise (Fault (if looks_freed then Double_free { addr } else Wild_free { addr }))
+  | Some b -> (
+      match check_block t b with
+      | fault :: _ -> raise (Fault fault)
+      | [] ->
+          Physmem.fill t.ram ~addr ~len:b.size free_poison;
+          Hashtbl.remove t.blocks addr;
+          t.under_free ~addr:b.base ~size:(b.size + (2 * guard_size)))
+
+let size_of t addr = Option.map (fun b -> b.size) (Hashtbl.find_opt t.blocks addr)
+
+let sorted_blocks t =
+  List.sort
+    (fun a b -> Int.compare a.seq b.seq)
+    (Hashtbl.fold (fun _ b acc -> b :: acc) t.blocks [])
+
+let check t = List.concat_map (check_block t) (sorted_blocks t)
+let live t = List.map (fun b -> b.base + guard_size, b.size, b.tag) (sorted_blocks t)
+let live_bytes t = Hashtbl.fold (fun _ b acc -> acc + b.size) t.blocks 0
+
+(* ---- bytes-level tracking for the C library hooks ---- *)
+
+type malloc_tracker = { mutable live_list : bytes list }
+
+let phys_mem_remove tracker b =
+  let found = ref false in
+  tracker.live_list <-
+    List.filter
+      (fun x ->
+        if (not !found) && x == b then begin
+          found := true;
+          false
+        end
+        else true)
+      tracker.live_list;
+  !found
+
+let install_malloc_hooks () =
+  let tracker = { live_list = [] } in
+  let alloc n =
+    let b = Bytes.make n Malloc.poison in
+    tracker.live_list <- b :: tracker.live_list;
+    Malloc.stats.allocs <- Malloc.stats.allocs + 1;
+    Malloc.stats.bytes_allocated <- Malloc.stats.bytes_allocated + n;
+    b
+  in
+  let free b =
+    if phys_mem_remove tracker b then Malloc.stats.frees <- Malloc.stats.frees + 1
+    else raise (Fault (Double_free { addr = 0 }))
+  in
+  let realloc b n =
+    let nb = alloc n in
+    Bytes.blit b 0 nb 0 (min (Bytes.length b) n);
+    free b;
+    nb
+  in
+  Malloc.set_hooks ~alloc ~free ~realloc;
+  tracker
+
+let malloc_live_blocks tracker = List.length tracker.live_list
+let remove_malloc_hooks _ = Malloc.reset_hooks ()

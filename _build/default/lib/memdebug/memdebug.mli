@@ -1,0 +1,75 @@
+(** The memory allocation debugging library (Section 3.5).
+
+    "Tracks memory allocations and detects common errors such as buffer
+    overruns and freeing already-freed memory ... it runs in the minimal
+    kernel environment provided by the OSKit."
+
+    Two layers are provided:
+
+    {ol
+    {- An {e address-space} checker wrapping any address-returning allocator
+       (typically the LMM over simulated RAM): every block is bracketed with
+       guard zones written with a fence pattern that is verified on [free]
+       and on demand; block sizes are tracked so [free] needs no size
+       argument; double frees and wild frees are detected; live blocks are
+       enumerable for leak reports.}
+    {- A drop-in set of hooks for the minimal C library's [malloc]
+       ({!install_malloc_hooks}) that tracks double frees and leaks at the
+       [bytes] level.}} *)
+
+type t
+
+(** Guard size on each side of every block, bytes. *)
+val guard_size : int
+
+(** The fence byte written into guards ([0xFD]). *)
+val fence_byte : int
+
+(** [create ~ram ~alloc ~free] wraps an underlying allocator.  [alloc]
+    receives the padded size and returns a base address or [None]. *)
+val create :
+  ram:Physmem.t -> alloc:(int -> int option) -> free:(addr:int -> size:int -> unit) -> t
+
+(** [alloc t ~size ~tag] returns the usable address (guards hidden).  The
+    block body is poisoned with [0xA5]. *)
+val alloc : t -> size:int -> tag:string -> int option
+
+type fault =
+  | Underrun of { addr : int; tag : string }
+  | Overrun of { addr : int; tag : string }
+  | Double_free of { addr : int }
+  | Wild_free of { addr : int }
+
+exception Fault of fault
+
+val describe_fault : fault -> string
+
+(** [free t addr] verifies both guards (raising [Fault] on corruption or
+    bad address), poisons the body with [0xDD], and returns the block. *)
+val free : t -> int -> unit
+
+(** Size originally requested for a live block. *)
+val size_of : t -> int -> int option
+
+(** [check t] verifies the guards of every live block, returning all
+    corrupted ones (does not raise). *)
+val check : t -> fault list
+
+(** Live (unfreed) blocks as [(addr, size, tag)], oldest first — the leak
+    report. *)
+val live : t -> (int * int * string) list
+
+val live_bytes : t -> int
+
+(** {2 C-library hook layer} *)
+
+type malloc_tracker
+
+(** Replaces the minimal C library's allocation hooks with tracking
+    versions.  Double frees raise [Fault]. *)
+val install_malloc_hooks : unit -> malloc_tracker
+
+val malloc_live_blocks : malloc_tracker -> int
+
+(** Restore the default hooks. *)
+val remove_malloc_hooks : malloc_tracker -> unit

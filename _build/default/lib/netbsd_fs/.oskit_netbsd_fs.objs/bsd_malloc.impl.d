@@ -1,0 +1,1 @@
+lib/netbsd_fs/bsd_malloc.ml: Array Cost List Option

@@ -1,0 +1,1 @@
+lib/netbsd_fs/buf.ml: Bytes Error Hashtbl Int Io_if List Result

@@ -1,0 +1,1 @@
+lib/netbsd_fs/ffs.ml: Array Buf Bytes Char Cost Error Hashtbl Int32 Io_if List String

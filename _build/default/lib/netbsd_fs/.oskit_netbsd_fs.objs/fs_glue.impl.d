@@ -1,0 +1,1 @@
+lib/netbsd_fs/fs_glue.ml: Com Cost Error Ffs Iid Io_if Lazy Result

@@ -1,0 +1,1 @@
+lib/netbsd_fs/fs_glue.mli: Error Ffs Io_if

@@ -1,0 +1,117 @@
+(* GLUE — the BSD kernel malloc emulation of Section 4.7.7.
+ *
+ * BSD's in-kernel malloc guarantees three properties at once: (1) blocks
+ * are naturally aligned to their size class, (2) power-of-two sizes waste
+ * no space, and (3) the allocator tracks block sizes itself (free takes no
+ * size).  The donor achieves this with a static per-page size table over a
+ * reserved VA range — impossible in the OSKit, where components have no
+ * say over the client's memory layout.  This module reproduces the paper's
+ * "imperfect but practical" fix: layer the bucket allocator over whatever
+ * pages the client's allocator returns, and grow the page-size table
+ * dynamically so it always covers every address the allocator has ever
+ * seen.  It degrades (table growth) if client pages are wildly scattered,
+ * exactly as the paper warns.
+ *)
+
+let page_size = 4096
+let min_bucket = 4 (* 16 bytes *)
+let max_bucket = 12 (* one page *)
+
+type t = {
+  client_alloc : int -> int option; (* page-aligned pages from the client OS *)
+  freelists : int list array; (* per-bucket free block addresses *)
+  (* The kmemusage table: bucket index per page, over [table_base,
+     table_base + 4096 * Array.length table). *)
+  mutable table : int array;
+  mutable table_base : int; (* in pages *)
+  mutable pages_taken : int;
+  mutable table_regrows : int;
+}
+
+let create ~client_alloc =
+  { client_alloc;
+    freelists = Array.make (max_bucket + 1) [];
+    table = [||];
+    table_base = 0;
+    pages_taken = 0;
+    table_regrows = 0 }
+
+let bucket_of_size size =
+  let rec go b = if 1 lsl b >= size then b else go (b + 1) in
+  go min_bucket
+
+(* Ensure the page table covers [page]; grow (re-allocating, as the paper
+   describes) when the client hands us an address outside the current
+   span. *)
+let cover t page =
+  if Array.length t.table = 0 then begin
+    t.table <- Array.make 64 (-1);
+    t.table_base <- page
+  end
+  else begin
+    let lo = t.table_base and hi = t.table_base + Array.length t.table in
+    if page < lo || page >= hi then begin
+      let new_lo = min lo page and new_hi = max hi (page + 1) in
+      (* Grow with slack so scattered pages do not regrow every time. *)
+      let size = max (new_hi - new_lo) (2 * Array.length t.table) in
+      let table = Array.make size (-1) in
+      Array.blit t.table 0 table (lo - new_lo) (Array.length t.table);
+      t.table <- table;
+      t.table_base <- new_lo;
+      t.table_regrows <- t.table_regrows + 1
+    end
+  end
+
+let set_page_bucket t addr bucket =
+  let page = addr / page_size in
+  cover t page;
+  t.table.(page - t.table_base) <- bucket
+
+let page_bucket t addr =
+  let page = addr / page_size in
+  if
+    Array.length t.table = 0 || page < t.table_base
+    || page >= t.table_base + Array.length t.table
+  then None
+  else
+    match t.table.(page - t.table_base) with -1 -> None | b -> Some b
+
+let malloc t size =
+  if size <= 0 || size > page_size then invalid_arg "Bsd_malloc.malloc: size";
+  Cost.charge_alloc ();
+  let b = bucket_of_size size in
+  match t.freelists.(b) with
+  | addr :: rest ->
+      t.freelists.(b) <- rest;
+      Some addr
+  | [] -> (
+      match t.client_alloc page_size with
+      | None -> None
+      | Some page_addr ->
+          if page_addr mod page_size <> 0 then
+            invalid_arg "Bsd_malloc: client returned an unaligned page";
+          t.pages_taken <- t.pages_taken + 1;
+          set_page_bucket t page_addr b;
+          (* Carve the page into naturally-aligned blocks of this class. *)
+          let block = 1 lsl b in
+          let rec carve off acc =
+            if off + block > page_size then acc
+            else carve (off + block) ((page_addr + off) :: acc)
+          in
+          (match carve block [] with
+          | blocks -> t.freelists.(b) <- List.rev blocks);
+          Some page_addr)
+
+(* free without a size argument: the table knows. *)
+let free t addr =
+  match page_bucket t addr with
+  | None -> invalid_arg "Bsd_malloc.free: address never seen"
+  | Some b ->
+      if addr land ((1 lsl b) - 1) <> 0 then
+        invalid_arg "Bsd_malloc.free: misaligned for its size class";
+      t.freelists.(b) <- addr :: t.freelists.(b)
+
+(* The paper's three properties, checkable. *)
+let usable_size t addr = Option.map (fun b -> 1 lsl b) (page_bucket t addr)
+let pages_taken t = t.pages_taken
+let table_regrows t = t.table_regrows

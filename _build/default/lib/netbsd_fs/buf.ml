@@ -1,0 +1,107 @@
+(* ENCAPSULATED LEGACY CODE — the 4.4BSD buffer cache (vfs_bio.c).
+ *
+ * bread/bwrite/bdwrite/brelse over a block device, with an LRU of clean
+ * buffers, a hash on block number, and delayed writes flushed by sync.
+ * The device below is reached through the OSKit blkio interface the glue
+ * was handed at mount time — the run-time binding of Section 4.2.2.
+ *)
+
+type buf = {
+  b_blkno : int;
+  b_data : bytes;
+  mutable b_dirty : bool;
+  mutable b_refs : int;
+  mutable b_lru_tick : int;
+}
+
+type t = {
+  dev : Io_if.blkio;
+  bsize : int;
+  cache : (int, buf) Hashtbl.t;
+  max_bufs : int;
+  mutable tick : int;
+  mutable reads : int; (* device reads actually issued *)
+  mutable writes : int;
+  mutable hits : int;
+}
+
+let create ?(max_bufs = 64) ~bsize dev =
+  { dev; bsize; cache = Hashtbl.create 64; max_bufs; tick = 0; reads = 0; writes = 0;
+    hits = 0 }
+
+let device_read t blkno data =
+  t.reads <- t.reads + 1;
+  match
+    t.dev.Io_if.bio_read ~buf:data ~pos:0 ~offset:(blkno * t.bsize) ~amount:t.bsize
+  with
+  | Ok n when n = t.bsize -> ()
+  | Ok _ -> Error.fail Error.Io
+  | Result.Error e -> Error.fail e
+
+let device_write t blkno data =
+  t.writes <- t.writes + 1;
+  match
+    t.dev.Io_if.bio_write ~buf:data ~pos:0 ~offset:(blkno * t.bsize) ~amount:t.bsize
+  with
+  | Ok n when n = t.bsize -> ()
+  | Ok _ -> Error.fail Error.Io
+  | Result.Error e -> Error.fail e
+
+(* Evict the least recently used clean, unreferenced buffer (writing it if
+   it is dirty — BSD pushes delayed writes under pressure). *)
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ b ->
+      if b.b_refs = 0 then
+        match !victim with
+        | Some v when v.b_lru_tick <= b.b_lru_tick -> ()
+        | _ -> victim := Some b)
+    t.cache;
+  match !victim with
+  | None -> () (* everything referenced: let the cache grow, as BSD does *)
+  | Some b ->
+      if b.b_dirty then device_write t b.b_blkno b.b_data;
+      Hashtbl.remove t.cache b.b_blkno
+
+let getblk t blkno ~fill =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.cache blkno with
+  | Some b ->
+      t.hits <- t.hits + 1;
+      b.b_refs <- b.b_refs + 1;
+      b.b_lru_tick <- t.tick;
+      b
+  | None ->
+      if Hashtbl.length t.cache >= t.max_bufs then evict_one t;
+      let data = Bytes.make t.bsize '\000' in
+      if fill then device_read t blkno data;
+      let b = { b_blkno = blkno; b_data = data; b_dirty = false; b_refs = 1; b_lru_tick = t.tick } in
+      Hashtbl.replace t.cache blkno b;
+      b
+
+(* bread: a referenced buffer with the block's contents. *)
+let bread t blkno = getblk t blkno ~fill:true
+
+(* getblk-without-read: caller will overwrite the whole block. *)
+let getblk_nofill t blkno = getblk t blkno ~fill:false
+
+let brelse b = if b.b_refs > 0 then b.b_refs <- b.b_refs - 1
+
+(* bdwrite: mark dirty, write later. *)
+let bdwrite b = b.b_dirty <- true
+
+(* bwrite: write through now. *)
+let bwrite t b =
+  device_write t b.b_blkno b.b_data;
+  b.b_dirty <- false
+
+let sync t =
+  let dirty = Hashtbl.fold (fun _ b acc -> if b.b_dirty then b :: acc else acc) t.cache [] in
+  List.iter
+    (fun b ->
+      device_write t b.b_blkno b.b_data;
+      b.b_dirty <- false)
+    (List.sort (fun a b -> Int.compare a.b_blkno b.b_blkno) dirty)
+
+let stats t = t.reads, t.writes, t.hits

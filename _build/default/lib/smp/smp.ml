@@ -1,0 +1,55 @@
+type t = { machine : Machine.t; ncpus : int }
+
+let init ?(ncpus = 1) machine =
+  if ncpus < 1 then invalid_arg "Smp.init: ncpus";
+  { machine; ncpus }
+
+let num_cpus t = t.ncpus
+let cpu_number _ = 0
+
+type 'a percpu = 'a array
+
+let percpu t ~init = Array.init t.ncpus init
+let get t p = p.(cpu_number t)
+let get_for p ~cpu = p.(cpu)
+
+type spinlock = { name : string; mutable held : bool; mutable contentions : int }
+
+let spinlock ?(name = "spinlock") () = { name; held = false; contentions = 0 }
+
+let spin_lock l =
+  if l.held then begin
+    (* On the uniprocessor testbed a contended spin can never clear:
+       spinning would hang the simulation, so it is reported as the bug it
+       is. *)
+    l.contentions <- l.contentions + 1;
+    invalid_arg ("Smp.spin_lock: deadlock on " ^ l.name)
+  end;
+  Cost.charge_cycles 20;
+  l.held <- true
+
+let spin_unlock l =
+  if not l.held then invalid_arg ("Smp.spin_unlock: not held: " ^ l.name);
+  l.held <- false
+
+let spin_trylock l =
+  if l.held then begin
+    l.contentions <- l.contentions + 1;
+    false
+  end
+  else begin
+    Cost.charge_cycles 20;
+    l.held <- true;
+    true
+  end
+
+let spin_contentions l = l.contentions
+
+let with_spinlock l f =
+  spin_lock l;
+  Fun.protect ~finally:(fun () -> spin_unlock l) f
+
+let broadcast t f =
+  for cpu = 1 to t.ncpus - 1 do
+    f cpu
+  done

@@ -1,0 +1,50 @@
+(** Multiprocessor support (the paper's [smp] library).
+
+    On the simulated uniprocessor testbed this supplies the *interfaces*
+    SMP-aware clients program against: logical CPU enumeration, per-CPU
+    data, spin locks with contention accounting, and a broadcast
+    ("IPI") hook.  Lock discipline is fully exercised even though the
+    process level is cooperatively scheduled — the paper's encapsulated
+    components use exactly these locks to become usable in multiprocessor
+    kernels (Section 4.7.4). *)
+
+type t
+
+(** [init machine ~ncpus] — [ncpus] logical CPUs (default 1). *)
+val init : ?ncpus:int -> Machine.t -> t
+
+val num_cpus : t -> int
+
+(** The CPU the caller runs on (always 0 on the simulated testbed — the
+    API matches the real library). *)
+val cpu_number : t -> int
+
+(** {2 Per-CPU data} *)
+
+type 'a percpu
+
+val percpu : t -> init:(int -> 'a) -> 'a percpu
+val get : t -> 'a percpu -> 'a
+val get_for : 'a percpu -> cpu:int -> 'a
+
+(** {2 Spin locks} *)
+
+type spinlock
+
+val spinlock : ?name:string -> unit -> spinlock
+
+(** [spin_lock l] — panics (raises) on self-deadlock, which on a
+    uniprocessor is always a bug. *)
+val spin_lock : spinlock -> unit
+
+val spin_unlock : spinlock -> unit
+val spin_trylock : spinlock -> bool
+val spin_contentions : spinlock -> int
+
+(** [with_spinlock l f] *)
+val with_spinlock : spinlock -> (unit -> 'a) -> 'a
+
+(** {2 Cross-CPU calls} *)
+
+(** [broadcast t f] runs [f cpu] for every other CPU (the IPI analogue). *)
+val broadcast : t -> (int -> unit) -> unit

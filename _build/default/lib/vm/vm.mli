@@ -1,0 +1,85 @@
+(** A small bytecode virtual machine — the reproduction's stand-in for the
+    Kaffe JVM of Section 6.1.4.
+
+    A stack machine with globals, a byte-addressable heap, call/return, and
+    host syscalls bound by the embedding kernel (console, clock, socket
+    send/receive).  What matters for the paper's measurements is faithful:
+    interpretation costs virtual CPU cycles per instruction, heap/host
+    transfers cost an extra copy (the "Java heap" copy), and null-pointer
+    accesses are caught through the kernel trap path using the x86 debug
+    registers (Section 6.2.4) rather than by per-access software checks. *)
+
+type instr =
+  | Push of int
+  | Pop
+  | Dup
+  | Swap
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Eq
+  | Lt
+  | Gt
+  | Not
+  | Load of int  (** push global[n] *)
+  | Store of int  (** pop into global[n] *)
+  | Jmp of int
+  | Jz of int  (** pop; jump when zero *)
+  | Call of int
+  | Ret
+  | Loadb  (** pop addr; push heap byte *)
+  | Storeb  (** pop addr, pop value; store heap byte *)
+  | Sys of int  (** host call, see {!syscalls} *)
+  | Halt
+
+(** Syscall numbers: 0 putc (pop char), 1 print_int (pop), 2 time_ns
+    (push), 3 sock_send (pop len, addr; push sent), 4 sock_recv (pop len,
+    addr; push received), 5 heap_size (push). *)
+val sys_putc : int
+
+val sys_print_int : int
+val sys_time : int
+val sys_send : int
+val sys_recv : int
+val sys_heap_size : int
+
+(** Host bindings; default implementations fail with [Error.Notsup]. *)
+type bindings = {
+  putc : char -> unit;
+  send : bytes -> pos:int -> len:int -> int;
+  recv : bytes -> pos:int -> len:int -> int;
+  time_ns : unit -> int;
+}
+
+val null_bindings : bindings
+
+type t
+
+exception Vm_fault of string
+exception Null_pointer of int (* the faulting address *)
+
+(** [create ?heap_size ?traps ~bindings program] — when [traps] is given,
+    heap page 0 is armed with a debug-register breakpoint and null accesses
+    go through the kernel trap path before surfacing as [Null_pointer]. *)
+val create :
+  ?heap_size:int -> ?globals:int -> ?traps:Trap.table -> bindings:bindings -> instr array -> t
+
+(** [run ?fuel t] executes until [Halt] (returns the top of stack, or 0 if
+    empty).  Raises [Vm_fault] on stack/pc errors and [Null_pointer] on
+    trapped accesses; [fuel] bounds instruction count (default 50M). *)
+val run : ?fuel:int -> t -> int
+
+val heap : t -> bytes
+val instructions_executed : t -> int
+
+(** {2 Bytecode files} (what a "network computer" loads from a boot
+    module) *)
+
+val encode : instr array -> bytes
+val decode : bytes -> (instr array, string) result
+
+(** {2 Assembler} — one instruction per line, [;] comments, [label:]
+    definitions, labels as jump/call targets. *)
+val assemble : string -> (instr array, string) result

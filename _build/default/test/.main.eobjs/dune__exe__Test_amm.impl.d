@@ -1,0 +1,1 @@
+test/test_amm.ml: Alcotest Amm Array List Option QCheck QCheck_alcotest

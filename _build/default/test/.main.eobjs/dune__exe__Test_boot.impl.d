@@ -1,0 +1,1 @@
+test/test_boot.ml: Alcotest Bootmem Bootmod_fs Bytes Char Error Io_if List Lmm Loader Machine Multiboot Physmem Posix Printf QCheck QCheck_alcotest Random String World

@@ -1,0 +1,1 @@
+test/test_chardev.ml: Alcotest Bus Bytes Disk Error Fdev Freebsd_char_drv Freebsd_dev_glue Io_if Linux_glue List Machine Nic Osenv Posix Printf Queue Random Serial String Thread Wire World

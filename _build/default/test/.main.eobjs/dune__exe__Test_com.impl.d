@@ -1,0 +1,1 @@
+test/test_com.ml: Alcotest Bytes Com Error Guid Iid Io_if Lazy List Registry

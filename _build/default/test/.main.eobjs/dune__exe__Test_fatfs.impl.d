@@ -1,0 +1,1 @@
+test/test_fatfs.ml: Alcotest Buffer Bytes Char Digest Diskpart Error Fat_glue Fs_glue Hashtbl Io_if Linux_fatfs List Mem_blkio Option Posix Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Buf Buffer Bytes Char Digest Diskpart Error Ffs Fs_glue Fsread Hashtbl Io_if List Mem_blkio Posix QCheck QCheck_alcotest String

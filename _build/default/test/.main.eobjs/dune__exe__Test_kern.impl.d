@@ -1,0 +1,1 @@
+test/test_kern.ml: Alcotest Buffer Component_lock Gdb_proto Gdb_stub Int32 Kclock Kernel List Lmm Machine Option Page_table Physmem Printf Random Sleep_record String Thread Trap World

@@ -1,0 +1,1 @@
+test/test_libc.ml: Alcotest Buffer Bytes Malloc Minctype Ministdio Minstring Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lmm.ml: Alcotest Bootmem List Lmm Option Physmem Printf QCheck QCheck_alcotest

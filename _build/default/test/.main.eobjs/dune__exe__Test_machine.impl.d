@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Buffer Bytes Char Cost Disk Error List Machine Nic Physmem Serial Timer_dev Wire World

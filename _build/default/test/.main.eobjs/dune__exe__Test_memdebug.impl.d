@@ -1,0 +1,1 @@
+test/test_memdebug.ml: Alcotest List Lmm Malloc Memdebug Option Physmem QCheck QCheck_alcotest

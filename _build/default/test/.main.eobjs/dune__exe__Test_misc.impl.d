@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Bsd_malloc Bus Bytes Char Disk Error Exec Fdev Io_if Linux_glue List Lmm Machine Nic Option Osenv Page_table Physmem Printf Smp String Thread Wire World

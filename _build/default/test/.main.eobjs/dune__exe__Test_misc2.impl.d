@@ -1,0 +1,1 @@
+test/test_misc2.ml: Alcotest Bsd_sleep Bytes Error Fs_glue Kclock Kernel Linux_emu List Machine Mbuf Mem_blkio Posix Sockbuf Thread Timer_dev World

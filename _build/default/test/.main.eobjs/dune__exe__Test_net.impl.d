@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bsd_socket Buffer Bytes Char Clientos Digest Error Fdev Io_if Kclock Linux_inet Oskit Posix

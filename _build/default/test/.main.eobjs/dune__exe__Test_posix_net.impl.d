@@ -1,0 +1,1 @@
+test/test_posix_net.ml: Alcotest Bytes Clientos Error Fdev Io_if Kclock Machine Oskit Posix String

@@ -1,0 +1,1 @@
+test/test_tcp_behavior.ml: Alcotest Bsd_socket Buffer Bytes Char Clientos Digest Error Kclock Linux_inet List Machine Native_if Nic Oskit Printf Sleep_record Tcp Thread Wire World

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Buffer Bytes List Machine Printf QCheck QCheck_alcotest String Trap Vm World

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "oskit"
+    [ "com", Test_com.suite;
+      "machine", Test_machine.suite;
+      "kern", Test_kern.suite;
+      "lmm", Test_lmm.suite;
+      "amm", Test_amm.suite;
+      "libc", Test_libc.suite;
+      "memdebug", Test_memdebug.suite;
+      "boot", Test_boot.suite;
+      "fs", Test_fs.suite;
+      "netparts", Test_netparts.suite;
+      "net", Test_net.suite;
+      "tcp-behavior", Test_tcp_behavior.suite;
+      "misc", Test_misc.suite;
+      "vm", Test_vm.suite;
+      "chardev", Test_chardev.suite;
+      "posix-net", Test_posix_net.suite;
+      "fatfs", Test_fatfs.suite;
+      "misc2", Test_misc2.suite;
+      "advanced", Test_advanced.suite ]

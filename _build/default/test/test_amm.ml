@@ -1,0 +1,129 @@
+(* AMM: interval-map invariants (exhaustive, non-overlapping, coalesced),
+   find/allocate, and a qcheck model test against a naive array of
+   attributes. *)
+
+let test_initial () =
+  let amm = Amm.create ~lo:0 ~hi:1000 ~flags:Amm.free in
+  Alcotest.(check (list (triple int int int))) "one entry" [ 0, 1000, Amm.free ]
+    (Amm.entries amm)
+
+let test_set_and_coalesce () =
+  let amm = Amm.create ~lo:0 ~hi:1000 ~flags:Amm.free in
+  Amm.set amm ~addr:100 ~size:100 ~flags:Amm.allocated;
+  Amm.set amm ~addr:200 ~size:100 ~flags:Amm.allocated;
+  Alcotest.(check (list (triple int int int)))
+    "adjacent equal attributes coalesce"
+    [ 0, 100, Amm.free; 100, 200, Amm.allocated; 300, 700, Amm.free ]
+    (Amm.entries amm);
+  Amm.set amm ~addr:100 ~size:200 ~flags:Amm.free;
+  Alcotest.(check (list (triple int int int))) "back to one" [ 0, 1000, Amm.free ]
+    (Amm.entries amm)
+
+let test_get () =
+  let amm = Amm.create ~lo:10 ~hi:20 ~flags:7 in
+  Alcotest.(check int) "get inside" 7 (Amm.get amm 15);
+  Alcotest.check_raises "get below" (Invalid_argument "Amm.get: out of range") (fun () ->
+      ignore (Amm.get amm 9));
+  Alcotest.check_raises "get at hi" (Invalid_argument "Amm.get: out of range") (fun () ->
+      ignore (Amm.get amm 20))
+
+let test_allocate_deallocate () =
+  let amm = Amm.create ~lo:0 ~hi:4096 ~flags:Amm.free in
+  let a = Option.get (Amm.allocate amm ~size:100 ()) in
+  let b = Option.get (Amm.allocate amm ~size:100 ()) in
+  Alcotest.(check bool) "disjoint" true (b >= a + 100 || a >= b + 100);
+  Amm.deallocate amm ~addr:a ~size:100;
+  let c = Option.get (Amm.allocate amm ~size:50 ()) in
+  Alcotest.(check int) "first fit reuses the hole" a c
+
+let test_allocate_aligned () =
+  let amm = Amm.create ~lo:0 ~hi:65536 ~flags:Amm.free in
+  ignore (Amm.allocate amm ~size:10 ());
+  match Amm.allocate amm ~size:100 ~align_bits:8 () with
+  | Some addr -> Alcotest.(check int) "256-aligned" 0 (addr land 255)
+  | None -> Alcotest.fail "aligned allocate failed"
+
+let test_allocate_full () =
+  let amm = Amm.create ~lo:0 ~hi:100 ~flags:Amm.free in
+  ignore (Amm.allocate amm ~size:100 ());
+  Alcotest.(check bool) "no space left" true (Amm.allocate amm ~size:1 () = None)
+
+let test_find_gen_mask () =
+  let amm = Amm.create ~lo:0 ~hi:1000 ~flags:0b0011 in
+  Amm.set amm ~addr:500 ~size:100 ~flags:0b0111;
+  (* Look for entries with bit 2 set, ignoring other bits. *)
+  match Amm.find_gen amm ~size:50 ~flags:0b0100 ~mask:0b0100 () with
+  | Some addr -> Alcotest.(check int) "found masked range" 500 addr
+  | None -> Alcotest.fail "find_gen failed"
+
+let test_find_gen_spanning_run () =
+  (* A run of multiple entries with different flags that all satisfy the
+     mask must count as one contiguous range. *)
+  let amm = Amm.create ~lo:0 ~hi:300 ~flags:0b01 in
+  Amm.set amm ~addr:100 ~size:100 ~flags:0b11;
+  (* bit0 set everywhere; ask for 250 bytes of bit0. *)
+  match Amm.find_gen amm ~size:250 ~flags:0b01 ~mask:0b01 () with
+  | Some addr -> Alcotest.(check int) "run spans entries" 0 addr
+  | None -> Alcotest.fail "spanning run not found"
+
+let test_modify () =
+  let amm = Amm.create ~lo:0 ~hi:100 ~flags:0 in
+  Amm.modify amm ~addr:25 ~size:50 (fun f -> f lor 8);
+  Alcotest.(check int) "untouched before" 0 (Amm.get amm 10);
+  Alcotest.(check int) "modified middle" 8 (Amm.get amm 50);
+  Alcotest.(check int) "untouched after" 0 (Amm.get amm 80)
+
+let test_bytes_matching () =
+  let amm = Amm.create ~lo:0 ~hi:1000 ~flags:Amm.free in
+  Amm.set amm ~addr:0 ~size:300 ~flags:Amm.allocated;
+  Amm.set amm ~addr:600 ~size:100 ~flags:Amm.reserved;
+  Alcotest.(check int) "allocated" 300 (Amm.bytes_matching amm ~flags:Amm.allocated ~mask:max_int);
+  Alcotest.(check int) "free" 600 (Amm.bytes_matching amm ~flags:Amm.free ~mask:max_int)
+
+(* Model-based property: AMM agrees with a plain attribute array under
+   random set operations, and its entries stay exhaustive, sorted, and
+   coalesced. *)
+let prop_model =
+  QCheck.Test.make ~name:"amm: agrees with naive model; entries well-formed" ~count:200
+    QCheck.(list (triple (int_range 0 255) (int_range 0 256) (int_range 0 3)))
+    (fun ops ->
+      let hi = 256 in
+      let amm = Amm.create ~lo:0 ~hi ~flags:0 in
+      let model = Array.make hi 0 in
+      List.iter
+        (fun (addr, size, flags) ->
+          let size = min size (hi - addr) in
+          if size > 0 then begin
+            Amm.set amm ~addr ~size ~flags;
+            Array.fill model addr size flags
+          end)
+        ops;
+      (* Pointwise agreement. *)
+      let agree = ref true in
+      for i = 0 to hi - 1 do
+        if Amm.get amm i <> model.(i) then agree := false
+      done;
+      (* Well-formedness. *)
+      let entries = Amm.entries amm in
+      let rec well_formed cursor = function
+        | [] -> cursor = hi
+        | (addr, size, _) :: rest -> addr = cursor && size > 0 && well_formed (addr + size) rest
+      in
+      let rec coalesced = function
+        | (_, _, f1) :: ((_, _, f2) :: _ as rest) -> f1 <> f2 && coalesced rest
+        | _ -> true
+      in
+      !agree && well_formed 0 entries && coalesced entries)
+
+let suite =
+  [ Alcotest.test_case "initial entry" `Quick test_initial;
+    Alcotest.test_case "set and coalesce" `Quick test_set_and_coalesce;
+    Alcotest.test_case "get bounds" `Quick test_get;
+    Alcotest.test_case "allocate/deallocate" `Quick test_allocate_deallocate;
+    Alcotest.test_case "allocate aligned" `Quick test_allocate_aligned;
+    Alcotest.test_case "allocate until full" `Quick test_allocate_full;
+    Alcotest.test_case "find_gen with mask" `Quick test_find_gen_mask;
+    Alcotest.test_case "find_gen spanning run" `Quick test_find_gen_spanning_run;
+    Alcotest.test_case "modify" `Quick test_modify;
+    Alcotest.test_case "bytes_matching" `Quick test_bytes_matching;
+    QCheck_alcotest.to_alcotest prop_model ]

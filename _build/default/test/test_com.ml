@@ -1,0 +1,151 @@
+(* COM object model: GUIDs, typed query/narrowing, refcount lifecycle,
+   registry. *)
+
+type greeter = { g_unknown : Com.unknown; greet : unit -> string }
+type counter = { c_unknown : Com.unknown; incr_ : unit -> int }
+
+let greeter_iid : greeter Iid.t = Iid.declare "test.greeter"
+let counter_iid : counter Iid.t = Iid.declare "test.counter"
+
+let make_object ?on_last_release () =
+  let count = ref 0 in
+  let rec greeter_view () = { g_unknown = unknown (); greet = (fun () -> "hello") }
+  and counter_view () =
+    { c_unknown = unknown ();
+      incr_ =
+        (fun () ->
+          incr count;
+          !count) }
+  and obj =
+    lazy
+      (Com.create ?on_last_release (fun _ ->
+           [ Iid.B (greeter_iid, fun () -> greeter_view ());
+             Iid.B (counter_iid, fun () -> counter_view ()) ]))
+  and unknown () = Lazy.force obj in
+  unknown ()
+
+let test_guid_roundtrip () =
+  let g = Guid.make 0x4aa7dfe1l 0x7c74 0x11cf "\xb5\x00\x08\x00\x09\x53\xad\xc2" in
+  Alcotest.(check string) "render" "4aa7dfe1-7c74-11cf-b500-08000953adc2" (Guid.to_string g);
+  Alcotest.(check bool) "equal self" true (Guid.equal g g)
+
+let test_guid_of_name () =
+  let a = Guid.of_name "oskit.blkio" and b = Guid.of_name "oskit.bufio" in
+  Alcotest.(check bool) "distinct names distinct guids" false (Guid.equal a b);
+  Alcotest.(check bool) "deterministic" true (Guid.equal a (Guid.of_name "oskit.blkio"))
+
+let test_guid_validation () =
+  Alcotest.check_raises "short d4" (Invalid_argument "Guid.make: d4 must be 8 bytes")
+    (fun () -> ignore (Guid.make 0l 0 0 "short"))
+
+let test_query_narrowing () =
+  let obj = make_object () in
+  (match Com.query obj greeter_iid with
+  | Ok g -> Alcotest.(check string) "greeter works" "hello" (g.greet ())
+  | Error _ -> Alcotest.fail "query greeter failed");
+  match Com.query obj counter_iid with
+  | Ok c ->
+      Alcotest.(check int) "counter works" 1 (c.incr_ ());
+      Alcotest.(check int) "state shared" 2 (c.incr_ ())
+  | Error _ -> Alcotest.fail "query counter failed"
+
+let test_query_missing () =
+  let obj = make_object () in
+  let other : unit Iid.t = Iid.declare "test.absent" in
+  match Com.query obj other with
+  | Ok _ -> Alcotest.fail "should not implement absent interface"
+  | Error e -> Alcotest.(check bool) "E_NOINTERFACE" true (Error.equal e Error.No_interface)
+
+let test_refcount_lifecycle () =
+  let destroyed = ref false in
+  let obj = make_object ~on_last_release:(fun () -> destroyed := true) () in
+  Alcotest.(check int) "initial count" 1 (Com.refcount obj);
+  (* Each successful query takes a reference. *)
+  ignore (Com.query obj greeter_iid);
+  Alcotest.(check int) "query addrefs" 2 (Com.refcount obj);
+  ignore (obj.Com.release ());
+  ignore (obj.Com.release ());
+  Alcotest.(check bool) "destructor ran" true !destroyed;
+  Alcotest.check_raises "use after free" (Com.Use_after_free "com object") (fun () ->
+      ignore (Com.query obj greeter_iid))
+
+let test_failed_query_no_addref () =
+  let obj = make_object () in
+  let other : unit Iid.t = Iid.declare "test.absent2" in
+  ignore (Com.query obj other);
+  Alcotest.(check int) "failed query does not addref" 1 (Com.refcount obj)
+
+let test_with_ref () =
+  let obj = make_object () in
+  Com.with_ref obj (fun () ->
+      Alcotest.(check int) "held" 2 (Com.refcount obj));
+  Alcotest.(check int) "released" 1 (Com.refcount obj);
+  (try Com.with_ref obj (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "released on exception" 1 (Com.refcount obj)
+
+let test_iid_same_witness () =
+  let a : int Iid.t = Iid.declare "test.int1" in
+  let b : int Iid.t = Iid.declare "test.int2" in
+  Alcotest.(check bool) "same value matches" true (Iid.same_witness a a <> None);
+  Alcotest.(check bool) "distinct iids never match even at same type" true
+    (Iid.same_witness a b = None)
+
+let test_registry () =
+  let reg = Registry.create () in
+  let obj1 = make_object () and obj2 = make_object () in
+  Registry.register reg greeter_iid obj1;
+  Registry.register reg greeter_iid obj2;
+  Alcotest.(check int) "two greeters" 2 (List.length (Registry.lookup reg greeter_iid));
+  Alcotest.(check bool) "most recent first" true
+    (match Registry.lookup_first reg greeter_iid with Some _ -> true | None -> false);
+  Registry.unregister reg greeter_iid obj1;
+  Alcotest.(check int) "one left" 1 (List.length (Registry.lookup reg greeter_iid));
+  Registry.clear reg;
+  Alcotest.(check int) "cleared" 0 (List.length (Registry.lookup reg greeter_iid))
+
+let test_registry_refcounts () =
+  let reg = Registry.create () in
+  let obj = make_object () in
+  Registry.register reg greeter_iid obj;
+  Alcotest.(check int) "registry holds a ref" 2 (Com.refcount obj);
+  Registry.unregister reg greeter_iid obj;
+  Alcotest.(check int) "dropped on unregister" 1 (Com.refcount obj)
+
+let test_error_roundtrip () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        ("errno roundtrip " ^ Error.to_string e)
+        true
+        (Error.equal e (Error.of_errno (Error.errno e))))
+    [ Error.Inval; Error.Noent; Error.Nomem; Error.Connreset; Error.Timedout; Error.Rofs ]
+
+let test_bufio_of_bytes () =
+  let b = Bytes.of_string "hello, world" in
+  let io = Io_if.bufio_of_bytes b in
+  Alcotest.(check int) "size" 12 (io.Io_if.buf_size ());
+  (match io.Io_if.buf_map () with
+  | Some (backing, start) ->
+      Alcotest.(check bool) "map is zero-copy" true (backing == b && start = 0)
+  | None -> Alcotest.fail "map should succeed");
+  let out = Bytes.create 5 in
+  (match io.Io_if.buf_read ~buf:out ~pos:0 ~offset:7 ~amount:5 with
+  | Ok 5 -> Alcotest.(check string) "read window" "world" (Bytes.to_string out)
+  | _ -> Alcotest.fail "read failed");
+  Alcotest.(check string) "contents" "hello, world"
+    (Bytes.to_string (Io_if.bufio_contents io))
+
+let suite =
+  [ Alcotest.test_case "guid roundtrip" `Quick test_guid_roundtrip;
+    Alcotest.test_case "guid of_name" `Quick test_guid_of_name;
+    Alcotest.test_case "guid validation" `Quick test_guid_validation;
+    Alcotest.test_case "query narrowing" `Quick test_query_narrowing;
+    Alcotest.test_case "query missing interface" `Quick test_query_missing;
+    Alcotest.test_case "refcount lifecycle" `Quick test_refcount_lifecycle;
+    Alcotest.test_case "failed query no addref" `Quick test_failed_query_no_addref;
+    Alcotest.test_case "with_ref" `Quick test_with_ref;
+    Alcotest.test_case "iid witnesses" `Quick test_iid_same_witness;
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "registry refcounts" `Quick test_registry_refcounts;
+    Alcotest.test_case "error errno roundtrip" `Quick test_error_roundtrip;
+    Alcotest.test_case "bufio_of_bytes" `Quick test_bufio_of_bytes ]

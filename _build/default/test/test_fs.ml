@@ -1,0 +1,323 @@
+(* The NetBSD-derived file system: buffer cache behaviour, FFS operations
+   through the COM interfaces and the POSIX layer, crash-free remount, a
+   qcheck model test, and fsread/diskpart interop. *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "fs error: %s" (Error.to_string e)
+
+let mem_dev ?(mb = 4) () = Mem_blkio.make ~bytes:(mb * 1024 * 1024) ()
+
+let with_posix_fs f =
+  let dev = mem_dev () in
+  let root = ok (Fs_glue.newfs dev) in
+  let env = Posix.create_env () in
+  Posix.set_root env (Some root);
+  f env root dev
+
+let write_file env path content =
+  let fd = ok (Posix.open_ env path (Posix.o_creat lor Posix.o_rdwr lor Posix.o_trunc)) in
+  let b = Bytes.of_string content in
+  let n = ok (Posix.write env fd b ~pos:0 ~len:(Bytes.length b)) in
+  Alcotest.(check int) ("write " ^ path) (Bytes.length b) n;
+  ok (Posix.close env fd)
+
+let read_file env path =
+  let fd = ok (Posix.open_ env path Posix.o_rdonly) in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec loop () =
+    match ok (Posix.read env fd chunk ~pos:0 ~len:1024) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+  in
+  loop ();
+  ok (Posix.close env fd);
+  Buffer.contents buf
+
+let test_create_read_write () =
+  with_posix_fs (fun env _ _ ->
+      write_file env "/hello.txt" "hello file system";
+      Alcotest.(check string) "read back" "hello file system" (read_file env "/hello.txt"))
+
+let test_directories () =
+  with_posix_fs (fun env _ _ ->
+      ok (Posix.mkdir env "/a");
+      ok (Posix.mkdir env "/a/b");
+      write_file env "/a/b/deep.txt" "nested";
+      Alcotest.(check string) "nested read" "nested" (read_file env "/a/b/deep.txt");
+      Alcotest.(check (list string)) "ls /a" [ "b" ] (ok (Posix.readdir env "/a"));
+      (match Posix.rmdir env "/a" with
+      | Error Error.Notempty -> ()
+      | _ -> Alcotest.fail "rmdir non-empty must fail");
+      ok (Posix.unlink env "/a/b/deep.txt");
+      ok (Posix.rmdir env "/a/b");
+      ok (Posix.rmdir env "/a");
+      Alcotest.(check (list string)) "root empty again" [] (ok (Posix.readdir env "/")))
+
+let test_big_file_indirect () =
+  with_posix_fs (fun env _ _ ->
+      (* 300 KB crosses from direct (48 KB) well into the indirect block. *)
+      let size = 300 * 1024 in
+      let content = String.init size (fun i -> Char.chr ((i * 7) land 0xff)) in
+      write_file env "/big" content;
+      let back = read_file env "/big" in
+      Alcotest.(check int) "size" size (String.length back);
+      Alcotest.(check string) "content hash" (Digest.to_hex (Digest.string content))
+        (Digest.to_hex (Digest.string back)))
+
+let test_double_indirect () =
+  with_posix_fs (fun env _ _ ->
+      (* > 48KB + 4MB would exceed the device; use a sparse write instead:
+         one byte far into the double-indirect range. *)
+      let far = (12 + 1024 + 5) * 4096 + 17 in
+      let fd = ok (Posix.open_ env "/sparse" (Posix.o_creat lor Posix.o_rdwr)) in
+      let _ = ok (Posix.lseek env fd ~offset:far `Set) in
+      let one = Bytes.of_string "Z" in
+      let _ = ok (Posix.write env fd one ~pos:0 ~len:1) in
+      let st = ok (Posix.fstat env fd) in
+      Alcotest.(check int) "sparse size" (far + 1) st.Io_if.st_size;
+      let _ = ok (Posix.lseek env fd ~offset:far `Set) in
+      let buf = Bytes.create 1 in
+      let _ = ok (Posix.read env fd buf ~pos:0 ~len:1) in
+      Alcotest.(check string) "far byte" "Z" (Bytes.to_string buf);
+      (* Holes read as zeros. *)
+      let _ = ok (Posix.lseek env fd ~offset:4096 `Set) in
+      let _ = ok (Posix.read env fd buf ~pos:0 ~len:1) in
+      Alcotest.(check string) "hole reads zero" "\000" (Bytes.to_string buf);
+      ok (Posix.close env fd))
+
+let test_truncate_frees_blocks () =
+  let dev = mem_dev () in
+  let fs = Ffs.newfs dev in
+  let root = Ffs.root fs in
+  let node = Ffs.create_file fs root ~name:"t" in
+  let free0 = Ffs.free_blocks fs in
+  let data = Bytes.make (100 * 1024) 'T' in
+  ignore (Ffs.write fs node ~off:0 ~len:(Bytes.length data) ~src:data ~src_pos:0);
+  Alcotest.(check bool) "blocks consumed" true (Ffs.free_blocks fs < free0);
+  Ffs.truncate fs node 0;
+  Alcotest.(check int) "all blocks back" free0 (Ffs.free_blocks fs);
+  Alcotest.(check int) "size zero" 0 node.Ffs.i_size
+
+let test_unlink_frees () =
+  let dev = mem_dev () in
+  let fs = Ffs.newfs dev in
+  let root = Ffs.root fs in
+  let free0 = Ffs.free_blocks fs in
+  let node = Ffs.create_file fs root ~name:"gone" in
+  let data = Bytes.make 8192 'x' in
+  ignore (Ffs.write fs node ~off:0 ~len:8192 ~src:data ~src_pos:0);
+  Ffs.unlink fs root ~name:"gone";
+  Alcotest.(check int) "space reclaimed" free0 (Ffs.free_blocks fs);
+  Alcotest.(check bool) "name gone" true (Ffs.dir_lookup fs root "gone" = None)
+
+let test_rename () =
+  with_posix_fs (fun env root _ ->
+      write_file env "/old" "payload";
+      ok (Posix.mkdir env "/dir");
+      (* Rename across directories through the COM interface. *)
+      (match ok (Posix.lookup env "/dir") with
+      | Io_if.Node_dir d ->
+          (match root.Io_if.d_rename "old" d "new" with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "rename: %s" (Error.to_string e))
+      | Io_if.Node_file _ -> Alcotest.fail "/dir is a file?");
+      Alcotest.(check string) "content moved" "payload" (read_file env "/dir/new");
+      match Posix.lookup env "/old" with
+      | Error Error.Noent -> ()
+      | _ -> Alcotest.fail "old name must be gone")
+
+let test_persistence_across_remount () =
+  let dev = mem_dev () in
+  (let root = ok (Fs_glue.newfs dev) in
+   let env = Posix.create_env () in
+   Posix.set_root env (Some root);
+   write_file env "/persist" "survives remount";
+   ok (Posix.mkdir env "/d");
+   write_file env "/d/inner" "inner data";
+   ok (Fs_glue.sync_all root));
+  (* Mount the same device afresh: everything must still be there. *)
+  let root2 = ok (Fs_glue.mount dev) in
+  let env2 = Posix.create_env () in
+  Posix.set_root env2 (Some root2);
+  Alcotest.(check string) "file survived" "survives remount" (read_file env2 "/persist");
+  Alcotest.(check string) "nested survived" "inner data" (read_file env2 "/d/inner")
+
+let test_errors () =
+  with_posix_fs (fun env _ _ ->
+      (match Posix.open_ env "/absent" Posix.o_rdonly with
+      | Error Error.Noent -> ()
+      | _ -> Alcotest.fail "ENOENT expected");
+      write_file env "/f" "x";
+      (match Posix.open_ env "/f/child" Posix.o_rdonly with
+      | Error Error.Notdir -> ()
+      | _ -> Alcotest.fail "ENOTDIR expected");
+      (match Posix.mkdir env "/f" with
+      | Error Error.Exist -> ()
+      | _ -> Alcotest.fail "EEXIST expected");
+      (match Posix.unlink env "/nope" with
+      | Error Error.Noent -> ()
+      | _ -> Alcotest.fail "unlink ENOENT expected");
+      let long = String.make 100 'n' in
+      match Posix.open_ env ("/" ^ long) (Posix.o_creat lor Posix.o_rdwr) with
+      | Error Error.Nametoolong -> ()
+      | _ -> Alcotest.fail "ENAMETOOLONG expected")
+
+let test_buffer_cache () =
+  let dev = mem_dev () in
+  let bc = Buf.create ~bsize:4096 ~max_bufs:4 dev in
+  let b0 = Buf.bread bc 0 in
+  Bytes.set b0.Buf.b_data 0 'A';
+  Buf.bdwrite b0;
+  Buf.brelse b0;
+  (* Re-read hits the cache. *)
+  let b0' = Buf.bread bc 0 in
+  Alcotest.(check char) "cache hit sees dirty data" 'A' (Bytes.get b0'.Buf.b_data 0);
+  Buf.brelse b0';
+  let _, _, hits = Buf.stats bc in
+  Alcotest.(check bool) "hit counted" true (hits >= 1);
+  (* Touch enough blocks to force eviction of the dirty one. *)
+  for i = 1 to 8 do
+    Buf.brelse (Buf.bread bc i)
+  done;
+  (* The delayed write must have reached the device. *)
+  let probe = Bytes.create 1 in
+  ignore (dev.Io_if.bio_read ~buf:probe ~pos:0 ~offset:0 ~amount:1);
+  Alcotest.(check string) "dirty block flushed on eviction" "A" (Bytes.to_string probe)
+
+(* Model test: random file operations agree with a Hashtbl-backed model. *)
+let prop_fs_model =
+  QCheck.Test.make ~name:"ffs: random ops agree with model" ~count:30
+    QCheck.(
+      list
+        (triple (int_range 0 3) (int_range 0 5) (string_of_size (QCheck.Gen.int_range 0 300))))
+    (fun ops ->
+      let dev = mem_dev ~mb:2 () in
+      let fs = Ffs.newfs dev in
+      let root = Ffs.root fs in
+      let model : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      let name i = "f" ^ string_of_int i in
+      List.iter
+        (fun (action, idx, payload) ->
+          let nm = name idx in
+          match action with
+          | 0 ->
+              (* create/overwrite *)
+              (try
+                 let node =
+                   match Ffs.dir_lookup fs root nm with
+                   | Some (_, ino) -> Ffs.iget fs ino
+                   | None -> Ffs.create_file fs root ~name:nm
+                 in
+                 Ffs.truncate fs node 0;
+                 ignore
+                   (Ffs.write fs node ~off:0 ~len:(String.length payload)
+                      ~src:(Bytes.of_string payload) ~src_pos:0);
+                 Hashtbl.replace model nm payload
+               with Ffs.Fs_error _ -> ())
+          | 1 ->
+              (* append *)
+              (match Ffs.dir_lookup fs root nm with
+              | Some (_, ino) ->
+                  let node = Ffs.iget fs ino in
+                  if node.Ffs.i_kind = Ffs.K_file then begin
+                    ignore
+                      (Ffs.write fs node ~off:node.Ffs.i_size ~len:(String.length payload)
+                         ~src:(Bytes.of_string payload) ~src_pos:0);
+                    Hashtbl.replace model nm (Hashtbl.find model nm ^ payload)
+                  end
+              | None -> ())
+          | 2 ->
+              (* unlink *)
+              (try
+                 Ffs.unlink fs root ~name:nm;
+                 Hashtbl.remove model nm
+               with Ffs.Fs_error _ -> ())
+          | _ ->
+              (* truncate to half *)
+              (match Ffs.dir_lookup fs root nm with
+              | Some (_, ino) ->
+                  let node = Ffs.iget fs ino in
+                  if node.Ffs.i_kind = Ffs.K_file then begin
+                    let half = node.Ffs.i_size / 2 in
+                    Ffs.truncate fs node half;
+                    (match Hashtbl.find_opt model nm with
+                    | Some s -> Hashtbl.replace model nm (String.sub s 0 half)
+                    | None -> ())
+                  end
+              | None -> ()))
+        ops;
+      (* Verify every model file matches. *)
+      Hashtbl.fold
+        (fun nm expected acc ->
+          acc
+          &&
+          match Ffs.dir_lookup fs root nm with
+          | None -> false
+          | Some (_, ino) ->
+              let node = Ffs.iget fs ino in
+              let got =
+                Bytes.create node.Ffs.i_size |> fun b ->
+                ignore (Ffs.read fs node ~off:0 ~len:node.Ffs.i_size ~dst:b ~dst_pos:0);
+                Bytes.to_string b
+              in
+              String.equal got expected)
+        model true
+      && List.sort compare (Ffs.dir_entries fs root)
+         = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) model []))
+
+(* ---- fsread + diskpart over the same image ---- *)
+
+let test_fsread_sees_ffs () =
+  let dev = mem_dev () in
+  let root = ok (Fs_glue.newfs dev) in
+  let env = Posix.create_env () in
+  Posix.set_root env (Some root);
+  ok (Posix.mkdir env "/boot");
+  write_file env "/boot/kernel" "KERNEL-IMAGE-BYTES";
+  ok (Fs_glue.sync_all root);
+  (* The independent read-only interpreter reads the same device. *)
+  Alcotest.(check string) "fsread reads the file" "KERNEL-IMAGE-BYTES"
+    (Bytes.to_string (ok (Fsread.read_file dev "/boot/kernel")));
+  Alcotest.(check int) "fsread size" 18 (ok (Fsread.file_size dev "/boot/kernel"));
+  Alcotest.(check (list string)) "fsread list" [ "kernel" ] (ok (Fsread.list_dir dev "/boot"))
+
+let test_diskpart_and_fs () =
+  let dev = mem_dev ~mb:8 () in
+  (* Two partitions: 1MB..3MB and 3MB..8MB (in sectors). *)
+  ok (Diskpart.write_label dev [ 0xA5, 2048, 4096; 0x83, 6144, 10240 ]);
+  let parts = ok (Diskpart.read_partitions dev) in
+  Alcotest.(check int) "two partitions" 2 (List.length parts);
+  let p1 = List.nth parts 0 and p2 = List.nth parts 1 in
+  Alcotest.(check int) "types" 0xA5 p1.Diskpart.p_type;
+  Alcotest.(check bool) "active flag" true p1.Diskpart.p_active;
+  (* File system on the second partition; first partition untouched. *)
+  let sub2 = Diskpart.partition_blkio dev p2 in
+  let root = ok (Fs_glue.newfs sub2) in
+  let env = Posix.create_env () in
+  Posix.set_root env (Some root);
+  write_file env "/on-p2" "partitioned";
+  ok (Fs_glue.sync_all root);
+  Alcotest.(check string) "readable via partition view" "partitioned"
+    (Bytes.to_string (ok (Fsread.read_file (Diskpart.partition_blkio dev p2) "/on-p2")));
+  (* The MBR must still be intact (the sub-blkio rebases offsets). *)
+  let parts' = ok (Diskpart.read_partitions dev) in
+  Alcotest.(check int) "label survived" 2 (List.length parts')
+
+let suite =
+  [ Alcotest.test_case "create/read/write" `Quick test_create_read_write;
+    Alcotest.test_case "directories" `Quick test_directories;
+    Alcotest.test_case "big file (indirect)" `Quick test_big_file_indirect;
+    Alcotest.test_case "sparse + double indirect" `Quick test_double_indirect;
+    Alcotest.test_case "truncate frees blocks" `Quick test_truncate_frees_blocks;
+    Alcotest.test_case "unlink frees" `Quick test_unlink_frees;
+    Alcotest.test_case "rename across dirs" `Quick test_rename;
+    Alcotest.test_case "persistence across remount" `Quick test_persistence_across_remount;
+    Alcotest.test_case "error paths" `Quick test_errors;
+    Alcotest.test_case "buffer cache" `Quick test_buffer_cache;
+    QCheck_alcotest.to_alcotest prop_fs_model;
+    Alcotest.test_case "fsread over ffs image" `Quick test_fsread_sees_ffs;
+    Alcotest.test_case "diskpart + fs + fsread" `Quick test_diskpart_and_fs ]

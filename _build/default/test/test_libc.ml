@@ -1,0 +1,171 @@
+(* Minimal C library: the printf override chain, format conformance
+   against OCaml's Printf on common cases, C string semantics, strtol,
+   malloc hooks. *)
+
+let test_override_chain () =
+  Ministdio.reset ();
+  (* Default: everything lands in the capture buffer via putchar. *)
+  Ministdio.printf "a%db" [ Ministdio.Int 1 ];
+  Alcotest.(check string) "default capture" "a1b" (Ministdio.captured ());
+  (* Override only putchar: printf output must follow (the paper's point:
+     console output from just one function). *)
+  let sink = Buffer.create 16 in
+  Ministdio.set_putchar (Buffer.add_char sink);
+  Ministdio.printf "x=%d" [ Ministdio.Int 42 ];
+  Alcotest.(check string) "putchar override feeds printf" "x=42" (Buffer.contents sink);
+  (* Override puts_raw wholesale: putchar no longer sees printf. *)
+  let sink2 = Buffer.create 16 in
+  Ministdio.set_puts_raw (Buffer.add_string sink2);
+  Ministdio.printf "y" [];
+  Alcotest.(check string) "puts_raw override" "y" (Buffer.contents sink2);
+  Alcotest.(check string) "putchar not used anymore" "x=42" (Buffer.contents sink);
+  Ministdio.reset ()
+
+let test_puts_newline () =
+  Ministdio.reset ();
+  Ministdio.puts "hello";
+  Alcotest.(check string) "C puts appends newline" "hello\n" (Ministdio.captured ());
+  Ministdio.reset ()
+
+let check_fmt expected fmt args =
+  Alcotest.(check string) (Printf.sprintf "format %S" fmt) expected
+    (Ministdio.sprintf fmt args)
+
+let test_formats () =
+  let open Ministdio in
+  check_fmt "42" "%d" [ Int 42 ];
+  check_fmt "-42" "%d" [ Int (-42) ];
+  check_fmt "+42" "%+d" [ Int 42 ];
+  check_fmt " 42" "% d" [ Int 42 ];
+  check_fmt "   42" "%5d" [ Int 42 ];
+  check_fmt "42   " "%-5d" [ Int 42 ];
+  check_fmt "00042" "%05d" [ Int 42 ];
+  check_fmt "-0042" "%05d" [ Int (-42) ];
+  check_fmt "002a" "%04x" [ Int 42 ];
+  check_fmt "2A" "%X" [ Int 42 ];
+  check_fmt "0x2a" "%#x" [ Int 42 ];
+  check_fmt "052" "%#o" [ Int 42 ];
+  check_fmt "52" "%o" [ Int 42 ];
+  check_fmt "0" "%d" [ Int 0 ];
+  check_fmt "0" "%x" [ Int 0 ];
+  check_fmt "hello" "%s" [ Str "hello" ];
+  check_fmt "he" "%.2s" [ Str "hello" ];
+  check_fmt "  hello" "%7s" [ Str "hello" ];
+  check_fmt "hello  " "%-7s" [ Str "hello" ];
+  check_fmt "c" "%c" [ Chr 'c' ];
+  check_fmt "100%" "%d%%" [ Int 100 ];
+  check_fmt "007" "%.3d" [ Int 7 ];
+  check_fmt "  007" "%5.3d" [ Int 7 ];
+  check_fmt "ab=12,cd" "ab=%d,%s" [ Int 12; Str "cd" ];
+  check_fmt "0xdeadbeef" "%p" [ Ptr 0xdeadbeef ];
+  (* Width from '*'. *)
+  check_fmt "   42" "%*d" [ Int 5; Int 42 ];
+  (* Length modifiers accepted and ignored. *)
+  check_fmt "9" "%ld" [ Int 9 ];
+  check_fmt "9" "%llu" [ Int 9 ]
+
+let test_unsigned_wrap () =
+  (* 32-bit wraparound semantics for %u/%x, as legacy code expects. *)
+  let open Ministdio in
+  check_fmt "4294967295" "%u" [ Int (-1) ];
+  check_fmt "ffffffff" "%x" [ Int (-1) ]
+
+(* Cross-check a batch of generated cases against OCaml's Printf for the
+   directives both support. *)
+let prop_printf_conformance =
+  QCheck.Test.make ~name:"printf: %d/%x/%s agree with Printf" ~count:300
+    QCheck.(triple int (int_range 0 12) (string_of_size (QCheck.Gen.int_range 0 10)))
+    (fun (n, width, s) ->
+      let mine =
+        Ministdio.sprintf
+          (Printf.sprintf "%%%dd|%%x|%%s" width)
+          [ Ministdio.Int n; Ministdio.Int (abs n land 0xffffffff); Ministdio.Str s ]
+      in
+      let theirs = Printf.sprintf "%*d|%x|%s" width n (abs n land 0xffffffff) s in
+      String.equal mine theirs)
+
+let test_snprintf () =
+  let s, n = Ministdio.snprintf ~size:6 "hello world %d" [ Ministdio.Int 1 ] in
+  Alcotest.(check string) "truncated" "hello" s;
+  Alcotest.(check int) "reports full length" 13 n
+
+let test_cstrings () =
+  let b = Minstring.cstr "hello" in
+  Alcotest.(check int) "strlen" 5 (Minstring.strlen b ~pos:0);
+  Alcotest.(check string) "of_cstr" "hello" (Minstring.of_cstr b ~pos:0);
+  let dst = Bytes.make 32 'Z' in
+  Minstring.strcpy ~dst ~dst_pos:0 ~src:b ~src_pos:0;
+  Alcotest.(check string) "strcpy" "hello" (Minstring.of_cstr dst ~pos:0);
+  Minstring.strcat ~dst ~dst_pos:0 ~src:(Minstring.cstr ", world") ~src_pos:0;
+  Alcotest.(check string) "strcat" "hello, world" (Minstring.of_cstr dst ~pos:0)
+
+let test_strncpy_pads () =
+  let dst = Bytes.make 8 'Z' in
+  Minstring.strncpy ~dst ~dst_pos:0 ~src:(Minstring.cstr "ab") ~src_pos:0 ~n:5;
+  Alcotest.(check string) "copied + NUL padding" "ab\000\000\000ZZZ" (Bytes.to_string dst)
+
+let test_strcmp () =
+  let cmp a b = Minstring.strcmp (Minstring.cstr a) ~pos1:0 (Minstring.cstr b) ~pos2:0 in
+  Alcotest.(check bool) "equal" true (cmp "abc" "abc" = 0);
+  Alcotest.(check bool) "less" true (cmp "abc" "abd" < 0);
+  Alcotest.(check bool) "prefix less" true (cmp "ab" "abc" < 0);
+  let ncmp a b n =
+    Minstring.strncmp (Minstring.cstr a) ~pos1:0 (Minstring.cstr b) ~pos2:0 ~n
+  in
+  Alcotest.(check bool) "strncmp stops at n" true (ncmp "abcX" "abcY" 3 = 0)
+
+let test_strchr_strstr () =
+  let b = Minstring.cstr "hello world" in
+  Alcotest.(check (option int)) "strchr" (Some 4) (Minstring.strchr b ~pos:0 'o');
+  Alcotest.(check (option int)) "strrchr" (Some 7) (Minstring.strrchr b ~pos:0 'o');
+  Alcotest.(check (option int)) "strchr missing" None (Minstring.strchr b ~pos:0 'z');
+  Alcotest.(check (option int)) "strstr" (Some 6) (Minstring.strstr b ~pos:0 "world");
+  Alcotest.(check (option int)) "strstr missing" None (Minstring.strstr b ~pos:0 "xyz")
+
+let test_strtol () =
+  let t s base = fst (Minstring.strtol s ~pos:0 ~base) in
+  Alcotest.(check int) "decimal" 123 (t "123" 10);
+  Alcotest.(check int) "negative" (-45) (t "  -45xyz" 10);
+  Alcotest.(check int) "hex auto" 0xff (t "0xff" 0);
+  Alcotest.(check int) "octal auto" 8 (t "010" 0);
+  Alcotest.(check int) "hex explicit" 0xab (t "ab" 16);
+  let v, stop = Minstring.strtol "12abc" ~pos:0 ~base:10 in
+  Alcotest.(check (pair int int)) "endptr" (12, 2) (v, stop)
+
+let test_malloc_stats () =
+  Malloc.reset_hooks ();
+  Malloc.reset_stats ();
+  let b = Malloc.malloc 100 in
+  Alcotest.(check int) "size" 100 (Bytes.length b);
+  Alcotest.(check char) "poisoned" Malloc.poison (Bytes.get b 50);
+  let z = Malloc.calloc 10 in
+  Alcotest.(check char) "calloc zeroes" '\000' (Bytes.get z 5);
+  Malloc.free b;
+  let r = Malloc.realloc z 20 in
+  Alcotest.(check int) "realloc size" 20 (Bytes.length r);
+  Alcotest.(check char) "realloc preserves" '\000' (Bytes.get r 9);
+  Alcotest.(check bool) "stats counted" true (Malloc.stats.Malloc.allocs >= 3)
+
+let test_ctype () =
+  Alcotest.(check bool) "isdigit" true (Minctype.isdigit '7');
+  Alcotest.(check bool) "isalpha" true (Minctype.isalpha 'q');
+  Alcotest.(check bool) "isspace" true (Minctype.isspace '\t');
+  Alcotest.(check char) "toupper" 'A' (Minctype.toupper 'a');
+  Alcotest.(check char) "tolower" 'z' (Minctype.tolower 'Z');
+  Alcotest.(check (option int)) "digit_value hex" (Some 15) (Minctype.digit_value 'f');
+  Alcotest.(check (option int)) "digit_value none" None (Minctype.digit_value '!')
+
+let suite =
+  [ Alcotest.test_case "printf override chain" `Quick test_override_chain;
+    Alcotest.test_case "puts newline" `Quick test_puts_newline;
+    Alcotest.test_case "format directives" `Quick test_formats;
+    Alcotest.test_case "unsigned 32-bit wrap" `Quick test_unsigned_wrap;
+    QCheck_alcotest.to_alcotest prop_printf_conformance;
+    Alcotest.test_case "snprintf truncation" `Quick test_snprintf;
+    Alcotest.test_case "C strings" `Quick test_cstrings;
+    Alcotest.test_case "strncpy pads" `Quick test_strncpy_pads;
+    Alcotest.test_case "strcmp/strncmp" `Quick test_strcmp;
+    Alcotest.test_case "strchr/strstr" `Quick test_strchr_strstr;
+    Alcotest.test_case "strtol" `Quick test_strtol;
+    Alcotest.test_case "malloc defaults" `Quick test_malloc_stats;
+    Alcotest.test_case "ctype" `Quick test_ctype ]

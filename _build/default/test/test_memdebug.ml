@@ -1,0 +1,126 @@
+(* Memory allocation debugging: guard zones, double free, wild free,
+   leak reports — over simulated RAM + LMM. *)
+
+let make_md () =
+  let ram = Physmem.create ~bytes:(1 lsl 20) in
+  let lmm = Lmm.create () in
+  Lmm.add_region lmm ~min:0 ~size:(1 lsl 20) ~flags:0 ~pri:0;
+  Lmm.add_free lmm ~addr:0 ~size:(1 lsl 20);
+  let md =
+    Memdebug.create ~ram
+      ~alloc:(fun size -> Lmm.alloc lmm ~size ~flags:0)
+      ~free:(fun ~addr ~size -> Lmm.free lmm ~addr ~size)
+  in
+  ram, lmm, md
+
+let test_alloc_free_roundtrip () =
+  let _, lmm, md = make_md () in
+  let before = Lmm.avail lmm ~flags:0 in
+  let addr = Option.get (Memdebug.alloc md ~size:100 ~tag:"t") in
+  Alcotest.(check (option int)) "size tracked" (Some 100) (Memdebug.size_of md addr);
+  Memdebug.free md addr;
+  Alcotest.(check int) "memory fully returned" before (Lmm.avail lmm ~flags:0);
+  Alcotest.(check int) "no live blocks" 0 (List.length (Memdebug.live md))
+
+let test_poison () =
+  let ram, _, md = make_md () in
+  let addr = Option.get (Memdebug.alloc md ~size:16 ~tag:"p") in
+  Alcotest.(check int) "body poisoned" 0xa5 (Physmem.get8 ram addr)
+
+let test_overrun_detected () =
+  let ram, _, md = make_md () in
+  let addr = Option.get (Memdebug.alloc md ~size:32 ~tag:"buf") in
+  (* Scribble one byte past the end. *)
+  Physmem.set8 ram (addr + 32) 0x00;
+  (match Memdebug.check md with
+  | [ Memdebug.Overrun { addr = a; tag } ] ->
+      Alcotest.(check int) "right block" addr a;
+      Alcotest.(check string) "right tag" "buf" tag
+  | other -> Alcotest.failf "expected one overrun, got %d faults" (List.length other));
+  Alcotest.(check bool) "free raises on corruption" true
+    (try
+       Memdebug.free md addr;
+       false
+     with Memdebug.Fault (Memdebug.Overrun _) -> true)
+
+let test_underrun_detected () =
+  let ram, _, md = make_md () in
+  let addr = Option.get (Memdebug.alloc md ~size:32 ~tag:"u") in
+  Physmem.set8 ram (addr - 1) 0x00;
+  match Memdebug.check md with
+  | [ Memdebug.Underrun _ ] -> ()
+  | faults -> Alcotest.failf "expected underrun, got %d faults" (List.length faults)
+
+let test_double_free () =
+  let _, _, md = make_md () in
+  let addr = Option.get (Memdebug.alloc md ~size:64 ~tag:"d") in
+  Memdebug.free md addr;
+  Alcotest.(check bool) "double free" true
+    (try
+       Memdebug.free md addr;
+       false
+     with Memdebug.Fault (Memdebug.Double_free _) -> true)
+
+let test_wild_free () =
+  let _, _, md = make_md () in
+  Alcotest.(check bool) "wild free" true
+    (try
+       Memdebug.free md 0x8000;
+       false
+     with Memdebug.Fault (Memdebug.Wild_free _) -> true)
+
+let test_leak_report () =
+  let _, _, md = make_md () in
+  let a = Option.get (Memdebug.alloc md ~size:10 ~tag:"first") in
+  let _b = Option.get (Memdebug.alloc md ~size:20 ~tag:"second") in
+  Memdebug.free md a;
+  (match Memdebug.live md with
+  | [ (_, 20, "second") ] -> ()
+  | l -> Alcotest.failf "unexpected leak report (%d entries)" (List.length l));
+  Alcotest.(check int) "live bytes" 20 (Memdebug.live_bytes md)
+
+let test_malloc_hooks () =
+  let tracker = Memdebug.install_malloc_hooks () in
+  let b = Malloc.malloc 40 in
+  Alcotest.(check int) "tracked" 1 (Memdebug.malloc_live_blocks tracker);
+  Malloc.free b;
+  Alcotest.(check int) "untracked" 0 (Memdebug.malloc_live_blocks tracker);
+  Alcotest.(check bool) "double free raises" true
+    (try
+       Malloc.free b;
+       false
+     with Memdebug.Fault _ -> true);
+  Memdebug.remove_malloc_hooks tracker
+
+(* Random alloc/free sequences never corrupt each other's guards. *)
+let prop_guards_hold =
+  QCheck.Test.make ~name:"memdebug: disjoint blocks keep guards intact" ~count:50
+    QCheck.(list (int_range 1 500))
+    (fun sizes ->
+      let ram, _, md = make_md () in
+      let blocks =
+        List.filter_map (fun size -> Memdebug.alloc md ~size ~tag:"q") sizes
+      in
+      (* Write every byte of every block. *)
+      List.iteri
+        (fun i addr ->
+          let size = Option.get (Memdebug.size_of md addr) in
+          Physmem.fill ram ~addr ~len:size (i land 0xff))
+        blocks;
+      Memdebug.check md = []
+      && List.for_all
+           (fun addr ->
+             Memdebug.free md addr;
+             true)
+           blocks)
+
+let suite =
+  [ Alcotest.test_case "alloc/free roundtrip" `Quick test_alloc_free_roundtrip;
+    Alcotest.test_case "poison fill" `Quick test_poison;
+    Alcotest.test_case "overrun detected" `Quick test_overrun_detected;
+    Alcotest.test_case "underrun detected" `Quick test_underrun_detected;
+    Alcotest.test_case "double free" `Quick test_double_free;
+    Alcotest.test_case "wild free" `Quick test_wild_free;
+    Alcotest.test_case "leak report" `Quick test_leak_report;
+    Alcotest.test_case "malloc hook layer" `Quick test_malloc_hooks;
+    QCheck_alcotest.to_alcotest prop_guards_hold ]

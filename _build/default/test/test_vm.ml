@@ -1,0 +1,204 @@
+(* The bytecode VM: assembler, arithmetic/control flow, bytecode file
+   roundtrip, host syscalls, null-pointer trapping via debug registers. *)
+
+let assemble_ok src =
+  match Vm.assemble src with
+  | Ok code -> code
+  | Error msg -> Alcotest.failf "assembler: %s" msg
+
+let run_result ?traps src =
+  let code = assemble_ok src in
+  let vm = Vm.create ?traps ~bindings:Vm.null_bindings code in
+  Vm.run vm
+
+let test_arith () =
+  Alcotest.(check int) "arith" 42
+    (run_result "push 6\npush 7\nmul\nhalt");
+  Alcotest.(check int) "sub order" 3 (run_result "push 10\npush 7\nsub\nhalt");
+  Alcotest.(check int) "div" 5 (run_result "push 17\npush 3\ndiv\nhalt");
+  Alcotest.(check int) "rem" 2 (run_result "push 17\npush 3\nrem\nhalt");
+  Alcotest.(check int) "cmp" 1 (run_result "push 3\npush 4\nlt\nhalt")
+
+let test_control_flow () =
+  (* Sum 1..10 with a loop. *)
+  let src =
+    {|
+; sum 1..10 into global 0, counter in global 1
+push 0
+store 0
+push 10
+store 1
+loop:
+load 1
+jz done
+load 0
+load 1
+add
+store 0
+load 1
+push 1
+sub
+store 1
+jmp loop
+done:
+load 0
+halt
+|}
+  in
+  Alcotest.(check int) "loop sum" 55 (run_result src)
+
+let test_call_ret () =
+  let src =
+    {|
+push 5
+call double
+push 100
+add
+halt
+double:
+push 2
+mul
+ret
+|}
+  in
+  Alcotest.(check int) "call/ret" 110 (run_result src)
+
+let test_heap_and_faults () =
+  (* Use addresses above the guarded null page. *)
+  Alcotest.(check int) "heap store/load" 77
+    (run_result "push 77\npush 5000\nstoreb\npush 5000\nloadb\nhalt");
+  Alcotest.(check bool) "stack underflow" true
+    (try
+       ignore (run_result "pop\nhalt");
+       false
+     with Vm.Vm_fault _ -> true);
+  Alcotest.(check bool) "div by zero" true
+    (try
+       ignore (run_result "push 1\npush 0\ndiv\nhalt");
+       false
+     with Vm.Vm_fault _ -> true);
+  Alcotest.(check bool) "runaway fuel" true
+    (try
+       let code = assemble_ok "spin:\njmp spin" in
+       ignore (Vm.run ~fuel:1000 (Vm.create ~bindings:Vm.null_bindings code));
+       false
+     with Vm.Vm_fault _ -> true)
+
+let test_null_pointer_via_trap () =
+  (* Section 6.2.4: the guarded null page fires the debug-register trap
+     path; the kernel handler observes it, then the VM raises. *)
+  let w = World.create () in
+  let m = Machine.create ~name:"vm-pc" w in
+  let traps = Trap.create m in
+  let seen = ref None in
+  Trap.set_handler traps Trap.T_debug (fun f ->
+      seen := Some f.Trap.cr2;
+      `Handled);
+  let code = assemble_ok "push 16\nloadb\nhalt" in
+  let vm = Vm.create ~traps ~bindings:Vm.null_bindings code in
+  (match Machine.run_in m (fun () -> Vm.run vm) with
+  | exception Vm.Null_pointer addr -> Alcotest.(check int) "faulting addr" 16 addr
+  | _ -> Alcotest.fail "null access must raise");
+  Alcotest.(check (option int32)) "kernel handler saw the trap" (Some 16l) !seen
+
+let test_syscalls () =
+  let out = Buffer.create 16 in
+  let sent = Buffer.create 16 in
+  let bindings =
+    { Vm.putc = Buffer.add_char out;
+      send =
+        (fun b ~pos ~len ->
+          Buffer.add_subbytes sent b pos len;
+          len);
+      recv =
+        (fun b ~pos ~len ->
+          let msg = "input" in
+          let n = min len (String.length msg) in
+          Bytes.blit_string msg 0 b pos n;
+          n);
+      time_ns = (fun () -> 12345) }
+  in
+  let src =
+    {|
+; print 'H', read 5 bytes to 4096, send them back, push time
+push 72
+sys 0
+push 4096
+push 5
+sys 4
+pop
+push 4096
+push 5
+sys 3
+pop
+sys 2
+halt
+|}
+  in
+  let code = assemble_ok src in
+  let vm = Vm.create ~bindings code in
+  let result = Vm.run vm in
+  Alcotest.(check string) "putc" "H" (Buffer.contents out);
+  Alcotest.(check string) "recv->send loop" "input" (Buffer.contents sent);
+  Alcotest.(check int) "time syscall" 12345 result
+
+let test_bytecode_roundtrip () =
+  let code = assemble_ok "push 1\npush 2\nadd\nhalt" in
+  let encoded = Vm.encode code in
+  (match Vm.decode encoded with
+  | Ok decoded ->
+      Alcotest.(check int) "same length" (Array.length code) (Array.length decoded);
+      let vm = Vm.create ~bindings:Vm.null_bindings decoded in
+      Alcotest.(check int) "decoded program runs" 3 (Vm.run vm)
+  | Error e -> Alcotest.failf "decode: %s" e);
+  (match Vm.decode (Bytes.of_string "garbage!") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad magic accepted")
+
+let test_assembler_errors () =
+  (match Vm.assemble "push" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing operand accepted");
+  match Vm.assemble "jmp nowhere" with
+  | Error msg -> Alcotest.(check bool) "mentions label" true
+                   (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "unknown label accepted"
+
+(* Random arithmetic expressions: VM agrees with direct evaluation. *)
+let prop_arith =
+  QCheck.Test.make ~name:"vm: random rpn arithmetic agrees with evaluation" ~count:200
+    QCheck.(pair (int_range (-1000) 1000) (small_list (pair (int_range 0 2) (int_range 1 100))))
+    (fun (seed, ops) ->
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf (Printf.sprintf "push %d\n" seed);
+      let expected =
+        List.fold_left
+          (fun acc (op, v) ->
+            Buffer.add_string buf (Printf.sprintf "push %d\n" v);
+            match op with
+            | 0 ->
+                Buffer.add_string buf "add\n";
+                acc + v
+            | 1 ->
+                Buffer.add_string buf "sub\n";
+                acc - v
+            | _ ->
+                Buffer.add_string buf "mul\n";
+                acc * v)
+          seed ops
+      in
+      Buffer.add_string buf "halt\n";
+      match Vm.assemble (Buffer.contents buf) with
+      | Ok code -> Vm.run (Vm.create ~bindings:Vm.null_bindings code) = expected
+      | Error _ -> false)
+
+let suite =
+  [ Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "call/ret" `Quick test_call_ret;
+    Alcotest.test_case "heap + faults" `Quick test_heap_and_faults;
+    Alcotest.test_case "null pointer via debug trap" `Quick test_null_pointer_via_trap;
+    Alcotest.test_case "syscalls" `Quick test_syscalls;
+    Alcotest.test_case "bytecode roundtrip" `Quick test_bytecode_roundtrip;
+    Alcotest.test_case "assembler errors" `Quick test_assembler_errors;
+    QCheck_alcotest.to_alcotest prop_arith ]
