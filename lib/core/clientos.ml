@@ -90,6 +90,10 @@ let run testbed ~until = World.run testbed.world ~until
 
 let reset_globals () =
   Linux_glue.reset ();
+  (* Warm buffer pools would make a repeated simulation cheaper than its
+     first run; every run starts cold. *)
+  Mbuf.pool_reset ();
+  Skbuff.pool_reset ();
   (* Counters only: the cost *configuration* belongs to the experiment
      (ablations sweep it around individual runs). *)
   Cost.reset_counters ()

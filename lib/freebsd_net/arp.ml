@@ -54,7 +54,8 @@ let arp_request t ip =
     ~dst_mac:Netif.ether_broadcast
 
 let arp_input t m =
-  if Mbuf.m_length m >= arp_len then begin
+  if Mbuf.m_length m < arp_len then Mbuf.m_freem m
+  else begin
     let m = Mbuf.m_pullup m arp_len in
     let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
     let op = Bytes.get_uint16_be d (o + 6) in
@@ -70,7 +71,8 @@ let arp_input t m =
     if op = op_request && Int32.equal target_ip t.ifp.Netif.if_addr then begin
       t.replies_sent <- t.replies_sent + 1;
       send_arp t ~op:op_reply ~target_mac:sender_mac ~target_ip:sender_ip ~dst_mac:sender_mac
-    end
+    end;
+    Mbuf.m_freem m
   end
 
 let attach ifp =

@@ -23,7 +23,12 @@ let bufio_of_mbuf m =
       buf_write =
         (fun ~buf ~pos ~offset ~amount ->
           let n = max 0 (min amount (size () - offset)) in
-          if n > 0 then Mbuf.m_write m ~off:offset ~src:buf ~src_pos:pos ~len:n;
+          if n > 0 then begin
+            (* m_write refuses shared (ext) storage; un-share the touched
+               range copy-on-write first. *)
+            Mbuf.m_makewritable m ~off:offset ~len:n;
+            Mbuf.m_write m ~off:offset ~src:buf ~src_pos:pos ~len:n
+          end;
           Ok n);
       buf_map =
         (fun () ->
@@ -85,8 +90,12 @@ let open_ether_if stack (ed : Io_if.etherdev) =
   | Result.Error _ as e -> e
   | Ok xmit ->
       ifp.Netif.if_xmit <-
-        (* The crossing is charged by the driver's xmit netio. *)
-        (fun m -> ignore (xmit.Io_if.push (bufio_of_mbuf m)));
+        (* The crossing is charged by the driver's xmit netio.  The push is
+           synchronous: once it returns the frame is on the wire (or
+           dropped) and the chain can be retired. *)
+        (fun m ->
+          ignore (xmit.Io_if.push (bufio_of_mbuf m));
+          Mbuf.m_freem m);
       Ok ()
 
 (* ---- COM socket export ---- *)

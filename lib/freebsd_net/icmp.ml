@@ -31,10 +31,11 @@ let send_echo t ~dst ~ident ~seq ~payload =
   Ip.output t.ip ~proto:Ip.proto_icmp ~src:t.ip.Ip.ifp.Netif.if_addr ~dst m
 
 let input t ~src ~dst:_ m =
-  if Mbuf.m_length m >= 8 then begin
-    if In_cksum.cksum_chain m ~off:0 ~len:(Mbuf.m_length m) <> 0 then ()
-    else begin
-      let m = Mbuf.m_pullup m 8 in
+  (* Consumes m: payloads are copied out, replies are fresh chains. *)
+  if Mbuf.m_length m < 8 then Mbuf.m_freem m
+  else if In_cksum.cksum_chain m ~off:0 ~len:(Mbuf.m_length m) <> 0 then Mbuf.m_freem m
+  else begin
+    let m = Mbuf.m_pullup m 8 in
       let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
       let typ = Char.code (Bytes.get d o) in
       let ident = Bytes.get_uint16_be d (o + 4) in
@@ -53,8 +54,8 @@ let input t ~src ~dst:_ m =
           if payload_len > 0 then Mbuf.m_copydata m ~off:8 ~len:payload_len else Bytes.empty
         in
         t.on_echo_reply ~ident ~seq ~payload
-      end
-    end
+      end;
+      Mbuf.m_freem m
   end
 
 let attach ip =

@@ -65,7 +65,10 @@ let emit t m ~proto ~src ~dst ~ttl ~id ~frag_off ~more_frags =
   if Netif.same_subnet t.ifp dst then
     Arp.resolve t.arp dst (fun mac ->
         Netif.ether_output t.ifp m ~dst_mac:mac ~ethertype:Netif.ethertype_ip)
-  else Error.fail Error.Hostunreach
+  else begin
+    Mbuf.m_freem m;
+    Error.fail Error.Hostunreach
+  end
 
 let rec output t ~proto ~src ~dst ?(ttl = default_ttl) m =
   if Int32.equal dst t.ifp.Netif.if_addr then begin
@@ -74,7 +77,7 @@ let rec output t ~proto ~src ~dst ?(ttl = default_ttl) m =
     | Some input ->
         t.ipackets <- t.ipackets + 1;
         input ~src ~dst m
-    | None -> ()
+    | None -> Mbuf.m_freem m
   end
   else begin
     let id = t.ip_id in
@@ -96,12 +99,16 @@ let rec output t ~proto ~src ~dst ?(ttl = default_ttl) m =
           pieces (off + n)
         end
       in
-      pieces 0
+      pieces 0;
+      (* The pieces share the original's cluster storage; dropping the
+         original just decrements those references. *)
+      Mbuf.m_freem m
     end
   end
 
 and input t m =
-  if Mbuf.m_length m >= ip_hlen then begin
+  if Mbuf.m_length m < ip_hlen then Mbuf.m_freem m
+  else begin
     let m = Mbuf.m_pullup m ip_hlen in
     let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
     let ihl = (Char.code (Bytes.get d o) land 0xf) * 4 in
@@ -110,8 +117,12 @@ and input t m =
     let fword = Bytes.get_uint16_be d (o + 6) in
     let proto = Char.code (Bytes.get d (o + 9)) in
     let src = get32 d (o + 12) and dst = get32 d (o + 16) in
-    if In_cksum.cksum_bytes d ~off:o ~len:ihl <> 0 then t.badsum <- t.badsum + 1
-    else if not (Int32.equal dst t.ifp.Netif.if_addr) then () (* not ours: drop *)
+    if In_cksum.cksum_bytes d ~off:o ~len:ihl <> 0 then begin
+      t.badsum <- t.badsum + 1;
+      Mbuf.m_freem m
+    end
+    else if not (Int32.equal dst t.ifp.Netif.if_addr) then
+      Mbuf.m_freem m (* not ours: drop *)
     else begin
       t.ipackets <- t.ipackets + 1;
       (* Trim link-layer padding beyond the IP total length. *)
@@ -126,11 +137,15 @@ and input t m =
   end
 
 and deliver t ~proto ~src ~dst m =
-  match List.assoc_opt proto t.protos with Some input -> input ~src ~dst m | None -> ()
+  match List.assoc_opt proto t.protos with
+  | Some input -> input ~src ~dst m
+  | None -> Mbuf.m_freem m
 
 and reass_insert t ~key ~frag_off ~more m =
   let now = Machine.now t.machine in
-  t.reass <- List.filter (fun q -> q.expires > now) t.reass;
+  let live, expired = List.partition (fun q -> q.expires > now) t.reass in
+  List.iter (fun q -> List.iter (fun f -> Mbuf.m_freem f.frag_data) q.frags) expired;
+  t.reass <- live;
   let q =
     match List.find_opt (fun q -> q.key = key) t.reass with
     | Some q -> q
@@ -167,6 +182,7 @@ and reass_insert t ~key ~frag_off ~more m =
           let len = min (Mbuf.m_length f.frag_data) (total - f.frag_off) in
           Mbuf.m_copy_into f.frag_data ~off:0 ~len ~dst:buf ~dst_pos:f.frag_off)
         sorted;
+      List.iter (fun f -> Mbuf.m_freem f.frag_data) sorted;
       let whole = Mbuf.m_ext_wrap buf ~off:0 ~len:total in
       let src, dst, _, proto = key in
       deliver t ~proto ~src ~dst whole

@@ -8,13 +8,26 @@
  *
  * External storage is reference-shared by m_copym, as in the donor: a
  * retransmitted TCP segment aliases the socket buffer's clusters rather
- * than copying them.
+ * than copying them.  Because the storage is shared, it is never written
+ * through an mbuf: m_write refuses ext mbufs, and the one path that needs
+ * to mutate a chain in place (the glue's bufio buf_write) goes through
+ * m_makewritable first, which un-shares the storage copy-on-write.
+ *
+ * Storage is pooled (the donor's mbuf free list / MCLALLOC cache): m_get,
+ * m_gethdr and m_getclust recycle retired buffers from fixed-size Bpools
+ * instead of paying a fresh allocation per packet, and m_free/m_freem
+ * return storage to the pools once the last reference drops.  Loaned
+ * (m_ext_wrap) storage is foreign and is never recycled here.
  *)
 
 let msize = 128 (* donor MSIZE *)
 let mlen = msize - 20 (* data bytes in an ordinary mbuf *)
 let mhlen = msize - 28 (* data bytes in a packet-header mbuf *)
 let mclbytes = 2048 (* cluster size *)
+
+(* Where an mbuf's backing storage came from, so m_free knows whether (and
+   where) to recycle it. *)
+type storage = Pool_small | Pool_clust | Foreign
 
 type mbuf = {
   mutable m_next : mbuf option;
@@ -23,15 +36,24 @@ type mbuf = {
   mutable m_len : int;
   mutable m_ext : bool; (* external (cluster or loaned) storage: shared, never written *)
   mutable m_pkthdr_len : int; (* total packet length; head mbuf only *)
+  mutable m_store : storage;
+  mutable m_refs : int ref; (* shared by every mbuf aliasing this storage *)
+  mutable m_freed : bool;
 }
 
 let stats_allocated = ref 0
+let stats_freed = ref 0
+
+(* The donor's mbuf free list and cluster cache: retired storage is reused
+   instead of allocated per packet. *)
+let small_pool = Bpool.create ~size:msize ()
+let clust_pool = Bpool.create ~size:mclbytes ()
 
 let m_get () =
-  Cost.charge_alloc ();
   incr stats_allocated;
-  { m_next = None; m_data = Bytes.create msize; m_off = msize - mlen; m_len = 0;
-    m_ext = false; m_pkthdr_len = 0 }
+  { m_next = None; m_data = Bpool.get small_pool; m_off = msize - mlen; m_len = 0;
+    m_ext = false; m_pkthdr_len = 0; m_store = Pool_small; m_refs = ref 1;
+    m_freed = false }
 
 let m_gethdr () =
   let m = m_get () in
@@ -39,18 +61,41 @@ let m_gethdr () =
   m
 
 let m_getclust () =
-  Cost.charge_alloc ();
-  Cost.charge_alloc ();
+  (* Two acquisitions, as in the donor's MGET + MCLGET: the mbuf header
+     (always a freelist hit here) and the cluster (charged by the pool). *)
+  Cost.charge_pool_alloc ();
   incr stats_allocated;
-  { m_next = None; m_data = Bytes.create mclbytes; m_off = 0; m_len = 0; m_ext = true;
-    m_pkthdr_len = 0 }
+  { m_next = None; m_data = Bpool.get clust_pool; m_off = 0; m_len = 0; m_ext = true;
+    m_pkthdr_len = 0; m_store = Pool_clust; m_refs = ref 1; m_freed = false }
 
 (* MEXTADD: loan foreign storage to the chain with no copy — how received
-   frames that arrive contiguous are mapped straight into the stack. *)
+   frames that arrive contiguous are mapped straight into the stack.  The
+   loaned bytes are never recycled by this module. *)
 let m_ext_wrap buf ~off ~len =
-  Cost.charge_alloc ();
+  Cost.charge_pool_alloc ();
   incr stats_allocated;
-  { m_next = None; m_data = buf; m_off = off; m_len = len; m_ext = true; m_pkthdr_len = len }
+  { m_next = None; m_data = buf; m_off = off; m_len = len; m_ext = true;
+    m_pkthdr_len = len; m_store = Foreign; m_refs = ref 1; m_freed = false }
+
+(* MFREE: retire one mbuf.  Its storage goes back to the owning pool when
+   the last alias drops; the record itself is dead afterwards. *)
+let m_free m =
+  if m.m_freed then invalid_arg "m_free: double free";
+  m.m_freed <- true;
+  incr stats_freed;
+  let r = m.m_refs in
+  decr r;
+  if !r = 0 then
+    match m.m_store with
+    | Pool_small -> Bpool.put small_pool m.m_data
+    | Pool_clust -> Bpool.put clust_pool m.m_data
+    | Foreign -> ()
+
+let rec m_freem m =
+  let next = m.m_next in
+  m.m_next <- None;
+  m_free m;
+  match next with Some n -> m_freem n | None -> ()
 
 let m_length m =
   let rec go acc = function None -> acc | Some x -> go (acc + x.m_len) x.m_next in
@@ -87,8 +132,10 @@ let m_prepend m n =
     m
   end
   else begin
-    let hdr = m_gethdr () in
+    (* Validate before allocating, or the failure path skews the cost
+       accounting and the allocation counters. *)
     if n > mhlen then invalid_arg "m_prepend: header larger than MHLEN";
+    let hdr = m_gethdr () in
     hdr.m_len <- n;
     hdr.m_next <- Some m;
     hdr.m_pkthdr_len <- n + m_length m;
@@ -120,7 +167,11 @@ let m_adj m n =
       let keep = min m.m_len remaining in
       m.m_len <- keep;
       let remaining = remaining - keep in
-      if remaining = 0 then m.m_next <- None
+      if remaining = 0 then begin
+        (* The detached tail is dead: retire it. *)
+        (match m.m_next with Some tail -> m_freem tail | None -> ());
+        m.m_next <- None
+      end
       else match m.m_next with Some nx -> back nx remaining | None -> ()
     in
     back m (max 0 want);
@@ -151,7 +202,51 @@ let m_copydata m ~off ~len =
   m_copy_into m ~off ~len ~dst ~dst_pos:0;
   dst
 
-(* m_copyback-style write into a chain (must fit). *)
+(* Copy-on-write: give every mbuf overlapping [off, off+len) private,
+   writable storage.  Shared cluster or loaned storage is replaced by an
+   exact-size private copy (the old storage's reference drops; pooled
+   storage recycles once the last alias is gone). *)
+let m_makewritable m ~off ~len =
+  let unshare x =
+    if x.m_ext then begin
+      Cost.charge_alloc ();
+      Cost.charge_copy x.m_len;
+      let priv = Bytes.create x.m_len in
+      Bytes.blit x.m_data x.m_off priv 0 x.m_len;
+      let r = x.m_refs in
+      decr r;
+      if !r = 0 then
+        (match x.m_store with
+        | Pool_small -> Bpool.put small_pool x.m_data
+        | Pool_clust -> Bpool.put clust_pool x.m_data
+        | Foreign -> ());
+      x.m_data <- priv;
+      x.m_off <- 0;
+      x.m_ext <- false;
+      x.m_store <- Foreign;
+      x.m_refs <- ref 1
+    end
+  in
+  let rec go m off len =
+    if len > 0 then
+      if off >= m.m_len then
+        match m.m_next with
+        | Some nx -> go nx (off - m.m_len) len
+        | None -> invalid_arg "m_makewritable: chain too short"
+      else begin
+        let n = min len (m.m_len - off) in
+        unshare m;
+        match m.m_next with
+        | Some nx -> go nx 0 (len - n)
+        | None -> if len - n > 0 then invalid_arg "m_makewritable: chain too short"
+      end
+  in
+  go m off len
+
+(* m_copyback-style write into a chain (must fit).  Refuses external
+   storage: it is shared (m_copym aliases, loaned receive buffers) and a
+   write here would corrupt data held elsewhere — callers that must mutate
+   go through m_makewritable first. *)
 let m_write m ~off ~src ~src_pos ~len =
   if len > 0 then Cost.charge_copy len;
   let rec go m off len src_pos =
@@ -161,6 +256,7 @@ let m_write m ~off ~src ~src_pos ~len =
         | Some nx -> go nx (off - m.m_len) len src_pos
         | None -> invalid_arg "m_write: chain too short"
       else begin
+        if m.m_ext then invalid_arg "m_write: external storage is shared";
         let n = min len (m.m_len - off) in
         Bytes.blit src src_pos m.m_data (m.m_off + off) n;
         match m.m_next with
@@ -194,11 +290,13 @@ let m_copym m ~off ~len =
   in
   let piece_of (src, off, n) =
     if src.m_ext then begin
-      (* Share the external storage: no data copy. *)
-      Cost.charge_alloc ();
+      (* Share the external storage: no data copy, one more reference. *)
+      Cost.charge_pool_alloc ();
       incr stats_allocated;
+      incr src.m_refs;
       { m_next = None; m_data = src.m_data; m_off = src.m_off + off; m_len = n;
-        m_ext = true; m_pkthdr_len = 0 }
+        m_ext = true; m_pkthdr_len = 0; m_store = src.m_store; m_refs = src.m_refs;
+        m_freed = false }
     end
     else begin
       let c = m_get () in
@@ -232,7 +330,7 @@ let m_pullup m n =
     head.m_pkthdr_len <- m_length m;
     (* Skip the pulled-up bytes in the old chain. *)
     m_adj m n;
-    head.m_next <- (if m_length m > 0 then Some m else None);
+    if m_length m > 0 then head.m_next <- Some m else m_freem m;
     head
   end
 
@@ -266,6 +364,17 @@ let m_append m ~src ~src_pos ~len =
 let m_count m =
   let rec go acc = function None -> acc | Some x -> go (acc + 1) x.m_next in
   go 1 m.m_next
+
+(* Drop every cached buffer and zero the counters: independent simulations
+   in one process must all start from a cold cache or virtual times drift
+   between otherwise identical runs. *)
+let pool_reset () =
+  Bpool.drain small_pool;
+  Bpool.drain clust_pool;
+  Bpool.reset_stats small_pool;
+  Bpool.reset_stats clust_pool;
+  stats_allocated := 0;
+  stats_freed := 0
 
 (* Flatten a chain to plain bytes WITHOUT charging (diagnostic use only). *)
 let m_to_bytes_uncharged m =

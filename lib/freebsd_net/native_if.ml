@@ -17,7 +17,11 @@ let attach stack nic =
          below is bookkeeping for the simulated medium, costed inside
          [Nic.transmit] at DMA rate. *)
       let frame = Mbuf.m_to_bytes_uncharged m in
-      Nic.transmit nic frame);
+      Nic.transmit nic frame;
+      (* The controller is done with the fragments; retire the chain
+         (cluster storage shared with the socket buffer just drops a
+         reference). *)
+      Mbuf.m_freem m);
   let rx_handler () =
     let rec drain () =
       match Nic.pop_rx nic with

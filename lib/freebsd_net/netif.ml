@@ -48,9 +48,11 @@ let ether_output ifp m ~dst_mac ~ethertype =
   ifp.if_opackets <- ifp.if_opackets + 1;
   ifp.if_xmit m
 
-(* ether_input: m is the full frame. *)
+(* ether_input: m is the full frame.  Consumes the chain: protocol inputs
+   take ownership, drops retire it. *)
 let ether_input ifp m =
-  if Mbuf.m_length m >= eth_hlen then begin
+  if Mbuf.m_length m < eth_hlen then Mbuf.m_freem m (* runt frame *)
+  else begin
     ifp.if_ipackets <- ifp.if_ipackets + 1;
     let m = Mbuf.m_pullup m eth_hlen in
     let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
@@ -58,5 +60,5 @@ let ether_input ifp m =
     Mbuf.m_adj m eth_hlen;
     match List.assoc_opt ethertype ifp.if_protos with
     | Some input -> input m
-    | None -> () (* unknown protocol: dropped, as in the donor *)
+    | None -> Mbuf.m_freem m (* unknown protocol: dropped, as in the donor *)
   end

@@ -37,14 +37,28 @@ let sbdrop sb n =
   | None -> ()
   | Some head ->
       Mbuf.m_adj head n;
-      (* Shed leading empty mbufs so the chain does not grow forever. *)
-      let rec strip m =
-        if m.Mbuf.m_len = 0 then match m.Mbuf.m_next with Some nx -> strip nx | None -> m
-        else m
-      in
-      let head' = strip head in
-      head'.Mbuf.m_pkthdr_len <- sb.sb_cc - n;
-      sb.sb_mb <- (if sb.sb_cc - n = 0 then None else Some head'));
+      if sb.sb_cc - n = 0 then begin
+        Mbuf.m_freem head;
+        sb.sb_mb <- None
+      end
+      else begin
+        (* Shed — and retire — leading empty mbufs so the chain does not
+           grow forever.  Detach before freeing so m_free releases just the
+           one record. *)
+        let rec strip m =
+          if m.Mbuf.m_len = 0 then
+            match m.Mbuf.m_next with
+            | Some nx ->
+                m.Mbuf.m_next <- None;
+                Mbuf.m_free m;
+                strip nx
+            | None -> m
+          else m
+        in
+        let head' = strip head in
+        head'.Mbuf.m_pkthdr_len <- sb.sb_cc - n;
+        sb.sb_mb <- Some head'
+      end);
   sb.sb_cc <- sb.sb_cc - n
 
 (* Copy a range out (soreceive's copy to the user buffer). *)

@@ -427,10 +427,13 @@ let update_rtt pcb rtt =
 (* reassembly                                                          *)
 
 let rec reass_deliver pcb =
-  (* Entries the stream has advanced past are dead; shed them or they
-     block FIN processing forever. *)
-  pcb.reass <-
-    List.filter (fun (seq, m) -> seq_gt (m32 (seq + Mbuf.m_length m)) pcb.rcv_nxt) pcb.reass;
+  (* Entries the stream has advanced past are dead; shed (and retire) them
+     or they block FIN processing forever. *)
+  let live, dead =
+    List.partition (fun (seq, m) -> seq_gt (m32 (seq + Mbuf.m_length m)) pcb.rcv_nxt) pcb.reass
+  in
+  List.iter (fun (_, m) -> Mbuf.m_freem m) dead;
+  pcb.reass <- live;
   match
     List.find_opt
       (fun (seq, m) ->
@@ -446,7 +449,8 @@ let rec reass_deliver pcb =
       if len > 0 then begin
         Sockbuf.sbappend_chain pcb.rcv_buf m;
         pcb.rcv_nxt <- m32 (pcb.rcv_nxt + len)
-      end;
+      end
+      else Mbuf.m_freem m;
       reass_deliver pcb
 
 (* ------------------------------------------------------------------ *)
@@ -508,12 +512,14 @@ let fast_retransmit t pcb =
   pcb.snd_cwnd <- w + (3 * pcb.t_maxseg);
   if seq_gt onxt pcb.snd_nxt then pcb.snd_nxt <- onxt
 
+(* Returns true when ownership of [data] was taken (appended to the receive
+   buffer or parked in the reassembly queue); the caller frees it otherwise. *)
 let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~data =
   let dlen = Mbuf.m_length data in
   match pcb.t_state with
-  | Closed -> ()
+  | Closed -> false
   | Listen ->
-      if flags land th_rst <> 0 then ()
+      (if flags land th_rst <> 0 then ()
       else if flags land th_ack <> 0 then
         send_rst t ~src ~dst:pcb.laddr ~sport ~dport:pcb.lport ~seq ~ack ~had_ack:true
       else if flags land th_syn <> 0 then begin
@@ -539,12 +545,13 @@ let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~data =
           ensure_timers t;
           send_syn t conn ~with_ack:true
         end
-      end
+      end);
+      false
   | Syn_sent ->
       let ack_ok =
         flags land th_ack <> 0 && seq_gt ack pcb.iss && seq_leq ack pcb.snd_max
       in
-      if flags land th_ack <> 0 && not ack_ok then begin
+      (if flags land th_ack <> 0 && not ack_ok then begin
         if flags land th_rst = 0 then
           send_rst t ~src ~dst:pcb.laddr ~sport ~dport:pcb.lport ~seq ~ack ~had_ack:true
       end
@@ -573,15 +580,18 @@ let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~data =
           pcb.snd_nxt <- pcb.iss;
           send_syn t pcb ~with_ack:true
         end
-      end
+      end);
+      false
   | Syn_received | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
   | Time_wait ->
       common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen
 
+(* Returns true when [data] was stored (receive buffer / reassembly queue). *)
 and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
   ignore src;
   ignore sport;
-  if flags land th_rst <> 0 then begin
+  let stored = ref false in
+  (if flags land th_rst <> 0 then begin
     if seq_geq seq pcb.rcv_nxt && seq_lt seq (m32 (pcb.rcv_nxt + max 1 (rcv_window pcb)))
     then drop_connection t pcb Error.Connreset
   end
@@ -708,6 +718,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
         if !seq = pcb.rcv_nxt && pcb.reass = [] then begin
           (* In order: append the arriving chain, zero-copy. *)
           Sockbuf.sbappend_chain pcb.rcv_buf data;
+          stored := true;
           pcb.rcv_nxt <- m32 (pcb.rcv_nxt + !dlen);
           (* Every-other-segment ACK: delay the first, force on the
              second. *)
@@ -721,6 +732,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
         else begin
           t.stats.rcvoo <- t.stats.rcvoo + 1;
           pcb.reass <- (!seq, data) :: pcb.reass;
+          stored := true;
           let before = pcb.rcv_buf.Sockbuf.sb_cc in
           reass_deliver pcb;
           (* Wake the reader if the splice made bytes available, even when
@@ -756,20 +768,24 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
       end;
       if pcb.ack_now || pcb.t_state <> Closed then tcp_output t pcb
     end
-  end
+  end);
+  !stored
 
 
 let input t ~src ~dst m =
   Cost.charge_cycles Cost.config.bsd_tcp_pkt_cycles;
   t.stats.rcvpack <- t.stats.rcvpack + 1;
   let total = Mbuf.m_length m in
-  if total < tcp_hlen then ()
+  if total < tcp_hlen then Mbuf.m_freem m
   else begin
     let sum =
       In_cksum.cksum_chain m ~off:0 ~len:total
         ~init:(In_cksum.pseudo_header ~src ~dst ~proto:Ip.proto_tcp ~len:total)
     in
-    if sum <> 0 then t.stats.rcvbadsum <- t.stats.rcvbadsum + 1
+    if sum <> 0 then begin
+      t.stats.rcvbadsum <- t.stats.rcvbadsum + 1;
+      Mbuf.m_freem m
+    end
     else begin
       let m = Mbuf.m_pullup m (min total 64) in
       let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
@@ -807,9 +823,11 @@ let input t ~src ~dst m =
             in
             send_rst t ~src ~dst ~sport ~dport ~seq:(m32 (seq + seg_len)) ~ack
               ~had_ack:(flags land th_ack <> 0)
-          end
+          end;
+          Mbuf.m_freem m
       | Some pcb ->
-          segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss:!mss_opt ~data:m
+          if not (segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss:!mss_opt ~data:m)
+          then Mbuf.m_freem m
     end
   end
 

@@ -19,7 +19,9 @@ type t = { ip : Ip.t; mutable pcbs : pcb list; mutable next_ephemeral : int }
 let attach ip =
   let t = { ip; pcbs = []; next_ephemeral = 49152 } in
   let input ~src ~dst:_ m =
-    if Mbuf.m_length m >= udp_hlen then begin
+    (* Consumes m: the payload is copied out, so the chain is always freed. *)
+    if Mbuf.m_length m < udp_hlen then Mbuf.m_freem m
+    else begin
       let m = Mbuf.m_pullup m udp_hlen in
       let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
       let sport = Bytes.get_uint16_be d o in
@@ -53,7 +55,8 @@ let attach ip =
                 p.on_readable ()
               end
         end
-      end
+      end;
+      Mbuf.m_freem m
     end
   in
   Ip.set_proto ip ~proto:Ip.proto_udp (fun ~src ~dst m -> input ~src ~dst m);

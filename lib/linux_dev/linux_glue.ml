@@ -38,8 +38,10 @@ let skb_of_bufio (io : Io_if.bufio) =
       let n = io.Io_if.buf_size () in
       match io.Io_if.buf_map () with
       | Some (backing, start) ->
-          (* Contiguous foreign data: fake sk_buff aliasing it. *)
-          ( { Skbuff.skb_data = backing; head = start; len = n; protocol = 0; dev_name = "" },
+          (* Contiguous foreign data: fake sk_buff aliasing it.  Not
+             pooled — the backing belongs to the lender. *)
+          ( { Skbuff.skb_data = backing; head = start; len = n; protocol = 0;
+              dev_name = ""; skb_pooled = false; skb_freed = false },
             false )
       | None -> (
           (* Discontiguous (e.g. an mbuf chain): allocate and copy. *)
@@ -58,9 +60,13 @@ let etherdev_of osenv (dev : Linux_eth_drv.device) : Com.unknown =
         push =
           (fun io ->
             Cost.charge_glue_crossing ();
-            let skb, _copied = skb_of_bufio io in
+            let skb, copied = skb_of_bufio io in
             match Linux_eth_drv.hard_start_xmit dev skb with
-            | () -> Ok ()
+            | () ->
+                (* A copy made for this transmit is dead once the frame is
+                   on the wire; unwrapped/fake skbs belong to the caller. *)
+                if copied then Skbuff.skb_free skb;
+                Ok ()
             | exception Error.Error e -> Result.Error e) }
     and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.netio_iid, fun () -> view ()) ]))
     and unknown () = Lazy.force obj in

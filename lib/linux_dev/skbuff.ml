@@ -9,6 +9,13 @@
  * The glue code translates between sk_buffs and the OSKit's bufio
  * interface without copying whenever the layout allows.
  *
+ * Allocation is pooled by power-of-two size class, as the donor's
+ * kmalloc bucket scheme behaves in steady state: alloc_skb rounds the
+ * request up to a class and recycles retired buffers of that class, so a
+ * running stack allocates nothing per packet.  kfree_skb (skb_free here)
+ * retires the storage; wrapped buffers (skb_wrap, the glue's fake skbuffs)
+ * are foreign and never recycled.
+ *
  * (In the C OSKit this file would live under linux/src/, byte-identical to
  * the donor tree; here "unmodified" means we preserve the donor's
  * abstractions and API shape.)
@@ -20,19 +27,62 @@ type sk_buff = {
   mutable len : int; (* bytes of valid data *)
   mutable protocol : int; (* ethertype, set by eth_type_trans *)
   mutable dev_name : string;
+  skb_pooled : bool; (* storage owned by the size-class pools below *)
+  mutable skb_freed : bool;
 }
 
 exception Skb_over_panic
 (* Linux calls panic(); an exception is our machine check. *)
 
+(* Power-of-two size classes, 64 B .. 4 KB — a full Ethernet frame plus the
+   stack's slack fits in the 2 KB class. *)
+let min_class_bits = 6
+let max_class_bits = 12
+
+let pools =
+  Array.init
+    (max_class_bits - min_class_bits + 1)
+    (fun i -> Bpool.create ~size:(1 lsl (min_class_bits + i)) ())
+
+let class_of_size size =
+  let rec go bits = if 1 lsl bits >= size then bits else go (bits + 1) in
+  go min_class_bits
+
 let alloc_skb size =
-  Cost.charge_alloc ();
-  { skb_data = Bytes.create size; head = 0; len = 0; protocol = 0; dev_name = "" }
+  if size <= 1 lsl max_class_bits then
+    let pool = pools.(class_of_size size - min_class_bits) in
+    { skb_data = Bpool.get pool; head = 0; len = 0; protocol = 0; dev_name = "";
+      skb_pooled = true; skb_freed = false }
+  else begin
+    Cost.charge_alloc ();
+    { skb_data = Bytes.create size; head = 0; len = 0; protocol = 0; dev_name = "";
+      skb_pooled = false; skb_freed = false }
+  end
 
 (* Wrap an existing buffer without copying (used by the glue's "fake
    skbuff" trick, Section 4.7.3, and by DMA completion). *)
 let skb_wrap data =
-  { skb_data = data; head = 0; len = Bytes.length data; protocol = 0; dev_name = "" }
+  { skb_data = data; head = 0; len = Bytes.length data; protocol = 0; dev_name = "";
+    skb_pooled = false; skb_freed = false }
+
+(* kfree_skb: retire the buffer to its size-class pool.  Foreign (wrapped)
+   storage is the lender's; only the bookkeeping applies. *)
+let skb_free skb =
+  if skb.skb_freed then invalid_arg "skb_free: double free";
+  skb.skb_freed <- true;
+  if skb.skb_pooled then
+    Bpool.put pools.(class_of_size (Bytes.length skb.skb_data) - min_class_bits)
+      skb.skb_data
+
+(* Drop every cached buffer and zero the pool counters: independent
+   simulations in one process must start from a cold cache or virtual
+   times drift between otherwise identical runs. *)
+let pool_reset () =
+  Array.iter
+    (fun p ->
+      Bpool.drain p;
+      Bpool.reset_stats p)
+    pools
 
 let skb_headroom skb = skb.head
 let skb_tailroom skb = Bytes.length skb.skb_data - skb.head - skb.len

@@ -150,7 +150,9 @@ let arp_output t ~op ~dst_mac ~target_mac ~target_ip =
   Bytes.blit_string target_mac 0 d (off + 18) 6;
   put32be d (off + 24) target_ip;
   Linux_eth_drv.eth_header skb ~src:dev.Linux_eth_drv.dev_addr ~dst:dst_mac ~proto:0x0806;
-  Linux_eth_drv.hard_start_xmit dev skb
+  Linux_eth_drv.hard_start_xmit dev skb;
+  (* The card has copied the frame out; retire the buffer. *)
+  Skbuff.skb_free skb
 
 let arp_resolve t ip k =
   match Hashtbl.find_opt t.arp_cache ip with
@@ -178,12 +180,16 @@ let arp_rcv t skb =
     | None -> ());
     if op = 1 && Int32.equal target_ip t.my_ip then
       arp_output t ~op:2 ~dst_mac:sender_mac ~target_mac:sender_mac ~target_ip:sender_ip
-  end
+  end;
+  Skbuff.skb_free skb
 
 (* ---- IP ---- *)
 
-(* [skb] carries the transport payload; push the IP header and transmit. *)
-let ip_output t ~proto ~dst skb =
+(* [skb] carries the transport payload; push the IP header and transmit.
+   [free_after] retires the buffer once the frame is on the wire — also
+   when ARP defers the transmit into a continuation; frames kept for
+   retransmission must not set it. *)
+let ip_output t ?(free_after = false) ~proto ~dst skb =
   let off = Skbuff.skb_push skb ip_hlen in
   let d = skb.Skbuff.skb_data in
   Bytes.set d off '\x45';
@@ -201,7 +207,8 @@ let ip_output t ~proto ~dst skb =
   let dev = dev_of t in
   arp_resolve t dst (fun mac ->
       Linux_eth_drv.eth_header skb ~src:dev.Linux_eth_drv.dev_addr ~dst:mac ~proto:0x0800;
-      Linux_eth_drv.hard_start_xmit dev skb)
+      Linux_eth_drv.hard_start_xmit dev skb;
+      if free_after then Skbuff.skb_free skb)
 
 (* ---- TCP ---- *)
 
@@ -255,9 +262,12 @@ let rec tcp_xmit t s ~seq ~flags ~payload ~queue =
     + (if flags land th_fin <> 0 then 1 else 0)
     + plen
   in
-  if queue && seg_bytes > 0 then
+  let queued = queue && seg_bytes > 0 in
+  if queued then
     s.rexmt_q <- s.rexmt_q @ [ { rx_seq = seq; rx_end = m32 (seq + seg_bytes); rx_frame = skb } ];
-  ip_output t ~proto:6 ~dst:s.raddr skb;
+  (* Unqueued frames (pure ACKs, RSTs) die on the wire; queued ones are
+     retired when the ACK covers them. *)
+  ip_output t ~free_after:(not queued) ~proto:6 ~dst:s.raddr skb;
   arm_rexmt t s
 
 (* Retransmission: resend the oldest unacked frame as-is. *)
@@ -322,7 +332,9 @@ let find_sock t ~src ~sport ~dport =
 let ack_advance t s ack =
   if seq_gt ack s.snd_una then begin
     s.snd_una <- ack;
-    s.rexmt_q <- List.filter (fun e -> seq_gt e.rx_end ack) s.rexmt_q;
+    let acked, live = List.partition (fun e -> not (seq_gt e.rx_end ack)) s.rexmt_q in
+    List.iter (fun e -> Skbuff.skb_free e.rx_frame) acked;
+    s.rexmt_q <- live;
     if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd + mss
     else s.cwnd <- s.cwnd + max 1 (mss * mss / s.cwnd);
     ignore t;
@@ -333,7 +345,9 @@ let tcp_rcv t skb ~src =
   Cost.charge_cycles Cost.config.linux_tcp_pkt_cycles;
   t.segs_in <- t.segs_in + 1;
   let d = skb.Skbuff.skb_data and o = skb.Skbuff.head in
-  if skb.Skbuff.len < tcp_hlen then ()
+  (* The buffer is consumed here unless it lands on a receive queue. *)
+  let stored = ref false in
+  (if skb.Skbuff.len < tcp_hlen then ()
   else begin
     let total = skb.Skbuff.len in
     if
@@ -423,6 +437,7 @@ let tcp_rcv t skb ~src =
                 if dlen > 0 then begin
                   if seq = s.rcv_nxt && s.rcv_q_bytes + dlen <= default_window then begin
                     Queue.add skb s.rcv_q;
+                    stored := true;
                     s.rcv_q_bytes <- s.rcv_q_bytes + dlen;
                     s.rcv_nxt <- m32 (s.rcv_nxt + dlen);
                     send_ack t s;
@@ -455,24 +470,26 @@ let tcp_rcv t skb ~src =
                 end)
             | Closed -> ())
     end
-  end
+  end);
+  if not !stored then Skbuff.skb_free skb
 
 (* ---- input demux from the driver ---- *)
 
 let ip_rcv t skb =
   let d = skb.Skbuff.skb_data and o = skb.Skbuff.head in
-  if skb.Skbuff.len >= ip_hlen then begin
+  if skb.Skbuff.len < ip_hlen then Skbuff.skb_free skb
+  else begin
     let ihl = (Char.code (Bytes.get d o) land 0xf) * 4 in
     let total = Bytes.get_uint16_be d (o + 2) in
     let proto = Char.code (Bytes.get d (o + 9)) in
     let src = get32be d (o + 12) and dst = get32be d (o + 16) in
-    if cksum d ~off:o ~len:ihl <> 0 then ()
-    else if not (Int32.equal dst t.my_ip) then ()
+    if cksum d ~off:o ~len:ihl <> 0 then Skbuff.skb_free skb
+    else if not (Int32.equal dst t.my_ip) then Skbuff.skb_free skb
     else begin
       (* Trim link padding, strip the header. *)
       Skbuff.skb_trim skb total;
       ignore (Skbuff.skb_pull skb ihl);
-      if proto = 6 then tcp_rcv t skb ~src
+      if proto = 6 then tcp_rcv t skb ~src else Skbuff.skb_free skb
     end
   end
 
@@ -481,7 +498,7 @@ let netif_rx t skb =
   match skb.Skbuff.protocol with
   | 0x0800 -> ip_rcv t skb
   | 0x0806 -> arp_rcv t skb
-  | _ -> ()
+  | _ -> Skbuff.skb_free skb
 
 let attach_dev t osenv dev =
   t.dev <- Some dev;
@@ -578,6 +595,7 @@ let recv _t s ~buf ~pos ~len =
           s.rcv_q_bytes <- s.rcv_q_bytes - n;
           if s.head_consumed >= skb.Skbuff.len then begin
             ignore (Queue.take s.rcv_q);
+            Skbuff.skb_free skb;
             s.head_consumed <- 0
           end;
           take (taken + n)

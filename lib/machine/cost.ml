@@ -6,6 +6,7 @@ type config = {
   mutable glue_crossing_cycles : int;
   mutable irq_entry_cycles : int;
   mutable alloc_cycles : int;
+  mutable pool_alloc_cycles : int;
   mutable linux_driver_pkt_cycles : int;
   mutable bsd_tcp_pkt_cycles : int;
   mutable linux_tcp_pkt_cycles : int;
@@ -20,6 +21,7 @@ let defaults () =
     glue_crossing_cycles = 1500;
     irq_entry_cycles = 400;
     alloc_cycles = 150;
+    pool_alloc_cycles = 30;
     linux_driver_pkt_cycles = 2500;
     bsd_tcp_pkt_cycles = 4000;
     linux_tcp_pkt_cycles = 6000;
@@ -36,6 +38,7 @@ let reset_config () =
   config.glue_crossing_cycles <- d.glue_crossing_cycles;
   config.irq_entry_cycles <- d.irq_entry_cycles;
   config.alloc_cycles <- d.alloc_cycles;
+  config.pool_alloc_cycles <- d.pool_alloc_cycles;
   config.linux_driver_pkt_cycles <- d.linux_driver_pkt_cycles;
   config.bsd_tcp_pkt_cycles <- d.bsd_tcp_pkt_cycles;
   config.linux_tcp_pkt_cycles <- d.linux_tcp_pkt_cycles;
@@ -82,3 +85,5 @@ let charge_glue_crossing () =
   charge_cycles config.glue_crossing_cycles
 
 let charge_alloc () = charge_cycles config.alloc_cycles
+
+let charge_pool_alloc () = charge_cycles config.pool_alloc_cycles

@@ -24,7 +24,12 @@ type config = {
       (** one crossing of an encapsulation boundary: argument conversion,
           curproc manufacture, buffer re-wrapping; default 1500 *)
   mutable irq_entry_cycles : int;  (** interrupt entry+exit; default 400 *)
-  mutable alloc_cycles : int;  (** one allocator round trip; default 150 *)
+  mutable alloc_cycles : int;
+      (** one general-purpose allocator round trip (LMM walk or malloc);
+          default 150 *)
+  mutable pool_alloc_cycles : int;
+      (** one pooled (freelist-hit) allocation: a size-class or buffer-pool
+          pop, no allocator walk; default 30 *)
   mutable linux_driver_pkt_cycles : int;
       (** Linux driver per-packet work (ring handling, device programming);
           default 2500 *)
@@ -58,6 +63,9 @@ val charge_checksum : int -> unit
 val charge_com_call : unit -> unit
 val charge_glue_crossing : unit -> unit
 val charge_alloc : unit -> unit
+
+(** Pooled fast-path allocation (freelist hit). *)
+val charge_pool_alloc : unit -> unit
 
 val cycles_to_ns : int -> int
 

@@ -1,0 +1,69 @@
+(* Fixed-size [Bytes] pool for packet-buffer recycling.
+ *
+ * The simulated address-space side of pooling lives in [Kalloc]; this is
+ * its OCaml-heap twin for the mbuf/skbuff hot paths, where the per-packet
+ * cost is a [Bytes.create] (allocation + zeroing) per mbuf, cluster or
+ * skbuff.  A pool keeps a bounded freelist of retired buffers of one fixed
+ * size and hands them back O(1), so steady-state packet flow allocates
+ * nothing.  Buffers are NOT cleared on [put]/[get] — exactly like a real
+ * kmem cache, callers must not assume zeroed storage.
+ *)
+
+type t = {
+  size : int;
+  max_keep : int; (* freelist cap; beyond this, retired buffers drop to GC *)
+  mutable free_list : bytes list;
+  mutable kept : int;
+  mutable hits : int; (* gets served from the freelist *)
+  mutable misses : int; (* gets that had to Bytes.create *)
+  mutable puts : int;
+  mutable dropped : int; (* puts past the cap *)
+}
+
+let create ?(max_keep = 512) ~size () =
+  if size <= 0 then invalid_arg "Bpool.create: size";
+  if max_keep < 0 then invalid_arg "Bpool.create: max_keep";
+  { size; max_keep; free_list = []; kept = 0; hits = 0; misses = 0; puts = 0;
+    dropped = 0 }
+
+let size t = t.size
+
+let get t =
+  match t.free_list with
+  | b :: rest ->
+      t.free_list <- rest;
+      t.kept <- t.kept - 1;
+      t.hits <- t.hits + 1;
+      Cost.charge_pool_alloc ();
+      b
+  | [] ->
+      t.misses <- t.misses + 1;
+      Cost.charge_alloc ();
+      Bytes.create t.size
+
+let put t b =
+  if Bytes.length b <> t.size then invalid_arg "Bpool.put: wrong buffer size";
+  t.puts <- t.puts + 1;
+  if t.kept < t.max_keep then begin
+    t.free_list <- b :: t.free_list;
+    t.kept <- t.kept + 1
+  end
+  else t.dropped <- t.dropped + 1
+
+let kept t = t.kept
+let hits t = t.hits
+let misses t = t.misses
+
+let drain t =
+  t.free_list <- [];
+  t.kept <- 0
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.puts <- 0;
+  t.dropped <- 0
+
+let pp fmt t =
+  Format.fprintf fmt "bpool %dB: %d kept, %d hits / %d misses, %d puts (%d dropped)"
+    t.size t.kept t.hits t.misses t.puts t.dropped

@@ -1,0 +1,34 @@
+(** Fixed-size [Bytes] pool — the OCaml-heap companion to {!Kalloc}.
+
+    Mbuf, cluster and skbuff storage is [Bytes] on the OCaml heap rather
+    than simulated LMM memory; pooling those buffers removes the
+    per-packet [Bytes.create] from the hot paths.  [get]/[put] are O(1);
+    the freelist is capped so idle pools don't pin unbounded memory.
+
+    Buffers are handed back dirty (not re-zeroed), like a real kmem
+    cache: callers must fully initialise what they use. *)
+
+type t
+
+val create : ?max_keep:int -> size:int -> unit -> t
+(** Pool of buffers of exactly [size] bytes, keeping at most [max_keep]
+    (default 512) retired buffers. *)
+
+val size : t -> int
+
+val get : t -> bytes
+(** Pop a retired buffer, or [Bytes.create size] if the pool is empty.
+    Charges {!Cost.charge_pool_alloc} on a hit, {!Cost.charge_alloc} on a
+    miss.  The returned buffer may hold stale contents. *)
+
+val put : t -> bytes -> unit
+(** Retire a buffer to the pool (dropped to the GC past [max_keep]).
+    Raises [Invalid_argument] if the buffer's size doesn't match; the
+    caller must guarantee no live aliases remain. *)
+
+val kept : t -> int
+val hits : t -> int
+val misses : t -> int
+val drain : t -> unit
+val reset_stats : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 gate: full build, test suites, and a smoke run of the allocator
+# bench (tiny workload — we only check it runs and prints the speedup
+# table, not the absolute numbers).
+set -eux
+
+dune build
+dune runtest
+OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- alloc

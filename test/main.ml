@@ -4,6 +4,7 @@ let () =
       "machine", Test_machine.suite;
       "kern", Test_kern.suite;
       "lmm", Test_lmm.suite;
+      "kalloc", Test_kalloc.suite;
       "amm", Test_amm.suite;
       "libc", Test_libc.suite;
       "memdebug", Test_memdebug.suite;
