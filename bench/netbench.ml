@@ -22,14 +22,34 @@ type sock = {
   close : unit -> unit;
 }
 
-(* Prepare a host in [config]; returns (serve, connect):
+(* Host-side protocol counters the chaos bench reads after a run:
+   retransmissions prove the loss was real; checksum/dup drops prove the
+   receiver discarded what netem damaged or repeated. *)
+type stack_stats = {
+  rexmits : unit -> int;
+  tcp_badsum : unit -> int;
+  tcp_dups : unit -> int;
+}
+
+let bsd_stats (stack : Bsd_socket.stack) =
+  let s = stack.Bsd_socket.tcp.Tcp.stats in
+  { rexmits = (fun () -> s.Tcp.sndrexmitpack + s.Tcp.fastrexmit);
+    tcp_badsum = (fun () -> s.Tcp.rcvbadsum);
+    tcp_dups = (fun () -> s.Tcp.rcvdup) }
+
+let linux_stats (stack : Linux_inet.stack) =
+  { rexmits = (fun () -> stack.Linux_inet.rexmits);
+    tcp_badsum = (fun () -> stack.Linux_inet.tcpbadsum);
+    tcp_dups = (fun () -> stack.Linux_inet.rcvdup) }
+
+(* Prepare a host in [config]; returns (serve, connect, stats):
    [serve ~port k] spawns a server thread that accepts one connection and
    passes its socket to [k]; [connect ~port k] spawns a client thread that
    connects and passes its socket to [k]. *)
 let setup config host ~addr =
   match config with
   | Oskit ->
-      let env, _stack = Clientos.oskit_host host ~ip:addr ~mask in
+      let env, stack = Clientos.oskit_host host ~ip:addr ~mask in
       let serve ~port k =
         Clientos.spawn host ~name:"server" (fun () ->
             let fd = ok (Posix.socket env Io_if.Sock_stream) in
@@ -51,7 +71,7 @@ let setup config host ~addr =
                 recv = (fun b len -> ok (Posix.recv env fd b ~pos:0 ~len));
                 close = (fun () -> ignore (Posix.shutdown env fd)) })
       in
-      serve, connect
+      serve, connect, bsd_stats stack
   | Freebsd ->
       let stack = Clientos.freebsd_host host ~ip:addr ~mask in
       let of_tsock s =
@@ -73,7 +93,7 @@ let setup config host ~addr =
             ok (Bsd_socket.so_connect s ~dst ~dport:port);
             k (of_tsock s))
       in
-      serve, connect
+      serve, connect, bsd_stats stack
   | Linux ->
       let stack = Clientos.linux_host host ~ip:addr ~mask in
       let of_sock s =
@@ -95,7 +115,7 @@ let setup config host ~addr =
             ok (Linux_inet.connect stack s ~dst ~dport:port);
             k (of_sock s))
       in
-      serve, connect
+      serve, connect, linux_stats stack
 
 type transfer_result = {
   mbit_sender : float; (* bandwidth from the sender's clock, ttcp-style *)
@@ -111,8 +131,8 @@ let transfer ~sender ~receiver ~blocks ~blocksize =
   Fdev.clear_drivers ();
   let tb = Clientos.make_testbed ~models:("3c905", "tulip") () in
   let total = blocks * blocksize in
-  let serve, _ = setup receiver tb.Clientos.host_b ~addr:(ip "10.0.0.2") in
-  let _, connect = setup sender tb.Clientos.host_a ~addr:(ip "10.0.0.1") in
+  let serve, _, _ = setup receiver tb.Clientos.host_b ~addr:(ip "10.0.0.2") in
+  let _, connect, _ = setup sender tb.Clientos.host_a ~addr:(ip "10.0.0.1") in
   let send_ns = ref 0 and recv_done = ref 0 in
   serve ~port:5001 (fun s ->
       let buf = Bytes.create 16384 in
@@ -146,8 +166,8 @@ let rtt_us config ~trips =
   Clientos.reset_globals ();
   Fdev.clear_drivers ();
   let tb = Clientos.make_testbed ~models:("3c905", "tulip") () in
-  let serve, _ = setup config tb.Clientos.host_b ~addr:(ip "10.0.0.2") in
-  let _, connect = setup config tb.Clientos.host_a ~addr:(ip "10.0.0.1") in
+  let serve, _, _ = setup config tb.Clientos.host_b ~addr:(ip "10.0.0.2") in
+  let _, connect, _ = setup config tb.Clientos.host_a ~addr:(ip "10.0.0.1") in
   let result = ref 0.0 in
   serve ~port:5002 (fun s ->
       let buf = Bytes.create 1 in
@@ -257,3 +277,71 @@ let vm_throughput ~direction ~bytes =
       finished_ns := Machine.now vm_host.Clientos.machine - t0);
   Clientos.run tb ~until:(fun () -> !finished_ns > 0);
   float_of_int bytes *. 8e3 /. float_of_int !finished_ns
+
+(* ---- chaos mode: ttcp under injected faults ---- *)
+
+(* Position-dependent payload so delivery is provably byte-exact: any
+   duplicated, reordered, or corrupted byte that leaks through TCP lands at
+   the wrong position and is caught at the receiver. *)
+let pattern pos = (pos * 131) land 0xff
+
+type chaos_result = {
+  goodput_mbit : float;  (* end-to-end, from the receiver's clock *)
+  chaos_rexmits : int;   (* sender-stack data retransmissions *)
+  wire_offered : int;
+  wire_dropped : int;    (* frames netem discarded in transit *)
+  byte_exact : bool;     (* every payload byte correct and accounted for *)
+  rcv_badsum : int;      (* receiver-stack TCP checksum drops *)
+  rcv_dups : int;        (* receiver-stack duplicate-segment drops *)
+}
+
+let chaos_transfer ?(seed = 42) ?(loss = 0.01) ?(corrupt = 0.0)
+    ?(corrupt_min_len = 0) ?(duplicate = 0.0) ~sender ~receiver ~blocks
+    ~blocksize () =
+  Clientos.reset_globals ();
+  Fdev.clear_drivers ();
+  let tb = Clientos.make_testbed ~models:("3c905", "tulip") () in
+  let em =
+    Netem.create ~seed
+      ~policy:{ Netem.default_policy with loss; corrupt; corrupt_min_len; duplicate }
+      ()
+  in
+  Wire.set_netem tb.Clientos.wire (Some em);
+  let total = blocks * blocksize in
+  let serve, _, rstats = setup receiver tb.Clientos.host_b ~addr:(ip "10.0.0.2") in
+  let _, connect, sstats = setup sender tb.Clientos.host_a ~addr:(ip "10.0.0.1") in
+  let recv_done = ref 0 and mismatches = ref 0 and received = ref 0 in
+  serve ~port:5004 (fun s ->
+      let buf = Bytes.create 16384 in
+      let rec loop () =
+        match s.recv buf 16384 with
+        | 0 ->
+            recv_done := Machine.now tb.Clientos.host_b.Clientos.machine;
+            s.close ()
+        | n ->
+            for i = 0 to n - 1 do
+              if Char.code (Bytes.get buf i) <> pattern (!received + i) then
+                incr mismatches
+            done;
+            received := !received + n;
+            loop ()
+      in
+      loop ());
+  connect ~dst:(ip "10.0.0.2") ~port:5004 (fun s ->
+      let block = Bytes.create blocksize in
+      for b = 0 to blocks - 1 do
+        for i = 0 to blocksize - 1 do
+          Bytes.set block i (Char.chr (pattern ((b * blocksize) + i)))
+        done;
+        if s.send block blocksize <> blocksize then failwith "chaos: short send"
+      done;
+      s.close ());
+  Clientos.run tb ~until:(fun () -> !recv_done > 0);
+  if !recv_done = 0 then failwith "chaos: transfer did not complete";
+  { goodput_mbit = float_of_int total *. 8e3 /. float_of_int !recv_done;
+    chaos_rexmits = sstats.rexmits ();
+    wire_offered = Wire.frames_carried tb.Clientos.wire;
+    wire_dropped = Wire.frames_dropped tb.Clientos.wire;
+    byte_exact = (!mismatches = 0 && !received = total);
+    rcv_badsum = rstats.tcp_badsum ();
+    rcv_dups = rstats.tcp_dups () }

@@ -1,24 +1,44 @@
 (* ENCAPSULATED LEGACY CODE — if_ether.c: ARP.
  *
- * Resolution table keyed by IP; unresolved destinations hold a short queue
- * of waiting packets (the donor holds one; we keep a few) that is flushed
- * when the reply arrives.
+ * Resolution table keyed by IP; unresolved destinations hold a bounded
+ * queue of waiting packets that is flushed when the reply arrives.  The
+ * donor holds one packet and retries on a 5-minute rtimer; we keep a few
+ * waiters, retry with exponential backoff, and give up after a handful of
+ * tries — dropping (and freeing, via each waiter's [on_drop]) everything
+ * still queued, as if_ether.c's arptfree path does.
  *)
 
-type entry =
-  | Resolved of string
-  | Pending of (string -> unit) list ref (* continuations awaiting the MAC *)
+type waiter = {
+  deliver : string -> unit; (* continuation awaiting the MAC *)
+  on_drop : unit -> unit;   (* called instead if resolution fails *)
+}
+
+type pending = {
+  mutable waiters : waiter list; (* newest first *)
+  mutable tries : int;
+  mutable timer : World.event option;
+}
+
+type entry = Resolved of string | Pending of pending
 
 type t = {
   ifp : Netif.ifnet;
+  machine : Machine.t;
   table : (int32, entry) Hashtbl.t;
   mutable requests_sent : int;
   mutable replies_sent : int;
+  mutable waiters_dropped : int;   (* queue overflow, drop-head *)
+  mutable resolve_failures : int;  (* retries exhausted *)
 }
 
 let op_request = 1
 let op_reply = 2
 let arp_len = 28
+
+(* Queue/retry limits.  Base interval doubles per try: 0.5 s, 1 s, 2 s... *)
+let max_waiters = 16
+let max_tries = 5
+let retry_base_ns = 500_000_000
 
 let put32 d o (v : int32) =
   Bytes.set d o (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff));
@@ -53,6 +73,31 @@ let arp_request t ip =
   send_arp t ~op:op_request ~target_mac:"\000\000\000\000\000\000" ~target_ip:ip
     ~dst_mac:Netif.ether_broadcast
 
+let cancel_timer p =
+  match p.timer with
+  | Some ev -> World.cancel ev; p.timer <- None
+  | None -> ()
+
+(* Retry with backoff; on exhaustion tear the entry down and fail every
+   queued waiter so their mbufs are freed, not leaked. *)
+let rec schedule_retry t ip p =
+  let delay = retry_base_ns * (1 lsl (p.tries - 1)) in
+  p.timer <-
+    Some
+      (Machine.after t.machine delay (fun () ->
+           p.timer <- None;
+           if p.tries >= max_tries then begin
+             Hashtbl.remove t.table ip;
+             t.resolve_failures <- t.resolve_failures + 1;
+             List.iter (fun w -> w.on_drop ()) (List.rev p.waiters);
+             p.waiters <- []
+           end
+           else begin
+             p.tries <- p.tries + 1;
+             arp_request t ip;
+             schedule_retry t ip p
+           end))
+
 let arp_input t m =
   if Mbuf.m_length m < arp_len then Mbuf.m_freem m
   else begin
@@ -64,9 +109,11 @@ let arp_input t m =
     let target_ip = get32 d (o + 24) in
     (* Learn the sender either way (donor behaviour). *)
     (match Hashtbl.find_opt t.table sender_ip with
-    | Some (Pending conts) ->
+    | Some (Pending p) ->
+        cancel_timer p;
         Hashtbl.replace t.table sender_ip (Resolved sender_mac);
-        List.iter (fun k -> k sender_mac) (List.rev !conts)
+        List.iter (fun w -> w.deliver sender_mac) (List.rev p.waiters);
+        p.waiters <- []
     | Some (Resolved _) | None -> Hashtbl.replace t.table sender_ip (Resolved sender_mac));
     if op = op_request && Int32.equal target_ip t.ifp.Netif.if_addr then begin
       t.replies_sent <- t.replies_sent + 1;
@@ -75,19 +122,36 @@ let arp_input t m =
     Mbuf.m_freem m
   end
 
-let attach ifp =
-  let t = { ifp; table = Hashtbl.create 16; requests_sent = 0; replies_sent = 0 } in
+let attach ifp machine =
+  let t =
+    { ifp; machine; table = Hashtbl.create 16; requests_sent = 0;
+      replies_sent = 0; waiters_dropped = 0; resolve_failures = 0 }
+  in
   Netif.set_proto_input ifp ~ethertype:Netif.ethertype_arp (fun m -> arp_input t m);
   t
 
-(* resolve: call [k mac] now if cached, else queue and broadcast. *)
-let resolve t ip k =
+(* resolve: call [deliver mac] now if cached, else queue and broadcast.
+   A full queue drops its oldest waiter (drop-head, like a device tx ring):
+   the newest packet is the one the caller's retransmit machinery is least
+   likely to have given up on. *)
+let resolve t ip ?(on_drop = fun () -> ()) deliver =
   match Hashtbl.find_opt t.table ip with
-  | Some (Resolved mac) -> k mac
-  | Some (Pending conts) -> conts := k :: !conts
+  | Some (Resolved mac) -> deliver mac
+  | Some (Pending p) ->
+      if List.length p.waiters >= max_waiters then begin
+        match List.rev p.waiters with
+        | oldest :: rest ->
+            t.waiters_dropped <- t.waiters_dropped + 1;
+            oldest.on_drop ();
+            p.waiters <- List.rev rest
+        | [] -> ()
+      end;
+      p.waiters <- { deliver; on_drop } :: p.waiters
   | None ->
-      Hashtbl.replace t.table ip (Pending (ref [ k ]));
-      arp_request t ip
+      let p = { waiters = [ { deliver; on_drop } ]; tries = 1; timer = None } in
+      Hashtbl.replace t.table ip (Pending p);
+      arp_request t ip;
+      schedule_retry t ip p
 
 (* Static entry (tests / point-to-point setups). *)
 let add_static t ip mac = Hashtbl.replace t.table ip (Resolved mac)

@@ -22,7 +22,7 @@ type stack = {
 
 let create_stack machine ~hwaddr ~name =
   let ifp = Netif.create ~name ~hwaddr in
-  let arp = Arp.attach ifp in
+  let arp = Arp.attach ifp machine in
   let ip = Ip.attach ifp arp machine in
   let icmp = Icmp.attach ip in
   let udp = Udp.attach ip in
@@ -178,3 +178,36 @@ let uso_recvfrom s =
 let uso_close s =
   Udp.detach s.ust.udp s.upcb;
   Ok ()
+
+(* ---- per-layer drop accounting, netstat -s style ---- *)
+
+let netstat st =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let ip = st.ip and tcp = st.tcp.Tcp.stats and udp = st.udp and arp = st.arp in
+  line "ip:";
+  line "  %d packets received" ip.Ip.ipackets;
+  line "  %d packets sent" ip.Ip.opackets;
+  line "  %d bad header checksums" ip.Ip.badsum;
+  line "  %d packets dropped (no route)" ip.Ip.noroute;
+  line "  %d fragments dropped after timeout" ip.Ip.reass_expired;
+  line "  %d packets dropped (arp resolution failed)" ip.Ip.arp_drops;
+  line "tcp:";
+  line "  %d packets sent" tcp.Tcp.sndpack;
+  line "  %d data packets retransmitted" tcp.Tcp.sndrexmitpack;
+  line "  %d packets received" tcp.Tcp.rcvpack;
+  line "  %d discarded for bad checksums" tcp.Tcp.rcvbadsum;
+  line "  %d discarded for bad header lengths" tcp.Tcp.rcvshort;
+  line "  %d duplicate packets" tcp.Tcp.rcvdup;
+  line "  %d out-of-order packets" tcp.Tcp.rcvoo;
+  line "  %d packets with data after window" tcp.Tcp.rcvafterwin;
+  line "udp:";
+  line "  %d with bad checksum" udp.Udp.badsum;
+  line "  %d dropped, no socket" udp.Udp.noport;
+  line "  %d dropped, full socket buffer" udp.Udp.fulldrops;
+  line "arp:";
+  line "  %d requests sent" arp.Arp.requests_sent;
+  line "  %d replies sent" arp.Arp.replies_sent;
+  line "  %d waiters dropped (queue full)" arp.Arp.waiters_dropped;
+  line "  %d resolutions abandoned (retries exhausted)" arp.Arp.resolve_failures;
+  Buffer.contents b

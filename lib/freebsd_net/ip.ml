@@ -34,6 +34,9 @@ type t = {
   mutable ofragments : int;
   mutable reassembled : int;
   mutable badsum : int;
+  mutable noroute : int;       (* output dropped: destination off-subnet *)
+  mutable reass_expired : int; (* fragments freed past the 30 s lifetime *)
+  mutable arp_drops : int;     (* packets freed when ARP gave up on them *)
 }
 
 let put32 = Arp.put32
@@ -61,13 +64,20 @@ let emit t m ~proto ~src ~dst ~ttl ~id ~frag_off ~more_frags =
   let sum = In_cksum.cksum_bytes d ~off:o ~len:ip_hlen in
   Bytes.set_uint16_be d (o + 10) sum;
   t.opackets <- t.opackets + 1;
-  (* Route: same subnet -> ARP; otherwise no route in this little world. *)
+  (* Route: same subnet -> ARP; otherwise no route in this little world.
+     Both failure paths count and free rather than raise — emit runs from
+     timer events (TCP retransmit), where an exception would take down the
+     whole simulation, not just this packet. *)
   if Netif.same_subnet t.ifp dst then
-    Arp.resolve t.arp dst (fun mac ->
+    Arp.resolve t.arp dst
+      ~on_drop:(fun () ->
+        t.arp_drops <- t.arp_drops + 1;
+        Mbuf.m_freem m)
+      (fun mac ->
         Netif.ether_output t.ifp m ~dst_mac:mac ~ethertype:Netif.ethertype_ip)
   else begin
-    Mbuf.m_freem m;
-    Error.fail Error.Hostunreach
+    t.noroute <- t.noroute + 1;
+    Mbuf.m_freem m
   end
 
 let rec output t ~proto ~src ~dst ?(ttl = default_ttl) m =
@@ -144,7 +154,14 @@ and deliver t ~proto ~src ~dst m =
 and reass_insert t ~key ~frag_off ~more m =
   let now = Machine.now t.machine in
   let live, expired = List.partition (fun q -> q.expires > now) t.reass in
-  List.iter (fun q -> List.iter (fun f -> Mbuf.m_freem f.frag_data) q.frags) expired;
+  List.iter
+    (fun q ->
+      List.iter
+        (fun f ->
+          t.reass_expired <- t.reass_expired + 1;
+          Mbuf.m_freem f.frag_data)
+        q.frags)
+    expired;
   t.reass <- live;
   let q =
     match List.find_opt (fun q -> q.key = key) t.reass with
@@ -190,7 +207,8 @@ and reass_insert t ~key ~frag_off ~more m =
 let attach ifp arp machine =
   let t =
     { ifp; arp; machine; ip_id = 1; protos = []; reass = []; ipackets = 0; opackets = 0;
-      ofragments = 0; reassembled = 0; badsum = 0 }
+      ofragments = 0; reassembled = 0; badsum = 0; noroute = 0; reass_expired = 0;
+      arp_drops = 0 }
   in
   Netif.set_proto_input ifp ~ethertype:Netif.ethertype_ip (fun m -> input t m);
   t

@@ -73,6 +73,8 @@ type stats = {
   mutable rcvdup : int;
   mutable rcvoo : int;
   mutable rcvbadsum : int;
+  mutable rcvshort : int;    (* segments shorter than a TCP header *)
+  mutable rcvafterwin : int; (* data wholly or partly beyond the window *)
   mutable delack : int;
   mutable fastrexmit : int;
   mutable drops : int;
@@ -623,6 +625,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
     let wnd = rcv_window pcb in
     let past = seq_diff (m32 (!seq + !dlen)) (m32 (pcb.rcv_nxt + wnd)) in
     if past > 0 && !dlen > 0 then begin
+      t.stats.rcvafterwin <- t.stats.rcvafterwin + 1;
       if past >= !dlen then begin
         (* Entirely beyond the window. *)
         pcb.ack_now <- true;
@@ -776,7 +779,10 @@ let input t ~src ~dst m =
   Cost.charge_cycles Cost.config.bsd_tcp_pkt_cycles;
   t.stats.rcvpack <- t.stats.rcvpack + 1;
   let total = Mbuf.m_length m in
-  if total < tcp_hlen then Mbuf.m_freem m
+  if total < tcp_hlen then begin
+    t.stats.rcvshort <- t.stats.rcvshort + 1;
+    Mbuf.m_freem m
+  end
   else begin
     let sum =
       In_cksum.cksum_chain m ~off:0 ~len:total
@@ -840,8 +846,8 @@ let attach ip machine =
       ticking = false;
       stats =
         { sndpack = 0; sndrexmitpack = 0; rcvpack = 0; rcvdup = 0; rcvoo = 0;
-          rcvbadsum = 0; delack = 0; fastrexmit = 0; drops = 0; accepts = 0;
-          connects = 0 } }
+          rcvbadsum = 0; rcvshort = 0; rcvafterwin = 0; delack = 0; fastrexmit = 0;
+          drops = 0; accepts = 0; connects = 0 } }
   in
   Ip.set_proto ip ~proto:Ip.proto_tcp (fun ~src ~dst m -> input t ~src ~dst m);
   t

@@ -14,10 +14,17 @@ type pcb = {
   mutable dropped : int;
 }
 
-type t = { ip : Ip.t; mutable pcbs : pcb list; mutable next_ephemeral : int }
+type t = {
+  ip : Ip.t;
+  mutable pcbs : pcb list;
+  mutable next_ephemeral : int;
+  mutable badsum : int;    (* datagrams dropped on checksum failure *)
+  mutable noport : int;    (* datagrams with no listening pcb *)
+  mutable fulldrops : int; (* datagrams dropped at a full socket buffer *)
+}
 
 let attach ip =
-  let t = { ip; pcbs = []; next_ephemeral = 49152 } in
+  let t = { ip; pcbs = []; next_ephemeral = 49152; badsum = 0; noport = 0; fulldrops = 0 } in
   let input ~src ~dst:_ m =
     (* Consumes m: the payload is copied out, so the chain is always freed. *)
     if Mbuf.m_length m < udp_hlen then Mbuf.m_freem m
@@ -36,7 +43,8 @@ let attach ip =
                         ~proto:Ip.proto_udp ~len:ulen)
              = 0
         in
-        if sum_ok then begin
+        if not sum_ok then t.badsum <- t.badsum + 1
+        else begin
           match
             List.find_opt
               (fun p ->
@@ -44,10 +52,15 @@ let attach ip =
                 && (p.rport = 0 || (p.rport = sport && Int32.equal p.raddr src)))
               t.pcbs
           with
-          | None -> () (* no listener: the donor would send ICMP unreachable *)
+          | None ->
+              (* no listener: the donor would send ICMP unreachable *)
+              t.noport <- t.noport + 1
           | Some p ->
               let len = ulen - udp_hlen in
-              if p.rcv_cc + len > p.rcv_hiwat then p.dropped <- p.dropped + 1
+              if p.rcv_cc + len > p.rcv_hiwat then begin
+                p.dropped <- p.dropped + 1;
+                t.fulldrops <- t.fulldrops + 1
+              end
               else begin
                 let payload = Mbuf.m_copydata m ~off:udp_hlen ~len in
                 Queue.add (src, sport, payload) p.rcv_q;

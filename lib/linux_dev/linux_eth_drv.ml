@@ -117,7 +117,8 @@ let eth_header skb ~src ~dst ~proto =
   Bytes.blit_string dst 0 skb.Skbuff.skb_data off 6;
   Bytes.blit_string src 0 skb.Skbuff.skb_data (off + 6) 6;
   Bytes.set skb.Skbuff.skb_data (off + 12) (Char.chr (proto lsr 8));
-  Bytes.set skb.Skbuff.skb_data (off + 13) (Char.chr (proto land 0xff))
+  Bytes.set skb.Skbuff.skb_data (off + 13) (Char.chr (proto land 0xff));
+  skb.Skbuff.link_ready <- true
 
 (* Forget past probes (simulation restart). *)
 let reset () = found := []

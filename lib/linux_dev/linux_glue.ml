@@ -41,7 +41,8 @@ let skb_of_bufio (io : Io_if.bufio) =
           (* Contiguous foreign data: fake sk_buff aliasing it.  Not
              pooled — the backing belongs to the lender. *)
           ( { Skbuff.skb_data = backing; head = start; len = n; protocol = 0;
-              dev_name = ""; skb_pooled = false; skb_freed = false },
+              dev_name = ""; skb_pooled = false; skb_freed = false;
+              link_ready = false },
             false )
       | None -> (
           (* Discontiguous (e.g. an mbuf chain): allocate and copy. *)

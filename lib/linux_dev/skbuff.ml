@@ -29,6 +29,7 @@ type sk_buff = {
   mutable dev_name : string;
   skb_pooled : bool; (* storage owned by the size-class pools below *)
   mutable skb_freed : bool;
+  mutable link_ready : bool; (* ether header built: safe to hand to a NIC *)
 }
 
 exception Skb_over_panic
@@ -52,18 +53,18 @@ let alloc_skb size =
   if size <= 1 lsl max_class_bits then
     let pool = pools.(class_of_size size - min_class_bits) in
     { skb_data = Bpool.get pool; head = 0; len = 0; protocol = 0; dev_name = "";
-      skb_pooled = true; skb_freed = false }
+      skb_pooled = true; skb_freed = false; link_ready = false }
   else begin
     Cost.charge_alloc ();
     { skb_data = Bytes.create size; head = 0; len = 0; protocol = 0; dev_name = "";
-      skb_pooled = false; skb_freed = false }
+      skb_pooled = false; skb_freed = false; link_ready = false }
   end
 
 (* Wrap an existing buffer without copying (used by the glue's "fake
    skbuff" trick, Section 4.7.3, and by DMA completion). *)
 let skb_wrap data =
   { skb_data = data; head = 0; len = Bytes.length data; protocol = 0; dev_name = "";
-    skb_pooled = false; skb_freed = false }
+    skb_pooled = false; skb_freed = false; link_ready = false }
 
 (* kfree_skb: retire the buffer to its size-class pool.  Foreign (wrapped)
    storage is the lender's; only the bookkeeping applies. *)

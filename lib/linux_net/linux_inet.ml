@@ -74,6 +74,14 @@ type sock = {
   mutable err : Error.t option;
   sleep : Sleep_record.t;
   mutable rexmt_armed : bool;
+  mutable rexmt_shift : int; (* backoff exponent; reset when an ACK advances *)
+}
+
+(* An unresolved ARP destination: bounded waiter queue, retry timer. *)
+and arp_wait = {
+  mutable aw_waiters : ((string -> unit) * (unit -> unit)) list; (* newest first *)
+  mutable aw_tries : int;
+  mutable aw_timer : World.event option;
 }
 
 and stack = {
@@ -82,7 +90,7 @@ and stack = {
   mutable my_ip : int32;
   mutable my_mask : int32;
   arp_cache : (int32, string) Hashtbl.t;
-  arp_pending : (int32, (string -> unit) list ref) Hashtbl.t;
+  arp_pending : (int32, arp_wait) Hashtbl.t;
   mutable socks : sock list;
   mutable next_port : int;
   mutable next_iss : int;
@@ -90,12 +98,23 @@ and stack = {
   mutable segs_out : int;
   mutable segs_in : int;
   mutable rexmits : int;
+  (* netstat-style drop accounting *)
+  mutable ipbadsum : int;       (* IP header checksum failures *)
+  mutable tcpbadsum : int;      (* TCP checksum failures *)
+  mutable rcvdup : int;         (* data at or below rcv_nxt, dropped *)
+  mutable rcvoo : int;          (* data beyond rcv_nxt (no OOO queue here) *)
+  mutable rcvfull : int;        (* in-order data dropped: receive queue full *)
+  mutable arp_waiters_dropped : int; (* pending queue overflow, drop-head *)
+  mutable arp_failures : int;   (* resolutions abandoned after retries *)
+  mutable rexmt_give_ups : int; (* connections reset by the rexmt backstop *)
 }
 
 let create machine =
   { machine; dev = None; my_ip = 0l; my_mask = 0l; arp_cache = Hashtbl.create 16;
     arp_pending = Hashtbl.create 4; socks = []; next_port = 1024; next_iss = 99000;
-    ip_id = 1; segs_out = 0; segs_in = 0; rexmits = 0 }
+    ip_id = 1; segs_out = 0; segs_in = 0; rexmits = 0; ipbadsum = 0; tcpbadsum = 0;
+    rcvdup = 0; rcvoo = 0; rcvfull = 0; arp_waiters_dropped = 0; arp_failures = 0;
+    rexmt_give_ups = 0 }
 
 let ifconfig t ~addr ~mask =
   t.my_ip <- addr;
@@ -154,16 +173,55 @@ let arp_output t ~op ~dst_mac ~target_mac ~target_ip =
   (* The card has copied the frame out; retire the buffer. *)
   Skbuff.skb_free skb
 
-let arp_resolve t ip k =
+let arp_request t ip =
+  arp_output t ~op:1 ~dst_mac:"\xff\xff\xff\xff\xff\xff"
+    ~target_mac:"\000\000\000\000\000\000" ~target_ip:ip
+
+(* Pending-queue and retry limits, as in the FreeBSD side: a handful of
+   waiters, request backoff doubling from 0.5 s, then give up and fail
+   whatever is still queued. *)
+let arp_max_waiters = 16
+let arp_max_tries = 5
+let arp_retry_base_ns = 500_000_000
+
+let rec arp_schedule_retry t ip w =
+  let delay = arp_retry_base_ns * (1 lsl (w.aw_tries - 1)) in
+  w.aw_timer <-
+    Some
+      (Machine.after t.machine delay (fun () ->
+           w.aw_timer <- None;
+           if w.aw_tries >= arp_max_tries then begin
+             Hashtbl.remove t.arp_pending ip;
+             t.arp_failures <- t.arp_failures + 1;
+             List.iter (fun (_, on_drop) -> on_drop ()) (List.rev w.aw_waiters);
+             w.aw_waiters <- []
+           end
+           else begin
+             w.aw_tries <- w.aw_tries + 1;
+             arp_request t ip;
+             arp_schedule_retry t ip w
+           end))
+
+let arp_resolve t ip ?(on_drop = fun () -> ()) k =
   match Hashtbl.find_opt t.arp_cache ip with
   | Some mac -> k mac
   | None -> (
       match Hashtbl.find_opt t.arp_pending ip with
-      | Some waiters -> waiters := k :: !waiters
+      | Some w ->
+          if List.length w.aw_waiters >= arp_max_waiters then begin
+            match List.rev w.aw_waiters with
+            | (_, oldest_drop) :: rest ->
+                t.arp_waiters_dropped <- t.arp_waiters_dropped + 1;
+                oldest_drop ();
+                w.aw_waiters <- List.rev rest
+            | [] -> ()
+          end;
+          w.aw_waiters <- (k, on_drop) :: w.aw_waiters
       | None ->
-          Hashtbl.replace t.arp_pending ip (ref [ k ]);
-          arp_output t ~op:1 ~dst_mac:"\xff\xff\xff\xff\xff\xff"
-            ~target_mac:"\000\000\000\000\000\000" ~target_ip:ip)
+          let w = { aw_waiters = [ (k, on_drop) ]; aw_tries = 1; aw_timer = None } in
+          Hashtbl.replace t.arp_pending ip w;
+          arp_request t ip;
+          arp_schedule_retry t ip w)
 
 let arp_rcv t skb =
   let d = skb.Skbuff.skb_data and o = skb.Skbuff.head in
@@ -174,9 +232,12 @@ let arp_rcv t skb =
     let target_ip = get32be d (o + 24) in
     Hashtbl.replace t.arp_cache sender_ip sender_mac;
     (match Hashtbl.find_opt t.arp_pending sender_ip with
-    | Some waiters ->
+    | Some w ->
         Hashtbl.remove t.arp_pending sender_ip;
-        List.iter (fun k -> k sender_mac) (List.rev !waiters)
+        (match w.aw_timer with
+        | Some ev -> World.cancel ev; w.aw_timer <- None
+        | None -> ());
+        List.iter (fun (k, _) -> k sender_mac) (List.rev w.aw_waiters)
     | None -> ());
     if op = 1 && Int32.equal target_ip t.my_ip then
       arp_output t ~op:2 ~dst_mac:sender_mac ~target_mac:sender_mac ~target_ip:sender_ip
@@ -205,7 +266,12 @@ let ip_output t ?(free_after = false) ~proto ~dst skb =
   put32be d (off + 16) dst;
   Bytes.set_uint16_be d (off + 10) (cksum d ~off ~len:ip_hlen);
   let dev = dev_of t in
-  arp_resolve t dst (fun mac ->
+  (* If ARP gives up, a fire-and-forget frame is freed here; a frame queued
+     for retransmission stays owned by its socket's rexmt machinery (and is
+     never handed to the device without a link header — see arm_rexmt). *)
+  arp_resolve t dst
+    ~on_drop:(fun () -> if free_after then Skbuff.skb_free skb)
+    (fun mac ->
       Linux_eth_drv.eth_header skb ~src:dev.Linux_eth_drv.dev_addr ~dst:mac ~proto:0x0800;
       Linux_eth_drv.hard_start_xmit dev skb;
       if free_after then Skbuff.skb_free skb)
@@ -226,6 +292,8 @@ let alloc_port t =
 let inflight s = seq_diff s.snd_nxt s.snd_una
 
 let rcv_window s = max 0 (default_window - s.rcv_q_bytes)
+
+let rexmt_max_shift = 6
 
 (* Build one segment in a fresh contiguous skb.  [payload] is copied in
    (the send-path copy); the finished frame is kept for retransmission when
@@ -270,23 +338,42 @@ let rec tcp_xmit t s ~seq ~flags ~payload ~queue =
   ip_output t ~free_after:(not queued) ~proto:6 ~dst:s.raddr skb;
   arm_rexmt t s
 
-(* Retransmission: resend the oldest unacked frame as-is. *)
+(* Retransmission: resend the oldest unacked frame as-is.  The timer backs
+   off exponentially (Linux 2.0's coarse doubling) and, after enough barren
+   fires, gives the connection up — the backstop that stops a dead peer or
+   an unresolvable ARP entry from retransmitting forever. *)
 and arm_rexmt t s =
   if (not s.rexmt_armed) && s.rexmt_q <> [] then begin
     s.rexmt_armed <- true;
+    let delay = rexmt_ns * (1 lsl min s.rexmt_shift rexmt_max_shift) in
     ignore
-      (Machine.after t.machine rexmt_ns (fun () ->
+      (Machine.after t.machine delay (fun () ->
            s.rexmt_armed <- false;
            match s.rexmt_q with
            | [] -> ()
            | entry :: _ ->
-               t.rexmits <- t.rexmits + 1;
-               s.ssthresh <- max (2 * mss) (min s.cwnd s.snd_wnd / 2);
-               s.cwnd <- mss;
-               (* The queued frame already carries IP+ether headers from its
-                  first transmission; hand it straight back to the device. *)
-               Linux_eth_drv.hard_start_xmit (dev_of t) entry.rx_frame;
-               arm_rexmt t s))
+               if s.rexmt_shift >= rexmt_max_shift then begin
+                 (* Give up: error the socket and free every queued frame. *)
+                 t.rexmt_give_ups <- t.rexmt_give_ups + 1;
+                 List.iter (fun e -> Skbuff.skb_free e.rx_frame) s.rexmt_q;
+                 s.rexmt_q <- [];
+                 s.err <- Some Error.Timedout;
+                 s.state <- Closed;
+                 t.socks <- List.filter (fun x -> x != s) t.socks;
+                 Sleep_record.wakeup s.sleep
+               end
+               else begin
+                 t.rexmits <- t.rexmits + 1;
+                 s.rexmt_shift <- s.rexmt_shift + 1;
+                 s.ssthresh <- max (2 * mss) (min s.cwnd s.snd_wnd / 2);
+                 s.cwnd <- mss;
+                 (* The queued frame carries IP+ether headers from its first
+                    transmission — unless ARP never resolved, in which case
+                    the header was never built and the frame must wait. *)
+                 if entry.rx_frame.Skbuff.link_ready then
+                   Linux_eth_drv.hard_start_xmit (dev_of t) entry.rx_frame;
+                 arm_rexmt t s
+               end))
   end
 
 let send_ack t s = tcp_xmit t s ~seq:s.snd_nxt ~flags:th_ack ~payload:None ~queue:false
@@ -298,7 +385,8 @@ let send_rst_for t ~src ~sport ~dport ~ack =
       snd_una = ack; snd_nxt = ack; snd_wnd = 0; cwnd = mss; ssthresh = 0;
       fin_queued = false; rexmt_q = []; rcv_nxt = 0; rcv_q = Queue.create ();
       rcv_q_bytes = 0; head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
-      backlog = 0; parent = None; err = None; sleep = Sleep_record.create (); rexmt_armed = true }
+      backlog = 0; parent = None; err = None; sleep = Sleep_record.create ();
+      rexmt_armed = true; rexmt_shift = 0 }
   in
   tcp_xmit t fake ~seq:ack ~flags:th_rst ~payload:None ~queue:false
 
@@ -311,7 +399,7 @@ let new_sock t =
       fin_queued = false; rexmt_q = []; rcv_nxt = 0; rcv_q = Queue.create ();
       rcv_q_bytes = 0; head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
       backlog = 0; parent = None; err = None; sleep = Sleep_record.create ~name:"lx_sock" ();
-      rexmt_armed = false }
+      rexmt_armed = false; rexmt_shift = 0 }
   in
   t.socks <- s :: t.socks;
   s
@@ -335,6 +423,7 @@ let ack_advance t s ack =
     let acked, live = List.partition (fun e -> not (seq_gt e.rx_end ack)) s.rexmt_q in
     List.iter (fun e -> Skbuff.skb_free e.rx_frame) acked;
     s.rexmt_q <- live;
+    s.rexmt_shift <- 0;
     if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd + mss
     else s.cwnd <- s.cwnd + max 1 (mss * mss / s.cwnd);
     ignore t;
@@ -352,7 +441,7 @@ let tcp_rcv t skb ~src =
     let total = skb.Skbuff.len in
     if
       cksum d ~off:o ~len:total ~init:(pseudo ~src ~dst:t.my_ip ~proto:6 ~len:total) <> 0
-    then ()
+    then t.tcpbadsum <- t.tcpbadsum + 1
     else begin
       let sport = Bytes.get_uint16_be d o in
       let dport = Bytes.get_uint16_be d (o + 2) in
@@ -443,9 +532,14 @@ let tcp_rcv t skb ~src =
                     send_ack t s;
                     wake s
                   end
-                  else
-                    (* Out of order or no room: dup-ACK and drop. *)
+                  else begin
+                    (* Duplicate, out of order, or no room: count which,
+                       dup-ACK, and drop — 2.0 keeps no OOO queue. *)
+                    if seq_lt seq s.rcv_nxt then t.rcvdup <- t.rcvdup + 1
+                    else if seq_gt seq s.rcv_nxt then t.rcvoo <- t.rcvoo + 1
+                    else t.rcvfull <- t.rcvfull + 1;
                     send_ack t s
+                  end
                 end;
                 (* FIN. *)
                 if flags land th_fin <> 0 && m32 (seq + dlen) = s.rcv_nxt then begin
@@ -483,7 +577,10 @@ let ip_rcv t skb =
     let total = Bytes.get_uint16_be d (o + 2) in
     let proto = Char.code (Bytes.get d (o + 9)) in
     let src = get32be d (o + 12) and dst = get32be d (o + 16) in
-    if cksum d ~off:o ~len:ihl <> 0 then Skbuff.skb_free skb
+    if cksum d ~off:o ~len:ihl <> 0 then begin
+      t.ipbadsum <- t.ipbadsum + 1;
+      Skbuff.skb_free skb
+    end
     else if not (Int32.equal dst t.my_ip) then Skbuff.skb_free skb
     else begin
       (* Trim link padding, strip the header. *)
@@ -629,3 +726,24 @@ let close t s =
       s.state <- Closed;
       detach t s
   | _ -> ()
+
+(* ---- per-layer drop accounting, netstat -s style ---- *)
+
+let netstat t =
+  Printf.sprintf
+    "ip:\n\
+    \  %d bad header checksums\n\
+     tcp:\n\
+    \  %d segments sent\n\
+    \  %d segments received\n\
+    \  %d segments retransmitted\n\
+    \  %d bad checksums\n\
+    \  %d duplicate segments dropped\n\
+    \  %d out-of-order segments dropped\n\
+    \  %d segments dropped, full receive queue\n\
+    \  %d connections timed out retransmitting\n\
+     arp:\n\
+    \  %d waiters dropped (queue full)\n\
+    \  %d resolutions abandoned (retries exhausted)\n"
+    t.ipbadsum t.segs_out t.segs_in t.rexmits t.tcpbadsum t.rcvdup t.rcvoo
+    t.rcvfull t.rexmt_give_ups t.arp_waiters_dropped t.arp_failures

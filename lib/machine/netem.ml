@@ -1,0 +1,177 @@
+(* Deterministic network emulation for the simulated wire.
+
+   The fault model is a composition of the classic netem/dummynet knobs:
+   independent loss, Gilbert–Elliott burst loss, single-bit payload
+   corruption, duplication, reordering via bounded extra delay, and timed
+   partition windows.  Every probabilistic decision is drawn from an
+   explicit splitmix64 PRNG seeded at creation, in a fixed per-frame draw
+   order, so a run with the same seed and the same workload replays its
+   fault schedule exactly. *)
+
+type ge = {
+  p_good_bad : float;
+  p_bad_good : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
+type policy = {
+  loss : float;
+  ge : ge option;
+  corrupt : float;
+  corrupt_min_len : int;
+  duplicate : float;
+  reorder : float;
+  reorder_delay_ns : int;
+  filter : (bytes -> bool) option;
+}
+
+let default_policy =
+  { loss = 0.0; ge = None; corrupt = 0.0; corrupt_min_len = 0; duplicate = 0.0;
+    reorder = 0.0; reorder_delay_ns = 0; filter = None }
+
+type counters = {
+  mutable offered : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable burst_lost : int;
+  mutable filtered : int;
+  mutable partitioned : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+}
+
+type t = {
+  mutable prng : int64;
+  mutable default_pol : policy;
+  per_port : (int, policy) Hashtbl.t;
+  mutable partitions : (int * int) list;
+  mutable ge_bad : bool;
+  c : counters;
+}
+
+let create ?(seed = 1) ?(policy = default_policy) () =
+  { prng = Int64.logxor (Int64.of_int seed) 0x5851F42D4C957F2DL;
+    default_pol = policy; per_port = Hashtbl.create 4; partitions = [];
+    ge_bad = false;
+    c =
+      { offered = 0; delivered = 0; lost = 0; burst_lost = 0; filtered = 0;
+        partitioned = 0; corrupted = 0; duplicated = 0; reordered = 0 } }
+
+let of_filter pred =
+  create ~seed:0 ~policy:{ default_policy with filter = Some pred } ()
+
+let set_policy t ?port policy =
+  match port with
+  | None -> t.default_pol <- policy
+  | Some id -> Hashtbl.replace t.per_port id policy
+
+let add_partition t ~from_ns ~until_ns =
+  t.partitions <- (from_ns, until_ns) :: t.partitions
+
+let counters t = t.c
+
+(* ---- splitmix64 ---- *)
+
+let next_u64 t =
+  let open Int64 in
+  t.prng <- add t.prng 0x9E3779B97F4A7C15L;
+  let z = t.prng in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let rand_float t =
+  Int64.to_float (Int64.shift_right_logical (next_u64 t) 11)
+  *. (1.0 /. 9007199254740992.0)
+
+let rand_int t bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 t) 1) (Int64.of_int bound))
+
+(* ---- the per-frame verdict ---- *)
+
+(* Frames begin with a 14-byte Ethernet header.  Corruption is confined to
+   the bytes past it: the simulated medium has no FCS, so damage to the
+   link header would only misdeliver the frame silently — damage to the
+   payload is what must exercise the stacks' own checksums. *)
+let ether_hlen = 14
+
+let judge t ~now ~port frame =
+  t.c.offered <- t.c.offered + 1;
+  let p =
+    match Hashtbl.find_opt t.per_port port with
+    | Some p -> p
+    | None -> t.default_pol
+  in
+  let filtered = match p.filter with Some f -> f frame | None -> false in
+  if filtered then begin
+    t.c.filtered <- t.c.filtered + 1;
+    []
+  end
+  else if List.exists (fun (a, b) -> now >= a && now < b) t.partitions then begin
+    t.c.partitioned <- t.c.partitioned + 1;
+    []
+  end
+  else begin
+    (* Fixed draw order: the random stream consumed per frame does not
+       depend on any outcome, so one policy's schedule never perturbs
+       another knob's. *)
+    let u_loss = rand_float t in
+    let u_ge = rand_float t in
+    let u_ge_loss = rand_float t in
+    let u_corrupt = rand_float t in
+    let u_dup = rand_float t in
+    let u_reorder = rand_float t in
+    let burst =
+      match p.ge with
+      | None -> false
+      | Some g ->
+          (if t.ge_bad then begin
+             if u_ge < g.p_bad_good then t.ge_bad <- false
+           end
+           else if u_ge < g.p_good_bad then t.ge_bad <- true);
+          u_ge_loss < (if t.ge_bad then g.loss_bad else g.loss_good)
+    in
+    if u_loss < p.loss then begin
+      t.c.lost <- t.c.lost + 1;
+      []
+    end
+    else if burst then begin
+      t.c.burst_lost <- t.c.burst_lost + 1;
+      []
+    end
+    else begin
+      let len = Bytes.length frame in
+      let frame =
+        if u_corrupt < p.corrupt && len > ether_hlen && len >= p.corrupt_min_len
+        then begin
+          t.c.corrupted <- t.c.corrupted + 1;
+          let f = Bytes.copy frame in
+          let off = ether_hlen + rand_int t (len - ether_hlen) in
+          let bit = rand_int t 8 in
+          Bytes.set f off (Char.chr (Char.code (Bytes.get f off) lxor (1 lsl bit)));
+          f
+        end
+        else frame
+      in
+      let delay =
+        if p.reorder > 0.0 && p.reorder_delay_ns > 0 && u_reorder < p.reorder
+        then begin
+          t.c.reordered <- t.c.reordered + 1;
+          1 + rand_int t p.reorder_delay_ns
+        end
+        else 0
+      in
+      let deliveries =
+        if u_dup < p.duplicate then begin
+          t.c.duplicated <- t.c.duplicated + 1;
+          [ (frame, delay); (frame, delay + 1) ]
+        end
+        else [ (frame, delay) ]
+      in
+      t.c.delivered <- t.c.delivered + List.length deliveries;
+      deliveries
+    end
+  end

@@ -9,8 +9,9 @@ type t = {
   mutable busy_until : int;
   mutable frames : int;
   mutable bytes : int;
-  mutable fault : (bytes -> bool) option;
+  mutable netem : Netem.t option;
   mutable dropped : int;
+  mutable delivered : int;
 }
 
 (* 100BASE-T framing overhead per frame: 8 B preamble + 4 B FCS + 12 B
@@ -19,7 +20,7 @@ let framing_bytes = 24
 
 let create ?(bandwidth_bps = 100_000_000) ?(latency_ns = 1_000) world =
   { world; bandwidth_bps; latency_ns; ports = []; next_id = 0; busy_until = 0;
-    frames = 0; bytes = 0; fault = None; dropped = 0 }
+    frames = 0; bytes = 0; netem = None; dropped = 0; delivered = 0 }
 
 let attach t ~rx =
   let p = { id = t.next_id; rx } in
@@ -27,28 +28,46 @@ let attach t ~rx =
   t.ports <- p :: t.ports;
   p
 
+let port_id p = p.id
+
 let serialization_ns t len =
   (len + framing_bytes) * 8 * 1_000_000_000 / t.bandwidth_bps
 
 let send t port frame ~at =
+  (* The sender always serializes the frame onto the medium: loss happens
+     in transit, so the medium is busy and the offered-traffic stats move
+     whether or not anyone ends up hearing it. *)
   let start = max at t.busy_until in
   let finish = start + serialization_ns t (Bytes.length frame) in
   t.busy_until <- finish;
   t.frames <- t.frames + 1;
   t.bytes <- t.bytes + Bytes.length frame;
   let arrival = finish + t.latency_ns in
-  let lost = match t.fault with Some f -> f frame | None -> false in
-  if lost then t.dropped <- t.dropped + 1
-  else begin
-    let deliver () =
-      let copy_for p = p.rx (Bytes.copy frame) in
-      List.iter (fun p -> if p.id <> port.id then copy_for p) t.ports
-    in
-    ignore (World.at t.world arrival deliver)
-  end;
+  let deliveries =
+    match t.netem with
+    | None -> [ (frame, 0) ]
+    | Some em -> Netem.judge em ~now:start ~port:port.id frame
+  in
+  (match deliveries with
+   | [] -> t.dropped <- t.dropped + 1
+   | ds ->
+       List.iter
+         (fun (f, extra) ->
+           t.delivered <- t.delivered + 1;
+           let deliver () =
+             let copy_for p = p.rx (Bytes.copy f) in
+             List.iter (fun p -> if p.id <> port.id then copy_for p) t.ports
+           in
+           ignore (World.at t.world (arrival + extra) deliver))
+         ds);
   arrival
 
-let set_fault_injector t f = t.fault <- f
+let set_netem t em = t.netem <- em
+
+let set_fault_injector t f =
+  t.netem <- (match f with None -> None | Some pred -> Some (Netem.of_filter pred))
+
 let frames_dropped t = t.dropped
+let frames_delivered t = t.delivered
 let frames_carried t = t.frames
 let bytes_carried t = t.bytes

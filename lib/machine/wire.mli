@@ -18,20 +18,35 @@ val create : ?bandwidth_bps:int -> ?latency_ns:int -> World.t -> t
     real hub. *)
 val attach : t -> rx:(bytes -> unit) -> port
 
+(** The wire-local identifier of a port — the key for per-direction
+    [Netem] policies. *)
+val port_id : port -> int
+
 (** [send t port frame ~at] offers [frame] for transmission at sender-local
-    time [at].  Returns the time the frame will finish arriving. *)
+    time [at].  Returns the time the frame will finish arriving.  The
+    sender always pays serialization — faults injected by the attached
+    emulator drop, damage, duplicate, or delay the frame in transit, after
+    the medium was occupied. *)
 val send : t -> port -> bytes -> at:int -> int
 
-(** [set_fault_injector t f] — [f frame] returning true silently drops the
-    frame in transit (test hook: lossy-segment experiments).  [None]
+(** [set_netem t em] composes a network emulator into delivery; [None]
     restores perfect delivery. *)
+val set_netem : t -> Netem.t option -> unit
+
+(** [set_fault_injector t f] — back-compat shim over [set_netem]: [f frame]
+    returning true silently drops the frame in transit.  The predicate is
+    called exactly once per offered frame, in send order. *)
 val set_fault_injector : t -> (bytes -> bool) option -> unit
 
-(** Frames dropped by the injector. *)
+(** Frames discarded in transit (by any fault: filter, loss, burst,
+    partition). *)
 val frames_dropped : t -> int
 
-(** Total frames ever carried. *)
+(** Deliveries actually scheduled (duplicates count twice). *)
+val frames_delivered : t -> int
+
+(** Total frames ever offered (and serialized), lost or not. *)
 val frames_carried : t -> int
 
-(** Total payload bytes ever carried. *)
+(** Total payload bytes ever offered. *)
 val bytes_carried : t -> int

@@ -1,9 +1,12 @@
 #!/bin/sh
-# Tier-1 gate: full build, test suites, and a smoke run of the allocator
+# Tier-1 gate: full build, test suites, and smoke runs of the allocator
 # bench (tiny workload — we only check it runs and prints the speedup
-# table, not the absolute numbers).
+# table) and the chaos bench (fixed-seed lossy-link soak: ttcp through
+# netem at 0–5% loss in all three configurations; the bench itself fails
+# if any cell is not byte-exact).
 set -eux
 
 dune build
 dune runtest
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- alloc
+OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- chaos

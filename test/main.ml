@@ -12,6 +12,7 @@ let () =
       "fs", Test_fs.suite;
       "netparts", Test_netparts.suite;
       "net", Test_net.suite;
+      "netem", Test_netem.suite;
       "tcp-behavior", Test_tcp_behavior.suite;
       "misc", Test_misc.suite;
       "vm", Test_vm.suite;
