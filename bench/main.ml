@@ -28,6 +28,33 @@ let blocks =
 
 let blocksize = 4096
 
+(* Flags that modify sections (set by the driver below):
+     --sg    add a scatter-gather send column / counter audit to table1
+     --json  also write each table as BENCH_<section>.json *)
+let want_sg = ref false
+let want_json = ref false
+
+(* Minimal JSON emission: the repository carries no JSON library, and
+   these records are flat. *)
+let json_obj fields = "{" ^ String.concat ", " fields ^ "}"
+let json_str k v = Printf.sprintf "%S: %S" k v
+let json_int k v = Printf.sprintf "%S: %d" k v
+let json_float k v = Printf.sprintf "%S: %.4f" k v
+
+let write_json file rows_name header rows =
+  let oc = open_out file in
+  output_string oc "{\n";
+  List.iter (fun line -> output_string oc ("  " ^ line ^ ",\n")) header;
+  output_string oc (Printf.sprintf "  %S: [\n" rows_name);
+  let n = List.length rows in
+  List.iteri
+    (fun i row ->
+      output_string oc ("    " ^ row ^ (if i = n - 1 then "\n" else ",\n")))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" file
+
 (* ---------------- Table 1 ---------------- *)
 
 let table1 () =
@@ -37,33 +64,106 @@ let table1 () =
     (float_of_int (blocks * blocksize) /. 1048576.0);
   Printf.printf "%-22s %14s %14s\n" "system" "send (Mbit/s)" "recv (Mbit/s)";
   let fixed = Netbench.Freebsd in
-  List.iter
-    (fun config ->
-      (* Send row: [config] transmits to a native FreeBSD sink; receive
-         row: a native FreeBSD source transmits to [config]. *)
-      let send = Netbench.transfer ~sender:config ~receiver:fixed ~blocks ~blocksize in
-      let recv = Netbench.transfer ~sender:fixed ~receiver:config ~blocks ~blocksize in
-      Printf.printf "%-22s %14.2f %14.2f\n%!" (Netbench.config_name config)
-        send.Netbench.mbit_sender recv.Netbench.mbit_e2e)
-    [ Netbench.Linux; Netbench.Freebsd; Netbench.Oskit ];
+  let rows =
+    List.map
+      (fun config ->
+        (* Send row: [config] transmits to a native FreeBSD sink; receive
+           row: a native FreeBSD source transmits to [config]. *)
+        let send = Netbench.transfer ~sender:config ~receiver:fixed ~blocks ~blocksize () in
+        let recv = Netbench.transfer ~sender:fixed ~receiver:config ~blocks ~blocksize () in
+        Printf.printf "%-22s %14.2f %14.2f\n%!" (Netbench.config_name config)
+          send.Netbench.mbit_sender recv.Netbench.mbit_e2e;
+        config, send, recv)
+      [ Netbench.Linux; Netbench.Freebsd; Netbench.Oskit ]
+  in
   print_newline ();
   print_endline "paper's qualitative claims (Section 5):";
   print_endline "  - OSKit receives about as fast as FreeBSD (zero-copy skbuff->mbuf map)";
-  print_endline "  - OSKit send is lower: mbuf chains are flattened into skbuffs (extra copy)"
+  print_endline "  - OSKit send is lower: mbuf chains are flattened into skbuffs (extra copy)";
+  let sg_rows =
+    if not !want_sg then []
+    else begin
+      Printf.printf "\nwith --sg (scatter-gather transmit at the glue, Cost.sg_tx):\n";
+      Printf.printf "%-22s %14s %14s %10s %10s %12s\n" "system" "send (Mbit/s)"
+        "send sg on" "sg xmits" "flattened" "copies/kpkt";
+      List.map
+        (fun (config, send, _) ->
+          let sg =
+            Netbench.transfer ~sg:true ~sender:config ~receiver:fixed ~blocks ~blocksize ()
+          in
+          Printf.printf "%-22s %14.2f %14.2f %10d %10d %12d\n%!"
+            (Netbench.config_name config) send.Netbench.mbit_sender
+            sg.Netbench.mbit_sender sg.Netbench.sg_xmits sg.Netbench.linearized_xmits
+            sg.Netbench.copies_per_kpkt;
+          config, sg)
+        rows
+    end
+  in
+  (match List.assoc_opt Netbench.Oskit (List.map (fun (c, s) -> c, s) sg_rows) with
+  | Some sg ->
+      let fbsd_send =
+        List.find_map
+          (fun (c, s, _) -> if c = Netbench.Freebsd then Some s.Netbench.mbit_sender else None)
+          rows
+        |> Option.get
+      in
+      Printf.printf
+        "\nOSKit --sg send is %.1f%% of native FreeBSD send (flatten copy eliminated:\n\
+         %d sg xmits, %d linearized)\n"
+        (100.0 *. sg.Netbench.mbit_sender /. fbsd_send)
+        sg.Netbench.sg_xmits sg.Netbench.linearized_xmits
+  | None -> ());
+  if !want_json then
+    write_json "BENCH_table1.json" "rows"
+      [ json_str "bench" "table1"; json_int "blocks" blocks;
+        json_int "blocksize" blocksize; json_str "unit" "Mbit/s" ]
+      (List.map
+         (fun (config, send, recv) ->
+           let base =
+             [ json_str "system" (Netbench.config_name config);
+               json_float "send_mbit" send.Netbench.mbit_sender;
+               json_float "recv_mbit" recv.Netbench.mbit_e2e;
+               json_int "send_copies_per_kpkt" send.Netbench.copies_per_kpkt;
+               json_int "send_crossings_per_kpkt" send.Netbench.crossings_per_kpkt;
+               json_int "send_sg_xmits" send.Netbench.sg_xmits;
+               json_int "send_linearized_xmits" send.Netbench.linearized_xmits;
+               json_int "send_checksummed_bytes" send.Netbench.checksummed_bytes ]
+           in
+           let sg_fields =
+             match List.assoc_opt config (List.map (fun (c, s) -> c, s) sg_rows) with
+             | Some sg ->
+                 [ json_float "send_sg_mbit" sg.Netbench.mbit_sender;
+                   json_int "sg_sg_xmits" sg.Netbench.sg_xmits;
+                   json_int "sg_linearized_xmits" sg.Netbench.linearized_xmits ]
+             | None -> []
+           in
+           json_obj (base @ sg_fields))
+         rows)
 
 (* ---------------- Table 2 ---------------- *)
 
 let table2 () =
   section_header "Table 2: TCP 1-byte round-trip time, rtcp (usec)";
   Printf.printf "%-22s %12s\n" "system" "RTT (usec)";
-  List.iter
-    (fun config ->
-      let rtt = Netbench.rtt_us config ~trips:200 in
-      Printf.printf "%-22s %12.1f\n%!" (Netbench.config_name config) rtt)
-    [ Netbench.Linux; Netbench.Freebsd; Netbench.Oskit ];
+  let rows =
+    List.map
+      (fun config ->
+        let rtt = Netbench.rtt_us config ~trips:200 in
+        Printf.printf "%-22s %12.1f\n%!" (Netbench.config_name config) rtt;
+        config, rtt)
+      [ Netbench.Linux; Netbench.Freebsd; Netbench.Oskit ]
+  in
   print_newline ();
   print_endline "paper's qualitative claim: the OSKit imposes significant latency";
-  print_endline "overhead vs FreeBSD — glue-code crossings, not data copies (1-byte)"
+  print_endline "overhead vs FreeBSD — glue-code crossings, not data copies (1-byte)";
+  if !want_json then
+    write_json "BENCH_table2.json" "rows"
+      [ json_str "bench" "table2"; json_int "trips" 200; json_str "unit" "usec" ]
+      (List.map
+         (fun (config, rtt) ->
+           json_obj
+             [ json_str "system" (Netbench.config_name config); json_float "rtt_us" rtt ])
+         rows)
 
 (* ---------------- Table 3 ---------------- *)
 
@@ -294,7 +394,7 @@ let glue () =
       Cost.config.Cost.glue_crossing_cycles <- cycles;
       let t =
         Netbench.transfer ~sender:Netbench.Oskit ~receiver:Netbench.Freebsd
-          ~blocks:(blocks / 2) ~blocksize
+          ~blocks:(blocks / 2) ~blocksize ()
       in
       let rtt = Netbench.rtt_us Netbench.Oskit ~trips:100 in
       Printf.printf "%-28d %14.2f %12.1f\n%!" cycles t.Netbench.mbit_sender rtt)
@@ -308,7 +408,7 @@ let copies () =
   Printf.printf "%-28s %18s %18s\n" "configuration" "copies/1000 pkts" "crossings/1000 pkts";
   List.iter
     (fun (label, sender, receiver) ->
-      let t = Netbench.transfer ~sender ~receiver ~blocks:(blocks / 2) ~blocksize in
+      let t = Netbench.transfer ~sender ~receiver ~blocks:(blocks / 2) ~blocksize () in
       Printf.printf "%-28s %18d %18d\n%!" label t.Netbench.copies_per_kpkt
         t.Netbench.crossings_per_kpkt)
     [ "FreeBSD -> FreeBSD", Netbench.Freebsd, Netbench.Freebsd;
@@ -347,6 +447,43 @@ let chaos () =
   print_newline ();
   print_endline "retransmissions recover every loss: goodput degrades, correctness doesn't"
 
+(* ---------------- sgsmoke: CI gate for the --sg path ---------------- *)
+
+let sgsmoke () =
+  section_header "SG smoke: scatter-gather send path sanity (fails loudly on regression)";
+  let dflt =
+    Netbench.transfer ~sender:Netbench.Oskit ~receiver:Netbench.Freebsd ~blocks ~blocksize ()
+  in
+  let sg =
+    Netbench.transfer ~sg:true ~sender:Netbench.Oskit ~receiver:Netbench.Freebsd ~blocks
+      ~blocksize ()
+  in
+  Printf.printf "OSKit -> FreeBSD send: default %.2f Mbit/s, sg %.2f Mbit/s\n"
+    dflt.Netbench.mbit_sender sg.Netbench.mbit_sender;
+  Printf.printf "default: %d linearized xmits; sg: %d sg xmits, %d linearized\n%!"
+    dflt.Netbench.linearized_xmits sg.Netbench.sg_xmits sg.Netbench.linearized_xmits;
+  if sg.Netbench.mbit_sender < dflt.Netbench.mbit_sender then
+    failwith "sgsmoke: sg send slower than default send";
+  if dflt.Netbench.linearized_xmits = 0 then
+    failwith "sgsmoke: default path no longer flattens (baseline drifted)";
+  if sg.Netbench.linearized_xmits <> 0 then
+    failwith "sgsmoke: flatten copies remain on the sg path";
+  if sg.Netbench.sg_xmits = 0 then failwith "sgsmoke: sg path transmitted nothing via iovec";
+  Printf.printf "\n%-7s %16s %9s %11s\n" "loss" "goodput (Mbit/s)" "rexmits" "byte-exact";
+  List.iter
+    (fun loss ->
+      let r =
+        Netbench.chaos_transfer ~seed:42 ~loss ~sg:true ~sender:Netbench.Oskit
+          ~receiver:Netbench.Freebsd ~blocks ~blocksize ()
+      in
+      Printf.printf "%6.1f%% %16.2f %9d %11s\n%!" (loss *. 100.0) r.Netbench.goodput_mbit
+        r.Netbench.chaos_rexmits
+        (if r.Netbench.byte_exact then "yes" else "NO");
+      if not r.Netbench.byte_exact then
+        failwith "sgsmoke: sg transfer under loss was not byte-exact")
+    [ 0.0; 0.01; 0.05 ];
+  print_endline "\nsg send >= default send; zero flatten copies; byte-exact under loss"
+
 (* ---------------- driver ---------------- *)
 
 let sections =
@@ -358,14 +495,23 @@ let sections =
     "alloc", alloc;
     "glue", glue;
     "copies", copies;
-    "chaos", chaos ]
+    "chaos", chaos;
+    "sgsmoke", sgsmoke ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+  let names =
+    List.filter
+      (function
+        | "--sg" ->
+            want_sg := true;
+            false
+        | "--json" ->
+            want_json := true;
+            false
+        | _ -> true)
+      (List.tl (Array.to_list Sys.argv))
   in
+  let requested = match names with [] -> List.map fst sections | ns -> ns in
   print_endline "Flux OSKit reproduction — benchmark harness";
   Printf.printf "(virtual testbed: 2x 200MHz PCs, 100 Mbps Ethernet; %d-block runs)\n" blocks;
   List.iter

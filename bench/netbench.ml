@@ -123,11 +123,17 @@ type transfer_result = {
   copies_per_kpkt : int;
   crossings_per_kpkt : int;
   packets : int;
+  sg_xmits : int;          (* frames the NIC gathered from an iovec *)
+  linearized_xmits : int;  (* frames flattened at the glue (the copy) *)
+  checksummed_bytes : int;
 }
 
-(* ttcp: [sender] pushes blocks x blocksize to [receiver]. *)
-let transfer ~sender ~receiver ~blocks ~blocksize =
+(* ttcp: [sender] pushes blocks x blocksize to [receiver].  [sg] turns on
+   the scatter-gather transmit path at the mbuf->skbuff glue (default off:
+   the paper's measured configuration flattens chains there). *)
+let transfer ?(sg = false) ~sender ~receiver ~blocks ~blocksize () =
   Clientos.reset_globals ();
+  Cost.config.Cost.sg_tx <- sg;
   Fdev.clear_drivers ();
   let tb = Clientos.make_testbed ~models:("3c905", "tulip") () in
   let total = blocks * blocksize in
@@ -155,11 +161,15 @@ let transfer ~sender ~receiver ~blocks ~blocksize =
   Cost.reset_counters ();
   Clientos.run tb ~until:(fun () -> !recv_done > 0);
   let packets = Wire.frames_carried tb.Clientos.wire in
+  Cost.config.Cost.sg_tx <- false;
   { mbit_sender = float_of_int total *. 8e3 /. float_of_int !send_ns;
     mbit_e2e = float_of_int total *. 8e3 /. float_of_int !recv_done;
     copies_per_kpkt = Cost.counters.Cost.copies * 1000 / max 1 packets;
     crossings_per_kpkt = Cost.counters.Cost.glue_crossings * 1000 / max 1 packets;
-    packets }
+    packets;
+    sg_xmits = Cost.counters.Cost.sg_xmits;
+    linearized_xmits = Cost.counters.Cost.linearized_xmits;
+    checksummed_bytes = Cost.counters.Cost.checksummed_bytes }
 
 (* rtcp: 1-byte round trips, both sides in [config]. *)
 let rtt_us config ~trips =
@@ -296,9 +306,10 @@ type chaos_result = {
 }
 
 let chaos_transfer ?(seed = 42) ?(loss = 0.01) ?(corrupt = 0.0)
-    ?(corrupt_min_len = 0) ?(duplicate = 0.0) ~sender ~receiver ~blocks
-    ~blocksize () =
+    ?(corrupt_min_len = 0) ?(duplicate = 0.0) ?(sg = false) ~sender ~receiver
+    ~blocks ~blocksize () =
   Clientos.reset_globals ();
+  Cost.config.Cost.sg_tx <- sg;
   Fdev.clear_drivers ();
   let tb = Clientos.make_testbed ~models:("3c905", "tulip") () in
   let em =
@@ -337,6 +348,7 @@ let chaos_transfer ?(seed = 42) ?(loss = 0.01) ?(corrupt = 0.0)
       done;
       s.close ());
   Clientos.run tb ~until:(fun () -> !recv_done > 0);
+  Cost.config.Cost.sg_tx <- false;
   if !recv_done = 0 then failwith "chaos: transfer did not complete";
   { goodput_mbit = float_of_int total *. 8e3 /. float_of_int !recv_done;
     chaos_rexmits = sstats.rexmits ();

@@ -45,6 +45,15 @@ type bufio = {
   buf_map : unit -> (bytes * int) option;
       (** [Some (backing, start)]: the object's bytes live at
           [backing[start .. start+size)] and may be read in place *)
+  buf_map_v : unit -> (bytes * int * int) list option;
+      (** Vectored mapping: [Some frags] exposes the object's bytes as an
+          ordered iovec of [(backing, off, len)] fragments that may be read
+          in place.  This is what lets a discontiguous producer (an mbuf
+          chain) cross a component boundary without being flattened: the
+          consumer gathers the fragments itself — typically straight into a
+          NIC's scatter-gather DMA ring.  A contiguous object returns a
+          single fragment; [None] means in-place access is not available at
+          all and the caller falls back on [buf_read]. *)
 }
 
 let bufio_iid : bufio Iid.t = Iid.declare "oskit.bufio"
@@ -175,7 +184,8 @@ let bufio_of_bytes b =
           let n = max 0 (min amount (Bytes.length b - offset)) in
           Bytes.blit buf pos b offset n;
           Ok n);
-      buf_map = (fun () -> Some (b, 0)) }
+      buf_map = (fun () -> Some (b, 0));
+      buf_map_v = (fun () -> Some [ (b, 0, Bytes.length b) ]) }
   and obj = lazy (Com.create (fun _self -> [ Iid.B (bufio_iid, fun () -> view ()) ]))
   and unknown () = Lazy.force obj in
   view ()

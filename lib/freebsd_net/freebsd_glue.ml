@@ -35,7 +35,10 @@ let bufio_of_mbuf m =
           (* Contiguous only when the chain is a single mbuf. *)
           match m.Mbuf.m_next with
           | None -> Some (m.Mbuf.m_data, m.Mbuf.m_off)
-          | Some _ -> None) }
+          | Some _ -> None);
+      buf_map_v =
+        (* Any chain maps as an iovec: each mbuf's data in place. *)
+        (fun () -> Some (Mbuf.m_fragments m)) }
   and obj =
     lazy
       (Com.create (fun _ ->
@@ -44,8 +47,19 @@ let bufio_of_mbuf m =
   and unknown () = Lazy.force obj in
   view ()
 
-let mbuf_of_bufio (io : Io_if.bufio) =
-  match Com.query io.Io_if.buf_unknown mbuf_iid with
+let mbuf_of_bufio ?cache (io : Io_if.bufio) =
+  let attempt =
+    match cache with
+    | Some { contents = Some false } -> Result.Error Error.No_interface
+    | _ ->
+        Cost.count_com_call ();
+        Com.query io.Io_if.buf_unknown mbuf_iid
+  in
+  (match cache with
+  | Some ({ contents = None } as c) ->
+      c := Some (match attempt with Ok _ -> true | Result.Error _ -> false)
+  | _ -> ());
+  match attempt with
   | Ok m ->
       ignore (io.Io_if.buf_unknown.Com.release ());
       m, false
@@ -74,12 +88,14 @@ let open_ether_if stack (ed : Io_if.etherdev) =
   (* The stack learns the device's station address. *)
   ifp.Netif.if_hwaddr <- ed.Io_if.ed_ethaddr ();
   let recv_netio =
+    (* One recognition verdict per receive binding (see Linux_glue). *)
+    let cache = ref None in
     let rec view () =
       { Io_if.nio_unknown = unknown ();
         push =
           (fun io ->
             Cost.charge_glue_crossing ();
-            let m, _copied = mbuf_of_bufio io in
+            let m, _copied = mbuf_of_bufio ~cache io in
             Netif.ether_input ifp m;
             Ok ()) }
     and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.netio_iid, fun () -> view ()) ]))

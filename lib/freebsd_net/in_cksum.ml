@@ -34,28 +34,26 @@ let cksum_bytes ?(init = 0) data ~off ~len =
   let sum, _ = sum_bytes data off len (init, false) in
   finish sum
 
-(* Checksum over a whole mbuf chain starting [off] bytes in, for [len]
-   bytes, folded with an initial partial sum (the pseudo-header). *)
-let cksum_chain ?(init = 0) m ~off ~len =
-  Cost.charge_checksum len;
-  let rec go m off len acc =
-    if len = 0 then acc
-    else if off >= m.Mbuf.m_len then
-      match m.Mbuf.m_next with
-      | Some nx -> go nx (off - m.Mbuf.m_len) len acc
-      | None -> invalid_arg "in_cksum: chain too short"
-    else begin
-      let n = min len (m.Mbuf.m_len - off) in
-      let acc = sum_bytes m.Mbuf.m_data (m.Mbuf.m_off + off) n acc in
-      if len = n then acc
-      else
-        match m.Mbuf.m_next with
-        | Some nx -> go nx 0 (len - n) acc
-        | None -> invalid_arg "in_cksum: chain too short"
-    end
+(* Iovec checksum: one pass over an ordered (backing, off, len) fragment
+   list, carrying the odd-byte alignment across fragment boundaries exactly
+   as the donor carries it across mbufs.  This is the checksum-with-gather
+   half of the scatter-gather send path: a chain (or a nonlinear sk_buff)
+   is summed fragment by fragment in place, never flattened first. *)
+let cksum_frags ?(init = 0) frags =
+  let total = List.fold_left (fun a (_, _, len) -> a + len) 0 frags in
+  Cost.charge_checksum total;
+  let acc =
+    List.fold_left (fun acc (data, off, len) -> sum_bytes data off len acc)
+      (init, false) frags
   in
-  let sum, _ = go m off len (init, false) in
-  finish sum
+  finish (fst acc)
+
+(* Checksum over a whole mbuf chain starting [off] bytes in, for [len]
+   bytes, folded with an initial partial sum (the pseudo-header).  The
+   chain's fragment view and the iovec summer do the work, so the TCP/UDP
+   output paths exercise the same code the gather path does. *)
+let cksum_chain ?(init = 0) m ~off ~len =
+  cksum_frags ~init (Mbuf.m_fragments ~off ~len m)
 
 (* Partial sum of the TCP/UDP pseudo header (not folded, not negated). *)
 let pseudo_header ~src ~dst ~proto ~len =

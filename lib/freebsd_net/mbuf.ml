@@ -359,6 +359,32 @@ let m_append m ~src ~src_pos ~len =
   go (m_last m) src_pos len;
   m.m_pkthdr_len <- m_length m
 
+(* The chain as an iovec: ordered (backing, off, len) fragments covering
+   [off, off+len) with no copy.  This is the scatter-gather view a
+   busmaster NIC (or the bufio buf_map_v contract) consumes directly —
+   the paper's missing piece on the OSKit send path, where discontiguous
+   chains were flattened instead.  Zero-length mbufs contribute nothing. *)
+let m_fragments ?(off = 0) ?len m =
+  let len = match len with Some l -> l | None -> m_length m - off in
+  if len < 0 || off < 0 then invalid_arg "m_fragments: negative range";
+  let rec go m off len acc =
+    if len = 0 then List.rev acc
+    else if off >= m.m_len then
+      match m.m_next with
+      | Some nx -> go nx (off - m.m_len) len acc
+      | None -> invalid_arg "m_fragments: chain too short"
+    else begin
+      let n = min len (m.m_len - off) in
+      let acc = (m.m_data, m.m_off + off, n) :: acc in
+      if len = n then List.rev acc
+      else
+        match m.m_next with
+        | Some nx -> go nx 0 (len - n) acc
+        | None -> invalid_arg "m_fragments: chain too short"
+    end
+  in
+  go m off len []
+
 (* Number of mbufs in the chain (diagnostics; drives the contiguity check
    in the glue). *)
 let m_count m =

@@ -13,11 +13,9 @@ let attach stack nic =
   ifp.Netif.if_xmit <-
     (fun m ->
       Cost.charge_cycles Cost.config.linux_driver_pkt_cycles;
-      (* Gather DMA: the controller reads each fragment in place; the blit
-         below is bookkeeping for the simulated medium, costed inside
-         [Nic.transmit] at DMA rate. *)
-      let frame = Mbuf.m_to_bytes_uncharged m in
-      Nic.transmit nic frame;
+      (* Gather DMA: the controller reads each mbuf fragment in place,
+         costed inside [Nic.transmit_v] at DMA rate — no CPU flatten. *)
+      Nic.transmit_v nic (Mbuf.m_fragments m);
       (* The controller is done with the fragments; retire the chain
          (cluster storage shared with the socket buffer just drops a
          reference). *)

@@ -107,9 +107,15 @@ let hard_start_xmit dev skb =
   if not dev.opened then Error.fail Error.Nodev;
   Cost.charge_cycles Cost.config.linux_driver_pkt_cycles;
   dev.tx_packets <- dev.tx_packets + 1;
-  (* The card DMAs straight out of the sk_buff's contiguous data. *)
-  let frame = Bytes.sub skb.Skbuff.skb_data skb.Skbuff.head skb.Skbuff.len in
-  Nic.transmit dev.hw frame
+  if Skbuff.skb_is_nonlinear skb then
+    (* Nonlinear sk_buff: program the card's scatter-gather ring with the
+       fragment list — the controller gathers in place, no CPU flatten. *)
+    Nic.transmit_v dev.hw (Skbuff.skb_fragments skb)
+  else begin
+    (* The card DMAs straight out of the sk_buff's contiguous data. *)
+    let frame = Bytes.sub skb.Skbuff.skb_data skb.Skbuff.head skb.Skbuff.len in
+    Nic.transmit dev.hw frame
+  end
 
 (* Build the 14-byte header in the skb's headroom (eth_header). *)
 let eth_header skb ~src ~dst ~proto =

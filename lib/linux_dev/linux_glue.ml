@@ -11,15 +11,40 @@ let bufio_of_skb skb =
         (fun ~buf ~pos ~offset ~amount ->
           let n = max 0 (min amount (size () - offset)) in
           Cost.charge_copy n;
-          Bytes.blit skb.Skbuff.skb_data (skb.Skbuff.head + offset) buf pos n;
+          if Skbuff.skb_is_nonlinear skb then begin
+            (* Walk the fragment list; [skip] bytes in, then gather [n]. *)
+            let skip = ref offset and todo = ref n and at = ref pos in
+            List.iter
+              (fun (data, off, len) ->
+                let drop = min !skip len in
+                let take = min !todo (len - drop) in
+                if take > 0 then begin
+                  Bytes.blit data (off + drop) buf !at take;
+                  at := !at + take;
+                  todo := !todo - take
+                end;
+                skip := !skip - drop)
+              skb.Skbuff.skb_frags
+          end
+          else Bytes.blit skb.Skbuff.skb_data (skb.Skbuff.head + offset) buf pos n;
           Ok n);
       buf_write =
         (fun ~buf ~pos ~offset ~amount ->
-          let n = max 0 (min amount (size () - offset)) in
-          Cost.charge_copy n;
-          Bytes.blit buf pos skb.Skbuff.skb_data (skb.Skbuff.head + offset) n;
-          Ok n);
-      buf_map = (fun () -> Some (skb.Skbuff.skb_data, skb.Skbuff.head)) }
+          if Skbuff.skb_is_nonlinear skb then
+            (* Fragment storage is loaned: writing through would corrupt
+               the lender's data (cf. Mbuf.m_write on ext storage). *)
+            Result.Error Error.Notsup
+          else begin
+            let n = max 0 (min amount (size () - offset)) in
+            Cost.charge_copy n;
+            Bytes.blit buf pos skb.Skbuff.skb_data (skb.Skbuff.head + offset) n;
+            Ok n
+          end);
+      buf_map =
+        (fun () ->
+          if Skbuff.skb_is_nonlinear skb then None
+          else Some (skb.Skbuff.skb_data, skb.Skbuff.head));
+      buf_map_v = (fun () -> Some (Skbuff.skb_fragments skb)) }
   and obj =
     lazy
       (Com.create (fun _ ->
@@ -28,8 +53,29 @@ let bufio_of_skb skb =
   and unknown () = Lazy.force obj in
   view ()
 
-let skb_of_bufio (io : Io_if.bufio) =
-  match Com.query io.Io_if.buf_unknown skbuff_iid with
+(* Per-binding memo of whether a peer's bufios carry our private skbuff
+   interface.  The first frame pays the COM dispatch; once a producer is
+   known to be foreign, later frames skip the (always-failing) query and
+   go straight to the mapping fallbacks.  Safe because a recognition miss
+   only ever costs the unwrap shortcut, never correctness: a native buffer
+   arriving after a negative verdict still maps contiguously. *)
+type recognition = bool option ref
+
+let fresh_recognition () : recognition = ref None
+
+let skb_of_bufio ?cache (io : Io_if.bufio) =
+  let attempt =
+    match cache with
+    | Some { contents = Some false } -> Result.Error Error.No_interface
+    | _ ->
+        Cost.count_com_call ();
+        Com.query io.Io_if.buf_unknown skbuff_iid
+  in
+  (match cache with
+  | Some ({ contents = None } as c) ->
+      c := Some (match attempt with Ok _ -> true | Result.Error _ -> false)
+  | _ -> ());
+  match attempt with
   | Ok skb ->
       (* One of ours: unwrap, no copy.  Drop the query's reference. *)
       ignore (io.Io_if.buf_unknown.Com.release ());
@@ -42,26 +88,41 @@ let skb_of_bufio (io : Io_if.bufio) =
              pooled — the backing belongs to the lender. *)
           ( { Skbuff.skb_data = backing; head = start; len = n; protocol = 0;
               dev_name = ""; skb_pooled = false; skb_freed = false;
-              link_ready = false },
+              link_ready = false; skb_frags = [] },
             false )
       | None -> (
-          (* Discontiguous (e.g. an mbuf chain): allocate and copy. *)
-          let skb = Skbuff.alloc_skb n in
-          ignore (Skbuff.skb_put skb n);
-          match io.Io_if.buf_read ~buf:skb.Skbuff.skb_data ~pos:0 ~offset:0 ~amount:n with
-          | Ok _ -> skb, true
-          | Result.Error e -> Error.fail e))
+          match if Cost.config.Cost.sg_tx then io.Io_if.buf_map_v () else None with
+          | Some frags ->
+              (* Scatter-gather: the chain crosses as an iovec; the only
+                 remaining gather is the NIC's DMA.  The fragments stay the
+                 producer's — the push below is synchronous, so they live
+                 until the frame is on the wire. *)
+              Skbuff.skb_of_frags frags, false
+          | None -> (
+              (* Discontiguous (e.g. an mbuf chain): allocate and copy. *)
+              Cost.count_linearized_xmit ();
+              let skb = Skbuff.alloc_skb n in
+              ignore (Skbuff.skb_put skb n);
+              match
+                io.Io_if.buf_read ~buf:skb.Skbuff.skb_data ~pos:0 ~offset:0 ~amount:n
+              with
+              | Ok _ -> skb, true
+              | Result.Error e -> Error.fail e)))
 
 (* ---- etherdev COM objects ---- *)
 
 let etherdev_of osenv (dev : Linux_eth_drv.device) : Com.unknown =
   let make_xmit_netio () =
+    (* One recognition verdict per xmit binding: the first push pays the
+       COM query, steady-state frames skip it (the paper's per-packet
+       indirect-call overhead, hoisted). *)
+    let cache = fresh_recognition () in
     let rec view () =
       { Io_if.nio_unknown = unknown ();
         push =
           (fun io ->
             Cost.charge_glue_crossing ();
-            let skb, copied = skb_of_bufio io in
+            let skb, copied = skb_of_bufio ~cache io in
             match Linux_eth_drv.hard_start_xmit dev skb with
             | () ->
                 (* A copy made for this transmit is dead once the frame is
@@ -118,7 +179,7 @@ let blkio_of osenv (drive : Linux_ide_drv.drive) : Com.unknown =
       let last = (offset + amount - 1) / ssize in
       let tmp = Bytes.create ((last - first + 1) * ssize) in
       Linux_ide_drv.ide_rw drive `Read ~sector:first ~nr_sectors:(last - first + 1)
-        ~buffer:tmp;
+        ~buffer:tmp ();
       Cost.charge_copy amount;
       Bytes.blit tmp (offset - (first * ssize)) buf pos amount;
       Ok amount
@@ -130,15 +191,21 @@ let blkio_of osenv (drive : Linux_ide_drv.drive) : Com.unknown =
     else begin
       let first = offset / ssize in
       let last = (offset + amount - 1) / ssize in
-      let tmp = Bytes.create ((last - first + 1) * ssize) in
-      let aligned = offset mod ssize = 0 && (offset + amount) mod ssize = 0 in
-      if not aligned then
+      if offset mod ssize = 0 && amount mod ssize = 0 then
+        (* Fully sector-aligned: the controller DMAs straight from the
+           caller's buffer — no bounce buffer, no pre-read, no CPU copy. *)
+        Linux_ide_drv.ide_rw drive `Write ~sector:first
+          ~nr_sectors:(last - first + 1) ~buffer:buf ~buf_pos:pos ()
+      else begin
+        (* Unaligned span: read-modify-write through a bounce buffer. *)
+        let tmp = Bytes.create ((last - first + 1) * ssize) in
         Linux_ide_drv.ide_rw drive `Read ~sector:first ~nr_sectors:(last - first + 1)
-          ~buffer:tmp;
-      Cost.charge_copy amount;
-      Bytes.blit buf pos tmp (offset - (first * ssize)) amount;
-      Linux_ide_drv.ide_rw drive `Write ~sector:first ~nr_sectors:(last - first + 1)
-        ~buffer:tmp;
+          ~buffer:tmp ();
+        Cost.charge_copy amount;
+        Bytes.blit buf pos tmp (offset - (first * ssize)) amount;
+        Linux_ide_drv.ide_rw drive `Write ~sector:first ~nr_sectors:(last - first + 1)
+          ~buffer:tmp ()
+      end;
       Ok amount
     end
   in

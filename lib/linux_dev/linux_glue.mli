@@ -28,9 +28,22 @@ val init_ide : unit -> unit
 (** [bufio_of_skb skb] — export an sk_buff (receive path; no copy). *)
 val bufio_of_skb : Skbuff.sk_buff -> Io_if.bufio
 
-(** [skb_of_bufio io] — import a bufio for transmission per the rules
-    above.  Returns the sk_buff and whether a copy was required. *)
-val skb_of_bufio : Io_if.bufio -> Skbuff.sk_buff * bool
+(** [skb_of_bufio ?cache io] — import a bufio for transmission per the
+    rules above.  Returns the sk_buff and whether a copy was required.
+
+    With {!Cost.config}[.sg_tx] set, a foreign bufio that exposes
+    [buf_map_v] crosses as a {e nonlinear} sk_buff referencing the
+    producer's fragments in place — no flatten copy; the driver hands the
+    iovec to the card's scatter-gather DMA.
+
+    [cache] memoises the private-interface recognition verdict for one
+    producer binding: pass the same ref for every frame of a binding and
+    only the first pays the COM dispatch on foreign producers
+    ({!fresh_recognition}). *)
+val skb_of_bufio : ?cache:bool option ref -> Io_if.bufio -> Skbuff.sk_buff * bool
+
+(** A per-binding memo for [skb_of_bufio]'s recognition query. *)
+val fresh_recognition : unit -> bool option ref
 
 (** Direct (non-COM) access to the probed legacy devices, for the Linux
     inet baseline which links against this driver code natively. *)

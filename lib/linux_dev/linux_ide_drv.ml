@@ -11,6 +11,7 @@ type request = {
   sector : int;
   nr_sectors : int;
   buffer : bytes; (* data read lands here / data to write comes from here *)
+  buf_pos : int; (* offset of the request's span within [buffer] *)
   wait : Linux_emu.wait_queue;
   mutable errors : int;
   mutable completed : bool;
@@ -68,7 +69,9 @@ let rec do_request drive =
             | `Write ->
                 Disk.Write
                   { start = req.sector;
-                    data = Bytes.sub req.buffer 0 (req.nr_sectors * Disk.sector_size drive.hw) }
+                    data =
+                      Bytes.sub req.buffer req.buf_pos
+                        (req.nr_sectors * Disk.sector_size drive.hw) }
           in
           ignore (Disk.submit drive.hw op))
 
@@ -82,7 +85,7 @@ and end_request drive ok data =
         (match req.cmd with
         | `Read ->
             Cost.charge_copy (Bytes.length data);
-            Bytes.blit data 0 req.buffer 0 (Bytes.length data)
+            Bytes.blit data 0 req.buffer req.buf_pos (Bytes.length data)
         | `Write -> ());
         req.completed <- true
       end;
@@ -112,9 +115,9 @@ let attach osenv drive =
   end
 
 (* Blocking process-level entry: queue, start, sleep until completion. *)
-let ide_rw drive cmd ~sector ~nr_sectors ~buffer =
+let ide_rw drive cmd ~sector ~nr_sectors ~buffer ?(buf_pos = 0) () =
   let req =
-    { cmd; sector; nr_sectors; buffer; wait = Linux_emu.wait_queue_head ();
+    { cmd; sector; nr_sectors; buffer; buf_pos; wait = Linux_emu.wait_queue_head ();
       errors = 0; completed = false }
   in
   Queue.add req drive.queue;

@@ -30,6 +30,13 @@ type sk_buff = {
   skb_pooled : bool; (* storage owned by the size-class pools below *)
   mutable skb_freed : bool;
   mutable link_ready : bool; (* ether header built: safe to hand to a NIC *)
+  mutable skb_frags : (bytes * int * int) list;
+      (* Nonlinear form (skb_shinfo frags, in the donor's later trees): when
+         non-empty, the buffer's bytes are this ordered iovec of loaned
+         (backing, off, len) fragments, [skb_data] holds nothing, and [len]
+         is the fragments' total.  Only scatter-gather-aware consumers
+         (hard_start_xmit's gather DMA) accept one; everything else calls
+         [skb_linearize] first. *)
 }
 
 exception Skb_over_panic
@@ -53,18 +60,56 @@ let alloc_skb size =
   if size <= 1 lsl max_class_bits then
     let pool = pools.(class_of_size size - min_class_bits) in
     { skb_data = Bpool.get pool; head = 0; len = 0; protocol = 0; dev_name = "";
-      skb_pooled = true; skb_freed = false; link_ready = false }
+      skb_pooled = true; skb_freed = false; link_ready = false; skb_frags = [] }
   else begin
     Cost.charge_alloc ();
     { skb_data = Bytes.create size; head = 0; len = 0; protocol = 0; dev_name = "";
-      skb_pooled = false; skb_freed = false; link_ready = false }
+      skb_pooled = false; skb_freed = false; link_ready = false; skb_frags = [] }
   end
 
 (* Wrap an existing buffer without copying (used by the glue's "fake
    skbuff" trick, Section 4.7.3, and by DMA completion). *)
 let skb_wrap data =
   { skb_data = data; head = 0; len = Bytes.length data; protocol = 0; dev_name = "";
-    skb_pooled = false; skb_freed = false; link_ready = false }
+    skb_pooled = false; skb_freed = false; link_ready = false; skb_frags = [] }
+
+(* Wrap an iovec of loaned fragments as a nonlinear sk_buff — no copy, no
+   pool storage.  The fragments stay the lender's; they must outlive the
+   (synchronous) transmit this buffer is built for. *)
+let skb_of_frags frags =
+  let frags = List.filter (fun (_, _, len) -> len > 0) frags in
+  let total = List.fold_left (fun a (_, _, len) -> a + len) 0 frags in
+  { skb_data = Bytes.empty; head = 0; len = total; protocol = 0; dev_name = "";
+    skb_pooled = false; skb_freed = false; link_ready = false; skb_frags = frags }
+
+let skb_is_nonlinear skb = skb.skb_frags <> []
+
+(* The buffer as an iovec: its loaned fragments, or its one linear span. *)
+let skb_fragments skb =
+  if skb_is_nonlinear skb then skb.skb_frags
+  else [ (skb.skb_data, skb.head, skb.len) ]
+
+(* Make the data contiguous for a consumer that needs it that way: a real
+   gather copy, charged.  Linear buffers pass through untouched, so calling
+   this on the common path costs nothing. *)
+let skb_linearize skb =
+  if not (skb_is_nonlinear skb) then skb
+  else begin
+    if skb.skb_freed then invalid_arg "skb_linearize: freed";
+    let lin = alloc_skb skb.len in
+    Cost.charge_copy skb.len;
+    let at = ref 0 in
+    List.iter
+      (fun (data, off, len) ->
+        Bytes.blit data off lin.skb_data !at len;
+        at := !at + len)
+      skb.skb_frags;
+    lin.len <- skb.len;
+    lin.protocol <- skb.protocol;
+    lin.dev_name <- skb.dev_name;
+    lin.link_ready <- skb.link_ready;
+    lin
+  end
 
 (* kfree_skb: retire the buffer to its size-class pool.  Foreign (wrapped)
    storage is the lender's; only the bookkeeping applies. *)
@@ -86,7 +131,10 @@ let pool_reset () =
     pools
 
 let skb_headroom skb = skb.head
-let skb_tailroom skb = Bytes.length skb.skb_data - skb.head - skb.len
+
+let skb_tailroom skb =
+  if skb_is_nonlinear skb then 0
+  else Bytes.length skb.skb_data - skb.head - skb.len
 
 let skb_reserve skb n =
   if skb.len <> 0 || n > skb_tailroom skb then raise Skb_over_panic;

@@ -11,6 +11,7 @@ type config = {
   mutable bsd_tcp_pkt_cycles : int;
   mutable linux_tcp_pkt_cycles : int;
   mutable socket_op_cycles : int;
+  mutable sg_tx : bool;
 }
 
 let defaults () =
@@ -25,7 +26,8 @@ let defaults () =
     linux_driver_pkt_cycles = 2500;
     bsd_tcp_pkt_cycles = 4000;
     linux_tcp_pkt_cycles = 6000;
-    socket_op_cycles = 500 }
+    socket_op_cycles = 500;
+    sg_tx = false }
 
 let config = defaults ()
 
@@ -42,22 +44,31 @@ let reset_config () =
   config.linux_driver_pkt_cycles <- d.linux_driver_pkt_cycles;
   config.bsd_tcp_pkt_cycles <- d.bsd_tcp_pkt_cycles;
   config.linux_tcp_pkt_cycles <- d.linux_tcp_pkt_cycles;
-  config.socket_op_cycles <- d.socket_op_cycles
+  config.socket_op_cycles <- d.socket_op_cycles;
+  config.sg_tx <- d.sg_tx
 
 type counters = {
   mutable copies : int;
   mutable copied_bytes : int;
   mutable glue_crossings : int;
   mutable com_calls : int;
+  mutable checksummed_bytes : int;
+  mutable sg_xmits : int;
+  mutable linearized_xmits : int;
 }
 
-let counters = { copies = 0; copied_bytes = 0; glue_crossings = 0; com_calls = 0 }
+let counters =
+  { copies = 0; copied_bytes = 0; glue_crossings = 0; com_calls = 0;
+    checksummed_bytes = 0; sg_xmits = 0; linearized_xmits = 0 }
 
 let reset_counters () =
   counters.copies <- 0;
   counters.copied_bytes <- 0;
   counters.glue_crossings <- 0;
-  counters.com_calls <- 0
+  counters.com_calls <- 0;
+  counters.checksummed_bytes <- 0;
+  counters.sg_xmits <- 0;
+  counters.linearized_xmits <- 0
 
 let sink : (int -> unit) option ref = ref None
 let set_sink f = sink := f
@@ -74,7 +85,13 @@ let charge_copy n =
   counters.copied_bytes <- counters.copied_bytes + n;
   charge_cycles (n * config.copy_cycles_per_byte)
 
-let charge_checksum n = charge_cycles (n * config.checksum_cycles_per_byte)
+let charge_checksum n =
+  counters.checksummed_bytes <- counters.checksummed_bytes + n;
+  charge_cycles (n * config.checksum_cycles_per_byte)
+
+let count_com_call () = counters.com_calls <- counters.com_calls + 1
+let count_sg_xmit () = counters.sg_xmits <- counters.sg_xmits + 1
+let count_linearized_xmit () = counters.linearized_xmits <- counters.linearized_xmits + 1
 
 let charge_com_call () =
   counters.com_calls <- counters.com_calls + 1;

@@ -39,6 +39,12 @@ type config = {
       (** Linux inet per-segment protocol work; default 6000 *)
   mutable socket_op_cycles : int;
       (** socket-layer entry (sosend/soreceive bookkeeping); default 500 *)
+  mutable sg_tx : bool;
+      (** scatter-gather transmit across the mbuf->skbuff glue: when on, a
+          discontiguous chain crosses the boundary as an iovec instead of
+          being flattened into a fresh contiguous sk_buff.  Default [false]
+          so the Table 1/2 shapes stay paper-faithful (OSKit send pays the
+          flatten copy, as measured on the 1997 testbed). *)
 }
 
 (** The live configuration; benches mutate it for ablations. *)
@@ -74,10 +80,30 @@ val cycles_to_ns : int -> int
     Benches also count events, to report e.g. copies-per-packet
     (Ablation B). *)
 
-type counters = { mutable copies : int; mutable copied_bytes : int; mutable glue_crossings : int; mutable com_calls : int }
+type counters = {
+  mutable copies : int;
+  mutable copied_bytes : int;
+  mutable glue_crossings : int;
+  mutable com_calls : int;
+  mutable checksummed_bytes : int;  (** bytes passed through [charge_checksum] *)
+  mutable sg_xmits : int;  (** frames DMA-gathered from an iovec (no CPU flatten) *)
+  mutable linearized_xmits : int;  (** frames the glue had to flatten into one buffer *)
+}
 
 val counters : counters
 val reset_counters : unit -> unit
+
+(** {2 Event counting without a cycle charge}
+
+    These bump the audit counters but advance no clock: the dispatch or
+    gather they record is either already folded into another charge (glue
+    crossings subsume the COM vtable hop) or costed elsewhere at DMA rate
+    ({!Nic.transmit}).  Counter-only, so enabling the accounting cannot
+    perturb a calibrated run. *)
+
+val count_com_call : unit -> unit
+val count_sg_xmit : unit -> unit
+val count_linearized_xmit : unit -> unit
 
 (** {2 Context plumbing} *)
 

@@ -59,6 +59,24 @@ let transmit t frame =
   | Some port -> ignore (Wire.send t.wire port frame ~at)
   | None -> assert false
 
+(* Scatter-gather transmit: the controller walks an iovec of fragments,
+   reading each in place — the one unavoidable gather on a zero-copy send
+   path, and it happens here, in the DMA engine, at DMA rate (charged per
+   byte by [transmit] above), not as a CPU memcpy.  The blit below is the
+   simulated medium's bookkeeping, exactly like the [Bytes.sub] a linear
+   transmit does in the driver. *)
+let transmit_v t frags =
+  let len = List.fold_left (fun a (_, _, n) -> a + n) 0 frags in
+  let frame = Bytes.create len in
+  let at = ref 0 in
+  List.iter
+    (fun (data, off, n) ->
+      Bytes.blit data off frame !at n;
+      at := !at + n)
+    frags;
+  Cost.count_sg_xmit ();
+  transmit t frame
+
 let pop_rx t = Queue.take_opt t.rx_q
 let rx_pending t = Queue.length t.rx_q
 let set_promiscuous t v = t.promisc <- v

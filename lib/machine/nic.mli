@@ -25,6 +25,13 @@ val irq : t -> int
     cost.  Frames shorter than 60 bytes are padded, as the hardware does. *)
 val transmit : t -> bytes -> unit
 
+(** [transmit_v t frags] hands the card an ordered iovec of
+    [(backing, off, len)] fragments; the controller gathers them in place
+    (busmaster scatter-gather DMA, charged per byte at DMA rate like
+    {!transmit}) and puts one frame on the wire.  Counts one
+    [Cost.counters.sg_xmits].  Zero CPU copy for the caller. *)
+val transmit_v : t -> (bytes * int * int) list -> unit
+
 (** [pop_rx t] takes the oldest received frame off the ring, if any.  Used
     by the driver's interrupt handler. *)
 val pop_rx : t -> bytes option

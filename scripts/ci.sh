@@ -1,12 +1,15 @@
 #!/bin/sh
 # Tier-1 gate: full build, test suites, and smoke runs of the allocator
 # bench (tiny workload — we only check it runs and prints the speedup
-# table) and the chaos bench (fixed-seed lossy-link soak: ttcp through
+# table), the chaos bench (fixed-seed lossy-link soak: ttcp through
 # netem at 0–5% loss in all three configurations; the bench itself fails
-# if any cell is not byte-exact).
+# if any cell is not byte-exact), and the scatter-gather smoke (fixed
+# seed; asserts sg send >= default send, zero flatten copies on the sg
+# path, and byte-exactness with sg on under loss).
 set -eux
 
 dune build
 dune runtest
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- alloc
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- chaos
+OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- sgsmoke

@@ -13,6 +13,7 @@ let () =
       "netparts", Test_netparts.suite;
       "net", Test_net.suite;
       "netem", Test_netem.suite;
+      "sg", Test_sg.suite;
       "tcp-behavior", Test_tcp_behavior.suite;
       "misc", Test_misc.suite;
       "vm", Test_vm.suite;
