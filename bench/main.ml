@@ -11,6 +11,10 @@
      alloc      allocator micro-benchmarks (Bechamel)     — paper §6.2.10
      glue       glue-overhead ablation                    — DESIGN.md A
      copies     per-packet copy accounting                — DESIGN.md B
+     chaos      ttcp goodput under injected faults        — netem
+     sgsmoke    scatter-gather send-path CI gate
+     http       event-driven vs threaded HTTP serving     — oskit_asyncio
+     httpsmoke  64-client asyncio CI gate
 
    Network numbers come from the deterministic virtual-time simulation
    (they are not wall-clock); the allocator section uses Bechamel
@@ -484,6 +488,119 @@ let sgsmoke () =
     [ 0.0; 0.01; 0.05 ];
   print_endline "\nsg send >= default send; zero flatten copies; byte-exact under loss"
 
+(* ---------------- http: asyncio concurrency experiment ---------------- *)
+
+let http_header () =
+  Printf.printf
+    "file: %d B from memfs; RAM budget %d KB -> %d handler threads (32KB stack)\n\
+     vs %d reactor connections (2KB state); listen backlog %d; %d reqs/client\n\n"
+    Httpbench.file_bytes (Httpbench.ram_budget / 1024) Httpbench.max_threads
+    Httpbench.max_conns Httpbench.backlog 2;
+  Printf.printf "%-9s %-8s %8s %10s %10s %10s %6s %9s %6s\n" "stack" "mode"
+    "clients" "req/s" "p50 (us)" "p99 (us)" "peak" "overflow" "shed"
+
+let http_row r =
+  Printf.printf "%-9s %-8s %8d %10.0f %10.1f %10.1f %6d %9d %6d\n%!"
+    (Httpbench.config_name r.Httpbench.r_config)
+    (Httpbench.mode_name r.Httpbench.r_mode)
+    r.Httpbench.r_clients r.Httpbench.r_rps r.Httpbench.r_p50_us r.Httpbench.r_p99_us
+    r.Httpbench.r_peak_active r.Httpbench.r_listen_overflow r.Httpbench.r_shed
+
+let http_check r =
+  if r.Httpbench.r_mismatches > 0 then failwith "http: response was not byte-exact";
+  if r.Httpbench.r_protocol_errors > 0 then failwith "http: server saw protocol errors";
+  if r.Httpbench.r_responses <> r.Httpbench.r_requests then
+    failwith "http: not every request got a 200"
+
+let http () =
+  section_header "HTTP: event-driven vs thread-per-connection at equal memory (oskit_asyncio)";
+  http_header ();
+  let rows =
+    List.concat_map
+      (fun config ->
+        List.concat_map
+          (fun clients ->
+            List.map
+              (fun mode ->
+                let r = Httpbench.run ~config ~mode ~clients () in
+                http_row r;
+                http_check r;
+                r)
+              [ Httpbench.Threads; Httpbench.Reactor ])
+          [ 1; 4; 16; 64; 256 ])
+      [ Httpbench.Freebsd_com; Httpbench.Linux_com ]
+  in
+  print_newline ();
+  List.iter
+    (fun config ->
+      let at mode =
+        List.find
+          (fun r ->
+            r.Httpbench.r_config = config && r.Httpbench.r_mode = mode
+            && r.Httpbench.r_clients = 256)
+          rows
+      in
+      let re = at Httpbench.Reactor and th = at Httpbench.Threads in
+      Printf.printf
+        "%s @256 clients: reactor held %d concurrent connections vs %d threaded\n\
+        \  (%.1fx at the same %dKB budget); reactor %.0f req/s vs threaded %.0f\n"
+        (Httpbench.config_name config) re.Httpbench.r_peak_active
+        th.Httpbench.r_peak_active
+        (float_of_int re.Httpbench.r_peak_active
+        /. float_of_int (max 1 th.Httpbench.r_peak_active))
+        (Httpbench.ram_budget / 1024) re.Httpbench.r_rps th.Httpbench.r_rps;
+      if re.Httpbench.r_peak_active < 4 * th.Httpbench.r_peak_active then
+        failwith "http: reactor sustained < 4x the threaded concurrency")
+    [ Httpbench.Freebsd_com; Httpbench.Linux_com ];
+  print_endline "\nsame server component, same COM interfaces, both stacks; the threaded";
+  print_endline "shape hits its memory cap and the listen backlog does the dropping";
+  write_json "BENCH_http.json" "rows"
+    [ json_str "bench" "http"; json_int "file_bytes" Httpbench.file_bytes;
+      json_int "ram_budget" Httpbench.ram_budget;
+      json_int "max_threads" Httpbench.max_threads;
+      json_int "max_conns" Httpbench.max_conns;
+      json_int "backlog" Httpbench.backlog; json_str "unit" "req/s" ]
+    (List.map
+       (fun r ->
+         json_obj
+           [ json_str "stack" (Httpbench.config_name r.Httpbench.r_config);
+             json_str "mode" (Httpbench.mode_name r.Httpbench.r_mode);
+             json_int "clients" r.Httpbench.r_clients;
+             json_int "requests" r.Httpbench.r_requests;
+             json_float "duration_ms" r.Httpbench.r_duration_ms;
+             json_float "rps" r.Httpbench.r_rps;
+             json_float "p50_us" r.Httpbench.r_p50_us;
+             json_float "p99_us" r.Httpbench.r_p99_us;
+             json_int "peak_active" r.Httpbench.r_peak_active;
+             json_int "accepted" r.Httpbench.r_accepted;
+             json_int "responses" r.Httpbench.r_responses;
+             json_int "shed" r.Httpbench.r_shed;
+             json_int "listen_overflow" r.Httpbench.r_listen_overflow;
+             json_int "protocol_errors" r.Httpbench.r_protocol_errors;
+             json_int "mismatches" r.Httpbench.r_mismatches;
+             json_int "reactor_sleeps" r.Httpbench.r_reactor_sleeps;
+             json_int "reactor_spurious" r.Httpbench.r_reactor_spurious ])
+       rows)
+
+(* ---------------- httpsmoke: CI gate for the asyncio path ---------------- *)
+
+let httpsmoke () =
+  section_header "HTTP smoke: 64 concurrent clients, both stacks, both serving shapes";
+  http_header ();
+  List.iter
+    (fun config ->
+      let run mode = Httpbench.run ~config ~mode ~clients:64 () in
+      let th = run Httpbench.Threads in
+      http_row th;
+      let re = run Httpbench.Reactor in
+      http_row re;
+      http_check th;
+      http_check re;
+      if re.Httpbench.r_rps < th.Httpbench.r_rps then
+        failwith "httpsmoke: reactor slower than thread-per-connection")
+    [ Httpbench.Freebsd_com; Httpbench.Linux_com ];
+  print_endline "\nzero protocol errors, every response byte-exact, reactor >= threaded req/s"
+
 (* ---------------- driver ---------------- *)
 
 let sections =
@@ -496,7 +613,9 @@ let sections =
     "glue", glue;
     "copies", copies;
     "chaos", chaos;
-    "sgsmoke", sgsmoke ]
+    "sgsmoke", sgsmoke;
+    "http", http;
+    "httpsmoke", httpsmoke ]
 
 let () =
   let names =

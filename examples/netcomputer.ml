@@ -70,7 +70,7 @@ let () =
     Loader.load nc.Clientos.machine ~image ~cmdline:"netcomputer"
       ~modules:[ "app.ovm", Bytes.to_string bytecode ]
   in
-  let env_nc, _stack = Clientos.oskit_host nc ~ip:(ip "10.0.0.1") ~mask in
+  let env_nc, nc_stack = Clientos.oskit_host nc ~ip:(ip "10.0.0.1") ~mask in
   (* Mount the boot-module file system and load the program through POSIX,
      exactly as Java/PC loaded its class files (Section 6.2.2). *)
   let bootfs = Bootmod_fs.make (Machine.ram nc.Clientos.machine) loaded.Loader.info in
@@ -79,6 +79,22 @@ let () =
 
   let served = ref (-1) in
   let reply = ref "" in
+  let http_body = ref "" in
+  let http_done = ref false in
+  let http_stats = ref None in
+
+  (* --- second serving mode: the same boot-module FS, exported over HTTP
+     by the event-driven httpd component.  The server binds to the oskit
+     stack only through the COM socket + oskit_asyncio interfaces, so the
+     network computer serves its own program image the way Java/PC served
+     class files — no VM in the path this time. --- *)
+  Clientos.spawn nc ~name:"httpd" (fun () ->
+      let sock = Freebsd_glue.socket_com nc_stack (Bsd_socket.tcp_socket nc_stack) in
+      ok (sock.Io_if.so_bind { Io_if.sin_addr = ip "10.0.0.1"; sin_port = 8080 });
+      ok (sock.Io_if.so_listen ~backlog:4);
+      let r = Reactor.create () in
+      http_stats := Some (Httpd.serve_reactor ~reactor:r ~root:bootfs ~sock ());
+      Reactor.run r ~until:(fun () -> !http_done));
 
   Clientos.spawn nc ~name:"vm" (fun () ->
       (* Read the bytecode from the boot-module FS. *)
@@ -140,10 +156,47 @@ let () =
       let buf = Bytes.create 4096 in
       let n = ok (Posix.recv env_browser fd buf ~pos:0 ~len:4096) in
       reply := Bytes.sub_string buf 0 n;
-      ok (Posix.shutdown env_browser fd));
+      ok (Posix.shutdown env_browser fd);
 
-  Clientos.run tb ~until:(fun () -> !served >= 0);
+      (* Phase 2: fetch the program image itself over HTTP from the
+         reactor-driven server. *)
+      let fd = ok (Posix.socket env_browser Io_if.Sock_stream) in
+      ok (Posix.connect env_browser fd { Io_if.sin_addr = ip "10.0.0.1"; sin_port = 8080 });
+      let req = Bytes.of_string "GET /app.ovm HTTP/1.0\r\n\r\n" in
+      let _ = ok (Posix.send env_browser fd req ~pos:0 ~len:(Bytes.length req)) in
+      let acc = Buffer.create 4096 in
+      let rec drain () =
+        match Posix.recv env_browser fd buf ~pos:0 ~len:4096 with
+        | Ok 0 | Error _ -> ()
+        | Ok n ->
+            Buffer.add_subbytes acc buf 0 n;
+            drain ()
+      in
+      drain ();
+      ignore (Posix.close env_browser fd);
+      let resp = Buffer.contents acc in
+      (match String.index_opt resp '\r' with
+      | Some _ -> (
+          (* body starts after the blank line *)
+          let rec find i =
+            if i + 4 > String.length resp then None
+            else if String.sub resp i 4 = "\r\n\r\n" then Some (i + 4)
+            else find (i + 1)
+          in
+          match find 0 with
+          | Some b -> http_body := String.sub resp b (String.length resp - b)
+          | None -> ())
+      | None -> ());
+      http_done := true);
+
+  Clientos.run tb ~until:(fun () -> !served >= 0 && !http_done);
   Printf.printf "network computer served %d request(s)\n" !served;
   Printf.printf "browser received: %S\n" !reply;
+  (match !http_stats with
+  | Some st ->
+      Printf.printf "httpd served /app.ovm over oskit_asyncio: %d bytes, %s\n"
+        st.Httpd.bytes_out
+        (if !http_body = Bytes.to_string bytecode then "byte-exact" else "MISMATCH")
+  | None -> ());
   Printf.printf "virtual time: %.2f ms\n"
     (float_of_int (World.now tb.Clientos.world) /. 1e6)

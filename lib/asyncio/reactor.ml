@@ -1,0 +1,161 @@
+(* The select/poll reactor: one thread drives any number of readiness
+ * sources through the oskit_asyncio COM interface.  Registration hangs a
+ * COM listener on each object; notifications mark the watch pending and
+ * wake the reactor's sleep record, and the loop then re-polls only the
+ * pending watches (so a quiet connection costs nothing per pass) and runs
+ * their callbacks.  Which protocol stack is behind an asyncio view is
+ * invisible here — that is the whole point.
+ *
+ * Two races are load-bearing:
+ *  - notify-vs-sleep: a listener can fire between the poll pass and the
+ *    sleep.  Sleep_record's latch absorbs it (wakeup while nobody waits is
+ *    remembered, and the next sleep consumes it instead of blocking).
+ *  - register-vs-ready: the object may already be readable when the watch
+ *    is created.  add_listener returns the readiness mask at registration,
+ *    and a ready watch is marked pending immediately.
+ *
+ * Callbacks run at thread (process) level, never from the notification,
+ * so they may block briefly, unwatch themselves, or add new watches; the
+ * dispatch pass snapshots the pending set and re-checks w_active.
+ *)
+
+type watch = {
+  w_id : int;
+  w_aio : Io_if.asyncio;
+  mutable w_mask : int;
+  w_cb : int -> unit;
+  w_listener : Io_if.listener;
+  mutable w_active : bool;
+  mutable w_pending : bool;
+}
+
+type stats = {
+  mutable polls : int;  (* aio_poll calls issued by dispatch *)
+  mutable dispatches : int;  (* callbacks run *)
+  mutable sleeps : int;  (* times the loop blocked *)
+  mutable spurious : int;  (* notifications that polled not-ready *)
+}
+
+type t = {
+  mutable watches : watch list; (* registration order *)
+  mutable next_id : int;
+  sleep : Sleep_record.t;
+  stats : stats;
+}
+
+let create () =
+  { watches = [];
+    next_id = 1;
+    sleep = Sleep_record.create ~name:"reactor" ();
+    stats = { polls = 0; dispatches = 0; sleeps = 0; spurious = 0 } }
+
+let stats t = t.stats
+let watch_count t = List.length t.watches
+
+(* Wake the loop with no condition attached.  Callers use it to make the
+   loop re-check [until]; the dispatch pass treats it as spurious. *)
+let kick t = Sleep_record.wakeup t.sleep
+
+let arm_if_ready t w = function
+  | Ok ready when ready land w.w_mask <> 0 ->
+      w.w_pending <- true;
+      Sleep_record.wakeup t.sleep
+  | Ok _ | Result.Error _ -> ()
+
+(* [watch t aio ~mask cb] registers interest: [cb ready] runs from the
+   reactor loop whenever a condition in [mask] is ready.  Level-triggered:
+   a callback that leaves the object ready is dispatched again on the next
+   pass, so it need not drain in one call. *)
+let watch t aio ~mask cb =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let cell = ref None in
+  let listener =
+    Io_if.listener_create (fun () ->
+        (match !cell with Some w when w.w_active -> w.w_pending <- true | _ -> ());
+        Sleep_record.wakeup t.sleep)
+  in
+  let w =
+    { w_id = id; w_aio = aio; w_mask = mask; w_cb = cb; w_listener = listener;
+      w_active = true; w_pending = false }
+  in
+  cell := Some w;
+  t.watches <- t.watches @ [ w ];
+  arm_if_ready t w (aio.Io_if.aio_add_listener listener mask);
+  w
+
+let unwatch t w =
+  if w.w_active then begin
+    w.w_active <- false;
+    w.w_pending <- false;
+    t.watches <- List.filter (fun x -> x != w) t.watches;
+    ignore (w.w_aio.Io_if.aio_remove_listener w.w_listener)
+  end
+
+(* Change the interest mask (a connection moving from reading the request
+   to writing the response).  Re-registers the listener so the stack-side
+   filter matches, and arms immediately if the new condition already
+   holds. *)
+let rewatch t w ~mask =
+  if w.w_active then begin
+    ignore (w.w_aio.Io_if.aio_remove_listener w.w_listener);
+    w.w_mask <- mask;
+    w.w_pending <- false;
+    arm_if_ready t w (w.w_aio.Io_if.aio_add_listener w.w_listener mask)
+  end
+
+(* One pass: dispatch every pending watch, or block until a notification
+   (or [kick]) arrives.  Returns the number of callbacks run. *)
+let step t =
+  match List.filter (fun w -> w.w_pending) t.watches with
+  | [] ->
+      t.stats.sleeps <- t.stats.sleeps + 1;
+      Sleep_record.sleep t.sleep;
+      0
+  | pending ->
+      let fired = ref 0 in
+      List.iter
+        (fun w ->
+          w.w_pending <- false;
+          if w.w_active then begin
+            t.stats.polls <- t.stats.polls + 1;
+            let ready = w.w_aio.Io_if.aio_poll () land w.w_mask in
+            if ready = 0 then t.stats.spurious <- t.stats.spurious + 1
+            else begin
+              t.stats.dispatches <- t.stats.dispatches + 1;
+              incr fired;
+              w.w_cb ready;
+              (* Level-triggered re-arm: still ready after the callback
+                 means dispatch again next pass, not wait for an edge. *)
+              if w.w_active && w.w_aio.Io_if.aio_poll () land w.w_mask <> 0 then
+                w.w_pending <- true
+            end
+          end)
+        pending;
+      !fired
+
+(* [run t ~until] loops until [until ()] holds.  [until] is re-checked
+   after every pass; while the loop is blocked a notification, a [kick],
+   or the optional [tick_ns] heartbeat (a simulated-clock callout) gets it
+   moving again. *)
+let run ?tick_ns t ~until =
+  let stopped = ref false in
+  (match tick_ns with
+  | Some ns ->
+      let rec tick () =
+        ignore
+          (Kclock.callout_after ~ns (fun () ->
+               if not !stopped then begin
+                 Sleep_record.wakeup t.sleep;
+                 tick ()
+               end))
+      in
+      tick ()
+  | None -> ());
+  let rec loop () =
+    if not (until ()) then begin
+      ignore (step t);
+      loop ()
+    end
+  in
+  Fun.protect ~finally:(fun () -> stopped := true) loop

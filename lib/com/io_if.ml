@@ -118,6 +118,81 @@ type socket = {
 
 let socket_iid : socket Iid.t = Iid.declare "oskit.socket"
 
+(** {1 Asynchronous I/O}
+
+    The readiness view of a stream object — the OSKit's [oskit_asyncio]
+    contract.  Where {!socket} is the blocking BSD personality, this is the
+    select/poll personality: [poll] reports which of the condition bits are
+    currently true, and [add_listener] registers an {!listener} whose
+    [notify] fires whenever a masked condition {e becomes} true.  Exported
+    by the same COM object as the socket view, so a reactor can navigate
+    from either stack's socket to its readiness hooks through
+    [Com.query]. *)
+
+(** Condition masks ([OSKIT_ASYNCIO_READABLE] & co.). *)
+let aio_read = 1
+
+let aio_write = 2
+let aio_exception = 4
+
+type listener = {
+  ls_unknown : Com.unknown;
+  ls_notify : unit -> unit;
+      (** Called at notification level (possibly from interrupt context):
+          must not block, and must tolerate spurious invocations — the
+          object promises only that a poll is worthwhile, not that any
+          specific condition still holds by the time the listener runs. *)
+}
+
+let listener_iid : listener Iid.t = Iid.declare "oskit.listener"
+
+type asyncio = {
+  aio_unknown : Com.unknown;
+  aio_poll : unit -> int;  (** current readiness, an [aio_*] bitmask *)
+  aio_add_listener : listener -> int -> (int, Error.t) result;
+      (** [add_listener l mask] arranges for [l.ls_notify] whenever a
+          condition in [mask] becomes true; returns the readiness mask at
+          registration time so the caller cannot miss an edge that fired
+          before the listener was in place. *)
+  aio_remove_listener : listener -> (unit, Error.t) result;
+  aio_readable : unit -> int;
+      (** Bytes available to read without blocking (0 if unknown). *)
+}
+
+let asyncio_iid : asyncio Iid.t = Iid.declare "oskit.asyncio"
+
+(** [listener_create notify] wraps a plain callback as a COM listener. *)
+let listener_create notify =
+  let rec view () = { ls_unknown = unknown (); ls_notify = notify }
+  and obj = lazy (Com.create (fun _self -> [ Iid.B (listener_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  view ()
+
+(** [asyncio_view ~unknown ~poll ~add_listener ~remove_listener ()] builds
+    an asyncio record over a stack's plain readiness hooks: [add_listener
+    ~mask f] returns a registration id, [remove_listener id] drops it.
+    Each call owns its own listener table, so build it {e once} per
+    underlying object (not per COM query) and hand out the same record. *)
+let asyncio_view ~unknown ~poll ~add_listener ~remove_listener
+    ?(readable = fun () -> 0) () =
+  let subs : (listener * int) list ref = ref [] in
+  { aio_unknown = unknown ();
+    aio_poll = poll;
+    aio_add_listener =
+      (fun l mask ->
+        let id = add_listener ~mask (fun _ready -> l.ls_notify ()) in
+        subs := (l, id) :: !subs;
+        Ok (poll ()));
+    aio_remove_listener =
+      (fun l ->
+        match List.partition (fun (x, _) -> x == l) !subs with
+        | [], _ -> Result.Error Error.Inval
+        | matches, rest ->
+            subs := rest;
+            List.iter (fun (_, id) -> remove_listener id) matches;
+            Ok ());
+    aio_readable = readable }
+
 (** The "socket factory" returned by a protocol stack's init and registered
     with the C library ([posix_set_socketcreator] in Section 5's listing). *)
 type socket_factory = {

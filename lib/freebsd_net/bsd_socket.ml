@@ -37,10 +37,18 @@ let ifconfig stack ~addr ~mask = Netif.ifconfig stack.ifp ~addr ~mask
 
 (* ---- TCP stream sockets ---- *)
 
+(* A readiness listener: the socket-side half of oskit_asyncio.  [rl_fn]
+   runs at wakeup level whenever a condition in [rl_mask] is true after a
+   protocol event — spurious calls allowed, blocking not. *)
+type ready_listener = { rl_id : int; rl_mask : int; rl_fn : int -> unit }
+
 type tsock = {
   st : stack;
   pcb : Tcp.tcpcb;
   chan : int; (* rd = chan, wr = chan+1, cn = chan+2 *)
+  mutable nonblock : bool;
+  mutable listeners : ready_listener list;
+  mutable next_lid : int;
 }
 
 (* The donor idiom: sbwait sleeps on the buffer's channel; sowakeup wakes
@@ -49,15 +57,67 @@ type tsock = {
 let sbwait s which = Bsd_sleep.tsleep s.st.sleepq ~channel:(s.chan + which)
 let sowakeup st chan which = Bsd_sleep.wakeup st.sleepq ~channel:(chan + which)
 
+(* Current readiness, an [Io_if.aio_*] bitmask.  Mirrors what the blocking
+   entry points below would do without sleeping: readable = soreceive or
+   soaccept returns immediately, writable = sosend can take at least one
+   byte, exception = a pending so_error. *)
+let so_readiness s =
+  let pcb = s.pcb in
+  let rd =
+    if pcb.Tcp.t_state = Tcp.Listen then not (Queue.is_empty pcb.Tcp.accept_q)
+    else
+      pcb.Tcp.rcv_buf.Sockbuf.sb_cc > 0 || pcb.Tcp.rcv_fin
+      || pcb.Tcp.t_state = Tcp.Closed
+  in
+  let wr =
+    match pcb.Tcp.t_state with
+    | Tcp.Established | Tcp.Close_wait -> Sockbuf.space pcb.Tcp.snd_buf > 0
+    | Tcp.Closed -> true
+    | _ -> false
+  in
+  let ex = pcb.Tcp.so_error <> None in
+  (if rd then Io_if.aio_read else 0)
+  lor (if wr then Io_if.aio_write else 0)
+  lor if ex then Io_if.aio_exception else 0
+
+let so_readable_bytes s = s.pcb.Tcp.rcv_buf.Sockbuf.sb_cc
+
+(* No-op when nothing is registered, so the blocking-only paths that Table
+   1/2 measures are untouched. *)
+let notify_listeners s =
+  match s.listeners with
+  | [] -> ()
+  | ls ->
+      let ready = so_readiness s in
+      List.iter (fun l -> if ready land l.rl_mask <> 0 then l.rl_fn ready) ls
+
+let so_add_listener s ~mask f =
+  let id = s.next_lid in
+  s.next_lid <- id + 1;
+  s.listeners <- s.listeners @ [ { rl_id = id; rl_mask = mask; rl_fn = f } ];
+  id
+
+let so_remove_listener s id =
+  s.listeners <- List.filter (fun l -> l.rl_id <> id) s.listeners
+
+let so_set_nonblock s v = s.nonblock <- v
+
 let wrap_pcb st pcb =
-  let s = { st; pcb; chan = alloc_chan st } in
-  pcb.Tcp.on_readable <- (fun () -> sowakeup st s.chan 0);
-  pcb.Tcp.on_writable <- (fun () -> sowakeup st s.chan 1);
+  let s = { st; pcb; chan = alloc_chan st; nonblock = false; listeners = []; next_lid = 1 } in
+  pcb.Tcp.on_readable <-
+    (fun () ->
+      sowakeup st s.chan 0;
+      notify_listeners s);
+  pcb.Tcp.on_writable <-
+    (fun () ->
+      sowakeup st s.chan 1;
+      notify_listeners s);
   pcb.Tcp.on_state <-
     (fun () ->
       sowakeup st s.chan 2;
       sowakeup st s.chan 0;
-      sowakeup st s.chan 1);
+      sowakeup st s.chan 1;
+      notify_listeners s);
   s
 
 let tcp_socket st = wrap_pcb st (Tcp.create_pcb st.tcp)
@@ -73,6 +133,7 @@ let so_accept s =
       | Some conn -> Ok (wrap_pcb s.st conn)
       | None ->
           if s.pcb.Tcp.t_state <> Tcp.Listen then Result.Error Error.Badf
+          else if s.nonblock then Result.Error Error.Wouldblock
           else begin
             sbwait s 0;
             wait ()
@@ -105,6 +166,8 @@ let so_send s ~buf ~pos ~len =
       | Ok 0 -> (
           match s.pcb.Tcp.t_state with
           | Tcp.Closed -> Result.Error (Option.value s.pcb.Tcp.so_error ~default:Error.Pipe)
+          | _ when s.nonblock ->
+              if sent > 0 then Ok sent else Result.Error Error.Wouldblock
           | _ ->
               sbwait s 1;
               push sent)
@@ -122,6 +185,7 @@ let so_recv s ~buf ~pos ~len =
       match s.pcb.Tcp.t_state with
       | Tcp.Closed -> (
           match s.pcb.Tcp.so_error with Some e -> Result.Error e | None -> Ok 0)
+      | _ when s.nonblock -> Result.Error Error.Wouldblock
       | _ ->
           sbwait s 0;
           wait ()
@@ -201,6 +265,7 @@ let netstat st =
   line "  %d duplicate packets" tcp.Tcp.rcvdup;
   line "  %d out-of-order packets" tcp.Tcp.rcvoo;
   line "  %d packets with data after window" tcp.Tcp.rcvafterwin;
+  line "  %d listen queue overflows" tcp.Tcp.listen_overflow;
   line "udp:";
   line "  %d with bad checksum" udp.Udp.badsum;
   line "  %d dropped, no socket" udp.Udp.noport;

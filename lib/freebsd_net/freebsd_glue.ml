@@ -164,10 +164,35 @@ let rec socket_com stack (s : Bsd_socket.tsock) : Io_if.socket =
                   Tcp.set_buffer_sizes s.Bsd_socket.pcb
                     ~snd:s.Bsd_socket.pcb.Tcp.snd_buf.Sockbuf.sb_hiwat ~rcv:value;
                   Ok ()
+              | "nonblock" ->
+                  Bsd_socket.so_set_nonblock s (value <> 0);
+                  Ok ()
               | _ -> Result.Error Error.Notsup));
       so_shutdown = (fun () -> enter (fun () -> Bsd_socket.so_shutdown s));
       so_close = (fun () -> enter (fun () -> Bsd_socket.so_close s)) }
-  and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.socket_iid, fun () -> view ()) ]))
+  (* The readiness view of the same object.  Forced once (not per query),
+     so every client shares one listener table; poll is a plain COM method
+     dispatch, not a full component crossing — it reads state, converts no
+     arguments and wraps no buffers. *)
+  and aio =
+    lazy
+      (Io_if.asyncio_view ~unknown
+         ~poll:(fun () ->
+           Cost.charge_com_call ();
+           Bsd_socket.so_readiness s)
+         ~add_listener:(fun ~mask f ->
+           Cost.charge_com_call ();
+           Bsd_socket.so_add_listener s ~mask f)
+         ~remove_listener:(fun id ->
+           Cost.charge_com_call ();
+           Bsd_socket.so_remove_listener s id)
+         ~readable:(fun () -> Bsd_socket.so_readable_bytes s)
+         ())
+  and obj =
+    lazy
+      (Com.create (fun _ ->
+           [ Iid.B (Io_if.socket_iid, fun () -> view ());
+             Iid.B (Io_if.asyncio_iid, fun () -> Lazy.force aio) ]))
   and unknown () = Lazy.force obj in
   view ()
 

@@ -80,6 +80,7 @@ type stats = {
   mutable drops : int;
   mutable accepts : int;
   mutable connects : int;
+  mutable listen_overflow : int; (* SYNs dropped: listen queue full *)
 }
 
 type tcpcb = {
@@ -468,17 +469,39 @@ let find_pcb t ~src ~sport ~dport =
   | Some _ as r -> r
   | None -> List.find_opt (fun p -> p.lport = dport && p.t_state = Listen) t.pcbs
 
+(* Embryonic connections (SYN_RCVD children of [pcb]) count against the
+   listen backlog alongside the already-established, not-yet-accepted ones
+   on the accept queue — the donor's so_qlen + so_q0len. *)
+let listen_q_len t pcb =
+  Queue.length pcb.accept_q
+  + List.length
+      (List.filter
+         (fun p ->
+           p.t_state = Syn_received
+           && match p.listen_parent with Some x -> x == pcb | None -> false)
+         t.pcbs)
+
 let enter_established t pcb =
-  pcb.t_state <- Established;
-  pcb.snd_cwnd <- 2 * pcb.t_maxseg;
-  (match pcb.listen_parent with
-  | Some parent when parent.t_state = Listen ->
-      t.stats.accepts <- t.stats.accepts + 1;
-      Queue.add pcb parent.accept_q;
-      parent.on_readable ()
-  | Some _ | None -> t.stats.connects <- t.stats.connects + 1);
-  pcb.on_state ();
-  pcb.on_writable ()
+  match pcb.listen_parent with
+  | Some parent when parent.t_state <> Listen ->
+      (* The listener closed while our handshake completed: nobody will
+         ever accept us, so reset rather than leak an orphaned pcb. *)
+      emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:(th_rst lor th_ack)
+        ~win:0 ~payload:None ~mss_opt:false;
+      pcb.t_state <- Closed;
+      t.stats.drops <- t.stats.drops + 1;
+      detach t pcb
+  | parent_opt ->
+      pcb.t_state <- Established;
+      pcb.snd_cwnd <- 2 * pcb.t_maxseg;
+      (match parent_opt with
+      | Some parent ->
+          t.stats.accepts <- t.stats.accepts + 1;
+          Queue.add pcb parent.accept_q;
+          parent.on_readable ()
+      | None -> t.stats.connects <- t.stats.connects + 1);
+      pcb.on_state ();
+      pcb.on_writable ()
 
 (* Returns true if our FIN was acknowledged by [ack]. *)
 let process_ack pcb ack =
@@ -525,7 +548,10 @@ let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~data =
       else if flags land th_ack <> 0 then
         send_rst t ~src ~dst:pcb.laddr ~sport ~dport:pcb.lport ~seq ~ack ~had_ack:true
       else if flags land th_syn <> 0 then begin
-        if Queue.length pcb.accept_q >= max 1 pcb.backlog then () (* queue overflow: drop *)
+        if listen_q_len t pcb >= max 1 pcb.backlog then
+          (* Queue overflow: drop the SYN on the floor (the peer will
+             retransmit it) and count the drop. *)
+          t.stats.listen_overflow <- t.stats.listen_overflow + 1
         else begin
           let conn = create_pcb t in
           conn.laddr <- pcb.laddr;
@@ -847,7 +873,7 @@ let attach ip machine =
       stats =
         { sndpack = 0; sndrexmitpack = 0; rcvpack = 0; rcvdup = 0; rcvoo = 0;
           rcvbadsum = 0; rcvshort = 0; rcvafterwin = 0; delack = 0; fastrexmit = 0;
-          drops = 0; accepts = 0; connects = 0 } }
+          drops = 0; accepts = 0; connects = 0; listen_overflow = 0 } }
   in
   Ip.set_proto ip ~proto:Ip.proto_tcp (fun ~src ~dst m -> input t ~src ~dst m);
   t
@@ -918,11 +944,38 @@ let usr_recv t pcb ~dst ~dst_pos ~len =
   end;
   n
 
+let usr_abort t pcb =
+  (match pcb.t_state with
+  | Established | Syn_received | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack ->
+      emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:(th_rst lor th_ack)
+        ~win:0 ~payload:None ~mss_opt:false
+  | Closed | Listen | Syn_sent | Time_wait -> ());
+  pcb.t_state <- Closed;
+  detach t pcb;
+  pcb.on_state ()
+
 let usr_close t pcb =
   match pcb.t_state with
   | Closed -> ()
-  | Listen | Syn_sent ->
+  | Syn_sent ->
       pcb.t_state <- Closed;
+      detach t pcb;
+      pcb.on_state ()
+  | Listen ->
+      (* Closing a listener orphans its never-accepted children: reset the
+         established ones parked on the accept queue and the embryonic ones
+         still shaking hands, so neither side leaks a connection (the PR-2
+         ARP on_drop discipline — fail waiters, don't strand them). *)
+      pcb.t_state <- Closed;
+      Queue.iter (fun conn -> if conn.t_state <> Closed then usr_abort t conn) pcb.accept_q;
+      Queue.clear pcb.accept_q;
+      List.iter
+        (fun p ->
+          if
+            p.t_state = Syn_received
+            && match p.listen_parent with Some x -> x == pcb | None -> false
+          then usr_abort t p)
+        t.pcbs;
       detach t pcb;
       pcb.on_state ()
   | Syn_received | Established ->
@@ -936,16 +989,6 @@ let usr_close t pcb =
       pcb.on_state ();
       tcp_output t pcb
   | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait -> ()
-
-let usr_abort t pcb =
-  (match pcb.t_state with
-  | Established | Syn_received | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack ->
-      emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:(th_rst lor th_ack)
-        ~win:0 ~payload:None ~mss_opt:false
-  | Closed | Listen | Syn_sent | Time_wait -> ());
-  pcb.t_state <- Closed;
-  detach t pcb;
-  pcb.on_state ()
 
 let set_buffer_sizes pcb ~snd ~rcv =
   pcb.snd_buf.Sockbuf.sb_hiwat <- snd;

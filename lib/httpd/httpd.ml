@@ -1,0 +1,267 @@
+(* An HTTP/1.0 static-file server component, in both serving shapes the
+ * paper's substrate supports:
+ *
+ *  - [serve_reactor]: event-driven.  The listen socket and every
+ *    connection run non-blocking behind oskit_asyncio watches on a
+ *    {!Reactor}; one thread multiplexes all of them, and a connection's
+ *    whole footprint is its small state record.
+ *  - [serve_threaded]: thread-per-connection.  A blocking accept loop
+ *    spawns a handler thread per connection, gated at [max_threads] —
+ *    beyond the gate the accept queue fills and the stack's listen
+ *    backlog starts dropping SYNs.
+ *
+ * Both serve the same files from an {!Io_if.dir} (the FFS/memfs path) and
+ * speak to sockets only through the COM interfaces, so either protocol
+ * stack works underneath.  GET only, one request per connection,
+ * Connection: close — HTTP/1.0 without keep-alive.
+ *)
+
+type stats = {
+  mutable accepted : int;
+  mutable requests : int;  (* well-formed requests parsed *)
+  mutable responses : int;  (* 200s completed *)
+  mutable not_found : int;
+  mutable protocol_errors : int;  (* malformed request or EOF mid-request *)
+  mutable shed : int;  (* reactor mode: accepted then dropped, over max_conns *)
+  mutable bytes_out : int;
+  mutable active : int;
+  mutable peak_active : int;  (* high-water concurrent connections *)
+}
+
+let make_stats () =
+  { accepted = 0; requests = 0; responses = 0; not_found = 0; protocol_errors = 0;
+    shed = 0; bytes_out = 0; active = 0; peak_active = 0 }
+
+(* The per-connection memory the two serving modes pay — what the
+   equal-memory comparison in bench/httpbench divides a RAM budget by.  A
+   parked handler thread owns a kernel stack; a reactor connection owns a
+   state record (socket, watch, request buffer). *)
+let thread_stack_bytes = 32 * 1024
+let conn_state_bytes = 2 * 1024
+
+(* ---- request/response machinery (shared by both modes) ---- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let request_complete s = contains s "\r\n\r\n" || contains s "\n\n"
+
+(* First request line: "GET <path> [HTTP/1.x]". *)
+let parse_request s =
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i -> (
+      let line = String.trim (String.sub s 0 i) in
+      match String.split_on_char ' ' (String.trim line) with
+      | "GET" :: path :: _ when path <> "" -> Some path
+      | _ -> None)
+
+(* Walk [path] one component at a time — the VFS-granularity lookup the
+   interface insists on (and what lets an interposer check each step). *)
+let resolve (root : Io_if.dir) path =
+  let comps = List.filter (fun c -> c <> "" && c <> ".") (String.split_on_char '/' path) in
+  if List.mem ".." comps then Result.Error Error.Acces
+  else
+    let rec walk node = function
+      | [] -> Ok node
+      | c :: rest -> (
+          match node with
+          | Io_if.Node_file _ -> Result.Error Error.Notdir
+          | Io_if.Node_dir d -> Result.bind (d.Io_if.d_lookup c) (fun n -> walk n rest))
+    in
+    walk (Io_if.Node_dir root) comps
+
+let read_file (f : Io_if.file) =
+  match f.Io_if.f_getstat () with
+  | Result.Error _ as e -> e
+  | Ok st ->
+      let buf = Bytes.create st.Io_if.st_size in
+      let rec go off =
+        if off >= Bytes.length buf then Ok buf
+        else
+          match f.Io_if.f_read ~buf ~pos:off ~offset:off ~amount:(Bytes.length buf - off) with
+          | Ok 0 -> Ok (Bytes.sub buf 0 off)
+          | Ok n -> go (off + n)
+          | Result.Error _ as e -> e
+      in
+      go 0
+
+let header ~status ~reason ~len =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nServer: oskit-httpd\r\nContent-Type: application/octet-stream\r\n\
+     Content-Length: %d\r\nConnection: close\r\n\r\n"
+    status reason len
+
+(* Build the full response for a raw request; counts into [st]. *)
+let respond st root raw =
+  match parse_request raw with
+  | None ->
+      st.protocol_errors <- st.protocol_errors + 1;
+      let body = Bytes.of_string "bad request\n" in
+      Bytes.cat (Bytes.of_string (header ~status:400 ~reason:"Bad Request" ~len:(Bytes.length body))) body
+  | Some path -> (
+      st.requests <- st.requests + 1;
+      match resolve root path with
+      | Ok (Io_if.Node_file f) -> (
+          match read_file f with
+          | Ok body ->
+              st.responses <- st.responses + 1;
+              st.bytes_out <- st.bytes_out + Bytes.length body;
+              Bytes.cat
+                (Bytes.of_string (header ~status:200 ~reason:"OK" ~len:(Bytes.length body)))
+                body
+          | Result.Error _ ->
+              st.not_found <- st.not_found + 1;
+              let body = Bytes.of_string "io error\n" in
+              Bytes.cat
+                (Bytes.of_string (header ~status:500 ~reason:"Internal Server Error" ~len:(Bytes.length body)))
+                body)
+      | Ok (Io_if.Node_dir _) | Result.Error _ ->
+          st.not_found <- st.not_found + 1;
+          let body = Bytes.of_string "not found\n" in
+          Bytes.cat
+            (Bytes.of_string (header ~status:404 ~reason:"Not Found" ~len:(Bytes.length body)))
+            body)
+
+let aio_of (sock : Io_if.socket) =
+  Cost.count_com_call ();
+  match Com.query sock.Io_if.so_unknown Io_if.asyncio_iid with
+  | Ok a -> a
+  | Result.Error e -> Error.fail e
+
+(* ---- event-driven mode ---- *)
+
+(* Registers the listen watch and returns immediately; the caller drives
+   the reactor loop.  [max_conns] is the memory budget's connection cap —
+   at the cap new connections are accepted and immediately dropped
+   (shed), which keeps the accept queue draining. *)
+let serve_reactor ~reactor ~root ~(sock : Io_if.socket) ?(max_conns = max_int) () =
+  let st = make_stats () in
+  ignore (sock.Io_if.so_setsockopt "nonblock" 1);
+  let start_conn (c : Io_if.socket) =
+    st.accepted <- st.accepted + 1;
+    st.active <- st.active + 1;
+    if st.active > st.peak_active then st.peak_active <- st.active;
+    ignore (c.Io_if.so_setsockopt "nonblock" 1);
+    let caio = aio_of c in
+    let req = Buffer.create 256 in
+    let scratch = Bytes.create 2048 in
+    let resp = ref Bytes.empty in
+    let off = ref 0 in
+    let wref = ref None in
+    let writing = ref false in
+    let finish () =
+      (match !wref with Some w -> Reactor.unwatch reactor w | None -> ());
+      ignore (c.Io_if.so_close ());
+      st.active <- st.active - 1
+    in
+    let on_writable () =
+      let remaining = Bytes.length !resp - !off in
+      if remaining = 0 then finish ()
+      else
+        match c.Io_if.so_send ~buf:!resp ~pos:!off ~len:remaining with
+        | Ok n ->
+            off := !off + n;
+            if !off >= Bytes.length !resp then finish ()
+        | Result.Error Error.Wouldblock -> ()
+        | Result.Error _ -> finish ()
+    in
+    let on_readable () =
+      match c.Io_if.so_recv ~buf:scratch ~pos:0 ~len:(Bytes.length scratch) with
+      | Ok 0 ->
+          (* EOF before the request terminator. *)
+          st.protocol_errors <- st.protocol_errors + 1;
+          finish ()
+      | Ok n ->
+          Buffer.add_subbytes req scratch 0 n;
+          if request_complete (Buffer.contents req) then begin
+            resp := respond st root (Buffer.contents req);
+            off := 0;
+            writing := true;
+            (match !wref with
+            | Some w -> Reactor.rewatch reactor w ~mask:Io_if.aio_write
+            | None -> ());
+            (* The send buffer is almost certainly writable right now. *)
+            on_writable ()
+          end
+      | Result.Error Error.Wouldblock -> ()
+      | Result.Error _ ->
+          st.protocol_errors <- st.protocol_errors + 1;
+          finish ()
+    in
+    let cb _ready = if !writing then on_writable () else on_readable () in
+    wref := Some (Reactor.watch reactor caio ~mask:Io_if.aio_read cb)
+  in
+  let rec accept_drain () =
+    match sock.Io_if.so_accept () with
+    | Ok (c, _peer) ->
+        if st.active >= max_conns then begin
+          (* Over budget: shed the connection rather than park it. *)
+          st.shed <- st.shed + 1;
+          ignore (c.Io_if.so_close ())
+        end
+        else start_conn c;
+        accept_drain ()
+    | Result.Error Error.Wouldblock -> ()
+    | Result.Error _ -> ()
+  in
+  ignore (Reactor.watch reactor (aio_of sock) ~mask:Io_if.aio_read (fun _ -> accept_drain ()));
+  st
+
+(* ---- thread-per-connection mode ---- *)
+
+let handle_blocking st root (c : Io_if.socket) =
+  let scratch = Bytes.create 2048 in
+  let req = Buffer.create 256 in
+  let rec read_req () =
+    if request_complete (Buffer.contents req) then true
+    else
+      match c.Io_if.so_recv ~buf:scratch ~pos:0 ~len:(Bytes.length scratch) with
+      | Ok 0 -> false
+      | Ok n ->
+          Buffer.add_subbytes req scratch 0 n;
+          read_req ()
+      | Result.Error _ -> false
+  in
+  if read_req () then begin
+    let resp = respond st root (Buffer.contents req) in
+    let rec push off =
+      if off < Bytes.length resp then
+        match c.Io_if.so_send ~buf:resp ~pos:off ~len:(Bytes.length resp - off) with
+        | Ok n -> push (off + n)
+        | Result.Error _ -> ()
+    in
+    push 0
+  end
+  else st.protocol_errors <- st.protocol_errors + 1;
+  ignore (c.Io_if.so_close ())
+
+(* Spawns the blocking accept loop via [spawn] and returns immediately.
+   At [max_threads] in-flight handlers the acceptor parks, the accept
+   queue backs up, and the listen backlog does the dropping — exactly the
+   thread-per-connection failure mode the reactor exists to avoid. *)
+let serve_threaded ~spawn ~root ~(sock : Io_if.socket) ?(max_threads = max_int) () =
+  let st = make_stats () in
+  let gate = Sleep_record.create ~name:"httpd_gate" () in
+  let rec loop () =
+    if st.active >= max_threads then begin
+      Sleep_record.sleep gate;
+      loop ()
+    end
+    else
+      match sock.Io_if.so_accept () with
+      | Ok (c, _peer) ->
+          st.accepted <- st.accepted + 1;
+          st.active <- st.active + 1;
+          if st.active > st.peak_active then st.peak_active <- st.active;
+          spawn (fun () ->
+              handle_blocking st root c;
+              st.active <- st.active - 1;
+              Sleep_record.wakeup gate);
+          loop ()
+      | Result.Error _ -> () (* listener closed: acceptor exits *)
+  in
+  spawn loop;
+  st

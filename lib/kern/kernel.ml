@@ -21,6 +21,12 @@ let console t = t.console
 let timer t = t.timer
 
 let spawn t ?name f =
+  (* Thread creation is free by default; the concurrency benches set
+     [thread_spawn_cycles] to charge the stack carve-out to this kernel's
+     clock. *)
+  if Cost.config.Cost.thread_spawn_cycles > 0 then
+    Machine.run_in t.machine (fun () ->
+        Cost.charge_cycles Cost.config.Cost.thread_spawn_cycles);
   Thread.spawn t.sched ?name f;
   Machine.kick t.machine
 

@@ -47,6 +47,11 @@ type tcp_state =
 
 type rexmt_entry = { rx_seq : int; rx_end : int; rx_frame : Skbuff.sk_buff }
 
+(* A readiness listener — the socket-side half of oskit_asyncio, mirroring
+   Bsd_socket.ready_listener.  Runs at wakeup level; spurious calls
+   allowed, blocking not. *)
+type ready_listener = { rl_id : int; rl_mask : int; rl_fn : int -> unit }
+
 type sock = {
   stack : stack;
   mutable state : tcp_state;
@@ -75,6 +80,9 @@ type sock = {
   sleep : Sleep_record.t;
   mutable rexmt_armed : bool;
   mutable rexmt_shift : int; (* backoff exponent; reset when an ACK advances *)
+  mutable nb : bool; (* O_NONBLOCK *)
+  mutable listeners : ready_listener list;
+  mutable next_lid : int;
 }
 
 (* An unresolved ARP destination: bounded waiter queue, retry timer. *)
@@ -107,6 +115,7 @@ and stack = {
   mutable arp_waiters_dropped : int; (* pending queue overflow, drop-head *)
   mutable arp_failures : int;   (* resolutions abandoned after retries *)
   mutable rexmt_give_ups : int; (* connections reset by the rexmt backstop *)
+  mutable listen_overflow : int; (* SYNs dropped: listen queue full *)
 }
 
 let create machine =
@@ -114,7 +123,7 @@ let create machine =
     arp_pending = Hashtbl.create 4; socks = []; next_port = 1024; next_iss = 99000;
     ip_id = 1; segs_out = 0; segs_in = 0; rexmits = 0; ipbadsum = 0; tcpbadsum = 0;
     rcvdup = 0; rcvoo = 0; rcvfull = 0; arp_waiters_dropped = 0; arp_failures = 0;
-    rexmt_give_ups = 0 }
+    rexmt_give_ups = 0; listen_overflow = 0 }
 
 let ifconfig t ~addr ~mask =
   t.my_ip <- addr;
@@ -295,6 +304,52 @@ let rcv_window s = max 0 (default_window - s.rcv_q_bytes)
 
 let rexmt_max_shift = 6
 
+(* Current readiness, an [Io_if.aio_*] bitmask.  Mirrors what the blocking
+   calls below would do without sleeping: readable = recv or accept
+   returns immediately, writable = send can emit at least one segment,
+   exception = a pending socket error. *)
+let sock_readiness s =
+  let rd =
+    match s.state with
+    | Listen -> not (Queue.is_empty s.backlog_q)
+    | Closed -> true
+    | _ -> s.rcv_q_bytes > 0 || s.peer_fin
+  in
+  let wr =
+    match s.state with
+    | Established | Close_wait ->
+        inflight s < min s.cwnd s.snd_wnd && List.length s.rexmt_q <= 64
+    | Closed -> true
+    | _ -> false
+  in
+  let ex = s.err <> None in
+  (if rd then Io_if.aio_read else 0)
+  lor (if wr then Io_if.aio_write else 0)
+  lor if ex then Io_if.aio_exception else 0
+
+let readable_bytes s = s.rcv_q_bytes
+
+(* Every protocol event funnels through here: wake the blocking waiter and
+   run any asyncio listeners.  The listener scan is a no-op when nothing is
+   registered, so the blocking-only paths Table 1/2 measures are
+   untouched. *)
+let wake s =
+  Sleep_record.wakeup s.sleep;
+  match s.listeners with
+  | [] -> ()
+  | ls ->
+      let ready = sock_readiness s in
+      List.iter (fun l -> if ready land l.rl_mask <> 0 then l.rl_fn ready) ls
+
+let add_listener s ~mask f =
+  let id = s.next_lid in
+  s.next_lid <- id + 1;
+  s.listeners <- s.listeners @ [ { rl_id = id; rl_mask = mask; rl_fn = f } ];
+  id
+
+let remove_listener s id = s.listeners <- List.filter (fun l -> l.rl_id <> id) s.listeners
+let set_nonblock s v = s.nb <- v
+
 (* Build one segment in a fresh contiguous skb.  [payload] is copied in
    (the send-path copy); the finished frame is kept for retransmission when
    [queue] is set. *)
@@ -360,7 +415,7 @@ and arm_rexmt t s =
                  s.err <- Some Error.Timedout;
                  s.state <- Closed;
                  t.socks <- List.filter (fun x -> x != s) t.socks;
-                 Sleep_record.wakeup s.sleep
+                 wake s
                end
                else begin
                  t.rexmits <- t.rexmits + 1;
@@ -386,11 +441,9 @@ let send_rst_for t ~src ~sport ~dport ~ack =
       fin_queued = false; rexmt_q = []; rcv_nxt = 0; rcv_q = Queue.create ();
       rcv_q_bytes = 0; head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
       backlog = 0; parent = None; err = None; sleep = Sleep_record.create ();
-      rexmt_armed = true; rexmt_shift = 0 }
+      rexmt_armed = true; rexmt_shift = 0; nb = false; listeners = []; next_lid = 1 }
   in
   tcp_xmit t fake ~seq:ack ~flags:th_rst ~payload:None ~queue:false
-
-let wake s = Sleep_record.wakeup s.sleep
 
 let new_sock t =
   let s =
@@ -399,7 +452,7 @@ let new_sock t =
       fin_queued = false; rexmt_q = []; rcv_nxt = 0; rcv_q = Queue.create ();
       rcv_q_bytes = 0; head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
       backlog = 0; parent = None; err = None; sleep = Sleep_record.create ~name:"lx_sock" ();
-      rexmt_armed = false; rexmt_shift = 0 }
+      rexmt_armed = false; rexmt_shift = 0; nb = false; listeners = []; next_lid = 1 }
   in
   t.socks <- s :: t.socks;
   s
@@ -466,8 +519,21 @@ let tcp_rcv t skb ~src =
           else
             match s.state with
             | Listen ->
-                if flags land th_syn <> 0 && Queue.length s.backlog_q < max 1 s.backlog
-                then begin
+                if flags land th_syn <> 0 then begin
+                  (* Embryonic children count against the backlog alongside
+                     the established-but-unaccepted ones. *)
+                  let embryonic =
+                    List.length
+                      (List.filter
+                         (fun c ->
+                           c.state = Syn_recv
+                           && match c.parent with Some p -> p == s | None -> false)
+                         t.socks)
+                  in
+                  if Queue.length s.backlog_q + embryonic >= max 1 s.backlog then
+                    (* Drop the SYN on the floor (the peer retransmits). *)
+                    t.listen_overflow <- t.listen_overflow + 1
+                  else begin
                   let c = new_sock t in
                   c.state <- Syn_recv;
                   c.lport <- s.lport;
@@ -481,6 +547,7 @@ let tcp_rcv t skb ~src =
                   c.snd_wnd <- win;
                   tcp_xmit t c ~seq:c.iss ~flags:(th_syn lor th_ack) ~payload:None
                     ~queue:true
+                  end
                 end
             | Syn_sent ->
                 if flags land th_syn <> 0 && flags land th_ack <> 0 && ack = s.snd_nxt
@@ -495,16 +562,26 @@ let tcp_rcv t skb ~src =
                 end
             | Syn_recv ->
                 if flags land th_ack <> 0 && ack = s.snd_nxt then begin
-                  s.state <- Established;
-                  s.cwnd <- 2 * mss;
-                  s.snd_wnd <- win;
-                  ack_advance t s ack;
-                  (match s.parent with
-                  | Some p ->
-                      Queue.add s p.backlog_q;
-                      wake p
-                  | None -> ());
-                  wake s
+                  match s.parent with
+                  | Some p when p.state <> Listen ->
+                      (* The listener closed while our handshake completed:
+                         nobody will ever accept us — reset, don't leak. *)
+                      List.iter (fun e -> Skbuff.skb_free e.rx_frame) s.rexmt_q;
+                      s.rexmt_q <- [];
+                      s.state <- Closed;
+                      detach t s;
+                      tcp_xmit t s ~seq:s.snd_nxt ~flags:th_rst ~payload:None ~queue:false
+                  | parent_opt ->
+                      s.state <- Established;
+                      s.cwnd <- 2 * mss;
+                      s.snd_wnd <- win;
+                      ack_advance t s ack;
+                      (match parent_opt with
+                      | Some p ->
+                          Queue.add s p.backlog_q;
+                          wake p
+                      | None -> ());
+                      wake s
                 end
             | Established | Fin_wait1 | Fin_wait2 | Close_wait | Last_ack | Time_wait -> (
                 if flags land th_ack <> 0 then begin
@@ -619,6 +696,7 @@ let accept _t s =
     | Some c -> Ok c
     | None ->
         if s.state <> Listen then Result.Error Error.Badf
+        else if s.nb then Result.Error Error.Wouldblock
         else begin
           Sleep_record.sleep s.sleep;
           wait ()
@@ -654,14 +732,20 @@ let send t s ~buf ~pos ~len =
       | Established | Close_wait ->
           let window = min s.cwnd s.snd_wnd in
           if inflight s >= window || List.length s.rexmt_q > 64 then begin
-            Sleep_record.sleep s.sleep;
-            push sent
+            if s.nb then if sent > 0 then Ok sent else Result.Error Error.Wouldblock
+            else begin
+              Sleep_record.sleep s.sleep;
+              push sent
+            end
           end
           else begin
             let n = min mss (min (len - sent) (max 0 (window - inflight s))) in
             if n = 0 then begin
-              Sleep_record.sleep s.sleep;
-              push sent
+              if s.nb then if sent > 0 then Ok sent else Result.Error Error.Wouldblock
+              else begin
+                Sleep_record.sleep s.sleep;
+                push sent
+              end
             end
             else begin
               tcp_xmit t s ~seq:s.snd_nxt ~flags:th_ack
@@ -704,11 +788,25 @@ let recv _t s ~buf ~pos ~len =
     else
       match s.state with
       | Closed -> ( match s.err with Some e -> Result.Error e | None -> Ok 0)
+      | _ when s.nb -> Result.Error Error.Wouldblock
       | _ ->
           Sleep_record.sleep s.sleep;
           wait ()
   in
   if len = 0 then Ok 0 else wait ()
+
+(* Hard-reset a never-accepted child of a closing listener: free its
+   retransmission frames, RST the peer, drop the sock. *)
+let abort_orphan t c =
+  if c.state <> Closed then begin
+    List.iter (fun e -> Skbuff.skb_free e.rx_frame) c.rexmt_q;
+    c.rexmt_q <- [];
+    c.err <- Some Error.Connreset;
+    c.state <- Closed;
+    detach t c;
+    tcp_xmit t c ~seq:c.snd_nxt ~flags:th_rst ~payload:None ~queue:false;
+    wake c
+  end
 
 let close t s =
   match s.state with
@@ -722,9 +820,27 @@ let close t s =
       s.fin_queued <- true;
       tcp_xmit t s ~seq:s.snd_nxt ~flags:(th_fin lor th_ack) ~payload:None ~queue:true;
       s.snd_nxt <- m32 (s.snd_nxt + 1)
-  | Listen | Syn_sent ->
+  | Listen ->
+      (* Reset the children nobody will ever accept — both the established
+         ones parked on the backlog queue and the embryonic ones still
+         shaking hands — and wake parked accepters so they fail with Badf
+         instead of sleeping forever (the ARP on_drop discipline). *)
       s.state <- Closed;
-      detach t s
+      Queue.iter (fun c -> abort_orphan t c) s.backlog_q;
+      Queue.clear s.backlog_q;
+      List.iter
+        (fun c ->
+          if
+            c.state = Syn_recv
+            && match c.parent with Some p -> p == s | None -> false
+          then abort_orphan t c)
+        t.socks;
+      detach t s;
+      wake s
+  | Syn_sent ->
+      s.state <- Closed;
+      detach t s;
+      wake s
   | _ -> ()
 
 (* ---- per-layer drop accounting, netstat -s style ---- *)
@@ -741,9 +857,10 @@ let netstat t =
     \  %d duplicate segments dropped\n\
     \  %d out-of-order segments dropped\n\
     \  %d segments dropped, full receive queue\n\
+    \  %d listen queue overflows\n\
     \  %d connections timed out retransmitting\n\
      arp:\n\
     \  %d waiters dropped (queue full)\n\
     \  %d resolutions abandoned (retries exhausted)\n"
     t.ipbadsum t.segs_out t.segs_in t.rexmits t.tcpbadsum t.rcvdup t.rcvoo
-    t.rcvfull t.rexmt_give_ups t.arp_waiters_dropped t.arp_failures
+    t.rcvfull t.listen_overflow t.rexmt_give_ups t.arp_waiters_dropped t.arp_failures

@@ -11,6 +11,7 @@ type config = {
   mutable bsd_tcp_pkt_cycles : int;
   mutable linux_tcp_pkt_cycles : int;
   mutable socket_op_cycles : int;
+  mutable thread_spawn_cycles : int;
   mutable sg_tx : bool;
 }
 
@@ -27,6 +28,7 @@ let defaults () =
     bsd_tcp_pkt_cycles = 4000;
     linux_tcp_pkt_cycles = 6000;
     socket_op_cycles = 500;
+    thread_spawn_cycles = 0;
     sg_tx = false }
 
 let config = defaults ()
@@ -45,6 +47,7 @@ let reset_config () =
   config.bsd_tcp_pkt_cycles <- d.bsd_tcp_pkt_cycles;
   config.linux_tcp_pkt_cycles <- d.linux_tcp_pkt_cycles;
   config.socket_op_cycles <- d.socket_op_cycles;
+  config.thread_spawn_cycles <- d.thread_spawn_cycles;
   config.sg_tx <- d.sg_tx
 
 type counters = {

@@ -39,6 +39,11 @@ type config = {
       (** Linux inet per-segment protocol work; default 6000 *)
   mutable socket_op_cycles : int;
       (** socket-layer entry (sosend/soreceive bookkeeping); default 500 *)
+  mutable thread_spawn_cycles : int;
+      (** creating a kernel thread (stack carve-out, queue insertion).
+          Default 0 — free, so calibrated Table 1/2 runs are untouched;
+          the httpd concurrency bench raises it to make thread-per-
+          connection pay its real per-accept price. *)
   mutable sg_tx : bool;
       (** scatter-gather transmit across the mbuf->skbuff glue: when on, a
           discontiguous chain crosses the boundary as an iovec instead of

@@ -3,9 +3,12 @@
 # bench (tiny workload — we only check it runs and prints the speedup
 # table), the chaos bench (fixed-seed lossy-link soak: ttcp through
 # netem at 0–5% loss in all three configurations; the bench itself fails
-# if any cell is not byte-exact), and the scatter-gather smoke (fixed
+# if any cell is not byte-exact), the scatter-gather smoke (fixed
 # seed; asserts sg send >= default send, zero flatten copies on the sg
-# path, and byte-exactness with sg on under loss).
+# path, and byte-exactness with sg on under loss), and the http smoke
+# (64 concurrent clients against the httpd component on both stacks,
+# both serving shapes; the bench fails on any protocol error, any
+# non-byte-exact response, or reactor req/s below thread-per-connection).
 set -eux
 
 dune build
@@ -13,3 +16,4 @@ dune runtest
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- alloc
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- chaos
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- sgsmoke
+OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- httpsmoke

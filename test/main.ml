@@ -21,4 +21,5 @@ let () =
       "posix-net", Test_posix_net.suite;
       "fatfs", Test_fatfs.suite;
       "misc2", Test_misc2.suite;
-      "advanced", Test_advanced.suite ]
+      "advanced", Test_advanced.suite;
+      "asyncio", Test_asyncio.suite ]
