@@ -17,9 +17,12 @@
    [listen_overflow] counter and in the clients' p99 (a dropped SYN costs
    a retransmit timeout). *)
 
-type config = Freebsd_com | Linux_com
+type config = Freebsd_com | Linux_com | Oskit_com
 
-let config_name = function Freebsd_com -> "FreeBSD" | Linux_com -> "Linux"
+let config_name = function
+  | Freebsd_com -> "FreeBSD"
+  | Linux_com -> "Linux"
+  | Oskit_com -> "OSKit"
 
 type mode = Reactor | Threads
 
@@ -125,6 +128,14 @@ let run ?(reqs_per_client = 2) ~config ~mode ~clients () =
         let stack = Clientos.linux_host server ~ip:(ip "10.0.0.2") ~mask in
         ( Linux_sock_com.socket_com stack (Linux_inet.socket stack),
           fun () -> stack.Linux_inet.listen_overflow )
+    | Oskit_com ->
+        (* The paper's netcomputer shape: the BSD stack over the Linux
+           driver through fdev/COM — the only configuration whose receive
+           frames cross the glue, so the only one the batched-RX counters
+           (Cost.rx_polls) can observe. *)
+        let _env, stack = Clientos.oskit_host server ~ip:(ip "10.0.0.2") ~mask in
+        ( Freebsd_glue.socket_com stack (Bsd_socket.tcp_socket stack),
+          fun () -> stack.Bsd_socket.tcp.Tcp.stats.Tcp.listen_overflow )
   in
   let cstack = Clientos.freebsd_host chost ~ip:(ip "10.0.0.1") ~mask in
   let done_clients = ref 0 in

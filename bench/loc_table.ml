@@ -68,6 +68,9 @@ let descriptions =
     "boot", "Bootstrap support";
     "kern", "Kernel support";
     "smp", "Multiprocessor support";
+    "asyncio", "Readiness I/O & reactor";
+    "httpd", "HTTP server component";
+    "malloc", "Size-class allocator";
     "lmm", "List Memory Manager";
     "amm", "Address Map Manager";
     "libc", "Minimal C library";

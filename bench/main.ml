@@ -15,6 +15,8 @@
      sgsmoke    scatter-gather send-path CI gate
      http       event-driven vs threaded HTTP serving     — oskit_asyncio
      httpsmoke  64-client asyncio CI gate
+     rtt        rtcp latency percentiles, receive fast path on/off
+     rttsmoke   receive fast-path CI gate (equivalence + strict RTT win)
 
    Network numbers come from the deterministic virtual-time simulation
    (they are not wall-clock); the allocator section uses Bechamel
@@ -488,6 +490,100 @@ let sgsmoke () =
     [ 0.0; 0.01; 0.05 ];
   print_endline "\nsg send >= default send; zero flatten copies; byte-exact under loss"
 
+(* ---------------- rtt: the Table 2 gap, attacked ---------------- *)
+
+(* All three receive-side fast-path layers at once; default off everywhere
+   else, so only these two sections ever see them. *)
+let fast_flags on f =
+  Cost.config.Cost.tcp_fastpath <- on;
+  Cost.config.Cost.pcb_hash <- on;
+  Cost.config.Cost.rx_batch <- (if on then 8 else 1);
+  Fun.protect
+    ~finally:(fun () ->
+      Cost.config.Cost.tcp_fastpath <- false;
+      Cost.config.Cost.pcb_hash <- false;
+      Cost.config.Cost.rx_batch <- 1)
+    f
+
+let rtt () =
+  section_header "RTT distribution: rtcp percentiles, default vs receive fast path";
+  print_endline
+    "fast path = header prediction + hashed PCB demux + batched RX; flags off\n\
+     reproduces Table 2 exactly, flags on closes the gap toward FreeBSD\n";
+  Printf.printf "%-10s %-9s %10s %9s %9s %9s %8s %9s %8s %9s\n" "system" "fastpath"
+    "mean (us)" "p50" "p95" "p99" "fp hits" "fallback" "pcb hit" "pcb miss";
+  let trips = 200 in
+  let rows =
+    List.concat_map
+      (fun config ->
+        List.map
+          (fun fastpath ->
+            let r = Netbench.dist ~fastpath config ~trips in
+            Printf.printf "%-10s %-9s %10.1f %9.1f %9.1f %9.1f %8d %9d %8d %9d\n%!"
+              (Netbench.config_name config)
+              (if fastpath then "on" else "off")
+              r.Netbench.rtt_mean_us r.Netbench.rtt_p50_us r.Netbench.rtt_p95_us
+              r.Netbench.rtt_p99_us r.Netbench.rtt_fastpath_hits
+              r.Netbench.rtt_fastpath_fallbacks r.Netbench.rtt_pcb_cache_hits
+              r.Netbench.rtt_pcb_cache_misses;
+            config, fastpath, r)
+          [ false; true ])
+      [ Netbench.Linux; Netbench.Freebsd; Netbench.Oskit ]
+  in
+  let mean config fastpath =
+    let _, _, r = List.find (fun (c, f, _) -> c = config && f = fastpath) rows in
+    r.Netbench.rtt_mean_us
+  in
+  let gap_off = mean Netbench.Oskit false -. mean Netbench.Freebsd false in
+  let gap_on = mean Netbench.Oskit true -. mean Netbench.Freebsd false in
+  Printf.printf
+    "\nOSKit vs native FreeBSD, flags off: +%.1f us per round trip (Table 2's gap)\n\
+     OSKit fast path vs the same baseline: +%.1f us (%.0f%% of the gap closed)\n"
+    gap_off gap_on
+    (100.0 *. (gap_off -. gap_on) /. gap_off);
+  (* The same flags under the PR-4 concurrency workload: tail latency on the
+     OSKit configuration, where receive frames actually cross the glue. *)
+  let http_run on =
+    fast_flags on (fun () ->
+        Httpbench.run ~config:Httpbench.Oskit_com ~mode:Httpbench.Reactor ~clients:128 ())
+  in
+  let hoff = http_run false in
+  let hon = http_run true in
+  let polls = Cost.counters.Cost.rx_polls in
+  let frames = Cost.counters.Cost.rx_batched_frames in
+  Printf.printf
+    "\nhttp, OSKit config, reactor, 128 clients:\n\
+    \  p50 %.1f -> %.1f us, p99 %.1f -> %.1f us\n\
+    \  batched RX: %d frames over %d polls (%.2f frames/poll)\n"
+    hoff.Httpbench.r_p50_us hon.Httpbench.r_p50_us hoff.Httpbench.r_p99_us
+    hon.Httpbench.r_p99_us frames polls
+    (float_of_int frames /. float_of_int (max 1 polls));
+  if !want_json then
+    write_json "BENCH_rtt.json" "rows"
+      [ json_str "bench" "rtt"; json_int "trips" trips; json_str "unit" "usec";
+        json_float "http128_p50_us_default" hoff.Httpbench.r_p50_us;
+        json_float "http128_p50_us_fastpath" hon.Httpbench.r_p50_us;
+        json_float "http128_p99_us_default" hoff.Httpbench.r_p99_us;
+        json_float "http128_p99_us_fastpath" hon.Httpbench.r_p99_us;
+        json_int "http128_rx_polls" polls;
+        json_int "http128_rx_frames" frames ]
+      (List.map
+         (fun (config, fastpath, r) ->
+           json_obj
+             [ json_str "system" (Netbench.config_name config);
+               json_str "fastpath" (if fastpath then "on" else "off");
+               json_float "mean_us" r.Netbench.rtt_mean_us;
+               json_float "p50_us" r.Netbench.rtt_p50_us;
+               json_float "p95_us" r.Netbench.rtt_p95_us;
+               json_float "p99_us" r.Netbench.rtt_p99_us;
+               json_int "fastpath_hits" r.Netbench.rtt_fastpath_hits;
+               json_int "fastpath_fallbacks" r.Netbench.rtt_fastpath_fallbacks;
+               json_int "pcb_cache_hits" r.Netbench.rtt_pcb_cache_hits;
+               json_int "pcb_cache_misses" r.Netbench.rtt_pcb_cache_misses;
+               json_int "rx_polls" r.Netbench.rtt_rx_polls;
+               json_int "rx_frames" r.Netbench.rtt_rx_frames ])
+         rows)
+
 (* ---------------- http: asyncio concurrency experiment ---------------- *)
 
 let http_header () =
@@ -601,6 +697,62 @@ let httpsmoke () =
     [ Httpbench.Freebsd_com; Httpbench.Linux_com ];
   print_endline "\nzero protocol errors, every response byte-exact, reactor >= threaded req/s"
 
+(* ---------------- rttsmoke: CI gate for the receive fast path ---------------- *)
+
+let rttsmoke () =
+  section_header "RTT smoke: receive fast path gates (fails loudly on regression)";
+  (* 1) equivalence: everything on, ttcp clean and under netem loss must
+     deliver the position-dependent payload byte-exactly. *)
+  List.iter
+    (fun (sender, loss) ->
+      let r =
+        fast_flags true (fun () ->
+            Netbench.chaos_transfer ~seed:42 ~loss ~sender ~receiver:Netbench.Freebsd
+              ~blocks ~blocksize ())
+      in
+      Printf.printf "fastpath ttcp %-8s loss %4.1f%%: %8.2f Mbit/s, byte-exact %s\n%!"
+        (Netbench.config_name sender) (loss *. 100.0) r.Netbench.goodput_mbit
+        (if r.Netbench.byte_exact then "yes" else "NO");
+      if not r.Netbench.byte_exact then
+        failwith "rttsmoke: fast path broke byte-exactness")
+    [ Netbench.Oskit, 0.0; Netbench.Oskit, 0.01;
+      Netbench.Linux, 0.0; Netbench.Linux, 0.01 ];
+  (* 2) the win, with the machinery provably engaged: strictly lower mean
+     RTT; prediction hits and pcb-cache hits nonzero; zero fallbacks on a
+     clean in-order run (every established-state segment must predict). *)
+  let dflt = Netbench.dist ~fastpath:false Netbench.Oskit ~trips:100 in
+  let fast = Netbench.dist ~fastpath:true Netbench.Oskit ~trips:100 in
+  Printf.printf
+    "rtcp OSKit: mean %.1f us default, %.1f us fast\n\
+    \  (prediction hits %d, fallbacks %d, pcb-cache hits %d / misses %d)\n%!"
+    dflt.Netbench.rtt_mean_us fast.Netbench.rtt_mean_us fast.Netbench.rtt_fastpath_hits
+    fast.Netbench.rtt_fastpath_fallbacks fast.Netbench.rtt_pcb_cache_hits
+    fast.Netbench.rtt_pcb_cache_misses;
+  if dflt.Netbench.rtt_fastpath_hits <> 0 then
+    failwith "rttsmoke: default run took the fast path (flag gating broken)";
+  if fast.Netbench.rtt_mean_us >= dflt.Netbench.rtt_mean_us then
+    failwith "rttsmoke: fast path did not reduce mean RTT";
+  if fast.Netbench.rtt_fastpath_hits = 0 then
+    failwith "rttsmoke: zero header-prediction hits";
+  if fast.Netbench.rtt_fastpath_fallbacks <> 0 then
+    failwith "rttsmoke: prediction fallbacks on a clean in-order run";
+  if fast.Netbench.rtt_pcb_cache_hits = 0 then failwith "rttsmoke: zero pcb-cache hits";
+  (* 3) batching: a 128-client connect burst against the OSKit config must
+     coalesce frames — more than one frame per glue crossing on average. *)
+  let r =
+    fast_flags true (fun () ->
+        Httpbench.run ~config:Httpbench.Oskit_com ~mode:Httpbench.Reactor ~clients:128 ())
+  in
+  http_check r;
+  let polls = Cost.counters.Cost.rx_polls in
+  let frames = Cost.counters.Cost.rx_batched_frames in
+  Printf.printf "http 128 clients (OSKit, reactor): %d frames over %d polls (%.2f frames/poll)\n%!"
+    frames polls
+    (float_of_int frames /. float_of_int (max 1 polls));
+  if polls = 0 then failwith "rttsmoke: batched receive path never polled";
+  if frames <= polls then failwith "rttsmoke: mean frames per poll not > 1";
+  print_endline "\nbyte-exact with everything on; RTT strictly lower; batching engaged"
+
 (* ---------------- driver ---------------- *)
 
 let sections =
@@ -614,8 +766,10 @@ let sections =
     "copies", copies;
     "chaos", chaos;
     "sgsmoke", sgsmoke;
+    "rtt", rtt;
     "http", http;
-    "httpsmoke", httpsmoke ]
+    "httpsmoke", httpsmoke;
+    "rttsmoke", rttsmoke ]
 
 let () =
   let names =

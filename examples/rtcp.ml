@@ -1,8 +1,10 @@
 (* rtcp — the latency benchmark of Section 5 / Table 2.
 
    Measures the time for a 1-byte TCP round trip (client sends one byte,
-   server echoes it back), averaged over N trips, in the same three
-   configurations as ttcp.
+   server echoes it back) over N trips, in the same three configurations
+   as ttcp.  Reports the mean (the paper's number) plus the p50/p95/p99
+   tail — in virtual time the distribution is tight, so a fat tail is
+   itself a finding.
 
    Usage: rtcp [config] [round_trips]   (defaults: oskit 200) *)
 
@@ -18,7 +20,7 @@ let run_config config ~trips =
   Fdev.clear_drivers ();
   let tb = Clientos.make_testbed ~models:("3c905", "tulip") () in
   let a = tb.Clientos.host_a and b = tb.Clientos.host_b in
-  let result_ns = ref 0 in
+  let samples = Array.make (max 1 trips) 0 in
   let finished = ref false in
   let one = Bytes.make 1 'R' in
   let echo_server recv send =
@@ -38,12 +40,12 @@ let run_config config ~trips =
     ignore (send one);
     let buf = Bytes.create 1 in
     ignore (recv buf);
-    let t0 = Machine.now a.Clientos.machine in
-    for _ = 1 to trips do
+    for i = 0 to trips - 1 do
+      let t0 = Machine.now a.Clientos.machine in
       ignore (send one);
-      ignore (recv buf)
+      ignore (recv buf);
+      samples.(i) <- Machine.now a.Clientos.machine - t0
     done;
-    result_ns := (Machine.now a.Clientos.machine - t0) / trips;
     finished := true
   in
   (match config with
@@ -99,7 +101,7 @@ let run_config config ~trips =
             (fun buf -> ok (Linux_inet.recv sa s ~buf ~pos:0 ~len:1))
             (fun buf -> ok (Linux_inet.send sa s ~buf ~pos:0 ~len:1))));
   Clientos.run tb ~until:(fun () -> !finished);
-  !result_ns
+  samples
 
 let config_of_string = function
   | "oskit" -> `Oskit
@@ -115,5 +117,12 @@ let () =
   in
   let trips = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 200 in
   Printf.printf "rtcp: %s, %d one-byte round trips\n%!" (name_of config) trips;
-  let rtt = run_config config ~trips in
-  Printf.printf "  round-trip time: %.1f usec\n" (float_of_int rtt /. 1e3)
+  let samples = run_config config ~trips in
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let us v = float_of_int v /. 1e3 in
+  let pct p = us sorted.(min (n - 1) ((n - 1) * p / 100)) in
+  let mean = us (Array.fold_left ( + ) 0 samples / max 1 trips) in
+  Printf.printf "  round-trip time: %.1f usec mean\n" mean;
+  Printf.printf "  p50 %.1f   p95 %.1f   p99 %.1f usec\n" (pct 50) (pct 95) (pct 99)

@@ -67,6 +67,11 @@ let bufio_iid : bufio Iid.t = Iid.declare "oskit.bufio"
 type netio = {
   nio_unknown : Com.unknown;
   push : bufio -> (unit, Error.t) result;
+  push_v : bufio list -> (unit, Error.t) result;
+      (** Vectored push: deliver a bounded burst of packets through ONE
+          boundary crossing (the NAPI-style receive batch behind
+          Cost.config.rx_batch).  Semantically identical to pushing each
+          buffer in order; only the per-burst dispatch overhead differs. *)
 }
 
 let netio_iid : netio Iid.t = Iid.declare "oskit.netio"

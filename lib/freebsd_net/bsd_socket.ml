@@ -266,10 +266,14 @@ let netstat st =
   line "  %d out-of-order packets" tcp.Tcp.rcvoo;
   line "  %d packets with data after window" tcp.Tcp.rcvafterwin;
   line "  %d listen queue overflows" tcp.Tcp.listen_overflow;
+  line "  %d ack predictions ok" tcp.Tcp.predack;
+  line "  %d data predictions ok" tcp.Tcp.preddat;
+  line "  %d prediction fallbacks" tcp.Tcp.predfallback;
   line "udp:";
   line "  %d with bad checksum" udp.Udp.badsum;
   line "  %d dropped, no socket" udp.Udp.noport;
   line "  %d dropped, full socket buffer" udp.Udp.fulldrops;
+  line "  %d port unreachables sent" udp.Udp.unreach_sent;
   line "arp:";
   line "  %d requests sent" arp.Arp.requests_sent;
   line "  %d replies sent" arp.Arp.replies_sent;

@@ -1,8 +1,11 @@
 (* ENCAPSULATED LEGACY CODE — ip_icmp.c: echo request/reply plus a hook for
- * receiving replies (what ping-style diagnostics use).
+ * receiving replies (what ping-style diagnostics use), and the
+ * destination-unreachable error UDP sends on a demux miss.
  *)
 
 let type_echo_reply = 0
+let type_unreach = 3
+let code_port_unreach = 3
 let type_echo = 8
 
 type t = {
@@ -29,6 +32,14 @@ let build ~typ ~code ~ident ~seq ~payload =
 let send_echo t ~dst ~ident ~seq ~payload =
   let m = build ~typ:type_echo ~code:0 ~ident ~seq ~payload in
   Ip.output t.ip ~proto:Ip.proto_icmp ~src:t.ip.Ip.ifp.Netif.if_addr ~dst m
+
+(* Port unreachable (the donor's icmp_error): type 3 code 3, four unused
+   bytes (build's zero ident/seq), then the leading bytes of the offending
+   datagram so the sender can match it to a socket.  Takes [ip] directly —
+   UDP calls this without holding an ICMP handle. *)
+let send_port_unreach ip ~dst ~payload =
+  let m = build ~typ:type_unreach ~code:code_port_unreach ~ident:0 ~seq:0 ~payload in
+  Ip.output ip ~proto:Ip.proto_icmp ~src:ip.Ip.ifp.Netif.if_addr ~dst m
 
 let input t ~src ~dst:_ m =
   (* Consumes m: payloads are copied out, replies are fresh chains. *)

@@ -5,10 +5,13 @@
  * and congestion avoidance, fast retransmit on three duplicate ACKs, a
  * per-connection reassembly queue, and send/receive socket buffers.
  *
- * Simplifications vs. the donor, documented per Section 4.5: no header
- * prediction fast path, no keepalive probing, no TCP options beyond MSS,
- * no urgent data.  None of these affect the paper's measurements (bulk
- * transfer and 1-byte latency on a LAN).
+ * Simplifications vs. the donor, documented per Section 4.5: no keepalive
+ * probing, no TCP options beyond MSS, no urgent data.  None of these
+ * affect the paper's measurements (bulk transfer and 1-byte latency on a
+ * LAN).  Header prediction — absent from the 1997 snapshot this models —
+ * exists behind Cost.config.tcp_fastpath (default off, so the measured
+ * Table 2 shape is untouched), together with the hashed PCB demux behind
+ * Cost.config.pcb_hash; see fastpath_pred/fastpath_input below.
  *)
 
 let tcp_hlen = 20
@@ -81,6 +84,9 @@ type stats = {
   mutable accepts : int;
   mutable connects : int;
   mutable listen_overflow : int; (* SYNs dropped: listen queue full *)
+  mutable predack : int;  (* header prediction: pure/piggyback ACK hits *)
+  mutable preddat : int;  (* header prediction: in-order data hits *)
+  mutable predfallback : int; (* established-state segments that missed *)
 }
 
 type tcpcb = {
@@ -141,6 +147,12 @@ and t = {
   ip : Ip.t;
   machine : Machine.t;
   mutable pcbs : tcpcb list;
+  (* O(1) demux (Cost.config.pcb_hash): connected pcbs keyed by
+     (raddr, rport, lport), plus the donor's tcp_last_inpcb one-entry
+     cache.  Maintained unconditionally so the flag can flip mid-run;
+     listeners stay out (they are found by the lport-only fallback scan). *)
+  pcb_hash : (int32 * int * int, tcpcb) Hashtbl.t;
+  mutable last_pcb : tcpcb option;
   mutable next_ephemeral : int;
   mutable iss_source : int;
   mutable ticking : bool;
@@ -167,8 +179,18 @@ let create_pcb t =
 
 let rcv_window pcb = min (Sockbuf.space pcb.rcv_buf) max_win
 
-let register t pcb = if not (List.memq pcb t.pcbs) then t.pcbs <- pcb :: t.pcbs
-let detach t pcb = t.pcbs <- List.filter (fun x -> x != pcb) t.pcbs
+let hash_key pcb = (pcb.raddr, pcb.rport, pcb.lport)
+
+let register t pcb =
+  if not (List.memq pcb t.pcbs) then t.pcbs <- pcb :: t.pcbs;
+  if pcb.t_state <> Listen then Hashtbl.replace t.pcb_hash (hash_key pcb) pcb
+
+let detach t pcb =
+  t.pcbs <- List.filter (fun x -> x != pcb) t.pcbs;
+  (match Hashtbl.find_opt t.pcb_hash (hash_key pcb) with
+  | Some p when p == pcb -> Hashtbl.remove t.pcb_hash (hash_key pcb)
+  | _ -> ());
+  match t.last_pcb with Some p when p == pcb -> t.last_pcb <- None | _ -> ()
 
 let next_iss t =
   t.iss_source <- m32 (t.iss_source + 64000);
@@ -460,12 +482,30 @@ let rec reass_deliver pcb =
 (* tcp_input                                                           *)
 
 let find_pcb t ~src ~sport ~dport =
-  match
-    List.find_opt
-      (fun p ->
-        p.lport = dport && p.rport = sport && Int32.equal p.raddr src && p.t_state <> Listen)
-      t.pcbs
-  with
+  let connected =
+    if Cost.config.pcb_hash then begin
+      (* tcp_last_inpcb first, then the 4-tuple hash. *)
+      match t.last_pcb with
+      | Some p
+        when p.lport = dport && p.rport = sport && Int32.equal p.raddr src
+             && p.t_state <> Listen ->
+          Cost.count_pcb_cache_hit ();
+          Some p
+      | _ -> (
+          Cost.count_pcb_cache_miss ();
+          match Hashtbl.find_opt t.pcb_hash (src, sport, dport) with
+          | Some p when p.t_state <> Listen ->
+              t.last_pcb <- Some p;
+              Some p
+          | _ -> None)
+    end
+    else
+      List.find_opt
+        (fun p ->
+          p.lport = dport && p.rport = sport && Int32.equal p.raddr src && p.t_state <> Listen)
+        t.pcbs
+  in
+  match connected with
   | Some _ as r -> r
   | None -> List.find_opt (fun p -> p.lport = dport && p.t_state = Listen) t.pcbs
 
@@ -800,12 +840,80 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
   end);
   !stored
 
+(* ------------------------------------------------------------------ *)
+(* header prediction (Cost.config.tcp_fastpath)                        *)
+
+(* The Van Jacobson one-compare test, broadened just enough for this
+   testbed's traffic: an established-state segment with no SYN/FIN/RST,
+   exactly in order, nothing queued for reassembly, nothing retransmitted
+   in flight, an ACK inside [snd_una, snd_max], and either new data or a
+   forward ACK (a pure duplicate/probe falls through so the dup-ack
+   machinery sees it).  Everything admitted here is handled by
+   [fastpath_input] with byte-for-byte the same protocol actions the
+   general path would take — only the cycles charged differ. *)
+let fastpath_pred pcb ~seq ~ack ~flags ~dlen =
+  pcb.t_state = Established
+  && flags land (th_syn lor th_fin lor th_rst) = 0
+  && flags land th_ack <> 0
+  && seq = pcb.rcv_nxt
+  && pcb.reass = []
+  && pcb.snd_nxt = pcb.snd_max
+  && pcb.t_dupacks < 3
+  && seq_geq ack pcb.snd_una
+  && seq_leq ack pcb.snd_max
+  && (seq_gt ack pcb.snd_una || dlen > 0)
+  && dlen <= rcv_window pcb
+
+(* Returns true when [data] was appended to the receive buffer.  Mirrors
+   [common_input] restricted to the predicted case: ACK advance, the
+   donor's wl1/wl2 window-update rule, in-order append with the
+   every-other-segment delayed ACK, then tcp_output. *)
+let fastpath_input t pcb ~seq ~ack ~win ~data ~dlen =
+  if seq_gt ack pcb.snd_una then ignore (process_ack pcb ack);
+  if
+    seq_lt pcb.snd_wl1 seq
+    || (pcb.snd_wl1 = seq
+       && (seq_lt pcb.snd_wl2 ack || (pcb.snd_wl2 = ack && win > pcb.snd_wnd)))
+  then begin
+    pcb.snd_wnd <- win;
+    pcb.snd_wl1 <- seq;
+    pcb.snd_wl2 <- ack;
+    if win > 0 then pcb.tm_persist <- 0;
+    pcb.on_writable ()
+  end;
+  let stored =
+    if dlen > 0 then begin
+      Sockbuf.sbappend_chain pcb.rcv_buf data;
+      pcb.rcv_nxt <- m32 (pcb.rcv_nxt + dlen);
+      if pcb.delack_pending then begin
+        pcb.delack_pending <- false;
+        pcb.ack_now <- true
+      end
+      else pcb.delack_pending <- true;
+      pcb.on_readable ();
+      true
+    end
+    else false
+  in
+  tcp_output t pcb;
+  stored
 
 let input t ~src ~dst m =
-  Cost.charge_cycles Cost.config.bsd_tcp_pkt_cycles;
+  let fast = Cost.config.tcp_fastpath in
+  Cost.charge_cycles
+    (if fast then Cost.config.tcp_fastpath_cycles else Cost.config.bsd_tcp_pkt_cycles);
+  (* A segment that misses the prediction pays the balance of the general
+     per-segment protocol cost, so the flags-off charge total is preserved
+     exactly for every slow-path segment. *)
+  let slowpath () =
+    if fast then
+      Cost.charge_cycles
+        (max 0 (Cost.config.bsd_tcp_pkt_cycles - Cost.config.tcp_fastpath_cycles))
+  in
   t.stats.rcvpack <- t.stats.rcvpack + 1;
   let total = Mbuf.m_length m in
   if total < tcp_hlen then begin
+    slowpath ();
     t.stats.rcvshort <- t.stats.rcvshort + 1;
     Mbuf.m_freem m
   end
@@ -815,6 +923,7 @@ let input t ~src ~dst m =
         ~init:(In_cksum.pseudo_header ~src ~dst ~proto:Ip.proto_tcp ~len:total)
     in
     if sum <> 0 then begin
+      slowpath ();
       t.stats.rcvbadsum <- t.stats.rcvbadsum + 1;
       Mbuf.m_freem m
     end
@@ -845,6 +954,7 @@ let input t ~src ~dst m =
       Mbuf.m_adj m hlen;
       match find_pcb t ~src ~sport ~dport with
       | None ->
+          slowpath ();
           if flags land th_rst = 0 then begin
             (* SYN and FIN occupy sequence space: the RST must acknowledge
                them or the peer will ignore it. *)
@@ -858,8 +968,29 @@ let input t ~src ~dst m =
           end;
           Mbuf.m_freem m
       | Some pcb ->
-          if not (segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss:!mss_opt ~data:m)
-          then Mbuf.m_freem m
+          let dlen = Mbuf.m_length m in
+          if fast && fastpath_pred pcb ~seq ~ack ~flags ~dlen then begin
+            Cost.count_fastpath_hit ();
+            if dlen > 0 then t.stats.preddat <- t.stats.preddat + 1
+            else t.stats.predack <- t.stats.predack + 1;
+            if not (fastpath_input t pcb ~seq ~ack ~win ~data:m ~dlen) then Mbuf.m_freem m
+          end
+          else begin
+            slowpath ();
+            (* Only established-state, no-control-flag segments count as
+               prediction fallbacks; handshake and teardown segments are
+               inherently general-path. *)
+            if
+              fast && pcb.t_state = Established
+              && flags land (th_syn lor th_fin lor th_rst) = 0
+            then begin
+              Cost.count_fastpath_fallback ();
+              t.stats.predfallback <- t.stats.predfallback + 1
+            end;
+            if
+              not (segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss:!mss_opt ~data:m)
+            then Mbuf.m_freem m
+          end
     end
   end
 
@@ -868,12 +999,14 @@ let input t ~src ~dst m =
 
 let attach ip machine =
   let t =
-    { ip; machine; pcbs = []; next_ephemeral = 1024; iss_source = 1;
+    { ip; machine; pcbs = []; pcb_hash = Hashtbl.create 64; last_pcb = None;
+      next_ephemeral = 1024; iss_source = 1;
       ticking = false;
       stats =
         { sndpack = 0; sndrexmitpack = 0; rcvpack = 0; rcvdup = 0; rcvoo = 0;
           rcvbadsum = 0; rcvshort = 0; rcvafterwin = 0; delack = 0; fastrexmit = 0;
-          drops = 0; accepts = 0; connects = 0; listen_overflow = 0 } }
+          drops = 0; accepts = 0; connects = 0; listen_overflow = 0;
+          predack = 0; preddat = 0; predfallback = 0 } }
   in
   Ip.set_proto ip ~proto:Ip.proto_tcp (fun ~src ~dst m -> input t ~src ~dst m);
   t

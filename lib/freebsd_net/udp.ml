@@ -17,14 +17,31 @@ type pcb = {
 type t = {
   ip : Ip.t;
   mutable pcbs : pcb list;
+  (* O(1) demux (Cost.config.pcb_hash), sharing the TCP scheme: exact
+     4-tuple key for connected pcbs, (0, 0, lport) for wildcard binds.
+     Rebuilt on bind/alloc/detach — the only places lport changes. *)
+  pcb_hash : (int32 * int * int, pcb) Hashtbl.t;
   mutable next_ephemeral : int;
   mutable badsum : int;    (* datagrams dropped on checksum failure *)
   mutable noport : int;    (* datagrams with no listening pcb *)
   mutable fulldrops : int; (* datagrams dropped at a full socket buffer *)
+  mutable unreach_sent : int; (* demux misses answered with ICMP port unreachable *)
 }
 
+let hash_key p = (p.raddr, p.rport, p.lport)
+
+let hash_add t p = if p.lport <> 0 then Hashtbl.replace t.pcb_hash (hash_key p) p
+
+let hash_remove t p =
+  match Hashtbl.find_opt t.pcb_hash (hash_key p) with
+  | Some x when x == p -> Hashtbl.remove t.pcb_hash (hash_key p)
+  | _ -> ()
+
 let attach ip =
-  let t = { ip; pcbs = []; next_ephemeral = 49152; badsum = 0; noport = 0; fulldrops = 0 } in
+  let t =
+    { ip; pcbs = []; pcb_hash = Hashtbl.create 16; next_ephemeral = 49152;
+      badsum = 0; noport = 0; fulldrops = 0; unreach_sent = 0 }
+  in
   let input ~src ~dst:_ m =
     (* Consumes m: the payload is copied out, so the chain is always freed. *)
     if Mbuf.m_length m < udp_hlen then Mbuf.m_freem m
@@ -45,16 +62,33 @@ let attach ip =
         in
         if not sum_ok then t.badsum <- t.badsum + 1
         else begin
-          match
-            List.find_opt
-              (fun p ->
-                p.lport = dport
-                && (p.rport = 0 || (p.rport = sport && Int32.equal p.raddr src)))
-              t.pcbs
-          with
+          let demux () =
+            if Cost.config.pcb_hash then begin
+              (* Exact match first, then the wildcard bind. *)
+              match Hashtbl.find_opt t.pcb_hash (src, sport, dport) with
+              | Some _ as r ->
+                  Cost.count_pcb_cache_hit ();
+                  r
+              | None ->
+                  Cost.count_pcb_cache_miss ();
+                  Hashtbl.find_opt t.pcb_hash (0l, 0, dport)
+            end
+            else
+              List.find_opt
+                (fun p ->
+                  p.lport = dport
+                  && (p.rport = 0 || (p.rport = sport && Int32.equal p.raddr src)))
+                t.pcbs
+          in
+          match demux () with
           | None ->
-              (* no listener: the donor would send ICMP unreachable *)
-              t.noport <- t.noport + 1
+              (* No listener: answer with ICMP port unreachable (the
+                 donor's icmp_error), quoting the UDP header so the
+                 sender can match the error to a socket. *)
+              t.noport <- t.noport + 1;
+              t.unreach_sent <- t.unreach_sent + 1;
+              Icmp.send_port_unreach t.ip ~dst:src
+                ~payload:(Mbuf.m_copydata m ~off:0 ~len:(min udp_hlen (Mbuf.m_length m)))
           | Some p ->
               let len = ulen - udp_hlen in
               if p.rcv_cc + len > p.rcv_hiwat then begin
@@ -94,15 +128,22 @@ let bind t pcb ~port =
   if List.exists (fun x -> x != pcb && x.lport = port) t.pcbs then
     Result.Error Error.Addrinuse
   else begin
+    hash_remove t pcb;
     pcb.lport <- port;
     pcb.laddr <- t.ip.Ip.ifp.Netif.if_addr;
+    hash_add t pcb;
     Ok ()
   end
 
-let detach t pcb = t.pcbs <- List.filter (fun x -> x != pcb) t.pcbs
+let detach t pcb =
+  t.pcbs <- List.filter (fun x -> x != pcb) t.pcbs;
+  hash_remove t pcb
 
 let output t pcb ~dst ~dport ~src ~src_pos ~len =
-  if pcb.lport = 0 then pcb.lport <- alloc_port t;
+  if pcb.lport = 0 then begin
+    pcb.lport <- alloc_port t;
+    hash_add t pcb
+  end;
   let m = Mbuf.m_gethdr () in
   let off = Mbuf.m_put m udp_hlen in
   let d = m.Mbuf.m_data in

@@ -117,19 +117,29 @@ let etherdev_of osenv (dev : Linux_eth_drv.device) : Com.unknown =
        COM query, steady-state frames skip it (the paper's per-packet
        indirect-call overhead, hoisted). *)
     let cache = fresh_recognition () in
+    let xmit_one io =
+      let skb, copied = skb_of_bufio ~cache io in
+      match Linux_eth_drv.hard_start_xmit dev skb with
+      | () ->
+          (* A copy made for this transmit is dead once the frame is
+             on the wire; unwrapped/fake skbs belong to the caller. *)
+          if copied then Skbuff.skb_free skb;
+          Ok ()
+      | exception Error.Error e -> Result.Error e
+    in
     let rec view () =
       { Io_if.nio_unknown = unknown ();
         push =
           (fun io ->
             Cost.charge_glue_crossing ();
-            let skb, copied = skb_of_bufio ~cache io in
-            match Linux_eth_drv.hard_start_xmit dev skb with
-            | () ->
-                (* A copy made for this transmit is dead once the frame is
-                   on the wire; unwrapped/fake skbs belong to the caller. *)
-                if copied then Skbuff.skb_free skb;
-                Ok ()
-            | exception Error.Error e -> Result.Error e) }
+            xmit_one io);
+        push_v =
+          (fun ios ->
+            (* One crossing carries the whole burst. *)
+            Cost.charge_glue_crossing ();
+            List.fold_left
+              (fun acc io -> match acc with Ok () -> xmit_one io | e -> e)
+              (Ok ()) ios) }
     and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.netio_iid, fun () -> view ()) ]))
     and unknown () = Lazy.force obj in
     view ()
@@ -140,7 +150,13 @@ let etherdev_of osenv (dev : Linux_eth_drv.device) : Com.unknown =
          itself is charged by the receiving component's netio. *)
       Linux_emu.with_current (fun () -> ignore (recv.Io_if.push (bufio_of_skb skb)))
     in
-    match Linux_eth_drv.dev_open osenv dev ~rx with
+    let rx_v skbs =
+      (* Batched poll: the whole burst rides one vectored push — the
+         receiving netio charges one crossing for all of it. *)
+      Linux_emu.with_current (fun () ->
+          ignore (recv.Io_if.push_v (List.map bufio_of_skb skbs)))
+    in
+    match Linux_eth_drv.dev_open osenv dev ~rx ~rx_v () with
     | Ok () -> Ok (make_xmit_netio ())
     | Result.Error _ as e -> e
   in
@@ -245,7 +261,7 @@ let init_ide () =
         (fun osenv -> List.map (blkio_of osenv) (Linux_ide_drv.probe_drives osenv)) }
 
 let native_devices osenv = Linux_eth_drv.probe_devices osenv
-let native_open osenv dev ~rx = Linux_eth_drv.dev_open osenv dev ~rx
+let native_open osenv dev ~rx = Linux_eth_drv.dev_open osenv dev ~rx ()
 
 let reset () =
   Linux_eth_drv.reset ();

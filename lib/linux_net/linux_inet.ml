@@ -100,6 +100,12 @@ and stack = {
   arp_cache : (int32, string) Hashtbl.t;
   arp_pending : (int32, arp_wait) Hashtbl.t;
   mutable socks : sock list;
+  (* O(1) demux (Cost.config.pcb_hash): connected socks keyed by
+     (raddr, rport, lport) plus a one-entry last-sock cache; listeners are
+     found by the lport-only fallback scan.  Maintained unconditionally so
+     the flag can flip mid-run. *)
+  sock_hash : (int32 * int * int, sock) Hashtbl.t;
+  mutable last_sock : sock option;
   mutable next_port : int;
   mutable next_iss : int;
   mutable ip_id : int;
@@ -116,14 +122,31 @@ and stack = {
   mutable arp_failures : int;   (* resolutions abandoned after retries *)
   mutable rexmt_give_ups : int; (* connections reset by the rexmt backstop *)
   mutable listen_overflow : int; (* SYNs dropped: listen queue full *)
+  mutable predack : int;  (* header prediction: pure ACK hits *)
+  mutable preddat : int;  (* header prediction: in-order data hits *)
+  mutable predfallback : int; (* established-state segments that missed *)
 }
 
 let create machine =
   { machine; dev = None; my_ip = 0l; my_mask = 0l; arp_cache = Hashtbl.create 16;
-    arp_pending = Hashtbl.create 4; socks = []; next_port = 1024; next_iss = 99000;
+    arp_pending = Hashtbl.create 4; socks = []; sock_hash = Hashtbl.create 64;
+    last_sock = None; next_port = 1024; next_iss = 99000;
     ip_id = 1; segs_out = 0; segs_in = 0; rexmits = 0; ipbadsum = 0; tcpbadsum = 0;
     rcvdup = 0; rcvoo = 0; rcvfull = 0; arp_waiters_dropped = 0; arp_failures = 0;
-    rexmt_give_ups = 0; listen_overflow = 0 }
+    rexmt_give_ups = 0; listen_overflow = 0; predack = 0; preddat = 0; predfallback = 0 }
+
+(* ---- hashed demux maintenance ---- *)
+
+let sock_key s = (s.raddr, s.rport, s.lport)
+
+(* Insert once the 4-tuple is known (connect, SYN-child creation). *)
+let sock_hash_add t s = Hashtbl.replace t.sock_hash (sock_key s) s
+
+let sock_hash_remove t s =
+  (match Hashtbl.find_opt t.sock_hash (sock_key s) with
+  | Some x when x == s -> Hashtbl.remove t.sock_hash (sock_key s)
+  | _ -> ());
+  match t.last_sock with Some x when x == s -> t.last_sock <- None | _ -> ()
 
 let ifconfig t ~addr ~mask =
   t.my_ip <- addr;
@@ -415,6 +438,7 @@ and arm_rexmt t s =
                  s.err <- Some Error.Timedout;
                  s.state <- Closed;
                  t.socks <- List.filter (fun x -> x != s) t.socks;
+                 sock_hash_remove t s;
                  wake s
                end
                else begin
@@ -457,15 +481,34 @@ let new_sock t =
   t.socks <- s :: t.socks;
   s
 
-let detach t s = t.socks <- List.filter (fun x -> x != s) t.socks
+let detach t s =
+  t.socks <- List.filter (fun x -> x != s) t.socks;
+  sock_hash_remove t s
 
 let find_sock t ~src ~sport ~dport =
-  match
-    List.find_opt
-      (fun s ->
-        s.lport = dport && s.rport = sport && Int32.equal s.raddr src && s.state <> Listen)
-      t.socks
-  with
+  let connected =
+    if Cost.config.pcb_hash then begin
+      match t.last_sock with
+      | Some s
+        when s.lport = dport && s.rport = sport && Int32.equal s.raddr src
+             && s.state <> Listen ->
+          Cost.count_pcb_cache_hit ();
+          Some s
+      | _ -> (
+          Cost.count_pcb_cache_miss ();
+          match Hashtbl.find_opt t.sock_hash (src, sport, dport) with
+          | Some s when s.state <> Listen ->
+              t.last_sock <- Some s;
+              Some s
+          | _ -> None)
+    end
+    else
+      List.find_opt
+        (fun s ->
+          s.lport = dport && s.rport = sport && Int32.equal s.raddr src && s.state <> Listen)
+        t.socks
+  in
+  match connected with
   | Some _ as r -> r
   | None -> List.find_opt (fun s -> s.lport = dport && s.state = Listen) t.socks
 
@@ -483,18 +526,43 @@ let ack_advance t s ack =
     wake s
   end
 
+(* Header prediction (Cost.config.tcp_fastpath), the Linux analog: an
+   established-state segment with no SYN/FIN/RST and an ACK, whose data —
+   if any — is exactly in order and fits the receive queue.  Everything
+   admitted is handled with byte-for-byte the same protocol actions the
+   general Established arm would take; only the cycles charged differ.
+   (Pure ACKs always qualify: 2.0's general arm treats every ACK alike.) *)
+let fastpath_pred s ~seq ~flags ~dlen =
+  s.state = Established
+  && flags land (th_syn lor th_fin lor th_rst) = 0
+  && flags land th_ack <> 0
+  && (dlen = 0 || (seq = s.rcv_nxt && s.rcv_q_bytes + dlen <= default_window))
+
 let tcp_rcv t skb ~src =
-  Cost.charge_cycles Cost.config.linux_tcp_pkt_cycles;
+  let fast = Cost.config.tcp_fastpath in
+  Cost.charge_cycles
+    (if fast then Cost.config.tcp_fastpath_cycles else Cost.config.linux_tcp_pkt_cycles);
+  (* A segment that misses the prediction pays the balance of the general
+     per-segment protocol cost, preserving the flags-off charge total for
+     every slow-path segment. *)
+  let slowpath () =
+    if fast then
+      Cost.charge_cycles
+        (max 0 (Cost.config.linux_tcp_pkt_cycles - Cost.config.tcp_fastpath_cycles))
+  in
   t.segs_in <- t.segs_in + 1;
   let d = skb.Skbuff.skb_data and o = skb.Skbuff.head in
   (* The buffer is consumed here unless it lands on a receive queue. *)
   let stored = ref false in
-  (if skb.Skbuff.len < tcp_hlen then ()
+  (if skb.Skbuff.len < tcp_hlen then slowpath ()
   else begin
     let total = skb.Skbuff.len in
     if
       cksum d ~off:o ~len:total ~init:(pseudo ~src ~dst:t.my_ip ~proto:6 ~len:total) <> 0
-    then t.tcpbadsum <- t.tcpbadsum + 1
+    then begin
+      slowpath ();
+      t.tcpbadsum <- t.tcpbadsum + 1
+    end
     else begin
       let sport = Bytes.get_uint16_be d o in
       let dport = Bytes.get_uint16_be d (o + 2) in
@@ -506,8 +574,36 @@ let tcp_rcv t skb ~src =
       ignore (Skbuff.skb_pull skb hlen);
       let dlen = skb.Skbuff.len in
       match find_sock t ~src ~sport ~dport with
-      | None -> if flags land th_rst = 0 then send_rst_for t ~src ~sport ~dport ~ack
+      | None ->
+          slowpath ();
+          if flags land th_rst = 0 then send_rst_for t ~src ~sport ~dport ~ack
+      | Some s when fast && fastpath_pred s ~seq ~flags ~dlen ->
+          (* Predicted: ACK bookkeeping plus the in-order append, exactly
+             as the Established arm below would do them. *)
+          Cost.count_fastpath_hit ();
+          if dlen > 0 then t.preddat <- t.preddat + 1 else t.predack <- t.predack + 1;
+          s.snd_wnd <- win;
+          ack_advance t s ack;
+          if dlen > 0 then begin
+            Queue.add skb s.rcv_q;
+            stored := true;
+            s.rcv_q_bytes <- s.rcv_q_bytes + dlen;
+            s.rcv_nxt <- m32 (s.rcv_nxt + dlen);
+            send_ack t s;
+            wake s
+          end
       | Some s -> (
+          slowpath ();
+          (* Only established-state, no-control-flag segments count as
+             prediction fallbacks; handshake and teardown segments are
+             inherently general-path. *)
+          if
+            fast && s.state = Established
+            && flags land (th_syn lor th_fin lor th_rst) = 0
+          then begin
+            Cost.count_fastpath_fallback ();
+            t.predfallback <- t.predfallback + 1
+          end;
           if flags land th_rst <> 0 then begin
             if s.state <> Listen then begin
               s.err <- Some Error.Connreset;
@@ -539,6 +635,7 @@ let tcp_rcv t skb ~src =
                   c.lport <- s.lport;
                   c.rport <- sport;
                   c.raddr <- src;
+                  sock_hash_add t c;
                   c.parent <- Some s;
                   c.rcv_nxt <- m32 (seq + 1);
                   c.iss <- next_iss t;
@@ -676,7 +773,7 @@ let netif_rx t skb =
 
 let attach_dev t osenv dev =
   t.dev <- Some dev;
-  match Linux_eth_drv.dev_open osenv dev ~rx:(fun skb -> netif_rx t skb) with
+  match Linux_eth_drv.dev_open osenv dev ~rx:(fun skb -> netif_rx t skb) () with
   | Ok () -> ()
   | Result.Error e -> Error.fail e
 
@@ -708,6 +805,7 @@ let connect t s ~dst ~dport =
   if s.lport = 0 then s.lport <- alloc_port t;
   s.raddr <- dst;
   s.rport <- dport;
+  sock_hash_add t s;
   s.iss <- next_iss t;
   s.snd_una <- s.iss;
   s.snd_nxt <- m32 (s.iss + 1);
@@ -859,8 +957,12 @@ let netstat t =
     \  %d segments dropped, full receive queue\n\
     \  %d listen queue overflows\n\
     \  %d connections timed out retransmitting\n\
+    \  %d ack predictions ok\n\
+    \  %d data predictions ok\n\
+    \  %d prediction fallbacks\n\
      arp:\n\
     \  %d waiters dropped (queue full)\n\
     \  %d resolutions abandoned (retries exhausted)\n"
     t.ipbadsum t.segs_out t.segs_in t.rexmits t.tcpbadsum t.rcvdup t.rcvoo
-    t.rcvfull t.listen_overflow t.rexmt_give_ups t.arp_waiters_dropped t.arp_failures
+    t.rcvfull t.listen_overflow t.rexmt_give_ups t.predack t.preddat t.predfallback
+    t.arp_waiters_dropped t.arp_failures

@@ -13,6 +13,10 @@ type config = {
   mutable socket_op_cycles : int;
   mutable thread_spawn_cycles : int;
   mutable sg_tx : bool;
+  mutable tcp_fastpath : bool;
+  mutable tcp_fastpath_cycles : int;
+  mutable pcb_hash : bool;
+  mutable rx_batch : int;
 }
 
 let defaults () =
@@ -29,7 +33,11 @@ let defaults () =
     linux_tcp_pkt_cycles = 6000;
     socket_op_cycles = 500;
     thread_spawn_cycles = 0;
-    sg_tx = false }
+    sg_tx = false;
+    tcp_fastpath = false;
+    tcp_fastpath_cycles = 850;
+    pcb_hash = false;
+    rx_batch = 1 }
 
 let config = defaults ()
 
@@ -48,7 +56,11 @@ let reset_config () =
   config.linux_tcp_pkt_cycles <- d.linux_tcp_pkt_cycles;
   config.socket_op_cycles <- d.socket_op_cycles;
   config.thread_spawn_cycles <- d.thread_spawn_cycles;
-  config.sg_tx <- d.sg_tx
+  config.sg_tx <- d.sg_tx;
+  config.tcp_fastpath <- d.tcp_fastpath;
+  config.tcp_fastpath_cycles <- d.tcp_fastpath_cycles;
+  config.pcb_hash <- d.pcb_hash;
+  config.rx_batch <- d.rx_batch
 
 type counters = {
   mutable copies : int;
@@ -58,11 +70,20 @@ type counters = {
   mutable checksummed_bytes : int;
   mutable sg_xmits : int;
   mutable linearized_xmits : int;
+  mutable fastpath_hits : int;
+  mutable fastpath_fallbacks : int;
+  mutable pcb_cache_hits : int;
+  mutable pcb_cache_misses : int;
+  mutable rx_polls : int;
+  mutable rx_batched_frames : int;
 }
 
 let counters =
   { copies = 0; copied_bytes = 0; glue_crossings = 0; com_calls = 0;
-    checksummed_bytes = 0; sg_xmits = 0; linearized_xmits = 0 }
+    checksummed_bytes = 0; sg_xmits = 0; linearized_xmits = 0;
+    fastpath_hits = 0; fastpath_fallbacks = 0;
+    pcb_cache_hits = 0; pcb_cache_misses = 0;
+    rx_polls = 0; rx_batched_frames = 0 }
 
 let reset_counters () =
   counters.copies <- 0;
@@ -71,7 +92,13 @@ let reset_counters () =
   counters.com_calls <- 0;
   counters.checksummed_bytes <- 0;
   counters.sg_xmits <- 0;
-  counters.linearized_xmits <- 0
+  counters.linearized_xmits <- 0;
+  counters.fastpath_hits <- 0;
+  counters.fastpath_fallbacks <- 0;
+  counters.pcb_cache_hits <- 0;
+  counters.pcb_cache_misses <- 0;
+  counters.rx_polls <- 0;
+  counters.rx_batched_frames <- 0
 
 let sink : (int -> unit) option ref = ref None
 let set_sink f = sink := f
@@ -95,6 +122,14 @@ let charge_checksum n =
 let count_com_call () = counters.com_calls <- counters.com_calls + 1
 let count_sg_xmit () = counters.sg_xmits <- counters.sg_xmits + 1
 let count_linearized_xmit () = counters.linearized_xmits <- counters.linearized_xmits + 1
+let count_fastpath_hit () = counters.fastpath_hits <- counters.fastpath_hits + 1
+let count_fastpath_fallback () =
+  counters.fastpath_fallbacks <- counters.fastpath_fallbacks + 1
+let count_pcb_cache_hit () = counters.pcb_cache_hits <- counters.pcb_cache_hits + 1
+let count_pcb_cache_miss () = counters.pcb_cache_misses <- counters.pcb_cache_misses + 1
+let count_rx_poll ~frames =
+  counters.rx_polls <- counters.rx_polls + 1;
+  counters.rx_batched_frames <- counters.rx_batched_frames + frames
 
 let charge_com_call () =
   counters.com_calls <- counters.com_calls + 1;

@@ -50,6 +50,30 @@ type config = {
           being flattened into a fresh contiguous sk_buff.  Default [false]
           so the Table 1/2 shapes stay paper-faithful (OSKit send pays the
           flatten copy, as measured on the 1997 testbed). *)
+  mutable tcp_fastpath : bool;
+      (** Van Jacobson header prediction on the TCP receive side (both
+          stacks): an in-order segment from the expected peer that carries
+          no surprises pays {!field:tcp_fastpath_cycles} instead of the full
+          per-segment protocol charge; anything else falls through to the
+          general input path and pays the difference.  Default [false] so
+          the Table 2 RTT stays paper-faithful (the 1997 snapshot in the
+          OSKit predates the prediction fast path). *)
+  mutable tcp_fastpath_cycles : int;
+      (** Protocol cycles for a header-predicted segment: the one compare,
+          the trivial ACK/append work, no general-case machinery.
+          Default 850. *)
+  mutable pcb_hash : bool;
+      (** O(1) inbound demux: a 4-tuple hash table plus a one-entry
+          last-PCB cache (BSD's [tcp_last_inpcb]) in place of the linear
+          PCB scan, in TCP and UDP of both stacks.  Purely algorithmic —
+          no cycle charge changes either way; the cache-hit/miss counters
+          prove it is exercised.  Default [false]. *)
+  mutable rx_batch : int;
+      (** NAPI-style RX batching budget: how many pending frames one
+          interrupt may carry from the driver to the stack through a
+          single glue crossing.  [<= 1] reproduces today's
+          frame-per-crossing behavior exactly; larger values amortize the
+          crossing under load.  Default 1. *)
 }
 
 (** The live configuration; benches mutate it for ablations. *)
@@ -93,6 +117,17 @@ type counters = {
   mutable checksummed_bytes : int;  (** bytes passed through [charge_checksum] *)
   mutable sg_xmits : int;  (** frames DMA-gathered from an iovec (no CPU flatten) *)
   mutable linearized_xmits : int;  (** frames the glue had to flatten into one buffer *)
+  mutable fastpath_hits : int;  (** segments taken by header prediction *)
+  mutable fastpath_fallbacks : int;
+      (** established-state segments that missed the prediction and paid
+          the general input path (handshake/teardown segments are not
+          counted: they are inherently slow-path) *)
+  mutable pcb_cache_hits : int;  (** demux resolved by the one-entry PCB cache *)
+  mutable pcb_cache_misses : int;  (** demux that fell to the hash (or scan) *)
+  mutable rx_polls : int;  (** batched RX deliveries (one glue crossing each) *)
+  mutable rx_batched_frames : int;
+      (** frames carried by those deliveries; mean burst =
+          rx_batched_frames / rx_polls *)
 }
 
 val counters : counters
@@ -109,6 +144,14 @@ val reset_counters : unit -> unit
 val count_com_call : unit -> unit
 val count_sg_xmit : unit -> unit
 val count_linearized_xmit : unit -> unit
+val count_fastpath_hit : unit -> unit
+val count_fastpath_fallback : unit -> unit
+val count_pcb_cache_hit : unit -> unit
+val count_pcb_cache_miss : unit -> unit
+
+(** [count_rx_poll ~frames] records one batched RX delivery of [frames]
+    frames. *)
+val count_rx_poll : frames:int -> unit
 
 (** {2 Context plumbing} *)
 

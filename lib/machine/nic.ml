@@ -78,6 +78,18 @@ let transmit_v t frags =
   transmit t frame
 
 let pop_rx t = Queue.take_opt t.rx_q
+
+(* Bounded burst for a NAPI-style poll: up to [max] frames, oldest first. *)
+let pop_rx_burst t ~max =
+  let rec take n acc =
+    if n >= max then List.rev acc
+    else
+      match Queue.take_opt t.rx_q with
+      | None -> List.rev acc
+      | Some frame -> take (n + 1) (frame :: acc)
+  in
+  take 0 []
+
 let rx_pending t = Queue.length t.rx_q
 let set_promiscuous t v = t.promisc <- v
 let rx_dropped t = t.dropped

@@ -36,6 +36,11 @@ val transmit_v : t -> (bytes * int * int) list -> unit
     by the driver's interrupt handler. *)
 val pop_rx : t -> bytes option
 
+(** [pop_rx_burst t ~max] takes up to [max] pending frames off the ring,
+    oldest first — the bounded burst a NAPI-style poll drains per
+    interrupt (Cost.config.rx_batch). *)
+val pop_rx_burst : t -> max:int -> bytes list
+
 val rx_pending : t -> int
 val set_promiscuous : t -> bool -> unit
 

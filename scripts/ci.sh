@@ -8,7 +8,11 @@
 # path, and byte-exactness with sg on under loss), and the http smoke
 # (64 concurrent clients against the httpd component on both stacks,
 # both serving shapes; the bench fails on any protocol error, any
-# non-byte-exact response, or reactor req/s below thread-per-connection).
+# non-byte-exact response, or reactor req/s below thread-per-connection),
+# and the rtt smoke (receive fast path: flags-on transfers stay
+# byte-exact under netem loss, the header-prediction run must strictly
+# reduce mean RTT with zero fallbacks on a clean in-order wire, and
+# batched RX must average more than one frame per poll under http load).
 set -eux
 
 dune build
@@ -17,3 +21,4 @@ OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- alloc
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- chaos
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- sgsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- httpsmoke
+OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- rttsmoke

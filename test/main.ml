@@ -22,4 +22,5 @@ let () =
       "fatfs", Test_fatfs.suite;
       "misc2", Test_misc2.suite;
       "advanced", Test_advanced.suite;
-      "asyncio", Test_asyncio.suite ]
+      "asyncio", Test_asyncio.suite;
+      "fastpath", Test_fastpath.suite ]
