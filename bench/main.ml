@@ -17,6 +17,8 @@
      httpsmoke  64-client asyncio CI gate
      rtt        rtcp latency percentiles, receive fast path on/off
      rttsmoke   receive fast-path CI gate (equivalence + strict RTT win)
+     longfat    ttcp over RTT x loss grid, wscale/NewReno/autotune — long fat pipes
+     longfatsmoke  long-fat-pipe CI gate (byte-exact, 5x, autotune, persist)
 
    Network numbers come from the deterministic virtual-time simulation
    (they are not wall-clock); the allocator section uses Bechamel
@@ -753,6 +755,153 @@ let rttsmoke () =
   if frames <= polls then failwith "rttsmoke: mean frames per poll not > 1";
   print_endline "\nbyte-exact with everything on; RTT strictly lower; batching engaged"
 
+(* ---------------- longfat: RTT x loss with scaled windows ---------------- *)
+
+let longfat_modes =
+  [ "default", Netbench.Lf_default;
+    "manual-bdp", Netbench.Lf_manual;
+    "autotune", Netbench.Lf_autotune ]
+
+(* Enough bytes to amortize slow start at the given BDP; lossy cells get a
+   smaller transfer (the Linux receiver keeps no out-of-order queue, so
+   each loss replays go-back-N at one frame per RTT — see DESIGN.md). *)
+let longfat_bytes ~rtt_ns ~loss =
+  let bdp = rtt_ns / 80 in
+  if loss = 0.0 then max (2 * 1024 * 1024) (25 * bdp)
+  else max (1024 * 1024) (4 * bdp)
+
+let longfat () =
+  section_header
+    "Longfat: ttcp over stretched wires (wscale + NewReno + buffer autotuning)";
+  print_endline
+    "default = seed config (16-bit windows, fixed buffers); manual-bdp =\n\
+     wscale on, both ends hand-sized to 2x BDP; autotune = wscale on, the\n\
+     stacks grow their own buffers.  100 Mbps wire, netem seed 42.\n";
+  Printf.printf "%-8s %7s %6s %-11s %10s %9s %10s %11s\n" "stack" "rtt" "loss"
+    "buffers" "Mbit/s" "rexmits" "rcv buf" "byte-exact";
+  let rows =
+    List.concat_map
+      (fun config ->
+        List.concat_map
+          (fun rtt_ms ->
+            let rtt_ns = int_of_float (rtt_ms *. 1e6) in
+            List.concat_map
+              (fun loss ->
+                List.map
+                  (fun (mode_name, bufmode) ->
+                    let bytes = longfat_bytes ~rtt_ns ~loss in
+                    let r =
+                      Netbench.longfat_transfer ~seed:42 ~loss ~config ~rtt_ns
+                        ~bufmode ~bytes ()
+                    in
+                    Printf.printf "%-8s %5.1fms %5.1f%% %-11s %10.2f %9d %10d %11s\n%!"
+                      (Netbench.config_name config) rtt_ms (loss *. 100.0)
+                      mode_name r.Netbench.lf_mbit r.Netbench.lf_rexmits
+                      r.Netbench.lf_rcv_buf
+                      (if r.Netbench.lf_byte_exact then "yes" else "NO");
+                    if not r.Netbench.lf_byte_exact then
+                      failwith "longfat: transfer was not byte-exact";
+                    config, rtt_ms, loss, mode_name, bytes, r)
+                  longfat_modes)
+              [ 0.0; 0.01; 0.03 ])
+          [ 0.1; 1.0; 10.0; 50.0 ])
+      [ Netbench.Freebsd; Netbench.Linux ]
+  in
+  (* The tentpole claims, asserted at generation time so the committed
+     JSON can't drift from them: at 50 ms / 0% loss, scaled windows buy
+     >= 5x the seed throughput, and autotuning lands within 10% of the
+     hand-sized buffers — in both stacks. *)
+  let cell config mode =
+    let _, _, _, _, _, r =
+      List.find
+        (fun (c, rtt, loss, m, _, _) ->
+          c = config && rtt = 50.0 && loss = 0.0 && m = mode)
+        rows
+    in
+    r.Netbench.lf_mbit
+  in
+  List.iter
+    (fun config ->
+      let dflt = cell config "default" in
+      let manual = cell config "manual-bdp" in
+      let auto = cell config "autotune" in
+      Printf.printf
+        "\n%s @50ms/0%%: default %.2f, manual-bdp %.2f (%.1fx), autotune %.2f (%.0f%% of manual)\n"
+        (Netbench.config_name config) dflt manual (manual /. dflt) auto
+        (100.0 *. auto /. manual);
+      if manual < 5.0 *. dflt then
+        failwith "longfat: scaled windows under 5x the seed throughput at 50ms";
+      if auto < 0.9 *. manual then
+        failwith "longfat: autotuned throughput under 90% of manual BDP sizing")
+    [ Netbench.Freebsd; Netbench.Linux ];
+  write_json "BENCH_longfat.json" "rows"
+    [ json_str "bench" "longfat"; json_str "unit" "Mbit/s";
+      json_int "wire_mbit" 100; json_int "seed" 42 ]
+    (List.map
+       (fun (config, rtt_ms, loss, mode_name, bytes, r) ->
+         json_obj
+           [ json_str "system" (Netbench.config_name config);
+             json_float "rtt_ms" rtt_ms;
+             json_float "loss" loss;
+             json_str "buffers" mode_name;
+             json_int "bytes" bytes;
+             json_float "mbit" r.Netbench.lf_mbit;
+             json_int "rexmits" r.Netbench.lf_rexmits;
+             json_int "rcv_buf" r.Netbench.lf_rcv_buf;
+             json_str "byte_exact" (if r.Netbench.lf_byte_exact then "yes" else "no") ])
+       rows)
+
+(* ---------------- longfatsmoke: CI gate for long-fat-pipe TCP ---------------- *)
+
+let longfatsmoke () =
+  section_header "Longfat smoke: wscale/NewReno/autotune gates (fails loudly on regression)";
+  (* 1) byte-exactness with everything on, under loss, at WAN RTT — both
+     stacks exercise wscale negotiation, dup-ACK recovery, and autotuning. *)
+  List.iter
+    (fun config ->
+      let r =
+        Netbench.longfat_transfer ~seed:42 ~loss:0.01 ~config
+          ~rtt_ns:10_000_000 ~bufmode:Netbench.Lf_autotune
+          ~bytes:(1024 * 1024) ()
+      in
+      Printf.printf "%-8s 10ms 1%% autotune: %8.2f Mbit/s, %d rexmits, byte-exact %s\n%!"
+        (Netbench.config_name config) r.Netbench.lf_mbit r.Netbench.lf_rexmits
+        (if r.Netbench.lf_byte_exact then "yes" else "NO");
+      if not r.Netbench.lf_byte_exact then
+        failwith "longfatsmoke: lossy scaled-window transfer not byte-exact";
+      if r.Netbench.lf_rexmits = 0 then
+        failwith "longfatsmoke: netem loss produced no retransmissions")
+    [ Netbench.Freebsd; Netbench.Linux ];
+  (* 2) autotuning holds its own against hand-sized buffers at 50 ms. *)
+  List.iter
+    (fun config ->
+      let run bufmode =
+        Netbench.longfat_transfer ~seed:42 ~loss:0.0 ~config ~rtt_ns:50_000_000
+          ~bufmode ~bytes:(8 * 1024 * 1024) ()
+      in
+      let dflt = run Netbench.Lf_default in
+      let manual = run Netbench.Lf_manual in
+      let auto = run Netbench.Lf_autotune in
+      Printf.printf
+        "%-8s 50ms 0%%: default %.2f, manual %.2f, autotune %.2f Mbit/s (buf %d)\n%!"
+        (Netbench.config_name config) dflt.Netbench.lf_mbit manual.Netbench.lf_mbit
+        auto.Netbench.lf_mbit auto.Netbench.lf_rcv_buf;
+      if manual.Netbench.lf_mbit < 5.0 *. dflt.Netbench.lf_mbit then
+        failwith "longfatsmoke: scaled windows under 5x the seed throughput";
+      if auto.Netbench.lf_mbit < 0.9 *. manual.Netbench.lf_mbit then
+        failwith "longfatsmoke: autotune under 90% of manual BDP buffers";
+      if auto.Netbench.lf_rcv_buf <= 64 * 1024 then
+        failwith "longfatsmoke: autotune never grew the receive buffer")
+    [ Netbench.Freebsd; Netbench.Linux ];
+  (* 3) the persist timer probes through a forced zero-window stall. *)
+  let probes, exact = Netbench.zero_window_run () in
+  Printf.printf "zero-window stall: %d persist probes, byte-exact %s\n%!" probes
+    (if exact then "yes" else "NO");
+  if probes = 0 then failwith "longfatsmoke: persist timer never probed";
+  if not exact then failwith "longfatsmoke: zero-window run not byte-exact";
+  print_endline
+    "\nbyte-exact under loss; >=5x at 50ms; autotune >= 90% of manual; probes fire"
+
 (* ---------------- driver ---------------- *)
 
 let sections =
@@ -769,7 +918,9 @@ let sections =
     "rtt", rtt;
     "http", http;
     "httpsmoke", httpsmoke;
-    "rttsmoke", rttsmoke ]
+    "rttsmoke", rttsmoke;
+    "longfat", longfat;
+    "longfatsmoke", longfatsmoke ]
 
 let () =
   let names =

@@ -432,3 +432,216 @@ let chaos_transfer ?(seed = 42) ?(loss = 0.01) ?(corrupt = 0.0)
     byte_exact = (!mismatches = 0 && !received = total);
     rcv_badsum = rstats.tcp_badsum ();
     rcv_dups = rstats.tcp_dups () }
+
+(* ---- long fat pipes: ttcp over a stretched wire ---- *)
+
+(* Socket-buffer discipline for a longfat run.  [Lf_default] is the seed
+   configuration (16-bit windows, fixed buffers); [Lf_manual] negotiates
+   wscale and hand-sizes both ends' buffers to 2x the path BDP — the
+   operator's recipe; [Lf_autotune] negotiates wscale and lets the stacks
+   grow their own buffers (Cost.config.tcp_autotune). *)
+type bufmode = Lf_default | Lf_manual | Lf_autotune
+
+type longfat_result = {
+  lf_mbit : float;          (* end-to-end goodput, receiver's clock *)
+  lf_byte_exact : bool;
+  lf_rexmits : int;
+  lf_rcv_buf : int;         (* receiver buffer at the end of the run *)
+  lf_persist_probes : int;  (* Linux only; 0 elsewhere *)
+}
+
+let longfat_transfer ?(seed = 42) ?(loss = 0.0) ~config ~rtt_ns ~bufmode ~bytes
+    () =
+  Clientos.reset_globals ();
+  let saved_ws = Cost.config.Cost.tcp_wscale in
+  let saved_at = Cost.config.Cost.tcp_autotune in
+  (match bufmode with
+  | Lf_default -> ()
+  | Lf_manual -> Cost.config.Cost.tcp_wscale <- true
+  | Lf_autotune ->
+      Cost.config.Cost.tcp_wscale <- true;
+      Cost.config.Cost.tcp_autotune <- true);
+  Fdev.clear_drivers ();
+  let tb =
+    Clientos.make_testbed ~models:("3c905", "tulip")
+      ~latency_ns:(max 1_000 (rtt_ns / 2)) ()
+  in
+  if loss > 0.0 then begin
+    let em = Netem.create ~seed ~policy:{ Netem.default_policy with loss } () in
+    Wire.set_netem tb.Clientos.wire (Some em)
+  end;
+  (* BDP at the wire's 100 Mbps: bytes = rate/8 * rtt.  Manual mode sizes
+     to 2x BDP (headroom for ACK clocking), floored at the seed default. *)
+  let bdp = rtt_ns / 80 in
+  let manual =
+    match bufmode with
+    | Lf_manual -> Some (min Cost.config.Cost.tcp_sockbuf_max (max (64 * 1024) (2 * bdp)))
+    | _ -> None
+  in
+  let recv_done = ref 0 and mismatches = ref 0 and received = ref 0 in
+  let final_rcv_buf = ref 0 and persist_probes = ref 0 and rexmits = ref 0 in
+  let check buf n =
+    for i = 0 to n - 1 do
+      if Char.code (Bytes.get buf i) <> pattern (!received + i) then incr mismatches
+    done;
+    received := !received + n
+  in
+  let blocksize = 16384 in
+  (match config with
+  | Oskit | Freebsd ->
+      let stack_b = Clientos.freebsd_host tb.Clientos.host_b ~ip:(ip "10.0.0.2") ~mask in
+      let stack_a = Clientos.freebsd_host tb.Clientos.host_a ~ip:(ip "10.0.0.1") ~mask in
+      Clientos.spawn tb.Clientos.host_b ~name:"server" (fun () ->
+          let ls = Bsd_socket.tcp_socket stack_b in
+          ok (Bsd_socket.so_bind ls ~port:5005);
+          ok (Bsd_socket.so_listen ls ~backlog:2);
+          let c = ok (Bsd_socket.so_accept ls) in
+          (match manual with
+          | Some b ->
+              Tcp.set_buffer_sizes c.Bsd_socket.pcb
+                ~snd:c.Bsd_socket.pcb.Tcp.snd_buf.Sockbuf.sb_hiwat ~rcv:b
+          | None -> ());
+          let buf = Bytes.create blocksize in
+          let rec loop () =
+            match ok (Bsd_socket.so_recv c ~buf ~pos:0 ~len:blocksize) with
+            | 0 ->
+                final_rcv_buf := c.Bsd_socket.pcb.Tcp.rcv_buf.Sockbuf.sb_hiwat;
+                recv_done := Machine.now tb.Clientos.host_b.Clientos.machine;
+                ignore (Bsd_socket.so_close c)
+            | n ->
+                check buf n;
+                loop ()
+          in
+          loop ());
+      Clientos.spawn tb.Clientos.host_a ~name:"client" (fun () ->
+          Kclock.sleep_ns 2_000_000;
+          let s = Bsd_socket.tcp_socket stack_a in
+          (match manual with
+          | Some b ->
+              Tcp.set_buffer_sizes s.Bsd_socket.pcb ~snd:b
+                ~rcv:s.Bsd_socket.pcb.Tcp.rcv_buf.Sockbuf.sb_hiwat
+          | None -> ());
+          ok (Bsd_socket.so_connect s ~dst:(ip "10.0.0.2") ~dport:5005);
+          let block = Bytes.create blocksize in
+          let rec push sent =
+            if sent < bytes then begin
+              let n = min blocksize (bytes - sent) in
+              for i = 0 to n - 1 do
+                Bytes.set block i (Char.chr (pattern (sent + i)))
+              done;
+              if ok (Bsd_socket.so_send s ~buf:block ~pos:0 ~len:n) <> n then
+                failwith "longfat: short send";
+              push (sent + n)
+            end
+          in
+          push 0;
+          rexmits :=
+            stack_a.Bsd_socket.tcp.Tcp.stats.Tcp.sndrexmitpack
+            + stack_a.Bsd_socket.tcp.Tcp.stats.Tcp.fastrexmit;
+          ignore (Bsd_socket.so_close s))
+  | Linux ->
+      let stack_b = Clientos.linux_host tb.Clientos.host_b ~ip:(ip "10.0.0.2") ~mask in
+      let stack_a = Clientos.linux_host tb.Clientos.host_a ~ip:(ip "10.0.0.1") ~mask in
+      Clientos.spawn tb.Clientos.host_b ~name:"server" (fun () ->
+          let ls = Linux_inet.socket stack_b in
+          Linux_inet.bind stack_b ls ~port:5005;
+          Linux_inet.listen stack_b ls ~backlog:2;
+          let c = ok (Linux_inet.accept stack_b ls) in
+          (match manual with Some b -> c.Linux_inet.rcv_buf_max <- b | None -> ());
+          let buf = Bytes.create blocksize in
+          let rec loop () =
+            match ok (Linux_inet.recv stack_b c ~buf ~pos:0 ~len:blocksize) with
+            | 0 ->
+                final_rcv_buf := c.Linux_inet.rcv_buf_max;
+                recv_done := Machine.now tb.Clientos.host_b.Clientos.machine;
+                Linux_inet.close stack_b c
+            | n ->
+                check buf n;
+                loop ()
+          in
+          loop ());
+      Clientos.spawn tb.Clientos.host_a ~name:"client" (fun () ->
+          Kclock.sleep_ns 2_000_000;
+          let s = Linux_inet.socket stack_a in
+          ok (Linux_inet.connect stack_a s ~dst:(ip "10.0.0.2") ~dport:5005);
+          let block = Bytes.create blocksize in
+          let rec push sent =
+            if sent < bytes then begin
+              let n = min blocksize (bytes - sent) in
+              for i = 0 to n - 1 do
+                Bytes.set block i (Char.chr (pattern (sent + i)))
+              done;
+              if ok (Linux_inet.send stack_a s ~buf:block ~pos:0 ~len:n) <> n then
+                failwith "longfat: short send";
+              push (sent + n)
+            end
+          in
+          push 0;
+          rexmits := stack_a.Linux_inet.rexmits;
+          persist_probes :=
+            stack_a.Linux_inet.persist_probes + stack_b.Linux_inet.persist_probes;
+          Linux_inet.close stack_a s));
+  Clientos.run tb ~until:(fun () -> !recv_done > 0);
+  Cost.config.Cost.tcp_wscale <- saved_ws;
+  Cost.config.Cost.tcp_autotune <- saved_at;
+  if !recv_done = 0 then failwith "longfat: transfer did not complete";
+  { lf_mbit = float_of_int bytes *. 8e3 /. float_of_int !recv_done;
+    lf_byte_exact = (!mismatches = 0 && !received = bytes);
+    lf_rexmits = !rexmits;
+    lf_rcv_buf = !final_rcv_buf;
+    lf_persist_probes = !persist_probes }
+
+(* Forced zero window on the Linux stack: the receiver accepts, then sits
+   on a full receive queue for [stall_ns] of virtual time before draining.
+   The sender exhausts the advertised window and parks in [send]; only the
+   persist timer talks during the stall.  Returns (persist probes sent,
+   byte-exact). *)
+let zero_window_run ?(stall_ns = 3_000_000_000) ?(bytes = 256 * 1024) () =
+  Clientos.reset_globals ();
+  Fdev.clear_drivers ();
+  let tb = Clientos.make_testbed ~models:("3c905", "tulip") () in
+  let stack_b = Clientos.linux_host tb.Clientos.host_b ~ip:(ip "10.0.0.2") ~mask in
+  let stack_a = Clientos.linux_host tb.Clientos.host_a ~ip:(ip "10.0.0.1") ~mask in
+  let recv_done = ref 0 and mismatches = ref 0 and received = ref 0 in
+  Clientos.spawn tb.Clientos.host_b ~name:"server" (fun () ->
+      let ls = Linux_inet.socket stack_b in
+      Linux_inet.bind stack_b ls ~port:5006;
+      Linux_inet.listen stack_b ls ~backlog:2;
+      let c = ok (Linux_inet.accept stack_b ls) in
+      Kclock.sleep_ns stall_ns;
+      let buf = Bytes.create 16384 in
+      let rec loop () =
+        match ok (Linux_inet.recv stack_b c ~buf ~pos:0 ~len:16384) with
+        | 0 ->
+            recv_done := Machine.now tb.Clientos.host_b.Clientos.machine;
+            Linux_inet.close stack_b c
+        | n ->
+            for i = 0 to n - 1 do
+              if Char.code (Bytes.get buf i) <> pattern (!received + i) then
+                incr mismatches
+            done;
+            received := !received + n;
+            loop ()
+      in
+      loop ());
+  Clientos.spawn tb.Clientos.host_a ~name:"client" (fun () ->
+      Kclock.sleep_ns 2_000_000;
+      let s = Linux_inet.socket stack_a in
+      ok (Linux_inet.connect stack_a s ~dst:(ip "10.0.0.2") ~dport:5006);
+      let block = Bytes.create 16384 in
+      let rec push sent =
+        if sent < bytes then begin
+          let n = min 16384 (bytes - sent) in
+          for i = 0 to n - 1 do
+            Bytes.set block i (Char.chr (pattern (sent + i)))
+          done;
+          if ok (Linux_inet.send stack_a s ~buf:block ~pos:0 ~len:n) <> n then
+            failwith "zero_window: short send";
+          push (sent + n)
+        end
+      in
+      push 0;
+      Linux_inet.close stack_a s);
+  Clientos.run tb ~until:(fun () -> !recv_done > 0);
+  ( stack_a.Linux_inet.persist_probes,
+    !mismatches = 0 && !received = bytes )

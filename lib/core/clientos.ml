@@ -20,9 +20,10 @@ let make_host world wire ~name ~model ~ram_bytes =
   Bus.register_hw machine (Bus.Hw_nic { model; nic });
   { machine; kernel; nic }
 
-let make_testbed ?(models = "3c905", "tulip") ?(ram_bytes = 8 * 1024 * 1024) () =
+let make_testbed ?(models = "3c905", "tulip") ?(ram_bytes = 8 * 1024 * 1024)
+    ?bandwidth_bps ?latency_ns () =
   let world = World.create () in
-  let wire = Wire.create world in
+  let wire = Wire.create ?bandwidth_bps ?latency_ns world in
   let model_a, model_b = models in
   let host_a = make_host world wire ~name:"pc-a" ~model:model_a ~ram_bytes in
   let host_b = make_host world wire ~name:"pc-b" ~model:model_b ~ram_bytes in

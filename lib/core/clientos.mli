@@ -31,8 +31,16 @@ type testbed = {
 }
 
 (** Build two PCs on one 100 Mbps segment.  [models] picks the NIC chip
-    each "card" reports to probes (default ["3c905"], ["tulip"]). *)
-val make_testbed : ?models:string * string -> ?ram_bytes:int -> unit -> testbed
+    each "card" reports to probes (default ["3c905"], ["tulip"]).
+    [bandwidth_bps]/[latency_ns] override the wire (defaults 100 Mbps,
+    1 us) — the longfat bench stretches latency to emulate WAN RTTs. *)
+val make_testbed :
+  ?models:string * string ->
+  ?ram_bytes:int ->
+  ?bandwidth_bps:int ->
+  ?latency_ns:int ->
+  unit ->
+  testbed
 
 (** Add a simulated disk to a host's bus; returns the raw disk for image
     preparation. *)

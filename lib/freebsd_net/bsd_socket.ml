@@ -22,6 +22,11 @@ type stack = {
 
 let create_stack machine ~hwaddr ~name =
   let ifp = Netif.create ~name ~hwaddr in
+  (* A jumbo MSS only makes sense on a link framed for it: grow the MTU so
+     TCP segments of [tcp_mss] never hit the IP fragmenter (default 1460
+     leaves the classic Ethernet 1500). *)
+  ifp.Netif.if_mtu <-
+    max ifp.Netif.if_mtu (Cost.config.Cost.tcp_mss + Ip.ip_hlen + Tcp.tcp_hlen);
   let arp = Arp.attach ifp machine in
   let ip = Ip.attach ifp arp machine in
   let icmp = Icmp.attach ip in

@@ -107,6 +107,13 @@ type tcpcb = {
   mutable snd_wl2 : int;
   mutable snd_cwnd : int;
   mutable snd_ssthresh : int;
+  mutable snd_recover : int; (* NewReno: snd_max at fast-rexmit entry *)
+  (* RFC 1323 window scaling (Cost.config.tcp_wscale): [snd_scale] shifts
+     incoming window fields (the peer's offer), [rcv_scale] ours.  Both 0
+     until a SYN exchange where each side carried the option. *)
+  mutable snd_scale : int;
+  mutable rcv_scale : int;
+  mutable peer_wscale : int; (* scale the peer's SYN offered; -1 = none *)
   snd_buf : Sockbuf.t;
   mutable snd_fin_pending : bool;
   mutable fin_sent : bool;
@@ -132,6 +139,12 @@ type tcpcb = {
   mutable ack_now : bool;
   mutable delack_pending : bool;
   mutable t_dupacks : int;
+  (* receive-buffer autotuning (Cost.config.tcp_autotune): a clump of
+     back-to-back arrivals bounded by RTT-scale gaps is one window's worth
+     of flight; a clump that fills the buffer means the window is the
+     limiter. *)
+  mutable rxclump_ts : int; (* ns of last in-order arrival; 0 = idle *)
+  mutable rxclump_bytes : int;
   (* listen side *)
   accept_q : tcpcb Queue.t;
   mutable backlog : int;
@@ -166,18 +179,37 @@ let default_sb_size = 48 * 1024
 
 let create_pcb t =
   { t_stack = t; t_state = Closed; laddr = 0l; lport = 0; raddr = 0l; rport = 0;
-    t_maxseg = default_mss; iss = 0; snd_una = 0; snd_nxt = 0; snd_max = 0; snd_wnd = 0;
-    snd_wl1 = 0; snd_wl2 = 0; snd_cwnd = default_mss; snd_ssthresh = max_win;
+    t_maxseg = Cost.config.tcp_mss; iss = 0; snd_una = 0; snd_nxt = 0; snd_max = 0;
+    snd_wnd = 0;
+    snd_wl1 = 0; snd_wl2 = 0; snd_cwnd = Cost.config.tcp_mss; snd_ssthresh = max_win;
+    snd_recover = 0; snd_scale = 0; rcv_scale = 0; peer_wscale = -1;
     snd_buf = Sockbuf.create ~hiwat:default_sb_size; snd_fin_pending = false;
     fin_sent = false; irs = 0; rcv_nxt = 0; rcv_adv = 0;
     rcv_buf = Sockbuf.create ~hiwat:default_sb_size; rcv_fin = false; reass = [];
     tm_rexmt = 0; tm_persist = 0; tm_2msl = 0; t_rtt = 0; t_rtseq = 0; t_srtt = 0;
     t_rttvar = 24; t_rxtcur = 2; t_rxtshift = 0; ack_now = false; delack_pending = false;
-    t_dupacks = 0; accept_q = Queue.create (); backlog = 0; listen_parent = None;
+    t_dupacks = 0; rxclump_ts = 0; rxclump_bytes = 0;
+    accept_q = Queue.create (); backlog = 0; listen_parent = None;
     on_readable = (fun () -> ()); on_writable = (fun () -> ());
     on_state = (fun () -> ()); so_error = None }
 
-let rcv_window pcb = min (Sockbuf.space pcb.rcv_buf) max_win
+let rcv_window pcb = min (Sockbuf.space pcb.rcv_buf) (max_win lsl pcb.rcv_scale)
+
+(* The scale we ask for on SYN: smallest shift that makes the largest
+   buffer we could ever autotune to representable in the 16-bit field. *)
+let request_r_scale () =
+  let rec go s = if s < 14 && max_win lsl s < Cost.config.tcp_sockbuf_max then go (s + 1) else s in
+  go 0
+
+(* Both sides offered: windows are scaled from here on.  ssthresh starts
+   effectively unbounded again, in the scaled range. *)
+let setup_scaling pcb ~peer =
+  pcb.peer_wscale <- min 14 peer;
+  if Cost.config.tcp_wscale then begin
+    pcb.snd_scale <- min 14 peer;
+    pcb.rcv_scale <- request_r_scale ();
+    pcb.snd_ssthresh <- max_win lsl pcb.snd_scale
+  end
 
 let hash_key pcb = (pcb.raddr, pcb.rport, pcb.lport)
 
@@ -233,8 +265,9 @@ let rec ensure_timers t =
 (* ------------------------------------------------------------------ *)
 (* segment emission                                                    *)
 
-and emit_segment t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt =
-  let opt_len = if mss_opt then 4 else 0 in
+and emit_segment t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt ~wscale =
+  let ws_len = match wscale with Some _ -> 4 | None -> 0 in
+  let opt_len = (if mss_opt then 4 else 0) + ws_len in
   let hlen = tcp_hlen + opt_len in
   let m =
     match payload with
@@ -251,14 +284,30 @@ and emit_segment t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt =
   Bytes.set_int32_be d (o + 8) (Int32.of_int (m32 ack));
   Bytes.set d (o + 12) (Char.chr ((hlen / 4) lsl 4));
   Bytes.set d (o + 13) (Char.chr flags);
-  Bytes.set_uint16_be d (o + 14) (min win max_win);
+  (* The window field is scaled except on SYN segments (RFC 1323: the
+     shift applies only once both sides have offered). *)
+  let wfield =
+    if flags land th_syn <> 0 then min win max_win
+    else min (win asr pcb.rcv_scale) max_win
+  in
+  Bytes.set_uint16_be d (o + 14) wfield;
   Bytes.set_uint16_be d (o + 16) 0;
   Bytes.set_uint16_be d (o + 18) 0;
+  let opt_off = ref (o + 20) in
   if mss_opt then begin
-    Bytes.set d (o + 20) '\002';
-    Bytes.set d (o + 21) '\004';
-    Bytes.set_uint16_be d (o + 22) pcb.t_maxseg
+    Bytes.set d !opt_off '\002';
+    Bytes.set d (!opt_off + 1) '\004';
+    Bytes.set_uint16_be d (!opt_off + 2) pcb.t_maxseg;
+    opt_off := !opt_off + 4
   end;
+  (match wscale with
+  | Some s ->
+      (* NOP pad + the 3-byte wscale option, the donor's layout. *)
+      Bytes.set d !opt_off '\001';
+      Bytes.set d (!opt_off + 1) '\003';
+      Bytes.set d (!opt_off + 2) '\003';
+      Bytes.set d (!opt_off + 3) (Char.chr (s land 0xff))
+  | None -> ());
   let total = Mbuf.m_length m in
   let sum =
     In_cksum.cksum_chain m ~off:0 ~len:total
@@ -325,12 +374,16 @@ and tcp_output t pcb =
     let payload = if len > 0 then Some (Sockbuf.copy_range pcb.snd_buf ~off ~len) else None in
     let wnd = rcv_window pcb in
     emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags ~win:wnd ~payload
-      ~mss_opt:false;
+      ~mss_opt:false ~wscale:None;
     if seq_gt (m32 (pcb.rcv_nxt + wnd)) pcb.rcv_adv then pcb.rcv_adv <- m32 (pcb.rcv_nxt + wnd);
     pcb.ack_now <- false;
     pcb.delack_pending <- false;
     if len > 0 || send_fin then begin
-      if pcb.t_rtt = 0 && len > 0 then begin
+      (* Karn's rule: only time a transmission of *new* data.  After a
+         retransmit snd_nxt trails snd_max; starting the clock there would
+         let an ACK of the original transmission feed update_rtt an
+         ambiguous (far too short) sample. *)
+      if pcb.t_rtt = 0 && len > 0 && seq_geq pcb.snd_nxt pcb.snd_max then begin
         pcb.t_rtt <- 1;
         pcb.t_rtseq <- pcb.snd_nxt
       end;
@@ -347,8 +400,15 @@ and tcp_output t pcb =
 
 and send_syn t pcb ~with_ack =
   let flags = th_syn lor if with_ack then th_ack else 0 in
+  (* Offer wscale on an active SYN whenever the knob is on; on a SYN-ACK
+     only if the peer's SYN offered it (RFC 1323 negotiation). *)
+  let wscale =
+    if Cost.config.tcp_wscale && ((not with_ack) || pcb.peer_wscale >= 0) then
+      Some (request_r_scale ())
+    else None
+  in
   emit_segment t pcb ~seq:pcb.iss ~ack:(if with_ack then pcb.rcv_nxt else 0) ~flags
-    ~win:(rcv_window pcb) ~payload:None ~mss_opt:true;
+    ~win:(min (rcv_window pcb) max_win) ~payload:None ~mss_opt:true ~wscale;
   pcb.snd_nxt <- m32 (pcb.iss + 1);
   if seq_gt pcb.snd_nxt pcb.snd_max then pcb.snd_max <- pcb.snd_nxt;
   if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur
@@ -375,6 +435,8 @@ and rexmt_timeout t pcb =
     pcb.snd_ssthresh <- w;
     pcb.snd_cwnd <- pcb.t_maxseg;
     pcb.t_rtt <- 0;
+    pcb.t_dupacks <- 0;
+    pcb.snd_recover <- pcb.snd_max;
     (match pcb.t_state with
     | Syn_sent ->
         pcb.snd_nxt <- pcb.iss;
@@ -395,7 +457,7 @@ and persist_timeout t pcb =
   if pcb.snd_buf.Sockbuf.sb_cc > off then begin
     let payload = Sockbuf.copy_range pcb.snd_buf ~off ~len:1 in
     emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:th_ack ~win:(rcv_window pcb)
-      ~payload:(Some payload) ~mss_opt:false
+      ~payload:(Some payload) ~mss_opt:false ~wscale:None
   end;
   pcb.tm_persist <- min 128 (max 2 (pcb.t_rxtcur * 2))
 
@@ -527,7 +589,7 @@ let enter_established t pcb =
       (* The listener closed while our handshake completed: nobody will
          ever accept us, so reset rather than leak an orphaned pcb. *)
       emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:(th_rst lor th_ack)
-        ~win:0 ~payload:None ~mss_opt:false;
+        ~win:0 ~payload:None ~mss_opt:false ~wscale:None;
       pcb.t_state <- Closed;
       t.stats.drops <- t.stats.drops + 1;
       detach t pcb
@@ -553,7 +615,9 @@ let process_ack pcb ack =
     if pcb.snd_cwnd < pcb.snd_ssthresh then pcb.snd_cwnd <- pcb.snd_cwnd + pcb.t_maxseg
     else
       pcb.snd_cwnd <-
-        min (max_win * 4) (pcb.snd_cwnd + max 1 (pcb.t_maxseg * pcb.t_maxseg / pcb.snd_cwnd));
+        min
+          (max_win lsl max 2 pcb.snd_scale)
+          (pcb.snd_cwnd + max 1 (pcb.t_maxseg * pcb.t_maxseg / pcb.snd_cwnd));
     let data_acked = min acked pcb.snd_buf.Sockbuf.sb_cc in
     let fin_acked = pcb.fin_sent && acked > data_acked in
     if data_acked > 0 then Sockbuf.sbdrop pcb.snd_buf data_acked;
@@ -568,6 +632,7 @@ let fast_retransmit t pcb =
   t.stats.fastrexmit <- t.stats.fastrexmit + 1;
   let w = max (min pcb.snd_wnd pcb.snd_cwnd / 2) (2 * pcb.t_maxseg) in
   pcb.snd_ssthresh <- w;
+  pcb.snd_recover <- pcb.snd_max;
   pcb.tm_rexmt <- 0;
   pcb.t_rtt <- 0;
   let onxt = pcb.snd_nxt in
@@ -577,9 +642,56 @@ let fast_retransmit t pcb =
   pcb.snd_cwnd <- w + (3 * pcb.t_maxseg);
   if seq_gt onxt pcb.snd_nxt then pcb.snd_nxt <- onxt
 
+(* NewReno partial ACK: the first hole is plugged but [ack] stops short of
+   [snd_recover], so another segment from the same window is lost too.
+   Retransmit the next one immediately, deflate cwnd by the amount acked,
+   and stay in recovery — do not sample RTT (Karn: the range includes a
+   retransmission) and do not reset the dup-ACK count. *)
+let newreno_partial_ack t pcb ack =
+  let acked = seq_diff ack pcb.snd_una in
+  let onxt = pcb.snd_nxt in
+  let ocwnd = pcb.snd_cwnd in
+  pcb.tm_rexmt <- 0;
+  pcb.t_rtt <- 0;
+  pcb.snd_nxt <- ack;
+  pcb.snd_cwnd <- pcb.t_maxseg + acked;
+  tcp_output t pcb;
+  if seq_gt onxt pcb.snd_nxt then pcb.snd_nxt <- onxt;
+  pcb.snd_cwnd <- max pcb.t_maxseg (ocwnd - acked + pcb.t_maxseg);
+  let data_acked = min acked pcb.snd_buf.Sockbuf.sb_cc in
+  if data_acked > 0 then Sockbuf.sbdrop pcb.snd_buf data_acked;
+  pcb.snd_una <- ack;
+  if seq_lt pcb.snd_nxt pcb.snd_una then pcb.snd_nxt <- pcb.snd_una;
+  if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur;
+  pcb.on_writable ()
+
+(* Receive-buffer autotuning (Cost.config.tcp_autotune).  Arrivals come in
+   clumps of at most one window, separated by RTT-scale gaps when the flow
+   is window-limited; a clump that covered most of the buffer means our
+   advertised window was the limiter, so double it (capped).  A
+   path-limited flow arrives smoothly — no gaps, no growth.  The 500 ms
+   slow-tick srtt is far too coarse to size buffers at millisecond RTTs,
+   so this stack infers the RTT structurally instead. *)
+let autotune_gap_ns = 2_000_000
+
+let autotune_rcv t pcb ~dlen =
+  if Cost.config.tcp_autotune then begin
+    let now = Machine.now t.machine in
+    if pcb.rxclump_ts > 0 && now - pcb.rxclump_ts > autotune_gap_ns then begin
+      if pcb.rxclump_bytes * 2 >= pcb.rcv_buf.Sockbuf.sb_hiwat then begin
+        let cap = Cost.config.tcp_sockbuf_max in
+        if pcb.rcv_buf.Sockbuf.sb_hiwat < cap then
+          pcb.rcv_buf.Sockbuf.sb_hiwat <- min cap (2 * pcb.rcv_buf.Sockbuf.sb_hiwat)
+      end;
+      pcb.rxclump_bytes <- 0
+    end;
+    pcb.rxclump_ts <- now;
+    pcb.rxclump_bytes <- pcb.rxclump_bytes + dlen
+  end
+
 (* Returns true when ownership of [data] was taken (appended to the receive
    buffer or parked in the reassembly queue); the caller frees it otherwise. *)
-let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~data =
+let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~wscale ~data =
   let dlen = Mbuf.m_length data in
   match pcb.t_state with
   | Closed -> false
@@ -599,7 +711,8 @@ let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~data =
           conn.raddr <- src;
           conn.rport <- sport;
           conn.listen_parent <- Some pcb;
-          (match mss with Some v -> conn.t_maxseg <- min default_mss v | None -> ());
+          (match mss with Some v -> conn.t_maxseg <- min Cost.config.tcp_mss v | None -> ());
+          (match wscale with Some s -> setup_scaling conn ~peer:s | None -> ());
           conn.irs <- seq;
           conn.rcv_nxt <- m32 (seq + 1);
           conn.rcv_adv <- m32 (conn.rcv_nxt + rcv_window conn);
@@ -627,7 +740,8 @@ let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~data =
         if ack_ok then drop_connection t pcb Error.Connrefused
       end
       else if flags land th_syn <> 0 then begin
-        (match mss with Some v -> pcb.t_maxseg <- min default_mss v | None -> ());
+        (match mss with Some v -> pcb.t_maxseg <- min Cost.config.tcp_mss v | None -> ());
+        (match wscale with Some s -> setup_scaling pcb ~peer:s | None -> ());
         pcb.irs <- seq;
         pcb.rcv_nxt <- m32 (seq + 1);
         pcb.rcv_adv <- m32 (pcb.rcv_nxt + rcv_window pcb);
@@ -743,8 +857,10 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
           else if !dlen = 0 then pcb.t_dupacks <- 0
         end
         else if seq_gt ack pcb.snd_max then pcb.ack_now <- true
+        else if pcb.t_dupacks >= 3 && seq_lt ack pcb.snd_recover then
+          newreno_partial_ack t pcb ack
         else begin
-          (* Leaving fast recovery: deflate the window. *)
+          (* A full ACK past snd_recover leaves fast recovery: deflate. *)
           if pcb.t_dupacks >= 3 then pcb.snd_cwnd <- min pcb.snd_cwnd pcb.snd_ssthresh;
           let fin_acked = process_ack pcb ack in
           match pcb.t_state with
@@ -786,6 +902,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
       if !dlen > 0 then begin
         if !seq = pcb.rcv_nxt && pcb.reass = [] then begin
           (* In order: append the arriving chain, zero-copy. *)
+          autotune_rcv t pcb ~dlen:!dlen;
           Sockbuf.sbappend_chain pcb.rcv_buf data;
           stored := true;
           pcb.rcv_nxt <- m32 (pcb.rcv_nxt + !dlen);
@@ -883,6 +1000,7 @@ let fastpath_input t pcb ~seq ~ack ~win ~data ~dlen =
   end;
   let stored =
     if dlen > 0 then begin
+      autotune_rcv t pcb ~dlen;
       Sockbuf.sbappend_chain pcb.rcv_buf data;
       pcb.rcv_nxt <- m32 (pcb.rcv_nxt + dlen);
       if pcb.delack_pending then begin
@@ -938,6 +1056,7 @@ let input t ~src ~dst m =
       let flags = Char.code (Bytes.get d (o + 13)) in
       let win = Bytes.get_uint16_be d (o + 14) in
       let mss_opt = ref None in
+      let wscale_opt = ref None in
       let rec scan_opts p =
         if p < hlen then begin
           let kind = Char.code (Bytes.get d (o + p)) in
@@ -946,6 +1065,8 @@ let input t ~src ~dst m =
           else begin
             let olen = if p + 1 < hlen then Char.code (Bytes.get d (o + p + 1)) else 2 in
             if kind = 2 && olen = 4 then mss_opt := Some (Bytes.get_uint16_be d (o + p + 2));
+            if kind = 3 && olen = 3 then
+              wscale_opt := Some (Char.code (Bytes.get d (o + p + 2)));
             scan_opts (p + max 2 olen)
           end
         end
@@ -969,6 +1090,9 @@ let input t ~src ~dst m =
           Mbuf.m_freem m
       | Some pcb ->
           let dlen = Mbuf.m_length m in
+          (* Past the handshake the 16-bit window field arrives shifted by
+             the peer's negotiated scale; SYN windows are never scaled. *)
+          let win = if flags land th_syn = 0 then win lsl pcb.snd_scale else win in
           if fast && fastpath_pred pcb ~seq ~ack ~flags ~dlen then begin
             Cost.count_fastpath_hit ();
             if dlen > 0 then t.stats.preddat <- t.stats.preddat + 1
@@ -988,7 +1112,9 @@ let input t ~src ~dst m =
               t.stats.predfallback <- t.stats.predfallback + 1
             end;
             if
-              not (segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss:!mss_opt ~data:m)
+              not
+                (segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss:!mss_opt
+                   ~wscale:!wscale_opt ~data:m)
             then Mbuf.m_freem m
           end
     end
@@ -1053,6 +1179,14 @@ let usr_send t pcb ~src ~src_pos ~len =
   Cost.charge_cycles Cost.config.socket_op_cycles;
   match pcb.t_state with
   | Established | Close_wait ->
+      (* Send-buffer autotuning: the network (peer window x cwnd) can carry
+         more than we can buffer, so the buffer is the limiter — double it. *)
+      if Cost.config.tcp_autotune then begin
+        let cap = Cost.config.tcp_sockbuf_max in
+        let net = min pcb.snd_wnd pcb.snd_cwnd in
+        if 2 * net >= pcb.snd_buf.Sockbuf.sb_hiwat && pcb.snd_buf.Sockbuf.sb_hiwat < cap then
+          pcb.snd_buf.Sockbuf.sb_hiwat <- min cap (2 * pcb.snd_buf.Sockbuf.sb_hiwat)
+      end;
       let n = min len (Sockbuf.space pcb.snd_buf) in
       if n > 0 then begin
         Sockbuf.sbappend_bytes pcb.snd_buf ~src ~src_pos ~len:n;
@@ -1081,7 +1215,7 @@ let usr_abort t pcb =
   (match pcb.t_state with
   | Established | Syn_received | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack ->
       emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:(th_rst lor th_ack)
-        ~win:0 ~payload:None ~mss_opt:false
+        ~win:0 ~payload:None ~mss_opt:false ~wscale:None
   | Closed | Listen | Syn_sent | Time_wait -> ());
   pcb.t_state <- Closed;
   detach t pcb;

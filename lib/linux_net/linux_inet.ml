@@ -32,6 +32,7 @@ let seq_diff a b =
 
 let seq_lt a b = seq_diff a b < 0
 let seq_gt a b = seq_diff a b > 0
+let seq_geq a b = seq_diff a b >= 0
 
 type tcp_state =
   | Closed
@@ -64,12 +65,42 @@ type sock = {
   mutable snd_wnd : int;
   mutable cwnd : int;
   mutable ssthresh : int;
+  mutable smss : int; (* per-connection MSS (Cost.config.tcp_mss, peer-clamped) *)
+  (* RFC 1323 window scaling (Cost.config.tcp_wscale): [snd_scale] shifts
+     incoming window fields, [rcv_scale] ours; 0 until negotiated. *)
+  mutable snd_scale : int;
+  mutable rcv_scale : int;
+  mutable peer_wscale : int; (* scale the peer's SYN offered; -1 = none *)
+  (* NewReno fast retransmit/recovery *)
+  mutable dupacks : int;
+  mutable recover : int; (* snd_nxt at recovery entry *)
+  (* RTT estimation, Jacobson in nanoseconds (2.0 had none here: the
+     stack retransmitted on a fixed coarse timer only) *)
+  mutable srtt_ns : int;
+  mutable rttvar_ns : int;
+  mutable rto_ns : int;
+  mutable rtt_seq : int; (* end seq of the timed segment *)
+  mutable rtt_ts : int; (* ns at transmit; 0 = no sample in flight (Karn) *)
   mutable fin_queued : bool;
   mutable rexmt_q : rexmt_entry list; (* oldest first *)
+  mutable rexmt_q_len : int; (* |rexmt_q|, kept so guards stay O(1) *)
+  (* zero-window persist probing *)
+  mutable persist_armed : bool;
+  mutable persist_shift : int;
   (* receive side *)
   mutable rcv_nxt : int;
+  mutable rcv_buf_max : int; (* receive-queue bound; autotuning grows it *)
+  mutable adv_wnd : int; (* last window we advertised, post-scale *)
+  (* receive-buffer autotuning clump detector (Cost.config.tcp_autotune) *)
+  mutable rxclump_ts : int;
+  mutable rxclump_bytes : int;
   rcv_q : Skbuff.sk_buff Queue.t; (* in-order payload skbs (data at head) *)
   mutable rcv_q_bytes : int;
+  (* Out-of-order reassembly, kept only under Cost.config.tcp_wscale: 2.0
+     dropped OOO segments, which at scaled windows turns every loss into a
+     one-frame-per-RTT go-back-N replay of the whole window. *)
+  mutable ooo_q : (int * Skbuff.sk_buff) list; (* (seq, payload), seq-sorted *)
+  mutable ooo_bytes : int;
   mutable head_consumed : int;
   mutable peer_fin : bool;
   (* listen side *)
@@ -79,6 +110,10 @@ type sock = {
   mutable err : Error.t option;
   sleep : Sleep_record.t;
   mutable rexmt_armed : bool;
+  mutable rexmt_stamp : int; (* when the current queue head began waiting: set
+     on the empty->non-empty queue transition, on snd_una advance, and on a
+     retransmission.  The coarse timer checks it on fire so a fire armed long
+     ago cannot retransmit a freshly sent (or freshly replaced) head. *)
   mutable rexmt_shift : int; (* backoff exponent; reset when an ACK advances *)
   mutable nb : bool; (* O_NONBLOCK *)
   mutable listeners : ready_listener list;
@@ -121,6 +156,7 @@ and stack = {
   mutable arp_waiters_dropped : int; (* pending queue overflow, drop-head *)
   mutable arp_failures : int;   (* resolutions abandoned after retries *)
   mutable rexmt_give_ups : int; (* connections reset by the rexmt backstop *)
+  mutable persist_probes : int; (* zero-window probes sent by the persist timer *)
   mutable listen_overflow : int; (* SYNs dropped: listen queue full *)
   mutable predack : int;  (* header prediction: pure ACK hits *)
   mutable preddat : int;  (* header prediction: in-order data hits *)
@@ -133,7 +169,8 @@ let create machine =
     last_sock = None; next_port = 1024; next_iss = 99000;
     ip_id = 1; segs_out = 0; segs_in = 0; rexmits = 0; ipbadsum = 0; tcpbadsum = 0;
     rcvdup = 0; rcvoo = 0; rcvfull = 0; arp_waiters_dropped = 0; arp_failures = 0;
-    rexmt_give_ups = 0; listen_overflow = 0; predack = 0; preddat = 0; predfallback = 0 }
+    rexmt_give_ups = 0; persist_probes = 0; listen_overflow = 0; predack = 0;
+    preddat = 0; predfallback = 0 }
 
 (* ---- hashed demux maintenance ---- *)
 
@@ -323,9 +360,32 @@ let alloc_port t =
 
 let inflight s = seq_diff s.snd_nxt s.snd_una
 
-let rcv_window s = max 0 (default_window - s.rcv_q_bytes)
+let rcv_window s = max 0 (s.rcv_buf_max - s.rcv_q_bytes)
 
 let rexmt_max_shift = 6
+
+(* The retransmission-queue bound: 64 whole frames, as 2.0 shipped — but a
+   window-scaled connection needs the queue to cover the window or the
+   guard, not the peer, becomes the throughput ceiling. *)
+let rexmt_q_limit s =
+  if s.snd_scale = 0 then 64
+  else max 64 (2 * min s.cwnd s.snd_wnd / max 1 s.smss)
+
+(* The scale we ask for on SYN: smallest shift that makes the largest
+   buffer autotuning could reach representable in the 16-bit field. *)
+let request_scale () =
+  let rec go sc = if sc < 14 && 0xffff lsl sc < Cost.config.tcp_sockbuf_max then go (sc + 1) else sc in
+  go 0
+
+(* Peer offered wscale on its SYN; if the knob is on we offered (or will
+   offer) too, so windows are scaled from the end of the handshake. *)
+let setup_scaling s ~peer =
+  s.peer_wscale <- min 14 peer;
+  if Cost.config.tcp_wscale then begin
+    s.snd_scale <- min 14 peer;
+    s.rcv_scale <- request_scale ();
+    s.ssthresh <- max s.ssthresh (0xffff lsl s.snd_scale)
+  end
 
 (* Current readiness, an [Io_if.aio_*] bitmask.  Mirrors what the blocking
    calls below would do without sleeping: readable = recv or accept
@@ -341,7 +401,7 @@ let sock_readiness s =
   let wr =
     match s.state with
     | Established | Close_wait ->
-        inflight s < min s.cwnd s.snd_wnd && List.length s.rexmt_q <= 64
+        inflight s < min s.cwnd s.snd_wnd && s.rexmt_q_len <= rexmt_q_limit s
     | Closed -> true
     | _ -> false
   in
@@ -380,26 +440,52 @@ let rec tcp_xmit t s ~seq ~flags ~payload ~queue =
   Cost.charge_cycles Cost.config.linux_tcp_pkt_cycles;
   t.segs_out <- t.segs_out + 1;
   let plen = match payload with Some (_, _, len) -> len | None -> 0 in
-  let skb = Skbuff.alloc_skb (eth_hlen + ip_hlen + tcp_hlen + plen + 16) in
+  (* SYN options — only with Cost.config.tcp_wscale, so the 2.0-faithful
+     bare-header wire format (and the Table 1/2 baselines) is untouched by
+     default.  A SYN-ACK offers wscale only if the peer's SYN did. *)
+  let syn = flags land th_syn <> 0 in
+  let emit_opts =
+    syn && Cost.config.tcp_wscale
+    && (flags land th_ack = 0 || s.peer_wscale >= 0)
+  in
+  let opt_len = if emit_opts then 8 else 0 in
+  let hlen = tcp_hlen + opt_len in
+  let skb = Skbuff.alloc_skb (eth_hlen + ip_hlen + hlen + plen + 16) in
   Skbuff.skb_reserve skb (eth_hlen + ip_hlen);
-  let off = Skbuff.skb_put skb (tcp_hlen + plen) in
+  let off = Skbuff.skb_put skb (hlen + plen) in
   let d = skb.Skbuff.skb_data in
   Bytes.set_uint16_be d off s.lport;
   Bytes.set_uint16_be d (off + 2) s.rport;
   Bytes.set_int32_be d (off + 4) (Int32.of_int (m32 seq));
   Bytes.set_int32_be d (off + 8)
     (Int32.of_int (if flags land th_ack <> 0 then m32 s.rcv_nxt else 0));
-  Bytes.set d (off + 12) (Char.chr ((tcp_hlen / 4) lsl 4));
+  Bytes.set d (off + 12) (Char.chr ((hlen / 4) lsl 4));
   Bytes.set d (off + 13) (Char.chr flags);
-  Bytes.set_uint16_be d (off + 14) (min 0xffff (rcv_window s));
+  (* RFC 1323: the window field is scaled except on SYN segments. *)
+  let wfield =
+    if syn then min 0xffff (rcv_window s)
+    else min 0xffff (rcv_window s asr s.rcv_scale)
+  in
+  Bytes.set_uint16_be d (off + 14) wfield;
+  s.adv_wnd <- (if syn then wfield else wfield lsl s.rcv_scale);
   Bytes.set_uint16_be d (off + 16) 0;
   Bytes.set_uint16_be d (off + 18) 0;
+  if emit_opts then begin
+    (* MSS, then NOP + the 3-byte wscale option. *)
+    Bytes.set d (off + 20) '\002';
+    Bytes.set d (off + 21) '\004';
+    Bytes.set_uint16_be d (off + 22) s.smss;
+    Bytes.set d (off + 24) '\001';
+    Bytes.set d (off + 25) '\003';
+    Bytes.set d (off + 26) '\003';
+    Bytes.set d (off + 27) (Char.chr (request_scale () land 0xff))
+  end;
   (match payload with
   | Some (src, pos, len) ->
       Cost.charge_copy len;
-      Bytes.blit src pos d (off + tcp_hlen) len
+      Bytes.blit src pos d (off + hlen) len
   | None -> ());
-  let total = tcp_hlen + plen in
+  let total = hlen + plen in
   Bytes.set_uint16_be d (off + 16)
     (cksum d ~off ~len:total
        ~init:(pseudo ~src:t.my_ip ~dst:s.raddr ~proto:6 ~len:total));
@@ -409,8 +495,19 @@ let rec tcp_xmit t s ~seq ~flags ~payload ~queue =
     + plen
   in
   let queued = queue && seg_bytes > 0 in
-  if queued then
+  if queued then begin
+    if s.rexmt_q = [] then s.rexmt_stamp <- Machine.now t.machine;
     s.rexmt_q <- s.rexmt_q @ [ { rx_seq = seq; rx_end = m32 (seq + seg_bytes); rx_frame = skb } ];
+    s.rexmt_q_len <- s.rexmt_q_len + 1;
+    (* Start an RTT sample on fresh data when none is in flight.  Only
+       tcp_xmit sends first transmissions — every retransmit path resends
+       the queued frame directly and discards the pending sample, so a
+       sample can never cover a retransmitted range (Karn's rule). *)
+    if s.rtt_ts = 0 then begin
+      s.rtt_ts <- Machine.now t.machine;
+      s.rtt_seq <- m32 (seq + seg_bytes)
+    end
+  end;
   (* Unqueued frames (pure ACKs, RSTs) die on the wire; queued ones are
      retired when the ACK covers them. *)
   ip_output t ~free_after:(not queued) ~proto:6 ~dst:s.raddr skb;
@@ -423,36 +520,80 @@ let rec tcp_xmit t s ~seq ~flags ~payload ~queue =
 and arm_rexmt t s =
   if (not s.rexmt_armed) && s.rexmt_q <> [] then begin
     s.rexmt_armed <- true;
-    let delay = rexmt_ns * (1 lsl min s.rexmt_shift rexmt_max_shift) in
+    let rec schedule delay =
+      ignore
+        (Machine.after t.machine delay (fun () ->
+             match s.rexmt_q with
+             | [] -> s.rexmt_armed <- false
+             | entry :: _ ->
+                 let full = s.rto_ns * (1 lsl min s.rexmt_shift rexmt_max_shift) in
+                 let age = Machine.now t.machine - s.rexmt_stamp in
+                 if age < full then
+                   (* The head changed (or was sent) after this fire was
+                      armed — it has not actually waited a full RTO.  Check
+                      again when it will have. *)
+                   schedule (full - age)
+                 else if s.rexmt_shift >= rexmt_max_shift then begin
+                   (* Give up: error the socket and free every queued frame. *)
+                   s.rexmt_armed <- false;
+                   t.rexmt_give_ups <- t.rexmt_give_ups + 1;
+                   List.iter (fun e -> Skbuff.skb_free e.rx_frame) s.rexmt_q;
+                   s.rexmt_q <- [];
+                   s.rexmt_q_len <- 0;
+                   s.err <- Some Error.Timedout;
+                   s.state <- Closed;
+                   t.socks <- List.filter (fun x -> x != s) t.socks;
+                   sock_hash_remove t s;
+                   wake s
+                 end
+                 else begin
+                   t.rexmits <- t.rexmits + 1;
+                   s.rexmt_shift <- s.rexmt_shift + 1;
+                   s.ssthresh <- max (2 * s.smss) (min s.cwnd s.snd_wnd / 2);
+                   s.cwnd <- s.smss;
+                   (* Karn: a retransmission makes any pending RTT sample
+                      ambiguous, and ends fast recovery. *)
+                   s.rtt_ts <- 0;
+                   s.dupacks <- 0;
+                   s.rexmt_stamp <- Machine.now t.machine;
+                   (* The queued frame carries IP+ether headers from its first
+                      transmission — unless ARP never resolved, in which case
+                      the header was never built and the frame must wait. *)
+                   if entry.rx_frame.Skbuff.link_ready then
+                     Linux_eth_drv.hard_start_xmit (dev_of t) entry.rx_frame;
+                   schedule (s.rto_ns * (1 lsl min s.rexmt_shift rexmt_max_shift))
+                 end))
+    in
+    schedule (s.rto_ns * (1 lsl min s.rexmt_shift rexmt_max_shift))
+  end
+
+(* Zero-window persist probing (the BSD stack's persist_timeout, ported):
+   a sender parked in [send] with nothing in flight has no retransmit
+   timer, so a lost window-update ACK would otherwise strand it forever.
+   Probe with one byte *below* snd_una — both stacks drop it as a
+   duplicate and answer with an ACK carrying the current window, so no
+   sequence space is consumed and no state can desynchronize. *)
+and arm_persist t s =
+  if not s.persist_armed then begin
+    s.persist_armed <- true;
+    let delay = s.rto_ns * (1 lsl min s.persist_shift rexmt_max_shift) in
     ignore
       (Machine.after t.machine delay (fun () ->
-           s.rexmt_armed <- false;
-           match s.rexmt_q with
-           | [] -> ()
-           | entry :: _ ->
-               if s.rexmt_shift >= rexmt_max_shift then begin
-                 (* Give up: error the socket and free every queued frame. *)
-                 t.rexmt_give_ups <- t.rexmt_give_ups + 1;
-                 List.iter (fun e -> Skbuff.skb_free e.rx_frame) s.rexmt_q;
-                 s.rexmt_q <- [];
-                 s.err <- Some Error.Timedout;
-                 s.state <- Closed;
-                 t.socks <- List.filter (fun x -> x != s) t.socks;
-                 sock_hash_remove t s;
-                 wake s
-               end
-               else begin
-                 t.rexmits <- t.rexmits + 1;
-                 s.rexmt_shift <- s.rexmt_shift + 1;
-                 s.ssthresh <- max (2 * mss) (min s.cwnd s.snd_wnd / 2);
-                 s.cwnd <- mss;
-                 (* The queued frame carries IP+ether headers from its first
-                    transmission — unless ARP never resolved, in which case
-                    the header was never built and the frame must wait. *)
-                 if entry.rx_frame.Skbuff.link_ready then
-                   Linux_eth_drv.hard_start_xmit (dev_of t) entry.rx_frame;
-                 arm_rexmt t s
-               end))
+           s.persist_armed <- false;
+           let blocked =
+             (match s.state with Established | Close_wait -> true | _ -> false)
+             && s.rexmt_q_len = 0
+             && min s.cwnd s.snd_wnd <= inflight s
+           in
+           if blocked then begin
+             t.persist_probes <- t.persist_probes + 1;
+             s.persist_shift <- min (s.persist_shift + 1) rexmt_max_shift;
+             let probe = Bytes.make 1 '\000' in
+             tcp_xmit t s ~seq:(m32 (s.snd_nxt - 1)) ~flags:th_ack
+               ~payload:(Some (probe, 0, 1)) ~queue:false;
+             arm_persist t s
+           end
+           else s.persist_shift <- 0))
   end
 
 let send_ack t s = tcp_xmit t s ~seq:s.snd_nxt ~flags:th_ack ~payload:None ~queue:false
@@ -462,21 +603,36 @@ let send_rst_for t ~src ~sport ~dport ~ack =
   let fake =
     { stack = t; state = Closed; lport = dport; rport = sport; raddr = src; iss = 0;
       snd_una = ack; snd_nxt = ack; snd_wnd = 0; cwnd = mss; ssthresh = 0;
-      fin_queued = false; rexmt_q = []; rcv_nxt = 0; rcv_q = Queue.create ();
-      rcv_q_bytes = 0; head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
+      smss = Cost.config.tcp_mss; snd_scale = 0; rcv_scale = 0; peer_wscale = -1;
+      dupacks = 0; recover = 0; srtt_ns = 0; rttvar_ns = 0; rto_ns = rexmt_ns;
+      rtt_seq = 0; rtt_ts = 0;
+      fin_queued = false; rexmt_q = []; rexmt_q_len = 0; persist_armed = true;
+      persist_shift = 0; rcv_nxt = 0; rcv_q = Queue.create ();
+      rcv_q_bytes = 0; ooo_q = []; ooo_bytes = 0;
+      rcv_buf_max = default_window; adv_wnd = 0;
+      rxclump_ts = 0; rxclump_bytes = 0;
+      head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
       backlog = 0; parent = None; err = None; sleep = Sleep_record.create ();
-      rexmt_armed = true; rexmt_shift = 0; nb = false; listeners = []; next_lid = 1 }
+      rexmt_armed = true; rexmt_stamp = 0; rexmt_shift = 0; nb = false; listeners = []; next_lid = 1 }
   in
   tcp_xmit t fake ~seq:ack ~flags:th_rst ~payload:None ~queue:false
 
 let new_sock t =
   let s =
     { stack = t; state = Closed; lport = 0; rport = 0; raddr = 0l; iss = 0; snd_una = 0;
-      snd_nxt = 0; snd_wnd = default_window; cwnd = mss; ssthresh = 64 * 1024;
-      fin_queued = false; rexmt_q = []; rcv_nxt = 0; rcv_q = Queue.create ();
-      rcv_q_bytes = 0; head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
+      snd_nxt = 0; snd_wnd = default_window; cwnd = Cost.config.tcp_mss;
+      ssthresh = 64 * 1024;
+      smss = Cost.config.tcp_mss; snd_scale = 0; rcv_scale = 0; peer_wscale = -1;
+      dupacks = 0; recover = 0; srtt_ns = 0; rttvar_ns = 0; rto_ns = rexmt_ns;
+      rtt_seq = 0; rtt_ts = 0;
+      fin_queued = false; rexmt_q = []; rexmt_q_len = 0; persist_armed = false;
+      persist_shift = 0; rcv_nxt = 0; rcv_q = Queue.create ();
+      rcv_q_bytes = 0; ooo_q = []; ooo_bytes = 0;
+      rcv_buf_max = default_window; adv_wnd = default_window;
+      rxclump_ts = 0; rxclump_bytes = 0;
+      head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
       backlog = 0; parent = None; err = None; sleep = Sleep_record.create ~name:"lx_sock" ();
-      rexmt_armed = false; rexmt_shift = 0; nb = false; listeners = []; next_lid = 1 }
+      rexmt_armed = false; rexmt_stamp = 0; rexmt_shift = 0; nb = false; listeners = []; next_lid = 1 }
   in
   t.socks <- s :: t.socks;
   s
@@ -512,19 +668,103 @@ let find_sock t ~src ~sport ~dport =
   | Some _ as r -> r
   | None -> List.find_opt (fun s -> s.lport = dport && s.state = Listen) t.socks
 
+(* Retire every queued frame the ACK covers. *)
+let drop_acked s ack =
+  let acked, live = List.partition (fun e -> not (seq_gt e.rx_end ack)) s.rexmt_q in
+  List.iter (fun e -> Skbuff.skb_free e.rx_frame) acked;
+  s.rexmt_q <- live;
+  s.rexmt_q_len <- s.rexmt_q_len - List.length acked
+
+(* Resend the oldest unacked frame as-is — same mechanics as the RTO path.
+   Karn: whatever RTT sample was pending is now ambiguous. *)
+let retransmit_head t s =
+  s.rtt_ts <- 0;
+  match s.rexmt_q with
+  | [] -> ()
+  | e :: _ ->
+      t.rexmits <- t.rexmits + 1;
+      s.rexmt_stamp <- Machine.now t.machine;
+      if e.rx_frame.Skbuff.link_ready then
+        Linux_eth_drv.hard_start_xmit (dev_of t) e.rx_frame
+
+(* Jacobson/Karels in nanoseconds; the RTO keeps 2.0's coarse 300 ms floor
+   so the clean-path timer schedule is exactly the donor's. *)
+let tcp_rtt_sample s m =
+  if s.srtt_ns = 0 then begin
+    s.srtt_ns <- m;
+    s.rttvar_ns <- m / 2
+  end
+  else begin
+    let err = m - s.srtt_ns in
+    s.srtt_ns <- max 1 (s.srtt_ns + (err asr 3));
+    s.rttvar_ns <- max 1 (s.rttvar_ns + ((abs err - s.rttvar_ns) asr 2))
+  end;
+  s.rto_ns <- max rexmt_ns (s.srtt_ns + (4 * s.rttvar_ns))
+
 (* Drop acknowledged segments from the retransmission queue. *)
 let ack_advance t s ack =
   if seq_gt ack s.snd_una then begin
     s.snd_una <- ack;
-    let acked, live = List.partition (fun e -> not (seq_gt e.rx_end ack)) s.rexmt_q in
-    List.iter (fun e -> Skbuff.skb_free e.rx_frame) acked;
-    s.rexmt_q <- live;
+    drop_acked s ack;
     s.rexmt_shift <- 0;
-    if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd + mss
-    else s.cwnd <- s.cwnd + max 1 (mss * mss / s.cwnd);
+    s.rexmt_stamp <- Machine.now t.machine;
+    if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd + s.smss
+    else s.cwnd <- s.cwnd + max 1 (s.smss * s.smss / s.cwnd);
     ignore t;
     wake s
   end
+
+(* An ACK that advances snd_una: sample the RTT (Karn-guarded), then either
+   continue NewReno recovery on a partial ACK or leave it and grow cwnd. *)
+let tcp_ack t s ack =
+  if s.rtt_ts > 0 && seq_geq ack s.rtt_seq then begin
+    tcp_rtt_sample s (Machine.now t.machine - s.rtt_ts);
+    s.rtt_ts <- 0
+  end;
+  if s.dupacks >= 3 && seq_lt ack s.recover then begin
+    (* NewReno partial ACK: the next segment of the same window is lost
+       too — plug it now, deflate by the amount acked, stay in recovery. *)
+    let acked = seq_diff ack s.snd_una in
+    s.snd_una <- ack;
+    drop_acked s ack;
+    s.rexmt_shift <- 0;
+    s.rexmt_stamp <- Machine.now t.machine;
+    retransmit_head t s;
+    s.cwnd <- max s.smss (s.cwnd - acked + s.smss);
+    wake s
+  end
+  else begin
+    (* A full ACK leaves fast recovery: deflate to ssthresh. *)
+    if s.dupacks >= 3 then s.cwnd <- min s.cwnd s.ssthresh;
+    s.dupacks <- 0;
+    ack_advance t s ack
+  end
+
+(* Every ACK funnels through here (general path and fastpath alike):
+   window update, dup-ACK counting with NewReno fast retransmit, and the
+   zero-window-reopen wake that pairs with the persist timer. *)
+let tcp_ack_in t s ~ack ~win ~dlen =
+  let old_wnd = s.snd_wnd in
+  s.snd_wnd <- win;
+  if seq_gt ack s.snd_una then tcp_ack t s ack
+  else if dlen = 0 && win = old_wnd && ack = s.snd_una && s.rexmt_q_len > 0 then begin
+    s.dupacks <- s.dupacks + 1;
+    if s.dupacks = 3 then begin
+      s.ssthresh <- max (2 * s.smss) (min s.cwnd s.snd_wnd / 2);
+      s.recover <- s.snd_nxt;
+      retransmit_head t s;
+      s.cwnd <- s.ssthresh + (3 * s.smss);
+      wake s
+    end
+    else if s.dupacks > 3 then begin
+      s.cwnd <- s.cwnd + s.smss;
+      wake s
+    end
+  end;
+  (* A pure window update acks nothing, so ack_advance never wakes the
+     sender it reopens the window for — wake it here (narrowly, so the
+     clean path is untouched: a wake with no sleeper is a no-op). *)
+  if s.snd_wnd > old_wnd && old_wnd < s.smss then wake s
 
 (* Header prediction (Cost.config.tcp_fastpath), the Linux analog: an
    established-state segment with no SYN/FIN/RST and an ACK, whose data —
@@ -536,7 +776,75 @@ let fastpath_pred s ~seq ~flags ~dlen =
   s.state = Established
   && flags land (th_syn lor th_fin lor th_rst) = 0
   && flags land th_ack <> 0
-  && (dlen = 0 || (seq = s.rcv_nxt && s.rcv_q_bytes + dlen <= default_window))
+  && (dlen = 0 || (seq = s.rcv_nxt && s.rcv_q_bytes + dlen <= s.rcv_buf_max))
+
+(* Receive-buffer autotuning (Cost.config.tcp_autotune): arrivals come in
+   clumps of at most one window, separated by RTT-scale gaps when the flow
+   is window-limited; a clump that covered most of the buffer means our
+   advertised window was the limiter, so double it (capped).  A
+   path-limited flow arrives smoothly — no gaps, no growth. *)
+let autotune_gap_ns = 2_000_000
+
+let autotune_rcv t s ~dlen =
+  if Cost.config.tcp_autotune then begin
+    let now = Machine.now t.machine in
+    if s.rxclump_ts > 0 && now - s.rxclump_ts > autotune_gap_ns then begin
+      if s.rxclump_bytes * 2 >= s.rcv_buf_max then
+        s.rcv_buf_max <- min Cost.config.tcp_sockbuf_max (2 * s.rcv_buf_max);
+      s.rxclump_bytes <- 0
+    end;
+    s.rxclump_ts <- now;
+    s.rxclump_bytes <- s.rxclump_bytes + dlen
+  end
+
+(* Out-of-order segment: hold it for reassembly (wscale mode only; the
+   donor stack dropped these, go-back-N).  Returns whether the skb was
+   stored.  Counters keep their netstat meaning: rcvoo/rcvdup/rcvfull
+   count only segments actually dropped. *)
+let ooo_insert t s ~seq skb =
+  let dlen = skb.Skbuff.len in
+  if not Cost.config.tcp_wscale then begin
+    t.rcvoo <- t.rcvoo + 1;
+    false
+  end
+  else if List.exists (fun (q, _) -> q = seq) s.ooo_q then begin
+    t.rcvdup <- t.rcvdup + 1;
+    false
+  end
+  else if s.ooo_bytes + dlen > s.rcv_buf_max then begin
+    t.rcvfull <- t.rcvfull + 1;
+    false
+  end
+  else begin
+    let rec ins = function
+      | [] -> [ (seq, skb) ]
+      | (q, _) :: _ as l when seq_lt seq q -> (seq, skb) :: l
+      | e :: rest -> e :: ins rest
+    in
+    s.ooo_q <- ins s.ooo_q;
+    s.ooo_bytes <- s.ooo_bytes + dlen;
+    true
+  end
+
+(* After an in-order append advanced rcv_nxt, pull now-contiguous segments
+   out of the reassembly queue (a no-op when it is empty). *)
+let rec ooo_drain s =
+  match s.ooo_q with
+  | (q, skb) :: rest when seq_geq s.rcv_nxt q ->
+      s.ooo_q <- rest;
+      let len = skb.Skbuff.len in
+      s.ooo_bytes <- s.ooo_bytes - len;
+      let past = seq_diff s.rcv_nxt q in
+      if past >= len then Skbuff.skb_free skb
+      else begin
+        if past > 0 then ignore (Skbuff.skb_pull skb past);
+        let n = skb.Skbuff.len in
+        Queue.add skb s.rcv_q;
+        s.rcv_q_bytes <- s.rcv_q_bytes + n;
+        s.rcv_nxt <- m32 (s.rcv_nxt + n)
+      end;
+      ooo_drain s
+  | _ -> ()
 
 let tcp_rcv t skb ~src =
   let fast = Cost.config.tcp_fastpath in
@@ -571,6 +879,25 @@ let tcp_rcv t skb ~src =
       let hlen = (Char.code (Bytes.get d (o + 12)) lsr 4) * 4 in
       let flags = Char.code (Bytes.get d (o + 13)) in
       let win = Bytes.get_uint16_be d (o + 14) in
+      (* TCP options (2.0 sent none; the BSD peer and our own wscale-mode
+         SYNs do).  Parsed before the header is stripped. *)
+      let mss_opt = ref None in
+      let wscale_opt = ref None in
+      let rec scan_opts p =
+        if p < hlen then begin
+          let kind = Char.code (Bytes.get d (o + p)) in
+          if kind = 0 then ()
+          else if kind = 1 then scan_opts (p + 1)
+          else begin
+            let olen = if p + 1 < hlen then Char.code (Bytes.get d (o + p + 1)) else 2 in
+            if kind = 2 && olen = 4 then mss_opt := Some (Bytes.get_uint16_be d (o + p + 2));
+            if kind = 3 && olen = 3 then
+              wscale_opt := Some (Char.code (Bytes.get d (o + p + 2)));
+            scan_opts (p + max 2 olen)
+          end
+        end
+      in
+      if hlen > tcp_hlen then scan_opts tcp_hlen;
       ignore (Skbuff.skb_pull skb hlen);
       let dlen = skb.Skbuff.len in
       match find_sock t ~src ~sport ~dport with
@@ -579,20 +906,26 @@ let tcp_rcv t skb ~src =
           if flags land th_rst = 0 then send_rst_for t ~src ~sport ~dport ~ack
       | Some s when fast && fastpath_pred s ~seq ~flags ~dlen ->
           (* Predicted: ACK bookkeeping plus the in-order append, exactly
-             as the Established arm below would do them. *)
+             as the Established arm below would do them.  The prediction
+             excludes SYN, so the window field is always scale-shifted. *)
+          let win = win lsl s.snd_scale in
           Cost.count_fastpath_hit ();
           if dlen > 0 then t.preddat <- t.preddat + 1 else t.predack <- t.predack + 1;
-          s.snd_wnd <- win;
-          ack_advance t s ack;
+          tcp_ack_in t s ~ack ~win ~dlen;
           if dlen > 0 then begin
+            autotune_rcv t s ~dlen;
             Queue.add skb s.rcv_q;
             stored := true;
             s.rcv_q_bytes <- s.rcv_q_bytes + dlen;
             s.rcv_nxt <- m32 (s.rcv_nxt + dlen);
+            ooo_drain s;
             send_ack t s;
             wake s
           end
       | Some s -> (
+          (* Past the handshake the 16-bit window field arrives shifted by
+             the peer's negotiated scale; SYN windows are never scaled. *)
+          let win = if flags land th_syn = 0 then win lsl s.snd_scale else win in
           slowpath ();
           (* Only established-state, no-control-flag segments count as
              prediction fallbacks; handshake and teardown segments are
@@ -642,6 +975,14 @@ let tcp_rcv t skb ~src =
                   c.snd_una <- c.iss;
                   c.snd_nxt <- m32 (c.iss + 1);
                   c.snd_wnd <- win;
+                  (* Peer options bind before the SYN-ACK goes out, so the
+                     SYN-ACK's wscale offer and MSS reflect them. *)
+                  (match !mss_opt with
+                  | Some v -> c.smss <- min Cost.config.tcp_mss v
+                  | None -> ());
+                  (match !wscale_opt with
+                  | Some sc -> setup_scaling c ~peer:sc
+                  | None -> ());
                   tcp_xmit t c ~seq:c.iss ~flags:(th_syn lor th_ack) ~payload:None
                     ~queue:true
                   end
@@ -650,10 +991,16 @@ let tcp_rcv t skb ~src =
                 if flags land th_syn <> 0 && flags land th_ack <> 0 && ack = s.snd_nxt
                 then begin
                   s.rcv_nxt <- m32 (seq + 1);
+                  (match !mss_opt with
+                  | Some v -> s.smss <- min Cost.config.tcp_mss v
+                  | None -> ());
+                  (match !wscale_opt with
+                  | Some sc -> setup_scaling s ~peer:sc
+                  | None -> ());
                   s.snd_wnd <- win;
                   ack_advance t s ack;
                   s.state <- Established;
-                  s.cwnd <- 2 * mss;
+                  s.cwnd <- 2 * s.smss;
                   send_ack t s;
                   wake s
                 end
@@ -665,12 +1012,13 @@ let tcp_rcv t skb ~src =
                          nobody will ever accept us — reset, don't leak. *)
                       List.iter (fun e -> Skbuff.skb_free e.rx_frame) s.rexmt_q;
                       s.rexmt_q <- [];
+                      s.rexmt_q_len <- 0;
                       s.state <- Closed;
                       detach t s;
                       tcp_xmit t s ~seq:s.snd_nxt ~flags:th_rst ~payload:None ~queue:false
                   | parent_opt ->
                       s.state <- Established;
-                      s.cwnd <- 2 * mss;
+                      s.cwnd <- 2 * s.smss;
                       s.snd_wnd <- win;
                       ack_advance t s ack;
                       (match parent_opt with
@@ -682,8 +1030,7 @@ let tcp_rcv t skb ~src =
                 end
             | Established | Fin_wait1 | Fin_wait2 | Close_wait | Last_ack | Time_wait -> (
                 if flags land th_ack <> 0 then begin
-                  s.snd_wnd <- win;
-                  ack_advance t s ack;
+                  tcp_ack_in t s ~ack ~win ~dlen;
                   (* Our FIN acked? *)
                   if s.fin_queued && s.rexmt_q = [] && ack = s.snd_nxt then
                     match s.state with
@@ -698,19 +1045,25 @@ let tcp_rcv t skb ~src =
                 end;
                 (* Data. *)
                 if dlen > 0 then begin
-                  if seq = s.rcv_nxt && s.rcv_q_bytes + dlen <= default_window then begin
+                  if seq = s.rcv_nxt && s.rcv_q_bytes + dlen <= s.rcv_buf_max then begin
+                    autotune_rcv t s ~dlen;
                     Queue.add skb s.rcv_q;
                     stored := true;
                     s.rcv_q_bytes <- s.rcv_q_bytes + dlen;
                     s.rcv_nxt <- m32 (s.rcv_nxt + dlen);
+                    ooo_drain s;
                     send_ack t s;
                     wake s
                   end
+                  else if seq_gt seq s.rcv_nxt then begin
+                    (* Beyond the hole: reassemble (wscale mode) or drop as
+                       2.0 did; either way the dup-ACK goes out. *)
+                    if ooo_insert t s ~seq skb then stored := true;
+                    send_ack t s
+                  end
                   else begin
-                    (* Duplicate, out of order, or no room: count which,
-                       dup-ACK, and drop — 2.0 keeps no OOO queue. *)
+                    (* Duplicate or no room: count which, dup-ACK, drop. *)
                     if seq_lt seq s.rcv_nxt then t.rcvdup <- t.rcvdup + 1
-                    else if seq_gt seq s.rcv_nxt then t.rcvoo <- t.rcvoo + 1
                     else t.rcvfull <- t.rcvfull + 1;
                     send_ack t s
                   end
@@ -829,18 +1182,20 @@ let send t s ~buf ~pos ~len =
       match s.state with
       | Established | Close_wait ->
           let window = min s.cwnd s.snd_wnd in
-          if inflight s >= window || List.length s.rexmt_q > 64 then begin
+          if inflight s >= window || s.rexmt_q_len > rexmt_q_limit s then begin
             if s.nb then if sent > 0 then Ok sent else Result.Error Error.Wouldblock
             else begin
+              arm_persist t s;
               Sleep_record.sleep s.sleep;
               push sent
             end
           end
           else begin
-            let n = min mss (min (len - sent) (max 0 (window - inflight s))) in
+            let n = min s.smss (min (len - sent) (max 0 (window - inflight s))) in
             if n = 0 then begin
               if s.nb then if sent > 0 then Ok sent else Result.Error Error.Wouldblock
               else begin
+                arm_persist t s;
                 Sleep_record.sleep s.sleep;
                 push sent
               end
@@ -859,7 +1214,7 @@ let send t s ~buf ~pos ~len =
   push 0
 
 (* Blocking receive of at least one byte (0 = EOF). *)
-let recv _t s ~buf ~pos ~len =
+let recv t s ~buf ~pos ~len =
   let rec take taken =
     if taken >= len then taken
     else
@@ -881,6 +1236,14 @@ let recv _t s ~buf ~pos ~len =
   in
   let rec wait () =
     let n = take 0 in
+    (* Window update: if the app drained a window the peer saw as (near)
+       closed, tell it — 2.0 relied on the peer's probes alone, which is
+       exactly the deadlock the persist timer papers over.  Silent on
+       clean runs: adv_wnd only dips below an MSS when the receive queue
+       actually filled. *)
+    if n > 0 && s.state = Established && s.adv_wnd < s.smss
+       && rcv_window s >= 2 * s.smss
+    then send_ack t s;
     if n > 0 then Ok n
     else if s.peer_fin then Ok 0
     else
@@ -899,6 +1262,7 @@ let abort_orphan t c =
   if c.state <> Closed then begin
     List.iter (fun e -> Skbuff.skb_free e.rx_frame) c.rexmt_q;
     c.rexmt_q <- [];
+    c.rexmt_q_len <- 0;
     c.err <- Some Error.Connreset;
     c.state <- Closed;
     detach t c;
@@ -960,9 +1324,10 @@ let netstat t =
     \  %d ack predictions ok\n\
     \  %d data predictions ok\n\
     \  %d prediction fallbacks\n\
+    \  %d persist probes sent\n\
      arp:\n\
     \  %d waiters dropped (queue full)\n\
     \  %d resolutions abandoned (retries exhausted)\n"
     t.ipbadsum t.segs_out t.segs_in t.rexmits t.tcpbadsum t.rcvdup t.rcvoo
     t.rcvfull t.listen_overflow t.rexmt_give_ups t.predack t.preddat t.predfallback
-    t.arp_waiters_dropped t.arp_failures
+    t.persist_probes t.arp_waiters_dropped t.arp_failures

@@ -17,6 +17,10 @@ type config = {
   mutable tcp_fastpath_cycles : int;
   mutable pcb_hash : bool;
   mutable rx_batch : int;
+  mutable tcp_wscale : bool;
+  mutable tcp_autotune : bool;
+  mutable tcp_mss : int;
+  mutable tcp_sockbuf_max : int;
 }
 
 let defaults () =
@@ -37,7 +41,11 @@ let defaults () =
     tcp_fastpath = false;
     tcp_fastpath_cycles = 850;
     pcb_hash = false;
-    rx_batch = 1 }
+    rx_batch = 1;
+    tcp_wscale = false;
+    tcp_autotune = false;
+    tcp_mss = 1460;
+    tcp_sockbuf_max = 2 * 1024 * 1024 }
 
 let config = defaults ()
 
@@ -60,7 +68,11 @@ let reset_config () =
   config.tcp_fastpath <- d.tcp_fastpath;
   config.tcp_fastpath_cycles <- d.tcp_fastpath_cycles;
   config.pcb_hash <- d.pcb_hash;
-  config.rx_batch <- d.rx_batch
+  config.rx_batch <- d.rx_batch;
+  config.tcp_wscale <- d.tcp_wscale;
+  config.tcp_autotune <- d.tcp_autotune;
+  config.tcp_mss <- d.tcp_mss;
+  config.tcp_sockbuf_max <- d.tcp_sockbuf_max
 
 type counters = {
   mutable copies : int;

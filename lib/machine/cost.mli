@@ -74,6 +74,30 @@ type config = {
           single glue crossing.  [<= 1] reproduces today's
           frame-per-crossing behavior exactly; larger values amortize the
           crossing under load.  Default 1. *)
+  mutable tcp_wscale : bool;
+      (** RFC 1323 window scaling in both stacks: offer a wscale option on
+          SYN/SYN-ACK, and when both ends offer, interpret window fields
+          shifted by the negotiated scale, letting windows grow past the
+          16-bit 65535-byte ceiling that caps long-fat-pipe throughput.
+          Changes SYN wire bytes, so default [false] to keep the committed
+          Table 1/2 baselines bit-identical. *)
+  mutable tcp_autotune : bool;
+      (** BDP-driven socket-buffer autotuning: grow a connection's send and
+          receive buffers (doubling, capped at {!field:tcp_sockbuf_max})
+          whenever the window — not the application or the path — is what
+          is limiting transfer.  Only useful with
+          {!field:tcp_wscale}; default [false]. *)
+  mutable tcp_mss : int;
+      (** The local maximum segment size both stacks advertise and clamp
+          to; raise alongside {!Netif.t.if_mtu} for jumbo frames
+          (9000-byte MTU => 8960 MSS).  Default 1460 (1500-byte
+          Ethernet MTU minus 40 bytes of IP+TCP header). *)
+  mutable tcp_sockbuf_max : int;
+      (** Ceiling for autotuned socket buffers and the basis for the wscale
+          each stack requests ([scale] is the smallest shift making this
+          representable in a 16-bit window field).  Default 2 MB — covers
+          the 100 Mbit x 50 ms = 625 KB bandwidth-delay product of the
+          longfat bench's worst path with room for jumbo-frame rounding. *)
 }
 
 (** The live configuration; benches mutate it for ablations. *)

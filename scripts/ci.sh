@@ -12,7 +12,13 @@
 # and the rtt smoke (receive fast path: flags-on transfers stay
 # byte-exact under netem loss, the header-prediction run must strictly
 # reduce mean RTT with zero fallbacks on a clean in-order wire, and
-# batched RX must average more than one frame per poll under http load).
+# batched RX must average more than one frame per poll under http load),
+# and the longfat smoke (window scaling + NewReno + autotuning:
+# byte-exact under 1% loss at 10 ms RTT in both stacks, scaled windows
+# >= 5x the seed throughput at 50 ms, autotuned buffers >= 90% of manual
+# BDP sizing, and the persist probe fires in a forced zero-window run).
+# Finally, Table 1/2 are regenerated with every long-fat knob at its
+# default and must be bit-identical to the committed baselines.
 set -eux
 
 dune build
@@ -22,3 +28,7 @@ OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- chaos
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- sgsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- httpsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- rttsmoke
+OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- longfatsmoke
+dune exec bench/main.exe -- table1
+dune exec bench/main.exe -- table2
+git diff --exit-code BENCH_table1.json BENCH_table2.json

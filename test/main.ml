@@ -23,4 +23,5 @@ let () =
       "misc2", Test_misc2.suite;
       "advanced", Test_advanced.suite;
       "asyncio", Test_asyncio.suite;
-      "fastpath", Test_fastpath.suite ]
+      "fastpath", Test_fastpath.suite;
+      "longfat", Test_longfat.suite ]
