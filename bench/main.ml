@@ -19,6 +19,8 @@
      rttsmoke   receive fast-path CI gate (equivalence + strict RTT win)
      longfat    ttcp over RTT x loss grid, wscale/NewReno/autotune — long fat pipes
      longfatsmoke  long-fat-pipe CI gate (byte-exact, 5x, autotune, persist)
+     overload   SYN flood x alloc failure x Slowloris, legit-client goodput
+     overloadsmoke  overload-survival CI gate (goodput ratio, byte-exact soak)
 
    Network numbers come from the deterministic virtual-time simulation
    (they are not wall-clock); the allocator section uses Bechamel
@@ -902,6 +904,192 @@ let longfatsmoke () =
   print_endline
     "\nbyte-exact under loss; >=5x at 50ms; autotune >= 90% of manual; probes fire"
 
+(* ---------------- overload: survival under deliberate abuse ---------------- *)
+
+(* A 10x SYN flood (40 spoofed SYNs against a depth-4 backlog), an
+   allocation-failure soak, and a Slowloris mix — each with its defense
+   off and on.  The headline number is the goodput the LEGITIMATE
+   clients still see; the defenses are all Cost.config knobs that
+   default off, so the Table 1/2/rtt baselines are untouched. *)
+
+let overload_flood_syns = 40 (* 10x the listen backlog of 4 *)
+let overload_legit = 4
+let overload_bytes_per_client = 65536
+let overload_soak_bytes = 262144
+
+let overload_servers = [ Overloadbench.Sv_freebsd; Overloadbench.Sv_linux ]
+
+let overload_flood_matrix () =
+  List.concat_map
+    (fun server ->
+      List.concat_map
+        (fun defense ->
+          List.map
+            (fun flood ->
+              Overloadbench.flood_run ~server ~defense ~flood
+                ~legit:overload_legit ~bytes_per_client:overload_bytes_per_client
+                ())
+            [ 0; overload_flood_syns ])
+        [ false; true ])
+    overload_servers
+
+let overload_alloc_matrix () =
+  List.concat_map
+    (fun server ->
+      List.map
+        (fun (prob, seed) ->
+          Overloadbench.alloc_run ~server ~prob ~seed ~bytes:overload_soak_bytes ())
+        [ (0.0, 42); (0.001, 42); (0.01, 43) ])
+    overload_servers
+
+let overload_loris_matrix () =
+  List.map (fun guard -> Overloadbench.loris_run ~guard ~loris:8 ~legit:4 ()) [ false; true ]
+
+let overload () =
+  section_header "overload: SYN flood x alloc failure x Slowloris";
+  let floods = overload_flood_matrix () in
+  Printf.printf "%-8s %-8s %6s %12s %10s %8s %10s %9s\n" "server" "defense"
+    "flood" "legit-served" "goodput" "cache" "completed" "overflow";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %-8s %6d %8d/%-3d %7.1f Mb %8d %10d %9d\n"
+        (Overloadbench.server_name r.Overloadbench.fl_server)
+        (if r.Overloadbench.fl_defense then "on" else "off")
+        r.Overloadbench.fl_flood r.Overloadbench.fl_served
+        r.Overloadbench.fl_legit r.Overloadbench.fl_goodput_mbit
+        r.Overloadbench.fl_syncache_added r.Overloadbench.fl_completed
+        r.Overloadbench.fl_listen_overflow)
+    floods;
+  let allocs = overload_alloc_matrix () in
+  Printf.printf "\n%-8s %6s %10s %10s %8s %9s %6s\n" "server" "prob" "goodput"
+    "byte-exact" "draws" "failures" "drops";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %6.3f %7.1f Mb %10s %8d %9d %6d\n"
+        (Overloadbench.server_name r.Overloadbench.al_server)
+        r.Overloadbench.al_prob r.Overloadbench.al_goodput_mbit
+        (if r.Overloadbench.al_byte_exact then "yes" else "NO")
+        r.Overloadbench.al_draws r.Overloadbench.al_failures
+        r.Overloadbench.al_nomem_drops)
+    allocs;
+  let lorises = overload_loris_matrix () in
+  Printf.printf "\n%-6s %6s %13s %15s %5s %11s\n" "guard" "loris" "legit-served"
+    "deadline-cuts" "shed" "peak-active";
+  List.iter
+    (fun r ->
+      Printf.printf "%-6s %6d %9d/%-3d %15d %5d %11d\n"
+        (if r.Overloadbench.lo_guard then "on" else "off")
+        r.Overloadbench.lo_loris r.Overloadbench.lo_served
+        r.Overloadbench.lo_legit r.Overloadbench.lo_deadline_closed
+        r.Overloadbench.lo_shed r.Overloadbench.lo_peak_active)
+    lorises;
+  write_json "BENCH_overload.json" "rows"
+    [ json_str "bench" "overload"; json_int "flood_syns" overload_flood_syns;
+      json_int "legit_clients" overload_legit;
+      json_int "bytes_per_client" overload_bytes_per_client;
+      json_int "soak_bytes" overload_soak_bytes; json_str "unit" "Mbit/s" ]
+    (List.map
+       (fun r ->
+         json_obj
+           [ json_str "kind" "flood";
+             json_str "server" (Overloadbench.server_name r.Overloadbench.fl_server);
+             json_str "defense" (if r.Overloadbench.fl_defense then "on" else "off");
+             json_int "flood_syns" r.Overloadbench.fl_flood;
+             json_int "legit" r.Overloadbench.fl_legit;
+             json_int "served" r.Overloadbench.fl_served;
+             json_int "bytes" r.Overloadbench.fl_bytes;
+             json_float "goodput_mbit" r.Overloadbench.fl_goodput_mbit;
+             json_int "syncache_added" r.Overloadbench.fl_syncache_added;
+             json_int "handshakes_completed" r.Overloadbench.fl_completed;
+             json_int "listen_overflow" r.Overloadbench.fl_listen_overflow ])
+       floods
+    @ List.map
+        (fun r ->
+          json_obj
+            [ json_str "kind" "alloc";
+              json_str "server" (Overloadbench.server_name r.Overloadbench.al_server);
+              json_float "fail_prob" r.Overloadbench.al_prob;
+              json_int "bytes" r.Overloadbench.al_bytes;
+              json_str "byte_exact" (if r.Overloadbench.al_byte_exact then "yes" else "no");
+              json_float "goodput_mbit" r.Overloadbench.al_goodput_mbit;
+              json_int "draws" r.Overloadbench.al_draws;
+              json_int "failures" r.Overloadbench.al_failures;
+              json_int "nomem_drops" r.Overloadbench.al_nomem_drops ])
+        allocs
+    @ List.map
+        (fun r ->
+          json_obj
+            [ json_str "kind" "loris";
+              json_str "guard" (if r.Overloadbench.lo_guard then "on" else "off");
+              json_int "loris" r.Overloadbench.lo_loris;
+              json_int "legit" r.Overloadbench.lo_legit;
+              json_int "served" r.Overloadbench.lo_served;
+              json_int "deadline_closed" r.Overloadbench.lo_deadline_closed;
+              json_int "shed" r.Overloadbench.lo_shed;
+              json_int "peak_active" r.Overloadbench.lo_peak_active ])
+        lorises)
+
+(* ---------------- overloadsmoke: CI gate for overload survival ---------------- *)
+
+let overloadsmoke () =
+  section_header "overloadsmoke: overload-survival CI gate";
+  (* 1) with the defense on, a 10x SYN flood must leave every legitimate
+     client served and goodput within 70% of the clean run. *)
+  List.iter
+    (fun server ->
+      let name = Overloadbench.server_name server in
+      let clean =
+        Overloadbench.flood_run ~server ~defense:true ~flood:0
+          ~legit:overload_legit ~bytes_per_client:overload_bytes_per_client ()
+      in
+      let flooded =
+        Overloadbench.flood_run ~server ~defense:true ~flood:overload_flood_syns
+          ~legit:overload_legit ~bytes_per_client:overload_bytes_per_client ()
+      in
+      let ratio =
+        flooded.Overloadbench.fl_goodput_mbit /. clean.Overloadbench.fl_goodput_mbit
+      in
+      Printf.printf
+        "%s defended: clean %.1f Mb, flooded %.1f Mb (ratio %.2f), served %d/%d\n%!"
+        name clean.Overloadbench.fl_goodput_mbit flooded.Overloadbench.fl_goodput_mbit
+        ratio flooded.Overloadbench.fl_served flooded.Overloadbench.fl_legit;
+      if flooded.Overloadbench.fl_served < overload_legit then
+        failwith (Printf.sprintf "overloadsmoke: %s dropped a legit client under flood" name);
+      if ratio < 0.70 then
+        failwith (Printf.sprintf "overloadsmoke: %s flooded goodput under 70%% of clean" name);
+      if flooded.Overloadbench.fl_syncache_added < overload_flood_syns then
+        failwith (Printf.sprintf "overloadsmoke: %s syncache missed flood SYNs" name))
+    overload_servers;
+  (* 2) a 1% allocation-failure soak must finish byte-exact with the
+     injector demonstrably firing, and without a crash. *)
+  List.iter
+    (fun server ->
+      let r =
+        Overloadbench.alloc_run ~server ~prob:0.01 ~seed:43
+          ~bytes:overload_soak_bytes ()
+      in
+      Printf.printf "%s 1%% soak: byte-exact %s, %d failures, %d drops\n%!"
+        (Overloadbench.server_name r.Overloadbench.al_server)
+        (if r.Overloadbench.al_byte_exact then "yes" else "NO")
+        r.Overloadbench.al_failures r.Overloadbench.al_nomem_drops;
+      if not r.Overloadbench.al_byte_exact then
+        failwith "overloadsmoke: soak transfer not byte-exact";
+      if r.Overloadbench.al_failures = 0 then
+        failwith "overloadsmoke: soak injector never fired")
+    overload_servers;
+  (* 3) the guarded httpd reclaims Slowloris slots and serves the
+     late-arriving legitimate clients. *)
+  let r = Overloadbench.loris_run ~guard:true ~loris:8 ~legit:4 () in
+  Printf.printf "guarded httpd: served %d/%d, %d deadline cuts\n%!"
+    r.Overloadbench.lo_served r.Overloadbench.lo_legit
+    r.Overloadbench.lo_deadline_closed;
+  if r.Overloadbench.lo_served < r.Overloadbench.lo_legit then
+    failwith "overloadsmoke: guarded httpd dropped a legit client";
+  if r.Overloadbench.lo_deadline_closed = 0 then
+    failwith "overloadsmoke: header deadline never fired";
+  print_endline
+    "\nflood goodput >= 70% of clean; soak byte-exact; Slowloris slots reclaimed"
+
 (* ---------------- driver ---------------- *)
 
 let sections =
@@ -920,7 +1108,9 @@ let sections =
     "httpsmoke", httpsmoke;
     "rttsmoke", rttsmoke;
     "longfat", longfat;
-    "longfatsmoke", longfatsmoke ]
+    "longfatsmoke", longfatsmoke;
+    "overload", overload;
+    "overloadsmoke", overloadsmoke ]
 
 let () =
   let names =

@@ -70,8 +70,13 @@ let send_arp t ~op ~target_mac ~target_ip ~dst_mac =
 
 let arp_request t ip =
   t.requests_sent <- t.requests_sent + 1;
-  send_arp t ~op:op_request ~target_mac:"\000\000\000\000\000\000" ~target_ip:ip
-    ~dst_mac:Netif.ether_broadcast
+  (* A request lost to memory pressure is indistinguishable from one lost
+     on the wire: the backoff timer re-sends.  Must not raise — the retry
+     fires from a timer callback. *)
+  try
+    send_arp t ~op:op_request ~target_mac:"\000\000\000\000\000\000" ~target_ip:ip
+      ~dst_mac:Netif.ether_broadcast
+  with Memfault.Nomem -> ()
 
 let cancel_timer p =
   match p.timer with
@@ -127,7 +132,8 @@ let attach ifp machine =
     { ifp; machine; table = Hashtbl.create 16; requests_sent = 0;
       replies_sent = 0; waiters_dropped = 0; resolve_failures = 0 }
   in
-  Netif.set_proto_input ifp ~ethertype:Netif.ethertype_arp (fun m -> arp_input t m);
+  Netif.set_proto_input ifp ~ethertype:Netif.ethertype_arp
+    (fun m -> try arp_input t m with Memfault.Nomem -> ());
   t
 
 (* resolve: call [deliver mac] now if cached, else queue and broadcast.

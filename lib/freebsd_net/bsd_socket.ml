@@ -274,11 +274,20 @@ let netstat st =
   line "  %d ack predictions ok" tcp.Tcp.predack;
   line "  %d data predictions ok" tcp.Tcp.preddat;
   line "  %d prediction fallbacks" tcp.Tcp.predfallback;
+  line "  %d syncache entries added (%d evicted, %d completed)" tcp.Tcp.syncache_added
+    tcp.Tcp.syncache_evicted tcp.Tcp.syncache_completed;
+  line "  %d SYN cookies validated, %d rejected" tcp.Tcp.syncookies_validated
+    tcp.Tcp.syncookies_rejected;
+  line "  %d TIME_WAIT connections reclaimed" tcp.Tcp.time_wait_reclaimed;
+  line "  %d drops for want of memory" tcp.Tcp.nomem_drops;
+  line "  %d RSTs rate limited" tcp.Tcp.rst_ratelimited;
   line "udp:";
   line "  %d with bad checksum" udp.Udp.badsum;
   line "  %d dropped, no socket" udp.Udp.noport;
   line "  %d dropped, full socket buffer" udp.Udp.fulldrops;
   line "  %d port unreachables sent" udp.Udp.unreach_sent;
+  line "  %d port unreachables rate limited" udp.Udp.icmp_ratelimited;
+  line "  %d drops for want of memory" udp.Udp.nomem_drops;
   line "arp:";
   line "  %d requests sent" arp.Arp.requests_sent;
   line "  %d replies sent" arp.Arp.replies_sent;

@@ -37,6 +37,7 @@ type t = {
   mutable noroute : int;       (* output dropped: destination off-subnet *)
   mutable reass_expired : int; (* fragments freed past the 30 s lifetime *)
   mutable arp_drops : int;     (* packets freed when ARP gave up on them *)
+  mutable nomem_drops : int;   (* input datagrams dropped for want of an mbuf *)
 }
 
 let put32 = Arp.put32
@@ -208,7 +209,11 @@ let attach ifp arp machine =
   let t =
     { ifp; arp; machine; ip_id = 1; protos = []; reass = []; ipackets = 0; opackets = 0;
       ofragments = 0; reassembled = 0; badsum = 0; noroute = 0; reass_expired = 0;
-      arp_drops = 0 }
+      arp_drops = 0; nomem_drops = 0 }
   in
-  Netif.set_proto_input ifp ~ethertype:Netif.ethertype_ip (fun m -> input t m);
+  Netif.set_proto_input ifp ~ethertype:Netif.ethertype_ip
+    (fun m ->
+      (* The header pullup can fail under the allocation injector; count
+         the drop here so it never reaches the driver as an exception. *)
+      try input t m with Memfault.Nomem -> t.nomem_drops <- t.nomem_drops + 1);
   t

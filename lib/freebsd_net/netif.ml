@@ -20,12 +20,14 @@ type ifnet = {
   mutable if_protos : (int * (Mbuf.mbuf -> unit)) list; (* ethertype -> input *)
   mutable if_ipackets : int;
   mutable if_opackets : int;
+  mutable if_idrops : int; (* input frames dropped for want of an mbuf *)
 }
 
 let create ~name ~hwaddr =
   if String.length hwaddr <> 6 then invalid_arg "Netif.create: hwaddr";
   { if_name = name; if_hwaddr = hwaddr; if_addr = 0l; if_mask = 0l; if_mtu = 1500;
-    if_xmit = (fun _ -> ()); if_protos = []; if_ipackets = 0; if_opackets = 0 }
+    if_xmit = (fun _ -> ()); if_protos = []; if_ipackets = 0; if_opackets = 0;
+    if_idrops = 0 }
 
 let set_proto_input ifp ~ethertype handler =
   ifp.if_protos <- (ethertype, handler) :: List.remove_assoc ethertype ifp.if_protos
@@ -50,7 +52,7 @@ let ether_output ifp m ~dst_mac ~ethertype =
 
 (* ether_input: m is the full frame.  Consumes the chain: protocol inputs
    take ownership, drops retire it. *)
-let ether_input ifp m =
+let ether_input_frame ifp m =
   if Mbuf.m_length m < eth_hlen then Mbuf.m_freem m (* runt frame *)
   else begin
     ifp.if_ipackets <- ifp.if_ipackets + 1;
@@ -62,3 +64,12 @@ let ether_input ifp m =
     | Some input -> input m
     | None -> Mbuf.m_freem m (* unknown protocol: dropped, as in the donor *)
   end
+
+(* This is the one receive entry for both the mbuf-native attachment and
+   the COM glue, i.e. interrupt level: an allocation failure anywhere on
+   the input path that nobody above converted must become a counted frame
+   drop here, never an exception into the driver.  The chain is left to
+   the GC — a pullup may already have consumed part of it. *)
+let ether_input ifp m =
+  try ether_input_frame ifp m
+  with Memfault.Nomem -> ifp.if_idrops <- ifp.if_idrops + 1

@@ -22,7 +22,20 @@ let sbappend_bytes sb ~src ~src_pos ~len =
       sb.sb_mb <- Some head);
   sb.sb_cc <- sb.sb_cc + len
 
-(* Append an mbuf chain without copying. *)
+(* sbappend_bytes degraded for memory pressure: when the allocation-
+   failure injector stops m_append mid-chain, account for whatever
+   actually landed and report it, instead of leaving sb_cc short of the
+   chain (which would corrupt the stream).  Returns bytes taken. *)
+let sbappend_bytes_nomem sb ~src ~src_pos ~len =
+  try
+    sbappend_bytes sb ~src ~src_pos ~len;
+    len
+  with Memfault.Nomem ->
+    let have = match sb.sb_mb with Some h -> Mbuf.m_length h | None -> 0 in
+    let taken = have - sb.sb_cc in
+    (match sb.sb_mb with Some h -> h.Mbuf.m_pkthdr_len <- have | None -> ());
+    sb.sb_cc <- have;
+    taken
 let sbappend_chain sb m =
   let len = Mbuf.m_length m in
   (match sb.sb_mb with

@@ -87,6 +87,27 @@ type stats = {
   mutable predack : int;  (* header prediction: pure/piggyback ACK hits *)
   mutable preddat : int;  (* header prediction: in-order data hits *)
   mutable predfallback : int; (* established-state segments that missed *)
+  mutable syncache_added : int;       (* half-open handshakes cached *)
+  mutable syncache_evicted : int;     (* entries dropped oldest-first *)
+  mutable syncache_completed : int;   (* handshakes finished from the cache *)
+  mutable syncookies_validated : int; (* finished statelessly from the cookie *)
+  mutable syncookies_rejected : int;  (* completing ACKs matching neither *)
+  mutable time_wait_reclaimed : int;  (* TIME_WAIT reclaimed early (cap/pressure) *)
+  mutable nomem_drops : int;          (* segments dropped for want of an mbuf *)
+  mutable rst_ratelimited : int;      (* error RSTs suppressed by the token bucket *)
+}
+
+(* A syncache entry (Cost.config.syn_defense): the compact half-open
+   handshake record a listener keeps instead of a full child pcb — a few
+   words against the pcb's two socket buffers, so a SYN flood pins
+   trivial memory and embryonic connections stop counting against the
+   accept backlog. *)
+type sc_entry = {
+  sc_raddr : int32;
+  sc_rport : int;
+  sc_irs : int; (* the SYN's sequence number *)
+  sc_iss : int; (* the cookie we answered with *)
+  sc_mss : int; (* peer's clamped MSS offer *)
 }
 
 type tcpcb = {
@@ -149,6 +170,7 @@ type tcpcb = {
   accept_q : tcpcb Queue.t;
   mutable backlog : int;
   mutable listen_parent : tcpcb option;
+  mutable syn_cache : sc_entry list; (* newest first; listeners only *)
   (* socket-layer callbacks *)
   mutable on_readable : unit -> unit;
   mutable on_writable : unit -> unit;
@@ -169,6 +191,14 @@ and t = {
   mutable next_ephemeral : int;
   mutable iss_source : int;
   mutable ticking : bool;
+  (* TIME_WAIT pcbs oldest-first, for the tw_max cap and memory-pressure
+     reclaim.  Maintained unconditionally (pure bookkeeping, no cycle
+     charges) so the knob can flip mid-run. *)
+  mutable tw_list : tcpcb list;
+  cookie_secret : int;
+  (* token bucket for error responses (Cost.config.icmp_ratelimit) *)
+  mutable err_tokens : float;
+  mutable err_tok_ts : int;
   stats : stats;
 }
 
@@ -189,7 +219,7 @@ let create_pcb t =
     tm_rexmt = 0; tm_persist = 0; tm_2msl = 0; t_rtt = 0; t_rtseq = 0; t_srtt = 0;
     t_rttvar = 24; t_rxtcur = 2; t_rxtshift = 0; ack_now = false; delack_pending = false;
     t_dupacks = 0; rxclump_ts = 0; rxclump_bytes = 0;
-    accept_q = Queue.create (); backlog = 0; listen_parent = None;
+    accept_q = Queue.create (); backlog = 0; listen_parent = None; syn_cache = [];
     on_readable = (fun () -> ()); on_writable = (fun () -> ());
     on_state = (fun () -> ()); so_error = None }
 
@@ -219,6 +249,7 @@ let register t pcb =
 
 let detach t pcb =
   t.pcbs <- List.filter (fun x -> x != pcb) t.pcbs;
+  if t.tw_list <> [] then t.tw_list <- List.filter (fun x -> x != pcb) t.tw_list;
   (match Hashtbl.find_opt t.pcb_hash (hash_key pcb) with
   | Some p when p == pcb -> Hashtbl.remove t.pcb_hash (hash_key pcb)
   | _ -> ());
@@ -234,6 +265,94 @@ let alloc_port t =
   let p = pick t.next_ephemeral in
   t.next_ephemeral <- p + 1;
   p
+
+(* ------------------------------------------------------------------ *)
+(* SYN cookies (Cost.config.syn_defense)                               *)
+
+(* With the defense on, the ISS a listener answers with is always
+   decodable: bits 1..0 index the MSS class table, bits 31..2 hash the
+   4-tuple with a per-stack secret.  When the syncache has evicted (or
+   never held) the half-open entry, the completing ACK alone — which
+   echoes ISS+1 — carries enough to rebuild the connection. *)
+
+let cookie_mss_classes = [| 536; 1160; 1460; 8960 |]
+
+let cookie_mss_class mss =
+  let rec go i best =
+    if i >= Array.length cookie_mss_classes then best
+    else if cookie_mss_classes.(i) <= mss then go (i + 1) i
+    else best
+  in
+  go 1 0
+
+let cookie_hash t ~raddr ~rport ~lport =
+  let mix h k =
+    let h = h lxor (m32 (k * 0x9e3779b1)) in
+    let h = m32 ((h lxor (h lsr 15)) * 0x85ebca6b) in
+    h lxor (h lsr 13)
+  in
+  let h = mix (t.cookie_secret land 0xffffffff) (Int32.to_int raddr land 0xffffffff) in
+  let h = mix h rport in
+  let h = mix h lport in
+  h land 0x3fffffff
+
+let syn_cookie t ~raddr ~rport ~lport ~mss =
+  m32 ((cookie_hash t ~raddr ~rport ~lport lsl 2) lor cookie_mss_class mss)
+
+(* The completing ACK acknowledges ISS+1.  Returns the MSS class the
+   cookie recorded iff the hash checks out. *)
+let check_cookie t ~raddr ~rport ~lport ~iss =
+  if (iss lsr 2) land 0x3fffffff = cookie_hash t ~raddr ~rport ~lport then
+    Some cookie_mss_classes.(iss land 3)
+  else None
+
+(* Memory pressure: give back the coldest protocol state first — every
+   TIME_WAIT pcb (losing the 2xMSL guard under overload is the documented
+   BSD tradeoff) and every cached half-open handshake (the cookie can
+   still complete those statelessly). *)
+let tcp_reclaim t =
+  let tw = t.tw_list in
+  t.tw_list <- [];
+  List.iter
+    (fun pcb ->
+      if pcb.t_state = Time_wait then begin
+        pcb.t_state <- Closed;
+        pcb.tm_2msl <- 0;
+        t.stats.time_wait_reclaimed <- t.stats.time_wait_reclaimed + 1;
+        detach t pcb;
+        pcb.on_state ()
+      end)
+    tw;
+  List.iter
+    (fun pcb ->
+      if pcb.syn_cache <> [] then begin
+        t.stats.syncache_evicted <- t.stats.syncache_evicted + List.length pcb.syn_cache;
+        pcb.syn_cache <- []
+      end)
+    t.pcbs
+
+(* Token bucket on generated error responses (the RST answering a segment
+   no connection claims): depth and rate are Cost.config.icmp_ratelimit
+   per second; 0 = unlimited, the donor behavior. *)
+let err_allowed t =
+  let rate = Cost.config.icmp_ratelimit in
+  if rate = 0 then true
+  else begin
+    let now = Machine.now t.machine in
+    let elapsed = now - t.err_tok_ts in
+    t.err_tok_ts <- now;
+    t.err_tokens <-
+      Float.min (float_of_int rate)
+        (t.err_tokens +. (float_of_int rate *. float_of_int elapsed /. 1e9));
+    if t.err_tokens >= 1.0 then begin
+      t.err_tokens <- t.err_tokens -. 1.0;
+      true
+    end
+    else begin
+      t.stats.rst_ratelimited <- t.stats.rst_ratelimited + 1;
+      false
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* timers: armed while any pcb exists, quiesce when none               *)
@@ -266,6 +385,15 @@ let rec ensure_timers t =
 (* segment emission                                                    *)
 
 and emit_segment t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt ~wscale =
+  (* ENOBUFS on transmit behaves like a lost wire frame: count it, shed
+     cold state, and let retransmission recover — an allocation failure
+     on a timer or input path must never become an uncaught exception. *)
+  try emit_segment_nomem t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt ~wscale
+  with Memfault.Nomem ->
+    t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+    tcp_reclaim t
+
+and emit_segment_nomem t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt ~wscale =
   let ws_len = match wscale with Some _ -> 4 | None -> 0 in
   let opt_len = (if mss_opt then 4 else 0) + ws_len in
   let hlen = tcp_hlen + opt_len in
@@ -320,6 +448,12 @@ and emit_segment t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt ~wscale =
   Ip.output t.ip ~proto:Ip.proto_tcp ~src:pcb.laddr ~dst:pcb.raddr m
 
 and send_rst t ~src ~dst ~sport ~dport ~seq ~ack ~had_ack =
+  try send_rst_nomem t ~src ~dst ~sport ~dport ~seq ~ack ~had_ack
+  with Memfault.Nomem ->
+    t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+    tcp_reclaim t
+
+and send_rst_nomem t ~src ~dst ~sport ~dport ~seq ~ack ~had_ack =
   let m = Mbuf.m_gethdr () in
   ignore (Mbuf.m_put m tcp_hlen);
   let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
@@ -339,6 +473,41 @@ and send_rst t ~src ~dst ~sport ~dport ~seq ~ack ~had_ack =
   in
   Bytes.set_uint16_be d (o + 16) (if sum = 0 then 0xffff else sum);
   Ip.output t.ip ~proto:Ip.proto_tcp ~src:dst ~dst:src m
+
+(* A SYN-ACK on a listener's behalf with no child pcb behind it — the
+   syncache/cookie path.  Crafted raw like send_rst, plus the MSS option.
+   No wscale is ever offered here: a cookie cannot carry the negotiation,
+   so defended passive connections stay unscaled (the real syncookie
+   limitation). *)
+and send_synack_raw t ~laddr ~lport ~raddr ~rport ~iss ~irs ~mss =
+  try
+    let hlen = tcp_hlen + 4 in
+    let m = Mbuf.m_gethdr () in
+    ignore (Mbuf.m_put m hlen);
+    let d = m.Mbuf.m_data and o = m.Mbuf.m_off in
+    Bytes.set_uint16_be d o lport;
+    Bytes.set_uint16_be d (o + 2) rport;
+    Bytes.set_int32_be d (o + 4) (Int32.of_int (m32 iss));
+    Bytes.set_int32_be d (o + 8) (Int32.of_int (m32 (irs + 1)));
+    Bytes.set d (o + 12) (Char.chr ((hlen / 4) lsl 4));
+    Bytes.set d (o + 13) (Char.chr (th_syn lor th_ack));
+    Bytes.set_uint16_be d (o + 14) (min default_sb_size max_win);
+    Bytes.set_uint16_be d (o + 16) 0;
+    Bytes.set_uint16_be d (o + 18) 0;
+    Bytes.set d (o + 20) '\002';
+    Bytes.set d (o + 21) '\004';
+    Bytes.set_uint16_be d (o + 22) mss;
+    let sum =
+      In_cksum.cksum_chain m ~off:0 ~len:hlen
+        ~init:(In_cksum.pseudo_header ~src:laddr ~dst:raddr ~proto:Ip.proto_tcp ~len:hlen)
+    in
+    Bytes.set_uint16_be d (o + 16) (if sum = 0 then 0xffff else sum);
+    Cost.charge_cycles Cost.config.bsd_tcp_pkt_cycles;
+    t.stats.sndpack <- t.stats.sndpack + 1;
+    Ip.output t.ip ~proto:Ip.proto_tcp ~src:laddr ~dst:raddr m
+  with Memfault.Nomem ->
+    t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+    tcp_reclaim t
 
 (* ------------------------------------------------------------------ *)
 (* tcp_output                                                          *)
@@ -371,28 +540,43 @@ and tcp_output t pcb =
       lor (if send_fin then th_fin else 0)
       lor if len > 0 && all_data_sent then th_push else 0
     in
-    let payload = if len > 0 then Some (Sockbuf.copy_range pcb.snd_buf ~off ~len) else None in
-    let wnd = rcv_window pcb in
-    emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags ~win:wnd ~payload
-      ~mss_opt:false ~wscale:None;
-    if seq_gt (m32 (pcb.rcv_nxt + wnd)) pcb.rcv_adv then pcb.rcv_adv <- m32 (pcb.rcv_nxt + wnd);
-    pcb.ack_now <- false;
-    pcb.delack_pending <- false;
-    if len > 0 || send_fin then begin
-      (* Karn's rule: only time a transmission of *new* data.  After a
-         retransmit snd_nxt trails snd_max; starting the clock there would
-         let an ACK of the original transmission feed update_rtt an
-         ambiguous (far too short) sample. *)
-      if pcb.t_rtt = 0 && len > 0 && seq_geq pcb.snd_nxt pcb.snd_max then begin
-        pcb.t_rtt <- 1;
-        pcb.t_rtseq <- pcb.snd_nxt
+    let payload_ok, payload =
+      if len > 0 then
+        match Sockbuf.copy_range pcb.snd_buf ~off ~len with
+        | p -> true, Some p
+        | exception Memfault.Nomem ->
+            (* No mbufs to clone the send window into: skip this round
+               with the retransmit timer armed as the retry, and shed
+               cold state so the retry finds room. *)
+            t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+            tcp_reclaim t;
+            if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur;
+            false, None
+      else true, None
+    in
+    if payload_ok then begin
+      let wnd = rcv_window pcb in
+      emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags ~win:wnd ~payload
+        ~mss_opt:false ~wscale:None;
+      if seq_gt (m32 (pcb.rcv_nxt + wnd)) pcb.rcv_adv then pcb.rcv_adv <- m32 (pcb.rcv_nxt + wnd);
+      pcb.ack_now <- false;
+      pcb.delack_pending <- false;
+      if len > 0 || send_fin then begin
+        (* Karn's rule: only time a transmission of *new* data.  After a
+           retransmit snd_nxt trails snd_max; starting the clock there would
+           let an ACK of the original transmission feed update_rtt an
+           ambiguous (far too short) sample. *)
+        if pcb.t_rtt = 0 && len > 0 && seq_geq pcb.snd_nxt pcb.snd_max then begin
+          pcb.t_rtt <- 1;
+          pcb.t_rtseq <- pcb.snd_nxt
+        end;
+        pcb.snd_nxt <- m32 (pcb.snd_nxt + len + if send_fin then 1 else 0);
+        if send_fin then pcb.fin_sent <- true;
+        if seq_gt pcb.snd_nxt pcb.snd_max then pcb.snd_max <- pcb.snd_nxt;
+        if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur
       end;
-      pcb.snd_nxt <- m32 (pcb.snd_nxt + len + if send_fin then 1 else 0);
-      if send_fin then pcb.fin_sent <- true;
-      if seq_gt pcb.snd_nxt pcb.snd_max then pcb.snd_max <- pcb.snd_nxt;
-      if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur
-    end;
-    if len > 0 && not all_data_sent then tcp_output t pcb
+      if len > 0 && not all_data_sent then tcp_output t pcb
+    end
   end
   else if
     sendable_state && pending > 0 && win <= off && pcb.tm_persist = 0 && pcb.tm_rexmt = 0
@@ -454,11 +638,16 @@ and rexmt_timeout t pcb =
 
 and persist_timeout t pcb =
   let off = seq_diff pcb.snd_nxt pcb.snd_una in
-  if pcb.snd_buf.Sockbuf.sb_cc > off then begin
-    let payload = Sockbuf.copy_range pcb.snd_buf ~off ~len:1 in
-    emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:th_ack ~win:(rcv_window pcb)
-      ~payload:(Some payload) ~mss_opt:false ~wscale:None
-  end;
+  (try
+     if pcb.snd_buf.Sockbuf.sb_cc > off then begin
+       let payload = Sockbuf.copy_range pcb.snd_buf ~off ~len:1 in
+       emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:th_ack ~win:(rcv_window pcb)
+         ~payload:(Some payload) ~mss_opt:false ~wscale:None
+     end
+   with Memfault.Nomem ->
+     (* The probe is skipped; the persist timer re-arms below anyway. *)
+     t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+     tcp_reclaim t);
   pcb.tm_persist <- min 128 (max 2 (pcb.t_rxtcur * 2))
 
 and slow_tick t =
@@ -583,6 +772,60 @@ let listen_q_len t pcb =
            && match p.listen_parent with Some x -> x == pcb | None -> false)
          t.pcbs)
 
+(* Enter TIME_WAIT, maintaining the oldest-first list; with tw_max set,
+   a connection-churn storm reclaims the oldest immediately instead of
+   pinning 2xMSL of pcbs. *)
+let enter_time_wait t pcb =
+  pcb.t_state <- Time_wait;
+  pcb.tm_2msl <- 2 * msl_ticks;
+  t.tw_list <- t.tw_list @ [ pcb ];
+  let cap = Cost.config.tw_max in
+  if cap > 0 then begin
+    let live = List.filter (fun p -> p.t_state = Time_wait) t.tw_list in
+    t.tw_list <- live;
+    let excess = List.length live - cap in
+    if excess > 0 then
+      List.iteri
+        (fun i victim ->
+          if i < excess then begin
+            victim.t_state <- Closed;
+            victim.tm_2msl <- 0;
+            t.stats.time_wait_reclaimed <- t.stats.time_wait_reclaimed + 1;
+            detach t victim;
+            victim.on_state ()
+          end)
+        live
+  end
+
+(* Cache (or re-answer) a half-open handshake without creating a child
+   pcb.  Over capacity the oldest entry is evicted — not killed: the
+   cookie in its SYN-ACK still completes it statelessly. *)
+let syncache_add t pcb ~src ~sport ~seq ~mss =
+  let mss' = match mss with Some v -> min Cost.config.tcp_mss v | None -> default_mss in
+  match
+    List.find_opt
+      (fun e -> e.sc_rport = sport && Int32.equal e.sc_raddr src)
+      pcb.syn_cache
+  with
+  | Some e ->
+      (* Retransmitted SYN: answer again from the cached entry. *)
+      send_synack_raw t ~laddr:pcb.laddr ~lport:pcb.lport ~raddr:src ~rport:sport
+        ~iss:e.sc_iss ~irs:e.sc_irs ~mss:e.sc_mss
+  | None ->
+      let iss = syn_cookie t ~raddr:src ~rport:sport ~lport:pcb.lport ~mss:mss' in
+      let e = { sc_raddr = src; sc_rport = sport; sc_irs = seq; sc_iss = iss; sc_mss = mss' } in
+      t.stats.syncache_added <- t.stats.syncache_added + 1;
+      let cache = e :: pcb.syn_cache in
+      let cap = max 1 Cost.config.syncache_size in
+      let n = List.length cache in
+      if n > cap then begin
+        t.stats.syncache_evicted <- t.stats.syncache_evicted + (n - cap);
+        pcb.syn_cache <- List.filteri (fun i _ -> i < cap) cache
+      end
+      else pcb.syn_cache <- cache;
+      send_synack_raw t ~laddr:pcb.laddr ~lport:pcb.lport ~raddr:src ~rport:sport ~iss
+        ~irs:seq ~mss:mss'
+
 let enter_established t pcb =
   match pcb.listen_parent with
   | Some parent when parent.t_state <> Listen ->
@@ -696,11 +939,23 @@ let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~wscale ~da
   match pcb.t_state with
   | Closed -> false
   | Listen ->
-      (if flags land th_rst <> 0 then ()
-      else if flags land th_ack <> 0 then
-        send_rst t ~src ~dst:pcb.laddr ~sport ~dport:pcb.lport ~seq ~ack ~had_ack:true
+      if flags land th_rst <> 0 then false
+      else if flags land th_ack <> 0 then begin
+        if Cost.config.syn_defense && flags land th_syn = 0 then
+          (* The third packet of a defended handshake: no child pcb exists
+             yet — complete from the syncache, or from the cookie. *)
+          syncache_expand t pcb ~src ~sport ~seq ~ack ~flags ~win ~data
+        else begin
+          if err_allowed t then
+            send_rst t ~src ~dst:pcb.laddr ~sport ~dport:pcb.lport ~seq ~ack ~had_ack:true;
+          false
+        end
+      end
       else if flags land th_syn <> 0 then begin
-        if listen_q_len t pcb >= max 1 pcb.backlog then
+        (if Cost.config.syn_defense then
+           (* Embryonic state lives in the syncache, off the backlog. *)
+           syncache_add t pcb ~src ~sport ~seq ~mss
+         else if listen_q_len t pcb >= max 1 pcb.backlog then
           (* Queue overflow: drop the SYN on the floor (the peer will
              retransmit it) and count the drop. *)
           t.stats.listen_overflow <- t.stats.listen_overflow + 1
@@ -725,9 +980,10 @@ let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~wscale ~da
           register t conn;
           ensure_timers t;
           send_syn t conn ~with_ack:true
-        end
-      end);
-      false
+        end);
+        false
+      end
+      else false
   | Syn_sent ->
       let ack_ok =
         flags land th_ack <> 0 && seq_gt ack pcb.iss && seq_leq ack pcb.snd_max
@@ -871,8 +1127,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
               end
           | Closing ->
               if fin_acked then begin
-                pcb.t_state <- Time_wait;
-                pcb.tm_2msl <- 2 * msl_ticks;
+                enter_time_wait t pcb;
                 pcb.on_state ()
               end
           | Last_ack ->
@@ -944,8 +1199,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
               pcb.t_state <- Closing;
               pcb.on_state ()
           | Fin_wait_2 ->
-              pcb.t_state <- Time_wait;
-              pcb.tm_2msl <- 2 * msl_ticks;
+              enter_time_wait t pcb;
               pcb.on_state ()
           | Time_wait -> pcb.tm_2msl <- 2 * msl_ticks
           | Close_wait | Closing | Last_ack | Closed | Listen | Syn_sent -> ()
@@ -956,6 +1210,67 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
     end
   end);
   !stored
+
+(* The completing ACK of a defended handshake, arriving at the listener
+   because no child pcb exists yet.  Restore the handshake from the
+   syncache entry, or — if it was evicted — from the cookie the ACK
+   echoes, then build the child and run this very segment through the
+   normal machine so any data or FIN it carries is processed.  Returns
+   true when [data] was stored. *)
+and syncache_expand t pcb ~src ~sport ~seq ~ack ~flags ~win ~data =
+  let entry =
+    List.find_opt
+      (fun e -> e.sc_rport = sport && Int32.equal e.sc_raddr src)
+      pcb.syn_cache
+  in
+  let params =
+    match entry with
+    | Some e when ack = m32 (e.sc_iss + 1) && seq = m32 (e.sc_irs + 1) ->
+        pcb.syn_cache <- List.filter (fun x -> x != e) pcb.syn_cache;
+        t.stats.syncache_completed <- t.stats.syncache_completed + 1;
+        Some (e.sc_iss, e.sc_irs, e.sc_mss)
+    | Some _ -> None (* cached, but the numbers don't line up: bogus *)
+    | None -> (
+        match check_cookie t ~raddr:src ~rport:sport ~lport:pcb.lport ~iss:(m32 (ack - 1)) with
+        | Some mss ->
+            t.stats.syncookies_validated <- t.stats.syncookies_validated + 1;
+            Some (m32 (ack - 1), m32 (seq - 1), mss)
+        | None -> None)
+  in
+  match params with
+  | None ->
+      t.stats.syncookies_rejected <- t.stats.syncookies_rejected + 1;
+      if err_allowed t then
+        send_rst t ~src ~dst:pcb.laddr ~sport ~dport:pcb.lport ~seq ~ack ~had_ack:true;
+      false
+  | Some (iss, irs, mss) ->
+      if Queue.length pcb.accept_q >= max 1 pcb.backlog then begin
+        (* Accept queue full: drop the ACK, not the handshake — the peer
+           retransmits, and the cookie completes it once the queue
+           drains. *)
+        t.stats.listen_overflow <- t.stats.listen_overflow + 1;
+        false
+      end
+      else begin
+        let conn = create_pcb t in
+        conn.laddr <- pcb.laddr;
+        conn.lport <- pcb.lport;
+        conn.raddr <- src;
+        conn.rport <- sport;
+        conn.listen_parent <- Some pcb;
+        conn.t_maxseg <- min Cost.config.tcp_mss mss;
+        conn.irs <- irs;
+        conn.rcv_nxt <- m32 (irs + 1);
+        conn.rcv_adv <- m32 (conn.rcv_nxt + rcv_window conn);
+        conn.iss <- iss;
+        conn.snd_una <- iss;
+        conn.snd_nxt <- m32 (iss + 1);
+        conn.snd_max <- m32 (iss + 1);
+        conn.t_state <- Syn_received;
+        register t conn;
+        ensure_timers t;
+        segment_arrives t conn ~src ~sport ~seq ~ack ~flags ~win ~mss:None ~wscale:None ~data
+      end
 
 (* ------------------------------------------------------------------ *)
 (* header prediction (Cost.config.tcp_fastpath)                        *)
@@ -1016,7 +1331,17 @@ let fastpath_input t pcb ~seq ~ack ~win ~data ~dlen =
   tcp_output t pcb;
   stored
 
-let input t ~src ~dst m =
+let rec input t ~src ~dst m =
+  try input_segment t ~src ~dst m
+  with Memfault.Nomem ->
+    (* The only unguarded allocation on the input path is the header
+       pullup, which fails before the chain is touched: drop the segment
+       whole, as if the wire had lost it. *)
+    t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+    tcp_reclaim t;
+    Mbuf.m_freem m
+
+and input_segment t ~src ~dst m =
   let fast = Cost.config.tcp_fastpath in
   Cost.charge_cycles
     (if fast then Cost.config.tcp_fastpath_cycles else Cost.config.bsd_tcp_pkt_cycles);
@@ -1076,7 +1401,7 @@ let input t ~src ~dst m =
       match find_pcb t ~src ~sport ~dport with
       | None ->
           slowpath ();
-          if flags land th_rst = 0 then begin
+          if flags land th_rst = 0 && err_allowed t then begin
             (* SYN and FIN occupy sequence space: the RST must acknowledge
                them or the peer will ignore it. *)
             let seg_len =
@@ -1127,12 +1452,16 @@ let attach ip machine =
   let t =
     { ip; machine; pcbs = []; pcb_hash = Hashtbl.create 64; last_pcb = None;
       next_ephemeral = 1024; iss_source = 1;
-      ticking = false;
+      ticking = false; tw_list = []; cookie_secret = 0x6b8b4567;
+      err_tokens = float_of_int Cost.config.icmp_ratelimit; err_tok_ts = 0;
       stats =
         { sndpack = 0; sndrexmitpack = 0; rcvpack = 0; rcvdup = 0; rcvoo = 0;
           rcvbadsum = 0; rcvshort = 0; rcvafterwin = 0; delack = 0; fastrexmit = 0;
           drops = 0; accepts = 0; connects = 0; listen_overflow = 0;
-          predack = 0; preddat = 0; predfallback = 0 } }
+          predack = 0; preddat = 0; predfallback = 0;
+          syncache_added = 0; syncache_evicted = 0; syncache_completed = 0;
+          syncookies_validated = 0; syncookies_rejected = 0;
+          time_wait_reclaimed = 0; nomem_drops = 0; rst_ratelimited = 0 } }
   in
   Ip.set_proto ip ~proto:Ip.proto_tcp (fun ~src ~dst m -> input t ~src ~dst m);
   t
@@ -1189,10 +1518,19 @@ let usr_send t pcb ~src ~src_pos ~len =
       end;
       let n = min len (Sockbuf.space pcb.snd_buf) in
       if n > 0 then begin
-        Sockbuf.sbappend_bytes pcb.snd_buf ~src ~src_pos ~len:n;
-        tcp_output t pcb
-      end;
-      Ok n
+        let taken = Sockbuf.sbappend_bytes_nomem pcb.snd_buf ~src ~src_pos ~len:n in
+        if taken < n then begin
+          (* ENOBUFS backpressure: shed cold state, and kick the writer
+             again shortly — with nothing in flight no ACK would ever
+             arrive to unblock a sleeping sender. *)
+          t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+          tcp_reclaim t;
+          ignore (Machine.after t.machine 10_000_000 (fun () -> pcb.on_writable ()))
+        end;
+        if taken > 0 then tcp_output t pcb;
+        Ok taken
+      end
+      else Ok n
   | Closed | Listen -> Result.Error Error.Notconn
   | Syn_sent | Syn_received -> Ok 0 (* not yet connected: caller blocks *)
   | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait -> Result.Error Error.Pipe
@@ -1234,6 +1572,13 @@ let usr_close t pcb =
          still shaking hands, so neither side leaks a connection (the PR-2
          ARP on_drop discipline — fail waiters, don't strand them). *)
       pcb.t_state <- Closed;
+      (* Half-open state cached for this listener dies with it: entries
+         hold no segments, so dropping the list frees everything (the
+         late-arriving ACK of a freed entry gets the no-listener RST). *)
+      if pcb.syn_cache <> [] then begin
+        t.stats.syncache_evicted <- t.stats.syncache_evicted + List.length pcb.syn_cache;
+        pcb.syn_cache <- []
+      end;
       Queue.iter (fun conn -> if conn.t_state <> Closed then usr_abort t conn) pcb.accept_q;
       Queue.clear pcb.accept_q;
       List.iter

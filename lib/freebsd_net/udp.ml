@@ -26,6 +26,11 @@ type t = {
   mutable noport : int;    (* datagrams with no listening pcb *)
   mutable fulldrops : int; (* datagrams dropped at a full socket buffer *)
   mutable unreach_sent : int; (* demux misses answered with ICMP port unreachable *)
+  mutable icmp_ratelimited : int; (* unreachables suppressed by the token bucket *)
+  mutable nomem_drops : int; (* datagrams dropped for want of an mbuf *)
+  (* token bucket for ICMP errors (Cost.config.icmp_ratelimit) *)
+  mutable icmp_tokens : float;
+  mutable icmp_tok_ts : int;
 }
 
 let hash_key p = (p.raddr, p.rport, p.lport)
@@ -37,10 +42,35 @@ let hash_remove t p =
   | Some x when x == p -> Hashtbl.remove t.pcb_hash (hash_key p)
   | _ -> ()
 
+(* A UDP scan must not become an amplification/CPU sink: ICMP errors pass
+   a token bucket refilled at Cost.config.icmp_ratelimit per second
+   (depth = rate; 0 = unlimited, the donor behavior). *)
+let icmp_allowed t =
+  let rate = Cost.config.icmp_ratelimit in
+  if rate = 0 then true
+  else begin
+    let now = Machine.now t.ip.Ip.machine in
+    let elapsed = now - t.icmp_tok_ts in
+    t.icmp_tok_ts <- now;
+    t.icmp_tokens <-
+      Float.min (float_of_int rate)
+        (t.icmp_tokens +. (float_of_int rate *. float_of_int elapsed /. 1e9));
+    if t.icmp_tokens >= 1.0 then begin
+      t.icmp_tokens <- t.icmp_tokens -. 1.0;
+      true
+    end
+    else begin
+      t.icmp_ratelimited <- t.icmp_ratelimited + 1;
+      false
+    end
+  end
+
 let attach ip =
   let t =
     { ip; pcbs = []; pcb_hash = Hashtbl.create 16; next_ephemeral = 49152;
-      badsum = 0; noport = 0; fulldrops = 0; unreach_sent = 0 }
+      badsum = 0; noport = 0; fulldrops = 0; unreach_sent = 0;
+      icmp_ratelimited = 0; nomem_drops = 0;
+      icmp_tokens = float_of_int Cost.config.icmp_ratelimit; icmp_tok_ts = 0 }
   in
   let input ~src ~dst:_ m =
     (* Consumes m: the payload is copied out, so the chain is always freed. *)
@@ -86,9 +116,11 @@ let attach ip =
                  donor's icmp_error), quoting the UDP header so the
                  sender can match the error to a socket. *)
               t.noport <- t.noport + 1;
-              t.unreach_sent <- t.unreach_sent + 1;
-              Icmp.send_port_unreach t.ip ~dst:src
-                ~payload:(Mbuf.m_copydata m ~off:0 ~len:(min udp_hlen (Mbuf.m_length m)))
+              if icmp_allowed t then begin
+                t.unreach_sent <- t.unreach_sent + 1;
+                Icmp.send_port_unreach t.ip ~dst:src
+                  ~payload:(Mbuf.m_copydata m ~off:0 ~len:(min udp_hlen (Mbuf.m_length m)))
+              end
           | Some p ->
               let len = ulen - udp_hlen in
               if p.rcv_cc + len > p.rcv_hiwat then begin
@@ -105,6 +137,13 @@ let attach ip =
       end;
       Mbuf.m_freem m
     end
+  in
+  let input ~src ~dst m =
+    try input ~src ~dst m
+    with Memfault.Nomem ->
+      (* Allocation failures on the receive path (header pullup, the ICMP
+         reply) degrade to a counted drop, never a crash. *)
+      t.nomem_drops <- t.nomem_drops + 1
   in
   Ip.set_proto ip ~proto:Ip.proto_udp (fun ~src ~dst m -> input ~src ~dst m);
   t
@@ -139,11 +178,19 @@ let detach t pcb =
   t.pcbs <- List.filter (fun x -> x != pcb) t.pcbs;
   hash_remove t pcb
 
-let output t pcb ~dst ~dport ~src ~src_pos ~len =
+let rec output t pcb ~dst ~dport ~src ~src_pos ~len =
   if pcb.lport = 0 then begin
     pcb.lport <- alloc_port t;
     hash_add t pcb
   end;
+  try output_dgram t pcb ~dst ~dport ~src ~src_pos ~len
+  with Memfault.Nomem ->
+    (* ENOBUFS to the caller: the socket layer surfaces it as an error
+       result, the application's retry is the backpressure loop. *)
+    t.nomem_drops <- t.nomem_drops + 1;
+    raise (Error.Error Error.Nomem)
+
+and output_dgram t pcb ~dst ~dport ~src ~src_pos ~len =
   let m = Mbuf.m_gethdr () in
   let off = Mbuf.m_put m udp_hlen in
   let d = m.Mbuf.m_data in

@@ -26,11 +26,16 @@ type stats = {
   mutable bytes_out : int;
   mutable active : int;
   mutable peak_active : int;  (* high-water concurrent connections *)
+  (* overload guards (Cost.config.httpd_guard) *)
+  mutable shed_503 : int;  (* answered 503 + Retry-After over the high-water mark *)
+  mutable deadline_closed : int;  (* closed: headers not done by the deadline *)
+  mutable hdr_overflow : int;  (* closed: request headers over the byte bound *)
 }
 
 let make_stats () =
   { accepted = 0; requests = 0; responses = 0; not_found = 0; protocol_errors = 0;
-    shed = 0; bytes_out = 0; active = 0; peak_active = 0 }
+    shed = 0; bytes_out = 0; active = 0; peak_active = 0; shed_503 = 0;
+    deadline_closed = 0; hdr_overflow = 0 }
 
 (* The per-connection memory the two serving modes pay — what the
    equal-memory comparison in bench/httpbench divides a RAM budget by.  A
@@ -131,6 +136,12 @@ let aio_of (sock : Io_if.socket) =
   | Ok a -> a
   | Result.Error e -> Error.fail e
 
+(* Load shedding above the high-water mark (Cost.config.httpd_shed_hiwat):
+   a well-formed refusal the client can act on, instead of a silent drop. *)
+let resp_503 =
+  "HTTP/1.0 503 Service Unavailable\r\nServer: oskit-httpd\r\nRetry-After: 1\r\n\
+   Content-Length: 0\r\nConnection: close\r\n\r\n"
+
 (* ---- event-driven mode ---- *)
 
 (* Registers the listen watch and returns immediately; the caller drives
@@ -152,10 +163,17 @@ let serve_reactor ~reactor ~root ~(sock : Io_if.socket) ?(max_conns = max_int) (
     let off = ref 0 in
     let wref = ref None in
     let writing = ref false in
+    let closed = ref false in
+    (* Idempotent: the header-deadline callout can fire after the
+       connection already finished (or was torn down twice by racing
+       read/write errors); only the first close may touch the counts. *)
     let finish () =
-      (match !wref with Some w -> Reactor.unwatch reactor w | None -> ());
-      ignore (c.Io_if.so_close ());
-      st.active <- st.active - 1
+      if not !closed then begin
+        closed := true;
+        (match !wref with Some w -> Reactor.unwatch reactor w | None -> ());
+        ignore (c.Io_if.so_close ());
+        st.active <- st.active - 1
+      end
     in
     let on_writable () =
       let remaining = Bytes.length !resp - !off in
@@ -176,7 +194,17 @@ let serve_reactor ~reactor ~root ~(sock : Io_if.socket) ?(max_conns = max_int) (
           finish ()
       | Ok n ->
           Buffer.add_subbytes req scratch 0 n;
-          if request_complete (Buffer.contents req) then begin
+          if
+            Cost.config.httpd_guard
+            && Buffer.length req > Cost.config.httpd_max_header_bytes
+            && not (request_complete (Buffer.contents req))
+          then begin
+            (* Unbounded drip-fed headers are the other half of the
+               Slowloris hold: cap the buffer and cut the connection. *)
+            st.hdr_overflow <- st.hdr_overflow + 1;
+            finish ()
+          end
+          else if request_complete (Buffer.contents req) then begin
             resp := respond st root (Buffer.contents req);
             off := 0;
             writing := true;
@@ -192,12 +220,35 @@ let serve_reactor ~reactor ~root ~(sock : Io_if.socket) ?(max_conns = max_int) (
           finish ()
     in
     let cb _ready = if !writing then on_writable () else on_readable () in
-    wref := Some (Reactor.watch reactor caio ~mask:Io_if.aio_read cb)
+    wref := Some (Reactor.watch reactor caio ~mask:Io_if.aio_read cb);
+    if Cost.config.httpd_guard then
+      (* Slowloris defense: the whole request header must arrive within the
+         deadline, or the connection is cut — a parked half-request may not
+         hold its state record indefinitely. *)
+      ignore
+        (Kclock.callout_after ~ns:Cost.config.httpd_header_deadline_ns (fun () ->
+             if (not !closed) && not !writing then begin
+               st.deadline_closed <- st.deadline_closed + 1;
+               finish ()
+             end))
   in
   let rec accept_drain () =
     match sock.Io_if.so_accept () with
     | Ok (c, _peer) ->
-        if st.active >= max_conns then begin
+        if
+          Cost.config.httpd_guard
+          && Cost.config.httpd_shed_hiwat > 0
+          && st.active >= Cost.config.httpd_shed_hiwat
+        then begin
+          (* Above the high-water mark: tell the client to come back
+             (best-effort — the socket buffer of a fresh connection takes
+             the whole response) instead of silently dropping it. *)
+          st.shed_503 <- st.shed_503 + 1;
+          let b = Bytes.of_string resp_503 in
+          ignore (c.Io_if.so_send ~buf:b ~pos:0 ~len:(Bytes.length b));
+          ignore (c.Io_if.so_close ())
+        end
+        else if st.active >= max_conns then begin
           (* Over budget: shed the connection rather than park it. *)
           st.shed <- st.shed + 1;
           ignore (c.Io_if.so_close ())
@@ -217,6 +268,12 @@ let handle_blocking st root (c : Io_if.socket) =
   let req = Buffer.create 256 in
   let rec read_req () =
     if request_complete (Buffer.contents req) then true
+    else if
+      Cost.config.httpd_guard && Buffer.length req > Cost.config.httpd_max_header_bytes
+    then begin
+      st.hdr_overflow <- st.hdr_overflow + 1;
+      false
+    end
     else
       match c.Io_if.so_recv ~buf:scratch ~pos:0 ~len:(Bytes.length scratch) with
       | Ok 0 -> false

@@ -48,6 +48,16 @@ type tcp_state =
 
 type rexmt_entry = { rx_seq : int; rx_end : int; rx_frame : Skbuff.sk_buff }
 
+(* One cached half-open handshake (Cost.config.syn_defense): everything
+   needed to answer the completing ACK without a sock existing yet. *)
+type lsc_entry = {
+  lsc_raddr : int32;
+  lsc_rport : int;
+  lsc_irs : int;
+  lsc_iss : int;
+  lsc_mss : int;
+}
+
 (* A readiness listener — the socket-side half of oskit_asyncio, mirroring
    Bsd_socket.ready_listener.  Runs at wakeup level; spurious calls
    allowed, blocking not. *)
@@ -107,6 +117,7 @@ type sock = {
   backlog_q : sock Queue.t;
   mutable backlog : int;
   mutable parent : sock option;
+  mutable syn_cache : lsc_entry list; (* newest first, bounded *)
   mutable err : Error.t option;
   sleep : Sleep_record.t;
   mutable rexmt_armed : bool;
@@ -161,6 +172,19 @@ and stack = {
   mutable predack : int;  (* header prediction: pure ACK hits *)
   mutable preddat : int;  (* header prediction: in-order data hits *)
   mutable predfallback : int; (* established-state segments that missed *)
+  (* overload survival (Cost.config.syn_defense / tw_max / icmp_ratelimit) *)
+  cookie_secret : int;
+  mutable tw_list : sock list; (* Time_wait socks, oldest first *)
+  mutable syncache_added : int;
+  mutable syncache_evicted : int;
+  mutable syncache_completed : int;
+  mutable syncookies_validated : int;
+  mutable syncookies_rejected : int;
+  mutable time_wait_reclaimed : int;
+  mutable nomem_drops : int;    (* segments/frames dropped for want of an skb *)
+  mutable rst_ratelimited : int;
+  mutable err_tokens : float;
+  mutable err_tok_ts : int;
 }
 
 let create machine =
@@ -170,7 +194,11 @@ let create machine =
     ip_id = 1; segs_out = 0; segs_in = 0; rexmits = 0; ipbadsum = 0; tcpbadsum = 0;
     rcvdup = 0; rcvoo = 0; rcvfull = 0; arp_waiters_dropped = 0; arp_failures = 0;
     rexmt_give_ups = 0; persist_probes = 0; listen_overflow = 0; predack = 0;
-    preddat = 0; predfallback = 0 }
+    preddat = 0; predfallback = 0; cookie_secret = 0x327b23c6; tw_list = [];
+    syncache_added = 0; syncache_evicted = 0; syncache_completed = 0;
+    syncookies_validated = 0; syncookies_rejected = 0; time_wait_reclaimed = 0;
+    nomem_drops = 0; rst_ratelimited = 0;
+    err_tokens = float_of_int Cost.config.icmp_ratelimit; err_tok_ts = 0 }
 
 (* ---- hashed demux maintenance ---- *)
 
@@ -243,8 +271,13 @@ let arp_output t ~op ~dst_mac ~target_mac ~target_ip =
   Skbuff.skb_free skb
 
 let arp_request t ip =
-  arp_output t ~op:1 ~dst_mac:"\xff\xff\xff\xff\xff\xff"
-    ~target_mac:"\000\000\000\000\000\000" ~target_ip:ip
+  (* A request lost to memory pressure looks exactly like one lost on the
+     wire; the backoff timer re-sends.  Must not raise — retries fire from
+     a timer callback. *)
+  try
+    arp_output t ~op:1 ~dst_mac:"\xff\xff\xff\xff\xff\xff"
+      ~target_mac:"\000\000\000\000\000\000" ~target_ip:ip
+  with Memfault.Nomem -> ()
 
 (* Pending-queue and retry limits, as in the FreeBSD side: a handful of
    waiters, request backoff doubling from 0.5 s, then give up and fail
@@ -309,7 +342,9 @@ let arp_rcv t skb =
         List.iter (fun (k, _) -> k sender_mac) (List.rev w.aw_waiters)
     | None -> ());
     if op = 1 && Int32.equal target_ip t.my_ip then
-      arp_output t ~op:2 ~dst_mac:sender_mac ~target_mac:sender_mac ~target_ip:sender_ip
+      (* The reply is best-effort: the requester re-asks if it never comes. *)
+      try arp_output t ~op:2 ~dst_mac:sender_mac ~target_mac:sender_mac ~target_ip:sender_ip
+      with Memfault.Nomem -> ()
   end;
   Skbuff.skb_free skb
 
@@ -433,12 +468,116 @@ let add_listener s ~mask f =
 let remove_listener s id = s.listeners <- List.filter (fun l -> l.rl_id <> id) s.listeners
 let set_nonblock s v = s.nb <- v
 
+(* ---- SYN cookies / overload reclaim (Cost.config.syn_defense etc.) ----
+   The same wire format as the FreeBSD stack (different secret): bits 1..0
+   of the ISS index the MSS class table, bits 31..2 hash the 4-tuple, so
+   a completing ACK can rebuild the connection after the syncache entry
+   was evicted. *)
+
+let cookie_mss_classes = [| 536; 1160; 1460; 8960 |]
+
+let cookie_mss_class mss =
+  let rec go i best =
+    if i >= Array.length cookie_mss_classes then best
+    else if cookie_mss_classes.(i) <= mss then go (i + 1) i
+    else best
+  in
+  go 1 0
+
+let cookie_hash t ~raddr ~rport ~lport =
+  let mix h k =
+    let h = h lxor (m32 (k * 0x9e3779b1)) in
+    let h = m32 ((h lxor (h lsr 15)) * 0x85ebca6b) in
+    h lxor (h lsr 13)
+  in
+  let h = mix (t.cookie_secret land 0xffffffff) (Int32.to_int raddr land 0xffffffff) in
+  let h = mix h rport in
+  let h = mix h lport in
+  h land 0x3fffffff
+
+let syn_cookie t ~raddr ~rport ~lport ~mss =
+  m32 ((cookie_hash t ~raddr ~rport ~lport lsl 2) lor cookie_mss_class mss)
+
+let check_cookie t ~raddr ~rport ~lport ~iss =
+  if (iss lsr 2) land 0x3fffffff = cookie_hash t ~raddr ~rport ~lport then
+    Some cookie_mss_classes.(iss land 3)
+  else None
+
+(* Retire one TIME_WAIT sock early (reclaim paths); its pending 2xMSL
+   callback is a no-op once the state moved off Time_wait. *)
+let lx_close_tw t s =
+  if s.state = Time_wait then begin
+    s.state <- Closed;
+    t.time_wait_reclaimed <- t.time_wait_reclaimed + 1;
+    t.socks <- List.filter (fun x -> x != s) t.socks;
+    sock_hash_remove t s;
+    wake s
+  end
+
+let lx_enter_time_wait t s =
+  s.state <- Time_wait;
+  t.tw_list <- t.tw_list @ [ s ]; (* oldest first *)
+  if Cost.config.tw_max > 0 then begin
+    t.tw_list <- List.filter (fun x -> x.state = Time_wait) t.tw_list;
+    let excess = List.length t.tw_list - Cost.config.tw_max in
+    if excess > 0 then begin
+      List.iteri (fun i x -> if i < excess then lx_close_tw t x) t.tw_list;
+      t.tw_list <- List.filter (fun x -> x.state = Time_wait) t.tw_list
+    end
+  end;
+  ignore
+    (Machine.after t.machine time_wait_ns (fun () ->
+         if s.state = Time_wait then begin
+           s.state <- Closed;
+           t.socks <- List.filter (fun x -> x != s) t.socks;
+           sock_hash_remove t s;
+           t.tw_list <- List.filter (fun x -> x != s) t.tw_list
+         end))
+
+(* Memory pressure: shed the coldest protocol state — every TIME_WAIT
+   sock and every cached half-open handshake (cookies still complete
+   those statelessly). *)
+let lx_reclaim t =
+  let tw = t.tw_list in
+  t.tw_list <- [];
+  List.iter (fun s -> lx_close_tw t s) tw;
+  List.iter
+    (fun s ->
+      if s.syn_cache <> [] then begin
+        t.syncache_evicted <- t.syncache_evicted + List.length s.syn_cache;
+        s.syn_cache <- []
+      end)
+    t.socks
+
+(* Token bucket on generated error responses (the RST answering a segment
+   no sock claims): rate and depth are Cost.config.icmp_ratelimit per
+   second; 0 = unlimited, the donor behavior. *)
+let lx_err_allowed t =
+  let rate = Cost.config.icmp_ratelimit in
+  if rate = 0 then true
+  else begin
+    let now = Machine.now t.machine in
+    let elapsed = now - t.err_tok_ts in
+    t.err_tok_ts <- now;
+    t.err_tokens <-
+      Float.min (float_of_int rate)
+        (t.err_tokens +. (float_of_int rate *. float_of_int elapsed /. 1e9));
+    if t.err_tokens >= 1.0 then begin
+      t.err_tokens <- t.err_tokens -. 1.0;
+      true
+    end
+    else begin
+      t.rst_ratelimited <- t.rst_ratelimited + 1;
+      false
+    end
+  end
+
 (* Build one segment in a fresh contiguous skb.  [payload] is copied in
    (the send-path copy); the finished frame is kept for retransmission when
-   [queue] is set. *)
+   [queue] is set.  Returns whether a frame actually went out: under the
+   allocation-failure injector a refused skb is a counted drop — the same
+   recovery story as a frame lost on the wire — and triggers a reclaim. *)
 let rec tcp_xmit t s ~seq ~flags ~payload ~queue =
-  Cost.charge_cycles Cost.config.linux_tcp_pkt_cycles;
-  t.segs_out <- t.segs_out + 1;
   let plen = match payload with Some (_, _, len) -> len | None -> 0 in
   (* SYN options — only with Cost.config.tcp_wscale, so the 2.0-faithful
      bare-header wire format (and the Table 1/2 baselines) is untouched by
@@ -450,7 +589,14 @@ let rec tcp_xmit t s ~seq ~flags ~payload ~queue =
   in
   let opt_len = if emit_opts then 8 else 0 in
   let hlen = tcp_hlen + opt_len in
-  let skb = Skbuff.alloc_skb (eth_hlen + ip_hlen + hlen + plen + 16) in
+  match Skbuff.alloc_skb (eth_hlen + ip_hlen + hlen + plen + 16) with
+  | exception Memfault.Nomem ->
+      t.nomem_drops <- t.nomem_drops + 1;
+      lx_reclaim t;
+      false
+  | skb ->
+  Cost.charge_cycles Cost.config.linux_tcp_pkt_cycles;
+  t.segs_out <- t.segs_out + 1;
   Skbuff.skb_reserve skb (eth_hlen + ip_hlen);
   let off = Skbuff.skb_put skb (hlen + plen) in
   let d = skb.Skbuff.skb_data in
@@ -511,7 +657,8 @@ let rec tcp_xmit t s ~seq ~flags ~payload ~queue =
   (* Unqueued frames (pure ACKs, RSTs) die on the wire; queued ones are
      retired when the ACK covers them. *)
   ip_output t ~free_after:(not queued) ~proto:6 ~dst:s.raddr skb;
-  arm_rexmt t s
+  arm_rexmt t s;
+  true
 
 (* Retransmission: resend the oldest unacked frame as-is.  The timer backs
    off exponentially (Linux 2.0's coarse doubling) and, after enough barren
@@ -589,14 +736,18 @@ and arm_persist t s =
              t.persist_probes <- t.persist_probes + 1;
              s.persist_shift <- min (s.persist_shift + 1) rexmt_max_shift;
              let probe = Bytes.make 1 '\000' in
-             tcp_xmit t s ~seq:(m32 (s.snd_nxt - 1)) ~flags:th_ack
-               ~payload:(Some (probe, 0, 1)) ~queue:false;
+             ignore
+               (tcp_xmit t s ~seq:(m32 (s.snd_nxt - 1)) ~flags:th_ack
+                  ~payload:(Some (probe, 0, 1)) ~queue:false);
              arm_persist t s
            end
            else s.persist_shift <- 0))
   end
 
-let send_ack t s = tcp_xmit t s ~seq:s.snd_nxt ~flags:th_ack ~payload:None ~queue:false
+let send_ack t s =
+  (* A pure ACK refused by the allocator is recovered exactly like one
+     lost on the wire: the peer retransmits. *)
+  ignore (tcp_xmit t s ~seq:s.snd_nxt ~flags:th_ack ~payload:None ~queue:false)
 
 let send_rst_for t ~src ~sport ~dport ~ack =
   (* A minimal unsocketed RST. *)
@@ -612,10 +763,11 @@ let send_rst_for t ~src ~sport ~dport ~ack =
       rcv_buf_max = default_window; adv_wnd = 0;
       rxclump_ts = 0; rxclump_bytes = 0;
       head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
-      backlog = 0; parent = None; err = None; sleep = Sleep_record.create ();
+      backlog = 0; parent = None; syn_cache = []; err = None;
+      sleep = Sleep_record.create ();
       rexmt_armed = true; rexmt_stamp = 0; rexmt_shift = 0; nb = false; listeners = []; next_lid = 1 }
   in
-  tcp_xmit t fake ~seq:ack ~flags:th_rst ~payload:None ~queue:false
+  ignore (tcp_xmit t fake ~seq:ack ~flags:th_rst ~payload:None ~queue:false)
 
 let new_sock t =
   let s =
@@ -631,7 +783,8 @@ let new_sock t =
       rcv_buf_max = default_window; adv_wnd = default_window;
       rxclump_ts = 0; rxclump_bytes = 0;
       head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
-      backlog = 0; parent = None; err = None; sleep = Sleep_record.create ~name:"lx_sock" ();
+      backlog = 0; parent = None; syn_cache = []; err = None;
+      sleep = Sleep_record.create ~name:"lx_sock" ();
       rexmt_armed = false; rexmt_stamp = 0; rexmt_shift = 0; nb = false; listeners = []; next_lid = 1 }
   in
   t.socks <- s :: t.socks;
@@ -667,6 +820,111 @@ let find_sock t ~src ~sport ~dport =
   match connected with
   | Some _ as r -> r
   | None -> List.find_opt (fun s -> s.lport = dport && s.state = Listen) t.socks
+
+(* A SYN-ACK with no sock behind it (Cost.config.syn_defense): seq/ack and
+   MSS come from the syncache entry or the cookie.  Never queued — losing
+   it just means the client retransmits its SYN — and never offers wscale
+   (the cookie has no room to remember the peer's scale). *)
+let lx_send_synack t ~raddr ~rport ~lport ~iss ~irs ~mss =
+  let fake =
+    { stack = t; state = Syn_recv; lport; rport; raddr; iss;
+      snd_una = iss; snd_nxt = iss; snd_wnd = 0; cwnd = mss; ssthresh = 0;
+      smss = mss; snd_scale = 0; rcv_scale = 0; peer_wscale = -1;
+      dupacks = 0; recover = 0; srtt_ns = 0; rttvar_ns = 0; rto_ns = rexmt_ns;
+      rtt_seq = 0; rtt_ts = 0;
+      fin_queued = false; rexmt_q = []; rexmt_q_len = 0; persist_armed = true;
+      persist_shift = 0; rcv_nxt = m32 (irs + 1); rcv_q = Queue.create ();
+      rcv_q_bytes = 0; ooo_q = []; ooo_bytes = 0;
+      rcv_buf_max = default_window; adv_wnd = 0;
+      rxclump_ts = 0; rxclump_bytes = 0;
+      head_consumed = 0; peer_fin = false; backlog_q = Queue.create ();
+      backlog = 0; parent = None; syn_cache = []; err = None;
+      sleep = Sleep_record.create ();
+      rexmt_armed = true; rexmt_stamp = 0; rexmt_shift = 0; nb = false; listeners = []; next_lid = 1 }
+  in
+  ignore (tcp_xmit t fake ~seq:iss ~flags:(th_syn lor th_ack) ~payload:None ~queue:false)
+
+(* A SYN under the defense: cache the handshake (bounded, oldest evicted)
+   and answer with a cookie ISS.  No child sock exists until the ACK
+   returns, so embryonic connections cost the listener nothing. *)
+let lx_syncache_add t s ~src ~sport ~seq ~mss =
+  let mss' = match mss with Some v -> min Cost.config.tcp_mss v | None -> Cost.config.tcp_mss in
+  match
+    List.find_opt
+      (fun e -> Int32.equal e.lsc_raddr src && e.lsc_rport = sport)
+      s.syn_cache
+  with
+  | Some e ->
+      (* Retransmitted SYN: re-answer from the entry. *)
+      lx_send_synack t ~raddr:src ~rport:sport ~lport:s.lport ~iss:e.lsc_iss
+        ~irs:e.lsc_irs ~mss:e.lsc_mss
+  | None ->
+      let iss = syn_cookie t ~raddr:src ~rport:sport ~lport:s.lport ~mss:mss' in
+      s.syn_cache <-
+        { lsc_raddr = src; lsc_rport = sport; lsc_irs = seq; lsc_iss = iss;
+          lsc_mss = mss' }
+        :: s.syn_cache;
+      t.syncache_added <- t.syncache_added + 1;
+      let cap = max 1 Cost.config.syncache_size in
+      if List.length s.syn_cache > cap then begin
+        s.syn_cache <- List.filteri (fun i _ -> i < cap) s.syn_cache;
+        t.syncache_evicted <- t.syncache_evicted + 1
+      end;
+      lx_send_synack t ~raddr:src ~rport:sport ~lport:s.lport ~iss ~irs:seq ~mss:mss'
+
+(* The completing ACK: from the syncache entry if it survived, else by
+   validating the cookie echoed in ack-1.  Only now is a sock created —
+   directly Established, straight onto the accept backlog. *)
+let lx_syncache_expand t s ~src ~sport ~seq ~ack ~win =
+  let entry =
+    List.find_opt
+      (fun e -> Int32.equal e.lsc_raddr src && e.lsc_rport = sport)
+      s.syn_cache
+  in
+  let params =
+    match entry with
+    | Some e when ack = m32 (e.lsc_iss + 1) && seq = m32 (e.lsc_irs + 1) ->
+        s.syn_cache <- List.filter (fun x -> x != e) s.syn_cache;
+        t.syncache_completed <- t.syncache_completed + 1;
+        Some (e.lsc_iss, e.lsc_irs, e.lsc_mss)
+    | Some _ -> None (* right 4-tuple, wrong numbers: bogus *)
+    | None -> (
+        match
+          check_cookie t ~raddr:src ~rport:sport ~lport:s.lport ~iss:(m32 (ack - 1))
+        with
+        | Some mss ->
+            t.syncookies_validated <- t.syncookies_validated + 1;
+            Some (m32 (ack - 1), m32 (seq - 1), mss)
+        | None -> None)
+  in
+  match params with
+  | None ->
+      t.syncookies_rejected <- t.syncookies_rejected + 1;
+      if lx_err_allowed t then send_rst_for t ~src ~sport ~dport:s.lport ~ack
+  | Some (iss, irs, mss) ->
+      if Queue.length s.backlog_q >= max 1 s.backlog then
+        (* Accept queue full: drop the ACK; the peer retransmits it and the
+           cookie completes once there is room. *)
+        t.listen_overflow <- t.listen_overflow + 1
+      else begin
+        let c = new_sock t in
+        c.state <- Established;
+        c.lport <- s.lport;
+        c.rport <- sport;
+        c.raddr <- src;
+        sock_hash_add t c;
+        c.parent <- Some s;
+        c.iss <- iss;
+        c.snd_una <- m32 (iss + 1);
+        c.snd_nxt <- m32 (iss + 1);
+        c.rcv_nxt <- m32 (irs + 1);
+        c.smss <- mss;
+        c.snd_wnd <- win;
+        c.cwnd <- 2 * c.smss;
+        Queue.add c s.backlog_q;
+        wake s;
+        wake c
+      end
 
 (* Retire every queued frame the ACK covers. *)
 let drop_acked s ack =
@@ -903,7 +1161,11 @@ let tcp_rcv t skb ~src =
       match find_sock t ~src ~sport ~dport with
       | None ->
           slowpath ();
-          if flags land th_rst = 0 then send_rst_for t ~src ~sport ~dport ~ack
+          (* The no-sock RST is this stack's generated-error path (it has
+             no ICMP): a port scan must not turn the stack into a
+             packet amplifier, so it shares the token bucket. *)
+          if flags land th_rst = 0 && lx_err_allowed t then
+            send_rst_for t ~src ~sport ~dport ~ack
       | Some s when fast && fastpath_pred s ~seq ~flags ~dlen ->
           (* Predicted: ACK bookkeeping plus the in-order append, exactly
              as the Established arm below would do them.  The prediction
@@ -948,7 +1210,16 @@ let tcp_rcv t skb ~src =
           else
             match s.state with
             | Listen ->
-                if flags land th_syn <> 0 then begin
+                if Cost.config.syn_defense then begin
+                  (* Half-open handshakes live in the syncache (or just in
+                     the cookie), not as embryonic socks, so a flood cannot
+                     pin the backlog. *)
+                  if flags land th_syn <> 0 then
+                    lx_syncache_add t s ~src ~sport ~seq ~mss:!mss_opt
+                  else if flags land th_ack <> 0 then
+                    lx_syncache_expand t s ~src ~sport ~seq ~ack ~win
+                end
+                else if flags land th_syn <> 0 then begin
                   (* Embryonic children count against the backlog alongside
                      the established-but-unaccepted ones. *)
                   let embryonic =
@@ -983,8 +1254,17 @@ let tcp_rcv t skb ~src =
                   (match !wscale_opt with
                   | Some sc -> setup_scaling c ~peer:sc
                   | None -> ());
-                  tcp_xmit t c ~seq:c.iss ~flags:(th_syn lor th_ack) ~payload:None
-                    ~queue:true
+                  if
+                    not
+                      (tcp_xmit t c ~seq:c.iss ~flags:(th_syn lor th_ack) ~payload:None
+                         ~queue:true)
+                  then begin
+                    (* No skb for the SYN-ACK: forget the child quietly —
+                       to the peer this is a lost SYN, and its retransmit
+                       starts the handshake over. *)
+                    c.state <- Closed;
+                    detach t c
+                  end
                   end
                 end
             | Syn_sent ->
@@ -1005,7 +1285,11 @@ let tcp_rcv t skb ~src =
                   wake s
                 end
             | Syn_recv ->
-                if flags land th_ack <> 0 && ack = s.snd_nxt then begin
+                if flags land th_syn <> 0 && flags land th_ack = 0 then
+                  (* Retransmitted SYN: our SYN-ACK was lost — resend it now
+                     rather than waiting out the coarse timer. *)
+                  retransmit_head t s
+                else if flags land th_ack <> 0 && ack = s.snd_nxt then begin
                   match s.parent with
                   | Some p when p.state <> Listen ->
                       (* The listener closed while our handshake completed:
@@ -1015,7 +1299,9 @@ let tcp_rcv t skb ~src =
                       s.rexmt_q_len <- 0;
                       s.state <- Closed;
                       detach t s;
-                      tcp_xmit t s ~seq:s.snd_nxt ~flags:th_rst ~payload:None ~queue:false
+                      ignore
+                        (tcp_xmit t s ~seq:s.snd_nxt ~flags:th_rst ~payload:None
+                           ~queue:false)
                   | parent_opt ->
                       s.state <- Established;
                       s.cwnd <- 2 * s.smss;
@@ -1076,14 +1362,7 @@ let tcp_rcv t skb ~src =
                     send_ack t s;
                     (match s.state with
                     | Established -> s.state <- Close_wait
-                    | Fin_wait1 | Fin_wait2 ->
-                        s.state <- Time_wait;
-                        ignore
-                          (Machine.after t.machine time_wait_ns (fun () ->
-                               if s.state = Time_wait then begin
-                                 s.state <- Closed;
-                                 detach t s
-                               end))
+                    | Fin_wait1 | Fin_wait2 -> lx_enter_time_wait t s
                     | _ -> ());
                     wake s
                   end
@@ -1119,10 +1398,15 @@ let ip_rcv t skb =
 
 let netif_rx t skb =
   ignore (Skbuff.skb_pull skb eth_hlen);
-  match skb.Skbuff.protocol with
-  | 0x0800 -> ip_rcv t skb
-  | 0x0806 -> arp_rcv t skb
-  | _ -> Skbuff.skb_free skb
+  (* Interrupt level: any allocation failure still unconverted on the input
+     path must end here as a counted frame drop, not an exception into the
+     driver.  The skb is left to the GC — it may be partially consumed. *)
+  try
+    match skb.Skbuff.protocol with
+    | 0x0800 -> ip_rcv t skb
+    | 0x0806 -> arp_rcv t skb
+    | _ -> Skbuff.skb_free skb
+  with Memfault.Nomem -> t.nomem_drops <- t.nomem_drops + 1
 
 let attach_dev t osenv dev =
   t.dev <- Some dev;
@@ -1163,7 +1447,13 @@ let connect t s ~dst ~dport =
   s.snd_una <- s.iss;
   s.snd_nxt <- m32 (s.iss + 1);
   s.state <- Syn_sent;
-  tcp_xmit t s ~seq:s.iss ~flags:th_syn ~payload:None ~queue:true;
+  if not (tcp_xmit t s ~seq:s.iss ~flags:th_syn ~payload:None ~queue:true) then begin
+    (* The SYN never left and nothing is queued to retransmit it: fail the
+       connect with ENOBUFS instead of blocking forever. *)
+    s.state <- Closed;
+    s.err <- Some Error.Nomem;
+    detach t s
+  end;
   let rec wait () =
     match s.state with
     | Established -> Ok ()
@@ -1200,12 +1490,26 @@ let send t s ~buf ~pos ~len =
                 push sent
               end
             end
-            else begin
+            else if
               tcp_xmit t s ~seq:s.snd_nxt ~flags:th_ack
                 ~payload:(Some (buf, pos + sent, n))
-                ~queue:true;
+                ~queue:true
+            then begin
               s.snd_nxt <- m32 (s.snd_nxt + n);
               push (sent + n)
+            end
+            else begin
+              (* No skb for the segment: snd_nxt did not advance, so the
+                 stream is intact.  Report what went (or would-block) to a
+                 non-blocking caller; park a blocking one, with a timed
+                 kick — under pure memory pressure no ACK is coming to
+                 wake it. *)
+              if s.nb then if sent > 0 then Ok sent else Result.Error Error.Wouldblock
+              else begin
+                ignore (Machine.after t.machine 10_000_000 (fun () -> wake s));
+                Sleep_record.sleep s.sleep;
+                push sent
+              end
             end
           end
       | Closed -> Result.Error (Option.value s.err ~default:Error.Pipe)
@@ -1266,28 +1570,38 @@ let abort_orphan t c =
     c.err <- Some Error.Connreset;
     c.state <- Closed;
     detach t c;
-    tcp_xmit t c ~seq:c.snd_nxt ~flags:th_rst ~payload:None ~queue:false;
+    ignore (tcp_xmit t c ~seq:c.snd_nxt ~flags:th_rst ~payload:None ~queue:false);
     wake c
   end
 
-let close t s =
+let rec close t s =
+  (* If the FIN's skb is refused, leave the state alone and retry shortly:
+     to the application close is fire-and-forget, and nothing is queued
+     that would retransmit the FIN for us. *)
+  let send_fin next_state =
+    if tcp_xmit t s ~seq:s.snd_nxt ~flags:(th_fin lor th_ack) ~payload:None ~queue:true
+    then begin
+      s.state <- next_state;
+      s.fin_queued <- true;
+      s.snd_nxt <- m32 (s.snd_nxt + 1)
+    end
+    else ignore (Machine.after t.machine 10_000_000 (fun () -> close t s))
+  in
   match s.state with
-  | Established | Syn_recv ->
-      s.state <- Fin_wait1;
-      s.fin_queued <- true;
-      tcp_xmit t s ~seq:s.snd_nxt ~flags:(th_fin lor th_ack) ~payload:None ~queue:true;
-      s.snd_nxt <- m32 (s.snd_nxt + 1)
-  | Close_wait ->
-      s.state <- Last_ack;
-      s.fin_queued <- true;
-      tcp_xmit t s ~seq:s.snd_nxt ~flags:(th_fin lor th_ack) ~payload:None ~queue:true;
-      s.snd_nxt <- m32 (s.snd_nxt + 1)
+  | Established | Syn_recv -> send_fin Fin_wait1
+  | Close_wait -> send_fin Last_ack
   | Listen ->
       (* Reset the children nobody will ever accept — both the established
          ones parked on the backlog queue and the embryonic ones still
          shaking hands — and wake parked accepters so they fail with Badf
          instead of sleeping forever (the ARP on_drop discipline). *)
       s.state <- Closed;
+      (* Cached half-open handshakes die with the listener (no frames are
+         held for them — defended SYN-ACKs are never queued). *)
+      if s.syn_cache <> [] then begin
+        t.syncache_evicted <- t.syncache_evicted + List.length s.syn_cache;
+        s.syn_cache <- []
+      end;
       Queue.iter (fun c -> abort_orphan t c) s.backlog_q;
       Queue.clear s.backlog_q;
       List.iter
@@ -1325,9 +1639,16 @@ let netstat t =
     \  %d data predictions ok\n\
     \  %d prediction fallbacks\n\
     \  %d persist probes sent\n\
+    \  %d syncache entries added (%d evicted, %d completed)\n\
+    \  %d SYN cookies validated, %d rejected\n\
+    \  %d TIME_WAIT connections reclaimed\n\
+    \  %d drops for want of memory\n\
+    \  %d RSTs rate limited\n\
      arp:\n\
     \  %d waiters dropped (queue full)\n\
     \  %d resolutions abandoned (retries exhausted)\n"
     t.ipbadsum t.segs_out t.segs_in t.rexmits t.tcpbadsum t.rcvdup t.rcvoo
     t.rcvfull t.listen_overflow t.rexmt_give_ups t.predack t.preddat t.predfallback
-    t.persist_probes t.arp_waiters_dropped t.arp_failures
+    t.persist_probes t.syncache_added t.syncache_evicted t.syncache_completed
+    t.syncookies_validated t.syncookies_rejected t.time_wait_reclaimed
+    t.nomem_drops t.rst_ratelimited t.arp_waiters_dropped t.arp_failures

@@ -21,6 +21,17 @@ type config = {
   mutable tcp_autotune : bool;
   mutable tcp_mss : int;
   mutable tcp_sockbuf_max : int;
+  mutable syn_defense : bool;
+  mutable syncache_size : int;
+  mutable tw_max : int;
+  mutable icmp_ratelimit : int;
+  mutable alloc_fail_prob : float;
+  mutable alloc_fail_seed : int;
+  mutable alloc_fail_burst : int;
+  mutable httpd_guard : bool;
+  mutable httpd_header_deadline_ns : int;
+  mutable httpd_max_header_bytes : int;
+  mutable httpd_shed_hiwat : int;
 }
 
 let defaults () =
@@ -45,7 +56,18 @@ let defaults () =
     tcp_wscale = false;
     tcp_autotune = false;
     tcp_mss = 1460;
-    tcp_sockbuf_max = 2 * 1024 * 1024 }
+    tcp_sockbuf_max = 2 * 1024 * 1024;
+    syn_defense = false;
+    syncache_size = 64;
+    tw_max = 0;
+    icmp_ratelimit = 0;
+    alloc_fail_prob = 0.0;
+    alloc_fail_seed = 1;
+    alloc_fail_burst = 1;
+    httpd_guard = false;
+    httpd_header_deadline_ns = 1_000_000_000;
+    httpd_max_header_bytes = 4096;
+    httpd_shed_hiwat = 0 }
 
 let config = defaults ()
 
@@ -72,7 +94,18 @@ let reset_config () =
   config.tcp_wscale <- d.tcp_wscale;
   config.tcp_autotune <- d.tcp_autotune;
   config.tcp_mss <- d.tcp_mss;
-  config.tcp_sockbuf_max <- d.tcp_sockbuf_max
+  config.tcp_sockbuf_max <- d.tcp_sockbuf_max;
+  config.syn_defense <- d.syn_defense;
+  config.syncache_size <- d.syncache_size;
+  config.tw_max <- d.tw_max;
+  config.icmp_ratelimit <- d.icmp_ratelimit;
+  config.alloc_fail_prob <- d.alloc_fail_prob;
+  config.alloc_fail_seed <- d.alloc_fail_seed;
+  config.alloc_fail_burst <- d.alloc_fail_burst;
+  config.httpd_guard <- d.httpd_guard;
+  config.httpd_header_deadline_ns <- d.httpd_header_deadline_ns;
+  config.httpd_max_header_bytes <- d.httpd_max_header_bytes;
+  config.httpd_shed_hiwat <- d.httpd_shed_hiwat
 
 type counters = {
   mutable copies : int;

@@ -98,6 +98,54 @@ type config = {
           representable in a 16-bit window field).  Default 2 MB — covers
           the 100 Mbit x 50 ms = 625 KB bandwidth-delay product of the
           longfat bench's worst path with room for jumbo-frame rounding. *)
+  mutable syn_defense : bool;
+      (** SYN-flood defense in both stacks: half-open handshakes live in a
+          compact per-listener syncache instead of full PCBs/socks, so
+          embryonic connections stop counting against the accept backlog;
+          when the cache overflows, completion falls back to stateless SYN
+          cookies (the ISS encodes a 4-tuple hash + MSS class, validated on
+          the completing ACK).  Changes the ISS the listener emits, so
+          default [false] to keep the committed baselines bit-identical. *)
+  mutable syncache_size : int;
+      (** Per-listener syncache capacity; beyond it the oldest entry is
+          evicted (its handshake can still finish via the cookie).
+          Default 64. *)
+  mutable tw_max : int;
+      (** Cap on simultaneously held TIME_WAIT connections per stack;
+          crossing it reclaims the oldest immediately instead of waiting
+          2xMSL.  [0] (default) = unbounded, the donor behavior. *)
+  mutable icmp_ratelimit : int;
+      (** Token-bucket limit, in errors per second, on generated network
+          errors (ICMP port unreachable in the BSD stack, the no-socket RST
+          in the Linux stack); bucket depth equals the rate.  [0] (default)
+          = unlimited, the donor behavior. *)
+  mutable alloc_fail_prob : float;
+      (** Memfault: probability that one pooled packet-buffer allocation
+          ({!Bpool.get}) fails with [Memfault.Nomem].  Deterministic given
+          {!field:alloc_fail_seed} and the allocation sequence.  Default 0.0
+          = never. *)
+  mutable alloc_fail_seed : int;  (** Memfault PRNG seed; default 1. *)
+  mutable alloc_fail_burst : int;
+      (** How many consecutive allocations fail once a failure triggers
+          (kmem shortages come in runs, not singletons).  Default 1. *)
+  mutable httpd_guard : bool;
+      (** Slow-client hardening in the httpd: per-connection header
+          deadlines ({!field:httpd_header_deadline_ns}), a bounded request
+          header buffer ({!field:httpd_max_header_bytes}), and early 503
+          shedding ({!field:httpd_shed_hiwat}).  Default [false] so the
+          committed http/rtt baselines regenerate bit-identically. *)
+  mutable httpd_header_deadline_ns : int;
+      (** With {!field:httpd_guard}: how long a connection may take to
+          deliver its full request header before being closed (408).
+          Default 1 s. *)
+  mutable httpd_max_header_bytes : int;
+      (** With {!field:httpd_guard}: request-header bytes accepted before
+          the connection is rejected (400).  Default 4096. *)
+  mutable httpd_shed_hiwat : int;
+      (** With {!field:httpd_guard}: active-connection high-water mark above
+          which new connections are answered [503 Retry-After] and closed
+          instead of admitted.  [0] = no shedding below [max_conns].
+          Default 0. *)
 }
 
 (** The live configuration; benches mutate it for ablations. *)

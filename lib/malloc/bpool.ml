@@ -29,6 +29,11 @@ let create ?(max_keep = 512) ~size () =
 let size t = t.size
 
 let get t =
+  (* The memory-pressure choke point: every pooled packet-buffer
+     allocation in both stacks funnels through here, so one injector
+     covers them all.  Fails before any charge — a refused allocation
+     did no work. *)
+  Memfault.check ();
   match t.free_list with
   | b :: rest ->
       t.free_list <- rest;

@@ -19,7 +19,9 @@ val size : t -> int
 val get : t -> bytes
 (** Pop a retired buffer, or [Bytes.create size] if the pool is empty.
     Charges {!Cost.charge_pool_alloc} on a hit, {!Cost.charge_alloc} on a
-    miss.  The returned buffer may hold stale contents. *)
+    miss.  The returned buffer may hold stale contents.  Raises
+    {!Memfault.Nomem} when the seeded allocation-failure injector fires
+    (never at the default [alloc_fail_prob = 0.0]). *)
 
 val put : t -> bytes -> unit
 (** Retire a buffer to the pool (dropped to the GC past [max_keep]).

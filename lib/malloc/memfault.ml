@@ -1,0 +1,71 @@
+(* Deterministic allocation-failure injection for the packet-buffer pools.
+
+   The netem idea applied to memory: every pooled allocation (Bpool.get)
+   asks this module for a verdict first, drawn from an explicit splitmix64
+   PRNG seeded from [Cost.config.alloc_fail_seed], so a run with the same
+   seed and the same allocation sequence replays its failure schedule
+   exactly.  A triggered failure can extend into a burst
+   ([Cost.config.alloc_fail_burst]) — kmem shortages come in runs.
+
+   With [Cost.config.alloc_fail_prob = 0.0] (the default) the verdict is a
+   single float compare and no PRNG state is touched, so calibrated
+   baseline runs are untouched. *)
+
+exception Nomem
+
+type t = {
+  mutable prng : int64;
+  mutable burst_left : int;
+  mutable draws : int;
+  mutable failures : int;
+}
+
+let state = { prng = 0L; burst_left = 0; draws = 0; failures = 0 }
+
+let seed_prng seed = Int64.logxor (Int64.of_int seed) 0x5851F42D4C957F2DL
+
+(* Re-seed from the live config and clear counters.  Benches and tests
+   call this after setting the alloc_fail_* knobs. *)
+let reset () =
+  state.prng <- seed_prng Cost.config.Cost.alloc_fail_seed;
+  state.burst_left <- 0;
+  state.draws <- 0;
+  state.failures <- 0
+
+let () = reset ()
+
+let next_u64 () =
+  let open Int64 in
+  state.prng <- add state.prng 0x9E3779B97F4A7C15L;
+  let z = state.prng in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let rand_float () =
+  Int64.to_float (Int64.shift_right_logical (next_u64 ()) 11)
+  *. (1.0 /. 9007199254740992.0)
+
+let should_fail () =
+  let p = Cost.config.Cost.alloc_fail_prob in
+  if p <= 0.0 then false
+  else if state.burst_left > 0 then begin
+    state.burst_left <- state.burst_left - 1;
+    state.failures <- state.failures + 1;
+    true
+  end
+  else begin
+    state.draws <- state.draws + 1;
+    if rand_float () < p then begin
+      state.burst_left <- max 0 (Cost.config.Cost.alloc_fail_burst - 1);
+      state.failures <- state.failures + 1;
+      true
+    end
+    else false
+  end
+
+(* The choke point called from Bpool.get. *)
+let check () = if should_fail () then raise Nomem
+
+let draws () = state.draws
+let failures () = state.failures

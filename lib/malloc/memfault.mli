@@ -1,0 +1,30 @@
+(** Deterministic seeded allocation-failure injection for {!Bpool}.
+
+    Netem for memory: with [Cost.config.alloc_fail_prob > 0], each pooled
+    packet-buffer allocation draws from a splitmix64 PRNG (seeded by
+    [Cost.config.alloc_fail_seed]) and fails with {!Nomem} at that
+    probability, optionally extending each trigger into a burst of
+    [Cost.config.alloc_fail_burst] consecutive failures.  At the default
+    probability 0.0 the check is one float compare and consumes no PRNG
+    state, so calibrated baselines are untouched. *)
+
+exception Nomem
+(** Raised by {!check} (from inside {!Bpool.get}) when the injector fires.
+    The stacks catch it at their allocation funnels and degrade: counted
+    drop, [Error.Nomem] to the caller, or backpressure. *)
+
+val reset : unit -> unit
+(** Re-seed from the live [Cost.config] and zero the counters.  Call after
+    changing any [alloc_fail_*] knob. *)
+
+val check : unit -> unit
+(** Draw one verdict; raises {!Nomem} on failure. *)
+
+val should_fail : unit -> bool
+(** Like {!check} but returns the verdict instead of raising. *)
+
+val draws : unit -> int
+(** Bernoulli draws taken (burst continuations not included). *)
+
+val failures : unit -> int
+(** Allocations failed, bursts included. *)

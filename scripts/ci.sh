@@ -16,8 +16,16 @@
 # and the longfat smoke (window scaling + NewReno + autotuning:
 # byte-exact under 1% loss at 10 ms RTT in both stacks, scaled windows
 # >= 5x the seed throughput at 50 ms, autotuned buffers >= 90% of manual
-# BDP sizing, and the persist probe fires in a forced zero-window run).
-# Finally, Table 1/2 are regenerated with every long-fat knob at its
+# BDP sizing, and the persist probe fires in a forced zero-window run),
+# and the overload smoke (survival under deliberate abuse: with the SYN
+# defense on, a 10x spoofed SYN flood must leave every legitimate client
+# served at >= 70% of clean goodput on both stacks; a 1% injected
+# allocation-failure soak must stay byte-exact with zero crashes; and
+# the guarded httpd must reclaim Slowloris-parked connections by header
+# deadline and still serve late legitimate clients).
+# Finally, Table 1/2 and the rtt percentiles are regenerated (with
+# --json, so the files are actually rewritten — without it the diff
+# check was vacuous) with every long-fat and overload knob at its
 # default and must be bit-identical to the committed baselines.
 set -eux
 
@@ -29,6 +37,8 @@ OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- sgsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- httpsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- rttsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- longfatsmoke
-dune exec bench/main.exe -- table1
-dune exec bench/main.exe -- table2
-git diff --exit-code BENCH_table1.json BENCH_table2.json
+OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- overloadsmoke
+dune exec bench/main.exe -- table1 --sg --json
+dune exec bench/main.exe -- table2 --json
+dune exec bench/main.exe -- rtt --json
+git diff --exit-code BENCH_table1.json BENCH_table2.json BENCH_rtt.json

@@ -24,4 +24,5 @@ let () =
       "advanced", Test_advanced.suite;
       "asyncio", Test_asyncio.suite;
       "fastpath", Test_fastpath.suite;
-      "longfat", Test_longfat.suite ]
+      "longfat", Test_longfat.suite;
+      "overload", Test_overload.suite ]
