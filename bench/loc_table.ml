@@ -64,10 +64,10 @@ let is_encapsulated source =
 
 let descriptions =
   [ "com", "COM interfaces & support";
-    "machine", "Simulated testbed hardware";
+    "machine", "Simulated testbed hardware (multi-CPU)";
     "boot", "Bootstrap support";
     "kern", "Kernel support";
-    "smp", "Multiprocessor support";
+    "smp", "Multiprocessor support (netisr, RSS)";
     "asyncio", "Readiness I/O & reactor";
     "httpd", "HTTP server component";
     "malloc", "Size-class allocator";

@@ -21,6 +21,8 @@
      longfatsmoke  long-fat-pipe CI gate (byte-exact, 5x, autotune, persist)
      overload   SYN flood x alloc failure x Slowloris, legit-client goodput
      overloadsmoke  overload-survival CI gate (goodput ratio, byte-exact soak)
+     smp        multi-CPU scale-out: netisr-sharded reactor httpd, RSS steering
+     smpsmoke   SMP CI gate (byte-exact, 4-CPU win, lock-free hot path)
 
    Network numbers come from the deterministic virtual-time simulation
    (they are not wall-clock); the allocator section uses Bechamel
@@ -682,6 +684,114 @@ let http () =
              json_int "reactor_spurious" r.Httpbench.r_reactor_spurious ])
        rows)
 
+(* ---------------- smp: multi-CPU scale-out ---------------- *)
+
+let smp_header () =
+  Printf.printf "%-6s %8s %10s %10s %10s %8s %8s %8s %6s  %s\n%!" "ncpus"
+    "clients" "req/s" "p50 (us)" "p99 (us)" "hw-rss" "netisr" "drops" "spins"
+    "cpu share"
+
+let smp_row r =
+  Printf.printf "%-6d %8d %10.0f %10.1f %10.1f %8d %8d %8d %6d  [%s]\n%!"
+    r.Smpbench.r_ncpus r.Smpbench.r_clients r.Smpbench.r_rps r.Smpbench.r_p50_us
+    r.Smpbench.r_p99_us r.Smpbench.r_rss_steered r.Smpbench.r_netisr_queued
+    r.Smpbench.r_netisr_drops r.Smpbench.r_spin_contentions
+    (String.concat " "
+       (Array.to_list
+          (Array.map (fun f -> Printf.sprintf "%.2f" f) r.Smpbench.r_cpu_share)))
+
+let smp_check r =
+  if r.Smpbench.r_mismatches > 0 then
+    failwith "smp: response was not byte-exact";
+  if r.Smpbench.r_responses <> r.Smpbench.r_requests then
+    failwith "smp: not every request got a 200";
+  if r.Smpbench.r_spin_contentions > 0 then
+    failwith "smp: spinlock contention on the per-flow hot path";
+  if r.Smpbench.r_netisr_drops > 0 then failwith "smp: netisr queue overflowed"
+
+let smp_speedup rows ~clients ~ncpus =
+  let at n =
+    List.find
+      (fun r -> r.Smpbench.r_ncpus = n && r.Smpbench.r_clients = clients)
+      rows
+  in
+  (at ncpus).Smpbench.r_rps /. (at 1).Smpbench.r_rps
+
+let smp () =
+  section_header
+    "SMP: netisr-sharded reactor httpd, RSS flow steering (req/s vs CPUs)";
+  smp_header ();
+  let rows =
+    List.concat_map
+      (fun clients ->
+        List.map
+          (fun ncpus ->
+            let r = Smpbench.run ~ncpus ~clients () in
+            smp_row r;
+            smp_check r;
+            r)
+          [ 1; 2; 4; 8 ])
+      [ 256; 1024; 2048 ]
+  in
+  print_newline ();
+  List.iter
+    (fun clients ->
+      Printf.printf "@%d clients: 2 CPUs %.2fx, 4 CPUs %.2fx, 8 CPUs %.2fx\n"
+        clients
+        (smp_speedup rows ~clients ~ncpus:2)
+        (smp_speedup rows ~clients ~ncpus:4)
+        (smp_speedup rows ~clients ~ncpus:8))
+    [ 256; 1024; 2048 ];
+  List.iter
+    (fun clients ->
+      if smp_speedup rows ~clients ~ncpus:4 < 3.0 then
+        failwith
+          (Printf.sprintf "smp: 4-CPU speedup under 3x at %d clients" clients))
+    [ 1024; 2048 ];
+  print_endline "\nsame payload bytes at every width; flows pinned to their RSS";
+  print_endline "home CPU, the listen socket accepting on CPU 0";
+  write_json "BENCH_smp.json" "rows"
+    [ json_str "bench" "smp"; json_int "file_bytes" Smpbench.file_bytes;
+      json_int "backlog" Smpbench.backlog; json_str "unit" "req/s" ]
+    (List.map
+       (fun r ->
+         json_obj
+           ([ json_int "ncpus" r.Smpbench.r_ncpus;
+              json_int "clients" r.Smpbench.r_clients;
+              json_int "requests" r.Smpbench.r_requests;
+              json_float "duration_ms" r.Smpbench.r_duration_ms;
+              json_float "rps" r.Smpbench.r_rps;
+              json_float "p50_us" r.Smpbench.r_p50_us;
+              json_float "p99_us" r.Smpbench.r_p99_us;
+              json_int "responses" r.Smpbench.r_responses;
+              json_int "mismatches" r.Smpbench.r_mismatches;
+              json_int "rss_steered" r.Smpbench.r_rss_steered;
+              json_int "netisr_queued" r.Smpbench.r_netisr_queued;
+              json_int "netisr_drops" r.Smpbench.r_netisr_drops;
+              json_int "spin_contentions" r.Smpbench.r_spin_contentions ]
+           @ Array.to_list
+               (Array.mapi
+                  (fun i f -> json_float (Printf.sprintf "cpu%d_share" i) f)
+                  r.Smpbench.r_cpu_share)))
+       rows)
+
+(* ---------------- smpsmoke: CI gate for SMP sharding ---------------- *)
+
+let smpsmoke () =
+  section_header "SMP smoke: 256-client sharding gates (fails loudly on regression)";
+  smp_header ();
+  let r1 = Smpbench.run ~ncpus:1 ~clients:256 () in
+  smp_row r1;
+  smp_check r1;
+  let r4 = Smpbench.run ~ncpus:4 ~clients:256 () in
+  smp_row r4;
+  smp_check r4;
+  if r4.Smpbench.r_rps <= r1.Smpbench.r_rps then
+    failwith "smpsmoke: 4 CPUs not faster than 1";
+  if r4.Smpbench.r_rss_steered + r4.Smpbench.r_netisr_queued = 0 then
+    failwith "smpsmoke: no frames were ever steered (sharding inert?)";
+  print_endline "byte-exact at both widths; 4-CPU req/s strictly higher; hot path lock-free"
+
 (* ---------------- httpsmoke: CI gate for the asyncio path ---------------- *)
 
 let httpsmoke () =
@@ -1110,7 +1220,9 @@ let sections =
     "longfat", longfat;
     "longfatsmoke", longfatsmoke;
     "overload", overload;
-    "overloadsmoke", overloadsmoke ]
+    "overloadsmoke", overloadsmoke;
+    "smp", smp;
+    "smpsmoke", smpsmoke ]
 
 let () =
   let names =

@@ -86,7 +86,7 @@ let linux_host host ~ip ~mask =
       Linux_inet.ifconfig stack ~addr:ip ~mask;
       stack)
 
-let spawn host ?name f = Kernel.spawn host.kernel ?name f
+let spawn host ?cpu ?name f = Kernel.spawn host.kernel ?cpu ?name f
 let run testbed ~until = World.run testbed.world ~until
 
 let reset_globals () =

@@ -60,8 +60,9 @@ val freebsd_host : host -> ip:int32 -> mask:int32 -> Bsd_socket.stack
 (** Monolithic Linux baseline. *)
 val linux_host : host -> ip:int32 -> mask:int32 -> Linux_inet.stack
 
-(** [spawn host f] runs [f] as a process-level thread on the host. *)
-val spawn : host -> ?name:string -> (unit -> unit) -> unit
+(** [spawn host f] runs [f] as a process-level thread on the host; [cpu]
+    pins it to that CPU (default: the spawning CPU). *)
+val spawn : host -> ?cpu:int -> ?name:string -> (unit -> unit) -> unit
 
 (** Run the world until [until] is true (checked between events), with a
     progress fuel bound. *)

@@ -134,7 +134,10 @@ let so_accept s =
   if s.pcb.Tcp.t_state <> Tcp.Listen then Result.Error Error.Inval
   else begin
     let rec wait () =
-      match Queue.take_opt s.pcb.Tcp.accept_q with
+      match
+        Tcp.with_accept_lock s.st.tcp (fun () ->
+            Queue.take_opt s.pcb.Tcp.accept_q)
+      with
       | Some conn -> Ok (wrap_pcb s.st conn)
       | None ->
           if s.pcb.Tcp.t_state <> Tcp.Listen then Result.Error Error.Badf

@@ -176,6 +176,10 @@ type tcpcb = {
   mutable on_writable : unit -> unit;
   mutable on_state : unit -> unit;
   mutable so_error : Error.t option;
+  (* SMP: the RSS home of this flow — the one CPU its frames are steered
+     to, its timers walk on, and its stats shard to.  Always 0 at
+     ncpus=1. *)
+  mutable home_cpu : int;
 }
 
 and t = {
@@ -199,7 +203,16 @@ and t = {
   (* token bucket for error responses (Cost.config.icmp_ratelimit) *)
   mutable err_tokens : float;
   mutable err_tok_ts : int;
+  (* [stats] is the aggregation view netstat and every existing test read;
+     [stats_shards.(cpu)] is the per-CPU split (every bump updates both).
+     One per machine CPU. *)
   stats : stats;
+  stats_shards : stats array;
+  (* The accept queue is the one cross-CPU structure: children complete
+     their handshake on their RSS home CPU and park here; the application
+     accepts on CPU 0.  Guarded by an honest spinlock when ncpus > 1 (the
+     per-flow hot path takes no locks). *)
+  accept_lock : Smp.spinlock;
 }
 
 let default_sb_size = 48 * 1024
@@ -221,7 +234,7 @@ let create_pcb t =
     t_dupacks = 0; rxclump_ts = 0; rxclump_bytes = 0;
     accept_q = Queue.create (); backlog = 0; listen_parent = None; syn_cache = [];
     on_readable = (fun () -> ()); on_writable = (fun () -> ());
-    on_state = (fun () -> ()); so_error = None }
+    on_state = (fun () -> ()); so_error = None; home_cpu = 0 }
 
 let rcv_window pcb = min (Sockbuf.space pcb.rcv_buf) (max_win lsl pcb.rcv_scale)
 
@@ -245,7 +258,31 @@ let hash_key pcb = (pcb.raddr, pcb.rport, pcb.lport)
 
 let register t pcb =
   if not (List.memq pcb t.pcbs) then t.pcbs <- pcb :: t.pcbs;
-  if pcb.t_state <> Listen then Hashtbl.replace t.pcb_hash (hash_key pcb) pcb
+  if pcb.t_state <> Listen then begin
+    Hashtbl.replace t.pcb_hash (hash_key pcb) pcb;
+    (* The flow's home CPU is fixed by the same symmetric hash the NIC
+       steers with, so input, timers, and output for this pcb all meet on
+       one CPU.  Listeners stay on CPU 0 (accepts happen there). *)
+    pcb.home_cpu <-
+      Rss.cpu_of_flow ~ncpus:(Machine.ncpus t.machine) ~proto:6
+        ~addr_a:pcb.laddr ~port_a:pcb.lport ~addr_b:pcb.raddr ~port_b:pcb.rport
+  end
+
+(* Run [f] under the listener accept-queue lock when the machine is
+   genuinely multiprocessor; single-CPU runs take today's lock-free path
+   (and charge nothing). *)
+let with_accept_lock t f =
+  if Machine.ncpus t.machine > 1 then Smp.with_spinlock t.accept_lock f
+  else f ()
+
+let stats_for t ~cpu = t.stats_shards.(cpu)
+
+(* Bump a statistic in the aggregate record and in the executing CPU's
+   shard, so netstat totals are ncpus-invariant and the shards always sum
+   to them. *)
+let bump t f =
+  f t.stats;
+  f t.stats_shards.(Machine.cpu t.machine)
 
 let detach t pcb =
   t.pcbs <- List.filter (fun x -> x != pcb) t.pcbs;
@@ -318,7 +355,7 @@ let tcp_reclaim t =
       if pcb.t_state = Time_wait then begin
         pcb.t_state <- Closed;
         pcb.tm_2msl <- 0;
-        t.stats.time_wait_reclaimed <- t.stats.time_wait_reclaimed + 1;
+        bump t (fun s -> s.time_wait_reclaimed <- s.time_wait_reclaimed + 1);
         detach t pcb;
         pcb.on_state ()
       end)
@@ -326,7 +363,7 @@ let tcp_reclaim t =
   List.iter
     (fun pcb ->
       if pcb.syn_cache <> [] then begin
-        t.stats.syncache_evicted <- t.stats.syncache_evicted + List.length pcb.syn_cache;
+        bump t (fun s -> s.syncache_evicted <- s.syncache_evicted + List.length pcb.syn_cache);
         pcb.syn_cache <- []
       end)
     t.pcbs
@@ -349,7 +386,7 @@ let err_allowed t =
       true
     end
     else begin
-      t.stats.rst_ratelimited <- t.stats.rst_ratelimited + 1;
+      bump t (fun s -> s.rst_ratelimited <- s.rst_ratelimited + 1);
       false
     end
   end
@@ -390,7 +427,7 @@ and emit_segment t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt ~wscale =
      on a timer or input path must never become an uncaught exception. *)
   try emit_segment_nomem t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt ~wscale
   with Memfault.Nomem ->
-    t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+    bump t (fun s -> s.nomem_drops <- s.nomem_drops + 1);
     tcp_reclaim t
 
 and emit_segment_nomem t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt ~wscale =
@@ -444,13 +481,13 @@ and emit_segment_nomem t pcb ~seq ~ack ~flags ~win ~payload ~mss_opt ~wscale =
   in
   Bytes.set_uint16_be d (o + 16) (if sum = 0 then 0xffff else sum);
   Cost.charge_cycles Cost.config.bsd_tcp_pkt_cycles;
-  t.stats.sndpack <- t.stats.sndpack + 1;
+  bump t (fun s -> s.sndpack <- s.sndpack + 1);
   Ip.output t.ip ~proto:Ip.proto_tcp ~src:pcb.laddr ~dst:pcb.raddr m
 
 and send_rst t ~src ~dst ~sport ~dport ~seq ~ack ~had_ack =
   try send_rst_nomem t ~src ~dst ~sport ~dport ~seq ~ack ~had_ack
   with Memfault.Nomem ->
-    t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+    bump t (fun s -> s.nomem_drops <- s.nomem_drops + 1);
     tcp_reclaim t
 
 and send_rst_nomem t ~src ~dst ~sport ~dport ~seq ~ack ~had_ack =
@@ -503,10 +540,10 @@ and send_synack_raw t ~laddr ~lport ~raddr ~rport ~iss ~irs ~mss =
     in
     Bytes.set_uint16_be d (o + 16) (if sum = 0 then 0xffff else sum);
     Cost.charge_cycles Cost.config.bsd_tcp_pkt_cycles;
-    t.stats.sndpack <- t.stats.sndpack + 1;
+    bump t (fun s -> s.sndpack <- s.sndpack + 1);
     Ip.output t.ip ~proto:Ip.proto_tcp ~src:laddr ~dst:raddr m
   with Memfault.Nomem ->
-    t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+    bump t (fun s -> s.nomem_drops <- s.nomem_drops + 1);
     tcp_reclaim t
 
 (* ------------------------------------------------------------------ *)
@@ -548,7 +585,7 @@ and tcp_output t pcb =
             (* No mbufs to clone the send window into: skip this round
                with the retransmit timer armed as the retry, and shed
                cold state so the retry finds room. *)
-            t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+            bump t (fun s -> s.nomem_drops <- s.nomem_drops + 1);
             tcp_reclaim t;
             if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur;
             false, None
@@ -603,7 +640,7 @@ and send_syn t pcb ~with_ack =
 and drop_connection t pcb err =
   pcb.t_state <- Closed;
   pcb.so_error <- Some err;
-  t.stats.drops <- t.stats.drops + 1;
+  bump t (fun s -> s.drops <- s.drops + 1);
   detach t pcb;
   pcb.on_state ();
   pcb.on_readable ();
@@ -613,7 +650,7 @@ and rexmt_timeout t pcb =
   pcb.t_rxtshift <- pcb.t_rxtshift + 1;
   if pcb.t_rxtshift > max_rxtshift then drop_connection t pcb Error.Timedout
   else begin
-    t.stats.sndrexmitpack <- t.stats.sndrexmitpack + 1;
+    bump t (fun s -> s.sndrexmitpack <- s.sndrexmitpack + 1);
     pcb.t_rxtcur <- min 128 (max 1 pcb.t_rxtcur * 2);
     let w = max (min pcb.snd_wnd pcb.snd_cwnd / 2) (2 * pcb.t_maxseg) in
     pcb.snd_ssthresh <- w;
@@ -646,40 +683,52 @@ and persist_timeout t pcb =
      end
    with Memfault.Nomem ->
      (* The probe is skipped; the persist timer re-arms below anyway. *)
-     t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+     bump t (fun s -> s.nomem_drops <- s.nomem_drops + 1);
      tcp_reclaim t);
   pcb.tm_persist <- min 128 (max 2 (pcb.t_rxtcur * 2))
 
-and slow_tick t =
-  let pcbs = List.filter (fun p -> p.t_state <> Listen) t.pcbs in
-  List.iter
-    (fun pcb ->
-      if pcb.t_rtt > 0 then pcb.t_rtt <- pcb.t_rtt + 1;
-      let fire_rexmt = pcb.tm_rexmt = 1 in
-      let fire_persist = pcb.tm_persist = 1 in
-      let fire_2msl = pcb.tm_2msl = 1 in
-      if pcb.tm_rexmt > 0 then pcb.tm_rexmt <- pcb.tm_rexmt - 1;
-      if pcb.tm_persist > 0 then pcb.tm_persist <- pcb.tm_persist - 1;
-      if pcb.tm_2msl > 0 then pcb.tm_2msl <- pcb.tm_2msl - 1;
-      if fire_rexmt then rexmt_timeout t pcb;
-      if fire_persist && pcb.t_state <> Closed then persist_timeout t pcb;
-      if fire_2msl && pcb.t_state = Time_wait then begin
-        pcb.t_state <- Closed;
-        detach t pcb;
-        pcb.on_state ()
-      end)
-    pcbs
+and slow_tick_pcb t pcb =
+  if pcb.t_rtt > 0 then pcb.t_rtt <- pcb.t_rtt + 1;
+  let fire_rexmt = pcb.tm_rexmt = 1 in
+  let fire_persist = pcb.tm_persist = 1 in
+  let fire_2msl = pcb.tm_2msl = 1 in
+  if pcb.tm_rexmt > 0 then pcb.tm_rexmt <- pcb.tm_rexmt - 1;
+  if pcb.tm_persist > 0 then pcb.tm_persist <- pcb.tm_persist - 1;
+  if pcb.tm_2msl > 0 then pcb.tm_2msl <- pcb.tm_2msl - 1;
+  if fire_rexmt then rexmt_timeout t pcb;
+  if fire_persist && pcb.t_state <> Closed then persist_timeout t pcb;
+  if fire_2msl && pcb.t_state = Time_wait then begin
+    pcb.t_state <- Closed;
+    detach t pcb;
+    pcb.on_state ()
+  end
 
-and fast_tick t =
-  List.iter
-    (fun pcb ->
-      if pcb.delack_pending then begin
-        pcb.delack_pending <- false;
-        pcb.ack_now <- true;
-        t.stats.delack <- t.stats.delack + 1;
-        tcp_output t pcb
-      end)
-    t.pcbs
+(* On a multiprocessor, each tick walks the pcbs one home CPU at a time,
+   with the walk's charges (retransmissions, probes, delayed ACKs) landing
+   on that CPU's clock — the per-CPU timer shards.  At ncpus=1 the walk is
+   exactly the pre-SMP single pass. *)
+and tick_by_home t pcbs per_pcb =
+  let ncpus = Machine.ncpus t.machine in
+  if ncpus <= 1 then List.iter (per_pcb t) pcbs
+  else
+    for cpu = 0 to ncpus - 1 do
+      match List.filter (fun p -> p.home_cpu = cpu) pcbs with
+      | [] -> ()
+      | mine -> Machine.run_on t.machine ~cpu (fun () -> List.iter (per_pcb t) mine)
+    done
+
+and slow_tick t =
+  tick_by_home t (List.filter (fun p -> p.t_state <> Listen) t.pcbs) slow_tick_pcb
+
+and fast_tick_pcb t pcb =
+  if pcb.delack_pending then begin
+    pcb.delack_pending <- false;
+    pcb.ack_now <- true;
+    bump t (fun s -> s.delack <- s.delack + 1);
+    tcp_output t pcb
+  end
+
+and fast_tick t = tick_by_home t t.pcbs fast_tick_pcb
 
 (* ------------------------------------------------------------------ *)
 (* RTT estimation (Jacobson, BSD fixed point)                          *)
@@ -790,7 +839,7 @@ let enter_time_wait t pcb =
           if i < excess then begin
             victim.t_state <- Closed;
             victim.tm_2msl <- 0;
-            t.stats.time_wait_reclaimed <- t.stats.time_wait_reclaimed + 1;
+            bump t (fun s -> s.time_wait_reclaimed <- s.time_wait_reclaimed + 1);
             detach t victim;
             victim.on_state ()
           end)
@@ -814,12 +863,12 @@ let syncache_add t pcb ~src ~sport ~seq ~mss =
   | None ->
       let iss = syn_cookie t ~raddr:src ~rport:sport ~lport:pcb.lport ~mss:mss' in
       let e = { sc_raddr = src; sc_rport = sport; sc_irs = seq; sc_iss = iss; sc_mss = mss' } in
-      t.stats.syncache_added <- t.stats.syncache_added + 1;
+      bump t (fun s -> s.syncache_added <- s.syncache_added + 1);
       let cache = e :: pcb.syn_cache in
       let cap = max 1 Cost.config.syncache_size in
       let n = List.length cache in
       if n > cap then begin
-        t.stats.syncache_evicted <- t.stats.syncache_evicted + (n - cap);
+        bump t (fun s -> s.syncache_evicted <- s.syncache_evicted + (n - cap));
         pcb.syn_cache <- List.filteri (fun i _ -> i < cap) cache
       end
       else pcb.syn_cache <- cache;
@@ -834,17 +883,20 @@ let enter_established t pcb =
       emit_segment t pcb ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:(th_rst lor th_ack)
         ~win:0 ~payload:None ~mss_opt:false ~wscale:None;
       pcb.t_state <- Closed;
-      t.stats.drops <- t.stats.drops + 1;
+      bump t (fun s -> s.drops <- s.drops + 1);
       detach t pcb
   | parent_opt ->
       pcb.t_state <- Established;
       pcb.snd_cwnd <- 2 * pcb.t_maxseg;
       (match parent_opt with
       | Some parent ->
-          t.stats.accepts <- t.stats.accepts + 1;
-          Queue.add pcb parent.accept_q;
+          bump t (fun s -> s.accepts <- s.accepts + 1);
+          (* Park on the listener's queue: this runs on the child's home
+             CPU while accepts drain from CPU 0, so it is the one hot-path-
+             adjacent structure that genuinely needs the lock. *)
+          with_accept_lock t (fun () -> Queue.add pcb parent.accept_q);
           parent.on_readable ()
-      | None -> t.stats.connects <- t.stats.connects + 1);
+      | None -> bump t (fun s -> s.connects <- s.connects + 1));
       pcb.on_state ();
       pcb.on_writable ()
 
@@ -872,7 +924,7 @@ let process_ack pcb ack =
   end
 
 let fast_retransmit t pcb =
-  t.stats.fastrexmit <- t.stats.fastrexmit + 1;
+  bump t (fun s -> s.fastrexmit <- s.fastrexmit + 1);
   let w = max (min pcb.snd_wnd pcb.snd_cwnd / 2) (2 * pcb.t_maxseg) in
   pcb.snd_ssthresh <- w;
   pcb.snd_recover <- pcb.snd_max;
@@ -958,7 +1010,7 @@ let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~wscale ~da
          else if listen_q_len t pcb >= max 1 pcb.backlog then
           (* Queue overflow: drop the SYN on the floor (the peer will
              retransmit it) and count the drop. *)
-          t.stats.listen_overflow <- t.stats.listen_overflow + 1
+          bump t (fun s -> s.listen_overflow <- s.listen_overflow + 1)
         else begin
           let conn = create_pcb t in
           conn.laddr <- pcb.laddr;
@@ -1042,7 +1094,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
       if todrop >= !dlen then begin
         (* Entirely duplicate data (or a pure old segment). *)
         if !dlen > 0 then begin
-          t.stats.rcvdup <- t.stats.rcvdup + 1;
+          bump t (fun s -> s.rcvdup <- s.rcvdup + 1);
           dup := true;
           pcb.ack_now <- true
         end;
@@ -1061,7 +1113,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
     let wnd = rcv_window pcb in
     let past = seq_diff (m32 (!seq + !dlen)) (m32 (pcb.rcv_nxt + wnd)) in
     if past > 0 && !dlen > 0 then begin
-      t.stats.rcvafterwin <- t.stats.rcvafterwin + 1;
+      bump t (fun s -> s.rcvafterwin <- s.rcvafterwin + 1);
       if past >= !dlen then begin
         (* Entirely beyond the window. *)
         pcb.ack_now <- true;
@@ -1171,7 +1223,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
           pcb.on_readable ()
         end
         else begin
-          t.stats.rcvoo <- t.stats.rcvoo + 1;
+          bump t (fun s -> s.rcvoo <- s.rcvoo + 1);
           pcb.reass <- (!seq, data) :: pcb.reass;
           stored := true;
           let before = pcb.rcv_buf.Sockbuf.sb_cc in
@@ -1227,19 +1279,19 @@ and syncache_expand t pcb ~src ~sport ~seq ~ack ~flags ~win ~data =
     match entry with
     | Some e when ack = m32 (e.sc_iss + 1) && seq = m32 (e.sc_irs + 1) ->
         pcb.syn_cache <- List.filter (fun x -> x != e) pcb.syn_cache;
-        t.stats.syncache_completed <- t.stats.syncache_completed + 1;
+        bump t (fun s -> s.syncache_completed <- s.syncache_completed + 1);
         Some (e.sc_iss, e.sc_irs, e.sc_mss)
     | Some _ -> None (* cached, but the numbers don't line up: bogus *)
     | None -> (
         match check_cookie t ~raddr:src ~rport:sport ~lport:pcb.lport ~iss:(m32 (ack - 1)) with
         | Some mss ->
-            t.stats.syncookies_validated <- t.stats.syncookies_validated + 1;
+            bump t (fun s -> s.syncookies_validated <- s.syncookies_validated + 1);
             Some (m32 (ack - 1), m32 (seq - 1), mss)
         | None -> None)
   in
   match params with
   | None ->
-      t.stats.syncookies_rejected <- t.stats.syncookies_rejected + 1;
+      bump t (fun s -> s.syncookies_rejected <- s.syncookies_rejected + 1);
       if err_allowed t then
         send_rst t ~src ~dst:pcb.laddr ~sport ~dport:pcb.lport ~seq ~ack ~had_ack:true;
       false
@@ -1248,7 +1300,7 @@ and syncache_expand t pcb ~src ~sport ~seq ~ack ~flags ~win ~data =
         (* Accept queue full: drop the ACK, not the handshake — the peer
            retransmits, and the cookie completes it once the queue
            drains. *)
-        t.stats.listen_overflow <- t.stats.listen_overflow + 1;
+        bump t (fun s -> s.listen_overflow <- s.listen_overflow + 1);
         false
       end
       else begin
@@ -1337,7 +1389,7 @@ let rec input t ~src ~dst m =
     (* The only unguarded allocation on the input path is the header
        pullup, which fails before the chain is touched: drop the segment
        whole, as if the wire had lost it. *)
-    t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+    bump t (fun s -> s.nomem_drops <- s.nomem_drops + 1);
     tcp_reclaim t;
     Mbuf.m_freem m
 
@@ -1353,11 +1405,11 @@ and input_segment t ~src ~dst m =
       Cost.charge_cycles
         (max 0 (Cost.config.bsd_tcp_pkt_cycles - Cost.config.tcp_fastpath_cycles))
   in
-  t.stats.rcvpack <- t.stats.rcvpack + 1;
+  bump t (fun s -> s.rcvpack <- s.rcvpack + 1);
   let total = Mbuf.m_length m in
   if total < tcp_hlen then begin
     slowpath ();
-    t.stats.rcvshort <- t.stats.rcvshort + 1;
+    bump t (fun s -> s.rcvshort <- s.rcvshort + 1);
     Mbuf.m_freem m
   end
   else begin
@@ -1367,7 +1419,7 @@ and input_segment t ~src ~dst m =
     in
     if sum <> 0 then begin
       slowpath ();
-      t.stats.rcvbadsum <- t.stats.rcvbadsum + 1;
+      bump t (fun s -> s.rcvbadsum <- s.rcvbadsum + 1);
       Mbuf.m_freem m
     end
     else begin
@@ -1420,8 +1472,8 @@ and input_segment t ~src ~dst m =
           let win = if flags land th_syn = 0 then win lsl pcb.snd_scale else win in
           if fast && fastpath_pred pcb ~seq ~ack ~flags ~dlen then begin
             Cost.count_fastpath_hit ();
-            if dlen > 0 then t.stats.preddat <- t.stats.preddat + 1
-            else t.stats.predack <- t.stats.predack + 1;
+            if dlen > 0 then bump t (fun s -> s.preddat <- s.preddat + 1)
+            else bump t (fun s -> s.predack <- s.predack + 1);
             if not (fastpath_input t pcb ~seq ~ack ~win ~data:m ~dlen) then Mbuf.m_freem m
           end
           else begin
@@ -1434,7 +1486,7 @@ and input_segment t ~src ~dst m =
               && flags land (th_syn lor th_fin lor th_rst) = 0
             then begin
               Cost.count_fastpath_fallback ();
-              t.stats.predfallback <- t.stats.predfallback + 1
+              bump t (fun s -> s.predfallback <- s.predfallback + 1)
             end;
             if
               not
@@ -1448,20 +1500,24 @@ and input_segment t ~src ~dst m =
 (* ------------------------------------------------------------------ *)
 (* user requests (what the socket layer calls)                         *)
 
+let make_stats () =
+  { sndpack = 0; sndrexmitpack = 0; rcvpack = 0; rcvdup = 0; rcvoo = 0;
+    rcvbadsum = 0; rcvshort = 0; rcvafterwin = 0; delack = 0; fastrexmit = 0;
+    drops = 0; accepts = 0; connects = 0; listen_overflow = 0;
+    predack = 0; preddat = 0; predfallback = 0;
+    syncache_added = 0; syncache_evicted = 0; syncache_completed = 0;
+    syncookies_validated = 0; syncookies_rejected = 0;
+    time_wait_reclaimed = 0; nomem_drops = 0; rst_ratelimited = 0 }
+
 let attach ip machine =
   let t =
     { ip; machine; pcbs = []; pcb_hash = Hashtbl.create 64; last_pcb = None;
       next_ephemeral = 1024; iss_source = 1;
       ticking = false; tw_list = []; cookie_secret = 0x6b8b4567;
       err_tokens = float_of_int Cost.config.icmp_ratelimit; err_tok_ts = 0;
-      stats =
-        { sndpack = 0; sndrexmitpack = 0; rcvpack = 0; rcvdup = 0; rcvoo = 0;
-          rcvbadsum = 0; rcvshort = 0; rcvafterwin = 0; delack = 0; fastrexmit = 0;
-          drops = 0; accepts = 0; connects = 0; listen_overflow = 0;
-          predack = 0; preddat = 0; predfallback = 0;
-          syncache_added = 0; syncache_evicted = 0; syncache_completed = 0;
-          syncookies_validated = 0; syncookies_rejected = 0;
-          time_wait_reclaimed = 0; nomem_drops = 0; rst_ratelimited = 0 } }
+      stats = make_stats ();
+      stats_shards = Array.init (Machine.ncpus machine) (fun _ -> make_stats ());
+      accept_lock = Smp.spinlock ~name:"tcp-accept" () }
   in
   Ip.set_proto ip ~proto:Ip.proto_tcp (fun ~src ~dst m -> input t ~src ~dst m);
   t
@@ -1523,7 +1579,7 @@ let usr_send t pcb ~src ~src_pos ~len =
           (* ENOBUFS backpressure: shed cold state, and kick the writer
              again shortly — with nothing in flight no ACK would ever
              arrive to unblock a sleeping sender. *)
-          t.stats.nomem_drops <- t.stats.nomem_drops + 1;
+          bump t (fun s -> s.nomem_drops <- s.nomem_drops + 1);
           tcp_reclaim t;
           ignore (Machine.after t.machine 10_000_000 (fun () -> pcb.on_writable ()))
         end;
@@ -1576,7 +1632,7 @@ let usr_close t pcb =
          hold no segments, so dropping the list frees everything (the
          late-arriving ACK of a freed entry gets the no-listener RST). *)
       if pcb.syn_cache <> [] then begin
-        t.stats.syncache_evicted <- t.stats.syncache_evicted + List.length pcb.syn_cache;
+        bump t (fun s -> s.syncache_evicted <- s.syncache_evicted + List.length pcb.syn_cache);
         pcb.syn_cache <- []
       end;
       Queue.iter (fun conn -> if conn.t_state <> Closed then usr_abort t conn) pcb.accept_q;

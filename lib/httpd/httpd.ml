@@ -144,14 +144,11 @@ let resp_503 =
 
 (* ---- event-driven mode ---- *)
 
-(* Registers the listen watch and returns immediately; the caller drives
-   the reactor loop.  [max_conns] is the memory budget's connection cap —
-   at the cap new connections are accepted and immediately dropped
-   (shed), which keeps the accept queue draining. *)
-let serve_reactor ~reactor ~root ~(sock : Io_if.socket) ?(max_conns = max_int) () =
-  let st = make_stats () in
-  ignore (sock.Io_if.so_setsockopt "nonblock" 1);
-  let start_conn (c : Io_if.socket) =
+(* One accepted connection on [reactor]: the nonblocking read-request /
+   write-response state machine.  Shared by the single-reactor mode and
+   the per-CPU sharded mode (where [reactor] is the one pinned to the
+   connection's RSS home CPU). *)
+let reactor_conn ~reactor st root (c : Io_if.socket) =
     st.accepted <- st.accepted + 1;
     st.active <- st.active + 1;
     if st.active > st.peak_active then st.peak_active <- st.active;
@@ -231,10 +228,14 @@ let serve_reactor ~reactor ~root ~(sock : Io_if.socket) ?(max_conns = max_int) (
                st.deadline_closed <- st.deadline_closed + 1;
                finish ()
              end))
-  in
-  let rec accept_drain () =
+
+(* The nonblocking accept loop, shared by both reactor modes: shed above
+   the guard high-water mark or the memory budget, otherwise hand the
+   connection (and its peer address) to [start]. *)
+let accept_drain ~st ~max_conns ~(sock : Io_if.socket) ~start () =
+  let rec go () =
     match sock.Io_if.so_accept () with
-    | Ok (c, _peer) ->
+    | Ok (c, peer) ->
         if
           Cost.config.httpd_guard
           && Cost.config.httpd_shed_hiwat > 0
@@ -253,12 +254,46 @@ let serve_reactor ~reactor ~root ~(sock : Io_if.socket) ?(max_conns = max_int) (
           st.shed <- st.shed + 1;
           ignore (c.Io_if.so_close ())
         end
-        else start_conn c;
-        accept_drain ()
+        else start c peer;
+        go ()
     | Result.Error Error.Wouldblock -> ()
     | Result.Error _ -> ()
   in
-  ignore (Reactor.watch reactor (aio_of sock) ~mask:Io_if.aio_read (fun _ -> accept_drain ()));
+  go ()
+
+(* Registers the listen watch and returns immediately; the caller drives
+   the reactor loop.  [max_conns] is the memory budget's connection cap —
+   at the cap new connections are accepted and immediately dropped
+   (shed), which keeps the accept queue draining. *)
+let serve_reactor ~reactor ~root ~(sock : Io_if.socket) ?(max_conns = max_int) () =
+  let st = make_stats () in
+  ignore (sock.Io_if.so_setsockopt "nonblock" 1);
+  let start c _peer = reactor_conn ~reactor st root c in
+  ignore
+    (Reactor.watch reactor (aio_of sock) ~mask:Io_if.aio_read (fun _ ->
+         accept_drain ~st ~max_conns ~sock ~start ()));
+  st
+
+(* SMP sharded serving: the acceptor lives on [reactors.(0)] (listen
+   sockets accept on CPU 0), and each accepted connection migrates to the
+   reactor of its flow's RSS home CPU — [home] maps the peer address to
+   that CPU, and the caller drives [reactors.(i)] with a loop thread
+   pinned to CPU [i].  From then on the connection's socket I/O, protocol
+   work, and wakeups all stay on its home CPU; the shared [stats] record
+   is bumped from whichever CPU runs the event (serialized virtual time
+   makes that safe — it is the accept queue, not the counters, that needs
+   the stack-side lock). *)
+let serve_reactor_sharded ~reactors ~home ~root ~(sock : Io_if.socket)
+    ?(max_conns = max_int) () =
+  let st = make_stats () in
+  ignore (sock.Io_if.so_setsockopt "nonblock" 1);
+  let start c (peer : Io_if.sockaddr) =
+    let cpu = home peer mod Array.length reactors in
+    reactor_conn ~reactor:reactors.(cpu) st root c
+  in
+  ignore
+    (Reactor.watch reactors.(0) (aio_of sock) ~mask:Io_if.aio_read (fun _ ->
+         accept_drain ~st ~max_conns ~sock ~start ()));
   st
 
 (* ---- thread-per-connection mode ---- *)

@@ -20,15 +20,16 @@ let traps t = t.traps
 let console t = t.console
 let timer t = t.timer
 
-let spawn t ?name f =
+let spawn t ?cpu ?name f =
+  let cpu = match cpu with Some c -> c | None -> Machine.cpu t.machine in
   (* Thread creation is free by default; the concurrency benches set
      [thread_spawn_cycles] to charge the stack carve-out to this kernel's
      clock. *)
   if Cost.config.Cost.thread_spawn_cycles > 0 then
-    Machine.run_in t.machine (fun () ->
+    Machine.run_on t.machine ~cpu (fun () ->
         Cost.charge_cycles Cost.config.Cost.thread_spawn_cycles);
-  Thread.spawn t.sched ?name f;
-  Machine.kick t.machine
+  Thread.spawn t.sched ~cpu ?name f;
+  Machine.kick_on t.machine ~cpu
 
 let console_putc t c =
   Machine.run_in t.machine (fun () -> Serial.write_byte t.console (Char.code c))

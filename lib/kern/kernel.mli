@@ -17,9 +17,10 @@ val traps : t -> Trap.table
 val console : t -> Serial.t
 val timer : t -> Timer_dev.t
 
-(** [spawn t f] starts a process-level thread and kicks the machine so the
-    world will run it. *)
-val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t ?cpu f] starts a process-level thread homed on CPU [cpu]
+    (default: the caller's CPU) and kicks that CPU so the world will run
+    it. *)
+val spawn : t -> ?cpu:int -> ?name:string -> (unit -> unit) -> unit
 
 (** Write to the console UART (the default [putchar] of the minimal C
     library is pointed here by the umbrella library). *)

@@ -6,10 +6,10 @@ type _ Effect.t +=
 
 type sched = {
   machine : Machine.t;
-  runq : (unit -> unit) Queue.t;
+  runqs : (unit -> unit) Queue.t array; (* one per CPU *)
   mutable live : int;
-  mutable running : bool;
-  mutable current_name : string option;
+  running : bool array; (* per CPU *)
+  current_name : string option array; (* per CPU *)
   mutable failures : (string * exn) list;
 }
 
@@ -18,9 +18,14 @@ type sched = {
 let scheds : (string, sched) Hashtbl.t = Hashtbl.create 8
 
 let create_sched machine =
+  let n = Machine.ncpus machine in
   let s =
-    { machine; runq = Queue.create (); live = 0; running = false;
-      current_name = None; failures = [] }
+    { machine;
+      runqs = Array.init n (fun _ -> Queue.create ());
+      live = 0;
+      running = Array.make n false;
+      current_name = Array.make n None;
+      failures = [] }
   in
   Hashtbl.replace scheds (Machine.name machine) s;
   s
@@ -30,28 +35,38 @@ let self_sched () =
   | None -> None
   | Some m -> Hashtbl.find_opt scheds (Machine.name m)
 
-let self_name () = Option.bind (self_sched ()) (fun s -> s.current_name)
+let self_name () =
+  Option.bind (self_sched ()) (fun s ->
+      s.current_name.(Machine.cpu s.machine))
 
-let enqueue s thunk = Queue.add thunk s.runq
+let self_cpu () =
+  match self_sched () with None -> 0 | Some s -> Machine.cpu s.machine
 
+let enqueue s ~cpu thunk = Queue.add thunk s.runqs.(cpu)
+
+(* Drain the executing CPU's queue.  Threads homed on other CPUs run when
+   their CPU's own kick/interrupt events fire. *)
 let rec run s =
-  if not s.running then begin
-    s.running <- true;
+  let cpu = Machine.cpu s.machine in
+  if not s.running.(cpu) then begin
+    s.running.(cpu) <- true;
+    let q = s.runqs.(cpu) in
     let rec loop () =
-      match Queue.take_opt s.runq with
+      match Queue.take_opt q with
       | None -> ()
       | Some thunk ->
           thunk ();
           loop ()
     in
-    Fun.protect ~finally:(fun () -> s.running <- false) loop;
+    Fun.protect ~finally:(fun () -> s.running.(cpu) <- false) loop;
     (* Wakers that fired during the last thunk may have refilled the queue. *)
-    if not (Queue.is_empty s.runq) then run s
+    if not (Queue.is_empty q) then run s
   end
 
 let install s = Machine.set_run_hook s.machine (fun () -> run s)
 
-let handler s name =
+(* [cpu] is the thread's home CPU: it runs, yields back, and wakes there. *)
+let handler s ~cpu name =
   let open Effect.Deep in
   { retc = (fun () -> s.live <- s.live - 1);
     exnc =
@@ -64,8 +79,8 @@ let handler s name =
         | Yield ->
             Some
               (fun (k : (a, unit) continuation) ->
-                enqueue s (fun () ->
-                    s.current_name <- Some name;
+                enqueue s ~cpu (fun () ->
+                    s.current_name.(cpu) <- Some name;
                     continue k ()))
         | Suspend f ->
             Some
@@ -74,23 +89,24 @@ let handler s name =
                 let waker () =
                   if not !fired then begin
                     fired := true;
-                    enqueue s (fun () ->
-                        s.current_name <- Some name;
+                    enqueue s ~cpu (fun () ->
+                        s.current_name.(cpu) <- Some name;
                         continue k ());
-                    (* If the wake came from outside the machine's
-                       execution (a bare world event), get the scheduler
-                       re-entered. *)
-                    if not s.running then Machine.kick s.machine
+                    (* If the wake came from outside the home CPU's
+                       execution (a bare world event, or another CPU), get
+                       that CPU's scheduler re-entered. *)
+                    if not s.running.(cpu) then Machine.kick_on s.machine ~cpu
                   end
                 in
                 f waker)
         | _ -> None) }
 
-let spawn s ?(name = "thread") f =
+let spawn s ?cpu ?(name = "thread") f =
+  let cpu = match cpu with Some c -> c | None -> Machine.cpu s.machine in
   s.live <- s.live + 1;
-  enqueue s (fun () ->
-      s.current_name <- Some name;
-      Effect.Deep.match_with f () (handler s name))
+  enqueue s ~cpu (fun () ->
+      s.current_name.(cpu) <- Some name;
+      Effect.Deep.match_with f () (handler s ~cpu name))
 
 let yield () = Effect.perform Yield
 let suspend f = Effect.perform (Suspend f)

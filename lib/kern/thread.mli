@@ -18,9 +18,12 @@ val create_sched : Machine.t -> sched
     get the process level running again. *)
 val install : sched -> unit
 
-(** [spawn s ?name f] creates a runnable thread.  Uncaught exceptions from
-    [f] are recorded (see [failures]) and kill only that thread. *)
-val spawn : sched -> ?name:string -> (unit -> unit) -> unit
+(** [spawn s ?cpu ?name f] creates a runnable thread homed on CPU [cpu]
+    (default: the CPU the caller executes on, or 0 from outside).  The
+    thread runs, yields back, and wakes on its home CPU only.  Uncaught
+    exceptions from [f] are recorded (see [failures]) and kill only that
+    thread. *)
+val spawn : sched -> ?cpu:int -> ?name:string -> (unit -> unit) -> unit
 
 (** Cede the CPU to other runnable threads.  Must be called from a
     thread. *)
@@ -34,8 +37,9 @@ type waker = unit -> unit
     arrange for it to be called (from interrupt level or another thread). *)
 val suspend : (waker -> unit) -> unit
 
-(** [run s] executes runnable threads until none remain runnable.  Normally
-    invoked via the machine's run hook, not directly. *)
+(** [run s] executes the calling CPU's runnable threads until none remain
+    runnable there.  Normally invoked via the machine's run hook, not
+    directly. *)
 val run : sched -> unit
 
 (** Number of threads not yet terminated. *)
@@ -50,3 +54,6 @@ val self_sched : unit -> sched option
 (** Name of the running thread (for diagnostics and the "current process"
     emulation in glue code). *)
 val self_name : unit -> string option
+
+(** CPU the caller executes on (0 outside any machine). *)
+val self_cpu : unit -> int

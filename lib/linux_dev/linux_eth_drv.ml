@@ -77,14 +77,40 @@ let napi_coalesce_ns = 100_000
    peer retransmit timeouts.  This is exactly Linux's interrupt mitigation
    loop: under light load it degenerates to one interrupt, one frame, no
    added latency. *)
+(* Group a burst by RSS home CPU, preserving arrival order within each
+   group (a flow always maps to one CPU, so per-flow order is kept). *)
+let group_by_cpu ~ncpus frames =
+  let groups = ref [] in
+  List.iter
+    (fun frame ->
+      let cpu = Rss.cpu_of_frame ~ncpus frame in
+      match List.assoc_opt cpu !groups with
+      | Some r -> r := frame :: !r
+      | None -> groups := !groups @ [ (cpu, ref [ frame ]) ])
+    frames;
+  List.map (fun (cpu, r) -> (cpu, List.rev !r)) !groups
+
 let napi_poll machine dev () =
   dev.napi_scheduled <- false;
   let budget = max 1 Cost.config.rx_batch in
+  let ncpus = Machine.ncpus machine in
   let rec drain () =
     match Nic.pop_rx_burst dev.hw ~max:budget with
     | [] -> ()
     | frames ->
-        dev.netif_rx_v (List.map (wrap_rx dev) frames);
+        if ncpus <= 1 then dev.netif_rx_v (List.map (wrap_rx dev) frames)
+        else begin
+          (* RSS: each home CPU gets its slice of the burst as one vectored
+             upcall on that CPU, so the per-frame driver work, the glue
+             crossing, and the protocol input all charge the home CPU. *)
+          let isr = Netisr.for_machine machine in
+          List.iter
+            (fun (cpu, fs) ->
+              ignore
+                (Netisr.dispatch isr ~cpu (fun () ->
+                     dev.netif_rx_v (List.map (wrap_rx dev) fs))))
+            (group_by_cpu ~ncpus frames)
+        end;
         drain ()
   in
   drain ();
@@ -103,15 +129,28 @@ let napi_schedule machine dev =
    frame — one upcall each, today's exact behaviour.  With a batch budget,
    leave the frames in the ring and schedule the poll above. *)
 let device_interrupt dev () =
-  if Cost.config.rx_batch <= 1 then
+  if Cost.config.rx_batch <= 1 then begin
+    let steer =
+      match Machine.current () with
+      | Some machine when Machine.ncpus machine > 1 -> Some machine
+      | _ -> None
+    in
     let rec drain () =
       match Nic.pop_rx dev.hw with
       | None -> ()
       | Some frame ->
-          dev.netif_rx (wrap_rx dev frame);
+          (match steer with
+          | None -> dev.netif_rx (wrap_rx dev frame)
+          | Some machine ->
+              let ncpus = Machine.ncpus machine in
+              let cpu = Rss.cpu_of_frame ~ncpus frame in
+              ignore
+                (Netisr.dispatch (Netisr.for_machine machine) ~cpu (fun () ->
+                     dev.netif_rx (wrap_rx dev frame))));
           drain ()
     in
     drain ()
+  end
   else if Nic.rx_pending dev.hw > 0 then
     match Machine.current () with
     | Some machine -> napi_schedule machine dev

@@ -66,6 +66,10 @@ type ready_listener = { rl_id : int; rl_mask : int; rl_fn : int -> unit }
 type sock = {
   stack : stack;
   mutable state : tcp_state;
+  (* RSS home CPU: where this flow's input, timers, and stat bumps run.
+     Assigned when the 4-tuple is known (connect / SYN-child creation);
+     always 0 at ncpus=1. *)
+  mutable home_cpu : int;
   mutable lport : int;
   mutable rport : int;
   mutable raddr : int32;
@@ -185,6 +189,26 @@ and stack = {
   mutable rst_ratelimited : int;
   mutable err_tokens : float;
   mutable err_tok_ts : int;
+  (* Per-CPU shards of the per-segment counters (netstat sharding): every
+     bump updates BOTH the flat aggregate field above — so existing readers
+     see unchanged totals at any ncpus — and the executing CPU's shard; the
+     shards always sum to the aggregate. *)
+  shards : lshard array;
+  (* The listen backlog is the one structure touched from two CPUs (SYN
+     children enqueue on their home CPU, accept drains on the listener's);
+     everything per-flow stays lock-free. *)
+  lsk_accept_lock : Smp.spinlock;
+}
+
+and lshard = {
+  mutable sh_segs_out : int;
+  mutable sh_segs_in : int;
+  mutable sh_rexmits : int;
+  mutable sh_rcvdup : int;
+  mutable sh_rcvoo : int;
+  mutable sh_predack : int;
+  mutable sh_preddat : int;
+  mutable sh_predfallback : int;
 }
 
 let create machine =
@@ -198,20 +222,45 @@ let create machine =
     syncache_added = 0; syncache_evicted = 0; syncache_completed = 0;
     syncookies_validated = 0; syncookies_rejected = 0; time_wait_reclaimed = 0;
     nomem_drops = 0; rst_ratelimited = 0;
-    err_tokens = float_of_int Cost.config.icmp_ratelimit; err_tok_ts = 0 }
+    err_tokens = float_of_int Cost.config.icmp_ratelimit; err_tok_ts = 0;
+    shards =
+      Array.init (Machine.ncpus machine) (fun _ ->
+          { sh_segs_out = 0; sh_segs_in = 0; sh_rexmits = 0; sh_rcvdup = 0;
+            sh_rcvoo = 0; sh_predack = 0; sh_preddat = 0; sh_predfallback = 0 });
+    lsk_accept_lock = Smp.spinlock ~name:"inet-accept" () }
+
+let shard t = t.shards.(Machine.cpu t.machine)
+
+let with_accept_lock t f =
+  if Machine.ncpus t.machine > 1 then Smp.with_spinlock t.lsk_accept_lock f
+  else f ()
 
 (* ---- hashed demux maintenance ---- *)
 
 let sock_key s = (s.raddr, s.rport, s.lport)
 
-(* Insert once the 4-tuple is known (connect, SYN-child creation). *)
-let sock_hash_add t s = Hashtbl.replace t.sock_hash (sock_key s) s
+(* Insert once the 4-tuple is known (connect, SYN-child creation).  This is
+   also the moment the flow's RSS home CPU becomes computable; the software
+   hash must agree with the frame-steering hash, and does because
+   [Rss.flow_hash] is direction-symmetric. *)
+let sock_hash_add t s =
+  s.home_cpu <-
+    Rss.cpu_of_flow ~ncpus:(Machine.ncpus t.machine) ~proto:6 ~addr_a:t.my_ip
+      ~port_a:s.lport ~addr_b:s.raddr ~port_b:s.rport;
+  Hashtbl.replace t.sock_hash (sock_key s) s
 
 let sock_hash_remove t s =
   (match Hashtbl.find_opt t.sock_hash (sock_key s) with
   | Some x when x == s -> Hashtbl.remove t.sock_hash (sock_key s)
   | _ -> ());
   match t.last_sock with Some x when x == s -> t.last_sock <- None | _ -> ()
+
+(* Arm a per-flow timer on the flow's home CPU, so the fire (retransmit,
+   probe, TIME_WAIT reclaim) charges that CPU's clock.  At ncpus=1 this is
+   exactly [Machine.after]. *)
+let after_home t s dt f =
+  if Machine.ncpus t.machine <= 1 then Machine.after t.machine dt f
+  else Machine.at_on t.machine ~cpu:s.home_cpu (Machine.now t.machine + dt) f
 
 let ifconfig t ~addr ~mask =
   t.my_ip <- addr;
@@ -526,7 +575,7 @@ let lx_enter_time_wait t s =
     end
   end;
   ignore
-    (Machine.after t.machine time_wait_ns (fun () ->
+    (after_home t s time_wait_ns (fun () ->
          if s.state = Time_wait then begin
            s.state <- Closed;
            t.socks <- List.filter (fun x -> x != s) t.socks;
@@ -596,7 +645,7 @@ let rec tcp_xmit t s ~seq ~flags ~payload ~queue =
       false
   | skb ->
   Cost.charge_cycles Cost.config.linux_tcp_pkt_cycles;
-  t.segs_out <- t.segs_out + 1;
+  t.segs_out <- t.segs_out + 1; (shard t).sh_segs_out <- (shard t).sh_segs_out + 1;
   Skbuff.skb_reserve skb (eth_hlen + ip_hlen);
   let off = Skbuff.skb_put skb (hlen + plen) in
   let d = skb.Skbuff.skb_data in
@@ -669,7 +718,7 @@ and arm_rexmt t s =
     s.rexmt_armed <- true;
     let rec schedule delay =
       ignore
-        (Machine.after t.machine delay (fun () ->
+        (after_home t s delay (fun () ->
              match s.rexmt_q with
              | [] -> s.rexmt_armed <- false
              | entry :: _ ->
@@ -694,7 +743,7 @@ and arm_rexmt t s =
                    wake s
                  end
                  else begin
-                   t.rexmits <- t.rexmits + 1;
+                   t.rexmits <- t.rexmits + 1; (shard t).sh_rexmits <- (shard t).sh_rexmits + 1;
                    s.rexmt_shift <- s.rexmt_shift + 1;
                    s.ssthresh <- max (2 * s.smss) (min s.cwnd s.snd_wnd / 2);
                    s.cwnd <- s.smss;
@@ -725,7 +774,7 @@ and arm_persist t s =
     s.persist_armed <- true;
     let delay = s.rto_ns * (1 lsl min s.persist_shift rexmt_max_shift) in
     ignore
-      (Machine.after t.machine delay (fun () ->
+      (after_home t s delay (fun () ->
            s.persist_armed <- false;
            let blocked =
              (match s.state with Established | Close_wait -> true | _ -> false)
@@ -752,7 +801,7 @@ let send_ack t s =
 let send_rst_for t ~src ~sport ~dport ~ack =
   (* A minimal unsocketed RST. *)
   let fake =
-    { stack = t; state = Closed; lport = dport; rport = sport; raddr = src; iss = 0;
+    { stack = t; state = Closed; home_cpu = 0; lport = dport; rport = sport; raddr = src; iss = 0;
       snd_una = ack; snd_nxt = ack; snd_wnd = 0; cwnd = mss; ssthresh = 0;
       smss = Cost.config.tcp_mss; snd_scale = 0; rcv_scale = 0; peer_wscale = -1;
       dupacks = 0; recover = 0; srtt_ns = 0; rttvar_ns = 0; rto_ns = rexmt_ns;
@@ -771,7 +820,7 @@ let send_rst_for t ~src ~sport ~dport ~ack =
 
 let new_sock t =
   let s =
-    { stack = t; state = Closed; lport = 0; rport = 0; raddr = 0l; iss = 0; snd_una = 0;
+    { stack = t; state = Closed; home_cpu = 0; lport = 0; rport = 0; raddr = 0l; iss = 0; snd_una = 0;
       snd_nxt = 0; snd_wnd = default_window; cwnd = Cost.config.tcp_mss;
       ssthresh = 64 * 1024;
       smss = Cost.config.tcp_mss; snd_scale = 0; rcv_scale = 0; peer_wscale = -1;
@@ -827,7 +876,7 @@ let find_sock t ~src ~sport ~dport =
    (the cookie has no room to remember the peer's scale). *)
 let lx_send_synack t ~raddr ~rport ~lport ~iss ~irs ~mss =
   let fake =
-    { stack = t; state = Syn_recv; lport; rport; raddr; iss;
+    { stack = t; state = Syn_recv; home_cpu = 0; lport; rport; raddr; iss;
       snd_una = iss; snd_nxt = iss; snd_wnd = 0; cwnd = mss; ssthresh = 0;
       smss = mss; snd_scale = 0; rcv_scale = 0; peer_wscale = -1;
       dupacks = 0; recover = 0; srtt_ns = 0; rttvar_ns = 0; rto_ns = rexmt_ns;
@@ -921,7 +970,7 @@ let lx_syncache_expand t s ~src ~sport ~seq ~ack ~win =
         c.smss <- mss;
         c.snd_wnd <- win;
         c.cwnd <- 2 * c.smss;
-        Queue.add c s.backlog_q;
+        with_accept_lock t (fun () -> Queue.add c s.backlog_q);
         wake s;
         wake c
       end
@@ -940,7 +989,7 @@ let retransmit_head t s =
   match s.rexmt_q with
   | [] -> ()
   | e :: _ ->
-      t.rexmits <- t.rexmits + 1;
+      t.rexmits <- t.rexmits + 1; (shard t).sh_rexmits <- (shard t).sh_rexmits + 1;
       s.rexmt_stamp <- Machine.now t.machine;
       if e.rx_frame.Skbuff.link_ready then
         Linux_eth_drv.hard_start_xmit (dev_of t) e.rx_frame
@@ -1062,11 +1111,11 @@ let autotune_rcv t s ~dlen =
 let ooo_insert t s ~seq skb =
   let dlen = skb.Skbuff.len in
   if not Cost.config.tcp_wscale then begin
-    t.rcvoo <- t.rcvoo + 1;
+    t.rcvoo <- t.rcvoo + 1; (shard t).sh_rcvoo <- (shard t).sh_rcvoo + 1;
     false
   end
   else if List.exists (fun (q, _) -> q = seq) s.ooo_q then begin
-    t.rcvdup <- t.rcvdup + 1;
+    t.rcvdup <- t.rcvdup + 1; (shard t).sh_rcvdup <- (shard t).sh_rcvdup + 1;
     false
   end
   else if s.ooo_bytes + dlen > s.rcv_buf_max then begin
@@ -1116,7 +1165,7 @@ let tcp_rcv t skb ~src =
       Cost.charge_cycles
         (max 0 (Cost.config.linux_tcp_pkt_cycles - Cost.config.tcp_fastpath_cycles))
   in
-  t.segs_in <- t.segs_in + 1;
+  t.segs_in <- t.segs_in + 1; (shard t).sh_segs_in <- (shard t).sh_segs_in + 1;
   let d = skb.Skbuff.skb_data and o = skb.Skbuff.head in
   (* The buffer is consumed here unless it lands on a receive queue. *)
   let stored = ref false in
@@ -1172,7 +1221,14 @@ let tcp_rcv t skb ~src =
              excludes SYN, so the window field is always scale-shifted. *)
           let win = win lsl s.snd_scale in
           Cost.count_fastpath_hit ();
-          if dlen > 0 then t.preddat <- t.preddat + 1 else t.predack <- t.predack + 1;
+          if dlen > 0 then begin
+            t.preddat <- t.preddat + 1;
+            (shard t).sh_preddat <- (shard t).sh_preddat + 1
+          end
+          else begin
+            t.predack <- t.predack + 1;
+            (shard t).sh_predack <- (shard t).sh_predack + 1
+          end;
           tcp_ack_in t s ~ack ~win ~dlen;
           if dlen > 0 then begin
             autotune_rcv t s ~dlen;
@@ -1197,7 +1253,7 @@ let tcp_rcv t skb ~src =
             && flags land (th_syn lor th_fin lor th_rst) = 0
           then begin
             Cost.count_fastpath_fallback ();
-            t.predfallback <- t.predfallback + 1
+            t.predfallback <- t.predfallback + 1; (shard t).sh_predfallback <- (shard t).sh_predfallback + 1
           end;
           if flags land th_rst <> 0 then begin
             if s.state <> Listen then begin
@@ -1309,7 +1365,8 @@ let tcp_rcv t skb ~src =
                       ack_advance t s ack;
                       (match parent_opt with
                       | Some p ->
-                          Queue.add s p.backlog_q;
+                          with_accept_lock t (fun () ->
+                              Queue.add s p.backlog_q);
                           wake p
                       | None -> ());
                       wake s
@@ -1349,7 +1406,10 @@ let tcp_rcv t skb ~src =
                   end
                   else begin
                     (* Duplicate or no room: count which, dup-ACK, drop. *)
-                    if seq_lt seq s.rcv_nxt then t.rcvdup <- t.rcvdup + 1
+                    if seq_lt seq s.rcv_nxt then begin
+                      t.rcvdup <- t.rcvdup + 1;
+                      (shard t).sh_rcvdup <- (shard t).sh_rcvdup + 1
+                    end
                     else t.rcvfull <- t.rcvfull + 1;
                     send_ack t s
                   end
@@ -1425,8 +1485,9 @@ let listen t s ~backlog =
   s.state <- Listen
 
 let accept _t s =
+  let t = s.stack in
   let rec wait () =
-    match Queue.take_opt s.backlog_q with
+    match with_accept_lock t (fun () -> Queue.take_opt s.backlog_q) with
     | Some c -> Ok c
     | None ->
         if s.state <> Listen then Result.Error Error.Badf

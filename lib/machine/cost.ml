@@ -32,7 +32,11 @@ type config = {
   mutable httpd_header_deadline_ns : int;
   mutable httpd_max_header_bytes : int;
   mutable httpd_shed_hiwat : int;
+  mutable ncpus : int;
+  mutable netisr_qmax : int;
 }
+
+let max_cpus = 16
 
 let defaults () =
   { cpu_hz = 200_000_000;
@@ -67,7 +71,9 @@ let defaults () =
     httpd_guard = false;
     httpd_header_deadline_ns = 1_000_000_000;
     httpd_max_header_bytes = 4096;
-    httpd_shed_hiwat = 0 }
+    httpd_shed_hiwat = 0;
+    ncpus = 1;
+    netisr_qmax = 512 }
 
 let config = defaults ()
 
@@ -105,7 +111,9 @@ let reset_config () =
   config.httpd_guard <- d.httpd_guard;
   config.httpd_header_deadline_ns <- d.httpd_header_deadline_ns;
   config.httpd_max_header_bytes <- d.httpd_max_header_bytes;
-  config.httpd_shed_hiwat <- d.httpd_shed_hiwat
+  config.httpd_shed_hiwat <- d.httpd_shed_hiwat;
+  config.ncpus <- d.ncpus;
+  config.netisr_qmax <- d.netisr_qmax
 
 type counters = {
   mutable copies : int;
@@ -121,33 +129,63 @@ type counters = {
   mutable pcb_cache_misses : int;
   mutable rx_polls : int;
   mutable rx_batched_frames : int;
+  mutable spin_contentions : int;
+  mutable netisr_queued : int;
+  mutable netisr_drops : int;
+  mutable rss_steered : int;
 }
 
-let counters =
+let make_counters () =
   { copies = 0; copied_bytes = 0; glue_crossings = 0; com_calls = 0;
     checksummed_bytes = 0; sg_xmits = 0; linearized_xmits = 0;
     fastpath_hits = 0; fastpath_fallbacks = 0;
     pcb_cache_hits = 0; pcb_cache_misses = 0;
-    rx_polls = 0; rx_batched_frames = 0 }
+    rx_polls = 0; rx_batched_frames = 0;
+    spin_contentions = 0; netisr_queued = 0; netisr_drops = 0; rss_steered = 0 }
+
+(* [counters] is the aggregation view every existing test and bench reads;
+   [shards.(cpu)] is the per-CPU split.  Every bump updates both, so the
+   totals are identical at any ncpus and the shards always sum to them. *)
+let counters = make_counters ()
+let shards = Array.init max_cpus (fun _ -> make_counters ())
+
+let clear_counters c =
+  c.copies <- 0;
+  c.copied_bytes <- 0;
+  c.glue_crossings <- 0;
+  c.com_calls <- 0;
+  c.checksummed_bytes <- 0;
+  c.sg_xmits <- 0;
+  c.linearized_xmits <- 0;
+  c.fastpath_hits <- 0;
+  c.fastpath_fallbacks <- 0;
+  c.pcb_cache_hits <- 0;
+  c.pcb_cache_misses <- 0;
+  c.rx_polls <- 0;
+  c.rx_batched_frames <- 0;
+  c.spin_contentions <- 0;
+  c.netisr_queued <- 0;
+  c.netisr_drops <- 0;
+  c.rss_steered <- 0
 
 let reset_counters () =
-  counters.copies <- 0;
-  counters.copied_bytes <- 0;
-  counters.glue_crossings <- 0;
-  counters.com_calls <- 0;
-  counters.checksummed_bytes <- 0;
-  counters.sg_xmits <- 0;
-  counters.linearized_xmits <- 0;
-  counters.fastpath_hits <- 0;
-  counters.fastpath_fallbacks <- 0;
-  counters.pcb_cache_hits <- 0;
-  counters.pcb_cache_misses <- 0;
-  counters.rx_polls <- 0;
-  counters.rx_batched_frames <- 0
+  clear_counters counters;
+  Array.iter clear_counters shards
 
 let sink : (int -> unit) option ref = ref None
 let set_sink f = sink := f
+let get_sink () = !sink
 let has_sink () = Option.is_some !sink
+
+(* Which CPU is executing, for counter attribution.  Installed by Machine
+   alongside the charge sink; outside any machine context CPU 0 absorbs the
+   bump (mirroring how charges outside a machine are dropped — the shard is
+   still counted so the aggregation invariant holds). *)
+let cpu_source : (unit -> int) option ref = ref None
+let set_cpu_source f = cpu_source := f
+let current_cpu () = match !cpu_source with Some f -> f () | None -> 0
+let counters_for ~cpu = shards.(cpu)
+let shard () = shards.(current_cpu ())
 
 let charge_ns ns = match !sink with Some f -> f ns | None -> ()
 
@@ -155,33 +193,49 @@ let charge_ns ns = match !sink with Some f -> f ns | None -> ()
 let cycles_to_ns c = c * 1_000_000_000 / config.cpu_hz
 let charge_cycles c = charge_ns (cycles_to_ns c)
 
+(* [bump f] applies the same increment to the aggregate record and to the
+   executing CPU's shard. *)
+let bump f =
+  f counters;
+  f (shard ())
+
 let charge_copy n =
-  counters.copies <- counters.copies + 1;
-  counters.copied_bytes <- counters.copied_bytes + n;
+  bump (fun c ->
+      c.copies <- c.copies + 1;
+      c.copied_bytes <- c.copied_bytes + n);
   charge_cycles (n * config.copy_cycles_per_byte)
 
 let charge_checksum n =
-  counters.checksummed_bytes <- counters.checksummed_bytes + n;
+  bump (fun c -> c.checksummed_bytes <- c.checksummed_bytes + n);
   charge_cycles (n * config.checksum_cycles_per_byte)
 
-let count_com_call () = counters.com_calls <- counters.com_calls + 1
-let count_sg_xmit () = counters.sg_xmits <- counters.sg_xmits + 1
-let count_linearized_xmit () = counters.linearized_xmits <- counters.linearized_xmits + 1
-let count_fastpath_hit () = counters.fastpath_hits <- counters.fastpath_hits + 1
+let count_com_call () = bump (fun c -> c.com_calls <- c.com_calls + 1)
+let count_sg_xmit () = bump (fun c -> c.sg_xmits <- c.sg_xmits + 1)
+let count_linearized_xmit () =
+  bump (fun c -> c.linearized_xmits <- c.linearized_xmits + 1)
+let count_fastpath_hit () = bump (fun c -> c.fastpath_hits <- c.fastpath_hits + 1)
 let count_fastpath_fallback () =
-  counters.fastpath_fallbacks <- counters.fastpath_fallbacks + 1
-let count_pcb_cache_hit () = counters.pcb_cache_hits <- counters.pcb_cache_hits + 1
-let count_pcb_cache_miss () = counters.pcb_cache_misses <- counters.pcb_cache_misses + 1
+  bump (fun c -> c.fastpath_fallbacks <- c.fastpath_fallbacks + 1)
+let count_pcb_cache_hit () = bump (fun c -> c.pcb_cache_hits <- c.pcb_cache_hits + 1)
+let count_pcb_cache_miss () =
+  bump (fun c -> c.pcb_cache_misses <- c.pcb_cache_misses + 1)
 let count_rx_poll ~frames =
-  counters.rx_polls <- counters.rx_polls + 1;
-  counters.rx_batched_frames <- counters.rx_batched_frames + frames
+  bump (fun c ->
+      c.rx_polls <- c.rx_polls + 1;
+      c.rx_batched_frames <- c.rx_batched_frames + frames)
+
+let count_spin_contention () =
+  bump (fun c -> c.spin_contentions <- c.spin_contentions + 1)
+let count_netisr_queued () = bump (fun c -> c.netisr_queued <- c.netisr_queued + 1)
+let count_netisr_drop () = bump (fun c -> c.netisr_drops <- c.netisr_drops + 1)
+let count_rss_steered () = bump (fun c -> c.rss_steered <- c.rss_steered + 1)
 
 let charge_com_call () =
-  counters.com_calls <- counters.com_calls + 1;
+  bump (fun c -> c.com_calls <- c.com_calls + 1);
   charge_cycles config.com_call_cycles
 
 let charge_glue_crossing () =
-  counters.glue_crossings <- counters.glue_crossings + 1;
+  bump (fun c -> c.glue_crossings <- c.glue_crossings + 1);
   charge_cycles config.glue_crossing_cycles
 
 let charge_alloc () = charge_cycles config.alloc_cycles

@@ -146,7 +146,21 @@ type config = {
           which new connections are answered [503 Retry-After] and closed
           instead of admitted.  [0] = no shedding below [max_conns].
           Default 0. *)
+  mutable ncpus : int;
+      (** How many CPUs a {!Machine.create}d machine gets (each with its
+          own cycle clock and run queue, advanced in lockstep virtual
+          time), and therefore how many netisr protocol shards the network
+          stacks run.  Default 1 — single-CPU, so every committed baseline
+          regenerates bit-identically; the smp bench raises it. *)
+  mutable netisr_qmax : int;
+      (** Bound on each per-CPU netisr message queue (frames steered to a
+          CPU but not yet processed); beyond it frames are dropped and
+          counted ({!field:counters.netisr_drops}), like a software-interrupt
+          queue overflow.  Default 512. *)
 }
+
+(** Hard ceiling on {!field:config.ncpus} (shard arrays are sized to it). *)
+val max_cpus : int
 
 (** The live configuration; benches mutate it for ablations. *)
 val config : config
@@ -200,9 +214,25 @@ type counters = {
   mutable rx_batched_frames : int;
       (** frames carried by those deliveries; mean burst =
           rx_batched_frames / rx_polls *)
+  mutable spin_contentions : int;
+      (** spinlock acquisitions that found the lock held (cross-CPU
+          contended spins and failed trylocks) *)
+  mutable netisr_queued : int;  (** frames steered to another CPU's netisr queue *)
+  mutable netisr_drops : int;  (** frames dropped because that queue was full *)
+  mutable rss_steered : int;
+      (** frames the NIC's hardware RSS classified into a multi-queue RX
+          ring (each queue's MSI-X vector interrupts the flow's home CPU) *)
 }
 
+(** The aggregation view: totals across all CPUs.  Every bump lands here
+    {e and} in the executing CPU's shard, so tests written against these
+    totals read the same numbers at any [ncpus]. *)
 val counters : counters
+
+(** [counters_for ~cpu] — the events attributed to one CPU.  Shards sum to
+    {!counters} field-by-field. *)
+val counters_for : cpu:int -> counters
+
 val reset_counters : unit -> unit
 
 (** {2 Event counting without a cycle charge}
@@ -225,6 +255,11 @@ val count_pcb_cache_miss : unit -> unit
     frames. *)
 val count_rx_poll : frames:int -> unit
 
+val count_spin_contention : unit -> unit
+val count_netisr_queued : unit -> unit
+val count_netisr_drop : unit -> unit
+val count_rss_steered : unit -> unit
+
 (** {2 Context plumbing} *)
 
 (** [set_sink f] installs the receiver of charged nanoseconds ([None] =
@@ -232,5 +267,17 @@ val count_rx_poll : frames:int -> unit
     use. *)
 val set_sink : (int -> unit) option -> unit
 
+(** The installed sink, so a test that temporarily replaces it can restore
+    the machine attribution instead of clobbering it process-wide. *)
+val get_sink : unit -> (int -> unit) option
+
 (** Whether a machine context is installed. *)
 val has_sink : unit -> bool
+
+(** [set_cpu_source f] installs the reader of the executing CPU number, for
+    per-CPU counter attribution.  Installed by {!Machine}; not for client
+    use. *)
+val set_cpu_source : (unit -> int) option -> unit
+
+(** The executing CPU per the installed source; 0 outside any machine. *)
+val current_cpu : unit -> int

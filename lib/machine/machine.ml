@@ -4,49 +4,93 @@ type t = {
   name : string;
   world : World.t;
   ram : Physmem.t;
-  mutable now : int;
+  ncpus : int;
+  clocks : int array; (* per-CPU local time, ns *)
+  busy : int array; (* per-CPU charged (non-idle) ns — utilization *)
+  mutable cur_cpu : int; (* CPU executing (or last to execute) *)
   handlers : (unit -> unit) option array;
+  affinity : int array; (* irq line -> servicing CPU *)
+  aff_mask : int array; (* cpu -> bitmask of the lines it services *)
   mutable masked : int; (* bitmask: 1 = masked *)
   mutable pending : int;
   mutable enabled : bool;
-  mutable in_dispatch : bool;
+  in_dispatch : bool array; (* per CPU *)
   mutable run_hook : unit -> unit;
-  mutable kick_queued : bool;
+  kick_queued : bool array; (* per CPU *)
 }
 
 let current_machine : t option ref = ref None
 
 let () =
-  (* All cost charges land on whichever machine is executing. *)
+  (* All cost charges land on whichever machine — and CPU — is executing. *)
   Cost.set_sink
     (Some
        (fun ns ->
          match !current_machine with
-         | Some m -> m.now <- m.now + ns
-         | None -> ()))
+         | Some m ->
+             m.clocks.(m.cur_cpu) <- m.clocks.(m.cur_cpu) + ns;
+             m.busy.(m.cur_cpu) <- m.busy.(m.cur_cpu) + ns
+         | None -> ()));
+  Cost.set_cpu_source
+    (Some
+       (fun () -> match !current_machine with Some m -> m.cur_cpu | None -> 0))
 
-let create ?(name = "pc") ?(ram_bytes = 8 * 1024 * 1024) world =
+let create ?(name = "pc") ?(ram_bytes = 8 * 1024 * 1024) ?ncpus world =
+  let ncpus = match ncpus with Some n -> n | None -> Cost.config.Cost.ncpus in
+  if ncpus < 1 || ncpus > Cost.max_cpus then invalid_arg "Machine.create: ncpus";
+  let aff_mask = Array.make ncpus 0 in
+  (* Every line starts on CPU 0, like an unprogrammed IO-APIC. *)
+  aff_mask.(0) <- (1 lsl irq_lines) - 1;
   { name;
     world;
     ram = Physmem.create ~bytes:ram_bytes;
-    now = 0;
+    ncpus;
+    clocks = Array.make ncpus 0;
+    busy = Array.make ncpus 0;
+    cur_cpu = 0;
     handlers = Array.make irq_lines None;
+    affinity = Array.make irq_lines 0;
+    aff_mask;
     masked = 0;
     pending = 0;
     enabled = true;
-    in_dispatch = false;
+    in_dispatch = Array.make ncpus false;
     run_hook = (fun () -> ());
-    kick_queued = false }
+    kick_queued = Array.make ncpus false }
 
 let name t = t.name
 let world t = t.world
 let ram t = t.ram
-let now t = t.now
+let ncpus t = t.ncpus
+let now t = t.clocks.(t.cur_cpu)
+let cpu_now t ~cpu = t.clocks.(cpu)
+let cpu_busy_ns t ~cpu = t.busy.(cpu)
 
-let run_in t f =
+let is_current t = match !current_machine with Some m -> m == t | None -> false
+
+(* The CPU of [t] the caller is executing on; 0 when [t] is not the
+   executing machine (device models and the test harness act as CPU 0). *)
+let cpu t = if is_current t then t.cur_cpu else 0
+
+let check_cpu t cpu ctx =
+  if cpu < 0 || cpu >= t.ncpus then invalid_arg (ctx ^ ": bad cpu")
+
+let run_in_on t cpu f =
   let prev = !current_machine in
+  let prev_cpu = t.cur_cpu in
   current_machine := Some t;
-  Fun.protect ~finally:(fun () -> current_machine := prev) f
+  t.cur_cpu <- cpu;
+  Fun.protect
+    ~finally:(fun () ->
+      t.cur_cpu <- prev_cpu;
+      current_machine := prev)
+    f
+
+let run_in t f = run_in_on t (cpu t) f
+
+let run_on t ~cpu f =
+  check_cpu t cpu "Machine.run_on";
+  run_in_on t cpu f
 
 let current () = !current_machine
 
@@ -56,15 +100,31 @@ let set_irq_handler t ~irq f =
 
 let bit irq = 1 lsl irq
 
-(* Deliver every pending, unmasked line while interrupts are enabled.  Runs
-   with [current_machine = t]; handlers execute to completion, one at a
-   time, lowest line first — PIC priority order. *)
+let set_irq_affinity t ~irq ~cpu =
+  if irq < 0 || irq >= irq_lines then invalid_arg "set_irq_affinity: bad irq";
+  check_cpu t cpu "Machine.set_irq_affinity";
+  t.affinity.(irq) <- cpu;
+  Array.fill t.aff_mask 0 t.ncpus 0;
+  for l = 0 to irq_lines - 1 do
+    t.aff_mask.(t.affinity.(l)) <- t.aff_mask.(t.affinity.(l)) lor bit l
+  done
+
+let irq_affinity t ~irq = t.affinity.(irq)
+
+(* Deliver every pending, unmasked line routed to the executing CPU while
+   interrupts are enabled.  Runs with [current_machine = t]; handlers
+   execute to completion, one at a time, lowest line first — PIC priority
+   order.  Lines homed on other CPUs are untouched; their interrupts are
+   delivered by their own world events. *)
 let rec dispatch_pending t =
-  if t.enabled && (not t.in_dispatch) && t.pending land lnot t.masked <> 0 then begin
-    t.in_dispatch <- true;
+  let c = t.cur_cpu in
+  let eligible () = t.pending land lnot t.masked land t.aff_mask.(c) in
+  if t.enabled && (not t.in_dispatch.(c)) && eligible () <> 0 then begin
+    t.in_dispatch.(c) <- true;
+    let elig = eligible () in
     let rec find irq =
       if irq >= irq_lines then None
-      else if t.pending land bit irq <> 0 && t.masked land bit irq = 0 then Some irq
+      else if elig land bit irq <> 0 then Some irq
       else find (irq + 1)
     in
     (match find 0 with
@@ -73,7 +133,7 @@ let rec dispatch_pending t =
         t.pending <- t.pending land lnot (bit irq);
         Cost.charge_cycles Cost.config.irq_entry_cycles;
         match t.handlers.(irq) with Some f -> f () | None -> ()));
-    t.in_dispatch <- false;
+    t.in_dispatch.(c) <- false;
     dispatch_pending t
   end
 
@@ -83,8 +143,6 @@ let run_hook_and_drain t =
   dispatch_pending t
 
 let mask_irq t ~irq = t.masked <- t.masked lor bit irq
-
-let is_current t = match !current_machine with Some m -> m == t | None -> false
 
 let unmask_irq t ~irq =
   t.masked <- t.masked land lnot (bit irq);
@@ -103,35 +161,53 @@ let with_interrupts_disabled t f =
   t.enabled <- false;
   Fun.protect ~finally:(fun () -> if was then enable_interrupts t) f
 
+(* Enter CPU [cpu] from a world event: its local clock catches up to the
+   world (it can never run backwards — it may already be ahead from
+   computing), then interrupt and process level run. *)
+let enter_from_world t cpu f =
+  t.clocks.(cpu) <- max t.clocks.(cpu) (World.now t.world);
+  run_in_on t cpu f
+
 let raise_irq t ~irq =
   if irq < 0 || irq >= irq_lines then invalid_arg "raise_irq: bad irq";
   t.pending <- t.pending lor bit irq;
-  if is_current t then dispatch_pending t
-  else begin
-    (* Raised from outside the machine (a world event): synchronise the
-       local clock with the world and service the interrupt, then let the
-       kernel's process level run. *)
-    t.now <- max t.now (World.now t.world);
-    run_in t (fun () -> run_hook_and_drain t)
+  let target = t.affinity.(irq) in
+  if is_current t then begin
+    if target = t.cur_cpu then dispatch_pending t
+    else
+      (* Cross-CPU interrupt from software (an IPI): deliver via a world
+         event no earlier than the raising CPU's local time. *)
+      ignore
+        (World.at t.world t.clocks.(t.cur_cpu) (fun () ->
+             enter_from_world t target (fun () -> run_hook_and_drain t)))
   end
+  else
+    (* Raised from outside the machine (a world event): synchronise the
+       servicing CPU's clock with the world and service the interrupt, then
+       let the kernel's process level run. *)
+    enter_from_world t target (fun () -> run_hook_and_drain t)
 
 let set_run_hook t f = t.run_hook <- f
 
-let kick t =
-  if not t.kick_queued then begin
-    t.kick_queued <- true;
+let kick_on t ~cpu =
+  check_cpu t cpu "Machine.kick_on";
+  if not t.kick_queued.(cpu) then begin
+    t.kick_queued.(cpu) <- true;
     ignore
-      (World.at t.world t.now (fun () ->
-           t.kick_queued <- false;
-           t.now <- max t.now (World.now t.world);
-           run_in t (fun () -> run_hook_and_drain t)))
+      (World.at t.world t.clocks.(cpu) (fun () ->
+           t.kick_queued.(cpu) <- false;
+           enter_from_world t cpu (fun () -> run_hook_and_drain t)))
   end
 
-let at t time f =
+let kick t = kick_on t ~cpu:(cpu t)
+
+let at_on t ~cpu time f =
+  check_cpu t cpu "Machine.at_on";
   World.at t.world time (fun () ->
-      t.now <- max t.now (World.now t.world);
-      run_in t (fun () ->
+      enter_from_world t cpu (fun () ->
           f ();
           run_hook_and_drain t))
 
-let after t dt f = at t (t.now + dt) f
+(* Events fire on the CPU that armed them, like a local-APIC timer. *)
+let at t time f = at_on t ~cpu:(cpu t) time f
+let after t dt f = at t (now t + dt) f

@@ -1,27 +1,54 @@
-(** One simulated PC.
+(** One simulated PC, with one or more CPUs.
 
-    A machine owns a local CPU clock, physical memory, and a 16-line
-    interrupt controller.  OS code "runs on" a machine via {!run_in}, which
-    routes {!Cost} charges to the machine's clock.  Devices raise interrupts
-    through {!raise_irq}; handlers run at interrupt level, to completion,
-    exactly the execution model the OSKit's encapsulated components assume
-    (Section 4.7.4). *)
+    A machine owns per-CPU cycle clocks, physical memory, and a 16-line
+    interrupt controller with per-line CPU affinity.  OS code "runs on" a
+    machine via {!run_in}/{!run_on}, which route {!Cost} charges to the
+    executing CPU's clock.  Devices raise interrupts through {!raise_irq};
+    handlers run at interrupt level, to completion, on the line's servicing
+    CPU — exactly the execution model the OSKit's encapsulated components
+    assume (Section 4.7.4).
+
+    All CPUs advance in lockstep virtual time: each CPU's clock may run
+    ahead of the world while it computes, and catches up to the world clock
+    whenever a world event (interrupt, kick, timer) enters it.  The CPU
+    count is fixed at {!create} from [Cost.config.ncpus] (default 1, which
+    reproduces the single-CPU machine exactly). *)
 
 type t
 
-val create : ?name:string -> ?ram_bytes:int -> World.t -> t
+val create : ?name:string -> ?ram_bytes:int -> ?ncpus:int -> World.t -> t
 
 val name : t -> string
 val world : t -> World.t
 val ram : t -> Physmem.t
 
-(** Local CPU time, ns.  Always >= the world time of the last event this
-    machine saw; may run ahead of the world while the machine computes. *)
+(** Number of CPUs (fixed at creation). *)
+val ncpus : t -> int
+
+(** Local time of the executing CPU, ns.  Always >= the world time of the
+    last event that CPU saw; may run ahead of the world while it
+    computes. *)
 val now : t -> int
 
+(** [cpu_now t ~cpu] — local time of a specific CPU. *)
+val cpu_now : t -> cpu:int -> int
+
+(** [cpu_busy_ns t ~cpu] — total ns of work charged to that CPU (local
+    time minus idle sync-forward): the utilization numerator. *)
+val cpu_busy_ns : t -> cpu:int -> int
+
+(** The CPU of [t] the caller executes on; 0 when [t] is not the executing
+    machine (device models and the test harness act as CPU 0). *)
+val cpu : t -> int
+
 (** [run_in t f] executes [f] in this machine's context: cost charges
-    advance [now t].  Nestable; reentrant across machines. *)
+    advance [now t].  Enters on CPU 0 from outside; preserves the executing
+    CPU when nested.  Reentrant across machines. *)
 val run_in : t -> (unit -> 'a) -> 'a
+
+(** [run_on t ~cpu f] executes [f] on a specific CPU of [t]: charges land
+    on that CPU's clock.  Nestable, like {!run_in}. *)
+val run_on : t -> cpu:int -> (unit -> 'a) -> 'a
 
 (** The machine currently executing, if any. *)
 val current : unit -> t option
@@ -39,6 +66,12 @@ val mask_irq : t -> irq:int -> unit
 
 val unmask_irq : t -> irq:int -> unit
 
+(** [set_irq_affinity t ~irq ~cpu] routes a line to a CPU (IO-APIC style).
+    Default: every line services on CPU 0. *)
+val set_irq_affinity : t -> irq:int -> cpu:int -> unit
+
+val irq_affinity : t -> irq:int -> int
+
 (** Global interrupt flag (cli/sti).  Interrupts raised while disabled or
     masked are latched and delivered on enable/unmask. *)
 val interrupts_enabled : t -> bool
@@ -50,8 +83,10 @@ val disable_interrupts : t -> unit
 val with_interrupts_disabled : t -> (unit -> 'a) -> 'a
 
 (** [raise_irq t ~irq] asserts the line.  Called by device models (from
-    world events) or by software for testing.  Charges interrupt entry cost
-    when dispatching. *)
+    world events) or by software for testing.  Delivered on the line's
+    servicing CPU (inline when that CPU is executing, else via a world
+    event — the IPI analogue).  Charges interrupt entry cost when
+    dispatching. *)
 val raise_irq : t -> irq:int -> unit
 
 (** {2 Hooks} *)
@@ -61,14 +96,22 @@ val raise_irq : t -> irq:int -> unit
     when {!kick}ed.  Default: nothing. *)
 val set_run_hook : t -> (unit -> unit) -> unit
 
-(** Schedule the run hook to execute (via a world event) at the machine's
-    current local time. *)
+(** Schedule the run hook to execute (via a world event) at the calling
+    CPU's current local time. *)
 val kick : t -> unit
+
+(** [kick_on t ~cpu] — like {!kick}, but the run hook executes on a
+    specific CPU (used to wake a thread homed there). *)
+val kick_on : t -> cpu:int -> unit
 
 (** {2 Time services} *)
 
-(** [at t time f] runs [f] at interrupt level at local/world time [time]. *)
+(** [at t time f] runs [f] at interrupt level at local/world time [time],
+    on the CPU that armed it (like a local-APIC timer). *)
 val at : t -> int -> (unit -> unit) -> World.event
+
+(** [at_on t ~cpu time f] — like {!at} on an explicit CPU. *)
+val at_on : t -> cpu:int -> int -> (unit -> unit) -> World.event
 
 (** [after t dt f] is [at t (now t + dt) f]. *)
 val after : t -> int -> (unit -> unit) -> World.event

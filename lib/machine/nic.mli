@@ -20,6 +20,24 @@ val create :
 val mac : t -> mac
 val irq : t -> int
 
+(** {2 Hardware receive-side scaling}
+
+    Multi-queue RX, as on fxp/e1000-class successors: [set_rss] programs
+    the on-card hash ([classify], charged no CPU cycles — it runs in the
+    device) and one MSI-X vector per queue; an accepted frame lands in
+    ring [classify frame mod n] and raises [vectors.(q)], so with per-line
+    affinity each flow interrupts its home CPU directly.  Each queue has
+    its own [rx_ring]-deep ring; overflow drops count in {!rx_dropped}.
+    Counts [Cost.counters.rss_steered] per classified frame.  With RSS off
+    (the default, and after [clear_rss]) the card is the single-queue
+    device it always was, bit for bit. *)
+
+val set_rss : t -> vectors:int array -> classify:(bytes -> int) -> unit
+val clear_rss : t -> unit
+
+(** Number of RX queues (1 when RSS is off). *)
+val rx_queues : t -> int
+
 (** [transmit t frame] hands a fully-formed Ethernet frame to the card;
     DMA from driver memory is charged per byte at a fraction of memcpy
     cost.  Frames shorter than 60 bytes are padded, as the hardware does. *)
@@ -35,6 +53,10 @@ val transmit_v : t -> (bytes * int * int) list -> unit
 (** [pop_rx t] takes the oldest received frame off the ring, if any.  Used
     by the driver's interrupt handler. *)
 val pop_rx : t -> bytes option
+
+(** [pop_rx_q t ~q] takes the oldest frame off RSS queue [q] (queue 0 is
+    the legacy ring when RSS is off). *)
+val pop_rx_q : t -> q:int -> bytes option
 
 (** [pop_rx_burst t ~max] takes up to [max] pending frames off the ring,
     oldest first — the bounded burst a NAPI-style poll drains per

@@ -1,0 +1,79 @@
+(* DragonFly-style netisr: one protocol shard per CPU, fed by a bounded
+   message queue.  A frame steered to the executing CPU is processed
+   directly (DragonFly's "direct dispatch"), so at ncpus=1 every frame
+   takes exactly the pre-SMP code path; a frame for another CPU is
+   enqueued and a drain event — the per-CPU protocol thread — runs it on
+   its home CPU at the steering CPU's local time.  Queues are FIFO per
+   CPU, so per-flow ordering is preserved (a flow only ever targets one
+   CPU); overflow drops the frame and counts it, like a software-interrupt
+   queue overflow. *)
+
+type t = {
+  machine : Machine.t;
+  qmax : int;
+  queues : (unit -> unit) Queue.t array;
+  scheduled : bool array;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let for_machine ?qmax machine =
+  match Hashtbl.find_opt registry (Machine.name machine) with
+  | Some t when t.machine == machine -> t
+  | _ ->
+      let n = Machine.ncpus machine in
+      let qmax =
+        match qmax with Some q -> q | None -> Cost.config.Cost.netisr_qmax
+      in
+      let t =
+        { machine;
+          qmax;
+          queues = Array.init n (fun _ -> Queue.create ());
+          scheduled = Array.make n false }
+      in
+      Hashtbl.replace registry (Machine.name machine) t;
+      t
+
+let queue_len t ~cpu = Queue.length t.queues.(cpu)
+
+(* [scheduled] stays set while the drain loop runs, so a frame the loop
+   itself steers back to this CPU is picked up by the running loop instead
+   of scheduling a second event. *)
+let rec drain t cpu () =
+  match Queue.take_opt t.queues.(cpu) with
+  | None -> t.scheduled.(cpu) <- false
+  | Some f ->
+      f ();
+      drain t cpu ()
+
+let schedule_drain t cpu =
+  if not t.scheduled.(cpu) then begin
+    t.scheduled.(cpu) <- true;
+    (* The drain fires no earlier than the steering CPU's local time — the
+       frame cannot be processed before it was steered. *)
+    ignore (Machine.at_on t.machine ~cpu (Machine.now t.machine) (drain t cpu))
+  end
+
+let dispatch t ~cpu f =
+  if Machine.ncpus t.machine <= 1 then begin
+    f ();
+    true
+  end
+  else if
+    cpu = Machine.cpu t.machine && Queue.is_empty t.queues.(cpu)
+  then begin
+    (* Direct dispatch: already on the home CPU with nothing queued ahead
+       (the emptiness check keeps FIFO order if a drain is in progress). *)
+    f ();
+    true
+  end
+  else if Queue.length t.queues.(cpu) >= t.qmax then begin
+    Cost.count_netisr_drop ();
+    false
+  end
+  else begin
+    Queue.add f t.queues.(cpu);
+    Cost.count_netisr_queued ();
+    schedule_drain t cpu;
+    true
+  end

@@ -1,0 +1,21 @@
+(** Netisr-style per-CPU protocol shards (after DragonFly BSD).
+
+    One bounded message queue per CPU; {!dispatch} either runs the handler
+    directly (already on the home CPU — at [ncpus = 1] this is every frame,
+    reproducing the pre-SMP path exactly) or enqueues it and schedules a
+    drain on the home CPU via a world event.  Queues are FIFO per CPU, so
+    per-flow ordering is preserved; overflow drops and counts
+    ([Cost.counters.netisr_drops]). *)
+
+type t
+
+(** The machine's netisr instance (created on first use; [qmax] defaults
+    to [Cost.config.netisr_qmax]). *)
+val for_machine : ?qmax:int -> Machine.t -> t
+
+(** [dispatch t ~cpu f] runs [f] on CPU [cpu].  Returns [false] if the
+    frame was dropped on queue overflow ([f] will never run). *)
+val dispatch : t -> cpu:int -> (unit -> unit) -> bool
+
+(** Frames steered to [cpu] but not yet processed. *)
+val queue_len : t -> cpu:int -> int

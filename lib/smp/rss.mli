@@ -1,0 +1,33 @@
+(** RSS flow steering: a keyed, direction-symmetric 4-tuple hash mapping
+    every frame of a flow to one fixed CPU, as NIC receive-side scaling
+    does in hardware.
+
+    Both directions of a connection hash identically (the mixer sees only
+    order-independent combinations of the endpoints), so a flow's PCB,
+    timers, and counters can live on exactly one CPU.  All pure
+    computation — no cycle charges, no counters — so steering cannot
+    perturb a calibrated run. *)
+
+(** Reset the hash secret, as a reboot would.  Same [seed] (default: the
+    fixed boot seed) => identical steering, so replays are deterministic. *)
+val reboot : ?seed:int -> unit -> unit
+
+(** Keyed symmetric hash of (proto, A, B); swapping endpoint A and B gives
+    the same hash.  Non-negative. *)
+val flow_hash :
+  proto:int -> addr_a:int32 -> port_a:int -> addr_b:int32 -> port_b:int -> int
+
+val cpu_of_hash : ncpus:int -> int -> int
+
+val cpu_of_flow :
+  ncpus:int ->
+  proto:int ->
+  addr_a:int32 ->
+  port_a:int ->
+  addr_b:int32 ->
+  port_b:int ->
+  int
+
+(** [cpu_of_frame ~ncpus frame] steers a raw Ethernet frame: TCP/UDP over
+    IPv4 by 4-tuple hash; ARP, ICMP, IP fragments, and runts to CPU 0. *)
+val cpu_of_frame : ncpus:int -> Bytes.t -> int

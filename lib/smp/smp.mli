@@ -1,22 +1,24 @@
 (** Multiprocessor support (the paper's [smp] library).
 
-    On the simulated uniprocessor testbed this supplies the *interfaces*
-    SMP-aware clients program against: logical CPU enumeration, per-CPU
-    data, spin locks with contention accounting, and a broadcast
-    ("IPI") hook.  Lock discipline is fully exercised even though the
-    process level is cooperatively scheduled — the paper's encapsulated
-    components use exactly these locks to become usable in multiprocessor
-    kernels (Section 4.7.4). *)
+    Backed by the multi-CPU {!Machine}: logical CPU enumeration reports the
+    CPU actually executing, per-CPU data genuinely shards, and spin locks
+    contend across CPUs with bounded-spin cycle charges and contention
+    accounting (per-lock and in [Cost.counters.spin_contentions]).  Lock
+    discipline is fully exercised even though the process level is
+    cooperatively scheduled — the paper's encapsulated components use
+    exactly these locks to become usable in multiprocessor kernels
+    (Section 4.7.4). *)
 
 type t
 
-(** [init machine ~ncpus] — [ncpus] logical CPUs (default 1). *)
+(** [init machine ~ncpus] — [ncpus] logical CPUs (default: the machine's
+    CPU count). *)
 val init : ?ncpus:int -> Machine.t -> t
 
 val num_cpus : t -> int
 
-(** The CPU the caller runs on (always 0 on the simulated testbed — the
-    API matches the real library). *)
+(** The CPU the caller runs on (per {!Machine.cpu}; 0 when the machine is
+    not executing). *)
 val cpu_number : t -> int
 
 (** {2 Per-CPU data} *)
@@ -24,7 +26,10 @@ val cpu_number : t -> int
 type 'a percpu
 
 val percpu : t -> init:(int -> 'a) -> 'a percpu
+
+(** [get t p] — the executing CPU's slot. *)
 val get : t -> 'a percpu -> 'a
+
 val get_for : 'a percpu -> cpu:int -> 'a
 
 (** {2 Spin locks} *)
@@ -33,12 +38,20 @@ type spinlock
 
 val spinlock : ?name:string -> unit -> spinlock
 
-(** [spin_lock l] — panics (raises) on self-deadlock, which on a
-    uniprocessor is always a bug. *)
+(** [spin_lock l] — charges one bus transaction uncontended.  Contended by
+    another CPU it charges a bounded spin, counts the contention, and then
+    raises: on the lockstep simulator the holder cannot release while the
+    spinner burns (execution is serialized), so a spin that would not
+    immediately clear is a deadlock.  Re-acquisition on the holding CPU
+    raises immediately (self-deadlock). *)
 val spin_lock : spinlock -> unit
 
 val spin_unlock : spinlock -> unit
+
+(** [spin_trylock l] — the failure path charges the read + failed CAS and
+    counts a contention (it is not free, unlike the old stub). *)
 val spin_trylock : spinlock -> bool
+
 val spin_contentions : spinlock -> int
 
 (** [with_spinlock l f] *)

@@ -22,11 +22,17 @@
 # served at >= 70% of clean goodput on both stacks; a 1% injected
 # allocation-failure soak must stay byte-exact with zero crashes; and
 # the guarded httpd must reclaim Slowloris-parked connections by header
-# deadline and still serve late legitimate clients).
+# deadline and still serve late legitimate clients),
+# and the smp smoke (multi-CPU scale-out: the sharded reactor httpd at
+# 1 and 4 CPUs under a 256-client burst; the bench fails on any
+# non-byte-exact response, any netisr overflow drop, any spinlock
+# contention on the per-flow hot path, 4-CPU req/s not strictly above
+# 1-CPU, or steering that never fired).
 # Finally, Table 1/2 and the rtt percentiles are regenerated (with
 # --json, so the files are actually rewritten — without it the diff
-# check was vacuous) with every long-fat and overload knob at its
-# default and must be bit-identical to the committed baselines.
+# check was vacuous) with every long-fat, overload, and smp knob at its
+# default — ncpus=1 — and must be bit-identical to the committed
+# baselines: the whole SMP layer must cost nothing when off.
 set -eux
 
 dune build
@@ -38,6 +44,7 @@ OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- httpsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- rttsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- longfatsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- overloadsmoke
+OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- smpsmoke
 dune exec bench/main.exe -- table1 --sg --json
 dune exec bench/main.exe -- table2 --json
 dune exec bench/main.exe -- rtt --json

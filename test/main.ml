@@ -25,4 +25,5 @@ let () =
       "asyncio", Test_asyncio.suite;
       "fastpath", Test_fastpath.suite;
       "longfat", Test_longfat.suite;
-      "overload", Test_overload.suite ]
+      "overload", Test_overload.suite;
+      "smp", Test_smp.suite ]

@@ -153,6 +153,9 @@ let test_m_prepend_validates_first () =
   ignore (Mbuf.m_put m 8);
   let allocated = !Mbuf.stats_allocated in
   let charged = ref 0 in
+  (* Restore the machine-attribution sink afterwards — leaving it [None]
+     would silently stop clock charging for every later suite. *)
+  let saved = Cost.get_sink () in
   Cost.set_sink (Some (fun ns -> charged := !charged + ns));
   let raised =
     try
@@ -160,7 +163,7 @@ let test_m_prepend_validates_first () =
       false
     with Invalid_argument _ -> true
   in
-  Cost.set_sink None;
+  Cost.set_sink saved;
   Alcotest.(check bool) "oversized prepend rejected" true raised;
   Alcotest.(check int) "no mbuf allocated before validation" allocated
     !Mbuf.stats_allocated;
