@@ -69,6 +69,7 @@ let descriptions =
     "kern", "Kernel support";
     "smp", "Multiprocessor support (netisr, RSS)";
     "asyncio", "Readiness I/O & reactor";
+    "event", "Event core (kqueue, timing wheel)";
     "httpd", "HTTP server component";
     "malloc", "Size-class allocator";
     "lmm", "List Memory Manager";

@@ -23,6 +23,8 @@
      overloadsmoke  overload-survival CI gate (goodput ratio, byte-exact soak)
      smp        multi-CPU scale-out: netisr-sharded reactor httpd, RSS steering
      smpsmoke   SMP CI gate (byte-exact, 4-CPU win, lock-free hot path)
+     event      kqueue O(ready) dispatch + timing-wheel O(due) curves
+     eventsmoke event-core CI gate (flat dispatch, timing contract, byte-exact)
 
    Network numbers come from the deterministic virtual-time simulation
    (they are not wall-clock); the allocator section uses Bechamel
@@ -1200,6 +1202,123 @@ let overloadsmoke () =
   print_endline
     "\nflood goodput >= 70% of clean; soak byte-exact; Slowloris slots reclaimed"
 
+(* ---------------- event: kqueue + timing-wheel complexity ---------------- *)
+
+(* The event-core claim: per-pass dispatch work tracks the ready set and
+   timer work tracks the due set, no matter how much idle state is
+   registered.  Both sweeps hold the hot population fixed and grow the
+   idle population three decades; the flat column is the result. *)
+let event () =
+  section_header "Event core: O(ready) dispatch, O(due) timers";
+  Printf.printf
+    "hot set fixed (%d ready watches / %d due timers), idle population sweeps\n\n"
+    Eventbench.hot_set Eventbench.hot_set;
+  Printf.printf "%-10s %14s %14s %12s\n" "idle" "scan visits" "kq visits" "dispatches";
+  let krows =
+    List.map
+      (fun idle ->
+        let r =
+          Eventbench.kq_sweep ~idle ~hot:Eventbench.hot_set
+            ~rounds:Eventbench.kq_rounds
+        in
+        Printf.printf "%-10d %14d %14d %12d\n" r.Eventbench.kr_idle
+          r.Eventbench.kr_scan_visits r.Eventbench.kr_kq_visits
+          r.Eventbench.kr_dispatches;
+        r)
+      Eventbench.idle_sweep
+  in
+  Printf.printf "\n%-10s %14s %10s %10s %14s\n" "idle" "wheel work" "fires"
+    "cascades" "scan visits";
+  let wrows =
+    List.map
+      (fun idle ->
+        let r = Eventbench.wheel_run ~idle ~hot:Eventbench.hot_set in
+        Printf.printf "%-10d %14d %10d %10d %14d\n" r.Eventbench.wr_idle
+          r.Eventbench.wr_work r.Eventbench.wr_fires r.Eventbench.wr_cascades
+          r.Eventbench.wr_scan_visits;
+        if r.Eventbench.wr_early <> 0 || r.Eventbench.wr_late <> 0
+           || r.Eventbench.wr_missed <> 0
+        then
+          failwith
+            (Printf.sprintf "event: timing contract broken (early %d late %d missed %d)"
+               r.Eventbench.wr_early r.Eventbench.wr_late r.Eventbench.wr_missed);
+        r)
+      Eventbench.idle_sweep
+  in
+  print_endline "\n(timing contract held: no early fires, none > 1 granule late)";
+  write_json "BENCH_event.json" "rows"
+    [ json_str "bench" "event";
+      json_int "hot" Eventbench.hot_set;
+      json_int "kq_rounds" Eventbench.kq_rounds;
+      json_int "wheel_ticks" Eventbench.wheel_window_ticks ]
+    (List.map
+       (fun (r : Eventbench.kq_row) ->
+         json_obj
+           [ json_str "kind" "kqueue";
+             json_int "idle" r.Eventbench.kr_idle;
+             json_int "scan_visits" r.Eventbench.kr_scan_visits;
+             json_int "kq_visits" r.Eventbench.kr_kq_visits;
+             json_int "dispatches" r.Eventbench.kr_dispatches ])
+       krows
+    @ List.map
+        (fun (r : Eventbench.wheel_row) ->
+          json_obj
+            [ json_str "kind" "wheel";
+              json_int "idle" r.Eventbench.wr_idle;
+              json_int "work" r.Eventbench.wr_work;
+              json_int "fires" r.Eventbench.wr_fires;
+              json_int "cascades" r.Eventbench.wr_cascades;
+              json_int "scan_visits" r.Eventbench.wr_scan_visits ])
+        wrows)
+
+let eventsmoke () =
+  section_header "event CI gate";
+  (* 1) dispatch work must not grow with the idle population. *)
+  let a = Eventbench.kq_sweep ~idle:100 ~hot:128 ~rounds:10 in
+  let b = Eventbench.kq_sweep ~idle:10_000 ~hot:128 ~rounds:10 in
+  if b.Eventbench.kr_kq_visits <> a.Eventbench.kr_kq_visits then
+    failwith "eventsmoke: kq visits grew with idle watches";
+  if b.Eventbench.kr_scan_visits < 10 * b.Eventbench.kr_kq_visits then
+    failwith "eventsmoke: scan strawman implausibly cheap (harness broken?)";
+  Printf.printf "kq visits flat at %d as idle grows 100 -> 10000 (scan: %d -> %d)\n"
+    b.Eventbench.kr_kq_visits a.Eventbench.kr_scan_visits
+    b.Eventbench.kr_scan_visits;
+  (* 2) wheel timing contract: zero missed, zero early, <= 1 granule late;
+     and wheel work must stay two orders below the every-tick scan. *)
+  let w = Eventbench.wheel_run ~idle:10_000 ~hot:128 in
+  if w.Eventbench.wr_early <> 0 || w.Eventbench.wr_late <> 0
+     || w.Eventbench.wr_missed <> 0
+  then
+    failwith
+      (Printf.sprintf "eventsmoke: timing contract broken (early %d late %d missed %d)"
+         w.Eventbench.wr_early w.Eventbench.wr_late w.Eventbench.wr_missed);
+  if w.Eventbench.wr_work >= w.Eventbench.wr_scan_visits / 100 then
+    failwith "eventsmoke: wheel work not O(due)";
+  Printf.printf "wheel: %d fires on time, work %d vs scan %d\n" w.Eventbench.wr_fires
+    w.Eventbench.wr_work w.Eventbench.wr_scan_visits;
+  (* 3) full stack with both flags on: the served bytes must be exact. *)
+  let saved_kq = Cost.config.Cost.kq
+  and saved_tw = Cost.config.Cost.timer_wheel in
+  Cost.config.Cost.kq <- true;
+  Cost.config.Cost.timer_wheel <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      Cost.config.Cost.kq <- saved_kq;
+      Cost.config.Cost.timer_wheel <- saved_tw)
+  @@ fun () ->
+  let r =
+    Httpbench.run ~config:Httpbench.Oskit_com ~mode:Httpbench.Reactor ~clients:64 ()
+  in
+  if r.Httpbench.r_mismatches <> 0 then
+    failwith "eventsmoke: byte mismatch with kq+wheel on";
+  if r.Httpbench.r_responses <> r.Httpbench.r_requests then
+    failwith
+      (Printf.sprintf "eventsmoke: %d/%d responses with kq+wheel on"
+         r.Httpbench.r_responses r.Httpbench.r_requests);
+  Printf.printf "httpd with kq+timer_wheel: %d/%d responses, all byte-exact\n"
+    r.Httpbench.r_responses r.Httpbench.r_requests;
+  print_endline "\nflat O(ready) dispatch; wheel contract exact; kq+wheel httpd byte-exact"
+
 (* ---------------- driver ---------------- *)
 
 let sections =
@@ -1222,7 +1341,9 @@ let sections =
     "overload", overload;
     "overloadsmoke", overloadsmoke;
     "smp", smp;
-    "smpsmoke", smpsmoke ]
+    "smpsmoke", smpsmoke;
+    "event", event;
+    "eventsmoke", eventsmoke ]
 
 let () =
   let names =

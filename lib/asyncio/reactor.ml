@@ -1,18 +1,29 @@
 (* The select/poll reactor: one thread drives any number of readiness
- * sources through the oskit_asyncio COM interface.  Registration hangs a
- * COM listener on each object; notifications mark the watch pending and
- * wake the reactor's sleep record, and the loop then re-polls only the
- * pending watches (so a quiet connection costs nothing per pass) and runs
- * their callbacks.  Which protocol stack is behind an asyncio view is
- * invisible here — that is the whole point.
+ * sources through the oskit_asyncio COM interface.  Which protocol stack
+ * is behind an asyncio view is invisible here — that is the whole point.
  *
- * Two races are load-bearing:
+ * Two dispatch engines share the public API:
+ *
+ *  - Legacy scan (default): registration hangs a COM listener on each
+ *    object; notifications mark the watch pending and wake the sleep
+ *    record, and each pass re-scans the watch list for pending entries —
+ *    O(watches) per pass, dispatch in registration order.
+ *
+ *  - kqueue ([Cost.config.kq] at creation time): watches register knotes
+ *    on a {!Kqueue.t}; a notification enqueues its knote on the ready
+ *    queue in O(1) and each pass drains only queued entries — O(ready)
+ *    per pass no matter how many idle watches exist.  Dispatch order is
+ *    readiness order, which is why the engine is flag-gated: committed
+ *    baselines replay the legacy order bit-identically.
+ *
+ * Two races are load-bearing in both engines:
  *  - notify-vs-sleep: a listener can fire between the poll pass and the
  *    sleep.  Sleep_record's latch absorbs it (wakeup while nobody waits is
  *    remembered, and the next sleep consumes it instead of blocking).
  *  - register-vs-ready: the object may already be readable when the watch
  *    is created.  add_listener returns the readiness mask at registration,
- *    and a ready watch is marked pending immediately.
+ *    and a ready watch is marked pending (or its knote enqueued)
+ *    immediately.
  *
  * Callbacks run at thread (process) level, never from the notification,
  * so they may block briefly, unwatch themselves, or add new watches; the
@@ -24,9 +35,10 @@ type watch = {
   w_aio : Io_if.asyncio;
   mutable w_mask : int;
   w_cb : int -> unit;
-  w_listener : Io_if.listener;
+  mutable w_listener : Io_if.listener option;  (* legacy engine only *)
   mutable w_active : bool;
-  mutable w_pending : bool;
+  mutable w_pending : bool;  (* legacy engine only *)
+  mutable w_node : watch Dlist.node option;  (* position in t.watches *)
 }
 
 type stats = {
@@ -34,23 +46,37 @@ type stats = {
   mutable dispatches : int;  (* callbacks run *)
   mutable sleeps : int;  (* times the loop blocked *)
   mutable spurious : int;  (* notifications that polled not-ready *)
+  mutable visits : int;
+      (* watch-list entries examined (legacy) or knotes dequeued (kq):
+         the per-pass work the kq engine makes O(ready) *)
 }
 
 type t = {
-  mutable watches : watch list; (* registration order *)
+  watches : watch Dlist.t;  (* registration order *)
+  by_id : (int, watch) Hashtbl.t;
+  kq : Kqueue.t option;  (* Some = kqueue engine *)
   mutable next_id : int;
   sleep : Sleep_record.t;
   stats : stats;
 }
 
 let create () =
-  { watches = [];
+  let sleep = Sleep_record.create ~name:"reactor" () in
+  let kq =
+    if Cost.config.Cost.kq then
+      Some (Kqueue.create ~wakeup:(fun () -> Sleep_record.wakeup sleep) ())
+    else None
+  in
+  { watches = Dlist.create ();
+    by_id = Hashtbl.create 64;
+    kq;
     next_id = 1;
-    sleep = Sleep_record.create ~name:"reactor" ();
-    stats = { polls = 0; dispatches = 0; sleeps = 0; spurious = 0 } }
+    sleep;
+    stats = { polls = 0; dispatches = 0; sleeps = 0; spurious = 0; visits = 0 } }
 
 let stats t = t.stats
-let watch_count t = List.length t.watches
+let watch_count t = Dlist.length t.watches
+let kqueue t = t.kq
 
 (* Wake the loop with no condition attached.  Callers use it to make the
    loop re-check [until]; the dispatch pass treats it as spurious. *)
@@ -69,45 +95,71 @@ let arm_if_ready t w = function
 let watch t aio ~mask cb =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let cell = ref None in
-  let listener =
-    Io_if.listener_create (fun () ->
-        (match !cell with Some w when w.w_active -> w.w_pending <- true | _ -> ());
-        Sleep_record.wakeup t.sleep)
-  in
   let w =
-    { w_id = id; w_aio = aio; w_mask = mask; w_cb = cb; w_listener = listener;
-      w_active = true; w_pending = false }
+    { w_id = id; w_aio = aio; w_mask = mask; w_cb = cb; w_listener = None;
+      w_active = true; w_pending = false; w_node = None }
   in
-  cell := Some w;
-  t.watches <- t.watches @ [ w ];
-  arm_if_ready t w (aio.Io_if.aio_add_listener listener mask);
+  w.w_node <- Some (Dlist.push_back t.watches w);
+  Hashtbl.replace t.by_id id w;
+  (match t.kq with
+  | Some kq -> ignore (Kqueue.add kq ~ident:id ~aio ~filter:mask ~flags:0)
+  | None ->
+      let cell = ref None in
+      let listener =
+        Io_if.listener_create (fun () ->
+            (match !cell with
+            | Some w when w.w_active -> w.w_pending <- true
+            | _ -> ());
+            Sleep_record.wakeup t.sleep)
+      in
+      cell := Some w;
+      w.w_listener <- Some listener;
+      arm_if_ready t w (aio.Io_if.aio_add_listener listener mask));
   w
 
 let unwatch t w =
   if w.w_active then begin
     w.w_active <- false;
     w.w_pending <- false;
-    t.watches <- List.filter (fun x -> x != w) t.watches;
-    ignore (w.w_aio.Io_if.aio_remove_listener w.w_listener)
+    (match w.w_node with
+    | Some node ->
+        Dlist.remove node;
+        w.w_node <- None
+    | None -> ());
+    Hashtbl.remove t.by_id w.w_id;
+    match t.kq with
+    | Some kq -> ignore (Kqueue.delete kq ~ident:w.w_id ~filter:w.w_mask)
+    | None -> (
+        match w.w_listener with
+        | Some l -> ignore (w.w_aio.Io_if.aio_remove_listener l)
+        | None -> ())
   end
 
 (* Change the interest mask (a connection moving from reading the request
-   to writing the response).  Re-registers the listener so the stack-side
-   filter matches, and arms immediately if the new condition already
-   holds. *)
+   to writing the response).  Re-registers so the stack-side filter
+   matches, and arms immediately if the new condition already holds. *)
 let rewatch t w ~mask =
   if w.w_active then begin
-    ignore (w.w_aio.Io_if.aio_remove_listener w.w_listener);
-    w.w_mask <- mask;
-    w.w_pending <- false;
-    arm_if_ready t w (w.w_aio.Io_if.aio_add_listener w.w_listener mask)
+    match t.kq with
+    | Some kq ->
+        ignore (Kqueue.delete kq ~ident:w.w_id ~filter:w.w_mask);
+        w.w_mask <- mask;
+        ignore (Kqueue.add kq ~ident:w.w_id ~aio:w.w_aio ~filter:mask ~flags:0)
+    | None ->
+        (match w.w_listener with
+        | Some l ->
+            ignore (w.w_aio.Io_if.aio_remove_listener l);
+            w.w_mask <- mask;
+            w.w_pending <- false;
+            arm_if_ready t w (w.w_aio.Io_if.aio_add_listener l mask)
+        | None -> ())
   end
 
-(* One pass: dispatch every pending watch, or block until a notification
-   (or [kick]) arrives.  Returns the number of callbacks run. *)
-let step t =
-  match List.filter (fun w -> w.w_pending) t.watches with
+(* Legacy pass: scan the whole watch list for pending entries. *)
+let step_scan t =
+  t.stats.visits <- t.stats.visits + Dlist.length t.watches;
+  let pending = List.filter (fun w -> w.w_pending) (Dlist.to_list t.watches) in
+  match pending with
   | [] ->
       t.stats.sleeps <- t.stats.sleeps + 1;
       Sleep_record.sleep t.sleep;
@@ -133,6 +185,41 @@ let step t =
           end)
         pending;
       !fired
+
+(* kqueue pass: drain the ready queue — only queued knotes pay anything.
+   The level re-arm runs after the callback ([Kqueue.relevel]), mirroring
+   the legacy engine's post-callback re-poll. *)
+let step_kq t kq =
+  let ks = Kqueue.stats kq in
+  let d0 = ks.Kqueue.delivered and sp0 = ks.Kqueue.spurious in
+  let evs = Kqueue.kevent ~relevel:false kq ~max:max_int in
+  let dequeued = ks.Kqueue.delivered - d0 + (ks.Kqueue.spurious - sp0) in
+  t.stats.visits <- t.stats.visits + dequeued;
+  t.stats.polls <- t.stats.polls + dequeued;
+  t.stats.spurious <- t.stats.spurious + (ks.Kqueue.spurious - sp0);
+  match evs with
+  | [] ->
+      t.stats.sleeps <- t.stats.sleeps + 1;
+      Sleep_record.sleep t.sleep;
+      0
+  | evs ->
+      let fired = ref 0 in
+      List.iter
+        (fun ev ->
+          match Hashtbl.find_opt t.by_id ev.Io_if.ke_ident with
+          | Some w when w.w_active ->
+              t.stats.dispatches <- t.stats.dispatches + 1;
+              incr fired;
+              w.w_cb (ev.Io_if.ke_filter land w.w_mask);
+              if w.w_active then
+                Kqueue.relevel kq ~ident:w.w_id ~filter:ev.Io_if.ke_filter
+          | Some _ | None -> ())
+        evs;
+      !fired
+
+(* One pass: dispatch every pending watch, or block until a notification
+   (or [kick]) arrives.  Returns the number of callbacks run. *)
+let step t = match t.kq with Some kq -> step_kq t kq | None -> step_scan t
 
 (* [run t ~until] loops until [until ()] holds.  [until] is re-checked
    after every pass; while the loop is blocked a notification, a [kick],

@@ -1,0 +1,225 @@
+(* The oskit_kqueue readiness aggregator: changelist + ready queue over
+   asyncio sources, the scalable half of the event core.
+
+   Each registered (ident, condition-bit) pair is a knote holding a COM
+   listener on its source.  When the source's condition becomes true the
+   listener enqueues the knote on the ready queue in O(1) (or coalesces
+   into an already-queued entry); [kevent] pops only queued knotes.  The
+   cost of a dispatch pass is therefore O(ready connections) no matter
+   how many idle registrations exist — the reactor's old
+   scan-every-watch pass was O(watches).
+
+   Modes, per BSD: level-triggered (default) knotes re-enqueue while the
+   condition holds; edge-triggered ([ev_clear]) knotes report once per
+   activation; one-shot ([ev_oneshot]) knotes auto-delete after their
+   first report.  Every dequeue re-polls the source, so a condition
+   consumed between notification and dispatch is dropped as spurious
+   rather than delivered stale. *)
+
+type mode = Level | Edge | Oneshot
+
+type stats = {
+  mutable posted : int;  (* activations that enqueued a knote *)
+  mutable coalesced : int;  (* activations absorbed by a queued knote *)
+  mutable delivered : int;  (* kevents returned to callers *)
+  mutable spurious : int;  (* dequeues whose condition had evaporated *)
+}
+
+type knote = {
+  kn_ident : int;
+  kn_filter : int;  (* exactly one aio_* bit *)
+  kn_aio : Io_if.asyncio;
+  kn_mode : mode;
+  mutable kn_listener : Io_if.listener option;
+  mutable kn_active : bool;
+  mutable kn_node : knote Dlist.node option;
+  kn_kq : t;
+}
+
+and t = {
+  knotes : (int * int, knote) Hashtbl.t;  (* (ident, filter bit) *)
+  ready : knote Dlist.t;
+  mutable wakeup : unit -> unit;
+  stats : stats;
+}
+
+let create ?(wakeup = fun () -> ()) () =
+  { knotes = Hashtbl.create 64;
+    ready = Dlist.create ();
+    wakeup;
+    stats = { posted = 0; coalesced = 0; delivered = 0; spurious = 0 } }
+
+let set_wakeup t f = t.wakeup <- f
+let depth t = Dlist.length t.ready
+let watches t = Hashtbl.length t.knotes
+let stats t = t.stats
+
+let queued kn = kn.kn_node <> None
+
+(* Notification-level entry: O(1), no polling, no blocking. *)
+let enqueue kn =
+  let t = kn.kn_kq in
+  if kn.kn_active then
+    if queued kn then begin
+      t.stats.coalesced <- t.stats.coalesced + 1;
+      Cost.count_kq_coalesced ()
+    end
+    else begin
+      let was_empty = Dlist.is_empty t.ready in
+      kn.kn_node <- Some (Dlist.push_back t.ready kn);
+      t.stats.posted <- t.stats.posted + 1;
+      Cost.count_kq_posted ();
+      if was_empty then t.wakeup ()
+    end
+
+let filter_bits = [ Io_if.aio_read; Io_if.aio_write; Io_if.aio_exception ]
+
+let delete_knote kn =
+  kn.kn_active <- false;
+  (match kn.kn_node with
+  | Some node ->
+      Dlist.remove node;
+      kn.kn_node <- None
+  | None -> ());
+  (match kn.kn_listener with
+  | Some l ->
+      ignore (kn.kn_aio.Io_if.aio_remove_listener l);
+      kn.kn_listener <- None
+  | None -> ());
+  Hashtbl.remove kn.kn_kq.knotes (kn.kn_ident, kn.kn_filter)
+
+(* EV_ADD of one condition bit: replace any existing knote, register the
+   listener, and enqueue immediately if the condition already holds (the
+   registration-time mask closes the arm-vs-ready race). *)
+let add_bit t ~ident ~aio ~bit ~mode =
+  (match Hashtbl.find_opt t.knotes (ident, bit) with
+  | Some old -> delete_knote old
+  | None -> ());
+  let kn =
+    { kn_ident = ident;
+      kn_filter = bit;
+      kn_aio = aio;
+      kn_mode = mode;
+      kn_listener = None;
+      kn_active = true;
+      kn_node = None;
+      kn_kq = t }
+  in
+  let l = Io_if.listener_create (fun () -> enqueue kn) in
+  kn.kn_listener <- Some l;
+  Hashtbl.replace t.knotes (ident, bit) kn;
+  match aio.Io_if.aio_add_listener l bit with
+  | Result.Error _ as e ->
+      delete_knote kn;
+      e
+  | Ok initial ->
+      if initial land bit <> 0 then enqueue kn;
+      Ok initial
+
+let mode_of_flags flags =
+  if flags land Io_if.ev_oneshot <> 0 then Oneshot
+  else if flags land Io_if.ev_clear <> 0 then Edge
+  else Level
+
+let add t ~ident ~aio ~filter ~flags =
+  let mode = mode_of_flags flags in
+  let bits = List.filter (fun b -> filter land b <> 0) filter_bits in
+  if bits = [] then Result.Error Error.Inval
+  else begin
+    List.iter
+      (fun bit -> ignore (add_bit t ~ident ~aio ~bit ~mode))
+      bits;
+    Ok ()
+  end
+
+let delete t ~ident ~filter =
+  let bits = List.filter (fun b -> filter land b <> 0) filter_bits in
+  let found = ref false in
+  List.iter
+    (fun bit ->
+      match Hashtbl.find_opt t.knotes (ident, bit) with
+      | Some kn ->
+          found := true;
+          delete_knote kn
+      | None -> ())
+    bits;
+  if !found then Ok () else Result.Error Error.Inval
+
+let data_of kn mask =
+  if mask land Io_if.aio_read <> 0 then kn.kn_aio.Io_if.aio_readable () else 0
+
+let flags_of_mode = function
+  | Level -> 0
+  | Edge -> Io_if.ev_clear
+  | Oneshot -> Io_if.ev_oneshot
+
+(* Drain up to [max] entries, never more than were queued at entry — a
+   level-triggered knote re-enqueued by [relevel] waits for the next
+   call, so one hot connection cannot spin the caller.
+
+   [relevel]: when true (the COM default), a level knote still ready at
+   drain time goes back on the queue so it keeps reporting.  The reactor
+   passes false and calls {!relevel} after the handler has consumed the
+   condition — same semantics, no spurious round trip. *)
+let kevent ?(relevel = true) t ~max =
+  let budget = min max (Dlist.length t.ready) in
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else
+      match Dlist.pop_front t.ready with
+      | None -> List.rev acc
+      | Some kn ->
+          kn.kn_node <- None;
+          if not kn.kn_active then go n acc
+          else begin
+            let m = kn.kn_aio.Io_if.aio_poll () land kn.kn_filter in
+            if m = 0 && kn.kn_mode <> Edge then begin
+              (* condition consumed before dispatch *)
+              t.stats.spurious <- t.stats.spurious + 1;
+              go (n - 1) acc
+            end
+            else begin
+              let desc =
+                { Io_if.ke_ident = kn.kn_ident;
+                  ke_filter = kn.kn_filter;
+                  ke_flags = flags_of_mode kn.kn_mode;
+                  ke_data = data_of kn m }
+              in
+              t.stats.delivered <- t.stats.delivered + 1;
+              (match kn.kn_mode with
+              | Oneshot -> delete_knote kn
+              | Level -> if relevel && m <> 0 then enqueue kn
+              | Edge -> ());
+              go (n - 1) (desc :: acc)
+            end
+          end
+  in
+  go budget []
+
+(* Post-dispatch level re-arm: re-enqueue the (ident, filter) knotes
+   whose condition still holds after the handler ran. *)
+let relevel t ~ident ~filter =
+  List.iter
+    (fun bit ->
+      if filter land bit <> 0 then
+        match Hashtbl.find_opt t.knotes (ident, bit) with
+        | Some kn when kn.kn_active && kn.kn_mode = Level ->
+            if kn.kn_aio.Io_if.aio_poll () land bit <> 0 then enqueue kn
+        | _ -> ())
+    filter_bits
+
+(* The COM face: an [oskit_kqueue] object over this queue. *)
+let kqueue_view t =
+  let rec view () =
+    { Io_if.kq_unknown = unknown ();
+      kq_add = (fun ~ident ~aio ~filter ~flags -> add t ~ident ~aio ~filter ~flags);
+      kq_delete = (fun ~ident ~filter -> delete t ~ident ~filter);
+      kq_kevent = (fun ~max -> kevent t ~max);
+      kq_depth = (fun () -> depth t);
+      kq_set_wakeup = (fun f -> set_wakeup t f) }
+  and obj =
+    lazy
+      (Com.create (fun _self ->
+           [ Iid.B (Io_if.kqueue_iid, fun () -> view ()) ]))
+  and unknown () = Lazy.force obj in
+  view ()

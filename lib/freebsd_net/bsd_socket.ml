@@ -296,4 +296,10 @@ let netstat st =
   line "  %d replies sent" arp.Arp.replies_sent;
   line "  %d waiters dropped (queue full)" arp.Arp.waiters_dropped;
   line "  %d resolutions abandoned (retries exhausted)" arp.Arp.resolve_failures;
+  line "event:";
+  line "  %d timer-wheel arms (%d cancels, %d fires, %d cascades)"
+    Cost.counters.Cost.wheel_arms Cost.counters.Cost.wheel_cancels
+    Cost.counters.Cost.wheel_fires Cost.counters.Cost.wheel_cascades;
+  line "  %d kqueue events posted (%d coalesced)" Cost.counters.Cost.kq_posted
+    Cost.counters.Cost.kq_coalesced;
   Buffer.contents b

@@ -145,12 +145,18 @@ type tcpcb = {
   rcv_buf : Sockbuf.t;
   mutable rcv_fin : bool;
   mutable reass : (int * Mbuf.mbuf) list;
-  (* timers, slow ticks; 0 = disarmed *)
+  (* timers, slow ticks; 0 = disarmed.  With Cost.config.timer_wheel the
+     counters stay as armed-indicators (every site still reads "= 0" for
+     disarmed) but stop decrementing: the deadline lives in a per-CPU
+     timing-wheel entry below and no periodic walk visits this pcb. *)
   mutable tm_rexmt : int;
   mutable tm_persist : int;
   mutable tm_2msl : int;
+  (* wheel-mode entries, indexed by tw_rexmt/tw_persist/tw_2msl/tw_delack *)
+  tw_ents : Timewheel.entry option array;
   (* RTT machinery, BSD fixed point *)
   mutable t_rtt : int;
+  mutable t_rtt_ns : int; (* wheel mode: when the RTT clock started *)
   mutable t_rtseq : int;
   mutable t_srtt : int; (* << 3 *)
   mutable t_rttvar : int; (* << 2 *)
@@ -229,7 +235,8 @@ let create_pcb t =
     snd_buf = Sockbuf.create ~hiwat:default_sb_size; snd_fin_pending = false;
     fin_sent = false; irs = 0; rcv_nxt = 0; rcv_adv = 0;
     rcv_buf = Sockbuf.create ~hiwat:default_sb_size; rcv_fin = false; reass = [];
-    tm_rexmt = 0; tm_persist = 0; tm_2msl = 0; t_rtt = 0; t_rtseq = 0; t_srtt = 0;
+    tm_rexmt = 0; tm_persist = 0; tm_2msl = 0; tw_ents = Array.make 4 None;
+    t_rtt = 0; t_rtt_ns = 0; t_rtseq = 0; t_srtt = 0;
     t_rttvar = 24; t_rxtcur = 2; t_rxtshift = 0; ack_now = false; delack_pending = false;
     t_dupacks = 0; rxclump_ts = 0; rxclump_bytes = 0;
     accept_q = Queue.create (); backlog = 0; listen_parent = None; syn_cache = [];
@@ -284,7 +291,44 @@ let bump t f =
   f t.stats;
   f t.stats_shards.(Machine.cpu t.machine)
 
+(* ------------------------------------------------------------------ *)
+(* timing-wheel plumbing (Cost.config.timer_wheel)                     *)
+
+(* Slot indices into pcb.tw_ents. *)
+let tw_rexmt = 0
+
+let tw_persist = 1
+let tw_2msl = 2
+let tw_delack = 3
+let wheel_on () = Cost.config.timer_wheel
+
+let tw_cancel pcb slot =
+  match pcb.tw_ents.(slot) with
+  | Some e ->
+      pcb.tw_ents.(slot) <- None;
+      Kwheel.cancel e
+  | None -> ()
+
+(* Arm one pcb timer [ns] out on the flow's RSS home CPU's wheel; the
+   previous entry for the slot (if any) is cancelled first, so a slot
+   holds at most one live deadline. *)
+let tw_arm t pcb slot ~ns fire =
+  tw_cancel pcb slot;
+  let e =
+    Kwheel.after (Kwheel.for_machine t.machine) ~cpu:pcb.home_cpu ~ns (fun () ->
+        pcb.tw_ents.(slot) <- None;
+        fire ())
+  in
+  pcb.tw_ents.(slot) <- Some e
+
+let tw_cancel_all pcb =
+  tw_cancel pcb tw_rexmt;
+  tw_cancel pcb tw_persist;
+  tw_cancel pcb tw_2msl;
+  tw_cancel pcb tw_delack
+
 let detach t pcb =
+  tw_cancel_all pcb;
   t.pcbs <- List.filter (fun x -> x != pcb) t.pcbs;
   if t.tw_list <> [] then t.tw_list <- List.filter (fun x -> x != pcb) t.tw_list;
   (match Hashtbl.find_opt t.pcb_hash (hash_key pcb) with
@@ -394,8 +438,11 @@ let err_allowed t =
 (* ------------------------------------------------------------------ *)
 (* timers: armed while any pcb exists, quiesce when none               *)
 
+(* With the wheel on there is nothing periodic to start: each timer set
+   below arms its own wheel entry, and an idle stack schedules no events
+   at all. *)
 let rec ensure_timers t =
-  if not t.ticking then begin
+  if (not (wheel_on ())) && not t.ticking then begin
     t.ticking <- true;
     let rec slow () =
       ignore
@@ -587,7 +634,7 @@ and tcp_output t pcb =
                cold state so the retry finds room. *)
             bump t (fun s -> s.nomem_drops <- s.nomem_drops + 1);
             tcp_reclaim t;
-            if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur;
+            if pcb.tm_rexmt = 0 then set_rexmt t pcb pcb.t_rxtcur;
             false, None
       else true, None
     in
@@ -597,7 +644,7 @@ and tcp_output t pcb =
         ~mss_opt:false ~wscale:None;
       if seq_gt (m32 (pcb.rcv_nxt + wnd)) pcb.rcv_adv then pcb.rcv_adv <- m32 (pcb.rcv_nxt + wnd);
       pcb.ack_now <- false;
-      pcb.delack_pending <- false;
+      set_delack t pcb false;
       if len > 0 || send_fin then begin
         (* Karn's rule: only time a transmission of *new* data.  After a
            retransmit snd_nxt trails snd_max; starting the clock there would
@@ -605,19 +652,20 @@ and tcp_output t pcb =
            ambiguous (far too short) sample. *)
         if pcb.t_rtt = 0 && len > 0 && seq_geq pcb.snd_nxt pcb.snd_max then begin
           pcb.t_rtt <- 1;
+          pcb.t_rtt_ns <- Machine.now t.machine;
           pcb.t_rtseq <- pcb.snd_nxt
         end;
         pcb.snd_nxt <- m32 (pcb.snd_nxt + len + if send_fin then 1 else 0);
         if send_fin then pcb.fin_sent <- true;
         if seq_gt pcb.snd_nxt pcb.snd_max then pcb.snd_max <- pcb.snd_nxt;
-        if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur
+        if pcb.tm_rexmt = 0 then set_rexmt t pcb pcb.t_rxtcur
       end;
       if len > 0 && not all_data_sent then tcp_output t pcb
     end
   end
   else if
     sendable_state && pending > 0 && win <= off && pcb.tm_persist = 0 && pcb.tm_rexmt = 0
-  then pcb.tm_persist <- max 2 pcb.t_rxtcur
+  then set_persist t pcb (max 2 pcb.t_rxtcur)
 
 and send_syn t pcb ~with_ack =
   let flags = th_syn lor if with_ack then th_ack else 0 in
@@ -632,7 +680,7 @@ and send_syn t pcb ~with_ack =
     ~win:(min (rcv_window pcb) max_win) ~payload:None ~mss_opt:true ~wscale;
   pcb.snd_nxt <- m32 (pcb.iss + 1);
   if seq_gt pcb.snd_nxt pcb.snd_max then pcb.snd_max <- pcb.snd_nxt;
-  if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur
+  if pcb.tm_rexmt = 0 then set_rexmt t pcb pcb.t_rxtcur
 
 (* ------------------------------------------------------------------ *)
 (* timers                                                              *)
@@ -670,7 +718,7 @@ and rexmt_timeout t pcb =
         if pcb.fin_sent then pcb.fin_sent <- false;
         pcb.ack_now <- true;
         tcp_output t pcb);
-    if pcb.t_state <> Closed && pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur
+    if pcb.t_state <> Closed && pcb.tm_rexmt = 0 then set_rexmt t pcb pcb.t_rxtcur
   end
 
 and persist_timeout t pcb =
@@ -685,9 +733,65 @@ and persist_timeout t pcb =
      (* The probe is skipped; the persist timer re-arms below anyway. *)
      bump t (fun s -> s.nomem_drops <- s.nomem_drops + 1);
      tcp_reclaim t);
-  pcb.tm_persist <- min 128 (max 2 (pcb.t_rxtcur * 2))
+  set_persist t pcb (min 128 (max 2 (pcb.t_rxtcur * 2)))
+
+(* The timer setters.  Legacy: write the slow-tick counter and let the
+   periodic walk age it.  Wheel: the counter becomes a pure armed flag
+   (sites everywhere read "= 0" for disarmed) and the deadline is a wheel
+   entry on the flow's home CPU — armed only while pending, O(1) to set
+   and clear, visited by nobody until due. *)
+and set_rexmt t pcb n =
+  pcb.tm_rexmt <- n;
+  if wheel_on () then
+    if n <= 0 then tw_cancel pcb tw_rexmt
+    else
+      tw_arm t pcb tw_rexmt ~ns:(n * slow_interval_ns) (fun () ->
+          if pcb.tm_rexmt > 0 && pcb.t_state <> Closed then begin
+            pcb.tm_rexmt <- 0;
+            rexmt_timeout t pcb
+          end)
+
+and set_persist t pcb n =
+  pcb.tm_persist <- n;
+  if wheel_on () then
+    if n <= 0 then tw_cancel pcb tw_persist
+    else
+      tw_arm t pcb tw_persist ~ns:(n * slow_interval_ns) (fun () ->
+          if pcb.tm_persist > 0 && pcb.t_state <> Closed then begin
+            pcb.tm_persist <- 0;
+            persist_timeout t pcb
+          end)
+
+and set_2msl t pcb n =
+  pcb.tm_2msl <- n;
+  if wheel_on () then
+    if n <= 0 then tw_cancel pcb tw_2msl
+    else
+      tw_arm t pcb tw_2msl ~ns:(n * slow_interval_ns) (fun () ->
+          if pcb.tm_2msl > 0 then begin
+            pcb.tm_2msl <- 0;
+            if pcb.t_state = Time_wait then begin
+              pcb.t_state <- Closed;
+              detach t pcb;
+              pcb.on_state ()
+            end
+          end)
+
+and set_delack t pcb on =
+  pcb.delack_pending <- on;
+  if wheel_on () then
+    if not on then tw_cancel pcb tw_delack
+    else if pcb.tw_ents.(tw_delack) = None then
+      tw_arm t pcb tw_delack ~ns:fast_interval_ns (fun () ->
+          if pcb.delack_pending then begin
+            pcb.delack_pending <- false;
+            pcb.ack_now <- true;
+            bump t (fun s -> s.delack <- s.delack + 1);
+            tcp_output t pcb
+          end)
 
 and slow_tick_pcb t pcb =
+  Cost.count_tick_visit ();
   if pcb.t_rtt > 0 then pcb.t_rtt <- pcb.t_rtt + 1;
   let fire_rexmt = pcb.tm_rexmt = 1 in
   let fire_persist = pcb.tm_persist = 1 in
@@ -718,9 +822,11 @@ and tick_by_home t pcbs per_pcb =
     done
 
 and slow_tick t =
-  tick_by_home t (List.filter (fun p -> p.t_state <> Listen) t.pcbs) slow_tick_pcb
+  if not (wheel_on ()) then
+    tick_by_home t (List.filter (fun p -> p.t_state <> Listen) t.pcbs) slow_tick_pcb
 
 and fast_tick_pcb t pcb =
+  Cost.count_tick_visit ();
   if pcb.delack_pending then begin
     pcb.delack_pending <- false;
     pcb.ack_now <- true;
@@ -728,10 +834,19 @@ and fast_tick_pcb t pcb =
     tcp_output t pcb
   end
 
-and fast_tick t = tick_by_home t t.pcbs fast_tick_pcb
+and fast_tick t = if not (wheel_on ()) then tick_by_home t t.pcbs fast_tick_pcb
 
 (* ------------------------------------------------------------------ *)
 (* RTT estimation (Jacobson, BSD fixed point)                          *)
+
+(* The Karn-filtered RTT sample, in slow-tick units.  Legacy mode ages
+   [t_rtt] in the 500 ms walk; wheel mode has no walk, so the same
+   quantity (1 at send time, +1 per elapsed tick interval) is derived
+   from the virtual clock. *)
+let rtt_sample t pcb =
+  if wheel_on () then
+    1 + (max 0 (Machine.now t.machine - pcb.t_rtt_ns) / slow_interval_ns)
+  else pcb.t_rtt
 
 let update_rtt pcb rtt =
   if pcb.t_srtt <> 0 then begin
@@ -826,7 +941,7 @@ let listen_q_len t pcb =
    pinning 2xMSL of pcbs. *)
 let enter_time_wait t pcb =
   pcb.t_state <- Time_wait;
-  pcb.tm_2msl <- 2 * msl_ticks;
+  set_2msl t pcb (2 * msl_ticks);
   t.tw_list <- t.tw_list @ [ pcb ];
   let cap = Cost.config.tw_max in
   if cap > 0 then begin
@@ -906,7 +1021,8 @@ let process_ack pcb ack =
   if acked <= 0 then false
   else begin
     pcb.t_dupacks <- 0;
-    if pcb.t_rtt > 0 && seq_gt ack pcb.t_rtseq then update_rtt pcb pcb.t_rtt;
+    if pcb.t_rtt > 0 && seq_gt ack pcb.t_rtseq then
+      update_rtt pcb (rtt_sample pcb.t_stack pcb);
     if pcb.snd_cwnd < pcb.snd_ssthresh then pcb.snd_cwnd <- pcb.snd_cwnd + pcb.t_maxseg
     else
       pcb.snd_cwnd <-
@@ -918,7 +1034,8 @@ let process_ack pcb ack =
     if data_acked > 0 then Sockbuf.sbdrop pcb.snd_buf data_acked;
     pcb.snd_una <- ack;
     if seq_lt pcb.snd_nxt pcb.snd_una then pcb.snd_nxt <- pcb.snd_una;
-    pcb.tm_rexmt <- (if seq_geq pcb.snd_una pcb.snd_max then 0 else pcb.t_rxtcur);
+    set_rexmt pcb.t_stack pcb
+      (if seq_geq pcb.snd_una pcb.snd_max then 0 else pcb.t_rxtcur);
     pcb.on_writable ();
     fin_acked
   end
@@ -928,7 +1045,7 @@ let fast_retransmit t pcb =
   let w = max (min pcb.snd_wnd pcb.snd_cwnd / 2) (2 * pcb.t_maxseg) in
   pcb.snd_ssthresh <- w;
   pcb.snd_recover <- pcb.snd_max;
-  pcb.tm_rexmt <- 0;
+  set_rexmt t pcb 0;
   pcb.t_rtt <- 0;
   let onxt = pcb.snd_nxt in
   pcb.snd_nxt <- pcb.snd_una;
@@ -946,7 +1063,7 @@ let newreno_partial_ack t pcb ack =
   let acked = seq_diff ack pcb.snd_una in
   let onxt = pcb.snd_nxt in
   let ocwnd = pcb.snd_cwnd in
-  pcb.tm_rexmt <- 0;
+  set_rexmt t pcb 0;
   pcb.t_rtt <- 0;
   pcb.snd_nxt <- ack;
   pcb.snd_cwnd <- pcb.t_maxseg + acked;
@@ -957,7 +1074,7 @@ let newreno_partial_ack t pcb ack =
   if data_acked > 0 then Sockbuf.sbdrop pcb.snd_buf data_acked;
   pcb.snd_una <- ack;
   if seq_lt pcb.snd_nxt pcb.snd_una then pcb.snd_nxt <- pcb.snd_una;
-  if pcb.tm_rexmt = 0 then pcb.tm_rexmt <- pcb.t_rxtcur;
+  if pcb.tm_rexmt = 0 then set_rexmt t pcb pcb.t_rxtcur;
   pcb.on_writable ()
 
 (* Receive-buffer autotuning (Cost.config.tcp_autotune).  Arrivals come in
@@ -1058,7 +1175,7 @@ let rec segment_arrives t pcb ~src ~sport ~seq ~ack ~flags ~win ~mss ~wscale ~da
         pcb.snd_wl2 <- ack;
         if ack_ok then begin
           pcb.snd_una <- ack;
-          pcb.tm_rexmt <- 0;
+          set_rexmt t pcb 0;
           pcb.t_rxtshift <- 0;
           enter_established t pcb;
           pcb.ack_now <- true;
@@ -1135,7 +1252,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
       | Syn_received ->
           if seq_gt ack pcb.snd_una && seq_leq ack pcb.snd_max then begin
             pcb.snd_una <- ack;
-            pcb.tm_rexmt <- 0;
+            set_rexmt t pcb 0;
             pcb.t_rxtshift <- 0;
             pcb.snd_wnd <- win;
             pcb.snd_wl1 <- !seq;
@@ -1202,7 +1319,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
         pcb.snd_wnd <- win;
         pcb.snd_wl1 <- !seq;
         pcb.snd_wl2 <- ack;
-        if win > 0 then pcb.tm_persist <- 0;
+        if win > 0 then set_persist t pcb 0;
         pcb.on_writable ()
       end;
       (* Data. *)
@@ -1216,10 +1333,10 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
           (* Every-other-segment ACK: delay the first, force on the
              second. *)
           if pcb.delack_pending then begin
-            pcb.delack_pending <- false;
+            set_delack t pcb false;
             pcb.ack_now <- true
           end
-          else pcb.delack_pending <- true;
+          else set_delack t pcb true;
           pcb.on_readable ()
         end
         else begin
@@ -1253,7 +1370,7 @@ and common_input t pcb ~src ~sport ~seq ~ack ~flags ~win ~data ~dlen =
           | Fin_wait_2 ->
               enter_time_wait t pcb;
               pcb.on_state ()
-          | Time_wait -> pcb.tm_2msl <- 2 * msl_ticks
+          | Time_wait -> set_2msl t pcb (2 * msl_ticks)
           | Close_wait | Closing | Last_ack | Closed | Listen | Syn_sent -> ()
         end
         else pcb.ack_now <- true
@@ -1362,7 +1479,7 @@ let fastpath_input t pcb ~seq ~ack ~win ~data ~dlen =
     pcb.snd_wnd <- win;
     pcb.snd_wl1 <- seq;
     pcb.snd_wl2 <- ack;
-    if win > 0 then pcb.tm_persist <- 0;
+    if win > 0 then set_persist t pcb 0;
     pcb.on_writable ()
   end;
   let stored =
@@ -1371,10 +1488,10 @@ let fastpath_input t pcb ~seq ~ack ~win ~data ~dlen =
       Sockbuf.sbappend_chain pcb.rcv_buf data;
       pcb.rcv_nxt <- m32 (pcb.rcv_nxt + dlen);
       if pcb.delack_pending then begin
-        pcb.delack_pending <- false;
+        set_delack t pcb false;
         pcb.ack_now <- true
       end
-      else pcb.delack_pending <- true;
+      else set_delack t pcb true;
       pcb.on_readable ();
       true
     end

@@ -222,12 +222,16 @@ let reactor_conn ~reactor st root (c : Io_if.socket) =
       (* Slowloris defense: the whole request header must arrive within the
          deadline, or the connection is cut — a parked half-request may not
          hold its state record indefinitely. *)
-      ignore
-        (Kclock.callout_after ~ns:Cost.config.httpd_header_deadline_ns (fun () ->
-             if (not !closed) && not !writing then begin
-               st.deadline_closed <- st.deadline_closed + 1;
-               finish ()
-             end))
+      let fire () =
+        if (not !closed) && not !writing then begin
+          st.deadline_closed <- st.deadline_closed + 1;
+          finish ()
+        end
+      in
+      let ns = Cost.config.httpd_header_deadline_ns in
+      if Cost.config.Cost.timer_wheel then
+        ignore (Kwheel.callout_after ~ns fire)
+      else ignore (Kclock.callout_after ~ns fire)
 
 (* The nonblocking accept loop, shared by both reactor modes: shed above
    the guard high-water mark or the memory budget, otherwise hand the

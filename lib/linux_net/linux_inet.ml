@@ -257,10 +257,15 @@ let sock_hash_remove t s =
 
 (* Arm a per-flow timer on the flow's home CPU, so the fire (retransmit,
    probe, TIME_WAIT reclaim) charges that CPU's clock.  At ncpus=1 this is
-   exactly [Machine.after]. *)
+   exactly [Machine.after].  Under [Cost.config.timer_wheel] the entry goes
+   on that CPU's hierarchical wheel instead of the raw event queue. *)
 let after_home t s dt f =
-  if Machine.ncpus t.machine <= 1 then Machine.after t.machine dt f
-  else Machine.at_on t.machine ~cpu:s.home_cpu (Machine.now t.machine + dt) f
+  if Cost.config.Cost.timer_wheel then
+    ignore
+      (Kwheel.after (Kwheel.for_machine t.machine) ~cpu:s.home_cpu ~ns:dt f)
+  else if Machine.ncpus t.machine <= 1 then ignore (Machine.after t.machine dt f)
+  else
+    ignore (Machine.at_on t.machine ~cpu:s.home_cpu (Machine.now t.machine + dt) f)
 
 let ifconfig t ~addr ~mask =
   t.my_ip <- addr;
@@ -1707,9 +1712,15 @@ let netstat t =
     \  %d RSTs rate limited\n\
      arp:\n\
     \  %d waiters dropped (queue full)\n\
-    \  %d resolutions abandoned (retries exhausted)\n"
+    \  %d resolutions abandoned (retries exhausted)\n\
+     event:\n\
+    \  %d timer-wheel arms (%d cancels, %d fires, %d cascades)\n\
+    \  %d kqueue events posted (%d coalesced)\n"
     t.ipbadsum t.segs_out t.segs_in t.rexmits t.tcpbadsum t.rcvdup t.rcvoo
     t.rcvfull t.listen_overflow t.rexmt_give_ups t.predack t.preddat t.predfallback
     t.persist_probes t.syncache_added t.syncache_evicted t.syncache_completed
     t.syncookies_validated t.syncookies_rejected t.time_wait_reclaimed
     t.nomem_drops t.rst_ratelimited t.arp_waiters_dropped t.arp_failures
+    Cost.counters.Cost.wheel_arms Cost.counters.Cost.wheel_cancels
+    Cost.counters.Cost.wheel_fires Cost.counters.Cost.wheel_cascades
+    Cost.counters.Cost.kq_posted Cost.counters.Cost.kq_coalesced

@@ -34,6 +34,8 @@ type config = {
   mutable httpd_shed_hiwat : int;
   mutable ncpus : int;
   mutable netisr_qmax : int;
+  mutable kq : bool;
+  mutable timer_wheel : bool;
 }
 
 let max_cpus = 16
@@ -73,7 +75,9 @@ let defaults () =
     httpd_max_header_bytes = 4096;
     httpd_shed_hiwat = 0;
     ncpus = 1;
-    netisr_qmax = 512 }
+    netisr_qmax = 512;
+    kq = false;
+    timer_wheel = false }
 
 let config = defaults ()
 
@@ -113,7 +117,9 @@ let reset_config () =
   config.httpd_max_header_bytes <- d.httpd_max_header_bytes;
   config.httpd_shed_hiwat <- d.httpd_shed_hiwat;
   config.ncpus <- d.ncpus;
-  config.netisr_qmax <- d.netisr_qmax
+  config.netisr_qmax <- d.netisr_qmax;
+  config.kq <- d.kq;
+  config.timer_wheel <- d.timer_wheel
 
 type counters = {
   mutable copies : int;
@@ -133,6 +139,13 @@ type counters = {
   mutable netisr_queued : int;
   mutable netisr_drops : int;
   mutable rss_steered : int;
+  mutable kq_posted : int;
+  mutable kq_coalesced : int;
+  mutable wheel_arms : int;
+  mutable wheel_cancels : int;
+  mutable wheel_cascades : int;
+  mutable wheel_fires : int;
+  mutable tick_visits : int;
 }
 
 let make_counters () =
@@ -141,7 +154,10 @@ let make_counters () =
     fastpath_hits = 0; fastpath_fallbacks = 0;
     pcb_cache_hits = 0; pcb_cache_misses = 0;
     rx_polls = 0; rx_batched_frames = 0;
-    spin_contentions = 0; netisr_queued = 0; netisr_drops = 0; rss_steered = 0 }
+    spin_contentions = 0; netisr_queued = 0; netisr_drops = 0; rss_steered = 0;
+    kq_posted = 0; kq_coalesced = 0;
+    wheel_arms = 0; wheel_cancels = 0; wheel_cascades = 0; wheel_fires = 0;
+    tick_visits = 0 }
 
 (* [counters] is the aggregation view every existing test and bench reads;
    [shards.(cpu)] is the per-CPU split.  Every bump updates both, so the
@@ -166,7 +182,14 @@ let clear_counters c =
   c.spin_contentions <- 0;
   c.netisr_queued <- 0;
   c.netisr_drops <- 0;
-  c.rss_steered <- 0
+  c.rss_steered <- 0;
+  c.kq_posted <- 0;
+  c.kq_coalesced <- 0;
+  c.wheel_arms <- 0;
+  c.wheel_cancels <- 0;
+  c.wheel_cascades <- 0;
+  c.wheel_fires <- 0;
+  c.tick_visits <- 0
 
 let reset_counters () =
   clear_counters counters;
@@ -229,6 +252,13 @@ let count_spin_contention () =
 let count_netisr_queued () = bump (fun c -> c.netisr_queued <- c.netisr_queued + 1)
 let count_netisr_drop () = bump (fun c -> c.netisr_drops <- c.netisr_drops + 1)
 let count_rss_steered () = bump (fun c -> c.rss_steered <- c.rss_steered + 1)
+let count_kq_posted () = bump (fun c -> c.kq_posted <- c.kq_posted + 1)
+let count_kq_coalesced () = bump (fun c -> c.kq_coalesced <- c.kq_coalesced + 1)
+let count_wheel_arm () = bump (fun c -> c.wheel_arms <- c.wheel_arms + 1)
+let count_wheel_cancel () = bump (fun c -> c.wheel_cancels <- c.wheel_cancels + 1)
+let count_wheel_cascade () = bump (fun c -> c.wheel_cascades <- c.wheel_cascades + 1)
+let count_wheel_fire () = bump (fun c -> c.wheel_fires <- c.wheel_fires + 1)
+let count_tick_visit () = bump (fun c -> c.tick_visits <- c.tick_visits + 1)
 
 let charge_com_call () =
   bump (fun c -> c.com_calls <- c.com_calls + 1);

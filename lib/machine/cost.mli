@@ -157,6 +157,21 @@ type config = {
           CPU but not yet processed); beyond it frames are dropped and
           counted ({!field:counters.netisr_drops}), like a software-interrupt
           queue overflow.  Default 512. *)
+  mutable kq : bool;
+      (** kqueue-backed reactor: {!Reactor.create} builds an
+          {!Kqueue.t} and [step] drains its ready queue — O(ready
+          connections) per pass instead of rescanning every watch.
+          Purely algorithmic (no cycle-charge change), but dispatch
+          order differs from the legacy registration-order scan, so
+          default [false] keeps committed baselines bit-identical. *)
+  mutable timer_wheel : bool;
+      (** Hierarchical timing-wheel timers: TCP retransmit / persist /
+          2MSL / delayed-ACK timers and httpd header deadlines become
+          armed-only-when-pending entries on per-CPU wheels
+          ({!Timewheel}), replacing the every-tick all-PCB walks.
+          Fire times quantize to wheel granularity (1 ms) instead of
+          tick boundaries (200/500 ms), so default [false] keeps
+          committed baselines bit-identical. *)
 }
 
 (** Hard ceiling on {!field:config.ncpus} (shard arrays are sized to it). *)
@@ -222,6 +237,18 @@ type counters = {
   mutable rss_steered : int;
       (** frames the NIC's hardware RSS classified into a multi-queue RX
           ring (each queue's MSI-X vector interrupts the flow's home CPU) *)
+  mutable kq_posted : int;
+      (** knote activations that enqueued onto a kqueue ready queue *)
+  mutable kq_coalesced : int;
+      (** knote activations absorbed by an already-queued entry *)
+  mutable wheel_arms : int;  (** timing-wheel entries armed *)
+  mutable wheel_cancels : int;  (** timing-wheel entries cancelled before firing *)
+  mutable wheel_cascades : int;
+      (** entries re-filed from a higher wheel level on a slot-wrap *)
+  mutable wheel_fires : int;  (** timing-wheel entries fired *)
+  mutable tick_visits : int;
+      (** PCBs visited by the legacy periodic slow/fast tick walks (the
+          work the wheel eliminates) *)
 }
 
 (** The aggregation view: totals across all CPUs.  Every bump lands here
@@ -259,6 +286,13 @@ val count_spin_contention : unit -> unit
 val count_netisr_queued : unit -> unit
 val count_netisr_drop : unit -> unit
 val count_rss_steered : unit -> unit
+val count_kq_posted : unit -> unit
+val count_kq_coalesced : unit -> unit
+val count_wheel_arm : unit -> unit
+val count_wheel_cancel : unit -> unit
+val count_wheel_cascade : unit -> unit
+val count_wheel_fire : unit -> unit
+val count_tick_visit : unit -> unit
 
 (** {2 Context plumbing} *)
 

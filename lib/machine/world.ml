@@ -1,5 +1,3 @@
-type event = { time : int; seq : int; action : unit -> unit; mutable cancelled : bool }
-
 module Key = struct
   type t = int * int (* time, seq *)
 
@@ -9,7 +7,20 @@ end
 
 module Queue = Map.Make (Key)
 
-type t = {
+(* An event carries a back-pointer to its world so [cancel] can unlink it
+   from the queue immediately.  Cancelled callouts used to linger until
+   their deadline — an early-cancelled 2MSL timer held its closure (and a
+   map node) for minutes of virtual time, and [pending] counted the
+   corpses. *)
+type event = {
+  time : int;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+  owner : t;
+}
+
+and t = {
   mutable now : int;
   mutable queue : event Queue.t;
   mutable next_seq : int;
@@ -24,13 +35,20 @@ let set_fuel t fuel = t.fuel <- fuel
 
 let at t time action =
   let time = max time t.now in
-  let ev = { time; seq = t.next_seq; action; cancelled = false } in
+  let ev = { time; seq = t.next_seq; action; cancelled = false; owner = t } in
   t.next_seq <- t.next_seq + 1;
   t.queue <- Queue.add (time, ev.seq) ev t.queue;
   ev
 
 let after t dt action = at t (t.now + dt) action
-let cancel ev = ev.cancelled <- true
+
+let cancel ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    ev.owner.queue <- Queue.remove (ev.time, ev.seq) ev.owner.queue
+  end
+
+(* Live events only: cancellation removes the entry, so this is exact. *)
 let pending t = Queue.cardinal t.queue
 
 let step t =

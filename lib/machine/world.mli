@@ -23,6 +23,9 @@ val at : t -> int -> (unit -> unit) -> event
 (** [after t dt f] is [at t (now t + dt) f]. *)
 val after : t -> int -> (unit -> unit) -> event
 
+(** [cancel ev] unlinks [ev] from its world's queue immediately: the
+    closure is released and {!pending} no longer counts it.  Idempotent;
+    cancelling an already-fired event is a no-op. *)
 val cancel : event -> unit
 
 (** [step t] pops and runs the earliest pending event, advancing [now];
@@ -33,7 +36,8 @@ val step : t -> bool
     the {!fuel} limit is hit. *)
 val run : ?until:(unit -> bool) -> t -> unit
 
-(** Number of pending events. *)
+(** Number of live pending events (cancelled events are removed, not
+    counted). *)
 val pending : t -> int
 
 (** Safety valve: [run] raises [Out_of_fuel] after this many events

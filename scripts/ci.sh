@@ -27,12 +27,18 @@
 # 1 and 4 CPUs under a 256-client burst; the bench fails on any
 # non-byte-exact response, any netisr overflow drop, any spinlock
 # contention on the per-flow hot path, 4-CPU req/s not strictly above
-# 1-CPU, or steering that never fired).
+# 1-CPU, or steering that never fired),
+# and the event smoke (the event core: kqueue dispatch work must stay
+# flat as idle watches grow 100 -> 10000 while the legacy scan grows
+# linearly; the timing wheel must fire zero timers early, none more
+# than one granule late, and none missed, at O(due) work; and a full
+# httpd transfer with both kq and timer_wheel on must stay byte-exact).
 # Finally, Table 1/2 and the rtt percentiles are regenerated (with
 # --json, so the files are actually rewritten — without it the diff
-# check was vacuous) with every long-fat, overload, and smp knob at its
-# default — ncpus=1 — and must be bit-identical to the committed
-# baselines: the whole SMP layer must cost nothing when off.
+# check was vacuous) with every long-fat, overload, smp, and event-core
+# knob at its default — ncpus=1, kq and timer_wheel off — and must be
+# bit-identical to the committed baselines: the SMP layer and the event
+# core must cost nothing when off.
 set -eux
 
 dune build
@@ -45,6 +51,7 @@ OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- rttsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- longfatsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- overloadsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- smpsmoke
+OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- eventsmoke
 dune exec bench/main.exe -- table1 --sg --json
 dune exec bench/main.exe -- table2 --json
 dune exec bench/main.exe -- rtt --json

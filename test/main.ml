@@ -26,4 +26,5 @@ let () =
       "fastpath", Test_fastpath.suite;
       "longfat", Test_longfat.suite;
       "overload", Test_overload.suite;
-      "smp", Test_smp.suite ]
+      "smp", Test_smp.suite;
+      "event", Test_event.suite ]
