@@ -294,6 +294,65 @@ and dir = {
 
 let dir_iid : dir Iid.t = Iid.declare "oskit.dir"
 
+(** {1 The sendfile content path: file block mapping + scatter send}
+
+    Two optional faces that together give a zero-copy route from a file
+    system's buffer cache to a protocol stack's transmit path.  A file may
+    additionally export {!filemap}, exposing its bytes as pinned cache-block
+    fragments; a socket may additionally export {!sendv}, accepting such
+    fragments by reference.  Both are reached by [Com.query] from the
+    primary face — a component that implements neither loses nothing, and
+    callers fall back on the [f_read]/[so_send] copy path. *)
+
+(** One mapped fragment: [fr_len] bytes at [fr_data[fr_off ..]], readable
+    in place.  The mapping holds a pin (a buffer-cache reference) on the
+    backing block; the block cannot be evicted or reused while pinned.
+    [fr_hold] takes one more pin — a consumer that keeps the bytes beyond
+    the mapping's lifetime (e.g. a socket buffer holding them until the
+    peer acknowledges) takes its own hold and pairs it with its own
+    [fr_release].  Every hold, including the mapping's original one, is
+    returned with exactly one [fr_release]. *)
+type file_frag = {
+  fr_data : bytes;
+  fr_off : int;
+  fr_len : int;
+  fr_hold : unit -> unit;
+  fr_release : unit -> unit;
+}
+
+(** Total byte length of a fragment list. *)
+let frags_length frags = List.fold_left (fun a f -> a + f.fr_len) 0 frags
+
+(** Release every fragment of a mapping (the caller's original holds). *)
+let frags_release frags = List.iter (fun f -> f.fr_release ()) frags
+
+type filemap = {
+  fm_unknown : Com.unknown;
+  fm_map_blocks : offset:int -> amount:int -> (file_frag list, Error.t) result;
+      (** Map [amount] bytes of the file starting at [offset] as cache-block
+          fragments (short at end of file; partial head/tail blocks appear
+          as partial fragments).  Each returned fragment is pinned; the
+          caller owns one release per fragment.  Fails ([Error.Notsup])
+          when the range cannot be mapped — e.g. it crosses a hole — and
+          the caller must fall back on [f_read]. *)
+}
+
+let filemap_iid : filemap Iid.t = Iid.declare "oskit.filemap"
+
+type sendv = {
+  sv_unknown : Com.unknown;
+  sv_send_frags : frags:file_frag list -> pos:int -> (int, Error.t) result;
+      (** Scatter send: append the fragment bytes from stream offset [pos]
+          (within the concatenated fragments) into the socket, by
+          reference where the stack supports it.  Returns bytes accepted;
+          blocking/nonblocking semantics follow the socket's [so_send].
+          The callee takes its own holds ({!field:file_frag.fr_hold}) for
+          whatever it keeps in flight — the caller's mapping pins remain
+          the caller's to release. *)
+}
+
+let sendv_iid : sendv Iid.t = Iid.declare "oskit.sendv"
+
 (** {1 Helpers} *)
 
 (** [bufio_of_bytes b] wraps plain contiguous bytes — the trivial bufio

@@ -183,6 +183,30 @@ let so_send s ~buf ~pos ~len =
   in
   push 0
 
+(* sosend for mapped file fragments (the sendfile path): loan the
+   fragments into the send buffer with no copy, blocking until the bytes
+   from [pos] onward are all accepted.  Nonblocking sockets get partial
+   progress or Wouldblock, like so_send. *)
+let so_sendv s ~frags ~pos =
+  let total = List.fold_left (fun a f -> a + f.Io_if.fr_len) 0 frags in
+  let len = max 0 (total - pos) in
+  let rec push sent =
+    if sent >= len then Ok len
+    else
+      match Tcp.usr_sendv s.st.tcp s.pcb ~frags ~pos:(pos + sent) with
+      | Result.Error e -> if sent > 0 then Ok sent else Result.Error e
+      | Ok 0 -> (
+          match s.pcb.Tcp.t_state with
+          | Tcp.Closed -> Result.Error (Option.value s.pcb.Tcp.so_error ~default:Error.Pipe)
+          | _ when s.nonblock ->
+              if sent > 0 then Ok sent else Result.Error Error.Wouldblock
+          | _ ->
+              sbwait s 1;
+              push sent)
+      | Ok n -> push (sent + n)
+  in
+  push 0
+
 (* soreceive: block until at least one byte (or EOF). *)
 let so_recv s ~buf ~pos ~len =
   let rec wait () =

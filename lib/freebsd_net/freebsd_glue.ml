@@ -199,11 +199,22 @@ let rec socket_com stack (s : Bsd_socket.tsock) : Io_if.socket =
            Bsd_socket.so_remove_listener s id)
          ~readable:(fun () -> Bsd_socket.so_readable_bytes s)
          ())
+  (* The scatter-send face: loan mapped buffer-cache fragments into the
+     send buffer with no copy.  BSD exports it because its mbufs can alias
+     foreign storage; the Linux stack deliberately has no such face (its
+     contiguous sk_buffs cannot — the Section 5 copy asymmetry), so a
+     client that queries for it falls back on copying writes there. *)
+  and sv =
+    lazy
+      { Io_if.sv_unknown = unknown ();
+        sv_send_frags =
+          (fun ~frags ~pos -> enter (fun () -> Bsd_socket.so_sendv s ~frags ~pos)) }
   and obj =
     lazy
       (Com.create (fun _ ->
            [ Iid.B (Io_if.socket_iid, fun () -> view ());
-             Iid.B (Io_if.asyncio_iid, fun () -> Lazy.force aio) ]))
+             Iid.B (Io_if.asyncio_iid, fun () -> Lazy.force aio);
+             Iid.B (Io_if.sendv_iid, fun () -> Lazy.force sv) ]))
   and unknown () = Lazy.force obj in
   view ()
 

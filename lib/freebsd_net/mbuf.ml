@@ -39,6 +39,12 @@ type mbuf = {
   mutable m_store : storage;
   mutable m_refs : int ref; (* shared by every mbuf aliasing this storage *)
   mutable m_freed : bool;
+  mutable m_on_free : (unit -> unit) option;
+      (* Fired once, when the LAST alias of this storage is retired (the
+         shared m_refs cell hits 0) — the TX-completion hook the sendfile
+         path uses to unpin loaned buffer-cache blocks.  m_copym copies
+         propagate it alongside m_refs, so retransmit aliases keep the
+         block pinned until the final free. *)
 }
 
 let stats_allocated = ref 0
@@ -53,7 +59,7 @@ let m_get () =
   incr stats_allocated;
   { m_next = None; m_data = Bpool.get small_pool; m_off = msize - mlen; m_len = 0;
     m_ext = false; m_pkthdr_len = 0; m_store = Pool_small; m_refs = ref 1;
-    m_freed = false }
+    m_freed = false; m_on_free = None }
 
 let m_gethdr () =
   let m = m_get () in
@@ -66,7 +72,8 @@ let m_getclust () =
   Cost.charge_pool_alloc ();
   incr stats_allocated;
   { m_next = None; m_data = Bpool.get clust_pool; m_off = 0; m_len = 0; m_ext = true;
-    m_pkthdr_len = 0; m_store = Pool_clust; m_refs = ref 1; m_freed = false }
+    m_pkthdr_len = 0; m_store = Pool_clust; m_refs = ref 1; m_freed = false;
+    m_on_free = None }
 
 (* MEXTADD: loan foreign storage to the chain with no copy — how received
    frames that arrive contiguous are mapped straight into the stack.  The
@@ -75,7 +82,18 @@ let m_ext_wrap buf ~off ~len =
   Cost.charge_pool_alloc ();
   incr stats_allocated;
   { m_next = None; m_data = buf; m_off = off; m_len = len; m_ext = true;
-    m_pkthdr_len = len; m_store = Foreign; m_refs = ref 1; m_freed = false }
+    m_pkthdr_len = len; m_store = Foreign; m_refs = ref 1; m_freed = false;
+    m_on_free = None }
+
+(* m_ext_wrap with a free callback (MEXTADD's ext_free): [on_free] runs
+   when the last alias of the loaned storage is retired.  The sendfile
+   path wraps pinned buffer-cache fragments this way; on_free is the
+   unpin, so the block stays wired exactly as long as any socket buffer,
+   in-flight segment or retransmit alias still references it. *)
+let m_ext_wrap_free buf ~off ~len ~on_free =
+  let m = m_ext_wrap buf ~off ~len in
+  m.m_on_free <- Some on_free;
+  m
 
 (* MFREE: retire one mbuf.  Its storage goes back to the owning pool when
    the last alias drops; the record itself is dead afterwards. *)
@@ -85,11 +103,13 @@ let m_free m =
   incr stats_freed;
   let r = m.m_refs in
   decr r;
-  if !r = 0 then
-    match m.m_store with
+  if !r = 0 then begin
+    (match m.m_store with
     | Pool_small -> Bpool.put small_pool m.m_data
     | Pool_clust -> Bpool.put clust_pool m.m_data
-    | Foreign -> ()
+    | Foreign -> ());
+    match m.m_on_free with Some f -> f () | None -> ()
+  end
 
 let rec m_freem m =
   let next = m.m_next in
@@ -215,16 +235,19 @@ let m_makewritable m ~off ~len =
       Bytes.blit x.m_data x.m_off priv 0 x.m_len;
       let r = x.m_refs in
       decr r;
-      if !r = 0 then
+      if !r = 0 then begin
         (match x.m_store with
         | Pool_small -> Bpool.put small_pool x.m_data
         | Pool_clust -> Bpool.put clust_pool x.m_data
         | Foreign -> ());
+        match x.m_on_free with Some f -> f () | None -> ()
+      end;
       x.m_data <- priv;
       x.m_off <- 0;
       x.m_ext <- false;
       x.m_store <- Foreign;
-      x.m_refs <- ref 1
+      x.m_refs <- ref 1;
+      x.m_on_free <- None
     end
   in
   let rec go m off len =
@@ -296,7 +319,7 @@ let m_copym m ~off ~len =
       incr src.m_refs;
       { m_next = None; m_data = src.m_data; m_off = src.m_off + off; m_len = n;
         m_ext = true; m_pkthdr_len = 0; m_store = src.m_store; m_refs = src.m_refs;
-        m_freed = false }
+        m_freed = false; m_on_free = src.m_on_free }
     end
     else begin
       let c = m_get () in

@@ -329,6 +329,17 @@ let tw_cancel_all pcb =
 
 let detach t pcb =
   tw_cancel_all pcb;
+  (* With the sendfile knob on, a dying connection must retire its socket
+     buffers: the send buffer may hold loaned ext mbufs whose on-free
+     callbacks unpin buffer-cache blocks, and an abort (peer RST, rexmt
+     give-up) is the one path where those bytes are never acked and
+     dropped.  Gated on the knob because freeing recycles pooled storage
+     and changes later Bpool hit/miss charges — flag-off runs must stay
+     bit-identical to the committed baselines. *)
+  if Cost.config.Cost.sendfile then begin
+    Sockbuf.sbdrop pcb.snd_buf pcb.snd_buf.Sockbuf.sb_cc;
+    Sockbuf.sbdrop pcb.rcv_buf pcb.rcv_buf.Sockbuf.sb_cc
+  end;
   t.pcbs <- List.filter (fun x -> x != pcb) t.pcbs;
   if t.tw_list <> [] then t.tw_list <- List.filter (fun x -> x != pcb) t.tw_list;
   (match Hashtbl.find_opt t.pcb_hash (hash_key pcb) with
@@ -1704,6 +1715,62 @@ let usr_send t pcb ~src ~src_pos ~len =
         Ok taken
       end
       else Ok n
+  | Closed | Listen -> Result.Error Error.Notconn
+  | Syn_sent | Syn_received -> Ok 0 (* not yet connected: caller blocks *)
+  | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait -> Result.Error Error.Pipe
+
+(* Scatter append for the sendfile path: wrap the mapped fragments from
+   stream offset [pos] as loaned ext mbufs — no data copy — and append as
+   much as the send buffer accepts.  Each wrapped mbuf takes its own hold
+   on the backing cache block and releases it when the last alias of the
+   storage is freed, i.e. once the bytes are acked and dropped from the
+   socket buffer (retransmit aliases made by m_copym share the reference,
+   so a block stays pinned across recovery).  Returns bytes accepted. *)
+let usr_sendv t pcb ~frags ~pos =
+  Cost.charge_cycles Cost.config.socket_op_cycles;
+  match pcb.t_state with
+  | Established | Close_wait ->
+      if Cost.config.tcp_autotune then begin
+        let cap = Cost.config.tcp_sockbuf_max in
+        let net = min pcb.snd_wnd pcb.snd_cwnd in
+        if 2 * net >= pcb.snd_buf.Sockbuf.sb_hiwat && pcb.snd_buf.Sockbuf.sb_hiwat < cap then
+          pcb.snd_buf.Sockbuf.sb_hiwat <- min cap (2 * pcb.snd_buf.Sockbuf.sb_hiwat)
+      end;
+      let total = List.fold_left (fun a f -> a + f.Io_if.fr_len) 0 frags in
+      let n = min (max 0 (total - pos)) (Sockbuf.space pcb.snd_buf) in
+      if n > 0 then begin
+        let rec build fs skip need acc =
+          if need = 0 then List.rev acc
+          else
+            match fs with
+            | [] -> List.rev acc
+            | f :: rest ->
+                if skip >= f.Io_if.fr_len then build rest (skip - f.Io_if.fr_len) need acc
+                else begin
+                  let take = min need (f.Io_if.fr_len - skip) in
+                  f.Io_if.fr_hold ();
+                  let m =
+                    Mbuf.m_ext_wrap_free f.Io_if.fr_data ~off:(f.Io_if.fr_off + skip)
+                      ~len:take ~on_free:f.Io_if.fr_release
+                  in
+                  build rest 0 (need - take) (m :: acc)
+                end
+        in
+        (match build frags pos n [] with
+        | [] -> ()
+        | first :: rest ->
+            ignore
+              (List.fold_left
+                 (fun prev m ->
+                   prev.Mbuf.m_next <- Some m;
+                   m)
+                 first rest);
+            first.Mbuf.m_pkthdr_len <- Mbuf.m_length first;
+            Sockbuf.sbappend_chain pcb.snd_buf first);
+        tcp_output t pcb;
+        Ok n
+      end
+      else Ok 0
   | Closed | Listen -> Result.Error Error.Notconn
   | Syn_sent | Syn_received -> Ok 0 (* not yet connected: caller blocks *)
   | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait -> Result.Error Error.Pipe

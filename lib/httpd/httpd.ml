@@ -1,4 +1,4 @@
-(* An HTTP/1.0 static-file server component, in both serving shapes the
+(* An HTTP static-file server component, in both serving shapes the
  * paper's substrate supports:
  *
  *  - [serve_reactor]: event-driven.  The listen socket and every
@@ -12,8 +12,26 @@
  *
  * Both serve the same files from an {!Io_if.dir} (the FFS/memfs path) and
  * speak to sockets only through the COM interfaces, so either protocol
- * stack works underneath.  GET only, one request per connection,
- * Connection: close — HTTP/1.0 without keep-alive.
+ * stack works underneath.
+ *
+ * Protocol engines (selected by Cost.config.http_keepalive):
+ *
+ *  - flag off: HTTP/1.0, GET only, one request per connection,
+ *    Connection: close — byte-identical to the original server, so the
+ *    committed baselines replay exactly.
+ *  - flag on: HTTP/1.1 persistent connections with bounded pipelining.
+ *    Requests are parsed ahead (up to http_pipeline_max), responses go
+ *    out strictly in order, every response carries Content-Length, idle
+ *    connections are closed after http_idle_timeout_ns, and a connection
+ *    is cut after http_max_reqs_per_conn requests (0 = unlimited).
+ *
+ * Body path (selected by Cost.config.sendfile, keep-alive mode only):
+ * a 200 body is served zero-copy when the socket exports the
+ * {!Io_if.sendv} face and the file the {!Io_if.filemap} face — the
+ * file's buffer-cache blocks are loaned to the socket as pinned
+ * fragments and ride the scatter-gather transmit path to the wire with
+ * no body copy.  Anything that cannot map (Linux sockets, files with
+ * holes, flag off) takes the counted copy fallback.
  *)
 
 type stats = {
@@ -30,12 +48,22 @@ type stats = {
   mutable shed_503 : int;  (* answered 503 + Retry-After over the high-water mark *)
   mutable deadline_closed : int;  (* closed: headers not done by the deadline *)
   mutable hdr_overflow : int;  (* closed: request headers over the byte bound *)
+  (* keep-alive engine (Cost.config.http_keepalive) *)
+  mutable reused : int;  (* requests served on an already-used connection *)
+  mutable pipelined : int;  (* requests parsed while a response was still queued *)
+  mutable idle_closed : int;  (* closed by the keep-alive idle timeout *)
+  mutable capped : int;  (* connections cut by http_max_reqs_per_conn *)
+  (* body path (Cost.config.sendfile) *)
+  mutable sendfile_bodies : int;  (* bodies served from mapped cache blocks *)
+  mutable sendfile_fallbacks : int;  (* sendfile wanted, had to copy *)
+  mutable body_bytes_copied : int;  (* body bytes through the copy path (keep-alive mode) *)
 }
 
 let make_stats () =
   { accepted = 0; requests = 0; responses = 0; not_found = 0; protocol_errors = 0;
     shed = 0; bytes_out = 0; active = 0; peak_active = 0; shed_503 = 0;
-    deadline_closed = 0; hdr_overflow = 0 }
+    deadline_closed = 0; hdr_overflow = 0; reused = 0; pipelined = 0; idle_closed = 0;
+    capped = 0; sendfile_bodies = 0; sendfile_fallbacks = 0; body_bytes_copied = 0 }
 
 (* The per-connection memory the two serving modes pay — what the
    equal-memory comparison in bench/httpbench divides a RAM budget by.  A
@@ -44,8 +72,105 @@ let make_stats () =
 let thread_stack_bytes = 32 * 1024
 let conn_state_bytes = 2 * 1024
 
-(* ---- request/response machinery (shared by both modes) ---- *)
+(* ---- request framing (shared by both modes and both engines) ----
+ *
+ * A request ends at the first "\r\n\r\n" or "\n\n".  The original server
+ * re-ran a substring search over the whole buffer after every recv —
+ * quadratic in the request size when headers arrive in drips.  The
+ * scanner below keeps a resume cursor and looks at every received byte
+ * exactly once, so framing is O(bytes received) however the bytes are
+ * chopped; the terminator test looks {e backward} from the cursor, which
+ * is why no rewind is ever needed. *)
 
+type reqbuf = {
+  mutable rb_data : bytes;
+  mutable rb_len : int;  (* bytes received and not discarded *)
+  mutable rb_start : int;  (* start of the current (unconsumed) request *)
+  mutable rb_scan : int;  (* next byte the terminator scan will test *)
+  mutable rb_found : bool;  (* one-shot mode: a terminator has been seen *)
+}
+
+let rb_create () =
+  { rb_data = Bytes.create 512; rb_len = 0; rb_start = 0; rb_scan = 0; rb_found = false }
+
+let rb_append rb src n =
+  if rb.rb_start = rb.rb_len && rb.rb_start > 0 then begin
+    (* Everything consumed: restart at the origin instead of growing. *)
+    rb.rb_len <- 0;
+    rb.rb_start <- 0;
+    rb.rb_scan <- 0
+  end;
+  let need = rb.rb_len + n in
+  if need > Bytes.length rb.rb_data then begin
+    let cap = ref (2 * Bytes.length rb.rb_data) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let d = Bytes.create !cap in
+    Bytes.blit rb.rb_data 0 d 0 rb.rb_len;
+    rb.rb_data <- d
+  end;
+  Bytes.blit src 0 rb.rb_data rb.rb_len n;
+  rb.rb_len <- rb.rb_len + n
+
+(* Unconsumed bytes (the partial request still being received). *)
+let rb_pending rb = rb.rb_len - rb.rb_start
+
+(* Advance the cursor to the end of the first terminator at or after it,
+   or to rb_len if none; never looks back before rb_start, so requests on
+   a reused connection cannot fuse across a boundary. *)
+let rb_find_term rb =
+  let d = rb.rb_data in
+  let rec go i =
+    if i >= rb.rb_len then begin
+      rb.rb_scan <- rb.rb_len;
+      None
+    end
+    else if
+      Bytes.get d i = '\n'
+      && ((i - 1 >= rb.rb_start && Bytes.get d (i - 1) = '\n')
+         || (i - 3 >= rb.rb_start
+            && Bytes.get d (i - 1) = '\r'
+            && Bytes.get d (i - 2) = '\n'
+            && Bytes.get d (i - 3) = '\r'))
+    then begin
+      rb.rb_scan <- i + 1;
+      Some i
+    end
+    else go (i + 1)
+  in
+  go (max rb.rb_scan rb.rb_start)
+
+(* One-shot completeness (the HTTP/1.0 engine): has a terminator arrived?
+   Latches, and matches the original [contains "\r\n\r\n" || contains
+   "\n\n"] exactly — a terminator exists somewhere iff one {e ends}
+   somewhere. *)
+let rb_complete rb =
+  rb.rb_found
+  || (match rb_find_term rb with
+     | Some _ ->
+         rb.rb_found <- true;
+         true
+     | None -> false)
+
+let rb_contents rb = Bytes.sub_string rb.rb_data 0 rb.rb_len
+
+(* Consume and return the next framed request (keep-alive engine). *)
+let rb_next_request rb =
+  match rb_find_term rb with
+  | None -> None
+  | Some i ->
+      let req = Bytes.sub_string rb.rb_data rb.rb_start (i + 1 - rb.rb_start) in
+      rb.rb_start <- i + 1;
+      rb.rb_scan <- i + 1;
+      if rb.rb_start = rb.rb_len then begin
+        rb.rb_len <- 0;
+        rb.rb_start <- 0;
+        rb.rb_scan <- 0
+      end;
+      Some req
+
+(* Kept for compatibility (tests); one-shot, not incremental. *)
 let contains s sub =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -99,7 +224,8 @@ let header ~status ~reason ~len =
      Content-Length: %d\r\nConnection: close\r\n\r\n"
     status reason len
 
-(* Build the full response for a raw request; counts into [st]. *)
+(* Build the full response for a raw request; counts into [st].  The
+   HTTP/1.0 one-request engine — byte-identical to the original server. *)
 let respond st root raw =
   match parse_request raw with
   | None ->
@@ -136,11 +262,188 @@ let aio_of (sock : Io_if.socket) =
   | Ok a -> a
   | Result.Error e -> Error.fail e
 
+(* The optional COM faces of the zero-copy path: a socket that can accept
+   loaned fragments, a file that can loan its cache blocks.  Either may be
+   absent (the Linux stack exports no sendv; a memfs file no filemap) —
+   absence simply means the copy fallback. *)
+let sendv_of (sock : Io_if.socket) =
+  Cost.count_com_call ();
+  match Com.query sock.Io_if.so_unknown Io_if.sendv_iid with
+  | Ok v -> Some v
+  | Result.Error _ -> None
+
+let filemap_of (f : Io_if.file) =
+  Cost.count_com_call ();
+  match Com.query f.Io_if.f_unknown Io_if.filemap_iid with
+  | Ok v -> Some v
+  | Result.Error _ -> None
+
 (* Load shedding above the high-water mark (Cost.config.httpd_shed_hiwat):
    a well-formed refusal the client can act on, instead of a silent drop. *)
 let resp_503 =
   "HTTP/1.0 503 Service Unavailable\r\nServer: oskit-httpd\r\nRetry-After: 1\r\n\
    Content-Length: 0\r\nConnection: close\r\n\r\n"
+
+(* ---- the HTTP/1.1 keep-alive engine (Cost.config.http_keepalive) ---- *)
+
+(* One queued response.  [rs_data] is the header (plus the body, when it
+   went through the copy path); [rs_frags] is the mapped body for the
+   sendfile path ([] = none).  The connection owns one release per
+   fragment and drops them the moment the body is fully handed to the
+   socket — the socket takes its own holds for bytes still in flight. *)
+type resp = {
+  rs_data : bytes;
+  rs_frags : Io_if.file_frag list;
+  rs_blen : int;  (* total mapped body bytes *)
+  rs_close : bool;  (* close the connection after this response *)
+  mutable rs_hsent : int;
+  mutable rs_bsent : int;
+  mutable rs_released : bool;
+}
+
+let release_resp r =
+  if not r.rs_released then begin
+    r.rs_released <- true;
+    List.iter (fun f -> f.Io_if.fr_release ()) r.rs_frags
+  end
+
+let header_11 ~v11 ~status ~reason ~len ~keep =
+  Printf.sprintf
+    "HTTP/%s %d %s\r\nServer: oskit-httpd\r\nContent-Type: application/octet-stream\r\n\
+     Content-Length: %d\r\nConnection: %s\r\n\r\n"
+    (if v11 then "1.1" else "1.0")
+    status reason len
+    (if keep then "keep-alive" else "close")
+
+(* Request line and the Connection header.  Returns
+   (path option, spoke 1.1, asked close, asked keep-alive). *)
+let parse_request_11 raw =
+  match String.index_opt raw '\n' with
+  | None -> (None, false, false, false)
+  | Some i ->
+      let line = String.trim (String.sub raw 0 i) in
+      let toks = List.filter (fun s -> s <> "") (String.split_on_char ' ' line) in
+      let path, v11 =
+        match toks with
+        | "GET" :: path :: rest ->
+            ( Some path,
+              match rest with
+              | v :: _ -> String.length v >= 8 && String.sub v 0 8 = "HTTP/1.1"
+              | [] -> false )
+        | _ -> (None, false)
+      in
+      let conn = ref "" in
+      List.iteri
+        (fun idx l ->
+          if idx > 0 then
+            match String.index_opt l ':' with
+            | Some j when String.lowercase_ascii (String.trim (String.sub l 0 j)) = "connection"
+              ->
+                conn :=
+                  String.lowercase_ascii
+                    (String.trim (String.sub l (j + 1) (String.length l - j - 1)))
+            | Some _ | None -> ())
+        (String.split_on_char '\n' raw);
+      (path, v11, !conn = "close", !conn = "keep-alive")
+
+(* Build one response for the keep-alive engine.  [sv] present means the
+   socket can take loaned fragments; [force_close] is the per-connection
+   request cap.  Counting mirrors [respond]; the new keep-alive/sendfile
+   counters only move here, never on the flag-off paths. *)
+let respond_11 st root ~(sv : Io_if.sendv option) ~force_close raw =
+  let path, v11, asked_close, asked_keep = parse_request_11 raw in
+  let keep = (if v11 then not asked_close else asked_keep) && not force_close in
+  let copied ~status ~reason ~keep body =
+    { rs_data =
+        Bytes.cat (Bytes.of_string (header_11 ~v11 ~status ~reason ~len:(Bytes.length body) ~keep)) body;
+      rs_frags = [];
+      rs_blen = 0;
+      rs_close = not keep;
+      rs_hsent = 0;
+      rs_bsent = 0;
+      rs_released = true }
+  in
+  match path with
+  | None ->
+      st.protocol_errors <- st.protocol_errors + 1;
+      copied ~status:400 ~reason:"Bad Request" ~keep:false (Bytes.of_string "bad request\n")
+  | Some path -> (
+      st.requests <- st.requests + 1;
+      match resolve root path with
+      | Ok (Io_if.Node_file f) -> (
+          let mapped =
+            if not Cost.config.Cost.sendfile then None
+            else
+              match sv with
+              | None ->
+                  Cost.count_sendfile_fallback ();
+                  st.sendfile_fallbacks <- st.sendfile_fallbacks + 1;
+                  None
+              | Some _ -> (
+                  match filemap_of f with
+                  | None ->
+                      Cost.count_sendfile_fallback ();
+                      st.sendfile_fallbacks <- st.sendfile_fallbacks + 1;
+                      None
+                  | Some fm -> (
+                      match f.Io_if.f_getstat () with
+                      | Result.Error _ -> None (* the copy path reports the error *)
+                      | Ok fst -> (
+                          match
+                            fm.Io_if.fm_map_blocks ~offset:0 ~amount:fst.Io_if.st_size
+                          with
+                          | Ok frags -> Some frags
+                          | Result.Error _ ->
+                              (* A hole (or an fs that cannot loan): copy. *)
+                              Cost.count_sendfile_fallback ();
+                              st.sendfile_fallbacks <- st.sendfile_fallbacks + 1;
+                              None)))
+          in
+          match mapped with
+          | Some frags ->
+              let blen = Io_if.frags_length frags in
+              Cost.count_sendfile_body ();
+              st.sendfile_bodies <- st.sendfile_bodies + 1;
+              st.responses <- st.responses + 1;
+              st.bytes_out <- st.bytes_out + blen;
+              (* The header rides as the leading fragment of the same
+                 sendv call (sendfile(2)'s hdtr headers): one submission,
+                 and a small response stays a single segment instead of a
+                 header segment plus a body segment.  The header bytes
+                 are fresh and never touched again, so loaning them needs
+                 no pin. *)
+              let hdr =
+                Bytes.of_string (header_11 ~v11 ~status:200 ~reason:"OK" ~len:blen ~keep)
+              in
+              let hfrag =
+                { Io_if.fr_data = hdr;
+                  fr_off = 0;
+                  fr_len = Bytes.length hdr;
+                  fr_hold = (fun () -> ());
+                  fr_release = (fun () -> ()) }
+              in
+              { rs_data = Bytes.create 0;
+                rs_frags = hfrag :: frags;
+                rs_blen = Bytes.length hdr + blen;
+                rs_close = not keep;
+                rs_hsent = 0;
+                rs_bsent = 0;
+                rs_released = false }
+          | None -> (
+              match read_file f with
+              | Ok body ->
+                  st.responses <- st.responses + 1;
+                  st.bytes_out <- st.bytes_out + Bytes.length body;
+                  Cost.count_http_body_copy (Bytes.length body);
+                  st.body_bytes_copied <- st.body_bytes_copied + Bytes.length body;
+                  copied ~status:200 ~reason:"OK" ~keep body
+              | Result.Error _ ->
+                  st.not_found <- st.not_found + 1;
+                  copied ~status:500 ~reason:"Internal Server Error" ~keep
+                    (Bytes.of_string "io error\n")))
+      | Ok (Io_if.Node_dir _) | Result.Error _ ->
+          st.not_found <- st.not_found + 1;
+          copied ~status:404 ~reason:"Not Found" ~keep (Bytes.of_string "not found\n"))
 
 (* ---- event-driven mode ---- *)
 
@@ -148,13 +451,13 @@ let resp_503 =
    write-response state machine.  Shared by the single-reactor mode and
    the per-CPU sharded mode (where [reactor] is the one pinned to the
    connection's RSS home CPU). *)
-let reactor_conn ~reactor st root (c : Io_if.socket) =
+let reactor_conn_10 ~reactor st root (c : Io_if.socket) =
     st.accepted <- st.accepted + 1;
     st.active <- st.active + 1;
     if st.active > st.peak_active then st.peak_active <- st.active;
     ignore (c.Io_if.so_setsockopt "nonblock" 1);
     let caio = aio_of c in
-    let req = Buffer.create 256 in
+    let rb = rb_create () in
     let scratch = Bytes.create 2048 in
     let resp = ref Bytes.empty in
     let off = ref 0 in
@@ -190,19 +493,19 @@ let reactor_conn ~reactor st root (c : Io_if.socket) =
           st.protocol_errors <- st.protocol_errors + 1;
           finish ()
       | Ok n ->
-          Buffer.add_subbytes req scratch 0 n;
+          rb_append rb scratch n;
           if
             Cost.config.httpd_guard
-            && Buffer.length req > Cost.config.httpd_max_header_bytes
-            && not (request_complete (Buffer.contents req))
+            && rb.rb_len > Cost.config.httpd_max_header_bytes
+            && not (rb_complete rb)
           then begin
             (* Unbounded drip-fed headers are the other half of the
                Slowloris hold: cap the buffer and cut the connection. *)
             st.hdr_overflow <- st.hdr_overflow + 1;
             finish ()
           end
-          else if request_complete (Buffer.contents req) then begin
-            resp := respond st root (Buffer.contents req);
+          else if rb_complete rb then begin
+            resp := respond st root (rb_contents rb);
             off := 0;
             writing := true;
             (match !wref with
@@ -232,6 +535,171 @@ let reactor_conn ~reactor st root (c : Io_if.socket) =
       if Cost.config.Cost.timer_wheel then
         ignore (Kwheel.callout_after ~ns fire)
       else ignore (Kclock.callout_after ~ns fire)
+
+(* The keep-alive connection: frame requests with the resume-cursor
+   scanner, parse ahead up to http_pipeline_max, answer strictly in
+   order, and stay open until the peer leaves, the idle timeout fires, or
+   the request cap cuts us off.  Footprint stays O(1) per connection: the
+   request buffer, the bounded response queue, one watch, one live
+   callout. *)
+let reactor_conn_11 ~reactor st root (c : Io_if.socket) =
+  st.accepted <- st.accepted + 1;
+  st.active <- st.active + 1;
+  if st.active > st.peak_active then st.peak_active <- st.active;
+  ignore (c.Io_if.so_setsockopt "nonblock" 1);
+  let caio = aio_of c in
+  let sv = if Cost.config.Cost.sendfile then sendv_of c else None in
+  let pipeline_max = max 1 Cost.config.http_pipeline_max in
+  let max_reqs = Cost.config.http_max_reqs_per_conn in
+  let rb = rb_create () in
+  let scratch = Bytes.create 2048 in
+  let pending : resp Queue.t = Queue.create () in
+  let reqs = ref 0 in
+  let wref = ref None in
+  let closed = ref false in
+  let closing = ref false in (* a Connection: close response is queued *)
+  let cur_mask = ref Io_if.aio_read in
+  let idle_gen = ref 0 in
+  let finish () =
+    if not !closed then begin
+      closed := true;
+      (match !wref with Some w -> Reactor.unwatch reactor w | None -> ());
+      (* Unsent mapped bodies still hold cache pins: drop them. *)
+      Queue.iter release_resp pending;
+      Queue.clear pending;
+      ignore (c.Io_if.so_close ());
+      st.active <- st.active - 1
+    end
+  in
+  (* Idle reaper: one self-re-arming callout per connection.  [idle_gen]
+     moves on every received byte; if a full period passes with no
+     movement and nothing left to write, the connection is cut. *)
+  let rec arm_idle () =
+    let ns = Cost.config.http_idle_timeout_ns in
+    if ns > 0 then begin
+      let gen = !idle_gen in
+      let fire () =
+        if not !closed then begin
+          if gen = !idle_gen && Queue.is_empty pending then begin
+            st.idle_closed <- st.idle_closed + 1;
+            finish ()
+          end
+          else arm_idle ()
+        end
+      in
+      if Cost.config.Cost.timer_wheel then ignore (Kwheel.callout_after ~ns fire)
+      else ignore (Kclock.callout_after ~ns fire)
+    end
+  in
+  let rec update_mask () =
+    if not !closed then begin
+      let m =
+        (if Queue.length pending < pipeline_max && not !closing then Io_if.aio_read else 0)
+        lor (if not (Queue.is_empty pending) then Io_if.aio_write else 0)
+      in
+      let m = if m = 0 then Io_if.aio_read else m in
+      if m <> !cur_mask then begin
+        cur_mask := m;
+        match !wref with Some w -> Reactor.rewatch reactor w ~mask:m | None -> ()
+      end
+    end
+  and parse_loop () =
+    if (not !closed) && (not !closing) && Queue.length pending < pipeline_max then
+      match rb_next_request rb with
+      | None -> ()
+      | Some raw ->
+          if not (Queue.is_empty pending) then st.pipelined <- st.pipelined + 1;
+          incr reqs;
+          if !reqs > 1 then st.reused <- st.reused + 1;
+          let force_close = max_reqs > 0 && !reqs >= max_reqs in
+          if force_close then st.capped <- st.capped + 1;
+          let r = respond_11 st root ~sv ~force_close raw in
+          Queue.push r pending;
+          if r.rs_close then closing := true else parse_loop ()
+  and on_writable () =
+    if not !closed then
+      match Queue.peek_opt pending with
+      | None -> ()
+      | Some r ->
+          if r.rs_hsent < Bytes.length r.rs_data then (
+            match
+              c.Io_if.so_send ~buf:r.rs_data ~pos:r.rs_hsent
+                ~len:(Bytes.length r.rs_data - r.rs_hsent)
+            with
+            | Ok n ->
+                r.rs_hsent <- r.rs_hsent + n;
+                if r.rs_hsent >= Bytes.length r.rs_data then on_writable ()
+            | Result.Error Error.Wouldblock -> ()
+            | Result.Error _ -> finish ())
+          else if r.rs_bsent < r.rs_blen then (
+            match sv with
+            | None -> finish () (* unreachable: mapped bodies need the face *)
+            | Some sv_ -> (
+                match sv_.Io_if.sv_send_frags ~frags:r.rs_frags ~pos:r.rs_bsent with
+                | Ok n ->
+                    r.rs_bsent <- r.rs_bsent + n;
+                    if r.rs_bsent >= r.rs_blen then begin
+                      release_resp r;
+                      complete_resp ()
+                    end
+                    else if n > 0 then on_writable ()
+                | Result.Error Error.Wouldblock -> ()
+                | Result.Error _ -> finish ()))
+          else complete_resp ()
+  and complete_resp () =
+    match Queue.pop pending with
+    | r ->
+        release_resp r;
+        if r.rs_close then finish ()
+        else begin
+          (* Below the parse-ahead cap again: frame what is buffered. *)
+          parse_loop ();
+          update_mask ();
+          if not (Queue.is_empty pending) then on_writable ()
+        end
+    | exception Queue.Empty -> ()
+  in
+  let on_readable () =
+    match c.Io_if.so_recv ~buf:scratch ~pos:0 ~len:(Bytes.length scratch) with
+    | Ok 0 ->
+        (* Peer departed.  Mid-request it is a protocol error; between
+           requests it is how keep-alive connections normally end. *)
+        if rb_pending rb > 0 then st.protocol_errors <- st.protocol_errors + 1;
+        finish ()
+    | Ok n ->
+        incr idle_gen;
+        rb_append rb scratch n;
+        parse_loop ();
+        if
+          Cost.config.httpd_guard
+          && (not !closing)
+          && Queue.length pending < pipeline_max
+          && rb_pending rb > Cost.config.httpd_max_header_bytes
+        then begin
+          (* No terminator within the byte bound: same drip-fed-header
+             guard as the 1.0 engine. *)
+          st.hdr_overflow <- st.hdr_overflow + 1;
+          finish ()
+        end
+        else begin
+          update_mask ();
+          if not (Queue.is_empty pending) then on_writable ()
+        end
+    | Result.Error Error.Wouldblock -> ()
+    | Result.Error _ ->
+        if rb_pending rb > 0 then st.protocol_errors <- st.protocol_errors + 1;
+        finish ()
+  in
+  let cb ready =
+    if ready land Io_if.aio_read <> 0 && not !closed then on_readable ();
+    if ready land Io_if.aio_write <> 0 && not !closed then on_writable ()
+  in
+  wref := Some (Reactor.watch reactor caio ~mask:Io_if.aio_read cb);
+  arm_idle ()
+
+let reactor_conn ~reactor st root c =
+  if Cost.config.http_keepalive then reactor_conn_11 ~reactor st root c
+  else reactor_conn_10 ~reactor st root c
 
 (* The nonblocking accept loop, shared by both reactor modes: shed above
    the guard high-water mark or the memory budget, otherwise hand the
@@ -302,13 +770,12 @@ let serve_reactor_sharded ~reactors ~home ~root ~(sock : Io_if.socket)
 
 (* ---- thread-per-connection mode ---- *)
 
-let handle_blocking st root (c : Io_if.socket) =
+let handle_blocking_10 st root (c : Io_if.socket) =
   let scratch = Bytes.create 2048 in
-  let req = Buffer.create 256 in
+  let rb = rb_create () in
   let rec read_req () =
-    if request_complete (Buffer.contents req) then true
-    else if
-      Cost.config.httpd_guard && Buffer.length req > Cost.config.httpd_max_header_bytes
+    if rb_complete rb then true
+    else if Cost.config.httpd_guard && rb.rb_len > Cost.config.httpd_max_header_bytes
     then begin
       st.hdr_overflow <- st.hdr_overflow + 1;
       false
@@ -317,12 +784,12 @@ let handle_blocking st root (c : Io_if.socket) =
       match c.Io_if.so_recv ~buf:scratch ~pos:0 ~len:(Bytes.length scratch) with
       | Ok 0 -> false
       | Ok n ->
-          Buffer.add_subbytes req scratch 0 n;
+          rb_append rb scratch n;
           read_req ()
       | Result.Error _ -> false
   in
   if read_req () then begin
-    let resp = respond st root (Buffer.contents req) in
+    let resp = respond st root (rb_contents rb) in
     let rec push off =
       if off < Bytes.length resp then
         match c.Io_if.so_send ~buf:resp ~pos:off ~len:(Bytes.length resp - off) with
@@ -333,6 +800,113 @@ let handle_blocking st root (c : Io_if.socket) =
   end
   else st.protocol_errors <- st.protocol_errors + 1;
   ignore (c.Io_if.so_close ())
+
+(* Park the calling thread until [aio] reports a condition in [mask] or
+   [ns] elapses (ns <= 0: no timeout).  Returns true when ready — the
+   timed wait a keep-alive handler thread needs between requests, built
+   from a COM listener racing a clock callout for one waker. *)
+let wait_ready_or_timeout (aio : Io_if.asyncio) ~mask ~ns =
+  if aio.Io_if.aio_poll () land mask <> 0 then true
+  else begin
+    let ready = ref false in
+    let woke = ref false in
+    let listener = ref None in
+    Thread.suspend (fun waker ->
+        let wake r () =
+          if not !woke then begin
+            woke := true;
+            ready := r;
+            waker ()
+          end
+        in
+        let l = Io_if.listener_create (fun () -> wake true ()) in
+        listener := Some l;
+        (match aio.Io_if.aio_add_listener l mask with
+        | Ok m when m land mask <> 0 -> wake true ()
+        | Ok _ | Result.Error _ -> ());
+        if ns > 0 then
+          if Cost.config.Cost.timer_wheel then ignore (Kwheel.callout_after ~ns (wake false))
+          else ignore (Kclock.callout_after ~ns (wake false)));
+    (match !listener with
+    | Some l -> ignore (aio.Io_if.aio_remove_listener l)
+    | None -> ());
+    !ready
+  end
+
+(* The keep-alive handler thread: same protocol engine as the reactor
+   connection, serialized — frame, respond, write, repeat.  The socket is
+   nonblocking so the idle wait can race the timeout; pipelined requests
+   already buffered are answered back-to-back in arrival order. *)
+let handle_blocking_11 st root (c : Io_if.socket) =
+  ignore (c.Io_if.so_setsockopt "nonblock" 1);
+  let caio = aio_of c in
+  let sv = if Cost.config.Cost.sendfile then sendv_of c else None in
+  let max_reqs = Cost.config.http_max_reqs_per_conn in
+  let idle_ns = Cost.config.http_idle_timeout_ns in
+  let rb = rb_create () in
+  let scratch = Bytes.create 2048 in
+  let reqs = ref 0 in
+  let rec push_bytes buf off len =
+    if len = 0 then true
+    else
+      match c.Io_if.so_send ~buf ~pos:off ~len with
+      | Ok 0 | Result.Error Error.Wouldblock ->
+          wait_ready_or_timeout caio ~mask:Io_if.aio_write ~ns:idle_ns
+          && push_bytes buf off len
+      | Ok n -> push_bytes buf (off + n) (len - n)
+      | Result.Error _ -> false
+  in
+  let rec push_frags sv_ r pos =
+    if pos >= r.rs_blen then true
+    else
+      match sv_.Io_if.sv_send_frags ~frags:r.rs_frags ~pos with
+      | Ok 0 | Result.Error Error.Wouldblock ->
+          wait_ready_or_timeout caio ~mask:Io_if.aio_write ~ns:idle_ns
+          && push_frags sv_ r pos
+      | Ok n -> push_frags sv_ r (pos + n)
+      | Result.Error _ -> false
+  in
+  let send_resp r =
+    let ok = push_bytes r.rs_data 0 (Bytes.length r.rs_data) in
+    let ok =
+      ok
+      && (r.rs_blen = 0
+         || match sv with Some sv_ -> push_frags sv_ r 0 | None -> false)
+    in
+    release_resp r;
+    ok
+  in
+  let rec serve () =
+    match rb_next_request rb with
+    | Some raw ->
+        incr reqs;
+        if !reqs > 1 then st.reused <- st.reused + 1;
+        if rb_pending rb > 0 then st.pipelined <- st.pipelined + 1;
+        let force_close = max_reqs > 0 && !reqs >= max_reqs in
+        if force_close then st.capped <- st.capped + 1;
+        let r = respond_11 st root ~sv ~force_close raw in
+        if send_resp r && not r.rs_close then serve ()
+    | None ->
+        if Cost.config.httpd_guard && rb_pending rb > Cost.config.httpd_max_header_bytes
+        then st.hdr_overflow <- st.hdr_overflow + 1
+        else (
+          match c.Io_if.so_recv ~buf:scratch ~pos:0 ~len:(Bytes.length scratch) with
+          | Ok 0 -> if rb_pending rb > 0 then st.protocol_errors <- st.protocol_errors + 1
+          | Ok n ->
+              rb_append rb scratch n;
+              serve ()
+          | Result.Error Error.Wouldblock ->
+              if wait_ready_or_timeout caio ~mask:Io_if.aio_read ~ns:idle_ns then serve ()
+              else st.idle_closed <- st.idle_closed + 1
+          | Result.Error _ ->
+              if rb_pending rb > 0 then st.protocol_errors <- st.protocol_errors + 1)
+  in
+  serve ();
+  ignore (c.Io_if.so_close ())
+
+let handle_blocking st root c =
+  if Cost.config.http_keepalive then handle_blocking_11 st root c
+  else handle_blocking_10 st root c
 
 (* Spawns the blocking accept loop via [spawn] and returns immediately.
    At [max_threads] in-flight handlers the acceptor parks, the accept

@@ -36,6 +36,11 @@ type config = {
   mutable netisr_qmax : int;
   mutable kq : bool;
   mutable timer_wheel : bool;
+  mutable http_keepalive : bool;
+  mutable http_idle_timeout_ns : int;
+  mutable http_max_reqs_per_conn : int; (* 0 = unlimited *)
+  mutable http_pipeline_max : int; (* parse-ahead bound per connection *)
+  mutable sendfile : bool;
 }
 
 let max_cpus = 16
@@ -77,7 +82,12 @@ let defaults () =
     ncpus = 1;
     netisr_qmax = 512;
     kq = false;
-    timer_wheel = false }
+    timer_wheel = false;
+    http_keepalive = false;
+    http_idle_timeout_ns = 5_000_000_000;
+    http_max_reqs_per_conn = 0;
+    http_pipeline_max = 8;
+    sendfile = false }
 
 let config = defaults ()
 
@@ -119,7 +129,12 @@ let reset_config () =
   config.ncpus <- d.ncpus;
   config.netisr_qmax <- d.netisr_qmax;
   config.kq <- d.kq;
-  config.timer_wheel <- d.timer_wheel
+  config.timer_wheel <- d.timer_wheel;
+  config.http_keepalive <- d.http_keepalive;
+  config.http_idle_timeout_ns <- d.http_idle_timeout_ns;
+  config.http_max_reqs_per_conn <- d.http_max_reqs_per_conn;
+  config.http_pipeline_max <- d.http_pipeline_max;
+  config.sendfile <- d.sendfile
 
 type counters = {
   mutable copies : int;
@@ -146,6 +161,13 @@ type counters = {
   mutable wheel_cascades : int;
   mutable wheel_fires : int;
   mutable tick_visits : int;
+  (* content path (PR 10): buffer-cache traffic and httpd body accounting *)
+  mutable bufcache_hits : int;
+  mutable bufcache_misses : int;
+  mutable sendfile_bodies : int; (* response bodies served from mapped cache blocks *)
+  mutable sendfile_fallbacks : int; (* sendfile wanted but fs/socket could not map: copied *)
+  mutable http_body_copies : int; (* bodies built via the copy path while a knob is on *)
+  mutable http_body_copied_bytes : int;
 }
 
 let make_counters () =
@@ -157,7 +179,10 @@ let make_counters () =
     spin_contentions = 0; netisr_queued = 0; netisr_drops = 0; rss_steered = 0;
     kq_posted = 0; kq_coalesced = 0;
     wheel_arms = 0; wheel_cancels = 0; wheel_cascades = 0; wheel_fires = 0;
-    tick_visits = 0 }
+    tick_visits = 0;
+    bufcache_hits = 0; bufcache_misses = 0;
+    sendfile_bodies = 0; sendfile_fallbacks = 0;
+    http_body_copies = 0; http_body_copied_bytes = 0 }
 
 (* [counters] is the aggregation view every existing test and bench reads;
    [shards.(cpu)] is the per-CPU split.  Every bump updates both, so the
@@ -189,7 +214,13 @@ let clear_counters c =
   c.wheel_cancels <- 0;
   c.wheel_cascades <- 0;
   c.wheel_fires <- 0;
-  c.tick_visits <- 0
+  c.tick_visits <- 0;
+  c.bufcache_hits <- 0;
+  c.bufcache_misses <- 0;
+  c.sendfile_bodies <- 0;
+  c.sendfile_fallbacks <- 0;
+  c.http_body_copies <- 0;
+  c.http_body_copied_bytes <- 0
 
 let reset_counters () =
   clear_counters counters;
@@ -259,6 +290,19 @@ let count_wheel_cancel () = bump (fun c -> c.wheel_cancels <- c.wheel_cancels + 
 let count_wheel_cascade () = bump (fun c -> c.wheel_cascades <- c.wheel_cascades + 1)
 let count_wheel_fire () = bump (fun c -> c.wheel_fires <- c.wheel_fires + 1)
 let count_tick_visit () = bump (fun c -> c.tick_visits <- c.tick_visits + 1)
+let count_bufcache_hit () = bump (fun c -> c.bufcache_hits <- c.bufcache_hits + 1)
+let count_bufcache_miss () = bump (fun c -> c.bufcache_misses <- c.bufcache_misses + 1)
+let count_sendfile_body () = bump (fun c -> c.sendfile_bodies <- c.sendfile_bodies + 1)
+let count_sendfile_fallback () =
+  bump (fun c -> c.sendfile_fallbacks <- c.sendfile_fallbacks + 1)
+
+(* The body went through the copy path while keep-alive/sendfile accounting
+   was on: counted (not charged — the copy itself is charged where it
+   happens) so benches can draw the bytes-copied-per-request curve. *)
+let count_http_body_copy n =
+  bump (fun c ->
+      c.http_body_copies <- c.http_body_copies + 1;
+      c.http_body_copied_bytes <- c.http_body_copied_bytes + n)
 
 let charge_com_call () =
   bump (fun c -> c.com_calls <- c.com_calls + 1);

@@ -172,6 +172,37 @@ type config = {
           Fire times quantize to wheel granularity (1 ms) instead of
           tick boundaries (200/500 ms), so default [false] keeps
           committed baselines bit-identical. *)
+  mutable http_keepalive : bool;
+      (** HTTP/1.1 persistent connections in the httpd: per-request
+          [Connection]/version parsing, bounded pipelining with strictly
+          in-order responses, keep-alive idle timeouts and the
+          [http_max_reqs_per_conn] guard.  Off, the httpd answers exactly
+          the HTTP/1.0 close-per-request bytes of PR 4, so default [false]
+          keeps the committed http baselines bit-identical. *)
+  mutable http_idle_timeout_ns : int;
+      (** With {!field:http_keepalive}: how long a persistent connection
+          may sit idle between requests before the server closes it.
+          Default 5 s. *)
+  mutable http_max_reqs_per_conn : int;
+      (** With {!field:http_keepalive}: requests served on one connection
+          before the server answers [Connection: close] (a fairness /
+          state-turnover guard).  [0] (default) = unlimited. *)
+  mutable http_pipeline_max : int;
+      (** With {!field:http_keepalive}: how many pipelined requests one
+          connection may have parsed-ahead but not yet answered; beyond it
+          the server stops parsing until responses drain (socket-buffer
+          backpressure does the rest).  Default 8. *)
+  mutable sendfile : bool;
+      (** Zero-copy content path: the httpd maps response bodies straight
+          from the file system's buffer-cache blocks ({!Io_if.filemap})
+          into the socket's scatter send face ({!Io_if.sendv}), so body
+          bytes are never copied between the cache and the wire on a
+          stack that can alias loaned pages (FreeBSD mbufs; the OSKit
+          config additionally needs {!field:sg_tx} to avoid the glue
+          flatten).  When the fs cannot map (hole) or the socket has no
+          sendv face (the Linux stack's contiguous sk_buffs — §5's copy),
+          the httpd falls back to the counted copy path.  Default
+          [false]. *)
 }
 
 (** Hard ceiling on {!field:config.ncpus} (shard arrays are sized to it). *)
@@ -249,6 +280,17 @@ type counters = {
   mutable tick_visits : int;
       (** PCBs visited by the legacy periodic slow/fast tick walks (the
           work the wheel eliminates) *)
+  mutable bufcache_hits : int;  (** buffer-cache lookups served without device I/O *)
+  mutable bufcache_misses : int;  (** buffer-cache lookups that faulted a block in *)
+  mutable sendfile_bodies : int;
+      (** response bodies served zero-copy from mapped cache blocks *)
+  mutable sendfile_fallbacks : int;
+      (** bodies that wanted sendfile but had to copy (unmappable file or
+          no socket sendv face) *)
+  mutable http_body_copies : int;
+      (** bodies built via the copy path while keep-alive/sendfile
+          accounting was on *)
+  mutable http_body_copied_bytes : int;  (** bytes those copies moved *)
 }
 
 (** The aggregation view: totals across all CPUs.  Every bump lands here
@@ -293,6 +335,14 @@ val count_wheel_cancel : unit -> unit
 val count_wheel_cascade : unit -> unit
 val count_wheel_fire : unit -> unit
 val count_tick_visit : unit -> unit
+val count_bufcache_hit : unit -> unit
+val count_bufcache_miss : unit -> unit
+val count_sendfile_body : unit -> unit
+val count_sendfile_fallback : unit -> unit
+
+(** [count_http_body_copy n] records one copied response body of [n]
+    bytes (the copy itself is charged where it happens). *)
+val count_http_body_copy : int -> unit
 
 (** {2 Context plumbing} *)
 

@@ -4,6 +4,15 @@
  * buffers, a hash on block number, and delayed writes flushed by sync.
  * The device below is reached through the OSKit blkio interface the glue
  * was handed at mount time — the run-time binding of Section 4.2.2.
+ *
+ * Pinning (PR 10): a buffer's [b_refs] doubles as its pin count.  The
+ * sendfile path maps cache blocks straight into socket buffers, so a
+ * block may stay referenced long after the fs call that faulted it in
+ * returns — until the last transmitted byte is acknowledged.  Eviction
+ * therefore (a) never touches a buffer with [b_refs > 0], and (b) picks
+ * the true least-recently-used unreferenced buffer (oldest [b_lru_tick],
+ * not hash-iteration order).  If everything is pinned the cache grows
+ * past [max_bufs], as BSD's does under wired pages.
  *)
 
 type buf = {
@@ -23,11 +32,15 @@ type t = {
   mutable reads : int; (* device reads actually issued *)
   mutable writes : int;
   mutable hits : int;
+  mutable misses : int; (* lookups that had to fault the block in *)
+  mutable evictions : int; (* buffers pushed out under pressure *)
+  mutable pins : int; (* sendfile pins taken (cumulative) *)
+  mutable unpins : int; (* sendfile pins released (cumulative) *)
 }
 
 let create ?(max_bufs = 64) ~bsize dev =
   { dev; bsize; cache = Hashtbl.create 64; max_bufs; tick = 0; reads = 0; writes = 0;
-    hits = 0 }
+    hits = 0; misses = 0; evictions = 0; pins = 0; unpins = 0 }
 
 let device_read t blkno data =
   t.reads <- t.reads + 1;
@@ -47,8 +60,10 @@ let device_write t blkno data =
   | Ok _ -> Error.fail Error.Io
   | Result.Error e -> Error.fail e
 
-(* Evict the least recently used clean, unreferenced buffer (writing it if
-   it is dirty — BSD pushes delayed writes under pressure). *)
+(* Evict the least recently used unreferenced buffer (writing it out first
+   if it is dirty — BSD pushes delayed writes under pressure).  Referenced
+   buffers — including sendfile pins — are never victims: their bytes may
+   be queued for DMA right now. *)
 let evict_one t =
   let victim = ref None in
   Hashtbl.iter
@@ -62,17 +77,21 @@ let evict_one t =
   | None -> () (* everything referenced: let the cache grow, as BSD does *)
   | Some b ->
       if b.b_dirty then device_write t b.b_blkno b.b_data;
-      Hashtbl.remove t.cache b.b_blkno
+      Hashtbl.remove t.cache b.b_blkno;
+      t.evictions <- t.evictions + 1
 
 let getblk t blkno ~fill =
   t.tick <- t.tick + 1;
   match Hashtbl.find_opt t.cache blkno with
   | Some b ->
       t.hits <- t.hits + 1;
+      Cost.count_bufcache_hit ();
       b.b_refs <- b.b_refs + 1;
       b.b_lru_tick <- t.tick;
       b
   | None ->
+      t.misses <- t.misses + 1;
+      Cost.count_bufcache_miss ();
       if Hashtbl.length t.cache >= t.max_bufs then evict_one t;
       let data = Bytes.make t.bsize '\000' in
       if fill then device_read t blkno data;
@@ -87,6 +106,26 @@ let bread t blkno = getblk t blkno ~fill:true
 let getblk_nofill t blkno = getblk t blkno ~fill:false
 
 let brelse b = if b.b_refs > 0 then b.b_refs <- b.b_refs - 1
+
+(* ---- sendfile pins ----
+ *
+ * The same reference count as bread/brelse, but accounted separately so
+ * the cache stats show how much of the working set is wired by in-flight
+ * transmits.  A mapping typically starts from a [bread] reference and
+ * converts it with [pin_held]; every additional consumer takes [pin] and
+ * each pin comes back through [unpin]. *)
+
+let pin t b =
+  b.b_refs <- b.b_refs + 1;
+  t.pins <- t.pins + 1
+
+(* Adopt an already-held reference (e.g. bread's) as a pin: counts the pin
+   without re-referencing. *)
+let pin_held t (_ : buf) = t.pins <- t.pins + 1
+
+let unpin t b =
+  if b.b_refs > 0 then b.b_refs <- b.b_refs - 1;
+  t.unpins <- t.unpins + 1
 
 (* bdwrite: mark dirty, write later. *)
 let bdwrite b = b.b_dirty <- true
@@ -105,3 +144,21 @@ let sync t =
     (List.sort (fun a b -> Int.compare a.b_blkno b.b_blkno) dirty)
 
 let stats t = t.reads, t.writes, t.hits
+
+type cache_stats = {
+  cs_reads : int;
+  cs_writes : int;
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;
+  cs_pins : int;
+  cs_unpins : int;
+  cs_cached : int; (* buffers currently resident *)
+  cs_pinned : int; (* buffers currently referenced (refs > 0) *)
+}
+
+let cache_stats t =
+  let pinned = Hashtbl.fold (fun _ b acc -> if b.b_refs > 0 then acc + 1 else acc) t.cache 0 in
+  { cs_reads = t.reads; cs_writes = t.writes; cs_hits = t.hits; cs_misses = t.misses;
+    cs_evictions = t.evictions; cs_pins = t.pins; cs_unpins = t.unpins;
+    cs_cached = Hashtbl.length t.cache; cs_pinned = pinned }

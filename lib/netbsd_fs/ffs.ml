@@ -305,6 +305,44 @@ let read t node ~off ~len ~dst ~dst_pos =
   in
   go off len dst_pos 0
 
+(* Map [off, off+len) (clamped to the file size) as pinned buffer-cache
+   fragments — the fs half of the sendfile path.  Each fragment's backing
+   block is faulted in through the ordinary bread path (so it hits or
+   populates the cache like any read) and its reference is kept as the
+   mapping's pin instead of being brelse'd; the caller releases each
+   fragment exactly once, and may take further holds for bytes it keeps in
+   flight.  Returns [None] if the range crosses a hole: loaning out the
+   shared zero page would let an aliasing writer corrupt every hole in the
+   fs, so holes take the copy path. *)
+let map_blocks t node ~off ~len =
+  if off < 0 then fail Error.Inval;
+  let len = max 0 (min len (node.i_size - off)) in
+  let release_all acc = List.iter (fun f -> f.Io_if.fr_release ()) acc in
+  let rec go off len acc =
+    if len = 0 then Some (List.rev acc)
+    else begin
+      let fblk = off / bsize and boff = off mod bsize in
+      let n = min len (bsize - boff) in
+      let blk = bmap t node fblk ~alloc:false in
+      if blk = 0 then begin
+        release_all acc;
+        None
+      end
+      else begin
+        let b = Buf.bread t.bc blk in
+        (* bread's reference becomes the mapping's pin. *)
+        Buf.pin_held t.bc b;
+        let frag =
+          { Io_if.fr_data = b.Buf.b_data; fr_off = boff; fr_len = n;
+            fr_hold = (fun () -> Buf.pin t.bc b);
+            fr_release = (fun () -> Buf.unpin t.bc b) }
+        in
+        go (off + n) (len - n) (frag :: acc)
+      end
+    end
+  in
+  go off len []
+
 let write t node ~off ~len ~src ~src_pos =
   if off < 0 then fail Error.Inval;
   let rec go off len src_pos written =

@@ -27,7 +27,24 @@ let rec file_of fs (node : Ffs.inode) : Io_if.file =
       f_getstat = (fun () -> enter (fun () -> stat_of node));
       f_setsize = (fun size -> enter (fun () -> Ffs.truncate fs node size));
       f_sync = (fun () -> enter (fun () -> Ffs.sync fs)) }
-  and obj = lazy (Com.create (fun _ -> [ Iid.B (Io_if.file_iid, fun () -> view ()) ]))
+  (* The sendfile face: expose the file's buffer-cache blocks as pinned
+     fragments.  A hole in the range cannot be loaned out (the mapping
+     would alias the shared zero fill), so it reports Notsup and the
+     caller falls back on f_read. *)
+  and fmap =
+    lazy
+      { Io_if.fm_unknown = unknown ();
+        fm_map_blocks =
+          (fun ~offset ~amount ->
+            match enter (fun () -> Ffs.map_blocks fs node ~off:offset ~len:amount) with
+            | Ok (Some frags) -> Ok frags
+            | Ok None -> Result.Error Error.Notsup
+            | Result.Error _ as e -> (e :> (Io_if.file_frag list, Error.t) result)) }
+  and obj =
+    lazy
+      (Com.create (fun _ ->
+           [ Iid.B (Io_if.file_iid, fun () -> view ());
+             Iid.B (Io_if.filemap_iid, fun () -> Lazy.force fmap) ]))
   and unknown () = Lazy.force obj in
   view ()
 

@@ -8,6 +8,11 @@
     crosses the encapsulation boundary (glue charge + manufactured current
     process, Section 4.7.5). *)
 
+(** Files exported here also carry the {!Io_if.filemap} face (reached by
+    [Com.query]): response-sized byte ranges map to pinned buffer-cache
+    fragments for the zero-copy sendfile path, with [Error.Notsup] for
+    ranges that cross a hole. *)
+
 (** [newfs blkio] formats the device and returns its mounted root. *)
 val newfs : Io_if.blkio -> (Io_if.dir, Error.t) result
 

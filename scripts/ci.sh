@@ -32,7 +32,12 @@
 # flat as idle watches grow 100 -> 10000 while the legacy scan grows
 # linearly; the timing wheel must fire zero timers early, none more
 # than one granule late, and none missed, at O(due) work; and a full
-# httpd transfer with both kq and timer_wheel on must stay byte-exact).
+# httpd transfer with both kq and timer_wheel on must stay byte-exact),
+# and the file smoke (the HTTP/1.1 + sendfile content path: keep-alive
+# req/s strictly above close-per-request at 64 clients, zero body bytes
+# copied and zero fallbacks on warm-cache sendfile hits, every body
+# byte-exact in both serving shapes, and the Linux rows carrying the
+# counted copy fallback — that stack exports no sendv face).
 # Finally, Table 1/2 and the rtt percentiles are regenerated (with
 # --json, so the files are actually rewritten — without it the diff
 # check was vacuous) with every long-fat, overload, smp, and event-core
@@ -52,6 +57,7 @@ OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- longfatsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- overloadsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- smpsmoke
 OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- eventsmoke
+OSKIT_BENCH_BLOCKS=64 dune exec bench/main.exe -- filesmoke
 dune exec bench/main.exe -- table1 --sg --json
 dune exec bench/main.exe -- table2 --json
 dune exec bench/main.exe -- rtt --json

@@ -27,4 +27,5 @@ let () =
       "longfat", Test_longfat.suite;
       "overload", Test_overload.suite;
       "smp", Test_smp.suite;
-      "event", Test_event.suite ]
+      "event", Test_event.suite;
+      "http11", Test_http11.suite ]

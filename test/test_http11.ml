@@ -1,0 +1,569 @@
+(* The HTTP/1.1 keep-alive engine and the sendfile content path (PR 10):
+   the O(bytes) request scanner under one-byte drips, keep-alive
+   sequences byte-exact against N separate HTTP/1.0 connections,
+   pipelined responses strictly in order, the idle timeout and the
+   per-connection request cap, sendfile-vs-copy body byte-exactness
+   across block boundaries (also under 2% loss), buffer-cache pin and
+   eviction hardening, and the flags-off world untouched. *)
+
+let ip = Oskit.ip_of_string
+let mask = ip "255.255.255.0"
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Error.to_string e)
+
+(* ---- knob scoping: set the PR-10 knobs for [f], restore after ---- *)
+
+let with_http11 ?(keepalive = true) ?(sendfile = false) ?(sg = false)
+    ?(idle_ns = 5_000_000_000) ?(max_reqs = 0) ?(pipeline_max = 8) f =
+  let c = Cost.config in
+  let saved =
+    ( c.Cost.http_keepalive, c.Cost.sendfile, c.Cost.sg_tx,
+      c.Cost.http_idle_timeout_ns, c.Cost.http_max_reqs_per_conn,
+      c.Cost.http_pipeline_max )
+  in
+  c.Cost.http_keepalive <- keepalive;
+  c.Cost.sendfile <- sendfile;
+  c.Cost.sg_tx <- sg;
+  c.Cost.http_idle_timeout_ns <- idle_ns;
+  c.Cost.http_max_reqs_per_conn <- max_reqs;
+  c.Cost.http_pipeline_max <- pipeline_max;
+  Fun.protect
+    ~finally:(fun () ->
+      let ka, sf, sgx, idle, mr, pm = saved in
+      c.Cost.http_keepalive <- ka;
+      c.Cost.sendfile <- sf;
+      c.Cost.sg_tx <- sgx;
+      c.Cost.http_idle_timeout_ns <- idle;
+      c.Cost.http_max_reqs_per_conn <- mr;
+      c.Cost.http_pipeline_max <- pm)
+    f
+
+(* ---- a server rig: FFS root with one pattern file per size ---- *)
+
+let pattern ~file pos = ((pos * 131) + (file * 17)) land 0xff
+let file_name i = Printf.sprintf "f%d.bin" i
+
+let make_root sizes =
+  let dev = Mem_blkio.make ~bytes:(4 * 1024 * 1024) () in
+  let root = ok (Fs_glue.newfs dev) in
+  let bodies =
+    List.mapi
+      (fun fi size ->
+        let f = ok (root.Io_if.d_create (file_name fi)) in
+        let body = Bytes.init size (fun i -> Char.chr (pattern ~file:fi i)) in
+        let rec push off =
+          if off < size then
+            match f.Io_if.f_write ~buf:body ~pos:off ~offset:off ~amount:(size - off) with
+            | Ok n -> push (off + n)
+            | Error e -> Alcotest.failf "root write: %s" (Error.to_string e)
+        in
+        push 0;
+        Bytes.to_string body)
+      sizes
+  in
+  (root, Array.of_list bodies)
+
+(* Serve [sizes] from host_b in [mode]; [f] drives clients on host_a and
+   must eventually make [until] true. *)
+let rig ?loss ?(mode = `Reactor) ~sizes ~until f =
+  Clientos.reset_globals ();
+  Fdev.clear_drivers ();
+  let tb = Clientos.make_testbed ~models:("3c905", "tulip") () in
+  (match loss with
+  | Some l ->
+      Wire.set_netem tb.Clientos.wire
+        (Some (Netem.create ~seed:29 ~policy:{ Netem.default_policy with loss = l } ()))
+  | None -> ());
+  let server = tb.Clientos.host_b and chost = tb.Clientos.host_a in
+  let root, bodies = make_root sizes in
+  let stack = Clientos.freebsd_host server ~ip:(ip "10.0.0.2") ~mask in
+  let sock = Freebsd_glue.socket_com stack (Bsd_socket.tcp_socket stack) in
+  let cstack = Clientos.freebsd_host chost ~ip:(ip "10.0.0.1") ~mask in
+  let server_stats = ref None in
+  let reactor = Reactor.create () in
+  Clientos.spawn server ~name:"httpd" (fun () ->
+      ok (sock.Io_if.so_bind { Io_if.sin_addr = ip "10.0.0.2"; sin_port = 80 });
+      ok (sock.Io_if.so_listen ~backlog:16);
+      match mode with
+      | `Reactor ->
+          server_stats := Some (Httpd.serve_reactor ~reactor ~root ~sock ());
+          Reactor.run reactor ~until
+      | `Threads ->
+          server_stats :=
+            Some
+              (Httpd.serve_threaded
+                 ~spawn:(fun g -> Clientos.spawn server g)
+                 ~root ~sock ()));
+  f chost cstack bodies;
+  Clientos.run tb ~until;
+  Option.get !server_stats
+
+(* ---- client helpers ---- *)
+
+let push_str s frag =
+  let b = Bytes.of_string frag in
+  let rec go off =
+    if off < Bytes.length b then
+      match Bsd_socket.so_send s ~buf:b ~pos:off ~len:(Bytes.length b - off) with
+      | Ok n -> go (off + n)
+      | Error _ -> ()
+  in
+  go 0
+
+let index_of s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1)
+  in
+  go 0
+
+let content_length hdr =
+  match index_of (String.lowercase_ascii hdr) "content-length:" with
+  | None -> None
+  | Some i -> (
+      let rest = String.sub hdr (i + 15) (String.length hdr - i - 15) in
+      let line =
+        match String.index_opt rest '\r' with
+        | Some j -> String.sub rest 0 j
+        | None -> rest
+      in
+      int_of_string_opt (String.trim line))
+
+(* A Content-Length framer over one connection: [framer s] returns a
+   thunk that reads the next (header, body) pair, or None at EOF. *)
+let framer s =
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 4096 in
+  let consumed = ref 0 in
+  let rec fill need =
+    if Buffer.length acc - !consumed >= need then true
+    else
+      match Bsd_socket.so_recv s ~buf ~pos:0 ~len:4096 with
+      | Ok 0 | Error _ -> false
+      | Ok n ->
+          Buffer.add_subbytes acc buf 0 n;
+          fill need
+  in
+  let avail () =
+    String.sub (Buffer.contents acc) !consumed (Buffer.length acc - !consumed)
+  in
+  let rec hdr_end () =
+    match index_of (avail ()) "\r\n\r\n" with
+    | Some i -> Some i
+    | None -> if fill (Buffer.length acc - !consumed + 1) then hdr_end () else None
+  in
+  fun () ->
+    match hdr_end () with
+    | None -> None
+    | Some he -> (
+        let hdr = String.sub (avail ()) 0 he in
+        match content_length hdr with
+        | None -> None
+        | Some len ->
+            if fill (he + 4 + len) then begin
+              let body = String.sub (avail ()) (he + 4) len in
+              consumed := !consumed + he + 4 + len;
+              if Buffer.length acc - !consumed = 0 then begin
+                Buffer.clear acc;
+                consumed := 0
+              end;
+              Some (hdr, body)
+            end
+            else None)
+
+let get_request fi = Printf.sprintf "GET /%s HTTP/1.1\r\nHost: b\r\n\r\n" (file_name fi)
+
+let status_of hdr = if String.length hdr >= 12 then String.sub hdr 9 3 else "???"
+
+let drain s =
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 4096 in
+  let rec go () =
+    match Bsd_socket.so_recv s ~buf ~pos:0 ~len:4096 with
+    | Ok 0 | Error _ -> ()
+    | Ok n ->
+        Buffer.add_subbytes acc buf 0 n;
+        go ()
+  in
+  go ();
+  Buffer.contents acc
+
+(* ------------------------------------------------------------------ *)
+(* The request scanner: one-byte drips cost one cursor step per byte
+   (the PR-10 fix for the quadratic re-scan), split and back-to-back
+   requests frame exactly, and "\n\r\n" alone never terminates.        *)
+
+let test_scanner_drip () =
+  let req = "GET /f0.bin HTTP/1.1\r\nHost: x\r\nX-Pad: abcdefgh\r\n\r\n" in
+  let rb = Httpd.rb_create () in
+  let n = String.length req in
+  String.iteri
+    (fun i c ->
+      Httpd.rb_append rb (Bytes.make 1 c) 1;
+      (* Resume cursor: every appended byte is examined exactly once —
+         after a miss the scan cursor sits at the buffer end, never
+         rewound by the next drip. *)
+      if i < n - 1 then begin
+        Alcotest.(check (option string))
+          (Printf.sprintf "no request after %d bytes" (i + 1))
+          None (Httpd.rb_next_request rb);
+        Alcotest.(check int)
+          (Printf.sprintf "cursor caught up at byte %d" (i + 1))
+          rb.Httpd.rb_len rb.Httpd.rb_scan
+      end)
+    req;
+  Alcotest.(check (option string)) "the final byte completes the request" (Some req)
+    (Httpd.rb_next_request rb);
+  Alcotest.(check (option string)) "and nothing is left" None (Httpd.rb_next_request rb)
+
+let test_scanner_pipelined_and_terminators () =
+  (* Two back-to-back requests in one append frame separately. *)
+  let r1 = "GET /a HTTP/1.1\r\n\r\n" and r2 = "GET /b HTTP/1.1\n\n" in
+  let rb = Httpd.rb_create () in
+  let both = Bytes.of_string (r1 ^ r2) in
+  Httpd.rb_append rb both (Bytes.length both);
+  Alcotest.(check (option string)) "first request" (Some r1) (Httpd.rb_next_request rb);
+  Alcotest.(check (option string)) "second request (bare-LF form)" (Some r2)
+    (Httpd.rb_next_request rb);
+  (* "\n\r\n" matches neither "\r\n\r\n" nor "\n\n" — exactly the old
+     substring semantics. *)
+  let rb2 = Httpd.rb_create () in
+  let s = Bytes.of_string "GET /c HTTP/1.1\n\r\n" in
+  Httpd.rb_append rb2 s (Bytes.length s);
+  Alcotest.(check (option string)) "LF CR LF does not terminate" None
+    (Httpd.rb_next_request rb2);
+  (* A header bigger than the 512-byte initial buffer still frames. *)
+  let big = "GET /d HTTP/1.1\r\nX-Pad: " ^ String.make 700 'a' ^ "\r\n\r\n" in
+  let rb3 = Httpd.rb_create () in
+  String.iter (fun c -> Httpd.rb_append rb3 (Bytes.make 1 c) 1) big;
+  Alcotest.(check (option string)) "growth preserves the drip scan" (Some big)
+    (Httpd.rb_next_request rb3)
+
+(* ------------------------------------------------------------------ *)
+(* Keep-alive sequence: the same GETs over one persistent connection
+   return statuses and bodies byte-identical to N separate HTTP/1.0
+   connections, in both serving shapes.                                 *)
+
+let sizes3 = [ 1000; 4096; 300 ]
+
+let keepalive_sequence mode =
+  let reqs = [ 0; 1; 2; 0; 2 ] in
+  let ka_results = ref [] and ka_done = ref false in
+  let st =
+    with_http11 (fun () ->
+        rig ~mode ~sizes:sizes3
+          ~until:(fun () -> !ka_done)
+          (fun chost cstack _bodies ->
+            Clientos.spawn chost ~name:"ka" (fun () ->
+                Kclock.sleep_ns 3_000_000;
+                let s = Bsd_socket.tcp_socket cstack in
+                ok (Bsd_socket.so_connect s ~dst:(ip "10.0.0.2") ~dport:80);
+                let next = framer s in
+                List.iter
+                  (fun fi ->
+                    push_str s (get_request fi);
+                    match next () with
+                    | Some (hdr, body) ->
+                        ka_results := (status_of hdr, body) :: !ka_results
+                    | None -> ka_results := (("eof", "") :: !ka_results))
+                  reqs;
+                ignore (Bsd_socket.so_close s);
+                ka_done := true)))
+  in
+  let h10_results = ref [] and h10_done = ref false in
+  ignore
+    (with_http11 ~keepalive:false (fun () ->
+         rig ~sizes:sizes3
+           ~until:(fun () -> !h10_done)
+           (fun chost cstack _bodies ->
+             Clientos.spawn chost ~name:"h10" (fun () ->
+                 Kclock.sleep_ns 3_000_000;
+                 List.iter
+                   (fun fi ->
+                     let s = Bsd_socket.tcp_socket cstack in
+                     ok (Bsd_socket.so_connect s ~dst:(ip "10.0.0.2") ~dport:80);
+                     push_str s
+                       (Printf.sprintf "GET /%s HTTP/1.0\r\n\r\n" (file_name fi));
+                     let resp = drain s in
+                     let body =
+                       match index_of resp "\r\n\r\n" with
+                       | Some i -> String.sub resp (i + 4) (String.length resp - i - 4)
+                       | None -> ""
+                     in
+                     h10_results := (status_of resp, body) :: !h10_results;
+                     ignore (Bsd_socket.so_close s))
+                   reqs;
+                 h10_done := true))));
+  Alcotest.(check (list (pair string string)))
+    "keep-alive sequence matches N fresh HTTP/1.0 connections" !h10_results !ka_results;
+  Alcotest.(check int) "one connection carried all requests" 1 st.Httpd.accepted;
+  Alcotest.(check int) "every request after the first counted as reuse"
+    (List.length reqs - 1) st.Httpd.reused
+
+let test_keepalive_sequence_reactor () = keepalive_sequence `Reactor
+let test_keepalive_sequence_threaded () = keepalive_sequence `Threads
+
+(* ------------------------------------------------------------------ *)
+(* Pipelining: a burst of requests sent before any response is read
+   comes back strictly in request order.                                *)
+
+let test_pipelined_in_order () =
+  let order = [ 2; 0; 1; 2; 1; 0 ] in
+  let got = ref [] and done_f = ref false in
+  let st =
+    with_http11 (fun () ->
+        rig ~sizes:sizes3
+          ~until:(fun () -> !done_f)
+          (fun chost cstack _bodies ->
+            Clientos.spawn chost ~name:"pipe" (fun () ->
+                Kclock.sleep_ns 3_000_000;
+                let s = Bsd_socket.tcp_socket cstack in
+                ok (Bsd_socket.so_connect s ~dst:(ip "10.0.0.2") ~dport:80);
+                let b = Buffer.create 256 in
+                List.iter (fun fi -> Buffer.add_string b (get_request fi)) order;
+                push_str s (Buffer.contents b);
+                let next = framer s in
+                List.iter
+                  (fun _ ->
+                    match next () with
+                    | Some (_, body) -> got := body :: !got
+                    | None -> ())
+                  order;
+                ignore (Bsd_socket.so_close s);
+                done_f := true)))
+  in
+  let expect =
+    List.map
+      (fun fi ->
+        String.init (List.nth sizes3 fi) (fun i -> Char.chr (pattern ~file:fi i)))
+      order
+  in
+  Alcotest.(check (list string)) "responses in request order" expect (List.rev !got);
+  Alcotest.(check bool) "server saw pipelined requests" true (st.Httpd.pipelined > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Idle timeout: a connection left open past http_idle_timeout_ns is
+   closed by the server and counted.                                    *)
+
+let test_idle_timeout () =
+  let eof = ref false and served = ref false in
+  let st =
+    with_http11 ~idle_ns:50_000_000 (fun () ->
+        rig ~sizes:sizes3
+          ~until:(fun () -> !eof)
+          (fun chost cstack _bodies ->
+            Clientos.spawn chost ~name:"idler" (fun () ->
+                Kclock.sleep_ns 3_000_000;
+                let s = Bsd_socket.tcp_socket cstack in
+                ok (Bsd_socket.so_connect s ~dst:(ip "10.0.0.2") ~dport:80);
+                push_str s (get_request 0);
+                let next = framer s in
+                (match next () with Some _ -> served := true | None -> ());
+                (* Go idle: the next read must see the server's close,
+                   not hang forever. *)
+                (match next () with None -> eof := true | Some _ -> ());
+                ignore (Bsd_socket.so_close s))))
+  in
+  Alcotest.(check bool) "the request before the idle gap was served" true !served;
+  Alcotest.(check bool) "the idle connection saw EOF" true !eof;
+  Alcotest.(check int) "one idle close counted" 1 st.Httpd.idle_closed;
+  Alcotest.(check int) "not a protocol error" 0 st.Httpd.protocol_errors
+
+(* ------------------------------------------------------------------ *)
+(* Request cap: http_max_reqs_per_conn cuts the connection after N
+   requests, advertising Connection: close on the last response.        *)
+
+let test_max_reqs_cap () =
+  let hdrs = ref [] and eof = ref false in
+  let st =
+    with_http11 ~max_reqs:2 (fun () ->
+        rig ~sizes:sizes3
+          ~until:(fun () -> !eof)
+          (fun chost cstack _bodies ->
+            Clientos.spawn chost ~name:"capped" (fun () ->
+                Kclock.sleep_ns 3_000_000;
+                let s = Bsd_socket.tcp_socket cstack in
+                ok (Bsd_socket.so_connect s ~dst:(ip "10.0.0.2") ~dport:80);
+                let next = framer s in
+                for fi = 0 to 1 do
+                  push_str s (get_request fi);
+                  match next () with
+                  | Some (hdr, _) -> hdrs := hdr :: !hdrs
+                  | None -> ()
+                done;
+                (* The server hung up after the capped response. *)
+                push_str s (get_request 2);
+                (match next () with None -> eof := true | Some _ -> ());
+                ignore (Bsd_socket.so_close s))))
+  in
+  (match !hdrs with
+  | [ second; first ] ->
+      Alcotest.(check bool) "first response keeps the connection" true
+        (index_of (String.lowercase_ascii first) "connection: keep-alive" <> None);
+      Alcotest.(check bool) "capped response advertises close" true
+        (index_of (String.lowercase_ascii second) "connection: close" <> None)
+  | l -> Alcotest.failf "expected 2 responses, got %d" (List.length l));
+  Alcotest.(check bool) "request past the cap saw EOF" true !eof;
+  Alcotest.(check int) "one connection capped" 1 st.Httpd.capped
+
+(* ------------------------------------------------------------------ *)
+(* Sendfile vs copy: for file sizes spanning block boundaries, the
+   mapped zero-copy body is byte-identical to the copy-path body — with
+   and without 2% loss on the wire.                                     *)
+
+let fetch_one ~sendfile ~loss size =
+  let body = ref None and done_f = ref false in
+  let st =
+    with_http11 ~sendfile ~sg:sendfile (fun () ->
+        rig ?loss ~sizes:[ size ]
+          ~until:(fun () -> !done_f)
+          (fun chost cstack _bodies ->
+            Clientos.spawn chost ~name:"fetch" (fun () ->
+                Kclock.sleep_ns 3_000_000;
+                let s = Bsd_socket.tcp_socket cstack in
+                ok (Bsd_socket.so_connect s ~dst:(ip "10.0.0.2") ~dport:80);
+                push_str s (get_request 0);
+                (match framer s () with
+                | Some (hdr, b) when status_of hdr = "200" -> body := Some b
+                | _ -> ());
+                ignore (Bsd_socket.so_close s);
+                done_f := true)))
+  in
+  (!body, st)
+
+let prop_sendfile_byte_exact =
+  QCheck.Test.make ~name:"http11: sendfile body byte-exact across block edges (+loss)"
+    ~count:10
+    QCheck.(triple (int_bound 3) (int_range (-3) 3) bool)
+    (fun (blocks, delta, lossy) ->
+      let size = max 1 ((blocks * 4096) + delta) in
+      let loss = if lossy then Some 0.02 else None in
+      let expect = String.init size (fun i -> Char.chr (pattern ~file:0 i)) in
+      let sf_body, sf_st = fetch_one ~sendfile:true ~loss size in
+      let cp_body, cp_st = fetch_one ~sendfile:false ~loss size in
+      sf_body = Some expect && cp_body = Some expect
+      && sf_st.Httpd.sendfile_bodies = 1
+      && sf_st.Httpd.sendfile_fallbacks = 0
+      && sf_st.Httpd.body_bytes_copied = 0
+      && cp_st.Httpd.sendfile_bodies = 0
+      && cp_st.Httpd.body_bytes_copied = size)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer-cache hardening: true-LRU eviction, pinned buffers are never
+   victims, and an all-pinned cache grows instead of evicting.          *)
+
+let test_buf_lru_and_pins () =
+  let dev = Mem_blkio.make ~bytes:(1024 * 1024) () in
+  let bc = Buf.create ~bsize:4096 ~max_bufs:4 dev in
+  (* Fill: 0 1 2 3, all released. *)
+  for i = 0 to 3 do
+    Buf.brelse (Buf.bread bc i)
+  done;
+  (* Touch 0 so 1 becomes the true LRU, then fault 4: 1 must go. *)
+  Buf.brelse (Buf.bread bc 0);
+  Buf.brelse (Buf.bread bc 4);
+  let s = Buf.cache_stats bc in
+  Alcotest.(check int) "one eviction under pressure" 1 s.Buf.cs_evictions;
+  Alcotest.(check int) "cache stays at max_bufs" 4 s.Buf.cs_cached;
+  (* 0 survived (recently used): a re-read hits. *)
+  let h0 = bc.Buf.hits in
+  Buf.brelse (Buf.bread bc 0);
+  Alcotest.(check int) "recently-used block survived" (h0 + 1) bc.Buf.hits;
+  (* 1 was the victim: a re-read misses. *)
+  let m0 = bc.Buf.misses in
+  Buf.brelse (Buf.bread bc 1);
+  Alcotest.(check int) "LRU block was the victim" (m0 + 1) bc.Buf.misses
+
+let test_buf_pinned_never_evicted () =
+  let dev = Mem_blkio.make ~bytes:(1024 * 1024) () in
+  let bc = Buf.create ~bsize:4096 ~max_bufs:2 dev in
+  let b0 = Buf.bread bc 0 in
+  Buf.pin_held bc b0;
+  (* Churn far past the cache size: the pinned block must survive. *)
+  for i = 1 to 8 do
+    Buf.brelse (Buf.bread bc i)
+  done;
+  let h0 = bc.Buf.hits in
+  let again = Buf.bread bc 0 in
+  Alcotest.(check int) "pinned block still resident" (h0 + 1) bc.Buf.hits;
+  Alcotest.(check bool) "same buffer, refs intact" true (again == b0 && b0.Buf.b_refs = 2);
+  Buf.brelse again;
+  Buf.unpin bc b0;
+  let s = Buf.cache_stats bc in
+  Alcotest.(check (pair int int)) "pin/unpin accounted" (1, 1) (s.Buf.cs_pins, s.Buf.cs_unpins);
+  Alcotest.(check bool) "evictions happened around the pin" true (s.Buf.cs_evictions > 0)
+
+let test_buf_all_pinned_grows () =
+  let dev = Mem_blkio.make ~bytes:(1024 * 1024) () in
+  let bc = Buf.create ~bsize:4096 ~max_bufs:2 dev in
+  (* Three blocks, all pinned: nothing is evictable, so the cache grows
+     past max_bufs (BSD under wired pages) rather than stealing bytes
+     that may be queued for DMA. *)
+  let bs = List.init 3 (fun i -> Buf.bread bc i) in
+  List.iter (fun b -> Buf.pin_held bc b) bs;
+  let s = Buf.cache_stats bc in
+  Alcotest.(check int) "no evictions with everything pinned" 0 s.Buf.cs_evictions;
+  Alcotest.(check int) "cache grew past max_bufs" 3 s.Buf.cs_cached;
+  List.iter (fun b -> Buf.unpin bc b) bs
+
+(* ------------------------------------------------------------------ *)
+(* Flags off: the stock HTTP/1.0 engine runs, and none of the new
+   keep-alive/sendfile counters move.                                   *)
+
+let test_flags_off_untouched () =
+  let resp = ref "" and done_f = ref false in
+  let st =
+    rig ~sizes:sizes3
+      ~until:(fun () -> !done_f)
+      (fun chost cstack _bodies ->
+        Clientos.spawn chost ~name:"v10" (fun () ->
+            Kclock.sleep_ns 3_000_000;
+            let s = Bsd_socket.tcp_socket cstack in
+            ok (Bsd_socket.so_connect s ~dst:(ip "10.0.0.2") ~dport:80);
+            push_str s "GET /f1.bin HTTP/1.0\r\n\r\n";
+            resp := drain s;
+            ignore (Bsd_socket.so_close s);
+            done_f := true))
+  in
+  let expect = String.init 4096 (fun i -> Char.chr (pattern ~file:1 i)) in
+  Alcotest.(check bool) "stock HTTP/1.0 close-per-request response" true
+    (String.length !resp > 12
+    && String.sub !resp 0 12 = "HTTP/1.0 200"
+    &&
+    match index_of !resp "\r\n\r\n" with
+    | Some i -> String.sub !resp (i + 4) (String.length !resp - i - 4) = expect
+    | None -> false);
+  Alcotest.(check int) "no reuse counted" 0 st.Httpd.reused;
+  Alcotest.(check int) "no pipelining counted" 0 st.Httpd.pipelined;
+  Alcotest.(check int) "no idle closes" 0 st.Httpd.idle_closed;
+  Alcotest.(check int) "no caps" 0 st.Httpd.capped;
+  (* The rig's reset_globals zeroed the counters; the flags-off run must
+     not have moved the new ones at all. *)
+  Alcotest.(check int) "no sendfile bodies" 0 Cost.counters.Cost.sendfile_bodies;
+  Alcotest.(check int) "no sendfile fallbacks" 0 Cost.counters.Cost.sendfile_fallbacks;
+  Alcotest.(check int) "no counted body copies" 0 Cost.counters.Cost.http_body_copies
+
+let suite =
+  [ Alcotest.test_case "scanner: one-byte drips, cursor never rewinds" `Quick
+      test_scanner_drip;
+    Alcotest.test_case "scanner: pipelined framing, terminator semantics, growth"
+      `Quick test_scanner_pipelined_and_terminators;
+    Alcotest.test_case "keep-alive sequence == N fresh 1.0 connections (reactor)"
+      `Quick test_keepalive_sequence_reactor;
+    Alcotest.test_case "keep-alive sequence == N fresh 1.0 connections (threads)"
+      `Quick test_keepalive_sequence_threaded;
+    Alcotest.test_case "pipelined responses come back strictly in order" `Quick
+      test_pipelined_in_order;
+    Alcotest.test_case "idle timeout closes and is counted" `Quick test_idle_timeout;
+    Alcotest.test_case "http_max_reqs_per_conn caps with Connection: close" `Quick
+      test_max_reqs_cap;
+    QCheck_alcotest.to_alcotest prop_sendfile_byte_exact;
+    Alcotest.test_case "buf cache: true-LRU eviction" `Quick test_buf_lru_and_pins;
+    Alcotest.test_case "buf cache: pinned buffers are never evicted" `Quick
+      test_buf_pinned_never_evicted;
+    Alcotest.test_case "buf cache: all-pinned cache grows, never steals" `Quick
+      test_buf_all_pinned_grows;
+    Alcotest.test_case "flags off: stock 1.0 engine, new counters untouched" `Quick
+      test_flags_off_untouched ]
